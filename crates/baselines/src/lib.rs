@@ -1,0 +1,18 @@
+//! # llhj-baselines — baseline stream-join algorithms
+//!
+//! The algorithms the paper compares against (Section 2):
+//!
+//! * [`kang`] — Kang's sequential three-step procedure, which doubles as
+//!   the semantic oracle for the correctness tests of the whole repository;
+//! * [`celljoin`] — CellJoin, the partitioned parallel scan of Gedik et
+//!   al., with explicit accounting of its per-arrival repartitioning
+//!   overhead.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod celljoin;
+pub mod kang;
+
+pub use celljoin::{run_celljoin, CellJoin, CellJoinCosts, CellJoinReport};
+pub use kang::{run_kang, KangJoin, KangReport};

@@ -1,0 +1,184 @@
+//! Criterion micro-benchmarks for the operator building blocks.
+//!
+//! These complement the figure-reproduction binaries in `src/bin/`: the
+//! binaries regenerate the paper's tables and figures on the simulator,
+//! while these benches measure the real (host-machine) cost of the hot
+//! code paths — window scans, index probes, node message handling, and a
+//! small end-to-end pipeline on both algorithms.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+use llhj_baselines::run_kang;
+use llhj_core::homing::RoundRobin;
+use llhj_core::message::{LeftToRight, RightToLeft};
+use llhj_core::node_llhj::{LlhjNode, LlhjOutput};
+use llhj_core::predicate::JoinPredicate;
+use llhj_core::store::LocalWindow;
+use llhj_core::time::{TimeDelta, Timestamp};
+use llhj_core::tuple::{PipelineTuple, SeqNo, StreamTuple};
+use llhj_core::window::WindowSpec;
+use llhj_sim::{run_simulation, Algorithm, SimConfig};
+use llhj_workload::{band_join_schedule, BandJoinWorkload, BandPredicate};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn window_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_scan");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for &size in &[1_000usize, 10_000] {
+        let mut window = LocalWindow::new();
+        for i in 0..size as u64 {
+            window.insert(
+                StreamTuple::new(SeqNo(i), Timestamp::from_micros(i), (i % 10_000) as i64),
+                false,
+            );
+        }
+        group.bench_function(format!("nested_loop_{size}"), |b| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                window.scan_matches(false, |v| (*v - 5_000).abs() <= 10, |_| hits += 1);
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn index_probe_vs_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_probe_vs_scan");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let size = 10_000u64;
+    let key_fn: llhj_core::store::KeyFn<i64> = Arc::new(|v: &i64| *v as u64 % 1_000);
+    let mut indexed = LocalWindow::with_index(key_fn);
+    let mut plain = LocalWindow::new();
+    for i in 0..size {
+        let t = StreamTuple::new(SeqNo(i), Timestamp::from_micros(i), (i % 1_000) as i64);
+        indexed.insert(t.clone(), false);
+        plain.insert(t, false);
+    }
+    group.bench_function("hash_probe_10k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            indexed.probe_matches(77, false, |v| *v == 77, |_| hits += 1);
+            black_box(hits)
+        })
+    });
+    group.bench_function("full_scan_10k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            plain.scan_matches(false, |v| *v == 77, |_| hits += 1);
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn llhj_node_arrival(c: &mut Criterion) {
+    let mut group = c.benchmark_group("llhj_node_arrival");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let pred = BandPredicate::default();
+    group.bench_function("arrival_against_5k_window", |b| {
+        b.iter_batched(
+            || {
+                let mut node = LlhjNode::new(0, 1, pred);
+                let mut out = LlhjOutput::new();
+                for i in 0..5_000u64 {
+                    node.handle_right(
+                        RightToLeft::ArrivalS(PipelineTuple::fresh(
+                            StreamTuple::new(
+                                SeqNo(i),
+                                Timestamp::from_micros(i),
+                                llhj_workload::STuple::new((i % 10_000) as i32, (i % 10_000) as f32),
+                            ),
+                            0,
+                        )),
+                        &mut out,
+                    );
+                    out.clear();
+                }
+                (node, out)
+            },
+            |(mut node, mut out)| {
+                node.handle_left(
+                    LeftToRight::ArrivalR(PipelineTuple::fresh(
+                        StreamTuple::new(
+                            SeqNo(0),
+                            Timestamp::from_micros(1),
+                            llhj_workload::RTuple::new(5_000, 5_000.0),
+                        ),
+                        0,
+                    )),
+                    &mut out,
+                );
+                black_box(out.comparisons)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let workload = BandJoinWorkload::scaled(200.0, TimeDelta::from_secs(5), 400, 42);
+    let schedule =
+        band_join_schedule(&workload, WindowSpec::time_secs(2), WindowSpec::time_secs(2));
+    let pred = BandPredicate::default();
+
+    group.bench_function("kang_oracle", |b| {
+        b.iter(|| black_box(run_kang(pred, &schedule).results.len()))
+    });
+    for (name, algorithm) in [
+        ("llhj_sim_4_nodes", Algorithm::Llhj),
+        ("hsj_sim_4_nodes", Algorithm::Hsj),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::new(4, algorithm);
+                cfg.batch_size = 16;
+                cfg.window_r = WindowSpec::time_secs(2);
+                cfg.window_s = WindowSpec::time_secs(2);
+                cfg.expected_rate_per_sec = 200.0;
+                cfg.latency_bucket = 1_000_000;
+                black_box(
+                    run_simulation(&cfg, pred, RoundRobin, &schedule)
+                        .results
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn predicate_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predicate");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let pred = BandPredicate::default();
+    let r = llhj_workload::RTuple::new(5_000, 5_000.0);
+    let s = llhj_workload::STuple::new(5_005, 5_005.0);
+    group.bench_function("band_predicate", |b| {
+        b.iter(|| black_box(pred.matches(black_box(&r), black_box(&s))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    window_scan,
+    index_probe_vs_scan,
+    llhj_node_arrival,
+    end_to_end,
+    predicate_eval
+);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Regenerates every figure and table of the paper's evaluation in one go
+//! (the source of the measured numbers recorded in EXPERIMENTS.md).
+//! Run with --release; takes on the order of a minute on a laptop.
+fn main() {
+    let scale = llhj_bench::Scale::default();
+    println!("{}", llhj_bench::experiments::fig05::run(&scale).text);
+    println!("{}", llhj_bench::experiments::fig17::run(&scale).text);
+    println!("{}", llhj_bench::experiments::fig18::run(&scale).text);
+    println!("{}", llhj_bench::experiments::fig19::run(&scale).text);
+    println!("{}", llhj_bench::experiments::fig20::run(&scale).text);
+    println!("{}", llhj_bench::experiments::fig21::run(&scale).text);
+    println!("{}", llhj_bench::experiments::table2::run(&scale).text);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 2 of the paper's evaluation.  Run with --release.
+fn main() {
+    let scale = llhj_bench::Scale::default();
+    let report = llhj_bench::experiments::table2::run(&scale);
+    println!("{}", report.text);
+}

@@ -1,0 +1,168 @@
+//! Figure 18: average result latency as a function of the core count,
+//! original handshake join vs. low-latency handshake join (log scale in the
+//! paper), computed over a 15-minute window.
+//!
+//! The headline result of the paper: low-latency handshake join improves
+//! average latency by roughly four orders of magnitude (hundreds of seconds
+//! down to tens of milliseconds), and the HSJ latency barely depends on the
+//! core count because it is governed by the window size alone.
+
+use crate::{fmt_f, Scale, TextTable};
+use llhj_sim::{Algorithm, AnalyticModel};
+
+/// Paper-scale latency prediction for one core count.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelRow {
+    /// Number of cores.
+    pub cores: usize,
+    /// Handshake join average latency (seconds).
+    pub hsj_secs: f64,
+    /// Low-latency handshake join average latency (seconds).
+    pub llhj_secs: f64,
+}
+
+/// Scaled, simulator-measured latency for one core count.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasuredRow {
+    /// Number of cores.
+    pub cores: usize,
+    /// Handshake join average latency (milliseconds).
+    pub hsj_ms: f64,
+    /// Low-latency handshake join average latency (milliseconds).
+    pub llhj_ms: f64,
+}
+
+/// The complete Figure 18 reproduction.
+#[derive(Debug)]
+pub struct Fig18Report {
+    /// Paper-scale model rows (15-minute windows).
+    pub model: Vec<ModelRow>,
+    /// Scaled simulator rows.
+    pub measured: Vec<MeasuredRow>,
+    /// Rendered report.
+    pub text: String,
+}
+
+/// Runs the Figure 18 reproduction.
+pub fn run(scale: &Scale) -> Fig18Report {
+    let model: Vec<ModelRow> = scale
+        .model_cores
+        .iter()
+        .map(|&cores| {
+            let m = AnalyticModel::paper_benchmark(cores);
+            let sustained = m.max_rate(Algorithm::Llhj);
+            ModelRow {
+                cores,
+                hsj_secs: m.hsj_average_latency().as_secs_f64(),
+                llhj_secs: m.llhj_average_latency(sustained, 64).as_secs_f64(),
+            }
+        })
+        .collect();
+
+    let measured: Vec<MeasuredRow> = scale
+        .sim_cores
+        .iter()
+        .map(|&cores| {
+            let hsj = super::run_band(
+                scale,
+                cores,
+                Algorithm::Hsj,
+                64,
+                false,
+                scale.window_secs,
+                scale.window_secs,
+            );
+            let llhj = super::run_band(
+                scale,
+                cores,
+                Algorithm::Llhj,
+                64,
+                false,
+                scale.window_secs,
+                scale.window_secs,
+            );
+            MeasuredRow {
+                cores,
+                hsj_ms: hsj.latency.mean().as_millis_f64(),
+                llhj_ms: llhj.latency.mean().as_millis_f64(),
+            }
+        })
+        .collect();
+
+    let mut model_table = TextTable::new(["cores", "HSJ avg (s, model)", "LLHJ avg (s, model)"]);
+    for row in &model {
+        model_table.row([
+            row.cores.to_string(),
+            fmt_f(row.hsj_secs, 1),
+            fmt_f(row.llhj_secs, 4),
+        ]);
+    }
+    let mut measured_table =
+        TextTable::new(["cores", "HSJ avg (ms, sim)", "LLHJ avg (ms, sim)"]);
+    for row in &measured {
+        measured_table.row([
+            row.cores.to_string(),
+            fmt_f(row.hsj_ms, 1),
+            fmt_f(row.llhj_ms, 2),
+        ]);
+    }
+    let text = format!(
+        "Figure 18: average latency vs. core count\n\n\
+         Paper-scale model (15-minute window, batch 64):\n{}\n\
+         Scaled event-driven simulation ({}-second windows, rate {} t/s):\n{}",
+        model_table.render(),
+        scale.window_secs,
+        scale.rate_per_sec,
+        measured_table.render()
+    );
+    Fig18Report {
+        model,
+        measured,
+        text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_gap_is_orders_of_magnitude() {
+        let report = run(&Scale::smoke());
+        for row in &report.model {
+            assert!(
+                row.hsj_secs / row.llhj_secs > 1_000.0,
+                "model gap at {} cores: {} vs {}",
+                row.cores,
+                row.hsj_secs,
+                row.llhj_secs
+            );
+        }
+        for row in &report.measured {
+            // The scaled simulation uses small windows, so the measured gap
+            // is compressed compared to the paper's 15-minute windows; the
+            // full orders-of-magnitude gap is asserted on the model rows
+            // above.
+            assert!(
+                row.hsj_ms > 3.0 * row.llhj_ms,
+                "simulated gap at {} cores: {} vs {} ms",
+                row.cores,
+                row.hsj_ms,
+                row.llhj_ms
+            );
+        }
+        assert!(report.text.contains("Figure 18"));
+    }
+
+    #[test]
+    fn hsj_latency_is_insensitive_to_core_count() {
+        let report = run(&Scale::smoke());
+        let first = report.model.first().unwrap();
+        let last = report.model.last().unwrap();
+        let ratio = first.hsj_secs / last.hsj_secs;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "HSJ latency should not depend on cores: {ratio}"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Figure 19: latency distribution of *low-latency* handshake join over
+//! wall-clock time, with the default driver batch size of 64, for the same
+//! two window configurations as Figure 5.
+//!
+//! The shape to reproduce: average latency in the single-digit millisecond
+//! range, maxima a few tens of milliseconds, essentially flat over time and
+//! insensitive to the window configuration — more than three orders of
+//! magnitude below Figure 5.
+
+use super::fig05::{latency_rows, LatencyPointRow};
+use crate::{fmt_f, Scale, TextTable};
+use llhj_sim::Algorithm;
+
+/// One window configuration of the experiment.
+#[derive(Debug)]
+pub struct Fig19Config {
+    /// Window span of stream R in (scaled) seconds.
+    pub window_r_secs: u64,
+    /// Window span of stream S.
+    pub window_s_secs: u64,
+    /// Measured latency series.
+    pub points: Vec<LatencyPointRow>,
+    /// Expected batching delay (half the batch period), milliseconds.
+    pub expected_batching_ms: f64,
+}
+
+/// The complete Figure 19 reproduction.
+#[derive(Debug)]
+pub struct Fig19Report {
+    /// Configuration (a): equal windows.
+    pub equal_windows: Fig19Config,
+    /// Configuration (b): asymmetric windows.
+    pub asymmetric_windows: Fig19Config,
+    /// Rendered report.
+    pub text: String,
+}
+
+pub(crate) fn run_llhj_config(
+    scale: &Scale,
+    window_r: u64,
+    window_s: u64,
+    batch: usize,
+    nodes: usize,
+) -> Fig19Config {
+    let report = super::run_band(scale, nodes, Algorithm::Llhj, batch, false, window_r, window_s);
+    Fig19Config {
+        window_r_secs: window_r,
+        window_s_secs: window_s,
+        points: latency_rows(&report),
+        expected_batching_ms: batch as f64 / scale.rate_per_sec / 2.0 * 1_000.0,
+    }
+}
+
+pub(crate) fn render(config: &Fig19Config, label: &str, batch: usize) -> String {
+    let mut table = TextTable::new(["t (s)", "avg latency (ms)", "max latency (ms)", "outputs"]);
+    for p in &config.points {
+        table.row([
+            fmt_f(p.at_secs, 1),
+            fmt_f(p.avg_ms, 2),
+            fmt_f(p.max_ms, 2),
+            p.outputs.to_string(),
+        ]);
+    }
+    format!(
+        "{label}: low-latency handshake join, batch {batch}, |WR| = {} s, |WS| = {} s\n\
+         expected batching delay: {:.2} ms\n{}",
+        config.window_r_secs,
+        config.window_s_secs,
+        config.expected_batching_ms,
+        table.render()
+    )
+}
+
+/// Runs the Figure 19 reproduction.
+pub fn run(scale: &Scale) -> Fig19Report {
+    let nodes = *scale.sim_cores.last().unwrap_or(&4);
+    let equal = run_llhj_config(scale, scale.window_secs, scale.window_secs, 64, nodes);
+    let asym = run_llhj_config(scale, scale.window_secs / 2, scale.window_secs, 64, nodes);
+    let text = format!(
+        "{}\n{}",
+        render(&equal, "Figure 19(a)", 64),
+        render(&asym, "Figure 19(b)", 64)
+    );
+    Fig19Report {
+        equal_windows: equal,
+        asymmetric_windows: asym,
+        text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig05;
+
+    #[test]
+    fn llhj_latency_is_flat_and_far_below_hsj() {
+        let scale = Scale::smoke();
+        let llhj = run(&scale);
+        let hsj = fig05::run(&scale);
+
+        let llhj_avg = average(&llhj.equal_windows.points);
+        let hsj_avg = average(&hsj.equal_windows.points);
+        assert!(
+            llhj_avg * 3.0 < hsj_avg,
+            "LLHJ must be far below HSJ: {llhj_avg} vs {hsj_avg} ms"
+        );
+
+        // Latency should not grow with time the way HSJ latency does: the
+        // last point must stay within a small factor of the first.
+        let pts = &llhj.equal_windows.points;
+        if pts.len() >= 2 {
+            let first = pts.first().unwrap().avg_ms.max(0.1);
+            let last = pts.last().unwrap().avg_ms.max(0.1);
+            assert!(last / first < 10.0, "LLHJ latency drifted: {first} -> {last}");
+        }
+        assert!(llhj.text.contains("Figure 19(a)"));
+    }
+
+    #[test]
+    fn both_window_configurations_have_comparable_latency() {
+        let report = run(&Scale::smoke());
+        let a = average(&report.equal_windows.points);
+        let b = average(&report.asymmetric_windows.points);
+        let ratio = a.max(0.01) / b.max(0.01);
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "window configuration should barely matter: {a} vs {b} ms"
+        );
+    }
+
+    fn average(points: &[super::LatencyPointRow]) -> f64 {
+        if points.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = points.iter().map(|p| p.avg_ms * p.outputs as f64).sum();
+        let count: f64 = points.iter().map(|p| p.outputs as f64).sum();
+        total / count.max(1.0)
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 20: latency distribution of low-latency handshake join with the
+//! driver batch size reduced to four tuples (the minimum that still allows
+//! vectorised processing in the original implementation).
+//!
+//! The shape to reproduce: shrinking the batch from 64 to 4 removes most of
+//! the remaining latency — the average drops to roughly the batch period
+//! and the maxima shrink accordingly.
+
+use super::fig05::LatencyPointRow;
+use super::fig19::{render, run_llhj_config, Fig19Config};
+use crate::Scale;
+
+/// The complete Figure 20 reproduction.
+#[derive(Debug)]
+pub struct Fig20Report {
+    /// The measured configuration (equal windows, batch 4).
+    pub config: Fig19Config,
+    /// The same configuration with the default batch of 64, for the
+    /// side-by-side comparison the paper makes between Figures 19 and 20.
+    pub batch64: Fig19Config,
+    /// Rendered report.
+    pub text: String,
+}
+
+impl Fig20Report {
+    /// Output-weighted average latency of a series, in milliseconds.
+    pub fn weighted_average(points: &[LatencyPointRow]) -> f64 {
+        if points.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = points.iter().map(|p| p.avg_ms * p.outputs as f64).sum();
+        let count: f64 = points.iter().map(|p| p.outputs as f64).sum();
+        total / count.max(1.0)
+    }
+}
+
+/// Runs the Figure 20 reproduction.
+pub fn run(scale: &Scale) -> Fig20Report {
+    let nodes = *scale.sim_cores.last().unwrap_or(&4);
+    let batch4 = run_llhj_config(scale, scale.window_secs, scale.window_secs, 4, nodes);
+    let batch64 = run_llhj_config(scale, scale.window_secs, scale.window_secs, 64, nodes);
+    let text = format!(
+        "{}\n(batch 64 reference: average {:.2} ms)\n",
+        render(&batch4, "Figure 20", 4),
+        Fig20Report::weighted_average(&batch64.points)
+    );
+    Fig20Report {
+        config: batch4,
+        batch64,
+        text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smaller_batches_reduce_latency() {
+        let report = run(&Scale::smoke());
+        let small = Fig20Report::weighted_average(&report.config.points);
+        let large = Fig20Report::weighted_average(&report.batch64.points);
+        assert!(
+            small < large,
+            "batch 4 must have lower latency than batch 64: {small} vs {large} ms"
+        );
+        assert!(report.text.contains("Figure 20"));
+    }
+
+    #[test]
+    fn batch4_latency_is_near_the_batch_period() {
+        let scale = Scale::smoke();
+        let report = run(&scale);
+        let avg = Fig20Report::weighted_average(&report.config.points);
+        // Batch period at the smoke rate: 4 / rate seconds.  Latency should
+        // be the same order of magnitude (within ~10x, to be robust to the
+        // scan and hop components).
+        let period_ms = 4.0 / scale.rate_per_sec * 1_000.0;
+        assert!(
+            avg < period_ms * 10.0,
+            "average {avg} ms far exceeds the batching scale {period_ms} ms"
+        );
+    }
+}

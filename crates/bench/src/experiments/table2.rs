@@ -1,0 +1,180 @@
+//! Table 2: throughput of the 40-core configuration for the original
+//! handshake join, low-latency handshake join, and low-latency handshake
+//! join with node-local hash indexes (the join predicate changed to an
+//! equi-join so that hashing applies).
+//!
+//! Paper numbers: 5,125 t/s (HSJ), 5,117 t/s (LLHJ), 225,234 t/s (LLHJ with
+//! index) — i.e. the two scan-based algorithms are on par and the index
+//! buys roughly a 40x improvement.
+//!
+//! The paper-scale throughput column comes from the calibrated analytic
+//! model.  The scaled event-driven measurement replays the same equi-join
+//! workload at a fixed rate through all three configurations and reports
+//! the measured work per input tuple (predicate evaluations) and the
+//! resulting pipeline utilization — the quantities that determine the
+//! sustainable throughput and that make the index advantage directly
+//! visible without having to drive the simulator to six-digit tuple rates.
+
+use crate::{fmt_f, Scale, TextTable};
+use llhj_core::homing::RoundRobin;
+use llhj_core::time::TimeDelta;
+use llhj_core::window::WindowSpec;
+use llhj_sim::{run_simulation, Algorithm, AnalyticModel};
+use llhj_workload::{equi_join_schedule, EquiJoinWorkload, EquiXaPredicate};
+
+/// One algorithm's row of the table.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Row {
+    /// Algorithm label.
+    pub algorithm: &'static str,
+    /// Paper-scale model throughput at 40 cores (tuples/s per stream).
+    pub model_rate: f64,
+    /// Scaled simulator measurement: predicate evaluations (or index-probe
+    /// verifications) per input tuple.
+    pub comparisons_per_tuple: f64,
+    /// Scaled simulator measurement: busiest-node utilization at the
+    /// benchmark rate.
+    pub utilization: f64,
+    /// Result pairs produced by the scaled run (must agree across rows).
+    pub results: usize,
+}
+
+/// The complete Table 2 reproduction.
+#[derive(Debug)]
+pub struct Table2Report {
+    /// Rows: HSJ, LLHJ, LLHJ with index.
+    pub rows: Vec<Table2Row>,
+    /// Rendered report.
+    pub text: String,
+}
+
+/// Runs the Table 2 reproduction.
+pub fn run(scale: &Scale) -> Table2Report {
+    let paper_cores = *scale.model_cores.last().unwrap_or(&40);
+    let model = AnalyticModel::paper_benchmark(paper_cores);
+
+    // Scaled measurement: equi-join workload at the benchmark rate on the
+    // largest simulated core count.
+    let sim_cores = *scale.sim_cores.last().unwrap_or(&4);
+    let window_secs = (scale.window_secs / 2).max(1);
+    let window = WindowSpec::time_secs(window_secs);
+    let workload = EquiJoinWorkload {
+        rate_per_sec: scale.rate_per_sec,
+        duration: TimeDelta::from_secs(scale.duration_secs.min(window_secs * 3)),
+        domain: scale.domain,
+        seed: scale.seed,
+    };
+    let schedule = equi_join_schedule(&workload, window, window);
+    let total_tuples = (schedule.r_count() + schedule.s_count()) as f64;
+
+    let probe = |algorithm: Algorithm| -> (f64, f64, usize) {
+        let mut cfg = super::sim_config(
+            scale,
+            sim_cores,
+            algorithm,
+            64,
+            false,
+            window_secs,
+            window_secs,
+            scale.rate_per_sec,
+        );
+        cfg.window_r = window;
+        cfg.window_s = window;
+        let report = run_simulation(&cfg, EquiXaPredicate, RoundRobin, &schedule);
+        (
+            report.total_comparisons() as f64 / total_tuples,
+            report.max_utilization(),
+            report.results.len(),
+        )
+    };
+
+    let make_row = |label: &'static str, model_alg: Algorithm, sim_alg: Algorithm| {
+        let (comparisons_per_tuple, utilization, results) = probe(sim_alg);
+        Table2Row {
+            algorithm: label,
+            model_rate: model.max_rate(model_alg),
+            comparisons_per_tuple,
+            utilization,
+            results,
+        }
+    };
+
+    let rows = vec![
+        make_row("handshake join", Algorithm::Hsj, Algorithm::Hsj),
+        make_row("low-latency handshake join", Algorithm::Llhj, Algorithm::Llhj),
+        make_row(
+            "low-latency handshake join with index",
+            Algorithm::LlhjIndexed,
+            Algorithm::LlhjIndexed,
+        ),
+    ];
+
+    let mut table = TextTable::new([
+        "algorithm".to_string(),
+        format!("model t/s ({paper_cores} cores)"),
+        "sim comparisons/tuple".to_string(),
+        "sim utilization".to_string(),
+        "sim results".to_string(),
+    ]);
+    for row in &rows {
+        table.row([
+            row.algorithm.to_string(),
+            fmt_f(row.model_rate, 0),
+            fmt_f(row.comparisons_per_tuple, 1),
+            fmt_f(row.utilization, 3),
+            row.results.to_string(),
+        ]);
+    }
+    let text = format!(
+        "Table 2: throughput with and without node-local hash indexes (equi join)\n{}",
+        table.render()
+    );
+    Table2Report { rows, text }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_acceleration_dominates_like_table_2() {
+        let report = run(&Scale::smoke());
+        assert_eq!(report.rows.len(), 3);
+        let hsj = &report.rows[0];
+        let llhj = &report.rows[1];
+        let indexed = &report.rows[2];
+
+        // HSJ and LLHJ are on par (model throughput and measured work).
+        let parity = llhj.model_rate / hsj.model_rate;
+        assert!((0.7..1.4).contains(&parity), "parity ratio {parity}");
+        let work_parity = llhj.comparisons_per_tuple / hsj.comparisons_per_tuple.max(1e-9);
+        assert!(
+            (0.4..2.5).contains(&work_parity),
+            "work parity ratio {work_parity}"
+        );
+
+        // The index buys at least an order of magnitude in the model and
+        // cuts the measured per-tuple work dramatically.
+        assert!(indexed.model_rate > 10.0 * llhj.model_rate);
+        assert!(
+            indexed.comparisons_per_tuple * 5.0 < llhj.comparisons_per_tuple,
+            "index must cut scan work: {} vs {}",
+            indexed.comparisons_per_tuple,
+            llhj.comparisons_per_tuple
+        );
+        assert!(indexed.utilization <= llhj.utilization);
+        assert!(report.text.contains("Table 2"));
+    }
+
+    #[test]
+    fn llhj_and_indexed_llhj_produce_the_same_result_set_size() {
+        let report = run(&Scale::smoke());
+        let sizes: Vec<usize> = report.rows.iter().map(|r| r.results).collect();
+        // The two LLHJ variants are semantically identical; the original
+        // handshake join may report a handful fewer pairs over a finite
+        // replay because tuples only flow while new input keeps arriving.
+        assert_eq!(sizes[1], sizes[2]);
+        assert!(sizes[0] > 0 && sizes[0] <= sizes[1]);
+        assert!(sizes[1] > 0, "equi workload must produce matches");
+    }
+}

@@ -1,0 +1,177 @@
+//! # llhj-bench — figure and table reproduction harness
+//!
+//! One module per experiment of the paper's evaluation (Section 7).  Every
+//! module exposes a `run(&Scale)` function that returns the measured rows
+//! and a human-readable report; the binaries in `src/bin/` are thin
+//! wrappers that print the report, and the integration tests call the same
+//! functions with a tiny [`Scale`] to keep the whole evaluation wired into
+//! `cargo test`.
+//!
+//! The paper's full-scale operating point (15-minute windows, thousands of
+//! tuples per second, 40 cores) is reported through the calibrated
+//! [`llhj_sim::AnalyticModel`]; the event-driven simulator measures the
+//! same experiment at a scaled-down operating point, and `EXPERIMENTS.md`
+//! records both next to the paper's numbers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+
+use std::fmt::Write as _;
+
+/// Scale factors shared by all experiments.
+///
+/// `Scale::default()` is the configuration used to regenerate
+/// `EXPERIMENTS.md` on a laptop-class machine; `Scale::smoke()` is a tiny
+/// configuration used by the integration tests.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Per-stream input rate (tuples per second) for latency experiments.
+    pub rate_per_sec: f64,
+    /// Window span in seconds for the "equal windows" configuration.
+    pub window_secs: u64,
+    /// Length of each simulated run in seconds of stream time.
+    pub duration_secs: u64,
+    /// Join-attribute domain (the paper uses 10,000; scaled runs shrink it
+    /// so the number of matches per input tuple stays comparable).
+    pub domain: u32,
+    /// Core counts swept by the scaled simulator runs.
+    pub sim_cores: Vec<usize>,
+    /// Core counts swept by the paper-scale analytic model.
+    pub model_cores: Vec<usize>,
+    /// Bisection steps of each throughput search.
+    pub throughput_steps: usize,
+    /// Upper bound of the throughput searches (tuples/s per stream).
+    pub max_search_rate: f64,
+    /// Latency series bucket (output tuples per data point; the paper uses
+    /// 200,000).
+    pub latency_bucket: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            rate_per_sec: 150.0,
+            window_secs: 20,
+            duration_secs: 50,
+            domain: 800,
+            sim_cores: vec![2, 4, 8],
+            model_cores: vec![4, 8, 12, 16, 20, 24, 28, 32, 36, 40],
+            throughput_steps: 6,
+            max_search_rate: 1_500.0,
+            latency_bucket: 2_000,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl Scale {
+    /// A very small configuration for smoke tests.
+    pub fn smoke() -> Self {
+        Scale {
+            rate_per_sec: 150.0,
+            window_secs: 4,
+            duration_secs: 8,
+            domain: 200,
+            sim_cores: vec![2, 3],
+            model_cores: vec![8, 40],
+            throughput_steps: 3,
+            max_search_rate: 500.0,
+            latency_bucket: 200,
+            seed: 7,
+        }
+    }
+}
+
+/// A simple fixed-width text table used by all experiment reports.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I: IntoIterator<Item = T>, T: Into<String>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row<I: IntoIterator<Item = T>, T: Into<String>>(&mut self, cells: I) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let columns = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(columns) {
+                let _ = write!(out, "{:>width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with the given precision, used by the report tables.
+pub fn fmt_f(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(["cores", "throughput"]);
+        t.row(["4", "1000"]);
+        t.row(["40", "3750.5"]);
+        let rendered = t.render();
+        assert!(rendered.contains("cores"));
+        assert!(rendered.contains("3750.5"));
+        assert_eq!(rendered.lines().count(), 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn scales_are_distinct() {
+        let full = Scale::default();
+        let smoke = Scale::smoke();
+        assert!(full.duration_secs > smoke.duration_secs);
+        assert!(full.window_secs > smoke.window_secs);
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+    }
+}

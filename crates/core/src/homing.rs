@@ -1,0 +1,142 @@
+//! Home-node assignment policies.
+//!
+//! In low-latency handshake join every tuple rests on exactly one node, its
+//! *home node* (Step 1 in Section 4.1).  The paper's default implementation
+//! selects home nodes round-robin "to ensure even load balancing"; a
+//! hash-based policy is also provided, which keeps co-partitionable keys on
+//! the same node and is the natural companion of the index acceleration of
+//! Section 7.6.
+
+use crate::tuple::{NodeId, SeqNo};
+
+/// A home-node assignment policy.
+///
+/// Implementations must be deterministic given the tuple sequence number and
+/// optional key, so that re-running a workload yields the same placement.
+pub trait HomePolicy: Send + Sync {
+    /// Chooses the home node for the tuple with sequence number `seq` and
+    /// optional partitioning key `key`, in a pipeline of `n` nodes.
+    fn assign(&self, seq: SeqNo, key: Option<u64>, n: usize) -> NodeId;
+}
+
+/// Round-robin placement (the paper's default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin;
+
+impl HomePolicy for RoundRobin {
+    #[inline]
+    fn assign(&self, seq: SeqNo, _key: Option<u64>, n: usize) -> NodeId {
+        debug_assert!(n > 0, "pipeline must have at least one node");
+        (seq.0 % n as u64) as NodeId
+    }
+}
+
+/// Hash placement on the join key; falls back to round-robin when the tuple
+/// has no key (e.g. for pure band joins).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashKey;
+
+impl HomePolicy for HashKey {
+    #[inline]
+    fn assign(&self, seq: SeqNo, key: Option<u64>, n: usize) -> NodeId {
+        debug_assert!(n > 0, "pipeline must have at least one node");
+        match key {
+            Some(k) => (splitmix64(k) % n as u64) as NodeId,
+            None => (seq.0 % n as u64) as NodeId,
+        }
+    }
+}
+
+/// Places every tuple on a single fixed node.  Degenerates the pipeline to
+/// Kang's three-step procedure on one core; useful for tests.
+#[derive(Debug, Clone, Copy)]
+pub struct Pinned(pub NodeId);
+
+impl HomePolicy for Pinned {
+    #[inline]
+    fn assign(&self, _seq: SeqNo, _key: Option<u64>, n: usize) -> NodeId {
+        debug_assert!(self.0 < n, "pinned node out of range");
+        self.0.min(n.saturating_sub(1))
+    }
+}
+
+/// Finalizer from the SplitMix64 generator; a cheap, well-mixing integer
+/// hash used for hash placement and for the node-local hash indexes.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_over_nodes() {
+        let p = RoundRobin;
+        let assigned: Vec<NodeId> = (0..8).map(|i| p.assign(SeqNo(i), None, 4)).collect();
+        assert_eq!(assigned, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn round_robin_is_balanced() {
+        let p = RoundRobin;
+        let n = 5;
+        let mut counts = vec![0usize; n];
+        for i in 0..1000 {
+            counts[p.assign(SeqNo(i), None, n)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 200));
+    }
+
+    #[test]
+    fn hash_key_is_deterministic_and_in_range() {
+        let p = HashKey;
+        for k in 0..500u64 {
+            let a = p.assign(SeqNo(0), Some(k), 7);
+            let b = p.assign(SeqNo(99), Some(k), 7);
+            assert_eq!(a, b, "placement must depend on the key only");
+            assert!(a < 7);
+        }
+    }
+
+    #[test]
+    fn hash_key_spreads_keys_roughly_evenly() {
+        let p = HashKey;
+        let n = 8;
+        let mut counts = vec![0usize; n];
+        for k in 0..8000u64 {
+            counts[p.assign(SeqNo(0), Some(k), n)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700 && c < 1300, "unbalanced hash placement: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn hash_key_without_key_falls_back_to_round_robin() {
+        let p = HashKey;
+        assert_eq!(p.assign(SeqNo(13), None, 4), 1);
+    }
+
+    #[test]
+    fn pinned_clamps_to_pipeline() {
+        let p = Pinned(2);
+        assert_eq!(p.assign(SeqNo(0), None, 8), 2);
+        // Out-of-range pins clamp instead of panicking in release builds.
+        let p = Pinned(0);
+        assert_eq!(p.assign(SeqNo(5), Some(7), 1), 0);
+    }
+
+    #[test]
+    fn splitmix_mixes() {
+        // Consecutive inputs should not map to consecutive outputs.
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a + 1, b);
+        assert_ne!(a, b);
+    }
+}

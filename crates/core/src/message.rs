@@ -1,0 +1,139 @@
+//! Messages exchanged between neighbouring pipeline nodes.
+//!
+//! Both join algorithms restrict communication to point-to-point FIFO
+//! channels between neighbouring cores.  Messages travelling *left to right*
+//! carry R arrivals plus control traffic about S tuples; messages travelling
+//! *right to left* carry S arrivals plus control traffic about R tuples
+//! (Figures 13 and 14 of the paper).
+
+use crate::tuple::{PipelineTuple, SeqNo};
+
+/// A message travelling left-to-right (towards higher node indices).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeftToRight<R> {
+    /// Arrival (new or forwarded) of an R tuple.
+    ArrivalR(PipelineTuple<R>),
+    /// Acknowledgement that a forwarded S tuple has been received by the
+    /// left neighbour; removes it from the sender's `IWS` buffer.
+    AckS(SeqNo),
+    /// Expiry of an S tuple: the window driver decided that the S tuple with
+    /// this sequence number has left its sliding window.  Expiry messages
+    /// for S enter at the *left* end (the opposite end of S arrivals).
+    ExpiryS(SeqNo),
+}
+
+/// A message travelling right-to-left (towards lower node indices).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RightToLeft<S> {
+    /// Arrival (new or forwarded) of an S tuple.
+    ArrivalS(PipelineTuple<S>),
+    /// Expedition-end marker for an R tuple: generated at the rightmost node
+    /// when the R tuple finished rushing through the pipeline; clears the
+    /// expedition flag in the tuple's home-node window (Section 4.2.3).
+    ExpeditionEndR(SeqNo),
+    /// Expiry of an R tuple; enters at the *right* end.
+    ExpiryR(SeqNo),
+}
+
+impl<R> LeftToRight<R> {
+    /// True if this is a tuple arrival (as opposed to control traffic).
+    pub fn is_arrival(&self) -> bool {
+        matches!(self, LeftToRight::ArrivalR(_))
+    }
+}
+
+impl<S> RightToLeft<S> {
+    /// True if this is a tuple arrival (as opposed to control traffic).
+    pub fn is_arrival(&self) -> bool {
+        matches!(self, RightToLeft::ArrivalS(_))
+    }
+}
+
+/// Everything a node emits while handling one incoming message.
+///
+/// The node state machines are engine agnostic: they never touch channels or
+/// clocks themselves.  Instead they append to a `NodeOutput`, and the
+/// execution substrate (threaded runtime or discrete-event simulator)
+/// decides how to deliver the messages and where to put the results.
+#[derive(Debug)]
+pub struct NodeOutput<R, S, Res> {
+    /// Messages to forward to the left neighbour (or to drop at node 0).
+    pub to_left: Vec<RightToLeft<S>>,
+    /// Messages to forward to the right neighbour (or to drop at node n-1).
+    pub to_right: Vec<LeftToRight<R>>,
+    /// Join results produced while handling the message.
+    pub results: Vec<Res>,
+    /// Number of predicate evaluations (or index probes) performed; used by
+    /// the simulator's cost model and by the statistics collectors.
+    pub comparisons: u64,
+}
+
+impl<R, S, Res> Default for NodeOutput<R, S, Res> {
+    fn default() -> Self {
+        NodeOutput {
+            to_left: Vec::new(),
+            to_right: Vec::new(),
+            results: Vec::new(),
+            comparisons: 0,
+        }
+    }
+}
+
+impl<R, S, Res> NodeOutput<R, S, Res> {
+    /// A fresh, empty output buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all buffers, keeping allocations (workhorse-buffer pattern).
+    pub fn clear(&mut self) {
+        self.to_left.clear();
+        self.to_right.clear();
+        self.results.clear();
+        self.comparisons = 0;
+    }
+
+    /// Total number of emitted messages in both directions.
+    pub fn message_count(&self) -> usize {
+        self.to_left.len() + self.to_right.len()
+    }
+
+    /// True if nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.to_left.is_empty() && self.to_right.is_empty() && self.results.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+    use crate::tuple::StreamTuple;
+
+    #[test]
+    fn arrival_classification() {
+        let t = PipelineTuple::fresh(StreamTuple::new(SeqNo(1), Timestamp::ZERO, 5u32), 0);
+        assert!(LeftToRight::ArrivalR(t.clone()).is_arrival());
+        assert!(!LeftToRight::<u32>::AckS(SeqNo(1)).is_arrival());
+        assert!(!LeftToRight::<u32>::ExpiryS(SeqNo(1)).is_arrival());
+        assert!(RightToLeft::ArrivalS(t).is_arrival());
+        assert!(!RightToLeft::<u32>::ExpeditionEndR(SeqNo(2)).is_arrival());
+        assert!(!RightToLeft::<u32>::ExpiryR(SeqNo(2)).is_arrival());
+    }
+
+    #[test]
+    fn node_output_clear_keeps_capacity() {
+        let mut out: NodeOutput<u32, u32, (u32, u32)> = NodeOutput::new();
+        out.to_left.push(RightToLeft::ExpiryR(SeqNo(0)));
+        out.to_right.push(LeftToRight::AckS(SeqNo(0)));
+        out.results.push((1, 2));
+        out.comparisons = 10;
+        assert_eq!(out.message_count(), 2);
+        assert!(!out.is_empty());
+        let cap = out.to_left.capacity();
+        out.clear();
+        assert!(out.is_empty());
+        assert_eq!(out.comparisons, 0);
+        assert_eq!(out.to_left.capacity(), cap);
+    }
+}

@@ -1,0 +1,639 @@
+//! The original handshake join node state machine (baseline).
+//!
+//! This is a from-scratch implementation of the handshake join of Teubner
+//! and Mueller (SIGMOD 2011), the algorithm that Sections 2.3 and 3 of the
+//! low-latency handshake join paper analyse and improve upon.  Both sliding
+//! windows are partitioned into per-node *segments*; newly arriving tuples
+//! enter at one pipeline end and slowly flow towards the other end, and a
+//! tuple is compared against the opposite-stream segment of every node it
+//! visits.  Each pair of concurrent tuples is therefore evaluated exactly
+//! once — but only when the two physically meet, which is the source of the
+//! latency analysed in Section 3 of the paper.
+//!
+//! Two flow policies are provided:
+//!
+//! * [`FlowPolicy::ByAge`] positions every tuple according to its age
+//!   relative to its window span, which is exactly the "steady flow"
+//!   assumption behind the latency model of Section 3.1 (Figure 4): a tuple
+//!   of age `a` sits at pipeline position `a / |W|`.  This policy keeps the
+//!   distributed window balanced in every phase (including while the
+//!   windows are still filling) and guarantees that every pair of
+//!   concurrent tuples meets before either expires.
+//! * [`FlowPolicy::ByCapacity`] forwards the oldest tuple whenever a
+//!   segment exceeds a fixed capacity; it matches the behaviour of a purely
+//!   count-based deployment and is used for tuple-based windows.
+//!
+//! The acknowledgement mechanism on the S side (identical to the one in
+//! [`crate::node_llhj`]) prevents missed pairs when two tuples cross
+//! between the same pair of neighbouring nodes.
+
+use crate::message::{LeftToRight, NodeOutput, RightToLeft};
+use crate::predicate::JoinPredicate;
+use crate::result::ResultTuple;
+use crate::stats::NodeCounters;
+use crate::store::{IwsBuffer, LocalWindow};
+use crate::time::{TimeDelta, Timestamp};
+use crate::tuple::{NodeId, PipelineTuple};
+
+/// Output type produced by the HSJ node.
+pub type HsjOutput<R, S> = NodeOutput<R, S, ResultTuple<R, S>>;
+
+/// Segment capacities of one handshake join node (for count-based flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentCapacity {
+    /// Maximum number of R tuples kept in this node's segment before the
+    /// oldest one is pushed to the right neighbour.
+    pub r: usize,
+    /// Maximum number of S tuples kept before the oldest is pushed left.
+    pub s: usize,
+}
+
+impl SegmentCapacity {
+    /// Splits a total expected window population evenly over `nodes` nodes.
+    ///
+    /// Capacities are rounded up so the pipeline can always hold the whole
+    /// window; a minimum of one tuple per node keeps degenerate
+    /// configurations functional.
+    pub fn balanced(window_tuples_r: usize, window_tuples_s: usize, nodes: usize) -> Self {
+        assert!(nodes > 0, "pipeline must have at least one node");
+        SegmentCapacity {
+            r: (window_tuples_r.div_ceil(nodes)).max(1),
+            s: (window_tuples_s.div_ceil(nodes)).max(1),
+        }
+    }
+}
+
+/// How tuples flow from node to node in the original handshake join.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlowPolicy {
+    /// Position tuples proportionally to their age within their window
+    /// span (the steady-flow model of Section 3.1).  Requires time-based
+    /// windows.
+    ByAge {
+        /// Window span of stream R.
+        window_r: TimeDelta,
+        /// Window span of stream S.
+        window_s: TimeDelta,
+    },
+    /// Forward the oldest tuple whenever the local segment exceeds a fixed
+    /// capacity (suitable for tuple-based windows).
+    ByCapacity(SegmentCapacity),
+}
+
+impl FlowPolicy {
+    /// Convenience constructor for capacity-based flow.
+    pub fn capacity(r: usize, s: usize) -> Self {
+        FlowPolicy::ByCapacity(SegmentCapacity { r, s })
+    }
+
+    /// Convenience constructor for age-based flow.
+    pub fn by_age(window_r: TimeDelta, window_s: TimeDelta) -> Self {
+        FlowPolicy::ByAge { window_r, window_s }
+    }
+}
+
+/// A single handshake join processing node.
+pub struct HsjNode<R, S, P> {
+    id: NodeId,
+    nodes: usize,
+    predicate: P,
+    flow: FlowPolicy,
+    wr: LocalWindow<R>,
+    ws: LocalWindow<S>,
+    iws: IwsBuffer<S>,
+    clock: Timestamp,
+    counters: NodeCounters,
+}
+
+impl<R, S, P> HsjNode<R, S, P>
+where
+    R: Clone,
+    S: Clone,
+    P: JoinPredicate<R, S>,
+{
+    /// Creates node `id` of a pipeline with `nodes` nodes.
+    pub fn new(id: NodeId, nodes: usize, flow: FlowPolicy, predicate: P) -> Self {
+        assert!(nodes > 0, "pipeline must have at least one node");
+        assert!(id < nodes, "node id {id} out of range for {nodes} nodes");
+        HsjNode {
+            id,
+            nodes,
+            predicate,
+            flow,
+            wr: LocalWindow::new(),
+            ws: LocalWindow::new(),
+            iws: IwsBuffer::new(),
+            clock: Timestamp::ZERO,
+            counters: NodeCounters::default(),
+        }
+    }
+
+    /// Creates a node with capacity-based flow.
+    pub fn with_capacity(id: NodeId, nodes: usize, capacity: SegmentCapacity, predicate: P) -> Self {
+        Self::new(id, nodes, FlowPolicy::ByCapacity(capacity), predicate)
+    }
+
+    /// Creates a node with age-based flow for time-based windows.
+    pub fn with_age_flow(
+        id: NodeId,
+        nodes: usize,
+        window_r: TimeDelta,
+        window_s: TimeDelta,
+        predicate: P,
+    ) -> Self {
+        Self::new(id, nodes, FlowPolicy::by_age(window_r, window_s), predicate)
+    }
+
+    /// This node's position in the pipeline.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// True for the leftmost node.
+    pub fn is_leftmost(&self) -> bool {
+        self.id == 0
+    }
+
+    /// True for the rightmost node.
+    pub fn is_rightmost(&self) -> bool {
+        self.id + 1 == self.nodes
+    }
+
+    /// Configured flow policy.
+    pub fn flow_policy(&self) -> FlowPolicy {
+        self.flow
+    }
+
+    /// Counters accumulated so far.
+    pub fn counters(&self) -> &NodeCounters {
+        &self.counters
+    }
+
+    /// Current segment sizes `(|WR_k|, |WS_k|, |IWS_k|)`.
+    pub fn segment_sizes(&self) -> (usize, usize, usize) {
+        (self.wr.len(), self.ws.len(), self.iws.len())
+    }
+
+    /// Advances the node's notion of the current stream time.  The
+    /// execution substrate calls this before delivering each message; the
+    /// node also advances the clock from arrival timestamps it observes.
+    pub fn advance_clock(&mut self, now: Timestamp) {
+        self.clock = self.clock.max(now);
+    }
+
+    /// The node's current notion of stream time.
+    pub fn clock(&self) -> Timestamp {
+        self.clock
+    }
+
+    /// Handles one message arriving from the left neighbour.
+    pub fn handle_left(&mut self, msg: LeftToRight<R>, out: &mut HsjOutput<R, S>) {
+        match msg {
+            LeftToRight::ArrivalR(r) => self.on_arrival_r(r, out),
+            LeftToRight::AckS(seq) => {
+                self.counters.acks += 1;
+                let _ = self.iws.acknowledge(seq);
+            }
+            LeftToRight::ExpiryS(seq) => {
+                self.counters.expiries += 1;
+                if self.ws.remove(seq).is_none() && !self.is_rightmost() {
+                    out.to_right.push(LeftToRight::ExpiryS(seq));
+                }
+                self.flow_tuples(out);
+            }
+        }
+    }
+
+    /// Handles one message arriving from the right neighbour.
+    pub fn handle_right(&mut self, msg: RightToLeft<S>, out: &mut HsjOutput<R, S>) {
+        match msg {
+            RightToLeft::ArrivalS(s) => self.on_arrival_s(s, out),
+            RightToLeft::ExpeditionEndR(_) => {
+                // The original algorithm has no expedition mechanism; the
+                // message type exists only so both algorithms share the same
+                // channel types.  It is ignored.
+            }
+            RightToLeft::ExpiryR(seq) => {
+                self.counters.expiries += 1;
+                if self.wr.remove(seq).is_none() && !self.is_leftmost() {
+                    out.to_left.push(RightToLeft::ExpiryR(seq));
+                }
+                self.flow_tuples(out);
+            }
+        }
+    }
+
+    /// Removes locally stored tuples that are no longer window-concurrent
+    /// with a probing tuple that carries stream timestamp `now`.
+    ///
+    /// Expiry messages remain the primary eviction mechanism
+    /// (Section 4.2.4), but because tuples *move* in the original handshake
+    /// join, an expiry message and the tuple it refers to can cross between
+    /// two neighbouring nodes and miss each other; this age check enforces
+    /// the window semantics locally so such a crossing can never yield
+    /// matches with logically expired tuples.  The check uses the probing
+    /// tuple's own timestamp (not the node clock), because window
+    /// concurrency is defined on stream time, independent of processing
+    /// delays.  It only applies to age-based flow, where the node knows the
+    /// window spans.
+    fn self_expire(&mut self, now: Timestamp) {
+        if let FlowPolicy::ByAge { window_r, window_s } = self.flow {
+            // Boundary convention: the driver schedule orders same-instant
+            // events with R-stream events first, so an R tuple whose window
+            // elapses exactly when an S tuple arrives does NOT join (>=),
+            // while an S tuple in the symmetric situation still does (>).
+            while let Some(oldest) = self.wr.peek_oldest() {
+                if now.saturating_since(oldest.ts) >= window_r {
+                    let seq = oldest.seq;
+                    self.wr.remove(seq);
+                } else {
+                    break;
+                }
+            }
+            while let Some(oldest) = self.ws.peek_oldest() {
+                if now.saturating_since(oldest.ts) > window_s {
+                    let seq = oldest.seq;
+                    self.ws.remove(seq);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// An R tuple arrives (new at node 0, or pushed over from the left
+    /// neighbour): compare against the local S segment, store it, then let
+    /// the flow policy relieve the segment.
+    fn on_arrival_r(&mut self, r: PipelineTuple<R>, out: &mut HsjOutput<R, S>) {
+        self.counters.arrivals += 1;
+        self.clock = self.clock.max(r.ts());
+        self.self_expire(r.ts());
+        let within = match self.flow {
+            FlowPolicy::ByAge { window_r, window_s } => Some((window_r, window_s)),
+            FlowPolicy::ByCapacity(_) => None,
+        };
+        let check = |r_ts: Timestamp, s_ts: Timestamp| match within {
+            Some((wr, ws)) => {
+                s_ts.saturating_since(r_ts) < wr && r_ts.saturating_since(s_ts) <= ws
+            }
+            None => true,
+        };
+        let pred = &self.predicate;
+        let r_tuple = &r.tuple;
+        let results = &mut out.results;
+        let results_before = results.len();
+        let node_id = self.id;
+        let mut comparisons = self.ws.scan_matches(
+            false,
+            |s| pred.matches(&r_tuple.payload, s),
+            |s| {
+                if check(r_tuple.ts, s.ts) {
+                    results.push(ResultTuple::new(r_tuple.clone(), s.clone(), node_id));
+                }
+            },
+        );
+        comparisons += self.iws.scan_matches(
+            |s| pred.matches(&r_tuple.payload, s),
+            |s| {
+                if check(r_tuple.ts, s.ts) {
+                    results.push(ResultTuple::new(r_tuple.clone(), s.clone(), node_id));
+                }
+            },
+        );
+        out.comparisons += comparisons;
+        self.counters.comparisons += comparisons;
+        self.counters.results += (results.len() - results_before) as u64;
+
+        self.wr.insert(r.tuple, false);
+        self.counters.stored += 1;
+        self.flow_tuples(out);
+        self.counters
+            .observe_sizes(self.wr.len(), self.ws.len(), self.iws.len());
+    }
+
+    /// An S tuple arrives (new at node n-1, or pushed over from the right
+    /// neighbour); symmetric to [`HsjNode::on_arrival_r`] except for the
+    /// acknowledgement mechanism, which only runs on the S side.
+    fn on_arrival_s(&mut self, s: PipelineTuple<S>, out: &mut HsjOutput<R, S>) {
+        self.counters.arrivals += 1;
+        self.clock = self.clock.max(s.ts());
+        self.self_expire(s.ts());
+        let within = match self.flow {
+            FlowPolicy::ByAge { window_r, window_s } => Some((window_r, window_s)),
+            FlowPolicy::ByCapacity(_) => None,
+        };
+        let check = |r_ts: Timestamp, s_ts: Timestamp| match within {
+            Some((wr, ws)) => {
+                s_ts.saturating_since(r_ts) < wr && r_ts.saturating_since(s_ts) <= ws
+            }
+            None => true,
+        };
+        let pred = &self.predicate;
+        let s_tuple = &s.tuple;
+        let results = &mut out.results;
+        let results_before = results.len();
+        let node_id = self.id;
+        let comparisons = self.wr.scan_matches(
+            false,
+            |r| pred.matches(r, &s_tuple.payload),
+            |r| {
+                if check(r.ts, s_tuple.ts) {
+                    results.push(ResultTuple::new(r.clone(), s_tuple.clone(), node_id));
+                }
+            },
+        );
+        out.comparisons += comparisons;
+        self.counters.comparisons += comparisons;
+        self.counters.results += (results.len() - results_before) as u64;
+
+        // Acknowledge to the sender (the right neighbour) so it can release
+        // the tuple from its IWS buffer.
+        if !self.is_rightmost() {
+            out.to_right.push(LeftToRight::AckS(s.tuple.seq));
+        }
+
+        self.ws.insert(s.tuple, false);
+        self.counters.stored += 1;
+        self.flow_tuples(out);
+        self.counters
+            .observe_sizes(self.wr.len(), self.ws.len(), self.iws.len());
+    }
+
+    /// Applies the flow policy: pushes tuples that no longer belong to this
+    /// segment towards the opposite pipeline end.
+    fn flow_tuples(&mut self, out: &mut HsjOutput<R, S>) {
+        match self.flow {
+            FlowPolicy::ByCapacity(cap) => {
+                if !self.is_rightmost() {
+                    while self.wr.len() > cap.r {
+                        self.forward_oldest_r(out);
+                    }
+                }
+                if !self.is_leftmost() {
+                    while self.ws.len() > cap.s {
+                        self.forward_oldest_s(out);
+                    }
+                }
+            }
+            FlowPolicy::ByAge { window_r, window_s } => {
+                // A tuple of age `a` belongs at pipeline position `a / |W|`;
+                // node k owns the age band [k/n, (k+1)/n).
+                if !self.is_rightmost() {
+                    let leave_after = TimeDelta::from_micros(
+                        window_r.as_micros() * (self.id as u64 + 1) / self.nodes as u64,
+                    );
+                    while let Some(oldest) = self.wr.peek_oldest() {
+                        if self.clock.saturating_since(oldest.ts) >= leave_after {
+                            self.forward_oldest_r(out);
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                if !self.is_leftmost() {
+                    let leave_after = TimeDelta::from_micros(
+                        window_s.as_micros() * (self.nodes - self.id) as u64
+                            / self.nodes as u64,
+                    );
+                    while let Some(oldest) = self.ws.peek_oldest() {
+                        if self.clock.saturating_since(oldest.ts) >= leave_after {
+                            self.forward_oldest_s(out);
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn forward_oldest_r(&mut self, out: &mut HsjOutput<R, S>) {
+        let (oldest, _) = self.wr.pop_oldest().expect("caller checked non-empty");
+        out.to_right.push(LeftToRight::ArrivalR(PipelineTuple {
+            tuple: oldest,
+            home: (self.id + 1).min(self.nodes - 1),
+            stored: false,
+        }));
+        self.counters.forwards += 1;
+    }
+
+    fn forward_oldest_s(&mut self, out: &mut HsjOutput<R, S>) {
+        let (oldest, _) = self.ws.pop_oldest().expect("caller checked non-empty");
+        self.iws.insert(oldest.clone());
+        out.to_left.push(RightToLeft::ArrivalS(PipelineTuple {
+            tuple: oldest,
+            home: self.id.saturating_sub(1),
+            stored: false,
+        }));
+        self.counters.forwards += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::FnPredicate;
+    use crate::tuple::{SeqNo, StreamTuple};
+
+    fn equal(r: &u64, s: &u64) -> bool {
+        r == s
+    }
+
+    type Node = HsjNode<u64, u64, FnPredicate<fn(&u64, &u64) -> bool>>;
+
+    fn node(id: NodeId, n: usize, cap: usize) -> Node {
+        HsjNode::with_capacity(
+            id,
+            n,
+            SegmentCapacity { r: cap, s: cap },
+            FnPredicate(equal as fn(&u64, &u64) -> bool),
+        )
+    }
+
+    fn age_node(id: NodeId, n: usize, window_secs: u64) -> Node {
+        HsjNode::with_age_flow(
+            id,
+            n,
+            TimeDelta::from_secs(window_secs),
+            TimeDelta::from_secs(window_secs),
+            FnPredicate(equal as fn(&u64, &u64) -> bool),
+        )
+    }
+
+    fn rt_at(seq: u64, val: u64, ts: Timestamp) -> PipelineTuple<u64> {
+        PipelineTuple::fresh(StreamTuple::new(SeqNo(seq), ts, val), 0)
+    }
+
+    fn rt(seq: u64, val: u64) -> PipelineTuple<u64> {
+        rt_at(seq, val, Timestamp::from_millis(seq))
+    }
+
+    fn st_at(seq: u64, val: u64, ts: Timestamp) -> PipelineTuple<u64> {
+        PipelineTuple::fresh(StreamTuple::new(SeqNo(seq), ts, val), 0)
+    }
+
+    fn st(seq: u64, val: u64) -> PipelineTuple<u64> {
+        st_at(seq, val, Timestamp::from_millis(seq))
+    }
+
+    #[test]
+    fn balanced_capacity_covers_window() {
+        let cap = SegmentCapacity::balanced(10, 7, 4);
+        assert_eq!(cap.r, 3);
+        assert_eq!(cap.s, 2);
+        assert!(cap.r * 4 >= 10);
+        assert!(cap.s * 4 >= 7);
+        let tiny = SegmentCapacity::balanced(0, 0, 3);
+        assert_eq!((tiny.r, tiny.s), (1, 1));
+    }
+
+    #[test]
+    fn arrival_is_stored_and_matched_against_opposite_segment() {
+        let mut n = node(0, 2, 8);
+        let mut out = HsjOutput::new();
+        n.handle_right(RightToLeft::ArrivalS(st(0, 5)), &mut out);
+        out.clear();
+        n.handle_left(LeftToRight::ArrivalR(rt(0, 5)), &mut out);
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(n.segment_sizes(), (1, 1, 0));
+    }
+
+    #[test]
+    fn capacity_overflow_pushes_oldest_tuple_right() {
+        let mut n = node(0, 3, 2);
+        let mut out = HsjOutput::new();
+        for i in 0..3 {
+            n.handle_left(LeftToRight::ArrivalR(rt(i, i)), &mut out);
+        }
+        assert_eq!(n.segment_sizes().0, 2);
+        let forwarded: Vec<_> = out
+            .to_right
+            .iter()
+            .filter_map(|m| match m {
+                LeftToRight::ArrivalR(p) => Some(p.tuple.seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(forwarded, vec![SeqNo(0)]);
+    }
+
+    #[test]
+    fn age_flow_moves_tuples_proportionally_to_age() {
+        // 2-node pipeline, 10-second windows: a tuple should leave node 0
+        // once it is older than 5 seconds.
+        let mut n = age_node(0, 2, 10);
+        let mut out = HsjOutput::new();
+        n.handle_left(
+            LeftToRight::ArrivalR(rt_at(0, 1, Timestamp::from_secs(0))),
+            &mut out,
+        );
+        assert_eq!(n.segment_sizes().0, 1);
+        assert!(out.to_right.is_empty());
+        // A newer arrival 3 seconds later does not push it yet...
+        n.handle_left(
+            LeftToRight::ArrivalR(rt_at(1, 2, Timestamp::from_secs(3))),
+            &mut out,
+        );
+        assert!(out.to_right.is_empty());
+        // ...but one at t=6 does (age 6 >= 5).
+        n.handle_left(
+            LeftToRight::ArrivalR(rt_at(2, 3, Timestamp::from_secs(6))),
+            &mut out,
+        );
+        let forwarded: Vec<_> = out
+            .to_right
+            .iter()
+            .filter_map(|m| match m {
+                LeftToRight::ArrivalR(p) => Some(p.tuple.seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(forwarded, vec![SeqNo(0)]);
+        assert_eq!(n.segment_sizes().0, 2);
+    }
+
+    #[test]
+    fn age_flow_reacts_to_clock_advances_from_the_substrate() {
+        let mut n = age_node(0, 2, 10);
+        let mut out = HsjOutput::new();
+        n.handle_left(
+            LeftToRight::ArrivalR(rt_at(0, 1, Timestamp::from_secs(0))),
+            &mut out,
+        );
+        // The substrate advances the clock past the threshold; the next
+        // handled message (even an unrelated expiry) triggers the flow.
+        n.advance_clock(Timestamp::from_secs(7));
+        assert_eq!(n.clock(), Timestamp::from_secs(7));
+        n.handle_left(LeftToRight::ExpiryS(SeqNo(99)), &mut out);
+        assert!(out
+            .to_right
+            .iter()
+            .any(|m| matches!(m, LeftToRight::ArrivalR(p) if p.tuple.seq == SeqNo(0))));
+    }
+
+    #[test]
+    fn rightmost_node_never_forwards_r() {
+        let mut n = node(2, 3, 1);
+        let mut out = HsjOutput::new();
+        for i in 0..5 {
+            n.handle_left(LeftToRight::ArrivalR(rt(i, i)), &mut out);
+        }
+        assert!(out
+            .to_right
+            .iter()
+            .all(|m| !matches!(m, LeftToRight::ArrivalR(_))));
+        assert_eq!(n.segment_sizes().0, 5, "tuples only leave via expiry");
+    }
+
+    #[test]
+    fn s_overflow_uses_ack_buffer() {
+        let mut n = node(1, 3, 1);
+        let mut out = HsjOutput::new();
+        n.handle_right(RightToLeft::ArrivalS(st(0, 10)), &mut out);
+        n.handle_right(RightToLeft::ArrivalS(st(1, 11)), &mut out);
+        // Oldest S tuple was pushed left and is awaiting acknowledgement.
+        assert_eq!(n.segment_sizes(), (0, 1, 1));
+        out.clear();
+        // An R arrival still sees the in-flight tuple via the IWS buffer.
+        n.handle_left(LeftToRight::ArrivalR(rt(0, 10)), &mut out);
+        assert_eq!(out.results.len(), 1);
+        out.clear();
+        // After the acknowledgement the buffer is released.
+        n.handle_left(LeftToRight::AckS(SeqNo(0)), &mut out);
+        assert_eq!(n.segment_sizes().2, 0);
+    }
+
+    #[test]
+    fn expiry_consumes_or_forwards() {
+        let mut n = node(1, 3, 4);
+        let mut out = HsjOutput::new();
+        n.handle_left(LeftToRight::ArrivalR(rt(0, 1)), &mut out);
+        out.clear();
+        n.handle_right(RightToLeft::ExpiryR(SeqNo(0)), &mut out);
+        assert_eq!(n.segment_sizes().0, 0);
+        assert!(out.to_left.is_empty());
+        n.handle_right(RightToLeft::ExpiryR(SeqNo(42)), &mut out);
+        assert_eq!(out.to_left, vec![RightToLeft::ExpiryR(SeqNo(42))]);
+    }
+
+    #[test]
+    fn expedition_end_is_ignored_by_hsj() {
+        let mut n = node(1, 3, 4);
+        let mut out = HsjOutput::new();
+        n.handle_right(RightToLeft::ExpeditionEndR(SeqNo(1)), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn ack_is_sent_for_received_s_tuples() {
+        let mut n = node(0, 3, 4);
+        let mut out = HsjOutput::new();
+        n.handle_right(RightToLeft::ArrivalS(st(7, 1)), &mut out);
+        assert!(out.to_right.contains(&LeftToRight::AckS(SeqNo(7))));
+        // The rightmost node receives tuples from the driver and sends no ack.
+        let mut n = node(2, 3, 4);
+        out.clear();
+        n.handle_right(RightToLeft::ArrivalS(st(8, 1)), &mut out);
+        assert!(out.to_right.is_empty());
+    }
+}

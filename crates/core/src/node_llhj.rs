@@ -1,0 +1,570 @@
+//! The low-latency handshake join node state machine.
+//!
+//! This module implements the per-core algorithm of Figures 12–14 of the
+//! paper.  Each node owns three stores — the node-local windows `WR_k` and
+//! `WS_k` plus the `IWS_k` acknowledgement buffer — and reacts to messages
+//! from its left and right neighbours.  The node never touches channels,
+//! threads or clocks: it appends outgoing messages and result tuples to a
+//! [`NodeOutput`], and the execution substrate (threaded runtime or
+//! discrete-event simulator) decides how to deliver them.  This is what
+//! allows the exact same matching logic to be run, tested and measured on
+//! both substrates.
+//!
+//! The matching rules implement Table 1 of the paper:
+//!
+//! * an arriving R tuple is matched against `WS_k` **and** `IWS_k`
+//!   (fresh/fresh and stored/fresh pairs are caught while travelling;
+//!   fresh/stored and stored/stored pairs are caught later against the
+//!   stored copy at the S tuple's home node);
+//! * an arriving S tuple is matched only against the *non-expedited* part
+//!   of `WR_k`, which avoids stored/stored double matches;
+//! * expedition-end messages, generated at the rightmost node, clear the
+//!   expedition flag so that S tuples arriving afterwards do match against
+//!   the stored copy (avoiding stored/fresh misses).
+
+use crate::message::{LeftToRight, NodeOutput, RightToLeft};
+use crate::predicate::JoinPredicate;
+use crate::result::ResultTuple;
+use crate::stats::NodeCounters;
+use crate::store::{IwsBuffer, KeyFn, LocalWindow};
+use crate::tuple::{NodeId, PipelineTuple};
+use std::sync::Arc;
+
+/// Output type produced by the LLHJ node: pipeline messages plus results.
+pub type LlhjOutput<R, S> = NodeOutput<R, S, ResultTuple<R, S>>;
+
+/// A single low-latency handshake join processing node.
+pub struct LlhjNode<R, S, P> {
+    id: NodeId,
+    nodes: usize,
+    predicate: P,
+    wr: LocalWindow<R>,
+    ws: LocalWindow<S>,
+    iws: IwsBuffer<S>,
+    counters: NodeCounters,
+}
+
+impl<R, S, P> LlhjNode<R, S, P>
+where
+    R: Clone,
+    S: Clone,
+    P: JoinPredicate<R, S>,
+{
+    /// Creates node `id` of a pipeline with `nodes` nodes.
+    pub fn new(id: NodeId, nodes: usize, predicate: P) -> Self {
+        assert!(nodes > 0, "pipeline must have at least one node");
+        assert!(id < nodes, "node id {id} out of range for {nodes} nodes");
+        LlhjNode {
+            id,
+            nodes,
+            predicate,
+            wr: LocalWindow::new(),
+            ws: LocalWindow::new(),
+            iws: IwsBuffer::new(),
+            counters: NodeCounters::default(),
+        }
+    }
+
+    /// Creates a node whose local windows maintain hash indexes over the
+    /// equi-keys exposed by the predicate (Section 7.6).  Falls back to
+    /// unindexed windows when the predicate does not support indexing.
+    pub fn with_index(id: NodeId, nodes: usize, predicate: P) -> Self
+    where
+        P: Clone + Send + Sync + 'static,
+        R: Send + Sync + 'static,
+        S: Send + Sync + 'static,
+    {
+        let mut node = Self::new(id, nodes, predicate.clone());
+        if predicate.supports_index() {
+            let pr = predicate.clone();
+            let r_key: KeyFn<R> = Arc::new(move |r: &R| pr.r_key(r).unwrap_or(0));
+            let ps = predicate;
+            let s_key: KeyFn<S> = Arc::new(move |s: &S| ps.s_key(s).unwrap_or(0));
+            node.wr = LocalWindow::with_index(r_key);
+            node.ws = LocalWindow::with_index(s_key);
+        }
+        node
+    }
+
+    /// This node's position in the pipeline.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Total number of pipeline nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// True for the leftmost node (entry point of stream R).
+    pub fn is_leftmost(&self) -> bool {
+        self.id == 0
+    }
+
+    /// True for the rightmost node (entry point of stream S).
+    pub fn is_rightmost(&self) -> bool {
+        self.id + 1 == self.nodes
+    }
+
+    /// Counters accumulated so far.
+    pub fn counters(&self) -> &NodeCounters {
+        &self.counters
+    }
+
+    /// Current size of the node-local R window.
+    pub fn wr_len(&self) -> usize {
+        self.wr.len()
+    }
+
+    /// Current size of the node-local S window.
+    pub fn ws_len(&self) -> usize {
+        self.ws.len()
+    }
+
+    /// Current size of the not-yet-acknowledged buffer.
+    pub fn iws_len(&self) -> usize {
+        self.iws.len()
+    }
+
+    /// Internal consistency check used by tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.wr.check_invariants()?;
+        self.ws.check_invariants()?;
+        // S-side windows never carry expedition flags.
+        if self.ws.in_expedition() != 0 {
+            return Err("S window must not hold in-expedition tuples".into());
+        }
+        Ok(())
+    }
+
+    /// Handles one message arriving from the left neighbour (or from the
+    /// driver, for the leftmost node).  Mirrors `process_left()` in
+    /// Figure 13 of the paper.
+    pub fn handle_left(&mut self, msg: LeftToRight<R>, out: &mut LlhjOutput<R, S>) {
+        match msg {
+            LeftToRight::ArrivalR(r) => self.on_arrival_r(r, out),
+            LeftToRight::AckS(seq) => {
+                self.counters.acks += 1;
+                // The ack may refer to a tuple that was never buffered here
+                // (it was already stored, i.e. not fresh, when forwarded);
+                // that is expected and simply ignored.
+                let _ = self.iws.acknowledge(seq);
+            }
+            LeftToRight::ExpiryS(seq) => {
+                self.counters.expiries += 1;
+                if self.ws.remove(seq).is_none() && !self.is_rightmost() {
+                    out.to_right.push(LeftToRight::ExpiryS(seq));
+                }
+            }
+        }
+    }
+
+    /// Handles one message arriving from the right neighbour (or from the
+    /// driver, for the rightmost node).  Mirrors `process_right()` in
+    /// Figure 14 of the paper.
+    pub fn handle_right(&mut self, msg: RightToLeft<S>, out: &mut LlhjOutput<R, S>) {
+        match msg {
+            RightToLeft::ArrivalS(s) => self.on_arrival_s(s, out),
+            RightToLeft::ExpeditionEndR(seq) => {
+                self.counters.expedition_ends += 1;
+                if !self.wr.finish_expedition(seq) && !self.is_leftmost() {
+                    out.to_left.push(RightToLeft::ExpeditionEndR(seq));
+                }
+            }
+            RightToLeft::ExpiryR(seq) => {
+                self.counters.expiries += 1;
+                if self.wr.remove(seq).is_none() && !self.is_leftmost() {
+                    out.to_left.push(RightToLeft::ExpiryR(seq));
+                }
+            }
+        }
+    }
+
+    /// Lines 3–12 of Figure 13: an R tuple arrives (fresh or already
+    /// stored) and rushes through this node.
+    fn on_arrival_r(&mut self, r: PipelineTuple<R>, out: &mut LlhjOutput<R, S>) {
+        self.counters.arrivals += 1;
+        let seq = r.seq();
+        let home = r.home;
+
+        // Step 1: forward immediately ("expedite") to minimise latency.
+        if !self.is_rightmost() {
+            let mut forwarded = r.clone();
+            // The copy leaving this node has passed its home node iff the
+            // home node lies at or before this node.
+            forwarded.stored = self.id >= home;
+            out.to_right.push(LeftToRight::ArrivalR(forwarded));
+            self.counters.forwards += 1;
+        }
+
+        // Step 2: match against the local S window and the unacknowledged
+        // buffer (Table 1: fresh/fresh and stored/fresh while travelling,
+        // fresh/stored and stored/stored against the stored copy at h_s).
+        let pred = &self.predicate;
+        let r_tuple = &r.tuple;
+        let results = &mut out.results;
+        let results_before = results.len();
+        let node_id = self.id;
+        let mut comparisons = 0;
+        let key = pred.r_key(&r_tuple.payload);
+        if let (Some(key), true) = (key, self.ws.has_index()) {
+            comparisons += self.ws.probe_matches(
+                key,
+                false,
+                |s| pred.matches(&r_tuple.payload, s),
+                |s| results.push(ResultTuple::new(r_tuple.clone(), s.clone(), node_id)),
+            );
+        } else {
+            comparisons += self.ws.scan_matches(
+                false,
+                |s| pred.matches(&r_tuple.payload, s),
+                |s| results.push(ResultTuple::new(r_tuple.clone(), s.clone(), node_id)),
+            );
+        }
+        comparisons += self.iws.scan_matches(
+            |s| pred.matches(&r_tuple.payload, s),
+            |s| results.push(ResultTuple::new(r_tuple.clone(), s.clone(), node_id)),
+        );
+        out.comparisons += comparisons;
+        self.counters.comparisons += comparisons;
+        self.counters.results += (out.results.len() - results_before) as u64;
+
+        // Step 3: store the tuple at its home node, flagged "in expedition".
+        if home == self.id {
+            self.wr.insert(r.tuple, true);
+            self.counters.stored += 1;
+        }
+
+        // Step 4: at the pipeline end, the expedition is over.  The
+        // expedition-end marker travels back towards the home node; if the
+        // home node *is* the rightmost node, it is applied locally.
+        if self.is_rightmost() {
+            if home == self.id {
+                let cleared = self.wr.finish_expedition(seq);
+                debug_assert!(cleared, "tuple stored above must be present");
+            } else {
+                out.to_left.push(RightToLeft::ExpeditionEndR(seq));
+            }
+        }
+        self.counters.observe_sizes(self.wr.len(), self.ws.len(), self.iws.len());
+    }
+
+    /// Lines 3–13 of Figure 14: an S tuple arrives and rushes through this
+    /// node (right to left).
+    fn on_arrival_s(&mut self, s: PipelineTuple<S>, out: &mut LlhjOutput<R, S>) {
+        self.counters.arrivals += 1;
+        let seq = s.seq();
+        let home = s.home;
+        // "Fresh" = has not reached its home node yet.  S flows right to
+        // left, so it is fresh exactly while the current node index is
+        // still greater than the home index.
+        let fresh = self.id > home;
+
+        // Forward immediately.
+        if !self.is_leftmost() {
+            let mut forwarded = s.clone();
+            forwarded.stored = self.id <= home;
+            out.to_left.push(RightToLeft::ArrivalS(forwarded));
+            self.counters.forwards += 1;
+        }
+
+        // Match against *non-expedited* stored R copies only; this is the
+        // asymmetry that prevents stored/stored double matches.
+        let pred = &self.predicate;
+        let s_tuple = &s.tuple;
+        let results = &mut out.results;
+        let results_before = results.len();
+        let node_id = self.id;
+        let mut comparisons = 0;
+        let key = pred.s_key(&s_tuple.payload);
+        if let (Some(key), true) = (key, self.wr.has_index()) {
+            comparisons += self.wr.probe_matches(
+                key,
+                true,
+                |r| pred.matches(r, &s_tuple.payload),
+                |r| results.push(ResultTuple::new(r.clone(), s_tuple.clone(), node_id)),
+            );
+        } else {
+            comparisons += self.wr.scan_matches(
+                true,
+                |r| pred.matches(r, &s_tuple.payload),
+                |r| results.push(ResultTuple::new(r.clone(), s_tuple.clone(), node_id)),
+            );
+        }
+        out.comparisons += comparisons;
+        self.counters.comparisons += comparisons;
+        self.counters.results += (out.results.len() - results_before) as u64;
+
+        // While fresh, the tuple must remain "virtually present" here until
+        // the left neighbour acknowledges it (avoids missed pairs when two
+        // tuples cross between the same pair of nodes).
+        if fresh && !self.is_leftmost() {
+            self.iws.insert(s.tuple.clone());
+        }
+
+        // Store at the home node.
+        if home == self.id {
+            self.ws.insert(s.tuple, false);
+            self.counters.stored += 1;
+        }
+
+        // Acknowledge reception towards the sender (the right neighbour).
+        // The rightmost node received the tuple from the driver, which does
+        // not participate in the acknowledgement protocol.
+        if !self.is_rightmost() {
+            out.to_right.push(LeftToRight::AckS(seq));
+        }
+        self.counters.observe_sizes(self.wr.len(), self.ws.len(), self.iws.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{EquiPredicate, FnPredicate};
+    use crate::time::Timestamp;
+    use crate::tuple::{SeqNo, StreamTuple};
+
+    type Node = LlhjNode<u64, u64, FnPredicate<fn(&u64, &u64) -> bool>>;
+
+    fn equal(r: &u64, s: &u64) -> bool {
+        r == s
+    }
+
+    fn node(id: NodeId, n: usize) -> Node {
+        LlhjNode::new(id, n, FnPredicate(equal as fn(&u64, &u64) -> bool))
+    }
+
+    fn r_tuple(seq: u64, val: u64, home: NodeId) -> PipelineTuple<u64> {
+        PipelineTuple::fresh(
+            StreamTuple::new(SeqNo(seq), Timestamp::from_millis(seq), val),
+            home,
+        )
+    }
+
+    fn s_tuple(seq: u64, val: u64, home: NodeId) -> PipelineTuple<u64> {
+        PipelineTuple::fresh(
+            StreamTuple::new(SeqNo(seq), Timestamp::from_millis(seq), val),
+            home,
+        )
+    }
+
+    #[test]
+    fn r_arrival_is_forwarded_stored_and_marked() {
+        let mut n = node(1, 3);
+        let mut out = LlhjOutput::new();
+        n.handle_left(LeftToRight::ArrivalR(r_tuple(0, 7, 1)), &mut out);
+        // Forwarded to the right exactly once, and the forwarded copy is
+        // marked as stored because node 1 is its home.
+        assert_eq!(out.to_right.len(), 1);
+        match &out.to_right[0] {
+            LeftToRight::ArrivalR(p) => assert!(p.stored),
+            other => panic!("unexpected message {other:?}"),
+        }
+        assert_eq!(n.wr_len(), 1);
+        assert_eq!(n.counters().stored, 1);
+        n.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn r_arrival_not_at_home_is_not_stored() {
+        let mut n = node(0, 3);
+        let mut out = LlhjOutput::new();
+        n.handle_left(LeftToRight::ArrivalR(r_tuple(0, 7, 2)), &mut out);
+        assert_eq!(n.wr_len(), 0);
+        match &out.to_right[0] {
+            LeftToRight::ArrivalR(p) => assert!(!p.stored, "home not reached yet"),
+            other => panic!("unexpected message {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rightmost_node_emits_expedition_end() {
+        let mut n = node(2, 3);
+        let mut out = LlhjOutput::new();
+        n.handle_left(LeftToRight::ArrivalR(r_tuple(4, 7, 0)), &mut out);
+        assert!(out.to_right.is_empty(), "nothing beyond the pipeline end");
+        assert_eq!(out.to_left, vec![RightToLeft::ExpeditionEndR(SeqNo(4))]);
+    }
+
+    #[test]
+    fn rightmost_home_applies_expedition_end_locally() {
+        let mut n = node(2, 3);
+        let mut out = LlhjOutput::new();
+        n.handle_left(LeftToRight::ArrivalR(r_tuple(4, 7, 2)), &mut out);
+        assert!(out.to_left.is_empty());
+        assert_eq!(n.wr_len(), 1);
+        // Stored copy is immediately match-eligible for S arrivals.
+        let mut out2 = LlhjOutput::new();
+        n.handle_right(RightToLeft::ArrivalS(s_tuple(0, 7, 0)), &mut out2);
+        assert_eq!(out2.results.len(), 1);
+    }
+
+    #[test]
+    fn s_arrival_matches_only_non_expedited_r() {
+        let mut n = node(1, 4);
+        let mut out = LlhjOutput::new();
+        // Store an R tuple at its home; it is still in expedition.
+        n.handle_left(LeftToRight::ArrivalR(r_tuple(0, 42, 1)), &mut out);
+        out.clear();
+        // An S arrival with the same value must NOT match yet (it will meet
+        // the travelling copy of r instead: stored/fresh is handled while
+        // travelling).
+        n.handle_right(RightToLeft::ArrivalS(s_tuple(0, 42, 3)), &mut out);
+        assert!(out.results.is_empty());
+        // After the expedition-end message, a later S arrival does match.
+        out.clear();
+        n.handle_right(RightToLeft::ExpeditionEndR(SeqNo(0)), &mut out);
+        assert!(out.to_left.is_empty(), "consumed at the home node");
+        n.handle_right(RightToLeft::ArrivalS(s_tuple(1, 42, 3)), &mut out);
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].key(), (SeqNo(0), SeqNo(1)));
+    }
+
+    #[test]
+    fn r_arrival_matches_stored_s_copy() {
+        let mut n = node(1, 4);
+        let mut out = LlhjOutput::new();
+        // S tuple homed here.
+        n.handle_right(RightToLeft::ArrivalS(s_tuple(0, 9, 1)), &mut out);
+        assert_eq!(n.ws_len(), 1);
+        out.clear();
+        // A later R arrival with the same value matches against the stored
+        // copy (the fresh/stored and "not met while travelling" rows of
+        // Table 1).
+        n.handle_left(LeftToRight::ArrivalR(r_tuple(0, 9, 3)), &mut out);
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].detected_on, 1);
+    }
+
+    #[test]
+    fn iws_catches_in_flight_pairs_and_ack_clears_it() {
+        let mut n = node(2, 4);
+        let mut out = LlhjOutput::new();
+        // A fresh S tuple (home 0 < node 2) passes through: it is buffered
+        // in IWS until the left neighbour acknowledges it.
+        n.handle_right(RightToLeft::ArrivalS(s_tuple(0, 5, 0)), &mut out);
+        assert_eq!(n.iws_len(), 1);
+        assert_eq!(out.to_right, vec![LeftToRight::AckS(SeqNo(0))]);
+        out.clear();
+        // An R arrival that would otherwise have missed the S tuple (it is
+        // no longer in WS here) finds it in the IWS buffer.
+        n.handle_left(LeftToRight::ArrivalR(r_tuple(0, 5, 3)), &mut out);
+        assert_eq!(out.results.len(), 1);
+        out.clear();
+        // Acknowledgement removes the buffered tuple; a second R arrival
+        // with the same value no longer matches here (it will match at the
+        // S tuple's home node instead).
+        n.handle_left(LeftToRight::AckS(SeqNo(0)), &mut out);
+        assert_eq!(n.iws_len(), 0);
+        n.handle_left(LeftToRight::ArrivalR(r_tuple(1, 5, 3)), &mut out);
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn stored_s_is_not_buffered_in_iws() {
+        let mut n = node(1, 4);
+        let mut out = LlhjOutput::new();
+        // Home node 3 > 1, so by the time the tuple reaches node 1 it has
+        // already been stored at node 3: it is a "stored" tuple here and
+        // must not enter the IWS buffer (Table 1 fresh/stored row).
+        n.handle_right(RightToLeft::ArrivalS(s_tuple(0, 5, 3)), &mut out);
+        assert_eq!(n.iws_len(), 0);
+        assert_eq!(n.ws_len(), 0);
+    }
+
+    #[test]
+    fn expiry_removes_local_copy_or_forwards() {
+        let mut n = node(1, 4);
+        let mut out = LlhjOutput::new();
+        n.handle_right(RightToLeft::ArrivalS(s_tuple(0, 5, 1)), &mut out);
+        n.handle_left(LeftToRight::ArrivalR(r_tuple(0, 6, 1)), &mut out);
+        out.clear();
+        // Expiry of the stored S tuple is consumed here.
+        n.handle_left(LeftToRight::ExpiryS(SeqNo(0)), &mut out);
+        assert_eq!(n.ws_len(), 0);
+        assert!(out.to_right.is_empty());
+        // Expiry of an S tuple stored elsewhere is forwarded.
+        n.handle_left(LeftToRight::ExpiryS(SeqNo(7)), &mut out);
+        assert_eq!(out.to_right, vec![LeftToRight::ExpiryS(SeqNo(7))]);
+        out.clear();
+        // Same for the R side, travelling in the opposite direction.
+        n.handle_right(RightToLeft::ExpiryR(SeqNo(0)), &mut out);
+        assert_eq!(n.wr_len(), 0);
+        assert!(out.to_left.is_empty());
+        n.handle_right(RightToLeft::ExpiryR(SeqNo(9)), &mut out);
+        assert_eq!(out.to_left, vec![RightToLeft::ExpiryR(SeqNo(9))]);
+    }
+
+    #[test]
+    fn expiry_at_pipeline_end_is_dropped() {
+        let mut n = node(0, 2);
+        let mut out = LlhjOutput::new();
+        n.handle_right(RightToLeft::ExpiryR(SeqNo(3)), &mut out);
+        assert!(out.to_left.is_empty());
+        let mut n = node(1, 2);
+        n.handle_left(LeftToRight::ExpiryS(SeqNo(3)), &mut out);
+        assert!(out.to_right.is_empty());
+    }
+
+    #[test]
+    fn single_node_pipeline_degenerates_to_kang() {
+        // With one node the algorithm behaves like Kang's procedure: every
+        // arrival is stored locally and matched against the opposite window.
+        let mut n = node(0, 1);
+        let mut out = LlhjOutput::new();
+        n.handle_left(LeftToRight::ArrivalR(r_tuple(0, 1, 0)), &mut out);
+        n.handle_left(LeftToRight::ArrivalR(r_tuple(1, 2, 0)), &mut out);
+        assert!(out.to_right.is_empty());
+        assert!(out.to_left.is_empty());
+        out.clear();
+        n.handle_right(RightToLeft::ArrivalS(s_tuple(0, 2, 0)), &mut out);
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].key(), (SeqNo(1), SeqNo(0)));
+        out.clear();
+        n.handle_left(LeftToRight::ArrivalR(r_tuple(2, 2, 0)), &mut out);
+        assert_eq!(out.results.len(), 1, "new R matches stored S");
+        n.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn indexed_node_produces_same_matches_as_scan() {
+        let pred = EquiPredicate::new(|r: &u64| *r, |s: &u64| *s);
+        let mut indexed = LlhjNode::with_index(0, 1, pred.clone());
+        let mut plain = LlhjNode::new(0, 1, pred);
+        let mut out_i = LlhjOutput::new();
+        let mut out_p = LlhjOutput::new();
+        for i in 0..200u64 {
+            let msg = RightToLeft::ArrivalS(s_tuple(i, i % 17, 0));
+            indexed.handle_right(msg.clone(), &mut out_i);
+            plain.handle_right(msg, &mut out_p);
+        }
+        out_i.clear();
+        out_p.clear();
+        let probe = LeftToRight::ArrivalR(r_tuple(0, 5, 0));
+        indexed.handle_left(probe.clone(), &mut out_i);
+        plain.handle_left(probe, &mut out_p);
+        let mut keys_i: Vec<_> = out_i.results.iter().map(ResultTuple::key).collect();
+        let mut keys_p: Vec<_> = out_p.results.iter().map(ResultTuple::key).collect();
+        keys_i.sort();
+        keys_p.sort();
+        assert_eq!(keys_i, keys_p);
+        assert!(!keys_i.is_empty());
+        assert!(
+            out_i.comparisons < out_p.comparisons,
+            "index probe must touch fewer tuples than a full scan"
+        );
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut n = node(0, 2);
+        let mut out = LlhjOutput::new();
+        n.handle_left(LeftToRight::ArrivalR(r_tuple(0, 1, 0)), &mut out);
+        n.handle_right(RightToLeft::ArrivalS(s_tuple(0, 1, 1)), &mut out);
+        let c = n.counters();
+        assert_eq!(c.arrivals, 2);
+        assert!(c.forwards >= 1);
+        assert_eq!(c.stored, 1);
+    }
+}

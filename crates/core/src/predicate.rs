@@ -1,0 +1,167 @@
+//! Join predicates.
+//!
+//! A [`JoinPredicate`] decides whether a pair `(r, s)` belongs to the join
+//! result.  Predicates may additionally expose an *equi-key* for both sides;
+//! when they do, node-local windows can maintain a hash index and probing
+//! degenerates from a full window scan to a hash lookup (the "index
+//! acceleration" of Section 7.6 / Table 2 of the paper).
+
+use std::sync::Arc;
+
+/// A join predicate over payload types `R` and `S`.
+pub trait JoinPredicate<R, S>: Send + Sync {
+    /// Evaluates the predicate for one pair.
+    fn matches(&self, r: &R, s: &S) -> bool;
+
+    /// Equi-key of an `R` payload, if this predicate is (partly) an
+    /// equi-join.  Two payloads can only match if their keys are equal.
+    ///
+    /// The default implementation returns `None`, which disables hash
+    /// indexing and forces nested-loop scans.
+    fn r_key(&self, _r: &R) -> Option<u64> {
+        None
+    }
+
+    /// Equi-key of an `S` payload; see [`JoinPredicate::r_key`].
+    fn s_key(&self, _s: &S) -> Option<u64> {
+        None
+    }
+
+    /// True if both key extractors are available, i.e. the predicate can be
+    /// accelerated with node-local hash indexes.
+    fn supports_index(&self) -> bool {
+        false
+    }
+}
+
+/// Blanket implementation: any shared predicate is a predicate.
+impl<R, S, P: JoinPredicate<R, S> + ?Sized> JoinPredicate<R, S> for Arc<P> {
+    fn matches(&self, r: &R, s: &S) -> bool {
+        (**self).matches(r, s)
+    }
+    fn r_key(&self, r: &R) -> Option<u64> {
+        (**self).r_key(r)
+    }
+    fn s_key(&self, s: &S) -> Option<u64> {
+        (**self).s_key(s)
+    }
+    fn supports_index(&self) -> bool {
+        (**self).supports_index()
+    }
+}
+
+/// Wraps a plain closure as a nested-loop-only predicate.
+#[derive(Clone)]
+pub struct FnPredicate<F>(pub F);
+
+impl<R, S, F> JoinPredicate<R, S> for FnPredicate<F>
+where
+    F: Fn(&R, &S) -> bool + Send + Sync,
+{
+    #[inline]
+    fn matches(&self, r: &R, s: &S) -> bool {
+        (self.0)(r, s)
+    }
+}
+
+/// An equi-join on integer keys extracted by two closures.
+///
+/// `matches` compares the keys; `r_key`/`s_key` expose them so node-local
+/// windows can build hash indexes.
+#[derive(Clone)]
+pub struct EquiPredicate<KR, KS> {
+    extract_r: KR,
+    extract_s: KS,
+}
+
+impl<KR, KS> EquiPredicate<KR, KS> {
+    /// Creates an equi-join predicate from two key extractors.
+    pub fn new(extract_r: KR, extract_s: KS) -> Self {
+        EquiPredicate { extract_r, extract_s }
+    }
+}
+
+impl<R, S, KR, KS> JoinPredicate<R, S> for EquiPredicate<KR, KS>
+where
+    KR: Fn(&R) -> u64 + Send + Sync,
+    KS: Fn(&S) -> u64 + Send + Sync,
+{
+    #[inline]
+    fn matches(&self, r: &R, s: &S) -> bool {
+        (self.extract_r)(r) == (self.extract_s)(s)
+    }
+    #[inline]
+    fn r_key(&self, r: &R) -> Option<u64> {
+        Some((self.extract_r)(r))
+    }
+    #[inline]
+    fn s_key(&self, s: &S) -> Option<u64> {
+        Some((self.extract_s)(s))
+    }
+    fn supports_index(&self) -> bool {
+        true
+    }
+}
+
+/// A predicate that accepts every pair.  Useful for cross-product style
+/// stress tests and for measuring pure pipeline overheads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysTrue;
+
+impl<R, S> JoinPredicate<R, S> for AlwaysTrue {
+    #[inline]
+    fn matches(&self, _r: &R, _s: &S) -> bool {
+        true
+    }
+}
+
+/// A predicate that rejects every pair.  Useful for measuring scan cost with
+/// zero result volume.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysFalse;
+
+impl<R, S> JoinPredicate<R, S> for AlwaysFalse {
+    #[inline]
+    fn matches(&self, _r: &R, _s: &S) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_predicate_delegates() {
+        let p = FnPredicate(|r: &i64, s: &i64| r + s == 10);
+        assert!(p.matches(&4, &6));
+        assert!(!p.matches(&4, &7));
+        assert!(!JoinPredicate::<i64, i64>::supports_index(&p));
+        assert_eq!(JoinPredicate::<i64, i64>::r_key(&p, &4), None);
+    }
+
+    #[test]
+    fn equi_predicate_exposes_keys() {
+        let p = EquiPredicate::new(|r: &(u64, u64)| r.0, |s: &u64| *s);
+        assert!(p.matches(&(5, 99), &5));
+        assert!(!p.matches(&(5, 99), &6));
+        assert_eq!(p.r_key(&(5, 99)), Some(5));
+        assert_eq!(p.s_key(&7), Some(7));
+        assert!(JoinPredicate::<(u64, u64), u64>::supports_index(&p));
+    }
+
+    #[test]
+    fn arc_predicate_forwards_everything() {
+        let p: Arc<EquiPredicate<_, _>> =
+            Arc::new(EquiPredicate::new(|r: &u64| *r, |s: &u64| *s));
+        assert!(p.matches(&3, &3));
+        assert_eq!(JoinPredicate::<u64, u64>::r_key(&p, &3), Some(3));
+        assert!(JoinPredicate::<u64, u64>::supports_index(&p));
+    }
+
+    #[test]
+    fn constant_predicates() {
+        assert!(JoinPredicate::<u8, u8>::matches(&AlwaysTrue, &1, &2));
+        assert!(!JoinPredicate::<u8, u8>::matches(&AlwaysFalse, &1, &2));
+    }
+}

@@ -1,0 +1,193 @@
+//! Punctuations and high-water marks (Sections 5 and 6 of the paper).
+//!
+//! Low-latency handshake join can generate *punctuations* — explicit
+//! markers in the result stream guaranteeing that no later result will
+//! carry a timestamp below the punctuation value.  The mechanism is cheap:
+//! each pipeline end maintains a *high-water mark*, the largest timestamp
+//! of any input tuple that has finished its expedition there, and the
+//! collector emits `min(t_max,R, t_max,S)` as a punctuation after every
+//! vacuuming cycle.
+
+use crate::time::Timestamp;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// High-water marks of both input streams.
+///
+/// The marks are updated by whichever component observes a tuple reaching
+/// the end of its pipeline traversal: the rightmost node for R tuples, the
+/// leftmost node for S tuples.  Updates use relaxed atomics, so the same
+/// type serves the multi-threaded runtime and the single-threaded
+/// simulator.
+#[derive(Debug, Default)]
+pub struct HighWaterMarks {
+    r_micros: AtomicU64,
+    s_micros: AtomicU64,
+}
+
+impl HighWaterMarks {
+    /// Creates marks at time zero, wrapped for sharing.
+    pub fn new() -> Arc<Self> {
+        Arc::new(HighWaterMarks::default())
+    }
+
+    /// Records that an R tuple with timestamp `ts` reached the right end.
+    pub fn observe_r(&self, ts: Timestamp) {
+        self.r_micros.fetch_max(ts.as_micros(), Ordering::Relaxed);
+    }
+
+    /// Records that an S tuple with timestamp `ts` reached the left end.
+    pub fn observe_s(&self, ts: Timestamp) {
+        self.s_micros.fetch_max(ts.as_micros(), Ordering::Relaxed);
+    }
+
+    /// Current high-water mark of stream R.
+    pub fn r(&self) -> Timestamp {
+        Timestamp::from_micros(self.r_micros.load(Ordering::Relaxed))
+    }
+
+    /// Current high-water mark of stream S.
+    pub fn s(&self) -> Timestamp {
+        Timestamp::from_micros(self.s_micros.load(Ordering::Relaxed))
+    }
+
+    /// The punctuation value that is currently safe to emit:
+    /// `min(t_max,R, t_max,S)` (Section 6.1.2).
+    pub fn safe_punctuation(&self) -> Timestamp {
+        self.r().min(self.s())
+    }
+}
+
+/// A punctuation: a guarantee that every result tuple following it in the
+/// physical output stream has a timestamp of at least `ts`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Punctuation {
+    /// The guaranteed lower bound on future result timestamps.
+    pub ts: Timestamp,
+}
+
+/// One element of a punctuated physical output stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutputItem<T> {
+    /// A join result.
+    Result(T),
+    /// A punctuation marker.
+    Punctuation(Punctuation),
+}
+
+impl<T> OutputItem<T> {
+    /// Returns the contained result, if any.
+    pub fn as_result(&self) -> Option<&T> {
+        match self {
+            OutputItem::Result(r) => Some(r),
+            OutputItem::Punctuation(_) => None,
+        }
+    }
+
+    /// Returns the punctuation, if any.
+    pub fn as_punctuation(&self) -> Option<Punctuation> {
+        match self {
+            OutputItem::Result(_) => None,
+            OutputItem::Punctuation(p) => Some(*p),
+        }
+    }
+}
+
+/// Checks that a punctuated stream honours its guarantees: every result
+/// that appears after a punctuation `⌈tp⌉` has a timestamp `>= tp`, and
+/// punctuation values never decrease.  Returns the index of the first
+/// offending element, if any.  Used extensively by tests.
+pub fn verify_punctuated_stream<T>(
+    items: &[OutputItem<T>],
+    result_ts: impl Fn(&T) -> Timestamp,
+) -> Result<(), usize> {
+    let mut current = Timestamp::ZERO;
+    for (idx, item) in items.iter().enumerate() {
+        match item {
+            OutputItem::Punctuation(p) => {
+                if p.ts < current {
+                    return Err(idx);
+                }
+                current = p.ts;
+            }
+            OutputItem::Result(r) => {
+                if result_ts(r) < current {
+                    return Err(idx);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_water_marks_are_monotone() {
+        let hwm = HighWaterMarks::new();
+        hwm.observe_r(Timestamp::from_secs(5));
+        hwm.observe_r(Timestamp::from_secs(3));
+        assert_eq!(hwm.r(), Timestamp::from_secs(5), "marks never regress");
+        hwm.observe_s(Timestamp::from_secs(2));
+        assert_eq!(hwm.s(), Timestamp::from_secs(2));
+        assert_eq!(hwm.safe_punctuation(), Timestamp::from_secs(2));
+        hwm.observe_s(Timestamp::from_secs(9));
+        assert_eq!(hwm.safe_punctuation(), Timestamp::from_secs(5));
+    }
+
+    #[test]
+    fn fresh_marks_allow_zero_punctuation_only() {
+        let hwm = HighWaterMarks::new();
+        assert_eq!(hwm.safe_punctuation(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn output_item_accessors() {
+        let r: OutputItem<u32> = OutputItem::Result(7);
+        let p: OutputItem<u32> = OutputItem::Punctuation(Punctuation {
+            ts: Timestamp::from_secs(1),
+        });
+        assert_eq!(r.as_result(), Some(&7));
+        assert_eq!(r.as_punctuation(), None);
+        assert_eq!(p.as_result(), None);
+        assert_eq!(p.as_punctuation().unwrap().ts, Timestamp::from_secs(1));
+    }
+
+    #[test]
+    fn stream_verification_detects_violations() {
+        let ts = |v: &u64| Timestamp::from_secs(*v);
+        let good = vec![
+            OutputItem::Result(1),
+            OutputItem::Punctuation(Punctuation {
+                ts: Timestamp::from_secs(1),
+            }),
+            OutputItem::Result(5),
+            OutputItem::Result(1),
+            OutputItem::Punctuation(Punctuation {
+                ts: Timestamp::from_secs(4),
+            }),
+            OutputItem::Result(4),
+        ];
+        assert_eq!(verify_punctuated_stream(&good, ts), Ok(()));
+
+        let late_result = vec![
+            OutputItem::Punctuation(Punctuation {
+                ts: Timestamp::from_secs(3),
+            }),
+            OutputItem::Result(2),
+        ];
+        assert_eq!(verify_punctuated_stream(&late_result, ts), Err(1));
+
+        let regressing = vec![
+            OutputItem::Punctuation(Punctuation {
+                ts: Timestamp::from_secs(3),
+            }),
+            OutputItem::Punctuation(Punctuation {
+                ts: Timestamp::from_secs(2),
+            }),
+        ];
+        assert_eq!(verify_punctuated_stream::<u64>(&regressing, ts), Err(1));
+    }
+}

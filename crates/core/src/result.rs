@@ -1,0 +1,98 @@
+//! Join result tuples.
+
+use crate::time::Timestamp;
+use crate::tuple::{NodeId, SeqNo, StreamTuple};
+
+/// A join result `<r, s>`.
+///
+/// The result timestamp is defined as the later of the two input timestamps
+/// (Section 6.1.2 of the paper): `t_<r,s> := max(t_r, t_s)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultTuple<R, S> {
+    /// The R side of the pair.
+    pub r: StreamTuple<R>,
+    /// The S side of the pair.
+    pub s: StreamTuple<S>,
+    /// The node on which the match was detected.
+    pub detected_on: NodeId,
+}
+
+impl<R, S> ResultTuple<R, S> {
+    /// Creates a result tuple.
+    #[inline]
+    pub fn new(r: StreamTuple<R>, s: StreamTuple<S>, detected_on: NodeId) -> Self {
+        ResultTuple { r, s, detected_on }
+    }
+
+    /// Result timestamp: `max(t_r, t_s)`.
+    #[inline]
+    pub fn ts(&self) -> Timestamp {
+        self.r.ts.max(self.s.ts)
+    }
+
+    /// The pair of sequence numbers identifying this result.  Used by tests
+    /// to compare result *sets* across algorithms.
+    #[inline]
+    pub fn key(&self) -> (SeqNo, SeqNo) {
+        (self.r.seq, self.s.seq)
+    }
+}
+
+/// A result annotated with the (stream-)time at which the join operator
+/// emitted it; `latency = detected_at - max(t_r, t_s)` is exactly the
+/// latency measure used throughout the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedResult<R, S> {
+    /// The result pair.
+    pub result: ResultTuple<R, S>,
+    /// Stream time at which the match was produced.
+    pub detected_at: Timestamp,
+}
+
+impl<R, S> TimedResult<R, S> {
+    /// Creates a timed result.
+    pub fn new(result: ResultTuple<R, S>, detected_at: Timestamp) -> Self {
+        TimedResult { result, detected_at }
+    }
+
+    /// Observed latency: time from the arrival of the later input tuple to
+    /// the detection of the match (Section 3.1).
+    pub fn latency(&self) -> crate::time::TimeDelta {
+        self.detected_at.saturating_since(self.result.ts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimeDelta;
+
+    fn mk(tr: u64, ts: u64) -> ResultTuple<u32, u32> {
+        ResultTuple::new(
+            StreamTuple::new(SeqNo(1), Timestamp::from_secs(tr), 0),
+            StreamTuple::new(SeqNo(2), Timestamp::from_secs(ts), 0),
+            3,
+        )
+    }
+
+    #[test]
+    fn result_timestamp_is_max_of_inputs() {
+        assert_eq!(mk(5, 9).ts(), Timestamp::from_secs(9));
+        assert_eq!(mk(9, 5).ts(), Timestamp::from_secs(9));
+        assert_eq!(mk(7, 7).ts(), Timestamp::from_secs(7));
+    }
+
+    #[test]
+    fn key_identifies_the_pair() {
+        assert_eq!(mk(1, 2).key(), (SeqNo(1), SeqNo(2)));
+    }
+
+    #[test]
+    fn latency_is_measured_from_later_tuple() {
+        let timed = TimedResult::new(mk(5, 9), Timestamp::from_secs(12));
+        assert_eq!(timed.latency(), TimeDelta::from_secs(3));
+        // Detection before the (logical) result timestamp clamps to zero.
+        let timed = TimedResult::new(mk(5, 9), Timestamp::from_secs(8));
+        assert_eq!(timed.latency(), TimeDelta::ZERO);
+    }
+}

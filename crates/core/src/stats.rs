@@ -1,0 +1,319 @@
+//! Runtime statistics: per-node counters and latency recording.
+
+use crate::time::{TimeDelta, Timestamp};
+
+/// Work counters maintained by a pipeline node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeCounters {
+    /// Tuple arrivals handled (from both directions).
+    pub arrivals: u64,
+    /// Arrivals forwarded to a neighbour.
+    pub forwards: u64,
+    /// Tuples stored into a node-local window.
+    pub stored: u64,
+    /// Predicate evaluations / index-probe verifications.
+    pub comparisons: u64,
+    /// Result tuples emitted by this node.
+    pub results: u64,
+    /// Acknowledgement messages handled.
+    pub acks: u64,
+    /// Expedition-end messages handled.
+    pub expedition_ends: u64,
+    /// Expiry messages handled.
+    pub expiries: u64,
+    /// Peak size of the node-local R window.
+    pub wr_peak: usize,
+    /// Peak size of the node-local S window.
+    pub ws_peak: usize,
+    /// Peak size of the unacknowledged buffer.
+    pub iws_peak: usize,
+}
+
+impl NodeCounters {
+    /// Records current store sizes, updating the peaks.
+    pub fn observe_sizes(&mut self, wr: usize, ws: usize, iws: usize) {
+        self.wr_peak = self.wr_peak.max(wr);
+        self.ws_peak = self.ws_peak.max(ws);
+        self.iws_peak = self.iws_peak.max(iws);
+    }
+
+    /// Adds another node's counters into this one (for pipeline totals).
+    pub fn merge(&mut self, other: &NodeCounters) {
+        self.arrivals += other.arrivals;
+        self.forwards += other.forwards;
+        self.stored += other.stored;
+        self.comparisons += other.comparisons;
+        self.results += other.results;
+        self.acks += other.acks;
+        self.expedition_ends += other.expedition_ends;
+        self.expiries += other.expiries;
+        self.wr_peak = self.wr_peak.max(other.wr_peak);
+        self.ws_peak = self.ws_peak.max(other.ws_peak);
+        self.iws_peak = self.iws_peak.max(other.iws_peak);
+    }
+}
+
+/// Streaming latency statistics over a set of observations.
+///
+/// Latency is always measured the way the paper does: detection time minus
+/// the arrival timestamp of the later input tuple.  The recorder keeps the
+/// running average, the maximum, and an exact running variance (Welford),
+/// which is what Figure 5 / 19 / 20 plot.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySummary {
+    count: u64,
+    mean_us: f64,
+    m2: f64,
+    max_us: u64,
+    min_us: u64,
+    sum_us: u128,
+}
+
+impl LatencySummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        LatencySummary {
+            min_us: u64::MAX,
+            ..Default::default()
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: TimeDelta) {
+        let us = latency.as_micros();
+        self.count += 1;
+        self.sum_us += us as u128;
+        self.max_us = self.max_us.max(us);
+        self.min_us = self.min_us.min(us);
+        // Welford's online algorithm for the variance.
+        let delta = us as f64 - self.mean_us;
+        self.mean_us += delta / self.count as f64;
+        self.m2 += delta * (us as f64 - self.mean_us);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Average latency.
+    pub fn mean(&self) -> TimeDelta {
+        TimeDelta::from_micros(self.mean_us.round() as u64)
+    }
+
+    /// Maximum latency.
+    pub fn max(&self) -> TimeDelta {
+        TimeDelta::from_micros(self.max_us)
+    }
+
+    /// Minimum latency (zero when empty).
+    pub fn min(&self) -> TimeDelta {
+        if self.count == 0 {
+            TimeDelta::ZERO
+        } else {
+            TimeDelta::from_micros(self.min_us)
+        }
+    }
+
+    /// Standard deviation of the observations.
+    pub fn stddev(&self) -> TimeDelta {
+        if self.count < 2 {
+            return TimeDelta::ZERO;
+        }
+        TimeDelta::from_secs_f64((self.m2 / self.count as f64).sqrt() / 1e6)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &LatencySummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean_us - self.mean_us;
+        let total = n1 + n2;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.mean_us += delta * n2 / total;
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+        self.min_us = self.min_us.min(other.min_us);
+    }
+}
+
+/// A latency time series bucketed by output-tuple count, mirroring the
+/// figures in the paper where "each data point represents 200,000 output
+/// tuples" (Figures 5, 19 and 20).
+#[derive(Debug, Clone)]
+pub struct LatencySeries {
+    bucket_size: u64,
+    current: LatencySummary,
+    current_start: Option<Timestamp>,
+    last_detection: Option<Timestamp>,
+    points: Vec<LatencyPoint>,
+}
+
+/// One aggregated point of a [`LatencySeries`].
+#[derive(Debug, Clone)]
+pub struct LatencyPoint {
+    /// Wall-clock (stream) time at which the bucket started.
+    pub at: Timestamp,
+    /// Aggregated latencies of the bucket.
+    pub summary: LatencySummary,
+}
+
+impl LatencySeries {
+    /// Creates a series that aggregates `bucket_size` observations per point.
+    pub fn new(bucket_size: u64) -> Self {
+        assert!(bucket_size > 0, "bucket size must be positive");
+        LatencySeries {
+            bucket_size,
+            current: LatencySummary::new(),
+            current_start: None,
+            last_detection: None,
+            points: Vec::new(),
+        }
+    }
+
+    /// Records one result produced at `detected_at` with the given latency.
+    pub fn record(&mut self, detected_at: Timestamp, latency: TimeDelta) {
+        if self.current_start.is_none() {
+            self.current_start = Some(detected_at);
+        }
+        self.last_detection = Some(detected_at);
+        self.current.record(latency);
+        if self.current.count() >= self.bucket_size {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.current.count() == 0 {
+            return;
+        }
+        self.points.push(LatencyPoint {
+            at: self.current_start.take().unwrap_or(Timestamp::ZERO),
+            summary: std::mem::replace(&mut self.current, LatencySummary::new()),
+        });
+    }
+
+    /// Finishes the series, flushing a final partial bucket.
+    pub fn finish(mut self) -> Vec<LatencyPoint> {
+        self.flush();
+        self.points
+    }
+
+    /// Points completed so far.
+    pub fn points(&self) -> &[LatencyPoint] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    #[test]
+    fn counters_merge_sums_and_maxes() {
+        let mut a = NodeCounters {
+            arrivals: 2,
+            comparisons: 10,
+            wr_peak: 5,
+            ..Default::default()
+        };
+        let b = NodeCounters {
+            arrivals: 3,
+            comparisons: 1,
+            wr_peak: 9,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.arrivals, 5);
+        assert_eq!(a.comparisons, 11);
+        assert_eq!(a.wr_peak, 9);
+    }
+
+    #[test]
+    fn observe_sizes_tracks_peaks() {
+        let mut c = NodeCounters::default();
+        c.observe_sizes(1, 5, 2);
+        c.observe_sizes(3, 2, 1);
+        assert_eq!((c.wr_peak, c.ws_peak, c.iws_peak), (3, 5, 2));
+    }
+
+    #[test]
+    fn summary_mean_max_stddev() {
+        let mut s = LatencySummary::new();
+        for v in [10u64, 20, 30] {
+            s.record(ms(v));
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), ms(20));
+        assert_eq!(s.max(), ms(30));
+        assert_eq!(s.min(), ms(10));
+        // Population standard deviation of {10,20,30} ms = 8.165 ms.
+        let sd = s.stddev().as_millis_f64();
+        assert!((sd - 8.165).abs() < 0.01, "stddev was {sd}");
+    }
+
+    #[test]
+    fn empty_summary_is_well_behaved() {
+        let s = LatencySummary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), TimeDelta::ZERO);
+        assert_eq!(s.max(), TimeDelta::ZERO);
+        assert_eq!(s.min(), TimeDelta::ZERO);
+        assert_eq!(s.stddev(), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn summary_merge_matches_single_pass() {
+        let values_a = [5u64, 7, 9, 100];
+        let values_b = [1u64, 2, 3];
+        let mut merged = LatencySummary::new();
+        let mut a = LatencySummary::new();
+        let mut b = LatencySummary::new();
+        for v in values_a {
+            a.record(ms(v));
+            merged.record(ms(v));
+        }
+        for v in values_b {
+            b.record(ms(v));
+            merged.record(ms(v));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), merged.count());
+        assert_eq!(a.max(), merged.max());
+        assert_eq!(a.min(), merged.min());
+        assert!((a.mean().as_millis_f64() - merged.mean().as_millis_f64()).abs() < 0.001);
+        assert!((a.stddev().as_millis_f64() - merged.stddev().as_millis_f64()).abs() < 0.001);
+    }
+
+    #[test]
+    fn series_buckets_by_count() {
+        let mut series = LatencySeries::new(2);
+        series.record(Timestamp::from_secs(1), ms(10));
+        series.record(Timestamp::from_secs(2), ms(20));
+        series.record(Timestamp::from_secs(3), ms(30));
+        assert_eq!(series.points().len(), 1);
+        let points = series.finish();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].at, Timestamp::from_secs(1));
+        assert_eq!(points[0].summary.count(), 2);
+        assert_eq!(points[1].summary.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket size")]
+    fn zero_bucket_size_is_rejected() {
+        let _ = LatencySeries::new(0);
+    }
+}

@@ -1,0 +1,520 @@
+//! Node-local tuple stores.
+//!
+//! Each pipeline node keeps three stores (Section 4.3 of the paper):
+//!
+//! * `WR_k` — the node-local window of stream R tuples whose home node is
+//!   this node, each carrying an *expedition flag*;
+//! * `WS_k` — the node-local window of stream S tuples homed here;
+//! * `IWS_k` — the buffer of S tuples that were forwarded to the left
+//!   neighbour but have not been acknowledged yet.
+//!
+//! [`LocalWindow`] implements the first two (the expedition flag is simply
+//! unused on the S side), optionally maintaining a hash index over an
+//! equi-key for the index acceleration experiment (Table 2).  [`IwsBuffer`]
+//! implements the third.
+
+use crate::tuple::{SeqNo, StreamTuple};
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Key extractor used by the optional hash index of a [`LocalWindow`].
+pub type KeyFn<T> = Arc<dyn Fn(&T) -> u64 + Send + Sync>;
+
+/// One entry of a node-local window.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    tuple: StreamTuple<T>,
+    /// True while the pipeline copy of this tuple is still travelling
+    /// ("in expedition"); only meaningful for R-side windows.
+    in_expedition: bool,
+}
+
+/// A node-local sliding-window segment.
+///
+/// Tuples are inserted in strictly increasing sequence-number order (the
+/// drivers guarantee this), which lets all lookups by sequence number use
+/// binary search on a `VecDeque`.
+pub struct LocalWindow<T> {
+    entries: VecDeque<Entry<T>>,
+    in_expedition_count: usize,
+    index: Option<WindowIndex<T>>,
+}
+
+struct WindowIndex<T> {
+    key_fn: KeyFn<T>,
+    buckets: HashMap<u64, Vec<SeqNo>>,
+}
+
+impl<T> Default for LocalWindow<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> LocalWindow<T> {
+    /// Creates an empty, unindexed window.
+    pub fn new() -> Self {
+        LocalWindow {
+            entries: VecDeque::new(),
+            in_expedition_count: 0,
+            index: None,
+        }
+    }
+
+    /// Creates an empty window with a hash index over `key_fn`.
+    pub fn with_index(key_fn: KeyFn<T>) -> Self {
+        LocalWindow {
+            entries: VecDeque::new(),
+            in_expedition_count: 0,
+            index: Some(WindowIndex {
+                key_fn,
+                buckets: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the window holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of stored tuples whose expedition has not finished yet.
+    pub fn in_expedition(&self) -> usize {
+        self.in_expedition_count
+    }
+
+    /// True if this window maintains a hash index.
+    pub fn has_index(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// Inserts a tuple.  `in_expedition` should be true for R-side windows
+    /// (the flag is cleared later by an expedition-end message) and false
+    /// for S-side windows.
+    ///
+    /// Panics in debug builds if sequence numbers are not inserted in
+    /// increasing order.
+    pub fn insert(&mut self, tuple: StreamTuple<T>, in_expedition: bool) {
+        debug_assert!(
+            self.entries.back().is_none_or(|e| e.tuple.seq < tuple.seq),
+            "window insertions must be in increasing sequence order"
+        );
+        if let Some(index) = &mut self.index {
+            let key = (index.key_fn)(&tuple.payload);
+            index.buckets.entry(key).or_default().push(tuple.seq);
+        }
+        if in_expedition {
+            self.in_expedition_count += 1;
+        }
+        self.entries.push_back(Entry { tuple, in_expedition });
+    }
+
+    /// Position of `seq` in the entry deque, if present.
+    fn position(&self, seq: SeqNo) -> Option<usize> {
+        self.entries
+            .binary_search_by(|e| e.tuple.seq.cmp(&seq))
+            .ok()
+    }
+
+    /// Removes the tuple with the given sequence number, returning it if it
+    /// was present.
+    pub fn remove(&mut self, seq: SeqNo) -> Option<StreamTuple<T>> {
+        let pos = self.position(seq)?;
+        let entry = self.entries.remove(pos).expect("position was valid");
+        if entry.in_expedition {
+            self.in_expedition_count -= 1;
+        }
+        if let Some(index) = &mut self.index {
+            let key = (index.key_fn)(&entry.tuple.payload);
+            if let MapEntry::Occupied(mut bucket) = index.buckets.entry(key) {
+                bucket.get_mut().retain(|&s| s != seq);
+                if bucket.get().is_empty() {
+                    bucket.remove();
+                }
+            }
+        }
+        Some(entry.tuple)
+    }
+
+    /// Clears the expedition flag of the tuple with the given sequence
+    /// number.  Returns true if the tuple was found in this window.
+    pub fn finish_expedition(&mut self, seq: SeqNo) -> bool {
+        match self.position(seq) {
+            Some(pos) => {
+                let entry = &mut self.entries[pos];
+                if entry.in_expedition {
+                    entry.in_expedition = false;
+                    self.in_expedition_count -= 1;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Returns a reference to the tuple with the given sequence number.
+    pub fn get(&self, seq: SeqNo) -> Option<&StreamTuple<T>> {
+        self.position(seq).map(|pos| &self.entries[pos].tuple)
+    }
+
+    /// Iterates over all stored tuples in sequence order.
+    pub fn iter(&self) -> impl Iterator<Item = &StreamTuple<T>> {
+        self.entries.iter().map(|e| &e.tuple)
+    }
+
+    /// Scans the window, invoking `on_match` for every tuple that satisfies
+    /// `pred`.  When `only_finished` is set, tuples whose expedition flag is
+    /// still set are skipped (this is how stored/stored double matches are
+    /// avoided, Section 4.2.3).
+    ///
+    /// Returns the number of predicate evaluations performed.
+    pub fn scan_matches<F, M>(&self, only_finished: bool, mut pred: F, mut on_match: M) -> u64
+    where
+        F: FnMut(&T) -> bool,
+        M: FnMut(&StreamTuple<T>),
+    {
+        let mut comparisons = 0;
+        for entry in &self.entries {
+            if only_finished && entry.in_expedition {
+                continue;
+            }
+            comparisons += 1;
+            if pred(&entry.tuple.payload) {
+                on_match(&entry.tuple);
+            }
+        }
+        comparisons
+    }
+
+    /// Probes the hash index with `key`, invoking `on_match` for every
+    /// candidate tuple that additionally satisfies `pred` (the residual
+    /// predicate re-check keeps the probe correct for composite predicates).
+    ///
+    /// Returns the number of candidate evaluations.  Callers must check
+    /// [`LocalWindow::has_index`] first; probing an unindexed window falls
+    /// back to a full scan.
+    pub fn probe_matches<F, M>(
+        &self,
+        key: u64,
+        only_finished: bool,
+        mut pred: F,
+        mut on_match: M,
+    ) -> u64
+    where
+        F: FnMut(&T) -> bool,
+        M: FnMut(&StreamTuple<T>),
+    {
+        let Some(index) = &self.index else {
+            return self.scan_matches(only_finished, pred, on_match);
+        };
+        let mut comparisons = 0;
+        if let Some(bucket) = index.buckets.get(&key) {
+            for &seq in bucket {
+                let pos = self
+                    .position(seq)
+                    .expect("index bucket references a stored tuple");
+                let entry = &self.entries[pos];
+                if only_finished && entry.in_expedition {
+                    continue;
+                }
+                comparisons += 1;
+                if pred(&entry.tuple.payload) {
+                    on_match(&entry.tuple);
+                }
+            }
+        }
+        comparisons
+    }
+
+    /// Removes and returns the oldest stored tuple (lowest sequence number).
+    /// Used by the original handshake join when a segment overflows.
+    pub fn pop_oldest(&mut self) -> Option<(StreamTuple<T>, bool)> {
+        let entry = self.entries.pop_front()?;
+        if entry.in_expedition {
+            self.in_expedition_count -= 1;
+        }
+        if let Some(index) = &mut self.index {
+            let key = (index.key_fn)(&entry.tuple.payload);
+            if let MapEntry::Occupied(mut bucket) = index.buckets.entry(key) {
+                bucket.get_mut().retain(|&s| s != entry.tuple.seq);
+                if bucket.get().is_empty() {
+                    bucket.remove();
+                }
+            }
+        }
+        Some((entry.tuple, entry.in_expedition))
+    }
+
+    /// Returns a reference to the oldest stored tuple (lowest sequence
+    /// number) without removing it.
+    pub fn peek_oldest(&self) -> Option<&StreamTuple<T>> {
+        self.entries.front().map(|e| &e.tuple)
+    }
+
+    /// Consistency check used by tests and debug assertions: the expedition
+    /// counter matches the flags, sequence numbers are strictly increasing
+    /// and every index bucket references stored tuples.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let flagged = self.entries.iter().filter(|e| e.in_expedition).count();
+        if flagged != self.in_expedition_count {
+            return Err(format!(
+                "expedition counter {} does not match flags {flagged}",
+                self.in_expedition_count
+            ));
+        }
+        for pair in self.entries.iter().zip(self.entries.iter().skip(1)) {
+            if pair.0.tuple.seq >= pair.1.tuple.seq {
+                return Err("sequence numbers are not strictly increasing".into());
+            }
+        }
+        if let Some(index) = &self.index {
+            let indexed: usize = index.buckets.values().map(Vec::len).sum();
+            if indexed != self.entries.len() {
+                return Err(format!(
+                    "index holds {indexed} entries but window holds {}",
+                    self.entries.len()
+                ));
+            }
+            for bucket in index.buckets.values() {
+                for &seq in bucket {
+                    if self.position(seq).is_none() {
+                        return Err(format!("index references missing tuple {seq}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Buffer of S tuples forwarded to the left neighbour but not yet
+/// acknowledged (`IWS_k` in Figures 13/14).
+///
+/// The buffer is scanned by arriving R tuples to detect pairs that would
+/// otherwise pass each other "in flight" between two neighbouring nodes.
+pub struct IwsBuffer<T> {
+    entries: VecDeque<StreamTuple<T>>,
+}
+
+impl<T> Default for IwsBuffer<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> IwsBuffer<T> {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        IwsBuffer {
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Number of unacknowledged tuples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no tuple awaits acknowledgement.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records a forwarded-but-unacknowledged tuple.
+    pub fn insert(&mut self, tuple: StreamTuple<T>) {
+        debug_assert!(
+            self.entries.back().is_none_or(|e| e.seq < tuple.seq),
+            "IWS insertions must be in increasing sequence order"
+        );
+        self.entries.push_back(tuple);
+    }
+
+    /// Removes the tuple acknowledged by the left neighbour.  Returns true
+    /// if it was present.
+    pub fn acknowledge(&mut self, seq: SeqNo) -> bool {
+        match self.entries.binary_search_by(|e| e.seq.cmp(&seq)) {
+            Ok(pos) => {
+                self.entries.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Scans the buffer, invoking `on_match` for matching tuples.  Returns
+    /// the number of predicate evaluations.
+    pub fn scan_matches<F, M>(&self, mut pred: F, mut on_match: M) -> u64
+    where
+        F: FnMut(&T) -> bool,
+        M: FnMut(&StreamTuple<T>),
+    {
+        let mut comparisons = 0;
+        for tuple in &self.entries {
+            comparisons += 1;
+            if pred(&tuple.payload) {
+                on_match(tuple);
+            }
+        }
+        comparisons
+    }
+
+    /// Iterates over buffered tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &StreamTuple<T>> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn t(seq: u64, v: u64) -> StreamTuple<u64> {
+        StreamTuple::new(SeqNo(seq), Timestamp::from_millis(seq), v)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut w = LocalWindow::new();
+        w.insert(t(1, 10), true);
+        w.insert(t(3, 30), false);
+        w.insert(t(5, 50), true);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.in_expedition(), 2);
+        assert_eq!(w.get(SeqNo(3)).unwrap().payload, 30);
+        assert!(w.get(SeqNo(2)).is_none());
+        let removed = w.remove(SeqNo(1)).unwrap();
+        assert_eq!(removed.payload, 10);
+        assert_eq!(w.in_expedition(), 1);
+        assert!(w.remove(SeqNo(1)).is_none());
+        w.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn finish_expedition_clears_flag_once() {
+        let mut w = LocalWindow::new();
+        w.insert(t(2, 0), true);
+        assert!(w.finish_expedition(SeqNo(2)));
+        assert_eq!(w.in_expedition(), 0);
+        // Clearing twice is harmless.
+        assert!(w.finish_expedition(SeqNo(2)));
+        assert_eq!(w.in_expedition(), 0);
+        // Unknown tuples report false so the caller forwards the message.
+        assert!(!w.finish_expedition(SeqNo(99)));
+        w.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn scan_respects_expedition_filter() {
+        let mut w = LocalWindow::new();
+        w.insert(t(1, 7), true);
+        w.insert(t(2, 7), false);
+        w.insert(t(3, 8), false);
+
+        let mut seen = Vec::new();
+        let cmp = w.scan_matches(false, |v| *v == 7, |m| seen.push(m.seq));
+        assert_eq!(cmp, 3);
+        assert_eq!(seen, vec![SeqNo(1), SeqNo(2)]);
+
+        seen.clear();
+        let cmp = w.scan_matches(true, |v| *v == 7, |m| seen.push(m.seq));
+        assert_eq!(cmp, 2, "in-expedition tuples are not even evaluated");
+        assert_eq!(seen, vec![SeqNo(2)]);
+    }
+
+    #[test]
+    fn pop_oldest_returns_fifo_order() {
+        let mut w = LocalWindow::new();
+        w.insert(t(1, 1), true);
+        w.insert(t(2, 2), false);
+        let (first, flagged) = w.pop_oldest().unwrap();
+        assert_eq!(first.seq, SeqNo(1));
+        assert!(flagged);
+        assert_eq!(w.in_expedition(), 0);
+        let (second, flagged) = w.pop_oldest().unwrap();
+        assert_eq!(second.seq, SeqNo(2));
+        assert!(!flagged);
+        assert!(w.pop_oldest().is_none());
+    }
+
+    #[test]
+    fn hash_index_probe_finds_only_matching_bucket() {
+        let key_fn: KeyFn<u64> = Arc::new(|v: &u64| *v % 10);
+        let mut w = LocalWindow::with_index(key_fn);
+        for i in 0..100u64 {
+            w.insert(t(i, i), false);
+        }
+        let mut hits = Vec::new();
+        let cmp = w.probe_matches(3, false, |v| *v % 10 == 3, |m| hits.push(m.payload));
+        assert_eq!(hits.len(), 10);
+        assert_eq!(cmp, 10, "probe only touches one bucket");
+        assert!(hits.iter().all(|v| v % 10 == 3));
+        w.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn hash_index_stays_consistent_under_removal() {
+        let key_fn: KeyFn<u64> = Arc::new(|v: &u64| *v % 4);
+        let mut w = LocalWindow::with_index(key_fn);
+        for i in 0..40u64 {
+            w.insert(t(i, i), false);
+        }
+        for i in (0..40u64).step_by(2) {
+            assert!(w.remove(SeqNo(i)).is_some());
+        }
+        w.check_invariants().unwrap();
+        let mut hits = 0;
+        w.probe_matches(1, false, |_| true, |_| hits += 1);
+        assert_eq!(hits, 10);
+        // pop_oldest also maintains the index.
+        while w.pop_oldest().is_some() {}
+        w.check_invariants().unwrap();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn probe_without_index_falls_back_to_scan() {
+        let mut w = LocalWindow::new();
+        w.insert(t(0, 5), false);
+        w.insert(t(1, 6), false);
+        let mut hits = 0;
+        let cmp = w.probe_matches(123, false, |v| *v == 6, |_| hits += 1);
+        assert_eq!(cmp, 2);
+        assert_eq!(hits, 1);
+        assert!(!w.has_index());
+    }
+
+    #[test]
+    fn iws_buffer_acknowledge() {
+        let mut iws = IwsBuffer::new();
+        iws.insert(t(4, 44));
+        iws.insert(t(9, 99));
+        assert_eq!(iws.len(), 2);
+        assert!(iws.acknowledge(SeqNo(4)));
+        assert!(!iws.acknowledge(SeqNo(4)));
+        assert_eq!(iws.len(), 1);
+        let mut seen = Vec::new();
+        let cmp = iws.scan_matches(|v| *v == 99, |m| seen.push(m.seq));
+        assert_eq!(cmp, 1);
+        assert_eq!(seen, vec![SeqNo(9)]);
+        assert_eq!(iws.iter().count(), 1);
+        assert!(!iws.is_empty());
+    }
+
+    #[test]
+    fn empty_windows_behave() {
+        let w: LocalWindow<u64> = LocalWindow::new();
+        assert!(w.is_empty());
+        assert_eq!(w.scan_matches(false, |_| true, |_| panic!("no tuples")), 0);
+        w.check_invariants().unwrap();
+        let iws: IwsBuffer<u64> = IwsBuffer::new();
+        assert!(iws.is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! Stream time: timestamps and durations.
+//!
+//! All stream-side time keeping uses a logical microsecond clock that starts
+//! at zero when a join instance is created.  Both the threaded runtime (which
+//! maps it onto the wall clock) and the discrete-event simulator (which keeps
+//! it fully virtual) share this representation, so latency numbers produced
+//! by either substrate are directly comparable.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in stream time, in microseconds since the start of the stream.
+///
+/// Timestamps are totally ordered and monotone per input stream (the driver
+/// enforces monotonicity; see [`crate::driver`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(u64);
+
+/// A span of stream time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeDelta(u64);
+
+impl Timestamp {
+    /// The origin of stream time.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The greatest representable timestamp.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Creates a timestamp from raw microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Timestamp(us)
+    }
+
+    /// Creates a timestamp from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Timestamp(ms * 1_000)
+    }
+
+    /// Creates a timestamp from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Timestamp(s * 1_000_000)
+    }
+
+    /// Raw microseconds since the stream origin.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the stream origin, as a float (useful for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The later of two timestamps.
+    #[inline]
+    pub fn max(self, other: Timestamp) -> Timestamp {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two timestamps.
+    #[inline]
+    pub fn min(self, other: Timestamp) -> Timestamp {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Elapsed time since `earlier`, saturating at zero if `earlier` is in
+    /// the future.
+    #[inline]
+    pub fn saturating_since(self, earlier: Timestamp) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a delta, saturating at [`Timestamp::MAX`].
+    #[inline]
+    pub fn saturating_add(self, delta: TimeDelta) -> Timestamp {
+        Timestamp(self.0.saturating_add(delta.0))
+    }
+
+    /// Subtracts a delta, saturating at [`Timestamp::ZERO`].
+    #[inline]
+    pub fn saturating_sub(self, delta: TimeDelta) -> Timestamp {
+        Timestamp(self.0.saturating_sub(delta.0))
+    }
+}
+
+impl TimeDelta {
+    /// The zero-length span.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+    /// The greatest representable span.
+    pub const MAX: TimeDelta = TimeDelta(u64::MAX);
+
+    /// Creates a span from raw microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        TimeDelta(us)
+    }
+
+    /// Creates a span from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        TimeDelta(ms * 1_000)
+    }
+
+    /// Creates a span from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        TimeDelta(s * 1_000_000)
+    }
+
+    /// Creates a span from fractional seconds, rounding to microseconds.
+    ///
+    /// Negative and non-finite inputs are clamped to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return TimeDelta::ZERO;
+        }
+        TimeDelta((s * 1e6).round() as u64)
+    }
+
+    /// Raw microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds, as a float.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Seconds, as a float.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True if this is the zero span.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the span by an integer factor, saturating on overflow.
+    #[inline]
+    pub fn saturating_mul(self, factor: u64) -> TimeDelta {
+        TimeDelta(self.0.saturating_mul(factor))
+    }
+
+    /// Scales the span by a float factor (clamped to be non-negative).
+    #[inline]
+    pub fn mul_f64(self, factor: f64) -> TimeDelta {
+        TimeDelta::from_secs_f64(self.as_secs_f64() * factor)
+    }
+}
+
+impl Add<TimeDelta> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, rhs: TimeDelta) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for Timestamp {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = TimeDelta;
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Timestamp) -> TimeDelta {
+        debug_assert!(self >= rhs, "timestamp subtraction underflow");
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl Add<TimeDelta> for TimeDelta {
+    type Output = TimeDelta;
+    #[inline]
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for TimeDelta {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TimeDelta> for TimeDelta {
+    type Output = TimeDelta;
+    #[inline]
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        debug_assert!(self >= rhs, "duration subtraction underflow");
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}us", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(Timestamp::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(Timestamp::from_millis(3).as_micros(), 3_000);
+        assert_eq!(TimeDelta::from_secs(1).as_micros(), 1_000_000);
+        assert_eq!(TimeDelta::from_millis(5).as_micros(), 5_000);
+        assert_eq!(TimeDelta::from_micros(7).as_micros(), 7);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::from_secs(10);
+        let d = TimeDelta::from_secs(4);
+        assert_eq!((t + d).as_micros(), 14_000_000);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t.saturating_sub(TimeDelta::from_secs(100)), Timestamp::ZERO);
+        assert_eq!(
+            Timestamp::MAX.saturating_add(TimeDelta::from_secs(1)),
+            Timestamp::MAX
+        );
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let early = Timestamp::from_secs(1);
+        let late = Timestamp::from_secs(5);
+        assert_eq!(late.saturating_since(early), TimeDelta::from_secs(4));
+        assert_eq!(early.saturating_since(late), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Timestamp::from_secs(1);
+        let b = Timestamp::from_secs(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn float_conversions() {
+        assert!((Timestamp::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-9);
+        assert!((TimeDelta::from_millis(250).as_secs_f64() - 0.25).abs() < 1e-9);
+        assert!((TimeDelta::from_micros(1500).as_millis_f64() - 1.5).abs() < 1e-9);
+        assert_eq!(TimeDelta::from_secs_f64(-1.0), TimeDelta::ZERO);
+        assert_eq!(TimeDelta::from_secs_f64(f64::NAN), TimeDelta::ZERO);
+        assert_eq!(TimeDelta::from_secs_f64(0.001).as_micros(), 1_000);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", TimeDelta::from_micros(12)), "12us");
+        assert_eq!(format!("{}", TimeDelta::from_micros(1_200)), "1.200ms");
+        assert_eq!(format!("{}", TimeDelta::from_secs(2)), "2.000s");
+    }
+
+    #[test]
+    fn delta_scaling() {
+        assert_eq!(TimeDelta::from_secs(2).saturating_mul(3), TimeDelta::from_secs(6));
+        assert_eq!(TimeDelta::MAX.saturating_mul(2), TimeDelta::MAX);
+        assert_eq!(TimeDelta::from_secs(2).mul_f64(0.5), TimeDelta::from_secs(1));
+    }
+}

@@ -1,0 +1,196 @@
+//! Stream tuples and pipeline tuples.
+//!
+//! A [`StreamTuple`] is an element of one of the two input streams: a payload
+//! plus a timestamp and a per-stream sequence number.  Once a tuple enters
+//! the processing pipeline it is wrapped in a [`PipelineTuple`], which adds
+//! the home-node assignment and the fresh/stored state of Section 4.2.3 of
+//! the paper.
+
+use crate::time::Timestamp;
+use std::fmt;
+
+/// Identifies one of the two input streams.
+///
+/// Tuples from [`Side::R`] flow through the pipeline from left to right
+/// (node 0 towards node n-1); tuples from [`Side::S`] flow from right to
+/// left, exactly as in Figure 6 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The "upper" stream R (enters at the leftmost node).
+    R,
+    /// The "lower" stream S (enters at the rightmost node).
+    S,
+}
+
+impl Side {
+    /// The opposite stream.
+    #[inline]
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::R => Side::S,
+            Side::S => Side::R,
+        }
+    }
+
+    /// All sides, in a fixed order.
+    pub const BOTH: [Side; 2] = [Side::R, Side::S];
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::R => write!(f, "R"),
+            Side::S => write!(f, "S"),
+        }
+    }
+}
+
+/// Per-stream sequence number, assigned by the driver in arrival order.
+///
+/// Sequence numbers are unique and monotonically increasing within one
+/// stream; they identify tuples in expiry, acknowledgement and
+/// expedition-end messages without copying payloads around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SeqNo(pub u64);
+
+impl SeqNo {
+    /// The first sequence number handed out by a fresh driver.
+    pub const FIRST: SeqNo = SeqNo(0);
+
+    /// The next sequence number.
+    #[inline]
+    pub fn next(self) -> SeqNo {
+        SeqNo(self.0 + 1)
+    }
+}
+
+impl fmt::Display for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Index of a processing node (CPU core) in the pipeline, `0..n`.
+pub type NodeId = usize;
+
+/// An element of an input stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamTuple<T> {
+    /// Arrival timestamp (monotone within the stream).
+    pub ts: Timestamp,
+    /// Per-stream sequence number (monotone within the stream).
+    pub seq: SeqNo,
+    /// The user payload (join attributes and carried columns).
+    pub payload: T,
+}
+
+impl<T> StreamTuple<T> {
+    /// Creates a new stream tuple.
+    #[inline]
+    pub fn new(seq: SeqNo, ts: Timestamp, payload: T) -> Self {
+        StreamTuple { ts, seq, payload }
+    }
+
+    /// Maps the payload, keeping timestamp and sequence number.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> StreamTuple<U> {
+        StreamTuple {
+            ts: self.ts,
+            seq: self.seq,
+            payload: f(self.payload),
+        }
+    }
+}
+
+/// A tuple travelling through the processing pipeline.
+///
+/// `home` is the node on which the tuple's stored copy lives (Step 1 of the
+/// low-latency handshake join overview).  `stored` distinguishes *fresh*
+/// tuples (which have not yet passed their home node) from *stored* tuples
+/// (whose copy already rests in a node-local window); see Table 1 of the
+/// paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineTuple<T> {
+    /// The underlying stream tuple.
+    pub tuple: StreamTuple<T>,
+    /// Home node assignment.
+    pub home: NodeId,
+    /// True once the tuple has passed its home node.
+    pub stored: bool,
+}
+
+impl<T> PipelineTuple<T> {
+    /// Wraps a stream tuple for injection at a pipeline end.
+    #[inline]
+    pub fn fresh(tuple: StreamTuple<T>, home: NodeId) -> Self {
+        PipelineTuple {
+            tuple,
+            home,
+            stored: false,
+        }
+    }
+
+    /// True if the tuple has not yet passed its home node.
+    #[inline]
+    pub fn is_fresh(&self) -> bool {
+        !self.stored
+    }
+
+    /// Sequence number shorthand.
+    #[inline]
+    pub fn seq(&self) -> SeqNo {
+        self.tuple.seq
+    }
+
+    /// Timestamp shorthand.
+    #[inline]
+    pub fn ts(&self) -> Timestamp {
+        self.tuple.ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_opposite_is_involutive() {
+        assert_eq!(Side::R.opposite(), Side::S);
+        assert_eq!(Side::S.opposite(), Side::R);
+        for side in Side::BOTH {
+            assert_eq!(side.opposite().opposite(), side);
+        }
+    }
+
+    #[test]
+    fn seqno_ordering_and_next() {
+        let a = SeqNo::FIRST;
+        let b = a.next();
+        assert!(b > a);
+        assert_eq!(b, SeqNo(1));
+        assert_eq!(format!("{}", b), "#1");
+    }
+
+    #[test]
+    fn stream_tuple_map_preserves_metadata() {
+        let t = StreamTuple::new(SeqNo(7), Timestamp::from_secs(3), 42_i64);
+        let mapped = t.map(|v| v * 2);
+        assert_eq!(mapped.seq, SeqNo(7));
+        assert_eq!(mapped.ts, Timestamp::from_secs(3));
+        assert_eq!(mapped.payload, 84);
+    }
+
+    #[test]
+    fn pipeline_tuple_freshness() {
+        let t = StreamTuple::new(SeqNo(0), Timestamp::ZERO, ());
+        let mut p = PipelineTuple::fresh(t, 3);
+        assert!(p.is_fresh());
+        assert_eq!(p.home, 3);
+        p.stored = true;
+        assert!(!p.is_fresh());
+    }
+
+    #[test]
+    fn display_side() {
+        assert_eq!(format!("{}/{}", Side::R, Side::S), "R/S");
+    }
+}

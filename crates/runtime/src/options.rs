@@ -1,0 +1,98 @@
+//! Runtime configuration options.
+
+use llhj_core::time::TimeDelta;
+use std::time::Duration;
+
+/// How the driver paces the replay of a schedule against the wall clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pacing {
+    /// Inject events as fast as the pipeline accepts them.  This is a
+    /// stress/throughput mode: because stream time then advances much
+    /// faster than processing time, expiry messages can overtake tuples
+    /// that are still travelling, so the produced result set may differ
+    /// slightly from the window semantics of a real-time run.  Use
+    /// [`Pacing::RealTime`] whenever exact window semantics matter.
+    Unpaced,
+    /// Replay the schedule in (scaled) real time: one second of stream time
+    /// takes `1 / speedup` seconds of wall-clock time.  Latencies are
+    /// measured against the scaled stream clock.
+    RealTime {
+        /// Stream-seconds per wall-clock second.
+        speedup: f64,
+    },
+}
+
+/// Options for running a threaded pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Pacing mode.
+    pub pacing: Pacing,
+    /// Driver batch size in tuples (64 in the paper's setup).
+    pub batch_size: usize,
+    /// Capacity of the bounded FIFO channels between neighbouring workers.
+    pub channel_capacity: usize,
+    /// Whether the collector emits punctuations into the output stream.
+    pub punctuate: bool,
+    /// How often the collector vacuums the per-worker result queues.
+    pub collect_interval: Duration,
+    /// Bucket size for the latency time series.
+    pub latency_bucket: u64,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            pacing: Pacing::Unpaced,
+            batch_size: 64,
+            channel_capacity: 1024,
+            punctuate: false,
+            collect_interval: Duration::from_millis(1),
+            latency_bucket: 10_000,
+        }
+    }
+}
+
+impl PipelineOptions {
+    /// Converts a stream-time delta into the wall-clock duration it takes
+    /// under the configured pacing.
+    pub fn stream_to_wall(&self, delta: TimeDelta) -> Duration {
+        match self.pacing {
+            Pacing::Unpaced => Duration::ZERO,
+            Pacing::RealTime { speedup } => {
+                if speedup <= 0.0 {
+                    Duration::ZERO
+                } else {
+                    Duration::from_secs_f64(delta.as_secs_f64() / speedup)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpaced_never_waits() {
+        let opts = PipelineOptions::default();
+        assert_eq!(opts.stream_to_wall(TimeDelta::from_secs(100)), Duration::ZERO);
+    }
+
+    #[test]
+    fn real_time_scales_by_speedup() {
+        let opts = PipelineOptions {
+            pacing: Pacing::RealTime { speedup: 10.0 },
+            ..Default::default()
+        };
+        assert_eq!(
+            opts.stream_to_wall(TimeDelta::from_secs(5)),
+            Duration::from_millis(500)
+        );
+        let degenerate = PipelineOptions {
+            pacing: Pacing::RealTime { speedup: 0.0 },
+            ..Default::default()
+        };
+        assert_eq!(degenerate.stream_to_wall(TimeDelta::from_secs(5)), Duration::ZERO);
+    }
+}

@@ -1,0 +1,439 @@
+//! The threaded pipeline runtime.
+//!
+//! This module deploys a handshake-join pipeline the way the paper does on
+//! its 48-core machine: one worker thread per processing node, neighbouring
+//! workers connected by bounded FIFO channels (crossbeam), a driver thread
+//! that replays the window driver's schedule, and a collector thread that
+//! vacuums the per-worker result queues and (optionally) emits
+//! punctuations derived from the high-water marks (Figure 15 / 16 of the
+//! paper).
+//!
+//! The workers execute exactly the same node state machines as the
+//! discrete-event simulator, so the produced result *set* is identical; the
+//! runtime is what you would deploy on real hardware, while the simulator
+//! is what the evaluation harness uses to sweep core counts beyond the host
+//! machine.
+
+use crate::options::{Pacing, PipelineOptions};
+use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use llhj_core::driver::{DriverSchedule, Injector, StreamEvent};
+use llhj_core::homing::HomePolicy;
+use llhj_core::message::{LeftToRight, NodeOutput, RightToLeft};
+use llhj_core::node::PipelineNode;
+use llhj_core::predicate::JoinPredicate;
+use llhj_core::punctuation::{HighWaterMarks, OutputItem, Punctuation};
+use llhj_core::result::{ResultTuple, TimedResult};
+use llhj_core::stats::{LatencyPoint, LatencySeries, LatencySummary, NodeCounters};
+use llhj_core::time::Timestamp;
+use llhj_core::tuple::SeqNo;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything measured during one threaded run.
+#[derive(Debug)]
+pub struct RunOutcome<R, S> {
+    /// All produced results, in collection order.
+    pub results: Vec<TimedResult<R, S>>,
+    /// The punctuated output stream (empty unless `punctuate` was set).
+    pub output: Vec<OutputItem<TimedResult<R, S>>>,
+    /// Per-node work counters, indexed by node id.
+    pub counters: Vec<NodeCounters>,
+    /// Latency statistics (meaningful only for paced runs).
+    pub latency: LatencySummary,
+    /// Latency time series.
+    pub latency_series: Vec<LatencyPoint>,
+    /// Wall-clock time the run took.
+    pub elapsed: Duration,
+    /// Number of punctuations emitted.
+    pub punctuation_count: u64,
+    /// Number of R/S arrivals replayed.
+    pub arrivals_per_stream: (usize, usize),
+}
+
+impl<R, S> RunOutcome<R, S> {
+    /// Sorted `(r_seq, s_seq)` result keys for comparison with the oracle.
+    pub fn result_keys(&self) -> Vec<(SeqNo, SeqNo)> {
+        let mut keys: Vec<_> = self.results.iter().map(|t| t.result.key()).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Observed throughput in tuples per second per stream (wall clock).
+    pub fn throughput_per_stream(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.arrivals_per_stream.0 as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Total predicate evaluations across all workers.
+    pub fn total_comparisons(&self) -> u64 {
+        self.counters.iter().map(|c| c.comparisons).sum()
+    }
+}
+
+/// The shared stream clock: maps wall-clock time to stream time.
+struct StreamClock {
+    pacing: Pacing,
+    start: Instant,
+    /// Stream time of the most recently injected driver event (drives the
+    /// clock in unpaced mode).
+    injected_us: AtomicU64,
+}
+
+impl StreamClock {
+    fn new(pacing: Pacing) -> Self {
+        StreamClock {
+            pacing,
+            start: Instant::now(),
+            injected_us: AtomicU64::new(0),
+        }
+    }
+
+    fn note_injection(&self, at: Timestamp) {
+        self.injected_us.fetch_max(at.as_micros(), Ordering::Relaxed);
+    }
+
+    fn now(&self) -> Timestamp {
+        match self.pacing {
+            Pacing::Unpaced => Timestamp::from_micros(self.injected_us.load(Ordering::Relaxed)),
+            Pacing::RealTime { speedup } => {
+                let elapsed = self.start.elapsed().as_secs_f64() * speedup.max(0.0);
+                Timestamp::from_micros((elapsed * 1e6) as u64)
+            }
+        }
+    }
+}
+
+/// Internal wire format: payload plus an in-flight token so the driver can
+/// detect quiescence.
+enum Side<R, S> {
+    Left(LeftToRight<R>),
+    Right(RightToLeft<S>),
+}
+
+/// Runs a pipeline of the given nodes over a complete driver schedule and
+/// waits for all results.
+///
+/// `nodes` must contain one [`PipelineNode`] per pipeline position, in
+/// order (use [`crate::llhj_nodes`] / [`crate::hsj_nodes`] to build them).
+pub fn run_pipeline<R, S, P, H>(
+    nodes: Vec<Box<dyn PipelineNode<R, S>>>,
+    predicate: P,
+    policy: H,
+    schedule: &DriverSchedule<R, S>,
+    options: &PipelineOptions,
+) -> RunOutcome<R, S>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Send,
+    H: HomePolicy,
+{
+    let n = nodes.len();
+    assert!(n > 0, "pipeline needs at least one node");
+    assert!(options.batch_size > 0, "batch size must be positive");
+    let started = Instant::now();
+
+    let injector = Injector::new(predicate, policy, n);
+    let hwm = HighWaterMarks::new();
+    let stop = Arc::new(AtomicBool::new(false));
+    let in_flight = Arc::new(AtomicI64::new(0));
+    let clock = Arc::new(StreamClock::new(options.pacing));
+
+    // Channel wiring: ltr[k] is node k's left input, rtl[k] its right input.
+    //
+    // The two channels entering the pipeline from the driver are bounded so
+    // the driver experiences backpressure (it can never run ahead of the
+    // pipeline by more than `channel_capacity` messages).  The links
+    // *between* workers are unbounded: with bounded links a pair of
+    // neighbours could block on sending to each other simultaneously (R
+    // traffic going right, acknowledgements and S traffic going left) and
+    // deadlock; admission control at the driver keeps the actual occupancy
+    // of the inner links small.
+    let mut ltr_tx: Vec<Option<Sender<LeftToRight<R>>>> = Vec::with_capacity(n);
+    let mut ltr_rx: Vec<Option<Receiver<LeftToRight<R>>>> = Vec::with_capacity(n);
+    let mut rtl_tx: Vec<Option<Sender<RightToLeft<S>>>> = Vec::with_capacity(n);
+    let mut rtl_rx: Vec<Option<Receiver<RightToLeft<S>>>> = Vec::with_capacity(n);
+    for k in 0..n {
+        if k == 0 {
+            let (tx, rx) = bounded(options.channel_capacity);
+            ltr_tx.push(Some(tx));
+            ltr_rx.push(Some(rx));
+        } else {
+            let (tx, rx) = unbounded();
+            ltr_tx.push(Some(tx));
+            ltr_rx.push(Some(rx));
+        }
+        if k == n - 1 {
+            let (tx, rx) = bounded(options.channel_capacity);
+            rtl_tx.push(Some(tx));
+            rtl_rx.push(Some(rx));
+        } else {
+            let (tx, rx) = unbounded();
+            rtl_tx.push(Some(tx));
+            rtl_rx.push(Some(rx));
+        }
+    }
+    let driver_left_tx = ltr_tx[0].take().expect("entry channel");
+    let driver_right_tx = rtl_tx[n - 1].take().expect("entry channel");
+
+    // Per-worker result queues (Figure 15).
+    let mut result_tx: Vec<Sender<TimedResult<R, S>>> = Vec::with_capacity(n);
+    let mut result_rx: Vec<Receiver<TimedResult<R, S>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        result_tx.push(tx);
+        result_rx.push(rx);
+    }
+
+    let mut counters = vec![NodeCounters::default(); n];
+    let mut collected: Option<CollectorOutcome<R, S>> = None;
+
+    std::thread::scope(|scope| {
+        // ---------------- workers ----------------
+        let mut worker_handles = Vec::with_capacity(n);
+        for (k, mut node) in nodes.into_iter().enumerate() {
+            let left_rx = ltr_rx[k].take().expect("left input");
+            let right_rx = rtl_rx[k].take().expect("right input");
+            let to_right = if k + 1 < n { ltr_tx[k + 1].take() } else { None };
+            let to_left = if k > 0 { rtl_tx[k - 1].take() } else { None };
+            let results = result_tx[k].clone();
+            let hwm = Arc::clone(&hwm);
+            let stop = Arc::clone(&stop);
+            let in_flight = Arc::clone(&in_flight);
+            let clock = Arc::clone(&clock);
+            let is_leftmost = k == 0;
+            let is_rightmost = k + 1 == n;
+
+            worker_handles.push(scope.spawn(move || {
+                let mut out: NodeOutput<R, S, ResultTuple<R, S>> = NodeOutput::new();
+                loop {
+                    let msg: Option<Side<R, S>> = crossbeam_channel::select! {
+                        recv(left_rx) -> m => m.ok().map(Side::Left),
+                        recv(right_rx) -> m => m.ok().map(Side::Right),
+                        default(Duration::from_millis(1)) => None,
+                    };
+                    match msg {
+                        Some(side) => {
+                            let now = clock.now();
+                            node.observe_time(now);
+                            out.clear();
+                            match side {
+                                Side::Left(m) => {
+                                    let end_ts = match &m {
+                                        LeftToRight::ArrivalR(r) if is_rightmost => Some(r.ts()),
+                                        _ => None,
+                                    };
+                                    node.handle_left(m, &mut out);
+                                    if let Some(ts) = end_ts {
+                                        hwm.observe_r(ts);
+                                    }
+                                }
+                                Side::Right(m) => {
+                                    let end_ts = match &m {
+                                        RightToLeft::ArrivalS(s) if is_leftmost => Some(s.ts()),
+                                        _ => None,
+                                    };
+                                    node.handle_right(m, &mut out);
+                                    if let Some(ts) = end_ts {
+                                        hwm.observe_s(ts);
+                                    }
+                                }
+                            }
+                            for m in out.to_right.drain(..) {
+                                if let Some(tx) = &to_right {
+                                    in_flight.fetch_add(1, Ordering::SeqCst);
+                                    if tx.send(m).is_err() {
+                                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                                    }
+                                }
+                            }
+                            for m in out.to_left.drain(..) {
+                                if let Some(tx) = &to_left {
+                                    in_flight.fetch_add(1, Ordering::SeqCst);
+                                    if tx.send(m).is_err() {
+                                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                                    }
+                                }
+                            }
+                            if !out.results.is_empty() {
+                                let detected_at = clock.now();
+                                for result in out.results.drain(..) {
+                                    let _ = results.send(TimedResult::new(result, detected_at));
+                                }
+                            }
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        None => {
+                            if stop.load(Ordering::SeqCst)
+                                && left_rx.is_empty()
+                                && right_rx.is_empty()
+                            {
+                                break;
+                            }
+                        }
+                    }
+                }
+                (k, node.node_counters())
+            }));
+        }
+        drop(result_tx);
+
+        // ---------------- collector ----------------
+        let collector_handle = {
+            let stop = Arc::clone(&stop);
+            let hwm = Arc::clone(&hwm);
+            let receivers = result_rx;
+            let punctuate = options.punctuate;
+            let interval = options.collect_interval;
+            let bucket = options.latency_bucket;
+            scope.spawn(move || {
+                let mut outcome = CollectorOutcome {
+                    results: Vec::new(),
+                    output: Vec::new(),
+                    latency: LatencySummary::new(),
+                    series: LatencySeries::new(bucket),
+                    punctuation_count: 0,
+                };
+                loop {
+                    let stopping = stop.load(Ordering::SeqCst);
+                    // Step 1 (Section 6.1.3): read the high-water marks
+                    // before vacuuming the queues.
+                    let safe = hwm.safe_punctuation();
+                    let mut drained_any = false;
+                    for rx in &receivers {
+                        while let Ok(timed) = rx.try_recv() {
+                            drained_any = true;
+                            outcome.latency.record(timed.latency());
+                            outcome.series.record(timed.detected_at, timed.latency());
+                            if punctuate {
+                                outcome.output.push(OutputItem::Result(timed.clone()));
+                            }
+                            outcome.results.push(timed);
+                        }
+                    }
+                    if punctuate && drained_any {
+                        outcome
+                            .output
+                            .push(OutputItem::Punctuation(Punctuation { ts: safe }));
+                        outcome.punctuation_count += 1;
+                    }
+                    if stopping && !drained_any {
+                        break;
+                    }
+                    std::thread::sleep(interval);
+                }
+                outcome
+            })
+        };
+
+        // ---------------- driver (this thread) ----------------
+        let mut left_batch = 0usize;
+        let mut right_batch = 0usize;
+        let mut left_pending: Vec<LeftToRight<R>> = Vec::new();
+        let mut right_pending: Vec<RightToLeft<S>> = Vec::new();
+        let flush_left = |pending: &mut Vec<LeftToRight<R>>,
+                          in_flight: &AtomicI64,
+                          tx: &Sender<LeftToRight<R>>| {
+            for msg in pending.drain(..) {
+                in_flight.fetch_add(1, Ordering::SeqCst);
+                if tx.send(msg).is_err() {
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        };
+        let flush_right = |pending: &mut Vec<RightToLeft<S>>,
+                           in_flight: &AtomicI64,
+                           tx: &Sender<RightToLeft<S>>| {
+            for msg in pending.drain(..) {
+                in_flight.fetch_add(1, Ordering::SeqCst);
+                if tx.send(msg).is_err() {
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        };
+
+        // Partial batches are flushed as soon as a stream delivers its last
+        // arrival, so the tail of the stream pays the normal batching delay
+        // rather than waiting for the trailing expiry events.
+        let mut seen_r = 0usize;
+        let mut seen_s = 0usize;
+        for event in schedule.events() {
+            if let Pacing::RealTime { .. } = options.pacing {
+                let target = options.stream_to_wall(event.at.saturating_since(Timestamp::ZERO));
+                let elapsed = started.elapsed();
+                if target > elapsed {
+                    std::thread::sleep(target - elapsed);
+                }
+            }
+            clock.note_injection(event.at);
+            match &event.event {
+                StreamEvent::ArrivalR(r) => {
+                    left_pending.push(injector.inject_r(r.clone()));
+                    left_batch += 1;
+                    seen_r += 1;
+                    if left_batch >= options.batch_size || seen_r == schedule.r_count() {
+                        flush_left(&mut left_pending, &in_flight, &driver_left_tx);
+                        left_batch = 0;
+                    }
+                }
+                StreamEvent::ExpireS(seq) => left_pending.push(LeftToRight::ExpiryS(*seq)),
+                StreamEvent::ArrivalS(s) => {
+                    right_pending.push(injector.inject_s(s.clone()));
+                    right_batch += 1;
+                    seen_s += 1;
+                    if right_batch >= options.batch_size || seen_s == schedule.s_count() {
+                        flush_right(&mut right_pending, &in_flight, &driver_right_tx);
+                        right_batch = 0;
+                    }
+                }
+                StreamEvent::ExpireR(seq) => right_pending.push(RightToLeft::ExpiryR(*seq)),
+            }
+        }
+        flush_left(&mut left_pending, &in_flight, &driver_left_tx);
+        flush_right(&mut right_pending, &in_flight, &driver_right_tx);
+
+        // Wait for quiescence: no message anywhere in the pipeline.
+        while in_flight.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::SeqCst);
+
+        for handle in worker_handles {
+            let (k, c) = handle.join().expect("worker thread panicked");
+            counters[k] = c;
+        }
+        collected = Some(collector_handle.join().expect("collector thread panicked"));
+    });
+
+    let collected = collected.expect("collector outcome");
+    RunOutcome {
+        results: collected.results,
+        output: collected.output,
+        counters,
+        latency: collected.latency,
+        latency_series: collected.series.finish(),
+        elapsed: started.elapsed(),
+        punctuation_count: collected.punctuation_count,
+        arrivals_per_stream: (schedule.r_count(), schedule.s_count()),
+    }
+}
+
+struct CollectorOutcome<R, S> {
+    results: Vec<TimedResult<R, S>>,
+    output: Vec<OutputItem<TimedResult<R, S>>>,
+    latency: LatencySummary,
+    series: LatencySeries,
+    punctuation_count: u64,
+}
+
+/// Waits on a receiver with a timeout, mapping disconnection to `None`.
+#[allow(dead_code)]
+fn recv_opt<T>(rx: &Receiver<T>, timeout: Duration) -> Option<T> {
+    match rx.recv_timeout(timeout) {
+        Ok(v) => Some(v),
+        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+    }
+}

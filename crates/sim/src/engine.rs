@@ -1,0 +1,567 @@
+//! The discrete-event pipeline simulator.
+//!
+//! The simulator stands in for the 48-core AMD "Magny Cours" machine used
+//! in the paper's evaluation.  It executes the *same* node state machines
+//! as the threaded runtime, one virtual core per pipeline node, connected
+//! by FIFO links with a configurable hop latency.  Every message charges
+//! its node a service time derived from the [`crate::cost::CostModel`]
+//! (per-message overhead plus per-comparison scan cost), so latency,
+//! throughput saturation and scalability emerge from the algorithm's real
+//! behaviour rather than from closed-form assumptions — while remaining
+//! deterministic and independent of the host machine's core count.
+
+use crate::config::SimConfig;
+use crate::cost::SimNanos;
+use crate::report::SimReport;
+use llhj_core::driver::{DriverSchedule, Injector, StreamEvent};
+use llhj_core::homing::HomePolicy;
+use llhj_core::message::{LeftToRight, NodeOutput, RightToLeft};
+use llhj_core::predicate::JoinPredicate;
+use llhj_core::punctuation::{HighWaterMarks, OutputItem, Punctuation};
+use llhj_core::result::TimedResult;
+use llhj_core::stats::{LatencySeries, LatencySummary};
+use llhj_core::time::Timestamp;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Converts a stream timestamp to virtual nanoseconds.
+fn ts_to_ns(ts: Timestamp) -> SimNanos {
+    ts.as_micros().saturating_mul(1_000)
+}
+
+/// Converts virtual nanoseconds to a stream timestamp (microsecond floor).
+fn ns_to_ts(ns: SimNanos) -> Timestamp {
+    Timestamp::from_micros(ns / 1_000)
+}
+
+enum Payload<R, S> {
+    Left(usize, LeftToRight<R>),
+    Right(usize, RightToLeft<S>),
+}
+
+struct HeapEntry<R, S> {
+    at: SimNanos,
+    seq: u64,
+    payload: Payload<R, S>,
+}
+
+impl<R, S> PartialEq for HeapEntry<R, S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<R, S> Eq for HeapEntry<R, S> {}
+impl<R, S> PartialOrd for HeapEntry<R, S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<R, S> Ord for HeapEntry<R, S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Runs one simulation of the configured pipeline over a driver schedule.
+///
+/// The same schedule fed to [`llhj_baselines::run_kang`] (or to the
+/// threaded runtime) yields exactly the same result *set*; what the
+/// simulator adds is virtual time: latencies, utilization and punctuation
+/// behaviour.
+pub fn run_simulation<R, S, P, H>(
+    config: &SimConfig,
+    predicate: P,
+    policy: H,
+    schedule: &DriverSchedule<R, S>,
+) -> SimReport<R, S>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy,
+{
+    assert!(config.nodes > 0, "pipeline needs at least one node");
+    assert!(config.batch_size > 0, "batch size must be positive");
+
+    let mut nodes = config.build_nodes::<R, S, P>(&predicate);
+    let injector = Injector::new(predicate, policy, config.nodes);
+    let hwm = HighWaterMarks::new();
+    let rightmost = config.nodes - 1;
+
+    // ------------------------------------------------------------------
+    // 1. Turn the driver schedule into injection events, applying the
+    //    driver-side batching of the paper (Section 7.3): tuples are
+    //    released into the pipeline in groups of `batch_size`, at the
+    //    timestamp of the last tuple of the group.  Expiry messages share
+    //    the entry queue of their direction and are released with the same
+    //    batch, which preserves per-entry-point FIFO order.
+    // ------------------------------------------------------------------
+    let mut heap: BinaryHeap<HeapEntry<R, S>> = BinaryHeap::new();
+    let mut event_seq = 0u64;
+    let mut last_injection_ns = 0u64;
+
+    {
+        let mut left_buf: Vec<LeftToRight<R>> = Vec::new();
+        let mut right_buf: Vec<RightToLeft<S>> = Vec::new();
+        let mut left_arrivals = 0usize;
+        let mut right_arrivals = 0usize;
+
+        let flush_left = |buf: &mut Vec<LeftToRight<R>>,
+                              at_ns: SimNanos,
+                              heap: &mut BinaryHeap<HeapEntry<R, S>>,
+                              event_seq: &mut u64,
+                              last_injection_ns: &mut u64| {
+            for msg in buf.drain(..) {
+                heap.push(HeapEntry {
+                    at: at_ns,
+                    seq: *event_seq,
+                    payload: Payload::Left(0, msg),
+                });
+                *event_seq += 1;
+            }
+            *last_injection_ns = (*last_injection_ns).max(at_ns);
+        };
+        let flush_right = |buf: &mut Vec<RightToLeft<S>>,
+                               at_ns: SimNanos,
+                               heap: &mut BinaryHeap<HeapEntry<R, S>>,
+                               event_seq: &mut u64,
+                               last_injection_ns: &mut u64| {
+            for msg in buf.drain(..) {
+                heap.push(HeapEntry {
+                    at: at_ns,
+                    seq: *event_seq,
+                    payload: Payload::Right(rightmost, msg),
+                });
+                *event_seq += 1;
+            }
+            *last_injection_ns = (*last_injection_ns).max(at_ns);
+        };
+
+        let mut last_at = Timestamp::ZERO;
+        // A partial batch is flushed as soon as the stream delivers its last
+        // arrival: a real driver stops waiting for more tuples once the
+        // stream ends, and holding the tail back would charge it the delay
+        // of the trailing expiry events instead of the batching delay.
+        let mut seen_r = 0usize;
+        let mut seen_s = 0usize;
+        for event in schedule.events() {
+            last_at = event.at;
+            match &event.event {
+                StreamEvent::ArrivalR(r) => {
+                    left_buf.push(injector.inject_r(r.clone()));
+                    left_arrivals += 1;
+                    seen_r += 1;
+                    if left_arrivals >= config.batch_size || seen_r == schedule.r_count() {
+                        flush_left(
+                            &mut left_buf,
+                            ts_to_ns(event.at),
+                            &mut heap,
+                            &mut event_seq,
+                            &mut last_injection_ns,
+                        );
+                        left_arrivals = 0;
+                    }
+                }
+                StreamEvent::ExpireS(seq) => {
+                    left_buf.push(LeftToRight::ExpiryS(*seq));
+                }
+                StreamEvent::ArrivalS(s) => {
+                    right_buf.push(injector.inject_s(s.clone()));
+                    right_arrivals += 1;
+                    seen_s += 1;
+                    if right_arrivals >= config.batch_size || seen_s == schedule.s_count() {
+                        flush_right(
+                            &mut right_buf,
+                            ts_to_ns(event.at),
+                            &mut heap,
+                            &mut event_seq,
+                            &mut last_injection_ns,
+                        );
+                        right_arrivals = 0;
+                    }
+                }
+                StreamEvent::ExpireR(seq) => {
+                    right_buf.push(RightToLeft::ExpiryR(*seq));
+                }
+            }
+        }
+        let final_ns = ts_to_ns(last_at);
+        flush_left(
+            &mut left_buf,
+            final_ns,
+            &mut heap,
+            &mut event_seq,
+            &mut last_injection_ns,
+        );
+        flush_right(
+            &mut right_buf,
+            final_ns,
+            &mut heap,
+            &mut event_seq,
+            &mut last_injection_ns,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Event loop.
+    // ------------------------------------------------------------------
+    let mut busy_until = vec![0u64; config.nodes];
+    let mut busy_ns = vec![0u64; config.nodes];
+    let mut out: NodeOutput<R, S, llhj_core::result::ResultTuple<R, S>> = NodeOutput::new();
+
+    let mut results: Vec<TimedResult<R, S>> = Vec::new();
+    let mut pending: Vec<TimedResult<R, S>> = Vec::new();
+    let mut output: Vec<OutputItem<TimedResult<R, S>>> = Vec::new();
+    let mut latency = LatencySummary::new();
+    let mut series = LatencySeries::new(config.latency_bucket);
+    let mut punctuation_count = 0u64;
+
+    let collect_interval_ns = (config.collect_interval.as_micros().max(1)) * 1_000;
+    let mut next_collect_ns = collect_interval_ns;
+    let hop = config.cost.hop_ns();
+    let mut makespan_ns = 0u64;
+
+    while let Some(entry) = heap.pop() {
+        // Collector cycles that are due before this event run first so the
+        // punctuation reflects exactly the state at its virtual time.
+        while config.punctuate && next_collect_ns <= entry.at {
+            collect(
+                &mut pending,
+                &mut output,
+                &hwm,
+                &mut punctuation_count,
+            );
+            next_collect_ns += collect_interval_ns;
+        }
+
+        let node_idx = match &entry.payload {
+            Payload::Left(n, _) => *n,
+            Payload::Right(n, _) => *n,
+        };
+        let start = entry.at.max(busy_until[node_idx]);
+        nodes[node_idx].observe_time(ns_to_ts(entry.at));
+
+        out.clear();
+        match entry.payload {
+            Payload::Left(n, msg) => {
+                let observed = match &msg {
+                    LeftToRight::ArrivalR(r) if n == rightmost => Some(r.ts()),
+                    _ => None,
+                };
+                nodes[n].handle_left(msg, &mut out);
+                if let Some(ts) = observed {
+                    hwm.observe_r(ts);
+                }
+            }
+            Payload::Right(n, msg) => {
+                let observed = match &msg {
+                    RightToLeft::ArrivalS(s) if n == 0 => Some(s.ts()),
+                    _ => None,
+                };
+                nodes[n].handle_right(msg, &mut out);
+                if let Some(ts) = observed {
+                    hwm.observe_s(ts);
+                }
+            }
+        }
+
+        let punctuated_node =
+            config.punctuate && (node_idx == 0 || node_idx == rightmost);
+        let service = config.cost.service_ns(
+            out.comparisons,
+            out.results.len() as u64,
+            punctuated_node,
+        );
+        let finish = start + service;
+        busy_until[node_idx] = finish;
+        busy_ns[node_idx] += service;
+        makespan_ns = makespan_ns.max(finish);
+
+        // Forward emitted messages to the neighbours.
+        for msg in out.to_right.drain(..) {
+            if node_idx + 1 < config.nodes {
+                heap.push(HeapEntry {
+                    at: finish + hop,
+                    seq: event_seq,
+                    payload: Payload::Left(node_idx + 1, msg),
+                });
+                event_seq += 1;
+            }
+        }
+        for msg in out.to_left.drain(..) {
+            if node_idx > 0 {
+                heap.push(HeapEntry {
+                    at: finish + hop,
+                    seq: event_seq,
+                    payload: Payload::Right(node_idx - 1, msg),
+                });
+                event_seq += 1;
+            }
+        }
+
+        // Record results with their production (virtual) time.
+        let detected_at = ns_to_ts(finish);
+        for result in out.results.drain(..) {
+            let timed = TimedResult::new(result, detected_at);
+            latency.record(timed.latency());
+            series.record(detected_at, timed.latency());
+            if config.punctuate {
+                pending.push(timed.clone());
+            }
+            results.push(timed);
+        }
+    }
+
+    // Final collector cycles flush whatever is still pending.
+    if config.punctuate {
+        collect(&mut pending, &mut output, &hwm, &mut punctuation_count);
+    }
+
+    SimReport {
+        algorithm: config.algorithm,
+        nodes: config.nodes,
+        results,
+        output,
+        latency,
+        latency_series: series.finish(),
+        counters: nodes.iter().map(|n| n.node_counters()).collect(),
+        busy_ns,
+        last_injection_ns,
+        makespan_ns,
+        punctuation_count,
+        arrivals_per_stream: (schedule.r_count(), schedule.s_count()),
+    }
+}
+
+fn collect<R, S>(
+    pending: &mut Vec<TimedResult<R, S>>,
+    output: &mut Vec<OutputItem<TimedResult<R, S>>>,
+    hwm: &HighWaterMarks,
+    punctuation_count: &mut u64,
+) {
+    // Step 1 of Section 6.1.3: read the high-water marks *before* vacuuming
+    // the result queues, so the punctuation is a safe lower bound for every
+    // result produced afterwards.
+    let safe = hwm.safe_punctuation();
+    for timed in pending.drain(..) {
+        output.push(OutputItem::Result(timed));
+    }
+    output.push(OutputItem::Punctuation(Punctuation { ts: safe }));
+    *punctuation_count += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+    use llhj_core::homing::RoundRobin;
+    use llhj_core::predicate::FnPredicate;
+    use llhj_core::punctuation::verify_punctuated_stream;
+    use llhj_core::window::WindowSpec;
+
+    fn eq_pred() -> FnPredicate<fn(&u32, &u32) -> bool> {
+        fn eq(r: &u32, s: &u32) -> bool {
+            r == s
+        }
+        FnPredicate(eq as fn(&u32, &u32) -> bool)
+    }
+
+    fn small_schedule() -> DriverSchedule<u32, u32> {
+        // 200 tuples per stream, values cycling 0..20, 1 ms apart.
+        let r: Vec<_> = (0..200u64)
+            .map(|i| (Timestamp::from_millis(i), (i % 20) as u32))
+            .collect();
+        let s: Vec<_> = (0..200u64)
+            .map(|i| (Timestamp::from_millis(i), (i % 25) as u32))
+            .collect();
+        DriverSchedule::build(r, s, WindowSpec::time_secs(1), WindowSpec::time_secs(1))
+    }
+
+    /// Like [`small_schedule`], but followed by one full window length of
+    /// never-matching "flush" tuples.  The original handshake join only
+    /// moves tuples through the pipeline while new input keeps arriving, so
+    /// over a finite input its pending pairs are only guaranteed to be
+    /// reported if the stream keeps flowing for one more window length —
+    /// this is exactly what a real, infinite stream provides.
+    fn flushed_schedule() -> DriverSchedule<u32, u32> {
+        let window_ms = 1_000u64;
+        let real = 200u64;
+        let flush = window_ms + 100;
+        let r: Vec<_> = (0..real)
+            .map(|i| (Timestamp::from_millis(i), (i % 20) as u32))
+            .chain((0..flush).map(|i| (Timestamp::from_millis(real + i), 1_000_000u32)))
+            .collect();
+        let s: Vec<_> = (0..real)
+            .map(|i| (Timestamp::from_millis(i), (i % 25) as u32))
+            .chain((0..flush).map(|i| (Timestamp::from_millis(real + i), 2_000_000u32)))
+            .collect();
+        DriverSchedule::build(r, s, WindowSpec::time_secs(1), WindowSpec::time_secs(1))
+    }
+
+    fn config(nodes: usize, algorithm: Algorithm) -> SimConfig {
+        let mut cfg = SimConfig::new(nodes, algorithm);
+        cfg.batch_size = 4;
+        cfg.window_r = WindowSpec::time_secs(1);
+        cfg.window_s = WindowSpec::time_secs(1);
+        cfg.expected_rate_per_sec = 1000.0;
+        cfg.latency_bucket = 50;
+        cfg
+    }
+
+    #[test]
+    fn llhj_simulation_matches_kang_oracle() {
+        let schedule = small_schedule();
+        let oracle = llhj_baselines::run_kang(eq_pred(), &schedule);
+        for nodes in [1, 2, 3, 5, 8] {
+            let report = run_simulation(
+                &config(nodes, Algorithm::Llhj),
+                eq_pred(),
+                RoundRobin,
+                &schedule,
+            );
+            assert_eq!(
+                report.result_keys(),
+                oracle.result_keys(),
+                "LLHJ with {nodes} nodes must produce the oracle result set"
+            );
+        }
+    }
+
+    #[test]
+    fn hsj_simulation_matches_kang_oracle() {
+        let schedule = flushed_schedule();
+        let oracle = llhj_baselines::run_kang(eq_pred(), &schedule);
+        for nodes in [1, 2, 4, 7] {
+            let report = run_simulation(
+                &config(nodes, Algorithm::Hsj),
+                eq_pred(),
+                RoundRobin,
+                &schedule,
+            );
+            assert_eq!(
+                report.result_keys(),
+                oracle.result_keys(),
+                "HSJ with {nodes} nodes must produce the oracle result set"
+            );
+        }
+    }
+
+    #[test]
+    fn llhj_latency_is_far_below_hsj_latency() {
+        let schedule = flushed_schedule();
+        let llhj = run_simulation(
+            &config(4, Algorithm::Llhj),
+            eq_pred(),
+            RoundRobin,
+            &schedule,
+        );
+        let hsj = run_simulation(&config(4, Algorithm::Hsj), eq_pred(), RoundRobin, &schedule);
+        assert!(llhj.latency.count() > 0);
+        assert!(hsj.latency.count() > 0);
+        // LLHJ latency is dominated by driver batching (a few ms at this
+        // rate); HSJ latency is a sizeable fraction of the 1-second window.
+        assert!(
+            llhj.latency.mean().as_millis_f64() * 10.0 < hsj.latency.mean().as_millis_f64(),
+            "expedition must reduce latency by far more than 10x: {} vs {}",
+            llhj.latency.mean(),
+            hsj.latency.mean()
+        );
+    }
+
+    #[test]
+    fn punctuated_output_is_valid_and_sortable() {
+        let schedule = small_schedule();
+        let mut cfg = config(3, Algorithm::Llhj);
+        cfg.punctuate = true;
+        let report = run_simulation(&cfg, eq_pred(), RoundRobin, &schedule);
+        assert!(report.punctuation_count > 0);
+        assert_eq!(
+            verify_punctuated_stream(&report.output, |t| t.result.ts()),
+            Ok(())
+        );
+        let (max_buffer, emitted) = report.sorted_output_buffer();
+        assert_eq!(emitted as usize, report.results.len());
+        assert!(max_buffer <= report.results.len());
+    }
+
+    #[test]
+    fn utilization_grows_with_offered_load() {
+        let make = |gap_us: u64| {
+            let r: Vec<_> = (0..400u64)
+                .map(|i| (Timestamp::from_micros(i * gap_us), (i % 5) as u32))
+                .collect();
+            let s: Vec<_> = (0..400u64)
+                .map(|i| (Timestamp::from_micros(i * gap_us), (i % 7) as u32))
+                .collect();
+            DriverSchedule::build(r, s, WindowSpec::Count(200), WindowSpec::Count(200))
+        };
+        let cfg = config(2, Algorithm::Llhj);
+        let slow = run_simulation(&cfg, eq_pred(), RoundRobin, &make(2_000));
+        let fast = run_simulation(&cfg, eq_pred(), RoundRobin, &make(20));
+        assert!(fast.max_utilization() > slow.max_utilization());
+        assert!(slow.is_sustainable(0.95));
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let schedule = small_schedule();
+        let report = run_simulation(
+            &config(3, Algorithm::Llhj),
+            eq_pred(),
+            RoundRobin,
+            &schedule,
+        );
+        assert_eq!(report.arrivals_per_stream, (200, 200));
+        assert_eq!(report.nodes, 3);
+        assert_eq!(report.counters.len(), 3);
+        assert!(report.total_comparisons() > 0);
+        assert!(report.makespan_ns >= report.last_injection_ns);
+        let series_total: u64 = report
+            .latency_series
+            .iter()
+            .map(|p| p.summary.count())
+            .sum();
+        assert_eq!(series_total as usize, report.results.len());
+    }
+
+    #[test]
+    fn indexed_llhj_matches_and_uses_fewer_comparisons() {
+        // Equi predicate with keys so the index applies.
+        #[derive(Clone)]
+        struct Eq;
+        impl JoinPredicate<u32, u32> for Eq {
+            fn matches(&self, r: &u32, s: &u32) -> bool {
+                r == s
+            }
+            fn r_key(&self, r: &u32) -> Option<u64> {
+                Some(*r as u64)
+            }
+            fn s_key(&self, s: &u32) -> Option<u64> {
+                Some(*s as u64)
+            }
+            fn supports_index(&self) -> bool {
+                true
+            }
+        }
+        let schedule = small_schedule();
+        let plain = run_simulation(&config(4, Algorithm::Llhj), Eq, RoundRobin, &schedule);
+        let indexed = run_simulation(
+            &config(4, Algorithm::LlhjIndexed),
+            Eq,
+            RoundRobin,
+            &schedule,
+        );
+        assert_eq!(plain.result_keys(), indexed.result_keys());
+        assert!(
+            indexed.total_comparisons() < plain.total_comparisons() / 2,
+            "index should cut comparisons: {} vs {}",
+            indexed.total_comparisons(),
+            plain.total_comparisons()
+        );
+        assert!(indexed.busy_ns.iter().sum::<u64>() < plain.busy_ns.iter().sum::<u64>());
+    }
+}

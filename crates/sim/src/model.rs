@@ -1,0 +1,243 @@
+//! Analytic performance model for paper-scale extrapolation.
+//!
+//! The exact event-driven simulator runs scaled-down configurations (its
+//! cost is proportional to the number of predicate evaluations it actually
+//! performs).  The paper's full-scale setup — 15-minute windows at several
+//! thousand tuples per second — would require tens of billions of
+//! evaluations per virtual second, so for those operating points the
+//! harness complements the simulator with this closed-form model built on
+//! the same [`CostModel`]: it predicts per-node utilization as a function
+//! of the input rate and inverts it to obtain the maximum sustainable
+//! throughput (Figure 17, Table 2) and combines it with the latency models
+//! of Section 3.1 / 7.3 (Figure 18).
+
+use crate::config::Algorithm;
+use crate::cost::CostModel;
+use llhj_core::latency_model::{hsj_expected_latency, LlhjLatencyModel};
+use llhj_core::time::TimeDelta;
+
+/// Closed-form pipeline performance model.
+#[derive(Debug, Clone)]
+pub struct AnalyticModel {
+    /// Number of pipeline nodes (cores).
+    pub nodes: usize,
+    /// Window span of stream R in seconds.
+    pub window_r_secs: f64,
+    /// Window span of stream S in seconds.
+    pub window_s_secs: f64,
+    /// Hardware cost model (shared with the event-driven simulator).
+    pub cost: CostModel,
+    /// Join hit rate (probability that a random pair matches); the paper's
+    /// band-join benchmark uses ~1/250,000.
+    pub hit_rate: f64,
+    /// Key-domain size for the indexed variant (expected bucket size =
+    /// window tuples / domain).
+    pub equi_domain: f64,
+    /// Utilization level considered "sustained".
+    pub utilization_target: f64,
+    /// Whether punctuation generation is enabled.
+    pub punctuate: bool,
+}
+
+impl AnalyticModel {
+    /// A model of the paper's benchmark machine and workload: 15-minute
+    /// windows, band join with 1:250,000 selectivity.
+    pub fn paper_benchmark(nodes: usize) -> Self {
+        AnalyticModel {
+            nodes,
+            window_r_secs: 900.0,
+            window_s_secs: 900.0,
+            cost: CostModel::default(),
+            hit_rate: 1.0 / 250_000.0,
+            equi_domain: 10_000.0,
+            utilization_target: 0.95,
+            punctuate: false,
+        }
+    }
+
+    /// Per-node busy fraction at a per-stream rate of `rate` tuples/second.
+    pub fn node_busy_fraction(&self, algorithm: Algorithm, rate: f64) -> f64 {
+        let n = self.nodes as f64;
+        let window_tuples = rate * (self.window_r_secs + self.window_s_secs);
+        // Tuples resident per node (either node-local windows for LLHJ or
+        // window segments for HSJ): the distributed window is always spread
+        // evenly over the pipeline.
+        let resident_per_node = window_tuples / n;
+
+        // Message handling: every node sees every arrival of both streams
+        // (expedited or flowing), plus acknowledgements, expedition-end
+        // markers and expiry messages.
+        let messages_per_sec = match algorithm {
+            Algorithm::Llhj | Algorithm::LlhjIndexed => 5.0 * rate,
+            Algorithm::Hsj => 4.0 * rate,
+        };
+
+        // Scan work: each arrival probes the local share of the opposite
+        // window exactly once per node over its lifetime; in steady state
+        // every node therefore performs `2·rate` probes per second of
+        // `resident_per_node / 2` tuples each side.
+        let comparisons_per_sec = match algorithm {
+            Algorithm::Llhj | Algorithm::Hsj => 2.0 * rate * (resident_per_node / 2.0),
+            Algorithm::LlhjIndexed => {
+                let bucket = (resident_per_node / 2.0 / self.equi_domain).max(1.0);
+                2.0 * rate * bucket
+            }
+        };
+
+        // Result materialisation (spread over the pipeline).
+        let results_per_sec = match algorithm {
+            Algorithm::LlhjIndexed => {
+                // Equi join selectivity 1/domain.
+                2.0 * rate * (rate * self.window_r_secs) / self.equi_domain / n
+            }
+            _ => 2.0 * rate * (rate * self.window_r_secs) * self.hit_rate / n,
+        };
+
+        let mut per_message = self.cost.per_message_ns;
+        if self.punctuate {
+            per_message += self.cost.punctuation_overhead_ns;
+        }
+
+        (messages_per_sec * per_message
+            + comparisons_per_sec * self.cost.per_comparison_ns
+            + results_per_sec * self.cost.per_result_ns)
+            * 1e-9
+    }
+
+    /// Maximum sustainable per-stream rate: the largest rate whose busy
+    /// fraction stays at or below the utilization target (bisection).
+    pub fn max_rate(&self, algorithm: Algorithm) -> f64 {
+        let mut lo = 0.0f64;
+        let mut hi = 10_000_000.0f64;
+        for _ in 0..60 {
+            let mid = (lo + hi) / 2.0;
+            if self.node_busy_fraction(algorithm, mid) <= self.utilization_target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Predicted average latency of the original handshake join: half the
+    /// Equation 8 bound, independent of the core count.
+    pub fn hsj_average_latency(&self) -> TimeDelta {
+        hsj_expected_latency(
+            TimeDelta::from_secs_f64(self.window_r_secs),
+            TimeDelta::from_secs_f64(self.window_s_secs),
+        )
+    }
+
+    /// Predicted average latency of low-latency handshake join at the given
+    /// sustained rate and driver batch size (Section 7.3: dominated by
+    /// batching, plus pipeline traversal and one node-local scan).
+    pub fn llhj_average_latency(&self, rate: f64, batch_size: u64) -> TimeDelta {
+        let resident_per_node =
+            rate * (self.window_r_secs + self.window_s_secs) / self.nodes as f64;
+        let scan_ns = resident_per_node / 2.0 * self.cost.per_comparison_ns;
+        LlhjLatencyModel {
+            batch_size,
+            rate_per_sec: rate,
+            nodes: self.nodes,
+            hop_latency: TimeDelta::from_micros(self.cost.hop_latency_ns as u64 / 1_000),
+            node_scan: TimeDelta::from_micros((scan_ns / 1_000.0) as u64),
+        }
+        .expected_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_fraction_is_monotone_in_rate() {
+        let m = AnalyticModel::paper_benchmark(8);
+        let low = m.node_busy_fraction(Algorithm::Llhj, 500.0);
+        let high = m.node_busy_fraction(Algorithm::Llhj, 2_000.0);
+        assert!(high > low);
+        assert!(low > 0.0);
+    }
+
+    #[test]
+    fn throughput_scales_sublinearly_with_cores_like_figure_17() {
+        // Figure 17: 4 cores sustain ~1000 tuples/s/stream, 40 cores
+        // ~3500-3750.  The workload grows quadratically with the rate, so
+        // the sustainable rate grows roughly with sqrt(n).
+        let r4 = AnalyticModel::paper_benchmark(4).max_rate(Algorithm::Llhj);
+        let r16 = AnalyticModel::paper_benchmark(16).max_rate(Algorithm::Llhj);
+        let r40 = AnalyticModel::paper_benchmark(40).max_rate(Algorithm::Llhj);
+        assert!(r4 > 400.0 && r4 < 2_500.0, "4 cores: {r4}");
+        assert!(r40 > 2_500.0 && r40 < 8_000.0, "40 cores: {r40}");
+        assert!(r16 > r4 && r40 > r16);
+        let ratio = r40 / r4;
+        assert!(
+            ratio > 2.0 && ratio < 4.5,
+            "expected ~sqrt(10) scaling, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn hsj_and_llhj_throughput_are_comparable() {
+        // Figure 17: the two algorithms have nearly identical throughput.
+        let m = AnalyticModel::paper_benchmark(40);
+        let llhj = m.max_rate(Algorithm::Llhj);
+        let hsj = m.max_rate(Algorithm::Hsj);
+        let ratio = llhj / hsj;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "throughputs should be within ~20%: {llhj} vs {hsj}"
+        );
+    }
+
+    #[test]
+    fn punctuation_costs_only_a_little_throughput() {
+        let plain = AnalyticModel::paper_benchmark(40);
+        let punctuated = AnalyticModel {
+            punctuate: true,
+            ..AnalyticModel::paper_benchmark(40)
+        };
+        let a = plain.max_rate(Algorithm::Llhj);
+        let b = punctuated.max_rate(Algorithm::Llhj);
+        assert!(b < a);
+        assert!(b > 0.95 * a, "punctuation overhead must stay marginal");
+    }
+
+    #[test]
+    fn index_acceleration_is_dramatic_like_table_2() {
+        // Table 2: ~5,100 tuples/s without index vs ~225,000 with a hash
+        // index at 40 cores.  The model only has to reproduce the order of
+        // magnitude of the speedup.
+        let m = AnalyticModel::paper_benchmark(40);
+        let plain = m.max_rate(Algorithm::Llhj);
+        let indexed = m.max_rate(Algorithm::LlhjIndexed);
+        assert!(
+            indexed > 10.0 * plain,
+            "index should speed throughput up by >10x: {plain} vs {indexed}"
+        );
+    }
+
+    #[test]
+    fn latency_gap_is_orders_of_magnitude_like_figure_18() {
+        let m = AnalyticModel::paper_benchmark(16);
+        let hsj = m.hsj_average_latency().as_secs_f64();
+        let rate = m.max_rate(Algorithm::Llhj);
+        let llhj = m.llhj_average_latency(rate, 64).as_secs_f64();
+        // HSJ: ~225 s for a 15-minute window; LLHJ: tens of milliseconds.
+        assert!(hsj > 100.0, "HSJ latency {hsj}");
+        assert!(llhj < 0.2, "LLHJ latency {llhj}");
+        assert!(hsj / llhj > 1_000.0, "gap must be >3 orders of magnitude");
+    }
+
+    #[test]
+    fn smaller_batches_reduce_llhj_latency() {
+        let m = AnalyticModel::paper_benchmark(8);
+        let rate = 2_800.0;
+        let batch64 = m.llhj_average_latency(rate, 64);
+        let batch4 = m.llhj_average_latency(rate, 4);
+        assert!(batch4 < batch64);
+        // Figure 20: with batch size 4 the average latency is ~1 ms.
+        assert!(batch4.as_millis_f64() < 5.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Results of one simulated pipeline run.
+
+use crate::config::Algorithm;
+use llhj_core::punctuation::OutputItem;
+use llhj_core::result::TimedResult;
+use llhj_core::sorter::SortingOperator;
+use llhj_core::stats::{LatencyPoint, LatencySummary, NodeCounters};
+use llhj_core::tuple::SeqNo;
+
+/// Everything measured during one simulated run.
+#[derive(Debug)]
+pub struct SimReport<R, S> {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// Number of pipeline nodes.
+    pub nodes: usize,
+    /// All produced results, in production order.
+    pub results: Vec<TimedResult<R, S>>,
+    /// The punctuated physical output stream (empty unless the run was
+    /// configured with `punctuate = true`).
+    pub output: Vec<OutputItem<TimedResult<R, S>>>,
+    /// Aggregate latency statistics over all results.
+    pub latency: LatencySummary,
+    /// Latency time series (bucketed as configured).
+    pub latency_series: Vec<LatencyPoint>,
+    /// Per-node work counters.
+    pub counters: Vec<NodeCounters>,
+    /// Per-node busy time in nanoseconds of virtual time.
+    pub busy_ns: Vec<u64>,
+    /// Virtual time at which the last driver event was injected.
+    pub last_injection_ns: u64,
+    /// Virtual time at which the last node finished processing.
+    pub makespan_ns: u64,
+    /// Number of punctuations emitted by the collector.
+    pub punctuation_count: u64,
+    /// Number of R/S arrivals replayed from the schedule.
+    pub arrivals_per_stream: (usize, usize),
+}
+
+impl<R, S> SimReport<R, S> {
+    /// Sorted `(r_seq, s_seq)` keys of all results, for set comparison with
+    /// the Kang oracle.
+    pub fn result_keys(&self) -> Vec<(SeqNo, SeqNo)> {
+        let mut keys: Vec<_> = self.results.iter().map(|t| t.result.key()).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Utilization of node `k`: busy virtual time divided by the span over
+    /// which input was offered.  Values at or above 1.0 mean the node could
+    /// not keep up with the offered load.
+    pub fn utilization(&self, k: usize) -> f64 {
+        if self.last_injection_ns == 0 {
+            return 0.0;
+        }
+        self.busy_ns[k] as f64 / self.last_injection_ns as f64
+    }
+
+    /// Largest per-node utilization.
+    pub fn max_utilization(&self) -> f64 {
+        (0..self.nodes)
+            .map(|k| self.utilization(k))
+            .fold(0.0, f64::max)
+    }
+
+    /// True if every node kept its utilization below `threshold` — the
+    /// sustainability criterion used for the throughput experiments.
+    pub fn is_sustainable(&self, threshold: f64) -> bool {
+        self.max_utilization() <= threshold
+    }
+
+    /// Total predicate evaluations over the whole pipeline.
+    pub fn total_comparisons(&self) -> u64 {
+        self.counters.iter().map(|c| c.comparisons).sum()
+    }
+
+    /// Total messages forwarded between neighbouring nodes.
+    pub fn total_forwards(&self) -> u64 {
+        self.counters.iter().map(|c| c.forwards).sum()
+    }
+
+    /// Runs the punctuation-driven sorting operator over the punctuated
+    /// output stream and returns `(max buffered tuples, emitted tuples)`.
+    /// This is the measurement plotted in Figure 21 of the paper.
+    pub fn sorted_output_buffer(&self) -> (usize, u64)
+    where
+        R: Clone,
+        S: Clone,
+    {
+        let mut sorter = SortingOperator::new();
+        let mut emitted = 0u64;
+        for item in &self.output {
+            sorter.push(item.clone(), |t| t.result.ts(), |_| emitted += 1);
+        }
+        sorter.flush(|_| emitted += 1);
+        (sorter.max_buffered(), emitted)
+    }
+
+    /// The peak number of tuples resident in node-local windows across the
+    /// pipeline (memory footprint indicator).
+    pub fn peak_resident_tuples(&self) -> usize {
+        self.counters
+            .iter()
+            .map(|c| c.wr_peak + c.ws_peak + c.iws_peak)
+            .max()
+            .unwrap_or(0)
+    }
+}

@@ -1,0 +1,309 @@
+//! Workload generators for the evaluation harness.
+//!
+//! A [`BandJoinWorkload`] reproduces the experimental setup of Section 7.1:
+//! symmetric stream rates, uniformly distributed join attributes and the
+//! two-dimensional band join.  The `domain` parameter controls the
+//! selectivity: the paper's domain of 1–10,000 gives a hit rate of roughly
+//! 1 : 250,000, and scaled-down experiments shrink the domain so the
+//! expected number of output tuples per input tuple stays comparable.
+
+use crate::schema::{RTuple, STuple};
+use llhj_core::time::{TimeDelta, Timestamp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How arrival timestamps are spaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalPattern {
+    /// Perfectly regular arrivals at the configured rate.
+    Steady,
+    /// Exponentially distributed inter-arrival times (Poisson process) with
+    /// the configured mean rate.
+    Poisson,
+}
+
+/// Configuration of the band-join benchmark workload.
+#[derive(Debug, Clone)]
+pub struct BandJoinWorkload {
+    /// Tuples per second, per stream (the paper always uses `|R| = |S|`).
+    pub rate_per_sec: f64,
+    /// Length of the generated streams.
+    pub duration: TimeDelta,
+    /// Upper end of the uniform join-attribute domain (1..=domain).
+    pub domain: u32,
+    /// Arrival pattern.
+    pub pattern: ArrivalPattern,
+    /// RNG seed; the same seed reproduces the same workload exactly.
+    pub seed: u64,
+}
+
+impl Default for BandJoinWorkload {
+    fn default() -> Self {
+        BandJoinWorkload {
+            rate_per_sec: 1000.0,
+            duration: TimeDelta::from_secs(10),
+            domain: 10_000,
+            pattern: ArrivalPattern::Steady,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl BandJoinWorkload {
+    /// The paper's full-scale configuration: 10,000-value domain and the
+    /// given rate/duration.
+    pub fn paper_scale(rate_per_sec: f64, duration: TimeDelta) -> Self {
+        BandJoinWorkload {
+            rate_per_sec,
+            duration,
+            ..Default::default()
+        }
+    }
+
+    /// A scaled-down configuration suitable for unit tests and laptop-scale
+    /// experiments: the domain shrinks with the rate so that the expected
+    /// number of matches per arriving tuple stays close to the paper's
+    /// setup.
+    pub fn scaled(rate_per_sec: f64, duration: TimeDelta, domain: u32, seed: u64) -> Self {
+        BandJoinWorkload {
+            rate_per_sec,
+            duration,
+            domain,
+            pattern: ArrivalPattern::Steady,
+            seed,
+        }
+    }
+
+    /// Expected join hit rate of a single (r, s) pair: the probability that
+    /// both band conditions hold for uniformly drawn attributes.
+    pub fn expected_hit_rate(&self, band_x: i32, band_y: f32) -> f64 {
+        let d = self.domain as f64;
+        let px = ((2 * band_x + 1) as f64 / d).min(1.0);
+        let py = ((2.0 * band_y as f64) / d).min(1.0);
+        px * py
+    }
+
+    /// Number of tuples generated per stream.
+    pub fn tuples_per_stream(&self) -> usize {
+        (self.rate_per_sec * self.duration.as_secs_f64()).round() as usize
+    }
+
+    /// Generates the R stream arrivals.
+    pub fn generate_r(&self) -> Vec<(Timestamp, RTuple)> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        self.timestamps(&mut rng)
+            .into_iter()
+            .map(|ts| {
+                let x = rng.gen_range(1..=self.domain) as i32;
+                let y = rng.gen_range(1.0..=self.domain as f32);
+                (ts, RTuple::new(x, y))
+            })
+            .collect()
+    }
+
+    /// Generates the S stream arrivals.
+    pub fn generate_s(&self) -> Vec<(Timestamp, STuple)> {
+        let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(0x9E37_79B9));
+        self.timestamps(&mut rng)
+            .into_iter()
+            .map(|ts| {
+                let a = rng.gen_range(1..=self.domain) as i32;
+                let b = rng.gen_range(1.0..=self.domain as f32);
+                (ts, STuple::new(a, b))
+            })
+            .collect()
+    }
+
+    fn timestamps(&self, rng: &mut SmallRng) -> Vec<Timestamp> {
+        let n = self.tuples_per_stream();
+        let mut out = Vec::with_capacity(n);
+        match self.pattern {
+            ArrivalPattern::Steady => {
+                let gap = 1.0 / self.rate_per_sec;
+                for i in 0..n {
+                    out.push(Timestamp::from_micros((i as f64 * gap * 1e6) as u64));
+                }
+            }
+            ArrivalPattern::Poisson => {
+                let mut t = 0.0f64;
+                for _ in 0..n {
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    t += -u.ln() / self.rate_per_sec;
+                    out.push(Timestamp::from_micros((t * 1e6) as u64));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Configuration of the equi-join workload used for the index experiment
+/// (Table 2): join attributes are drawn uniformly so that `r.x = s.a`
+/// happens with probability `1 / domain`.
+#[derive(Debug, Clone)]
+pub struct EquiJoinWorkload {
+    /// Tuples per second, per stream.
+    pub rate_per_sec: f64,
+    /// Length of the generated streams.
+    pub duration: TimeDelta,
+    /// Size of the key domain.
+    pub domain: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EquiJoinWorkload {
+    fn default() -> Self {
+        EquiJoinWorkload {
+            rate_per_sec: 1000.0,
+            duration: TimeDelta::from_secs(10),
+            domain: 10_000,
+            seed: 0xE0_07,
+        }
+    }
+}
+
+impl EquiJoinWorkload {
+    /// Generates the R stream arrivals.
+    pub fn generate_r(&self) -> Vec<(Timestamp, RTuple)> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        steady(self.rate_per_sec, self.duration)
+            .into_iter()
+            .map(|ts| (ts, RTuple::new(rng.gen_range(1..=self.domain) as i32, 0.0)))
+            .collect()
+    }
+
+    /// Generates the S stream arrivals.
+    pub fn generate_s(&self) -> Vec<(Timestamp, STuple)> {
+        let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(1));
+        steady(self.rate_per_sec, self.duration)
+            .into_iter()
+            .map(|ts| (ts, STuple::new(rng.gen_range(1..=self.domain) as i32, 0.0)))
+            .collect()
+    }
+}
+
+fn steady(rate_per_sec: f64, duration: TimeDelta) -> Vec<Timestamp> {
+    let n = (rate_per_sec * duration.as_secs_f64()).round() as usize;
+    let gap = 1.0 / rate_per_sec;
+    (0..n)
+        .map(|i| Timestamp::from_micros((i as f64 * gap * 1e6) as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::BandPredicate;
+    use llhj_core::predicate::JoinPredicate;
+
+    #[test]
+    fn steady_arrivals_are_evenly_spaced_and_sorted() {
+        let w = BandJoinWorkload {
+            rate_per_sec: 100.0,
+            duration: TimeDelta::from_secs(2),
+            ..Default::default()
+        };
+        let r = w.generate_r();
+        assert_eq!(r.len(), 200);
+        assert!(r.windows(2).all(|p| p[0].0 <= p[1].0));
+        let gap = r[1].0.as_micros() - r[0].0.as_micros();
+        assert_eq!(gap, 10_000, "100 tuples/s -> 10 ms spacing");
+    }
+
+    #[test]
+    fn poisson_arrivals_are_sorted_and_roughly_match_the_rate() {
+        let w = BandJoinWorkload {
+            rate_per_sec: 500.0,
+            duration: TimeDelta::from_secs(4),
+            pattern: ArrivalPattern::Poisson,
+            ..Default::default()
+        };
+        let r = w.generate_r();
+        assert_eq!(r.len(), 2000);
+        assert!(r.windows(2).all(|p| p[0].0 <= p[1].0));
+        let last = r.last().unwrap().0.as_secs_f64();
+        assert!(last > 2.0 && last < 8.0, "mean should be ~4 s, got {last}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_workload() {
+        let w = BandJoinWorkload::default();
+        assert_eq!(w.generate_r(), w.generate_r());
+        assert_eq!(w.generate_s(), w.generate_s());
+        let other = BandJoinWorkload {
+            seed: 123,
+            ..BandJoinWorkload::default()
+        };
+        assert_ne!(w.generate_r(), other.generate_r());
+    }
+
+    #[test]
+    fn attributes_stay_in_domain() {
+        let w = BandJoinWorkload {
+            domain: 50,
+            rate_per_sec: 200.0,
+            duration: TimeDelta::from_secs(1),
+            ..Default::default()
+        };
+        for (_, r) in w.generate_r() {
+            assert!(r.x >= 1 && r.x <= 50);
+            assert!(r.y >= 1.0 && r.y <= 50.0);
+        }
+        for (_, s) in w.generate_s() {
+            assert!(s.a >= 1 && s.a <= 50);
+        }
+    }
+
+    #[test]
+    fn paper_scale_hit_rate_is_about_one_in_250k() {
+        let w = BandJoinWorkload::paper_scale(3000.0, TimeDelta::from_secs(1));
+        let rate = w.expected_hit_rate(10, 10.0);
+        let one_in = 1.0 / rate;
+        assert!(
+            (200_000.0..300_000.0).contains(&one_in),
+            "hit rate 1:{one_in:.0}"
+        );
+    }
+
+    #[test]
+    fn empirical_hit_rate_tracks_the_expected_one() {
+        // Shrunken domain so the sample of pairs is meaningful.
+        let w = BandJoinWorkload {
+            domain: 100,
+            rate_per_sec: 300.0,
+            duration: TimeDelta::from_secs(1),
+            ..Default::default()
+        };
+        let pred = BandPredicate::default();
+        let r = w.generate_r();
+        let s = w.generate_s();
+        let mut hits = 0u64;
+        for (_, rt) in &r {
+            for (_, st) in &s {
+                if pred.matches(rt, st) {
+                    hits += 1;
+                }
+            }
+        }
+        let observed = hits as f64 / (r.len() * s.len()) as f64;
+        let expected = w.expected_hit_rate(10, 10.0);
+        assert!(
+            observed > expected * 0.5 && observed < expected * 1.6,
+            "observed {observed:.5} vs expected {expected:.5}"
+        );
+    }
+
+    #[test]
+    fn equi_workload_generates_matching_lengths() {
+        let w = EquiJoinWorkload {
+            rate_per_sec: 100.0,
+            duration: TimeDelta::from_secs(3),
+            domain: 10,
+            seed: 1,
+        };
+        assert_eq!(w.generate_r().len(), 300);
+        assert_eq!(w.generate_s().len(), 300);
+        assert!(w.generate_r().iter().all(|(_, r)| r.x >= 1 && r.x <= 10));
+    }
+}

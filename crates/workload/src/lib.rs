@@ -1,0 +1,81 @@
+//! # llhj-workload — benchmark workloads for the handshake-join evaluation
+//!
+//! Reproduces the experimental setup of Section 7.1 of *Low-Latency
+//! Handshake Join*: the CellJoin benchmark schema, the two-dimensional band
+//! join with a 1 : 250,000 hit rate, and the equi-join variant used for the
+//! index-acceleration experiment (Table 2).  Generators are deterministic
+//! given a seed, so every experiment in the repository is reproducible.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generator;
+pub mod schema;
+
+pub use generator::{ArrivalPattern, BandJoinWorkload, EquiJoinWorkload};
+pub use schema::{BandPredicate, EquiXaPredicate, RTuple, STuple};
+
+use llhj_core::driver::DriverSchedule;
+use llhj_core::window::WindowSpec;
+
+/// Builds the full driver schedule (arrivals plus window expiries) for a
+/// band-join workload.
+pub fn band_join_schedule(
+    workload: &BandJoinWorkload,
+    window_r: WindowSpec,
+    window_s: WindowSpec,
+) -> DriverSchedule<RTuple, STuple> {
+    DriverSchedule::build(
+        workload.generate_r(),
+        workload.generate_s(),
+        window_r,
+        window_s,
+    )
+}
+
+/// Builds the full driver schedule for an equi-join workload.
+pub fn equi_join_schedule(
+    workload: &EquiJoinWorkload,
+    window_r: WindowSpec,
+    window_s: WindowSpec,
+) -> DriverSchedule<RTuple, STuple> {
+    DriverSchedule::build(
+        workload.generate_r(),
+        workload.generate_s(),
+        window_r,
+        window_s,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llhj_core::time::TimeDelta;
+
+    #[test]
+    fn schedule_contains_arrivals_and_expiries() {
+        let w = BandJoinWorkload {
+            rate_per_sec: 50.0,
+            duration: TimeDelta::from_secs(2),
+            ..Default::default()
+        };
+        let sched = band_join_schedule(&w, WindowSpec::time_secs(1), WindowSpec::time_secs(1));
+        assert_eq!(sched.r_count(), 100);
+        assert_eq!(sched.s_count(), 100);
+        // Every arrival eventually expires with a time-based window.
+        assert_eq!(sched.events().len(), 400);
+    }
+
+    #[test]
+    fn equi_schedule_builds() {
+        let w = EquiJoinWorkload {
+            rate_per_sec: 10.0,
+            duration: TimeDelta::from_secs(1),
+            domain: 5,
+            seed: 3,
+        };
+        let sched = equi_join_schedule(&w, WindowSpec::Count(5), WindowSpec::Count(5));
+        assert_eq!(sched.r_count(), 10);
+        assert!(sched.last_arrival_ts().is_some());
+    }
+}

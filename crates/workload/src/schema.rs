@@ -1,0 +1,161 @@
+//! The benchmark schema of Section 7.1.
+//!
+//! The paper reuses the CellJoin benchmark: two streams
+//!
+//! ```text
+//! R = ⟨ x: int, y: float, z: char[20] ⟩
+//! S = ⟨ a: int, b: float, c: double, d: bool ⟩
+//! ```
+//!
+//! joined by the two-dimensional band join
+//!
+//! ```text
+//! WHERE r.x BETWEEN s.a - 10 AND s.a + 10
+//!   AND r.y BETWEEN s.b - 10. AND s.b + 10.
+//! ```
+//!
+//! with both join attributes drawn uniformly from 1–10,000, which yields a
+//! join hit rate of about 1 : 250,000.  For the index-acceleration
+//! experiment (Table 2) the predicate is changed to an equi-join on
+//! `r.x = s.a` so that hash indexes apply.
+
+use llhj_core::predicate::JoinPredicate;
+
+/// A tuple of stream R: `⟨ x: int, y: float, z: char[20] ⟩`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RTuple {
+    /// First (integer) join attribute.
+    pub x: i32,
+    /// Second (floating point) join attribute.
+    pub y: f32,
+    /// Carried payload column, never inspected by the join.
+    pub z: [u8; 20],
+}
+
+impl RTuple {
+    /// Creates an R tuple with a zeroed payload column.
+    pub fn new(x: i32, y: f32) -> Self {
+        RTuple { x, y, z: [0; 20] }
+    }
+}
+
+/// A tuple of stream S: `⟨ a: int, b: float, c: double, d: bool ⟩`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct STuple {
+    /// First (integer) join attribute.
+    pub a: i32,
+    /// Second (floating point) join attribute.
+    pub b: f32,
+    /// Carried payload column.
+    pub c: f64,
+    /// Carried payload column.
+    pub d: bool,
+}
+
+impl STuple {
+    /// Creates an S tuple with default payload columns.
+    pub fn new(a: i32, b: f32) -> Self {
+        STuple {
+            a,
+            b,
+            c: 0.0,
+            d: false,
+        }
+    }
+}
+
+/// The paper's two-dimensional band join predicate.
+///
+/// `band` is the half-width of the band (10 in the paper).  The predicate
+/// does not expose equi-keys, so all window probing is a nested-loop scan —
+/// exactly the workload the handshake join algorithms were designed for.
+#[derive(Debug, Clone, Copy)]
+pub struct BandPredicate {
+    /// Half-width of the integer band on `x` / `a`.
+    pub band_x: i32,
+    /// Half-width of the float band on `y` / `b`.
+    pub band_y: f32,
+}
+
+impl Default for BandPredicate {
+    fn default() -> Self {
+        BandPredicate {
+            band_x: 10,
+            band_y: 10.0,
+        }
+    }
+}
+
+impl JoinPredicate<RTuple, STuple> for BandPredicate {
+    #[inline]
+    fn matches(&self, r: &RTuple, s: &STuple) -> bool {
+        (r.x - s.a).abs() <= self.band_x && (r.y - s.b).abs() <= self.band_y
+    }
+}
+
+/// Equi-join variant `r.x = s.a` used for the index-acceleration experiment
+/// (Section 7.6 / Table 2).  Exposes both keys so node-local hash indexes
+/// can be built.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EquiXaPredicate;
+
+impl JoinPredicate<RTuple, STuple> for EquiXaPredicate {
+    #[inline]
+    fn matches(&self, r: &RTuple, s: &STuple) -> bool {
+        r.x == s.a
+    }
+    #[inline]
+    fn r_key(&self, r: &RTuple) -> Option<u64> {
+        Some(r.x as u64)
+    }
+    #[inline]
+    fn s_key(&self, s: &STuple) -> Option<u64> {
+        Some(s.a as u64)
+    }
+    fn supports_index(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_predicate_matches_inside_band() {
+        let p = BandPredicate::default();
+        let r = RTuple::new(100, 50.0);
+        assert!(p.matches(&r, &STuple::new(110, 55.0)));
+        assert!(p.matches(&r, &STuple::new(90, 45.0)));
+        assert!(!p.matches(&r, &STuple::new(111, 50.0)), "x band exceeded");
+        assert!(!p.matches(&r, &STuple::new(100, 61.0)), "y band exceeded");
+    }
+
+    #[test]
+    fn band_predicate_has_no_keys() {
+        let p = BandPredicate::default();
+        assert!(!JoinPredicate::<RTuple, STuple>::supports_index(&p));
+        assert_eq!(p.r_key(&RTuple::new(1, 1.0)), None);
+        assert_eq!(p.s_key(&STuple::new(1, 1.0)), None);
+    }
+
+    #[test]
+    fn equi_predicate_matches_on_x_a_only() {
+        let p = EquiXaPredicate;
+        assert!(p.matches(&RTuple::new(7, 1.0), &STuple::new(7, 999.0)));
+        assert!(!p.matches(&RTuple::new(7, 1.0), &STuple::new(8, 1.0)));
+        assert_eq!(p.r_key(&RTuple::new(7, 1.0)), Some(7));
+        assert_eq!(p.s_key(&STuple::new(9, 1.0)), Some(9));
+        assert!(JoinPredicate::<RTuple, STuple>::supports_index(&p));
+    }
+
+    #[test]
+    fn tuple_constructors() {
+        let r = RTuple::new(3, 4.5);
+        assert_eq!(r.x, 3);
+        assert_eq!(r.z, [0u8; 20]);
+        let s = STuple::new(1, 2.0);
+        assert!(!s.d);
+        assert_eq!(s.c, 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Quick start: join two small integer streams with low-latency handshake
+//! join on a threaded pipeline.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use handshake_join::prelude::*;
+
+fn main() {
+    // Two tiny streams of (timestamp, key) pairs.
+    let r: Vec<(Timestamp, u32)> = (0..50u64)
+        .map(|i| (Timestamp::from_millis(i * 10), (i % 10) as u32))
+        .collect();
+    let s: Vec<(Timestamp, u32)> = (0..50u64)
+        .map(|i| (Timestamp::from_millis(i * 10 + 5), (i % 7) as u32))
+        .collect();
+
+    // The external driver turns raw arrivals plus a window specification
+    // into a totally ordered schedule of arrival / expiry events.
+    let schedule = DriverSchedule::build(
+        r,
+        s,
+        WindowSpec::time_secs(1),
+        WindowSpec::time_secs(1),
+    );
+
+    // An equality predicate on the payloads.
+    let pred = FnPredicate(|r: &u32, s: &u32| r == s);
+
+    // Run a 3-worker low-latency handshake join pipeline over the schedule.
+    let outcome = run_pipeline(
+        llhj_nodes(3, pred.clone()),
+        pred,
+        RoundRobin,
+        &schedule,
+        &PipelineOptions {
+            batch_size: 4,
+            ..Default::default()
+        },
+    );
+
+    println!(
+        "joined {} result pairs using {} workers",
+        outcome.results.len(),
+        outcome.counters.len()
+    );
+    for timed in outcome.results.iter().take(10) {
+        println!(
+            "  r#{} (key {}) x s#{} (key {})  result ts = {}",
+            timed.result.r.seq.0,
+            timed.result.r.payload,
+            timed.result.s.seq.0,
+            timed.result.s.payload,
+            timed.result.ts()
+        );
+    }
+    println!(
+        "total predicate evaluations across the pipeline: {}",
+        outcome.total_comparisons()
+    );
+}

@@ -1,0 +1,45 @@
+//! Scalability sweep: maximum sustainable throughput as a function of the
+//! core count, using the calibrated analytic model at the paper's full
+//! scale (15-minute windows, 1:250,000 band join) — a miniature Figure 17
+//! plus the Table 2 index-acceleration column.
+//!
+//! ```bash
+//! cargo run --release --example scalability_sweep
+//! ```
+
+use handshake_join::prelude::*;
+
+fn main() {
+    println!("paper-scale throughput model (15-minute windows, band join 1:250,000)\n");
+    println!(
+        "{:>6}  {:>14}  {:>14}  {:>18}  {:>16}",
+        "cores", "HSJ (t/s)", "LLHJ (t/s)", "LLHJ+punct (t/s)", "LLHJ+index (t/s)"
+    );
+    for cores in [4usize, 8, 12, 16, 20, 24, 28, 32, 36, 40, 48] {
+        let model = AnalyticModel::paper_benchmark(cores);
+        let punctuated = AnalyticModel {
+            punctuate: true,
+            ..AnalyticModel::paper_benchmark(cores)
+        };
+        println!(
+            "{:>6}  {:>14.0}  {:>14.0}  {:>18.0}  {:>16.0}",
+            cores,
+            model.max_rate(Algorithm::Hsj),
+            model.max_rate(Algorithm::Llhj),
+            punctuated.max_rate(Algorithm::Llhj),
+            model.max_rate(Algorithm::LlhjIndexed),
+        );
+    }
+
+    println!("\nlatency at the sustained rate (batch 64):");
+    for cores in [8usize, 16, 24, 32, 40] {
+        let model = AnalyticModel::paper_benchmark(cores);
+        let rate = model.max_rate(Algorithm::Llhj);
+        println!(
+            "{:>6} cores: HSJ avg = {:>10}, LLHJ avg = {:>10}",
+            cores,
+            model.hsj_average_latency(),
+            model.llhj_average_latency(rate, 64),
+        );
+    }
+}

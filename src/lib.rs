@@ -1,0 +1,67 @@
+//! # handshake-join — Low-Latency Handshake Join in Rust
+//!
+//! A from-scratch reproduction of *"Low-Latency Handshake Join"* (Roy,
+//! Teubner, Gemulla; PVLDB 7(9), 2014): a parallel, NUMA-friendly sliding-
+//! window stream join that keeps the throughput and scalability of
+//! handshake join while cutting result latency by orders of magnitude and
+//! producing punctuated (and therefore sortable) output streams.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`core`] (`llhj-core`) — the algorithms themselves: the low-latency
+//!   handshake join node, the original handshake join baseline, windows,
+//!   punctuations, the sorting operator and the analytic latency model;
+//! * [`runtime`] (`llhj-runtime`) — a threaded deployment (one worker per
+//!   core, crossbeam FIFO channels, driver + collector threads);
+//! * [`sim`] (`llhj-sim`) — a deterministic discrete-event simulator used
+//!   by the evaluation harness to sweep core counts;
+//! * [`baselines`] (`llhj-baselines`) — Kang's three-step procedure and
+//!   CellJoin;
+//! * [`workload`] (`llhj-workload`) — the paper's benchmark workload.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use handshake_join::prelude::*;
+//!
+//! // Join two integer streams on equality over 10-second windows.
+//! let r = vec![(Timestamp::from_millis(10), 7u32), (Timestamp::from_millis(30), 9)];
+//! let s = vec![(Timestamp::from_millis(20), 7u32), (Timestamp::from_millis(40), 8)];
+//! let schedule = DriverSchedule::build(
+//!     r, s, WindowSpec::time_secs(10), WindowSpec::time_secs(10),
+//! );
+//!
+//! let pred = FnPredicate(|r: &u32, s: &u32| r == s);
+//! let outcome = run_pipeline(
+//!     llhj_nodes(2, pred.clone()),
+//!     pred,
+//!     RoundRobin,
+//!     &schedule,
+//!     &PipelineOptions::default(),
+//! );
+//! assert_eq!(outcome.results.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use llhj_baselines as baselines;
+pub use llhj_core as core;
+pub use llhj_runtime as runtime;
+pub use llhj_sim as sim;
+pub use llhj_workload as workload;
+
+/// One-stop prelude for applications: the core types, the threaded runtime
+/// entry points and the benchmark workload.
+pub mod prelude {
+    pub use llhj_core::prelude::*;
+    pub use llhj_runtime::{
+        hsj_nodes, llhj_indexed_nodes, llhj_nodes, run_pipeline, Pacing, PipelineOptions,
+        RunOutcome,
+    };
+    pub use llhj_sim::{run_simulation, Algorithm, AnalyticModel, CostModel, SimConfig, SimReport};
+    pub use llhj_workload::{
+        band_join_schedule, equi_join_schedule, BandJoinWorkload, BandPredicate,
+        EquiJoinWorkload, EquiXaPredicate, RTuple, STuple,
+    };
+}

@@ -1,0 +1,139 @@
+//! Integration tests on the paper's benchmark workload (Section 7.1):
+//! the two-dimensional band join over the CellJoin schema, run through the
+//! baselines, the simulator and the analytic latency model.
+
+use handshake_join::baselines::{run_celljoin, run_kang};
+use handshake_join::prelude::*;
+use llhj_core::latency_model::hsj_max_latency;
+
+fn scaled_schedule(window_secs: u64) -> llhj_core::DriverSchedule<RTuple, STuple> {
+    let workload = BandJoinWorkload::scaled(120.0, TimeDelta::from_secs(12), 400, 99);
+    band_join_schedule(
+        &workload,
+        WindowSpec::time_secs(window_secs),
+        WindowSpec::time_secs(window_secs),
+    )
+}
+
+#[test]
+fn all_algorithms_agree_on_the_band_join_result_set() {
+    let schedule = scaled_schedule(4);
+    let pred = BandPredicate::default();
+    let oracle = run_kang(pred, &schedule);
+    assert!(
+        oracle.results.len() > 20,
+        "workload must produce a meaningful number of matches, got {}",
+        oracle.results.len()
+    );
+
+    let cell = run_celljoin(4, pred, &schedule);
+    assert_eq!(cell.result_keys(), oracle.result_keys());
+
+    for nodes in [1usize, 3, 6] {
+        let mut cfg = SimConfig::new(nodes, Algorithm::Llhj);
+        cfg.window_r = WindowSpec::time_secs(4);
+        cfg.window_s = WindowSpec::time_secs(4);
+        cfg.expected_rate_per_sec = 120.0;
+        cfg.batch_size = 16;
+        cfg.latency_bucket = 1_000_000;
+        let report = run_simulation(&cfg, pred, RoundRobin, &schedule);
+        assert_eq!(
+            report.result_keys(),
+            oracle.result_keys(),
+            "LLHJ with {nodes} nodes"
+        );
+    }
+}
+
+#[test]
+fn hsj_latency_tracks_the_window_size_and_llhj_does_not() {
+    let pred = BandPredicate::default();
+    let mut hsj_means = Vec::new();
+    let mut llhj_means = Vec::new();
+    for window_secs in [2u64, 4] {
+        let schedule = scaled_schedule(window_secs);
+        for (algorithm, out) in [
+            (Algorithm::Hsj, &mut hsj_means),
+            (Algorithm::Llhj, &mut llhj_means),
+        ] {
+            let mut cfg = SimConfig::new(4, algorithm);
+            cfg.window_r = WindowSpec::time_secs(window_secs);
+            cfg.window_s = WindowSpec::time_secs(window_secs);
+            cfg.expected_rate_per_sec = 120.0;
+            cfg.batch_size = 16;
+            cfg.latency_bucket = 1_000_000;
+            let report = run_simulation(&cfg, pred, RoundRobin, &schedule);
+            out.push(report.latency.mean().as_millis_f64());
+        }
+    }
+    // Doubling the window roughly doubles HSJ latency (Equation 8)...
+    assert!(
+        hsj_means[1] > hsj_means[0] * 1.4,
+        "HSJ latency must grow with the window: {hsj_means:?}"
+    );
+    // ...while LLHJ latency stays at the batching level for both windows.
+    assert!(
+        llhj_means[1] < llhj_means[0] * 3.0 + 50.0,
+        "LLHJ latency must not track the window: {llhj_means:?}"
+    );
+    // And LLHJ is far below HSJ for the larger window.
+    assert!(llhj_means[1] * 5.0 < hsj_means[1]);
+    // The observed HSJ latencies stay below the analytic bound plus slack.
+    let bound = hsj_max_latency(TimeDelta::from_secs(4), TimeDelta::from_secs(4));
+    assert!(hsj_means[1] < bound.as_millis_f64() * 1.5 + 1_000.0);
+}
+
+#[test]
+fn equi_join_index_cuts_work_but_not_results() {
+    let workload = EquiJoinWorkload {
+        rate_per_sec: 150.0,
+        duration: TimeDelta::from_secs(8),
+        domain: 300,
+        seed: 5,
+    };
+    let window = WindowSpec::time_secs(3);
+    let schedule = equi_join_schedule(&workload, window, window);
+    let oracle = run_kang(EquiXaPredicate, &schedule);
+
+    let mut run = |algorithm| {
+        let mut cfg = SimConfig::new(4, algorithm);
+        cfg.window_r = window;
+        cfg.window_s = window;
+        cfg.expected_rate_per_sec = 150.0;
+        cfg.batch_size = 16;
+        cfg.latency_bucket = 1_000_000;
+        run_simulation(&cfg, EquiXaPredicate, RoundRobin, &schedule)
+    };
+    let plain = run(Algorithm::Llhj);
+    let indexed = run(Algorithm::LlhjIndexed);
+    assert_eq!(plain.result_keys(), oracle.result_keys());
+    assert_eq!(indexed.result_keys(), oracle.result_keys());
+    assert!(
+        indexed.total_comparisons() * 5 < plain.total_comparisons(),
+        "index must cut comparisons: {} vs {}",
+        indexed.total_comparisons(),
+        plain.total_comparisons()
+    );
+}
+
+#[test]
+fn workload_hit_rate_matches_the_analytic_expectation() {
+    // At the paper's domain of 10,000 the expected hit rate is ~1:250,000;
+    // the scaled workload keeps the product `hit_rate * window_tuples`
+    // comparable so experiments stay meaningful.
+    let paper = BandJoinWorkload::paper_scale(3000.0, TimeDelta::from_secs(1));
+    let hit = paper.expected_hit_rate(10, 10.0);
+    assert!((1.0 / hit) > 200_000.0 && (1.0 / hit) < 300_000.0);
+
+    let scaled = BandJoinWorkload::scaled(120.0, TimeDelta::from_secs(12), 400, 99);
+    let schedule = scaled_schedule(4);
+    let oracle = run_kang(BandPredicate::default(), &schedule);
+    let window_tuples = 4.0 * 120.0;
+    let arrivals = (schedule.r_count() + schedule.s_count()) as f64;
+    let expected_total = arrivals * window_tuples * scaled.expected_hit_rate(10, 10.0);
+    let observed = oracle.results.len() as f64;
+    assert!(
+        observed > expected_total * 0.3 && observed < expected_total * 3.0,
+        "observed {observed} matches vs expected ~{expected_total:.0}"
+    );
+}

@@ -1,0 +1,239 @@
+//! Cross-crate semantic-equivalence tests.
+//!
+//! Table 1 of the paper argues that low-latency handshake join evaluates
+//! the join predicate exactly once per qualifying pair.  These tests verify
+//! that claim end to end: for randomized workloads, the result *set*
+//! produced by the simulated pipelines (any core count) must equal the set
+//! produced by Kang's sequential three-step procedure, with no duplicates
+//! and no missing pairs.  CellJoin is held to the same standard.
+
+use llhj_baselines::{run_celljoin, run_kang};
+use llhj_core::driver::DriverSchedule;
+use llhj_core::homing::{HashKey, RoundRobin};
+use llhj_core::predicate::{FnPredicate, JoinPredicate};
+use llhj_core::time::{TimeDelta, Timestamp};
+use llhj_core::window::WindowSpec;
+use llhj_sim::{run_simulation, Algorithm, SimConfig};
+use proptest::prelude::*;
+
+fn eq_pred() -> FnPredicate<fn(&u32, &u32) -> bool> {
+    fn eq(r: &u32, s: &u32) -> bool {
+        r == s
+    }
+    FnPredicate(eq as fn(&u32, &u32) -> bool)
+}
+
+/// Builds a schedule from per-stream (gap in ms, value) lists, with a flush
+/// tail of non-matching tuples so that the original handshake join (whose
+/// tuples only move while input keeps flowing) also drains completely.
+fn schedule_from(
+    r: &[(u16, u8)],
+    s: &[(u16, u8)],
+    window_ms: u64,
+    flush: bool,
+) -> DriverSchedule<u32, u32> {
+    let window = WindowSpec::Time(TimeDelta::from_millis(window_ms));
+    let build = |items: &[(u16, u8)], flush_value: u32| {
+        let mut ts = 0u64;
+        let mut out: Vec<(Timestamp, u32)> = Vec::new();
+        for &(gap, value) in items {
+            ts += gap as u64;
+            out.push((Timestamp::from_millis(ts), value as u32));
+        }
+        if flush {
+            for i in 1..=(window_ms + 20) {
+                out.push((Timestamp::from_millis(ts + i * 2), flush_value));
+            }
+        }
+        out
+    };
+    DriverSchedule::build(build(r, 1_000_000), build(s, 2_000_000), window, window)
+}
+
+fn sim_config(nodes: usize, algorithm: Algorithm, window_ms: u64) -> SimConfig {
+    let mut cfg = SimConfig::new(nodes, algorithm);
+    // The semantic guarantees of both algorithms assume that the window
+    // span dwarfs the driver's batching delay and the pipeline traversal
+    // time (true for any realistic deployment: minutes vs. milliseconds).
+    // The property tests therefore disable batching so they can explore
+    // windows down to tens of milliseconds.
+    cfg.batch_size = 1;
+    cfg.window_r = WindowSpec::Time(TimeDelta::from_millis(window_ms));
+    cfg.window_s = WindowSpec::Time(TimeDelta::from_millis(window_ms));
+    cfg.expected_rate_per_sec = 100.0;
+    cfg.latency_bucket = 1_000_000;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Low-latency handshake join produces exactly the oracle's result set
+    /// for arbitrary workloads and pipeline widths.
+    #[test]
+    fn llhj_matches_kang_for_random_workloads(
+        r in prop::collection::vec((1u16..200, 0u8..12), 1..60),
+        s in prop::collection::vec((1u16..200, 0u8..12), 1..60),
+        window_ms in 50u64..2_000,
+        nodes in 1usize..6,
+    ) {
+        let schedule = schedule_from(&r, &s, window_ms, false);
+        let oracle = run_kang(eq_pred(), &schedule);
+        let report = run_simulation(
+            &sim_config(nodes, Algorithm::Llhj, window_ms),
+            eq_pred(),
+            RoundRobin,
+            &schedule,
+        );
+        prop_assert_eq!(report.result_keys(), oracle.result_keys());
+    }
+
+    /// The original handshake join is *sound* (it never reports a pair the
+    /// oracle would not) and complete up to its flow quantisation: tuples
+    /// advance through the pipeline only when new input pushes them, so
+    /// under a sparse stream a pair whose window overlap is smaller than
+    /// one pipeline band (plus a few inter-arrival gaps) can expire before
+    /// the two tuples physically meet.  This is inherent to the original
+    /// algorithm — and exactly the kind of behaviour low-latency handshake
+    /// join eliminates (see `llhj_matches_kang_for_random_workloads`, which
+    /// demands exact equality).
+    #[test]
+    fn hsj_is_sound_and_complete_up_to_flow_quantisation(
+        r in prop::collection::vec((1u16..150, 0u8..10), 1..40),
+        s in prop::collection::vec((1u16..150, 0u8..10), 1..40),
+        window_ms in 100u64..1_500,
+        nodes in 1usize..5,
+    ) {
+        let schedule = schedule_from(&r, &s, window_ms, true);
+        let oracle = run_kang(eq_pred(), &schedule);
+        let report = run_simulation(
+            &sim_config(nodes, Algorithm::Hsj, window_ms),
+            eq_pred(),
+            RoundRobin,
+            &schedule,
+        );
+        let oracle_keys = oracle.result_keys();
+        let hsj_keys = report.result_keys();
+
+        // Soundness: every reported pair is in the oracle set, exactly once.
+        let mut deduped = hsj_keys.clone();
+        deduped.dedup();
+        prop_assert_eq!(deduped.len(), hsj_keys.len(), "duplicate results");
+        for key in &hsj_keys {
+            prop_assert!(oracle_keys.contains(key), "spurious result {key:?}");
+        }
+
+        // Completeness up to flow quantisation: a missing pair must have a
+        // window overlap smaller than one pipeline band plus the trigger
+        // slack of a sparse stream.
+        let r_ts: Vec<Timestamp> = schedule
+            .events()
+            .iter()
+            .filter_map(|e| match &e.event {
+                llhj_core::StreamEvent::ArrivalR(t) => Some(t.ts),
+                _ => None,
+            })
+            .collect();
+        let s_ts: Vec<Timestamp> = schedule
+            .events()
+            .iter()
+            .filter_map(|e| match &e.event {
+                llhj_core::StreamEvent::ArrivalS(t) => Some(t.ts),
+                _ => None,
+            })
+            .collect();
+        let allowed_margin_ms = window_ms / nodes as u64 + 150 * nodes as u64 + 50;
+        for key in &oracle_keys {
+            if hsj_keys.contains(key) {
+                continue;
+            }
+            let tr = r_ts[key.0 .0 as usize].as_micros() / 1_000;
+            let ts = s_ts[key.1 .0 as usize].as_micros() / 1_000;
+            let overlap = (tr.min(ts) + window_ms).saturating_sub(tr.max(ts));
+            prop_assert!(
+                overlap <= allowed_margin_ms,
+                "missed pair {key:?} had a comfortable overlap of {overlap} ms \
+                 (allowed quantisation margin: {allowed_margin_ms} ms)"
+            );
+        }
+    }
+
+    /// CellJoin is a parallelisation of Kang's procedure: identical output.
+    #[test]
+    fn celljoin_matches_kang_for_random_workloads(
+        r in prop::collection::vec((1u16..200, 0u8..12), 1..60),
+        s in prop::collection::vec((1u16..200, 0u8..12), 1..60),
+        window_ms in 50u64..2_000,
+        cores in 1usize..7,
+    ) {
+        let schedule = schedule_from(&r, &s, window_ms, false);
+        let oracle = run_kang(eq_pred(), &schedule);
+        let cell = run_celljoin(cores, eq_pred(), &schedule);
+        prop_assert_eq!(cell.result_keys(), oracle.result_keys());
+    }
+
+    /// Results are never duplicated, whatever the configuration.
+    #[test]
+    fn llhj_never_duplicates_results(
+        r in prop::collection::vec((1u16..100, 0u8..6), 1..50),
+        s in prop::collection::vec((1u16..100, 0u8..6), 1..50),
+        nodes in 1usize..6,
+    ) {
+        let schedule = schedule_from(&r, &s, 800, false);
+        let report = run_simulation(
+            &sim_config(nodes, Algorithm::Llhj, 800),
+            eq_pred(),
+            RoundRobin,
+            &schedule,
+        );
+        let mut keys = report.result_keys();
+        let before = keys.len();
+        keys.dedup();
+        prop_assert_eq!(before, keys.len());
+    }
+}
+
+/// Hash-based home placement must not change the result set either (it only
+/// changes which node stores which tuple).
+#[test]
+fn hash_placement_is_semantically_equivalent_to_round_robin() {
+    #[derive(Clone)]
+    struct Eq;
+    impl JoinPredicate<u32, u32> for Eq {
+        fn matches(&self, r: &u32, s: &u32) -> bool {
+            r == s
+        }
+        fn r_key(&self, r: &u32) -> Option<u64> {
+            Some(*r as u64)
+        }
+        fn s_key(&self, s: &u32) -> Option<u64> {
+            Some(*s as u64)
+        }
+        fn supports_index(&self) -> bool {
+            true
+        }
+    }
+    let r: Vec<(u16, u8)> = (0..120).map(|i| (7, (i % 9) as u8)).collect();
+    let s: Vec<(u16, u8)> = (0..120).map(|i| (9, (i % 11) as u8)).collect();
+    let schedule = schedule_from(&r, &s, 600, false);
+    let oracle = run_kang(Eq, &schedule);
+    for nodes in [2usize, 5] {
+        let round_robin = run_simulation(
+            &sim_config(nodes, Algorithm::Llhj, 600),
+            Eq,
+            RoundRobin,
+            &schedule,
+        );
+        let hashed = run_simulation(
+            &sim_config(nodes, Algorithm::LlhjIndexed, 600),
+            Eq,
+            HashKey,
+            &schedule,
+        );
+        assert_eq!(round_robin.result_keys(), oracle.result_keys());
+        assert_eq!(hashed.result_keys(), oracle.result_keys());
+    }
+}

@@ -1,0 +1,62 @@
+//! Smoke tests over the figure-reproduction harness: every experiment of
+//! the paper's evaluation section can be regenerated end to end (at the
+//! tiny smoke scale) and reports the qualitative shape the paper describes.
+
+use llhj_bench::experiments;
+use llhj_bench::Scale;
+
+#[test]
+fn every_experiment_runs_and_reports() {
+    let scale = Scale::smoke();
+
+    let fig05 = experiments::fig05::run(&scale);
+    assert!(!fig05.equal_windows.points.is_empty());
+
+    let fig18 = experiments::fig18::run(&scale);
+    assert_eq!(fig18.model.len(), scale.model_cores.len());
+    assert_eq!(fig18.measured.len(), scale.sim_cores.len());
+
+    let fig19 = experiments::fig19::run(&scale);
+    assert!(!fig19.equal_windows.points.is_empty());
+
+    let fig20 = experiments::fig20::run(&scale);
+    assert!(!fig20.config.points.is_empty());
+
+    let fig21 = experiments::fig21::run(&scale);
+    assert_eq!(fig21.rows.len(), scale.sim_cores.len());
+
+    let table2 = experiments::table2::run(&scale);
+    assert_eq!(table2.rows.len(), 3);
+
+    // The headline comparison across experiments: the plateau latency of
+    // the original handshake join (Figure 5) is orders of magnitude above
+    // the low-latency variant's latency (Figure 19) for the same windows.
+    let hsj_peak = fig05
+        .equal_windows
+        .points
+        .iter()
+        .map(|p| p.avg_ms)
+        .fold(0.0f64, f64::max);
+    let llhj_peak = fig19
+        .equal_windows
+        .points
+        .iter()
+        .map(|p| p.avg_ms)
+        .fold(0.0f64, f64::max);
+    assert!(
+        hsj_peak > 3.0 * llhj_peak,
+        "HSJ peak {hsj_peak} ms should dwarf LLHJ peak {llhj_peak} ms"
+    );
+}
+
+#[test]
+fn figure_17_runs_and_scales() {
+    let scale = Scale::smoke();
+    let fig17 = experiments::fig17::run(&scale);
+    assert_eq!(fig17.model.len(), scale.model_cores.len());
+    assert_eq!(fig17.measured.len(), scale.sim_cores.len());
+    // Model throughput at 40 cores must exceed the 8-core value.
+    let small = fig17.model.first().unwrap();
+    let large = fig17.model.last().unwrap();
+    assert!(large.llhj > small.llhj);
+}

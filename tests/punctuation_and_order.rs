@@ -1,0 +1,119 @@
+//! Integration tests for punctuated output and ordered result streams
+//! (Sections 5 and 6 of the paper), spanning the simulator and the
+//! threaded runtime.
+
+use handshake_join::prelude::*;
+use llhj_core::punctuation::verify_punctuated_stream;
+use proptest::prelude::*;
+
+fn band_schedule(rate: f64, secs: u64, window_secs: u64, seed: u64) -> llhj_core::DriverSchedule<RTuple, STuple> {
+    let workload = BandJoinWorkload::scaled(rate, TimeDelta::from_secs(secs), 300, seed);
+    band_join_schedule(
+        &workload,
+        WindowSpec::time_secs(window_secs),
+        WindowSpec::time_secs(window_secs),
+    )
+}
+
+fn punctuated_sim(
+    nodes: usize,
+    seed: u64,
+) -> SimReport<RTuple, STuple> {
+    let schedule = band_schedule(120.0, 6, 3, seed);
+    let mut cfg = SimConfig::new(nodes, Algorithm::Llhj);
+    cfg.punctuate = true;
+    cfg.batch_size = 16;
+    cfg.window_r = WindowSpec::time_secs(3);
+    cfg.window_s = WindowSpec::time_secs(3);
+    cfg.expected_rate_per_sec = 120.0;
+    cfg.collect_interval = TimeDelta::from_millis(10);
+    cfg.latency_bucket = 1_000_000;
+    run_simulation(&cfg, BandPredicate::default(), RoundRobin, &schedule)
+}
+
+#[test]
+fn simulated_punctuated_stream_honours_its_guarantee() {
+    let report = punctuated_sim(4, 11);
+    assert!(report.punctuation_count > 10);
+    assert!(report.results.len() > 10);
+    assert_eq!(
+        verify_punctuated_stream(&report.output, |t| t.result.ts()),
+        Ok(())
+    );
+}
+
+#[test]
+fn sorting_the_punctuated_stream_yields_a_totally_ordered_stream() {
+    let report = punctuated_sim(3, 23);
+    let mut sorter = SortingOperator::new();
+    let mut emitted: Vec<Timestamp> = Vec::new();
+    for item in report.output.iter().cloned() {
+        sorter.push(item, |t| t.result.ts(), |t| emitted.push(t.result.ts()));
+    }
+    sorter.flush(|t| emitted.push(t.result.ts()));
+    assert_eq!(emitted.len(), report.results.len(), "sorting must not lose results");
+    assert!(emitted.windows(2).all(|w| w[0] <= w[1]), "output must be ordered");
+    // The buffer stays far below the total output volume (Figure 21's
+    // claim): frequent punctuations bound it by one collector cycle.
+    assert!(
+        sorter.max_buffered() < report.results.len(),
+        "buffer {} vs total {}",
+        sorter.max_buffered(),
+        report.results.len()
+    );
+}
+
+#[test]
+fn threaded_runtime_produces_a_valid_punctuated_stream() {
+    let schedule = band_schedule(150.0, 4, 2, 31);
+    let outcome = run_pipeline(
+        llhj_nodes(3, BandPredicate::default()),
+        BandPredicate::default(),
+        RoundRobin,
+        &schedule,
+        &PipelineOptions {
+            punctuate: true,
+            batch_size: 8,
+            pacing: Pacing::RealTime { speedup: 4.0 },
+            ..Default::default()
+        },
+    );
+    assert!(outcome.punctuation_count > 0);
+    assert!(!outcome.results.is_empty());
+    assert_eq!(
+        verify_punctuated_stream(&outcome.output, |t| t.result.ts()),
+        Ok(())
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Punctuation safety holds for arbitrary seeds and pipeline widths.
+    #[test]
+    fn punctuation_guarantee_holds_for_random_workloads(seed in 0u64..1_000, nodes in 1usize..6) {
+        let report = punctuated_sim(nodes, seed);
+        prop_assert_eq!(
+            verify_punctuated_stream(&report.output, |t| t.result.ts()),
+            Ok(())
+        );
+    }
+
+    /// High-water-mark punctuations never run ahead of the input streams:
+    /// every punctuation value is at most the largest input timestamp.
+    #[test]
+    fn punctuations_never_exceed_stream_progress(seed in 0u64..1_000) {
+        let report = punctuated_sim(3, seed);
+        let last_input = report
+            .results
+            .iter()
+            .map(|t| t.result.ts())
+            .max()
+            .unwrap_or(Timestamp::ZERO);
+        for item in &report.output {
+            if let Some(p) = item.as_punctuation() {
+                prop_assert!(p.ts <= last_input.max(Timestamp::from_secs(6)));
+            }
+        }
+    }
+}
