@@ -180,7 +180,10 @@ mod tests {
             WindowSpec::Unbounded,
         );
         let report = run_kang(FnPredicate(|r: &u32, s: &u32| r == s), &sched);
-        assert_eq!(report.result_keys(), vec![(SeqNo(0), SeqNo(0)), (SeqNo(2), SeqNo(0))]);
+        assert_eq!(
+            report.result_keys(),
+            vec![(SeqNo(0), SeqNo(0)), (SeqNo(2), SeqNo(0))]
+        );
         // Latency is zero: every pair is detected when its later tuple
         // arrives.
         assert_eq!(report.latency.max(), TimeDelta::ZERO);
@@ -204,11 +207,7 @@ mod tests {
     fn respects_count_windows() {
         // Count window of 1 on both sides: R#0 is evicted by R#1 before S
         // arrives, so only R#1 joins.
-        let sched = equal_schedule(
-            vec![(1, 7), (2, 7)],
-            vec![(3, 7)],
-            WindowSpec::Count(1),
-        );
+        let sched = equal_schedule(vec![(1, 7), (2, 7)], vec![(3, 7)], WindowSpec::Count(1));
         let report = run_kang(FnPredicate(|r: &u32, s: &u32| r == s), &sched);
         assert_eq!(report.result_keys(), vec![(SeqNo(1), SeqNo(0))]);
     }

@@ -1,0 +1,46 @@
+//! Criterion benchmark sweeping the driver batch size on the equi-join
+//! workload: one full threaded-runtime run per iteration, so the measured
+//! time is dominated by transport (channel operations, wake-ups) and the
+//! sweep exposes how much of it frames amortise.  The companion binary
+//! `bench_batching` records the same sweep as `BENCH_batching.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llhj_core::homing::RoundRobin;
+use llhj_core::window::WindowSpec;
+use llhj_runtime::{llhj_indexed_nodes, run_pipeline, PipelineOptions};
+use llhj_workload::{equi_join_schedule, EquiXaPredicate};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn batch_size_sweep(c: &mut Criterion) {
+    let workload = llhj_bench::experiments::batching::sweep_workload(&llhj_bench::Scale::smoke());
+    let window = WindowSpec::Count((workload.rate_per_sec / 4.0) as usize);
+    let schedule = equi_join_schedule(&workload, window, window);
+
+    let mut group = c.benchmark_group("equi_join_batch_size");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for batch_size in [1usize, 8, 64, 256] {
+        group.bench_function(format!("batch_{batch_size}"), |b| {
+            b.iter(|| {
+                let opts = PipelineOptions {
+                    batch_size,
+                    ..Default::default()
+                };
+                let outcome = run_pipeline(
+                    llhj_indexed_nodes(4, EquiXaPredicate),
+                    EquiXaPredicate,
+                    RoundRobin,
+                    &schedule,
+                    &opts,
+                );
+                black_box(outcome.results.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batch_size_sweep);
+criterion_main!(benches);

@@ -7,7 +7,6 @@
 //! small end-to-end pipeline on both algorithms.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::time::Duration;
 use llhj_baselines::run_kang;
 use llhj_core::homing::RoundRobin;
 use llhj_core::message::{LeftToRight, RightToLeft};
@@ -21,6 +20,7 @@ use llhj_sim::{run_simulation, Algorithm, SimConfig};
 use llhj_workload::{band_join_schedule, BandJoinWorkload, BandPredicate};
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn window_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("window_scan");
@@ -94,7 +94,10 @@ fn llhj_node_arrival(c: &mut Criterion) {
                             StreamTuple::new(
                                 SeqNo(i),
                                 Timestamp::from_micros(i),
-                                llhj_workload::STuple::new((i % 10_000) as i32, (i % 10_000) as f32),
+                                llhj_workload::STuple::new(
+                                    (i % 10_000) as i32,
+                                    (i % 10_000) as f32,
+                                ),
                             ),
                             0,
                         )),
@@ -130,8 +133,11 @@ fn end_to_end(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     let workload = BandJoinWorkload::scaled(200.0, TimeDelta::from_secs(5), 400, 42);
-    let schedule =
-        band_join_schedule(&workload, WindowSpec::time_secs(2), WindowSpec::time_secs(2));
+    let schedule = band_join_schedule(
+        &workload,
+        WindowSpec::time_secs(2),
+        WindowSpec::time_secs(2),
+    );
     let pred = BandPredicate::default();
 
     group.bench_function("kang_oracle", |b| {

@@ -54,7 +54,9 @@ pub struct Fig05Report {
     pub text: String,
 }
 
-pub(crate) fn latency_rows(report: &llhj_sim::SimReport<llhj_workload::RTuple, llhj_workload::STuple>) -> Vec<LatencyPointRow> {
+pub(crate) fn latency_rows(
+    report: &llhj_sim::SimReport<llhj_workload::RTuple, llhj_workload::STuple>,
+) -> Vec<LatencyPointRow> {
     report
         .latency_series
         .iter()

@@ -97,8 +97,7 @@ pub fn run(scale: &Scale) -> Fig18Report {
             fmt_f(row.llhj_secs, 4),
         ]);
     }
-    let mut measured_table =
-        TextTable::new(["cores", "HSJ avg (ms, sim)", "LLHJ avg (ms, sim)"]);
+    let mut measured_table = TextTable::new(["cores", "HSJ avg (ms, sim)", "LLHJ avg (ms, sim)"]);
     for row in &measured {
         measured_table.row([
             row.cores.to_string(),

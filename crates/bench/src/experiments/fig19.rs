@@ -42,7 +42,15 @@ pub(crate) fn run_llhj_config(
     batch: usize,
     nodes: usize,
 ) -> Fig19Config {
-    let report = super::run_band(scale, nodes, Algorithm::Llhj, batch, false, window_r, window_s);
+    let report = super::run_band(
+        scale,
+        nodes,
+        Algorithm::Llhj,
+        batch,
+        false,
+        window_r,
+        window_s,
+    );
     Fig19Config {
         window_r_secs: window_r,
         window_s_secs: window_s,
@@ -112,7 +120,10 @@ mod tests {
         if pts.len() >= 2 {
             let first = pts.first().unwrap().avg_ms.max(0.1);
             let last = pts.last().unwrap().avg_ms.max(0.1);
-            assert!(last / first < 10.0, "LLHJ latency drifted: {first} -> {last}");
+            assert!(
+                last / first < 10.0,
+                "LLHJ latency drifted: {first} -> {last}"
+            );
         }
         assert!(llhj.text.contains("Figure 19(a)"));
     }

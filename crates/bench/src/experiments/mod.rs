@@ -1,5 +1,7 @@
-//! The experiments of Section 7, one module per figure/table.
+//! The experiments of Section 7, one module per figure/table, plus the
+//! batching sweep enabled by the frame-based transport.
 
+pub mod batching;
 pub mod fig05;
 pub mod fig17;
 pub mod fig18;
@@ -38,6 +40,7 @@ pub(crate) fn band_schedule(
 }
 
 /// Builds a simulation configuration for the scaled benchmark.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn sim_config(
     scale: &Scale,
     nodes: usize,
@@ -97,7 +100,10 @@ mod tests {
     fn scaled_band_run_produces_results() {
         let scale = Scale::smoke();
         let report = run_band(&scale, 2, Algorithm::Llhj, 8, false, 4, 4);
-        assert!(report.latency.count() > 0, "smoke workload must produce matches");
+        assert!(
+            report.latency.count() > 0,
+            "smoke workload must produce matches"
+        );
         assert_eq!(report.nodes, 2);
     }
 }

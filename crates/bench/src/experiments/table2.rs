@@ -101,7 +101,11 @@ pub fn run(scale: &Scale) -> Table2Report {
 
     let rows = vec![
         make_row("handshake join", Algorithm::Hsj, Algorithm::Hsj),
-        make_row("low-latency handshake join", Algorithm::Llhj, Algorithm::Llhj),
+        make_row(
+            "low-latency handshake join",
+            Algorithm::Llhj,
+            Algorithm::Llhj,
+        ),
         make_row(
             "low-latency handshake join with index",
             Algorithm::LlhjIndexed,

@@ -1,0 +1,320 @@
+//! A tiny, self-contained drop-in for the subset of the `criterion` API used
+//! by this repository's benches.
+//!
+//! The build environment has no access to a crates.io mirror, so the real
+//! criterion crate cannot be fetched.  This shim implements the same surface
+//! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `Bencher::iter`/`iter_batched`, `BatchSize`) with a
+//! plain wall-clock harness: a warm-up phase, then timed samples until the
+//! configured measurement time elapses, reporting mean / median / p95
+//! nanoseconds per iteration.  Numbers are comparable between runs on the
+//! same machine, which is all the repo's benches need.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The shim times the routine per
+/// batch element regardless of the variant, so the variant only documents
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup dominates; fewer batches).
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Collected timings for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Default, Clone)]
+pub struct SampleStats {
+    samples_ns: Vec<f64>,
+}
+
+impl SampleStats {
+    fn push(&mut self, ns: f64) {
+        self.samples_ns.push(ns);
+    }
+
+    /// Mean nanoseconds per iteration.
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+
+    fn percentile_ns(&self, p: f64) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    }
+}
+
+/// The per-benchmark measurement driver handed to `bench_function` closures.
+pub struct Bencher<'a> {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    stats: &'a mut SampleStats,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly; one sample is one timed call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run without recording.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        let measure_start = Instant::now();
+        let mut recorded = 0usize;
+        while recorded < self.sample_size || measure_start.elapsed() < self.measurement {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.stats.push(t0.elapsed().as_nanos() as f64);
+            recorded += 1;
+            if recorded >= self.sample_size && measure_start.elapsed() >= self.measurement {
+                break;
+            }
+            // Hard cap so degenerate sub-nanosecond routines terminate.
+            if recorded >= 1_000_000 {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let measure_start = Instant::now();
+        let mut recorded = 0usize;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.stats.push(t0.elapsed().as_nanos() as f64);
+            recorded += 1;
+            if recorded >= self.sample_size && measure_start.elapsed() >= self.measurement {
+                break;
+            }
+            if recorded >= 1_000_000 {
+                break;
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks sharing warm-up/measurement configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of recorded samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<N: ToString, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, name.to_string());
+        let mut stats = SampleStats::default();
+        {
+            let mut bencher = Bencher {
+                warm_up: self.warm_up,
+                measurement: self.measurement,
+                sample_size: self.sample_size,
+                stats: &mut stats,
+            };
+            f(&mut bencher);
+        }
+        report(&full, &stats);
+        self.criterion.results.push((full, stats));
+        self
+    }
+
+    /// Ends the group (report lines were already emitted per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_warm_up: Duration,
+    default_measurement: Duration,
+    results: Vec<(String, SampleStats)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_warm_up: Duration::from_millis(300),
+            default_measurement: Duration::from_secs(1),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// No-op: the shim takes no CLI configuration.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group<N: ToString>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.default_sample_size,
+            warm_up: self.default_warm_up,
+            measurement: self.default_measurement,
+            criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<N: ToString, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = name.to_string();
+        let mut stats = SampleStats::default();
+        {
+            let mut bencher = Bencher {
+                warm_up: self.default_warm_up,
+                measurement: self.default_measurement,
+                sample_size: self.default_sample_size,
+                stats: &mut stats,
+            };
+            f(&mut bencher);
+        }
+        report(&full, &stats);
+        self.results.push((full, stats));
+        self
+    }
+
+    /// Mean ns/iter of a finished benchmark, if it ran.
+    pub fn mean_ns(&self, name: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.mean_ns())
+    }
+}
+
+fn report(name: &str, stats: &SampleStats) {
+    println!(
+        "{name:<48} time: [mean {:>12.1} ns  median {:>12.1} ns  p95 {:>12.1} ns]",
+        stats.mean_ns(),
+        stats.percentile_ns(0.5),
+        stats.percentile_ns(0.95),
+    );
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples_and_stats_are_sane() {
+        let mut c = Criterion {
+            default_sample_size: 5,
+            default_warm_up: Duration::from_millis(1),
+            default_measurement: Duration::from_millis(5),
+            results: Vec::new(),
+        };
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut x = 0u64;
+                for i in 0..100 {
+                    x = x.wrapping_add(black_box(i));
+                }
+                x
+            })
+        });
+        let mean = c.mean_ns("spin").unwrap();
+        assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion {
+            default_sample_size: 3,
+            default_warm_up: Duration::from_millis(1),
+            default_measurement: Duration::from_millis(3),
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(3));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&b| b as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert!(c.mean_ns("g/batched").is_some());
+    }
+}

@@ -260,11 +260,9 @@ mod tests {
         let pos = |pred: &dyn Fn(&StreamEvent<u32, u32>) -> bool| {
             sched.events().iter().position(|e| pred(&e.event)).unwrap()
         };
-        let first_arrival =
-            pos(&|e| matches!(e, StreamEvent::ArrivalR(t) if t.seq == SeqNo(0)));
+        let first_arrival = pos(&|e| matches!(e, StreamEvent::ArrivalR(t) if t.seq == SeqNo(0)));
         let expiry = pos(&|e| matches!(e, StreamEvent::ExpireR(SeqNo(0))));
-        let second_arrival =
-            pos(&|e| matches!(e, StreamEvent::ArrivalR(t) if t.seq == SeqNo(1)));
+        let second_arrival = pos(&|e| matches!(e, StreamEvent::ArrivalR(t) if t.seq == SeqNo(1)));
         assert!(first_arrival < expiry);
         assert!(expiry < second_arrival);
         assert_eq!(sched.events().len(), 3);

@@ -34,11 +34,7 @@ pub fn hsj_max_latency(window_r: TimeDelta, window_s: TimeDelta) -> TimeDelta {
 /// "meeting point" `|W_S| / (|W_R| + |W_S|)` the R tuple arrived later and
 /// the latency is `α·|W_R|`; otherwise the S tuple arrived later and the
 /// latency is `(1-α)·|W_S|`.
-pub fn hsj_latency_at_position(
-    alpha: f64,
-    window_r: TimeDelta,
-    window_s: TimeDelta,
-) -> TimeDelta {
+pub fn hsj_latency_at_position(alpha: f64, window_r: TimeDelta, window_s: TimeDelta) -> TimeDelta {
     let alpha = alpha.clamp(0.0, 1.0);
     let wr = window_r.as_secs_f64();
     let ws = window_s.as_secs_f64();
@@ -101,7 +97,8 @@ impl LlhjLatencyModel {
 
     /// Delay contributed by fast-forwarding through the whole pipeline.
     pub fn traversal_delay(&self) -> TimeDelta {
-        self.hop_latency.saturating_mul(self.nodes.saturating_sub(1) as u64)
+        self.hop_latency
+            .saturating_mul(self.nodes.saturating_sub(1) as u64)
     }
 
     /// Expected average result latency: batching plus traversal plus one
@@ -138,7 +135,10 @@ mod tests {
 
     #[test]
     fn zero_windows_give_zero_latency() {
-        assert_eq!(hsj_max_latency(TimeDelta::ZERO, TimeDelta::ZERO), TimeDelta::ZERO);
+        assert_eq!(
+            hsj_max_latency(TimeDelta::ZERO, TimeDelta::ZERO),
+            TimeDelta::ZERO
+        );
     }
 
     #[test]

@@ -49,6 +49,78 @@ impl<S> RightToLeft<S> {
     }
 }
 
+/// A frame of same-direction messages travelling between two neighbouring
+/// nodes (or between the driver and a pipeline end).
+///
+/// The paper's central trade-off is message granularity: forwarding every
+/// tuple eagerly minimises latency but pays one channel operation (and one
+/// core-to-core hop) per message, while coarse batches amortise that cost
+/// at the price of delay.  `MessageBatch` makes the granularity a run-time
+/// property instead of a structural one: the execution substrates move
+/// *frames* — runs of messages that preserve the per-direction FIFO order —
+/// and a frame of length 1 reproduces the fine-grained behaviour exactly.
+///
+/// A frame never mixes directions; the enum tags which way it travels, so a
+/// single inbox can carry both kinds without losing type information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MessageBatch<R, S> {
+    /// A run of left-to-right messages (R arrivals, S acks, S expiries).
+    Left(Vec<LeftToRight<R>>),
+    /// A run of right-to-left messages (S arrivals, R expedition ends, R
+    /// expiries).
+    Right(Vec<RightToLeft<S>>),
+}
+
+impl<R, S> MessageBatch<R, S> {
+    /// A frame holding a single left-to-right message.
+    pub fn single_left(msg: LeftToRight<R>) -> Self {
+        MessageBatch::Left(vec![msg])
+    }
+
+    /// A frame holding a single right-to-left message.
+    pub fn single_right(msg: RightToLeft<S>) -> Self {
+        MessageBatch::Right(vec![msg])
+    }
+
+    /// Number of messages in the frame.
+    pub fn len(&self) -> usize {
+        match self {
+            MessageBatch::Left(msgs) => msgs.len(),
+            MessageBatch::Right(msgs) => msgs.len(),
+        }
+    }
+
+    /// True if the frame carries no messages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of tuple arrivals (as opposed to control traffic) carried.
+    pub fn arrivals(&self) -> usize {
+        match self {
+            MessageBatch::Left(msgs) => msgs.iter().filter(|m| m.is_arrival()).count(),
+            MessageBatch::Right(msgs) => msgs.iter().filter(|m| m.is_arrival()).count(),
+        }
+    }
+
+    /// True for frames travelling left-to-right.
+    pub fn is_left_to_right(&self) -> bool {
+        matches!(self, MessageBatch::Left(_))
+    }
+}
+
+impl<R, S> From<Vec<LeftToRight<R>>> for MessageBatch<R, S> {
+    fn from(msgs: Vec<LeftToRight<R>>) -> Self {
+        MessageBatch::Left(msgs)
+    }
+}
+
+impl<R, S> From<Vec<RightToLeft<S>>> for MessageBatch<R, S> {
+    fn from(msgs: Vec<RightToLeft<S>>) -> Self {
+        MessageBatch::Right(msgs)
+    }
+}
+
 /// Everything a node emits while handling one incoming message.
 ///
 /// The node state machines are engine agnostic: they never touch channels or
@@ -119,6 +191,32 @@ mod tests {
         assert!(RightToLeft::ArrivalS(t).is_arrival());
         assert!(!RightToLeft::<u32>::ExpeditionEndR(SeqNo(2)).is_arrival());
         assert!(!RightToLeft::<u32>::ExpiryR(SeqNo(2)).is_arrival());
+    }
+
+    #[test]
+    fn message_batch_reports_direction_and_contents() {
+        let t = PipelineTuple::fresh(StreamTuple::new(SeqNo(3), Timestamp::ZERO, 5u32), 0);
+        let left: MessageBatch<u32, u32> = MessageBatch::Left(vec![
+            LeftToRight::ArrivalR(t.clone()),
+            LeftToRight::AckS(SeqNo(1)),
+            LeftToRight::ExpiryS(SeqNo(2)),
+        ]);
+        assert_eq!(left.len(), 3);
+        assert_eq!(left.arrivals(), 1);
+        assert!(left.is_left_to_right());
+        assert!(!left.is_empty());
+
+        let right: MessageBatch<u32, u32> = MessageBatch::single_right(RightToLeft::ArrivalS(t));
+        assert_eq!(right.len(), 1);
+        assert_eq!(right.arrivals(), 1);
+        assert!(!right.is_left_to_right());
+
+        let empty: MessageBatch<u32, u32> = MessageBatch::Left(Vec::new());
+        assert!(empty.is_empty());
+
+        let from_vec: MessageBatch<u32, u32> = vec![LeftToRight::<u32>::AckS(SeqNo(9))].into();
+        assert!(from_vec.is_left_to_right());
+        assert_eq!(from_vec.arrivals(), 0);
     }
 
     #[test]

@@ -15,19 +15,42 @@ use crate::tuple::NodeId;
 pub trait PipelineNode<R, S>: Send {
     /// Handles a message arriving from the left neighbour (or the driver,
     /// at the leftmost node).
-    fn handle_left(
-        &mut self,
-        msg: LeftToRight<R>,
-        out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
-    );
+    fn handle_left(&mut self, msg: LeftToRight<R>, out: &mut NodeOutput<R, S, ResultTuple<R, S>>);
 
     /// Handles a message arriving from the right neighbour (or the driver,
     /// at the rightmost node).
-    fn handle_right(
+    fn handle_right(&mut self, msg: RightToLeft<S>, out: &mut NodeOutput<R, S, ResultTuple<R, S>>);
+
+    /// Handles a whole frame of left-to-right messages, appending every
+    /// emitted message and result to the same `out` buffer.
+    ///
+    /// The default implementation loops over [`PipelineNode::handle_left`],
+    /// so existing node implementations keep working unchanged; node types
+    /// with a cheaper bulk path (capacity reservation, hoisted per-frame
+    /// work) override it.  Semantics must be identical to the loop: the
+    /// batched substrates rely on frames being pure re-groupings of the
+    /// per-tuple message sequence.
+    fn handle_left_batch(
         &mut self,
-        msg: RightToLeft<S>,
+        msgs: Vec<LeftToRight<R>>,
         out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
-    );
+    ) {
+        for msg in msgs {
+            self.handle_left(msg, out);
+        }
+    }
+
+    /// Handles a whole frame of right-to-left messages; see
+    /// [`PipelineNode::handle_left_batch`].
+    fn handle_right_batch(
+        &mut self,
+        msgs: Vec<RightToLeft<S>>,
+        out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
+    ) {
+        for msg in msgs {
+            self.handle_right(msg, out);
+        }
+    }
 
     /// This node's position in the pipeline.
     fn node_id(&self) -> NodeId;
@@ -51,20 +74,28 @@ where
     S: Clone + Send,
     P: crate::predicate::JoinPredicate<R, S> + Send,
 {
-    fn handle_left(
-        &mut self,
-        msg: LeftToRight<R>,
-        out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
-    ) {
+    fn handle_left(&mut self, msg: LeftToRight<R>, out: &mut NodeOutput<R, S, ResultTuple<R, S>>) {
         crate::node_llhj::LlhjNode::handle_left(self, msg, out);
     }
 
-    fn handle_right(
+    fn handle_right(&mut self, msg: RightToLeft<S>, out: &mut NodeOutput<R, S, ResultTuple<R, S>>) {
+        crate::node_llhj::LlhjNode::handle_right(self, msg, out);
+    }
+
+    fn handle_left_batch(
         &mut self,
-        msg: RightToLeft<S>,
+        msgs: Vec<LeftToRight<R>>,
         out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
     ) {
-        crate::node_llhj::LlhjNode::handle_right(self, msg, out);
+        crate::node_llhj::LlhjNode::handle_left_batch(self, msgs, out);
+    }
+
+    fn handle_right_batch(
+        &mut self,
+        msgs: Vec<RightToLeft<S>>,
+        out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
+    ) {
+        crate::node_llhj::LlhjNode::handle_right_batch(self, msgs, out);
     }
 
     fn node_id(&self) -> NodeId {
@@ -86,20 +117,28 @@ where
     S: Clone + Send,
     P: crate::predicate::JoinPredicate<R, S> + Send,
 {
-    fn handle_left(
-        &mut self,
-        msg: LeftToRight<R>,
-        out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
-    ) {
+    fn handle_left(&mut self, msg: LeftToRight<R>, out: &mut NodeOutput<R, S, ResultTuple<R, S>>) {
         crate::node_hsj::HsjNode::handle_left(self, msg, out);
     }
 
-    fn handle_right(
+    fn handle_right(&mut self, msg: RightToLeft<S>, out: &mut NodeOutput<R, S, ResultTuple<R, S>>) {
+        crate::node_hsj::HsjNode::handle_right(self, msg, out);
+    }
+
+    fn handle_left_batch(
         &mut self,
-        msg: RightToLeft<S>,
+        msgs: Vec<LeftToRight<R>>,
         out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
     ) {
-        crate::node_hsj::HsjNode::handle_right(self, msg, out);
+        crate::node_hsj::HsjNode::handle_left_batch(self, msgs, out);
+    }
+
+    fn handle_right_batch(
+        &mut self,
+        msgs: Vec<RightToLeft<S>>,
+        out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
+    ) {
+        crate::node_hsj::HsjNode::handle_right_batch(self, msgs, out);
     }
 
     fn node_id(&self) -> NodeId {
@@ -150,5 +189,50 @@ mod tests {
         // algorithms.
         assert_eq!(probe(&mut llhj), 1);
         assert_eq!(probe(&mut hsj), 1);
+    }
+
+    #[test]
+    fn batch_handlers_match_the_per_message_loop() {
+        let pred = FnPredicate(|r: &u32, s: &u32| r == s);
+        let r_msgs: Vec<crate::message::LeftToRight<u32>> = (0..40u64)
+            .map(|i| {
+                crate::message::LeftToRight::ArrivalR(PipelineTuple::fresh(
+                    StreamTuple::new(SeqNo(i), Timestamp::from_millis(i), (i % 7) as u32),
+                    (i % 3) as usize,
+                ))
+            })
+            .collect();
+        let s_msgs: Vec<crate::message::RightToLeft<u32>> = (0..40u64)
+            .map(|i| {
+                crate::message::RightToLeft::ArrivalS(PipelineTuple::fresh(
+                    StreamTuple::new(SeqNo(i), Timestamp::from_millis(i), (i % 5) as u32),
+                    (i % 3) as usize,
+                ))
+            })
+            .collect();
+
+        let run = |batched: bool| {
+            let mut node: Box<dyn PipelineNode<u32, u32>> =
+                Box::new(LlhjNode::new(1, 3, pred.clone()));
+            let mut out = NodeOutput::new();
+            if batched {
+                node.handle_left_batch(r_msgs.clone(), &mut out);
+                node.handle_right_batch(s_msgs.clone(), &mut out);
+            } else {
+                for m in r_msgs.clone() {
+                    node.handle_left(m, &mut out);
+                }
+                for m in s_msgs.clone() {
+                    node.handle_right(m, &mut out);
+                }
+            }
+            (
+                out.to_left,
+                out.to_right,
+                out.results.iter().map(|t| t.key()).collect::<Vec<_>>(),
+                out.comparisons,
+            )
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -129,7 +129,12 @@ where
     }
 
     /// Creates a node with capacity-based flow.
-    pub fn with_capacity(id: NodeId, nodes: usize, capacity: SegmentCapacity, predicate: P) -> Self {
+    pub fn with_capacity(
+        id: NodeId,
+        nodes: usize,
+        capacity: SegmentCapacity,
+        predicate: P,
+    ) -> Self {
         Self::new(id, nodes, FlowPolicy::ByCapacity(capacity), predicate)
     }
 
@@ -223,6 +228,31 @@ where
         }
     }
 
+    /// Batch fast path: drains a whole frame of left-to-right messages into
+    /// one output buffer.  Semantically identical to looping over
+    /// [`Self::handle_left`]; the original handshake join forwards tuples
+    /// via its flow policy rather than per arrival, so the only per-frame
+    /// saving is growing the forwarding buffer once.
+    pub fn handle_left_batch(&mut self, msgs: Vec<LeftToRight<R>>, out: &mut HsjOutput<R, S>) {
+        if !self.is_rightmost() {
+            out.to_right.reserve(msgs.len());
+        }
+        for msg in msgs {
+            self.handle_left(msg, out);
+        }
+    }
+
+    /// Batch fast path for right-to-left frames; see
+    /// [`Self::handle_left_batch`].
+    pub fn handle_right_batch(&mut self, msgs: Vec<RightToLeft<S>>, out: &mut HsjOutput<R, S>) {
+        if !self.is_leftmost() {
+            out.to_left.reserve(msgs.len());
+        }
+        for msg in msgs {
+            self.handle_right(msg, out);
+        }
+    }
+
     /// Removes locally stored tuples that are no longer window-concurrent
     /// with a probing tuple that carries stream timestamp `now`.
     ///
@@ -273,9 +303,7 @@ where
             FlowPolicy::ByCapacity(_) => None,
         };
         let check = |r_ts: Timestamp, s_ts: Timestamp| match within {
-            Some((wr, ws)) => {
-                s_ts.saturating_since(r_ts) < wr && r_ts.saturating_since(s_ts) <= ws
-            }
+            Some((wr, ws)) => s_ts.saturating_since(r_ts) < wr && r_ts.saturating_since(s_ts) <= ws,
             None => true,
         };
         let pred = &self.predicate;
@@ -323,9 +351,7 @@ where
             FlowPolicy::ByCapacity(_) => None,
         };
         let check = |r_ts: Timestamp, s_ts: Timestamp| match within {
-            Some((wr, ws)) => {
-                s_ts.saturating_since(r_ts) < wr && r_ts.saturating_since(s_ts) <= ws
-            }
+            Some((wr, ws)) => s_ts.saturating_since(r_ts) < wr && r_ts.saturating_since(s_ts) <= ws,
             None => true,
         };
         let pred = &self.predicate;
@@ -392,8 +418,7 @@ where
                 }
                 if !self.is_leftmost() {
                     let leave_after = TimeDelta::from_micros(
-                        window_s.as_micros() * (self.nodes - self.id) as u64
-                            / self.nodes as u64,
+                        window_s.as_micros() * (self.nodes - self.id) as u64 / self.nodes as u64,
                     );
                     while let Some(oldest) = self.ws.peek_oldest() {
                         if self.clock.saturating_since(oldest.ts) >= leave_after {

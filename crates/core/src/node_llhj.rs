@@ -78,10 +78,16 @@ where
         if predicate.supports_index() {
             let pr = predicate.clone();
             let r_key: KeyFn<R> = Arc::new(move |r: &R| pr.r_key(r).unwrap_or(0));
-            let ps = predicate;
+            let ps = predicate.clone();
             let s_key: KeyFn<S> = Arc::new(move |s: &S| ps.s_key(s).unwrap_or(0));
+            let ps_iws = predicate;
+            let s_key_iws: KeyFn<S> = Arc::new(move |s: &S| ps_iws.s_key(s).unwrap_or(0));
             node.wr = LocalWindow::with_index(r_key);
             node.ws = LocalWindow::with_index(s_key);
+            // The IWS buffer is probed by every passing R arrival and grows
+            // with the acknowledgement round-trip, so it profits from the
+            // index at least as much as the windows do.
+            node.iws = IwsBuffer::with_index(s_key_iws);
         }
         node
     }
@@ -180,6 +186,39 @@ where
         }
     }
 
+    /// Batch fast path: drains a whole frame of left-to-right messages into
+    /// one output buffer.
+    ///
+    /// Semantically identical to looping over [`Self::handle_left`] — the
+    /// batched substrates rely on that — but the frame length is known up
+    /// front, so the forwarding buffer is grown once per frame instead of
+    /// amortised-per-push: in the common case every arrival in the frame is
+    /// expedited onward, i.e. one output slot per input message.
+    pub fn handle_left_batch(&mut self, msgs: Vec<LeftToRight<R>>, out: &mut LlhjOutput<R, S>) {
+        if !self.is_rightmost() {
+            out.to_right.reserve(msgs.len());
+        }
+        for msg in msgs {
+            self.handle_left(msg, out);
+        }
+    }
+
+    /// Batch fast path for right-to-left frames; see
+    /// [`Self::handle_left_batch`].  Reserves both output directions: each
+    /// S arrival forwards one copy to the left *and* acknowledges to the
+    /// right.
+    pub fn handle_right_batch(&mut self, msgs: Vec<RightToLeft<S>>, out: &mut LlhjOutput<R, S>) {
+        if !self.is_leftmost() {
+            out.to_left.reserve(msgs.len());
+        }
+        if !self.is_rightmost() {
+            out.to_right.reserve(msgs.len());
+        }
+        for msg in msgs {
+            self.handle_right(msg, out);
+        }
+    }
+
     /// Lines 3–12 of Figure 13: an R tuple arrives (fresh or already
     /// stored) and rushes through this node.
     fn on_arrival_r(&mut self, r: PipelineTuple<R>, out: &mut LlhjOutput<R, S>) {
@@ -221,10 +260,18 @@ where
                 |s| results.push(ResultTuple::new(r_tuple.clone(), s.clone(), node_id)),
             );
         }
-        comparisons += self.iws.scan_matches(
-            |s| pred.matches(&r_tuple.payload, s),
-            |s| results.push(ResultTuple::new(r_tuple.clone(), s.clone(), node_id)),
-        );
+        if let (Some(key), true) = (key, self.iws.has_index()) {
+            comparisons += self.iws.probe_matches(
+                key,
+                |s| pred.matches(&r_tuple.payload, s),
+                |s| results.push(ResultTuple::new(r_tuple.clone(), s.clone(), node_id)),
+            );
+        } else {
+            comparisons += self.iws.scan_matches(
+                |s| pred.matches(&r_tuple.payload, s),
+                |s| results.push(ResultTuple::new(r_tuple.clone(), s.clone(), node_id)),
+            );
+        }
         out.comparisons += comparisons;
         self.counters.comparisons += comparisons;
         self.counters.results += (out.results.len() - results_before) as u64;
@@ -246,7 +293,8 @@ where
                 out.to_left.push(RightToLeft::ExpeditionEndR(seq));
             }
         }
-        self.counters.observe_sizes(self.wr.len(), self.ws.len(), self.iws.len());
+        self.counters
+            .observe_sizes(self.wr.len(), self.ws.len(), self.iws.len());
     }
 
     /// Lines 3–13 of Figure 14: an S tuple arrives and rushes through this
@@ -314,7 +362,8 @@ where
         if !self.is_rightmost() {
             out.to_right.push(LeftToRight::AckS(seq));
         }
-        self.counters.observe_sizes(self.wr.len(), self.ws.len(), self.iws.len());
+        self.counters
+            .observe_sizes(self.wr.len(), self.ws.len(), self.iws.len());
     }
 }
 

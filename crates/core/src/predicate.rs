@@ -77,7 +77,10 @@ pub struct EquiPredicate<KR, KS> {
 impl<KR, KS> EquiPredicate<KR, KS> {
     /// Creates an equi-join predicate from two key extractors.
     pub fn new(extract_r: KR, extract_s: KS) -> Self {
-        EquiPredicate { extract_r, extract_s }
+        EquiPredicate {
+            extract_r,
+            extract_s,
+        }
     }
 }
 
@@ -152,8 +155,7 @@ mod tests {
 
     #[test]
     fn arc_predicate_forwards_everything() {
-        let p: Arc<EquiPredicate<_, _>> =
-            Arc::new(EquiPredicate::new(|r: &u64| *r, |s: &u64| *s));
+        let p: Arc<EquiPredicate<_, _>> = Arc::new(EquiPredicate::new(|r: &u64| *r, |s: &u64| *s));
         assert!(p.matches(&3, &3));
         assert_eq!(JoinPredicate::<u64, u64>::r_key(&p, &3), Some(3));
         assert!(JoinPredicate::<u64, u64>::supports_index(&p));

@@ -52,7 +52,10 @@ pub struct TimedResult<R, S> {
 impl<R, S> TimedResult<R, S> {
     /// Creates a timed result.
     pub fn new(result: ResultTuple<R, S>, detected_at: Timestamp) -> Self {
-        TimedResult { result, detected_at }
+        TimedResult {
+            result,
+            detected_at,
+        }
     }
 
     /// Observed latency: time from the arrival of the later input tuple to

@@ -113,7 +113,10 @@ impl<T> LocalWindow<T> {
         if in_expedition {
             self.in_expedition_count += 1;
         }
-        self.entries.push_back(Entry { tuple, in_expedition });
+        self.entries.push_back(Entry {
+            tuple,
+            in_expedition,
+        });
     }
 
     /// Position of `seq` in the entry deque, if present.
@@ -301,6 +304,12 @@ impl<T> LocalWindow<T> {
 /// otherwise pass each other "in flight" between two neighbouring nodes.
 pub struct IwsBuffer<T> {
     entries: VecDeque<StreamTuple<T>>,
+    index: Option<IwsIndex<T>>,
+}
+
+struct IwsIndex<T> {
+    key_fn: KeyFn<T>,
+    buckets: HashMap<u64, Vec<SeqNo>>,
 }
 
 impl<T> Default for IwsBuffer<T> {
@@ -314,7 +323,30 @@ impl<T> IwsBuffer<T> {
     pub fn new() -> Self {
         IwsBuffer {
             entries: VecDeque::new(),
+            index: None,
         }
+    }
+
+    /// Creates an empty buffer with a hash index over `key_fn`.
+    ///
+    /// The IWS buffer is scanned by *every* R arrival passing the node
+    /// (Table 1 of the paper), and unlike the windows it grows with the
+    /// acknowledgement round-trip time rather than with the window span —
+    /// under bursty or backpressured transport it can hold thousands of
+    /// tuples, so an unindexed scan here dominates the whole pipeline.
+    pub fn with_index(key_fn: KeyFn<T>) -> Self {
+        IwsBuffer {
+            entries: VecDeque::new(),
+            index: Some(IwsIndex {
+                key_fn,
+                buckets: HashMap::new(),
+            }),
+        }
+    }
+
+    /// True if this buffer maintains a hash index.
+    pub fn has_index(&self) -> bool {
+        self.index.is_some()
     }
 
     /// Number of unacknowledged tuples.
@@ -333,6 +365,10 @@ impl<T> IwsBuffer<T> {
             self.entries.back().is_none_or(|e| e.seq < tuple.seq),
             "IWS insertions must be in increasing sequence order"
         );
+        if let Some(index) = &mut self.index {
+            let key = (index.key_fn)(&tuple.payload);
+            index.buckets.entry(key).or_default().push(tuple.seq);
+        }
         self.entries.push_back(tuple);
     }
 
@@ -341,7 +377,16 @@ impl<T> IwsBuffer<T> {
     pub fn acknowledge(&mut self, seq: SeqNo) -> bool {
         match self.entries.binary_search_by(|e| e.seq.cmp(&seq)) {
             Ok(pos) => {
-                self.entries.remove(pos);
+                let removed = self.entries.remove(pos).expect("position just found");
+                if let Some(index) = &mut self.index {
+                    let key = (index.key_fn)(&removed.payload);
+                    if let MapEntry::Occupied(mut bucket) = index.buckets.entry(key) {
+                        bucket.get_mut().retain(|s| *s != seq);
+                        if bucket.get().is_empty() {
+                            bucket.remove();
+                        }
+                    }
+                }
                 true
             }
             Err(_) => false,
@@ -360,6 +405,30 @@ impl<T> IwsBuffer<T> {
             comparisons += 1;
             if pred(&tuple.payload) {
                 on_match(tuple);
+            }
+        }
+        comparisons
+    }
+
+    /// Probes the hash index for candidates with the given key, invoking
+    /// `on_match` for those the predicate confirms.  Returns the number of
+    /// predicate evaluations.  Panics if the buffer has no index.
+    pub fn probe_matches<F, M>(&self, key: u64, mut pred: F, mut on_match: M) -> u64
+    where
+        F: FnMut(&T) -> bool,
+        M: FnMut(&StreamTuple<T>),
+    {
+        let index = self.index.as_ref().expect("probe on unindexed IWS buffer");
+        let mut comparisons = 0;
+        if let Some(bucket) = index.buckets.get(&key) {
+            for seq in bucket {
+                if let Ok(pos) = self.entries.binary_search_by(|e| e.seq.cmp(seq)) {
+                    let tuple = &self.entries[pos];
+                    comparisons += 1;
+                    if pred(&tuple.payload) {
+                        on_match(tuple);
+                    }
+                }
             }
         }
         comparisons
@@ -506,6 +575,36 @@ mod tests {
         assert_eq!(seen, vec![SeqNo(9)]);
         assert_eq!(iws.iter().count(), 1);
         assert!(!iws.is_empty());
+    }
+
+    #[test]
+    fn indexed_iws_probe_matches_scan_and_survives_acks() {
+        let key_fn: KeyFn<u64> = Arc::new(|v: &u64| v % 10);
+        let mut indexed = IwsBuffer::with_index(key_fn);
+        let mut plain = IwsBuffer::new();
+        assert!(indexed.has_index());
+        assert!(!plain.has_index());
+        for i in 0..100u64 {
+            indexed.insert(t(i, i * 3));
+            plain.insert(t(i, i * 3));
+        }
+        // Probe for value 33 (key 33 % 10 = 3).
+        let mut probe_hits = Vec::new();
+        let probe_cmp = indexed.probe_matches(3, |v| *v == 33, |m| probe_hits.push(m.seq));
+        let mut scan_hits = Vec::new();
+        let scan_cmp = plain.scan_matches(|v| *v == 33, |m| scan_hits.push(m.seq));
+        assert_eq!(probe_hits, scan_hits);
+        assert_eq!(probe_hits, vec![SeqNo(11)]);
+        assert!(
+            probe_cmp < scan_cmp / 5,
+            "probe touches only the bucket: {probe_cmp} vs {scan_cmp}"
+        );
+        // Acknowledging removes the tuple from the bucket too.
+        assert!(indexed.acknowledge(SeqNo(11)));
+        let cmp = indexed.probe_matches(3, |v| *v == 33, |_| panic!("acked tuple matched"));
+        assert!(cmp <= scan_cmp);
+        // A probe for an empty bucket touches nothing.
+        assert_eq!(indexed.probe_matches(777, |_| true, |_| ()), 0);
     }
 
     #[test]

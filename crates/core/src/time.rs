@@ -297,8 +297,14 @@ mod tests {
 
     #[test]
     fn delta_scaling() {
-        assert_eq!(TimeDelta::from_secs(2).saturating_mul(3), TimeDelta::from_secs(6));
+        assert_eq!(
+            TimeDelta::from_secs(2).saturating_mul(3),
+            TimeDelta::from_secs(6)
+        );
         assert_eq!(TimeDelta::MAX.saturating_mul(2), TimeDelta::MAX);
-        assert_eq!(TimeDelta::from_secs(2).mul_f64(0.5), TimeDelta::from_secs(1));
+        assert_eq!(
+            TimeDelta::from_secs(2).mul_f64(0.5),
+            TimeDelta::from_secs(1)
+        );
     }
 }

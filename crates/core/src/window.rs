@@ -115,7 +115,10 @@ impl WindowTracker {
                 self.live.push_back(seq);
                 while self.live.len() > k {
                     let victim = self.live.pop_front().expect("non-empty");
-                    expiries.push(Expiry { seq: victim, at: ts });
+                    expiries.push(Expiry {
+                        seq: victim,
+                        at: ts,
+                    });
                 }
                 expiries
             }

@@ -1,0 +1,284 @@
+//! Frame channels: the runtime's point-to-point FIFO transport.
+//!
+//! Both join algorithms restrict communication to FIFO links between
+//! neighbouring cores, and the batched transport moves whole
+//! [`llhj_core::message::MessageBatch`] frames over them, so the channel
+//! does not need to be clever — it needs to be correct, dependency-free
+//! (this environment cannot fetch crossbeam from a registry) and cheap *per
+//! frame*: with `batch_size` tuples per frame, one lock acquisition is
+//! amortised over the whole run of messages, which is exactly the
+//! granularity trade-off the paper's Section 2 analyses.
+//!
+//! The implementation is a `Mutex<VecDeque>` plus two condition variables
+//! (consumer wake-up and, for bounded channels, producer backpressure).
+//! Senders are cloneable (multiple producers), receivers are unique.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a receive attempt returned no frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is currently empty but senders still exist.
+    Empty,
+    /// The queue is empty and every sender has been dropped.
+    Disconnected,
+}
+
+/// Error returned when sending into a channel whose receiver is gone.
+/// Carries the rejected frame back to the caller.
+#[derive(Debug)]
+pub struct SendError<T>(pub T);
+
+struct State<T> {
+    queue: VecDeque<T>,
+    capacity: Option<usize>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The producing half of a frame channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The consuming half of a frame channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded channel: `send` blocks while `capacity` frames are
+/// queued, which is how the driver experiences backpressure from the
+/// pipeline.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(capacity.max(1)))
+}
+
+/// Creates an unbounded channel: `send` never blocks.  Used for the links
+/// *between* workers, where mutual blocking of two neighbours (R traffic
+/// going right, acknowledgements going left) could deadlock.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            capacity,
+            senders: 1,
+            receiver_alive: true,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues one frame, blocking while a bounded channel is full.
+    /// Returns the frame if the receiver has been dropped.
+    pub fn send(&self, frame: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        loop {
+            if !state.receiver_alive {
+                return Err(SendError(frame));
+            }
+            match state.capacity {
+                Some(cap) if state.queue.len() >= cap => {
+                    state = self.shared.not_full.wait(state).expect("channel poisoned");
+                }
+                _ => break,
+            }
+        }
+        state.queue.push_back(frame);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().expect("channel poisoned").senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        state.senders -= 1;
+        let last = state.senders == 0;
+        drop(state);
+        if last {
+            // Wake a receiver blocked in recv_timeout so it observes the
+            // disconnect promptly.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next frame without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        match state.queue.pop_front() {
+            Some(frame) => {
+                drop(state);
+                self.shared.not_full.notify_one();
+                Ok(frame)
+            }
+            None if state.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Dequeues the next frame, waiting up to `timeout` for one to arrive.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, TryRecvError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(frame) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(frame);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(TryRecvError::Empty);
+            }
+            let (guard, _timeout_result) = self
+                .shared
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .expect("channel poisoned");
+            state = guard;
+        }
+    }
+
+    /// True if no frame is currently queued.
+    pub fn is_empty(&self) -> bool {
+        self.shared
+            .state
+            .lock()
+            .expect("channel poisoned")
+            .queue
+            .is_empty()
+    }
+
+    /// Number of queued frames.
+    pub fn len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("channel poisoned")
+            .queue
+            .len()
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        state.receiver_alive = false;
+        state.queue.clear();
+        drop(state);
+        // Unblock producers stuck on a full bounded channel.
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 100);
+        for i in 0..100 {
+            assert_eq!(rx.try_recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // The third send must block until the consumer drains a slot.
+        let handle = std::thread::spawn(move || {
+            let start = Instant::now();
+            tx.send(3).unwrap();
+            start.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.try_recv(), Ok(1));
+        let blocked_for = handle.join().unwrap();
+        assert!(
+            blocked_for >= Duration::from_millis(10),
+            "send returned after {blocked_for:?}, should have blocked"
+        );
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Ok(3));
+    }
+
+    #[test]
+    fn dropping_all_senders_disconnects() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty), "tx2 still alive");
+        drop(tx2);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(TryRecvError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn dropping_the_receiver_fails_sends_and_unblocks_producers() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let handle = std::thread::spawn(move || tx.send(2).is_err());
+        std::thread::sleep(Duration::from_millis(10));
+        drop(rx);
+        assert!(handle.join().unwrap(), "send must fail after receiver drop");
+    }
+
+    #[test]
+    fn recv_timeout_delivers_cross_thread() {
+        let (tx, rx) = unbounded();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            tx.send(42u32).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)), Ok(42));
+    }
+}

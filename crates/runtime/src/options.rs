@@ -23,13 +23,36 @@ pub enum Pacing {
 }
 
 /// Options for running a threaded pipeline.
+///
+/// ## Batching knobs
+///
+/// The runtime moves [`llhj_core::message::MessageBatch`] frames between
+/// workers, so message granularity is a configuration property rather than
+/// a structural one:
+///
+/// * [`batch_size`](Self::batch_size) — how many tuple arrivals the driver
+///   groups into one entry frame.  `1` reproduces the per-tuple transport
+///   of the paper's low-latency configuration exactly (every message is its
+///   own frame); larger values amortise channel and wake-up overhead over
+///   the whole frame at the price of up to `batch_size / rate` of added
+///   latency, which is the trade-off Figure 20 of the paper varies.
+/// * [`flush_interval`](Self::flush_interval) — optional stream-time bound
+///   on how long a partial entry batch may wait for more tuples.  `None`
+///   (the default) keeps the seed semantics: partial batches flush only
+///   when the stream ends.  `Some(d)` caps the batching delay at `d`, so a
+///   trickling stream still achieves low latency under a large
+///   `batch_size`.
 #[derive(Debug, Clone)]
 pub struct PipelineOptions {
     /// Pacing mode.
     pub pacing: Pacing,
     /// Driver batch size in tuples (64 in the paper's setup).
     pub batch_size: usize,
-    /// Capacity of the bounded FIFO channels between neighbouring workers.
+    /// Maximum stream time a partial entry batch may wait before it is
+    /// flushed regardless of its size.  `None` disables the timer.
+    pub flush_interval: Option<TimeDelta>,
+    /// Capacity of the bounded FIFO channels between neighbouring workers,
+    /// in frames.
     pub channel_capacity: usize,
     /// Whether the collector emits punctuations into the output stream.
     pub punctuate: bool,
@@ -44,6 +67,7 @@ impl Default for PipelineOptions {
         PipelineOptions {
             pacing: Pacing::Unpaced,
             batch_size: 64,
+            flush_interval: None,
             channel_capacity: 1024,
             punctuate: false,
             collect_interval: Duration::from_millis(1),
@@ -76,7 +100,10 @@ mod tests {
     #[test]
     fn unpaced_never_waits() {
         let opts = PipelineOptions::default();
-        assert_eq!(opts.stream_to_wall(TimeDelta::from_secs(100)), Duration::ZERO);
+        assert_eq!(
+            opts.stream_to_wall(TimeDelta::from_secs(100)),
+            Duration::ZERO
+        );
     }
 
     #[test]
@@ -93,6 +120,9 @@ mod tests {
             pacing: Pacing::RealTime { speedup: 0.0 },
             ..Default::default()
         };
-        assert_eq!(degenerate.stream_to_wall(TimeDelta::from_secs(5)), Duration::ZERO);
+        assert_eq!(
+            degenerate.stream_to_wall(TimeDelta::from_secs(5)),
+            Duration::ZERO
+        );
     }
 }

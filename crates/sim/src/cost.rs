@@ -17,7 +17,15 @@ pub type SimNanos = u64;
 /// Cost model parameters (all in nanoseconds).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
-    /// Fixed cost of handling one message (dequeue, dispatch, enqueue).
+    /// Fixed cost of receiving one *frame* (channel operation, consumer
+    /// wake-up) regardless of how many messages it carries.  This is the
+    /// cost that batching amortises: a frame of `b` messages pays it once
+    /// instead of `b` times, which is why coarse-grained handshake join
+    /// out-throughputs the eager per-tuple transport (Section 2 of the
+    /// paper).
+    pub per_frame_ns: f64,
+    /// Fixed cost of handling one message within a frame (dispatch,
+    /// branch).
     pub per_message_ns: f64,
     /// Cost of one predicate evaluation during a window scan.
     pub per_comparison_ns: f64,
@@ -33,6 +41,7 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         CostModel {
+            per_frame_ns: 250.0,
             per_message_ns: 150.0,
             per_comparison_ns: 2.0,
             per_result_ns: 60.0,
@@ -43,9 +52,32 @@ impl Default for CostModel {
 }
 
 impl CostModel {
-    /// Service time of one message given the work it triggered.
+    /// Service time of one message given the work it triggered (excludes
+    /// the per-frame reception cost; see [`CostModel::frame_service_ns`]).
     pub fn service_ns(&self, comparisons: u64, results: u64, punctuated: bool) -> SimNanos {
         let mut ns = self.per_message_ns
+            + comparisons as f64 * self.per_comparison_ns
+            + results as f64 * self.per_result_ns;
+        if punctuated {
+            ns += self.punctuation_overhead_ns;
+        }
+        ns.max(0.0).round() as SimNanos
+    }
+
+    /// Service time of one *frame* of `messages` messages: one frame
+    /// reception cost plus the per-message and per-work costs of everything
+    /// the frame triggered.  The punctuation overhead (high-water-mark
+    /// maintenance at the pipeline ends) is charged once per frame — the
+    /// mark only advances to the frame's last arrival.
+    pub fn frame_service_ns(
+        &self,
+        messages: u64,
+        comparisons: u64,
+        results: u64,
+        punctuated: bool,
+    ) -> SimNanos {
+        let mut ns = self.per_frame_ns
+            + messages as f64 * self.per_message_ns
             + comparisons as f64 * self.per_comparison_ns
             + results as f64 * self.per_result_ns;
         if punctuated {
@@ -83,8 +115,28 @@ mod tests {
     }
 
     #[test]
+    fn frame_cost_amortises_the_channel_operation() {
+        let c = CostModel::default();
+        // One frame of 64 messages is far cheaper than 64 frames of one.
+        let batched = c.frame_service_ns(64, 0, 0, false);
+        let eager = 64 * c.frame_service_ns(1, 0, 0, false);
+        assert!(batched < eager);
+        assert_eq!(
+            eager - batched,
+            63 * c.per_frame_ns as u64,
+            "the saving is exactly the amortised per-frame cost"
+        );
+        // A frame of one message degenerates to frame + message cost.
+        assert_eq!(
+            c.frame_service_ns(1, 5, 2, true),
+            (c.per_frame_ns + c.punctuation_overhead_ns) as u64 + c.service_ns(5, 2, false)
+        );
+    }
+
+    #[test]
     fn degenerate_costs_clamp_to_zero() {
         let c = CostModel {
+            per_frame_ns: 0.0,
             per_message_ns: -5.0,
             per_comparison_ns: 0.0,
             per_result_ns: 0.0,
@@ -107,8 +159,7 @@ mod tests {
         let rate: f64 = 3750.0;
         let window_tuples = rate * 900.0;
         let per_node_scan = window_tuples / 40.0;
-        let busy_per_sec =
-            2.0 * rate * per_node_scan * c.per_comparison_ns * 1e-9;
+        let busy_per_sec = 2.0 * rate * per_node_scan * c.per_comparison_ns * 1e-9;
         assert!(
             busy_per_sec > 0.8 && busy_per_sec < 2.0,
             "calibration off: {busy_per_sec}"

@@ -35,6 +35,13 @@ pub struct SimReport<R, S> {
     pub punctuation_count: u64,
     /// Number of R/S arrivals replayed from the schedule.
     pub arrivals_per_stream: (usize, usize),
+    /// Number of frames delivered to nodes (injections plus forwards).
+    /// With `batch_size = 1` this equals the number of messages; larger
+    /// batches amortise the per-frame transport cost over
+    /// `total_messages / frames_delivered` messages.
+    pub frames_delivered: u64,
+    /// Total messages delivered inside those frames.
+    pub messages_delivered: u64,
 }
 
 impl<R, S> SimReport<R, S> {

@@ -7,10 +7,9 @@
 //! 1 : 250,000, and scaled-down experiments shrink the domain so the
 //! expected number of output tuples per input tuple stays comparable.
 
+use crate::rng::WorkloadRng;
 use crate::schema::{RTuple, STuple};
 use llhj_core::time::{TimeDelta, Timestamp};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// How arrival timestamps are spaced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,12 +89,12 @@ impl BandJoinWorkload {
 
     /// Generates the R stream arrivals.
     pub fn generate_r(&self) -> Vec<(Timestamp, RTuple)> {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = WorkloadRng::seed_from_u64(self.seed);
         self.timestamps(&mut rng)
             .into_iter()
             .map(|ts| {
-                let x = rng.gen_range(1..=self.domain) as i32;
-                let y = rng.gen_range(1.0..=self.domain as f32);
+                let x = rng.gen_range_u32(1, self.domain) as i32;
+                let y = rng.gen_range_f32(1.0, self.domain as f32);
                 (ts, RTuple::new(x, y))
             })
             .collect()
@@ -103,18 +102,18 @@ impl BandJoinWorkload {
 
     /// Generates the S stream arrivals.
     pub fn generate_s(&self) -> Vec<(Timestamp, STuple)> {
-        let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(0x9E37_79B9));
+        let mut rng = WorkloadRng::seed_from_u64(self.seed.wrapping_add(0x9E37_79B9));
         self.timestamps(&mut rng)
             .into_iter()
             .map(|ts| {
-                let a = rng.gen_range(1..=self.domain) as i32;
-                let b = rng.gen_range(1.0..=self.domain as f32);
+                let a = rng.gen_range_u32(1, self.domain) as i32;
+                let b = rng.gen_range_f32(1.0, self.domain as f32);
                 (ts, STuple::new(a, b))
             })
             .collect()
     }
 
-    fn timestamps(&self, rng: &mut SmallRng) -> Vec<Timestamp> {
+    fn timestamps(&self, rng: &mut WorkloadRng) -> Vec<Timestamp> {
         let n = self.tuples_per_stream();
         let mut out = Vec::with_capacity(n);
         match self.pattern {
@@ -127,7 +126,7 @@ impl BandJoinWorkload {
             ArrivalPattern::Poisson => {
                 let mut t = 0.0f64;
                 for _ in 0..n {
-                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u: f64 = rng.gen_unit_f64().max(f64::EPSILON);
                     t += -u.ln() / self.rate_per_sec;
                     out.push(Timestamp::from_micros((t * 1e6) as u64));
                 }
@@ -166,19 +165,29 @@ impl Default for EquiJoinWorkload {
 impl EquiJoinWorkload {
     /// Generates the R stream arrivals.
     pub fn generate_r(&self) -> Vec<(Timestamp, RTuple)> {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = WorkloadRng::seed_from_u64(self.seed);
         steady(self.rate_per_sec, self.duration)
             .into_iter()
-            .map(|ts| (ts, RTuple::new(rng.gen_range(1..=self.domain) as i32, 0.0)))
+            .map(|ts| {
+                (
+                    ts,
+                    RTuple::new(rng.gen_range_u32(1, self.domain) as i32, 0.0),
+                )
+            })
             .collect()
     }
 
     /// Generates the S stream arrivals.
     pub fn generate_s(&self) -> Vec<(Timestamp, STuple)> {
-        let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(1));
+        let mut rng = WorkloadRng::seed_from_u64(self.seed.wrapping_add(1));
         steady(self.rate_per_sec, self.duration)
             .into_iter()
-            .map(|ts| (ts, STuple::new(rng.gen_range(1..=self.domain) as i32, 0.0)))
+            .map(|ts| {
+                (
+                    ts,
+                    STuple::new(rng.gen_range_u32(1, self.domain) as i32, 0.0),
+                )
+            })
             .collect()
     }
 }

@@ -10,9 +10,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod generator;
+pub mod rng;
 pub mod schema;
 
 pub use generator::{ArrivalPattern, BandJoinWorkload, EquiJoinWorkload};
+pub use rng::WorkloadRng;
 pub use schema::{BandPredicate, EquiXaPredicate, RTuple, STuple};
 
 use llhj_core::driver::DriverSchedule;

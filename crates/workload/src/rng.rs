@@ -1,0 +1,117 @@
+//! A small, self-contained pseudo-random number generator.
+//!
+//! The build environment has no access to a crates.io mirror, so the
+//! workload generators cannot depend on the `rand` crate.  This module
+//! provides the only primitives they need — uniform integers, uniform
+//! floats and a unit-interval draw — on top of xoshiro256++ seeded via
+//! SplitMix64 (the standard seeding recipe, so a 64-bit seed expands to a
+//! full 256-bit state).  Determinism per seed is part of the contract:
+//! every experiment in the repository must be reproducible.
+
+/// A deterministic xoshiro256++ generator.
+#[derive(Debug, Clone)]
+pub struct WorkloadRng {
+    state: [u64; 4],
+}
+
+impl WorkloadRng {
+    /// Seeds the generator from a 64-bit seed (SplitMix64 expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        WorkloadRng {
+            state: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// Uniform integer in `lo..=hi` (inclusive).  Uses rejection sampling so
+    /// the distribution is exactly uniform.
+    pub fn gen_range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo <= hi, "empty range");
+        let span = (hi - lo) as u64 + 1;
+        // Rejection zone keeps the modulo unbiased.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return lo + (x % span) as u32;
+            }
+        }
+    }
+
+    /// Uniform draw from the half-open unit interval `[0, 1)`.
+    pub fn gen_unit_f64(&mut self) -> f64 {
+        // 53 random mantissa bits, the standard conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in the half-open interval `[lo, hi)` (the unit draw
+    /// never returns 1.0, so `hi` itself is unreachable).
+    pub fn gen_range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo <= hi, "empty range");
+        lo + (self.gen_unit_f64() as f32) * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = WorkloadRng::seed_from_u64(42);
+        let mut b = WorkloadRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = WorkloadRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_respected_and_cover_the_domain() {
+        let mut rng = WorkloadRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.gen_range_u32(1, 10);
+            assert!((1..=10).contains(&v));
+            seen[(v - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+        for _ in 0..1_000 {
+            let f = rng.gen_range_f32(1.0, 50.0);
+            assert!((1.0..=50.0).contains(&f));
+            let u = rng.gen_unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn unit_draws_are_roughly_uniform() {
+        let mut rng = WorkloadRng::seed_from_u64(1234);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_unit_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -21,7 +21,9 @@ fn main() {
     let schedule = band_join_schedule(&workload, window, window);
     let predicate = BandPredicate::default();
 
-    println!("simulating an 8-core pipeline, {window_secs}-second windows, {rate} tuples/s per stream\n");
+    println!(
+        "simulating an 8-core pipeline, {window_secs}-second windows, {rate} tuples/s per stream\n"
+    );
 
     for (label, algorithm) in [
         ("original handshake join", Algorithm::Hsj),

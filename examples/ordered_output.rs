@@ -42,7 +42,10 @@ fn main() {
     // The punctuated stream must honour its guarantee: no result with a
     // timestamp below a previously emitted punctuation.
     match verify_punctuated_stream(&outcome.output, |t| t.result.ts()) {
-        Ok(()) => println!("punctuation guarantee verified over {} items", outcome.output.len()),
+        Ok(()) => println!(
+            "punctuation guarantee verified over {} items",
+            outcome.output.len()
+        ),
         Err(at) => println!("PUNCTUATION VIOLATION at output item {at}"),
     }
 

@@ -18,12 +18,7 @@ fn main() {
 
     // The external driver turns raw arrivals plus a window specification
     // into a totally ordered schedule of arrival / expiry events.
-    let schedule = DriverSchedule::build(
-        r,
-        s,
-        WindowSpec::time_secs(1),
-        WindowSpec::time_secs(1),
-    );
+    let schedule = DriverSchedule::build(r, s, WindowSpec::time_secs(1), WindowSpec::time_secs(1));
 
     // An equality predicate on the payloads.
     let pred = FnPredicate(|r: &u32, s: &u32| r == s);

@@ -17,12 +17,7 @@ fn main() {
     // Scaled-down version of the paper's workload: 200 tuples/s per stream,
     // 5-second windows, attribute domain shrunk so matches remain frequent
     // enough to observe.
-    let workload = BandJoinWorkload::scaled(
-        200.0,
-        TimeDelta::from_secs(10),
-        1_000,
-        0xBEEF,
-    );
+    let workload = BandJoinWorkload::scaled(200.0, TimeDelta::from_secs(10), 1_000, 0xBEEF);
     let window = WindowSpec::time_secs(5);
     let schedule = band_join_schedule(&workload, window, window);
     let predicate = BandPredicate::default();

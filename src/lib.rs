@@ -12,12 +12,20 @@
 //!   handshake join node, the original handshake join baseline, windows,
 //!   punctuations, the sorting operator and the analytic latency model;
 //! * [`runtime`] (`llhj-runtime`) — a threaded deployment (one worker per
-//!   core, crossbeam FIFO channels, driver + collector threads);
+//!   core, FIFO frame channels, driver + collector threads);
 //! * [`sim`] (`llhj-sim`) — a deterministic discrete-event simulator used
 //!   by the evaluation harness to sweep core counts;
 //! * [`baselines`] (`llhj-baselines`) — Kang's three-step procedure and
 //!   CellJoin;
 //! * [`workload`] (`llhj-workload`) — the paper's benchmark workload.
+//!
+//! Both execution substrates move [`core::MessageBatch`] *frames* — runs
+//! of same-direction messages — so message granularity is a configuration
+//! knob: `PipelineOptions::batch_size` / `flush_interval` on the runtime
+//! and `SimConfig::batch_size` on the simulator.  `batch_size = 1`
+//! reproduces the eager per-tuple transport exactly; coarser frames
+//! amortise channel and wake-up cost over the whole run of messages,
+//! which is the granularity trade-off the paper's Section 2 analyses.
 //!
 //! ## Quick start
 //!
@@ -61,7 +69,7 @@ pub mod prelude {
     };
     pub use llhj_sim::{run_simulation, Algorithm, AnalyticModel, CostModel, SimConfig, SimReport};
     pub use llhj_workload::{
-        band_join_schedule, equi_join_schedule, BandJoinWorkload, BandPredicate,
-        EquiJoinWorkload, EquiXaPredicate, RTuple, STuple,
+        band_join_schedule, equi_join_schedule, BandJoinWorkload, BandPredicate, EquiJoinWorkload,
+        EquiXaPredicate, RTuple, STuple,
     };
 }

@@ -95,7 +95,7 @@ fn equi_join_index_cuts_work_but_not_results() {
     let schedule = equi_join_schedule(&workload, window, window);
     let oracle = run_kang(EquiXaPredicate, &schedule);
 
-    let mut run = |algorithm| {
+    let run = |algorithm| {
         let mut cfg = SimConfig::new(4, algorithm);
         cfg.window_r = window;
         cfg.window_s = window;

@@ -1,0 +1,152 @@
+//! Batching is pure transport: whatever the frame granularity, the batched
+//! runtime must produce exactly the result set of the per-tuple simulator
+//! and of the nested-loop oracle.
+//!
+//! This is the acceptance test of the batched-transport refactor: the
+//! driver groups `batch_size` tuples per entry frame and every worker
+//! forwards whole frames.  Low-latency handshake join pairs each expiry
+//! stream with the same-direction entry point, so per-direction FIFO order
+//! protects same-boundary pairs at any batch size; exactness across
+//! *directions* additionally requires the batching delay (batch fill time,
+//! boundable via `flush_interval`) to stay below the window overlap of the
+//! closest pair — amply true for every granularity swept here, and
+//! deliberately violated in `flush_interval_bounds_the_batching_delay`'s
+//! degenerate whole-stream frame.
+
+use handshake_join::baselines::run_kang;
+use handshake_join::prelude::*;
+
+fn band_schedule() -> llhj_core::DriverSchedule<RTuple, STuple> {
+    let workload = BandJoinWorkload::scaled(150.0, TimeDelta::from_secs(8), 350, 0xBA7C);
+    band_join_schedule(
+        &workload,
+        WindowSpec::time_secs(3),
+        WindowSpec::time_secs(3),
+    )
+}
+
+#[test]
+fn batched_runtime_matches_simulator_and_oracle_on_the_band_join() {
+    let schedule = band_schedule();
+    let pred = BandPredicate::default();
+
+    // Nested-loop oracle.
+    let oracle = run_kang(pred, &schedule);
+    let oracle_keys = oracle.result_keys();
+    assert!(
+        oracle_keys.len() > 20,
+        "workload must produce a meaningful number of matches, got {}",
+        oracle_keys.len()
+    );
+
+    // Per-tuple discrete-event simulator (batch_size = 1).
+    let mut cfg = SimConfig::new(3, Algorithm::Llhj);
+    cfg.batch_size = 1;
+    cfg.window_r = WindowSpec::time_secs(3);
+    cfg.window_s = WindowSpec::time_secs(3);
+    cfg.expected_rate_per_sec = 150.0;
+    cfg.latency_bucket = 1_000_000;
+    let sim = run_simulation(&cfg, pred, RoundRobin, &schedule);
+    assert_eq!(sim.result_keys(), oracle_keys, "per-tuple simulator");
+
+    // Batched threaded runtime at every granularity.
+    for batch_size in [1usize, 8, 64] {
+        let opts = PipelineOptions {
+            batch_size,
+            pacing: Pacing::RealTime { speedup: 4.0 },
+            ..Default::default()
+        };
+        let outcome = run_pipeline(llhj_nodes(3, pred), pred, RoundRobin, &schedule, &opts);
+        assert_eq!(
+            outcome.result_keys(),
+            oracle_keys,
+            "threaded runtime with batch_size {batch_size}"
+        );
+        // Coarser batches must not inject more frames than finer ones.
+        assert!(outcome.frames_injected > 0);
+    }
+}
+
+#[test]
+fn batch_size_one_reproduces_per_tuple_frame_counts() {
+    // With batch_size = 1 every arrival is flushed as its own frame (plus
+    // any expiries queued since the previous arrival), reproducing the
+    // seed's per-tuple injection pattern exactly.
+    let schedule = band_schedule();
+    let pred = BandPredicate::default();
+    let opts = PipelineOptions {
+        batch_size: 1,
+        ..Default::default()
+    };
+    let outcome = run_pipeline(llhj_nodes(2, pred), pred, RoundRobin, &schedule, &opts);
+    let arrivals = (outcome.arrivals_per_stream.0 + outcome.arrivals_per_stream.1) as u64;
+    // One entry frame per arrival (expiries ride the next arrival's frame),
+    // plus at most one tail flush per direction for the trailing expiries.
+    assert!(
+        outcome.frames_injected >= arrivals && outcome.frames_injected <= arrivals + 2,
+        "expected ~{arrivals} frames, got {}",
+        outcome.frames_injected
+    );
+
+    let coarse = PipelineOptions {
+        batch_size: 64,
+        ..Default::default()
+    };
+    let coarse_outcome = run_pipeline(llhj_nodes(2, pred), pred, RoundRobin, &schedule, &coarse);
+    assert!(
+        coarse_outcome.frames_injected * 8 < outcome.frames_injected,
+        "batch 64 must inject far fewer frames: {} vs {}",
+        coarse_outcome.frames_injected,
+        outcome.frames_injected
+    );
+}
+
+#[test]
+fn flush_interval_bounds_the_batching_delay() {
+    // A huge batch with a flush interval behaves like the interval, not
+    // like the batch: frames keep flowing and the result set stays exact.
+    let schedule = band_schedule();
+    let pred = BandPredicate::default();
+    let oracle_keys = run_kang(pred, &schedule).result_keys();
+
+    let unbounded_wait = PipelineOptions {
+        batch_size: 100_000,
+        flush_interval: None,
+        pacing: Pacing::RealTime { speedup: 8.0 },
+        ..Default::default()
+    };
+    let capped = PipelineOptions {
+        batch_size: 100_000,
+        flush_interval: Some(TimeDelta::from_millis(100)),
+        pacing: Pacing::RealTime { speedup: 8.0 },
+        ..Default::default()
+    };
+    let waited = run_pipeline(
+        llhj_nodes(2, pred),
+        pred,
+        RoundRobin,
+        &schedule,
+        &unbounded_wait,
+    );
+    let flowed = run_pipeline(llhj_nodes(2, pred), pred, RoundRobin, &schedule, &capped);
+
+    // Without the timer the whole stream fits in one frame per direction
+    // (plus the tail flush).  Such a frame reorders expiries across
+    // directions — S expiries reach the left end before the S tuples have
+    // crossed the pipeline — so its result set is NOT held to the oracle:
+    // the degenerate configuration exists to show what the timer prevents.
+    assert!(
+        waited.frames_injected <= 4,
+        "expected the whole stream in <= 4 frames, got {}",
+        waited.frames_injected
+    );
+
+    // With the timer the driver emits a frame at least every 100 ms of
+    // stream time, and windowing stays exact.
+    assert_eq!(flowed.result_keys(), oracle_keys);
+    assert!(
+        flowed.frames_injected > 20,
+        "flush interval must keep frames flowing, got {}",
+        flowed.frames_injected
+    );
+}

@@ -14,7 +14,29 @@ use llhj_core::predicate::{FnPredicate, JoinPredicate};
 use llhj_core::time::{TimeDelta, Timestamp};
 use llhj_core::window::WindowSpec;
 use llhj_sim::{run_simulation, Algorithm, SimConfig};
-use proptest::prelude::*;
+use llhj_workload::WorkloadRng;
+
+/// Draws a random per-stream (gap in ms, value) list, mirroring the
+/// proptest strategies these tests were originally written with (the
+/// build environment cannot fetch proptest, so the cases are generated
+/// with the deterministic workload RNG instead: every run explores the
+/// same fixed family of randomized workloads).
+fn random_items(
+    rng: &mut WorkloadRng,
+    max_len: u32,
+    max_gap: u32,
+    max_value: u32,
+) -> Vec<(u16, u8)> {
+    let len = rng.gen_range_u32(1, max_len);
+    (0..len)
+        .map(|_| {
+            (
+                rng.gen_range_u32(1, max_gap - 1) as u16,
+                rng.gen_range_u32(0, max_value - 1) as u8,
+            )
+        })
+        .collect()
+}
 
 fn eq_pred() -> FnPredicate<fn(&u32, &u32) -> bool> {
     fn eq(r: &u32, s: &u32) -> bool {
@@ -65,21 +87,16 @@ fn sim_config(nodes: usize, algorithm: Algorithm, window_ms: u64) -> SimConfig {
     cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        ..ProptestConfig::default()
-    })]
-
-    /// Low-latency handshake join produces exactly the oracle's result set
-    /// for arbitrary workloads and pipeline widths.
-    #[test]
-    fn llhj_matches_kang_for_random_workloads(
-        r in prop::collection::vec((1u16..200, 0u8..12), 1..60),
-        s in prop::collection::vec((1u16..200, 0u8..12), 1..60),
-        window_ms in 50u64..2_000,
-        nodes in 1usize..6,
-    ) {
+/// Low-latency handshake join produces exactly the oracle's result set
+/// for arbitrary workloads and pipeline widths.
+#[test]
+fn llhj_matches_kang_for_random_workloads() {
+    for case in 0..24u64 {
+        let mut rng = WorkloadRng::seed_from_u64(0xA11C_E000 + case);
+        let r = random_items(&mut rng, 60, 200, 12);
+        let s = random_items(&mut rng, 60, 200, 12);
+        let window_ms = rng.gen_range_u32(50, 2_000) as u64;
+        let nodes = rng.gen_range_u32(1, 5) as usize;
         let schedule = schedule_from(&r, &s, window_ms, false);
         let oracle = run_kang(eq_pred(), &schedule);
         let report = run_simulation(
@@ -88,25 +105,31 @@ proptest! {
             RoundRobin,
             &schedule,
         );
-        prop_assert_eq!(report.result_keys(), oracle.result_keys());
+        assert_eq!(
+            report.result_keys(),
+            oracle.result_keys(),
+            "case {case}: {nodes} nodes, {window_ms} ms window"
+        );
     }
+}
 
-    /// The original handshake join is *sound* (it never reports a pair the
-    /// oracle would not) and complete up to its flow quantisation: tuples
-    /// advance through the pipeline only when new input pushes them, so
-    /// under a sparse stream a pair whose window overlap is smaller than
-    /// one pipeline band (plus a few inter-arrival gaps) can expire before
-    /// the two tuples physically meet.  This is inherent to the original
-    /// algorithm — and exactly the kind of behaviour low-latency handshake
-    /// join eliminates (see `llhj_matches_kang_for_random_workloads`, which
-    /// demands exact equality).
-    #[test]
-    fn hsj_is_sound_and_complete_up_to_flow_quantisation(
-        r in prop::collection::vec((1u16..150, 0u8..10), 1..40),
-        s in prop::collection::vec((1u16..150, 0u8..10), 1..40),
-        window_ms in 100u64..1_500,
-        nodes in 1usize..5,
-    ) {
+/// The original handshake join is *sound* (it never reports a pair the
+/// oracle would not) and complete up to its flow quantisation: tuples
+/// advance through the pipeline only when new input pushes them, so
+/// under a sparse stream a pair whose window overlap is smaller than
+/// one pipeline band (plus a few inter-arrival gaps) can expire before
+/// the two tuples physically meet.  This is inherent to the original
+/// algorithm — and exactly the kind of behaviour low-latency handshake
+/// join eliminates (see `llhj_matches_kang_for_random_workloads`, which
+/// demands exact equality).
+#[test]
+fn hsj_is_sound_and_complete_up_to_flow_quantisation() {
+    for case in 0..24u64 {
+        let mut rng = WorkloadRng::seed_from_u64(0x15_1000 + case);
+        let r = random_items(&mut rng, 40, 150, 10);
+        let s = random_items(&mut rng, 40, 150, 10);
+        let window_ms = rng.gen_range_u32(100, 1_500) as u64;
+        let nodes = rng.gen_range_u32(1, 4) as usize;
         let schedule = schedule_from(&r, &s, window_ms, true);
         let oracle = run_kang(eq_pred(), &schedule);
         let report = run_simulation(
@@ -121,9 +144,9 @@ proptest! {
         // Soundness: every reported pair is in the oracle set, exactly once.
         let mut deduped = hsj_keys.clone();
         deduped.dedup();
-        prop_assert_eq!(deduped.len(), hsj_keys.len(), "duplicate results");
+        assert_eq!(deduped.len(), hsj_keys.len(), "duplicate results");
         for key in &hsj_keys {
-            prop_assert!(oracle_keys.contains(key), "spurious result {key:?}");
+            assert!(oracle_keys.contains(key), "spurious result {key:?}");
         }
 
         // Completeness up to flow quantisation: a missing pair must have a
@@ -153,35 +176,39 @@ proptest! {
             let tr = r_ts[key.0 .0 as usize].as_micros() / 1_000;
             let ts = s_ts[key.1 .0 as usize].as_micros() / 1_000;
             let overlap = (tr.min(ts) + window_ms).saturating_sub(tr.max(ts));
-            prop_assert!(
+            assert!(
                 overlap <= allowed_margin_ms,
                 "missed pair {key:?} had a comfortable overlap of {overlap} ms \
                  (allowed quantisation margin: {allowed_margin_ms} ms)"
             );
         }
     }
+}
 
-    /// CellJoin is a parallelisation of Kang's procedure: identical output.
-    #[test]
-    fn celljoin_matches_kang_for_random_workloads(
-        r in prop::collection::vec((1u16..200, 0u8..12), 1..60),
-        s in prop::collection::vec((1u16..200, 0u8..12), 1..60),
-        window_ms in 50u64..2_000,
-        cores in 1usize..7,
-    ) {
+/// CellJoin is a parallelisation of Kang's procedure: identical output.
+#[test]
+fn celljoin_matches_kang_for_random_workloads() {
+    for case in 0..24u64 {
+        let mut rng = WorkloadRng::seed_from_u64(0xCE11_0000 + case);
+        let r = random_items(&mut rng, 60, 200, 12);
+        let s = random_items(&mut rng, 60, 200, 12);
+        let window_ms = rng.gen_range_u32(50, 2_000) as u64;
+        let cores = rng.gen_range_u32(1, 6) as usize;
         let schedule = schedule_from(&r, &s, window_ms, false);
         let oracle = run_kang(eq_pred(), &schedule);
         let cell = run_celljoin(cores, eq_pred(), &schedule);
-        prop_assert_eq!(cell.result_keys(), oracle.result_keys());
+        assert_eq!(cell.result_keys(), oracle.result_keys(), "case {case}");
     }
+}
 
-    /// Results are never duplicated, whatever the configuration.
-    #[test]
-    fn llhj_never_duplicates_results(
-        r in prop::collection::vec((1u16..100, 0u8..6), 1..50),
-        s in prop::collection::vec((1u16..100, 0u8..6), 1..50),
-        nodes in 1usize..6,
-    ) {
+/// Results are never duplicated, whatever the configuration.
+#[test]
+fn llhj_never_duplicates_results() {
+    for case in 0..24u64 {
+        let mut rng = WorkloadRng::seed_from_u64(0xD0_D000 + case);
+        let r = random_items(&mut rng, 50, 100, 6);
+        let s = random_items(&mut rng, 50, 100, 6);
+        let nodes = rng.gen_range_u32(1, 5) as usize;
         let schedule = schedule_from(&r, &s, 800, false);
         let report = run_simulation(
             &sim_config(nodes, Algorithm::Llhj, 800),
@@ -192,7 +219,7 @@ proptest! {
         let mut keys = report.result_keys();
         let before = keys.len();
         keys.dedup();
-        prop_assert_eq!(before, keys.len());
+        assert_eq!(before, keys.len(), "case {case}");
     }
 }
 
