@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-07e2410cec355732.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/liball_experiments-07e2410cec355732.rmeta: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-3a76bca0f6fc4d7f.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-3a76bca0f6fc4d7f: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-416632a89fbbe587.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-416632a89fbbe587: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-d80595b2c1d1df7f.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/liball_experiments-d80595b2c1d1df7f.rmeta: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

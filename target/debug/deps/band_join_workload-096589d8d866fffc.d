@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/band_join_workload-096589d8d866fffc.d: tests/band_join_workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libband_join_workload-096589d8d866fffc.rmeta: tests/band_join_workload.rs Cargo.toml
+
+tests/band_join_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

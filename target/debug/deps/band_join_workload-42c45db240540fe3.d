@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/band_join_workload-42c45db240540fe3.d: tests/band_join_workload.rs
+
+/root/repo/target/debug/deps/libband_join_workload-42c45db240540fe3.rmeta: tests/band_join_workload.rs
+
+tests/band_join_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/band_join_workload-a4e7c8e8b13f7e42.d: tests/band_join_workload.rs
+
+/root/repo/target/debug/deps/band_join_workload-a4e7c8e8b13f7e42: tests/band_join_workload.rs
+
+tests/band_join_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batching-de60bd91f093e9b3.d: crates/bench/benches/batching.rs
+
+/root/repo/target/debug/deps/libbatching-de60bd91f093e9b3.rmeta: crates/bench/benches/batching.rs
+
+crates/bench/benches/batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batching_equivalence-d5c50c435acece1e.d: tests/batching_equivalence.rs
+
+/root/repo/target/debug/deps/batching_equivalence-d5c50c435acece1e: tests/batching_equivalence.rs
+
+tests/batching_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batching_equivalence-e2ee911eac0855fa.d: tests/batching_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatching_equivalence-e2ee911eac0855fa.rmeta: tests/batching_equivalence.rs Cargo.toml
+
+tests/batching_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

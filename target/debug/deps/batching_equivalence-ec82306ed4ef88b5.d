@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batching_equivalence-ec82306ed4ef88b5.d: tests/batching_equivalence.rs
+
+/root/repo/target/debug/deps/libbatching_equivalence-ec82306ed4ef88b5.rmeta: tests/batching_equivalence.rs
+
+tests/batching_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_batching-3bbcf50321fa6393.d: crates/bench/src/bin/bench_batching.rs
+
+/root/repo/target/debug/deps/libbench_batching-3bbcf50321fa6393.rmeta: crates/bench/src/bin/bench_batching.rs
+
+crates/bench/src/bin/bench_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_batching-9a263262168310b0.d: crates/bench/src/bin/bench_batching.rs
+
+/root/repo/target/debug/deps/libbench_batching-9a263262168310b0.rmeta: crates/bench/src/bin/bench_batching.rs
+
+crates/bench/src/bin/bench_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_batching-a3d2fb7f219ea46a.d: crates/bench/src/bin/bench_batching.rs
+
+/root/repo/target/debug/deps/bench_batching-a3d2fb7f219ea46a: crates/bench/src/bin/bench_batching.rs
+
+crates/bench/src/bin/bench_batching.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_batching-c7e2471be931ce4f.d: crates/bench/src/bin/bench_batching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_batching-c7e2471be931ce4f.rmeta: crates/bench/src/bin/bench_batching.rs Cargo.toml
+
+crates/bench/src/bin/bench_batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

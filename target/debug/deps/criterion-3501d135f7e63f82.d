@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-3501d135f7e63f82.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-3501d135f7e63f82: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

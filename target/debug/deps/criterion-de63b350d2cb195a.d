@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-de63b350d2cb195a.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-de63b350d2cb195a.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

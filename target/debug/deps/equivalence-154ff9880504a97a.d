@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-154ff9880504a97a.d: tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-154ff9880504a97a: tests/equivalence.rs
+
+tests/equivalence.rs:

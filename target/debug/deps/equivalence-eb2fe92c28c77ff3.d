@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-eb2fe92c28c77ff3.d: tests/equivalence.rs
+
+/root/repo/target/debug/deps/libequivalence-eb2fe92c28c77ff3.rmeta: tests/equivalence.rs
+
+tests/equivalence.rs:

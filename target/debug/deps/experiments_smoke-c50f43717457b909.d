@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-c50f43717457b909.d: tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-c50f43717457b909: tests/experiments_smoke.rs
+
+tests/experiments_smoke.rs:

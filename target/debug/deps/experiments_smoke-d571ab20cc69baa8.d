@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-d571ab20cc69baa8.d: tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/libexperiments_smoke-d571ab20cc69baa8.rmeta: tests/experiments_smoke.rs
+
+tests/experiments_smoke.rs:

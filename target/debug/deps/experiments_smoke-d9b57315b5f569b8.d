@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments_smoke-d9b57315b5f569b8.d: tests/experiments_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments_smoke-d9b57315b5f569b8.rmeta: tests/experiments_smoke.rs Cargo.toml
+
+tests/experiments_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-1cf7a8874eb979d4.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/fig05-1cf7a8874eb979d4: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-20bbd0da6f6b0bfc.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/libfig05-20bbd0da6f6b0bfc.rmeta: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05-4408bad9f9ac6022.d: crates/bench/src/bin/fig05.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05-4408bad9f9ac6022.rmeta: crates/bench/src/bin/fig05.rs Cargo.toml
+
+crates/bench/src/bin/fig05.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

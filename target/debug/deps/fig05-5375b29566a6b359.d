@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-5375b29566a6b359.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/libfig05-5375b29566a6b359.rmeta: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05-7175a8a4423ad400.d: crates/bench/src/bin/fig05.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05-7175a8a4423ad400.rmeta: crates/bench/src/bin/fig05.rs Cargo.toml
+
+crates/bench/src/bin/fig05.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

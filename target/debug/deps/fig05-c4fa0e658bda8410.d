@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-c4fa0e658bda8410.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/fig05-c4fa0e658bda8410: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-4dac3eb5e0887aa8.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-4dac3eb5e0887aa8: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

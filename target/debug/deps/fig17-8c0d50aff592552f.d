@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-8c0d50aff592552f.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-8c0d50aff592552f: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-bdf5025479deae06.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/libfig17-bdf5025479deae06.rmeta: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

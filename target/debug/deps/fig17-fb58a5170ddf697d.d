@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-fb58a5170ddf697d.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/libfig17-fb58a5170ddf697d.rmeta: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-5207d98dfc18ccb3.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/fig18-5207d98dfc18ccb3: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

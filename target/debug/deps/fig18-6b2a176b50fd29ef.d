@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-6b2a176b50fd29ef.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/libfig18-6b2a176b50fd29ef.rmeta: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

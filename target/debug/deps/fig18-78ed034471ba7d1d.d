@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-78ed034471ba7d1d.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/libfig18-78ed034471ba7d1d.rmeta: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-d142aea366f9e70f.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/fig18-d142aea366f9e70f: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

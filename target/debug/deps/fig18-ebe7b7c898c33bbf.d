@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18-ebe7b7c898c33bbf.d: crates/bench/src/bin/fig18.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18-ebe7b7c898c33bbf.rmeta: crates/bench/src/bin/fig18.rs Cargo.toml
+
+crates/bench/src/bin/fig18.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19-5c7023d6d0f794c7.d: crates/bench/src/bin/fig19.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19-5c7023d6d0f794c7.rmeta: crates/bench/src/bin/fig19.rs Cargo.toml
+
+crates/bench/src/bin/fig19.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

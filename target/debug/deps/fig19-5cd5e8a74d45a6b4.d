@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19-5cd5e8a74d45a6b4.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/debug/deps/fig19-5cd5e8a74d45a6b4: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19-689dfb871b347b7e.d: crates/bench/src/bin/fig19.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19-689dfb871b347b7e.rmeta: crates/bench/src/bin/fig19.rs Cargo.toml
+
+crates/bench/src/bin/fig19.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19-b0033a361c9599b5.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/debug/deps/libfig19-b0033a361c9599b5.rmeta: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19-ca3e78bf67e1c1a4.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/debug/deps/libfig19-ca3e78bf67e1c1a4.rmeta: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

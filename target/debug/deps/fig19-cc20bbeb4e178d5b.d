@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19-cc20bbeb4e178d5b.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/debug/deps/fig19-cc20bbeb4e178d5b: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20-3ac2ab7db369b294.d: crates/bench/src/bin/fig20.rs
+
+/root/repo/target/debug/deps/libfig20-3ac2ab7db369b294.rmeta: crates/bench/src/bin/fig20.rs
+
+crates/bench/src/bin/fig20.rs:

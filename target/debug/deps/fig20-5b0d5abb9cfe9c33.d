@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig20-5b0d5abb9cfe9c33.d: crates/bench/src/bin/fig20.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig20-5b0d5abb9cfe9c33.rmeta: crates/bench/src/bin/fig20.rs Cargo.toml
+
+crates/bench/src/bin/fig20.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

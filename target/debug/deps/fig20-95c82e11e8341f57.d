@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20-95c82e11e8341f57.d: crates/bench/src/bin/fig20.rs
+
+/root/repo/target/debug/deps/libfig20-95c82e11e8341f57.rmeta: crates/bench/src/bin/fig20.rs
+
+crates/bench/src/bin/fig20.rs:

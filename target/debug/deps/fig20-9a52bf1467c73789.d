@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20-9a52bf1467c73789.d: crates/bench/src/bin/fig20.rs
+
+/root/repo/target/debug/deps/fig20-9a52bf1467c73789: crates/bench/src/bin/fig20.rs
+
+crates/bench/src/bin/fig20.rs:

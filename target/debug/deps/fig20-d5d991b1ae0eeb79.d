@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20-d5d991b1ae0eeb79.d: crates/bench/src/bin/fig20.rs
+
+/root/repo/target/debug/deps/fig20-d5d991b1ae0eeb79: crates/bench/src/bin/fig20.rs
+
+crates/bench/src/bin/fig20.rs:

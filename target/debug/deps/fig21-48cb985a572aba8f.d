@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig21-48cb985a572aba8f.d: crates/bench/src/bin/fig21.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig21-48cb985a572aba8f.rmeta: crates/bench/src/bin/fig21.rs Cargo.toml
+
+crates/bench/src/bin/fig21.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig21-52de3b5b4291ab70.d: crates/bench/src/bin/fig21.rs
+
+/root/repo/target/debug/deps/fig21-52de3b5b4291ab70: crates/bench/src/bin/fig21.rs
+
+crates/bench/src/bin/fig21.rs:

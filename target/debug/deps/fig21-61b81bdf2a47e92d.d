@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig21-61b81bdf2a47e92d.d: crates/bench/src/bin/fig21.rs
+
+/root/repo/target/debug/deps/fig21-61b81bdf2a47e92d: crates/bench/src/bin/fig21.rs
+
+crates/bench/src/bin/fig21.rs:

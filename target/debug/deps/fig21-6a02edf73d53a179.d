@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig21-6a02edf73d53a179.d: crates/bench/src/bin/fig21.rs
+
+/root/repo/target/debug/deps/libfig21-6a02edf73d53a179.rmeta: crates/bench/src/bin/fig21.rs
+
+crates/bench/src/bin/fig21.rs:

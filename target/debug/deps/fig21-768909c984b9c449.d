@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig21-768909c984b9c449.d: crates/bench/src/bin/fig21.rs
+
+/root/repo/target/debug/deps/libfig21-768909c984b9c449.rmeta: crates/bench/src/bin/fig21.rs
+
+crates/bench/src/bin/fig21.rs:

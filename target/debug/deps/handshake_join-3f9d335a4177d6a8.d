@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/handshake_join-3f9d335a4177d6a8.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhandshake_join-3f9d335a4177d6a8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/handshake_join-405ee093af448f93.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhandshake_join-405ee093af448f93.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/handshake_join-86bbfaf45ac483b6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhandshake_join-86bbfaf45ac483b6.rmeta: src/lib.rs
+
+src/lib.rs:

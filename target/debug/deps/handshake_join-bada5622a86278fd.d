@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/handshake_join-bada5622a86278fd.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhandshake_join-bada5622a86278fd.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/handshake_join-c6c05a10b28e44e5.d: src/lib.rs
+
+/root/repo/target/debug/deps/handshake_join-c6c05a10b28e44e5: src/lib.rs
+
+src/lib.rs:

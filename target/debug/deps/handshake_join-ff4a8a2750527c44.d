@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/handshake_join-ff4a8a2750527c44.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhandshake_join-ff4a8a2750527c44.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhandshake_join-ff4a8a2750527c44.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llhj_baselines-050d68af5f6cce43.d: crates/baselines/src/lib.rs crates/baselines/src/celljoin.rs crates/baselines/src/kang.rs
+
+/root/repo/target/debug/deps/libllhj_baselines-050d68af5f6cce43.rlib: crates/baselines/src/lib.rs crates/baselines/src/celljoin.rs crates/baselines/src/kang.rs
+
+/root/repo/target/debug/deps/libllhj_baselines-050d68af5f6cce43.rmeta: crates/baselines/src/lib.rs crates/baselines/src/celljoin.rs crates/baselines/src/kang.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/celljoin.rs:
+crates/baselines/src/kang.rs:

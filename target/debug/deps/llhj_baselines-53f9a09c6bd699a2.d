@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/llhj_baselines-53f9a09c6bd699a2.d: crates/baselines/src/lib.rs crates/baselines/src/celljoin.rs crates/baselines/src/kang.rs
+
+/root/repo/target/debug/deps/libllhj_baselines-53f9a09c6bd699a2.rmeta: crates/baselines/src/lib.rs crates/baselines/src/celljoin.rs crates/baselines/src/kang.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/celljoin.rs:
+crates/baselines/src/kang.rs:

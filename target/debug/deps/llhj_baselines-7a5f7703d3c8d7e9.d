@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/llhj_baselines-7a5f7703d3c8d7e9.d: crates/baselines/src/lib.rs crates/baselines/src/celljoin.rs crates/baselines/src/kang.rs
+
+/root/repo/target/debug/deps/llhj_baselines-7a5f7703d3c8d7e9: crates/baselines/src/lib.rs crates/baselines/src/celljoin.rs crates/baselines/src/kang.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/celljoin.rs:
+crates/baselines/src/kang.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/llhj_baselines-e53f9aacc416d031.d: crates/baselines/src/lib.rs crates/baselines/src/celljoin.rs crates/baselines/src/kang.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllhj_baselines-e53f9aacc416d031.rmeta: crates/baselines/src/lib.rs crates/baselines/src/celljoin.rs crates/baselines/src/kang.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/celljoin.rs:
+crates/baselines/src/kang.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

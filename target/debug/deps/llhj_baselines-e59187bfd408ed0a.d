@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/llhj_baselines-e59187bfd408ed0a.d: crates/baselines/src/lib.rs crates/baselines/src/celljoin.rs crates/baselines/src/kang.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllhj_baselines-e59187bfd408ed0a.rmeta: crates/baselines/src/lib.rs crates/baselines/src/celljoin.rs crates/baselines/src/kang.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/celljoin.rs:
+crates/baselines/src/kang.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/llhj_bench-2c3da563432301eb.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/batching.rs crates/bench/src/experiments/fig05.rs crates/bench/src/experiments/fig17.rs crates/bench/src/experiments/fig18.rs crates/bench/src/experiments/fig19.rs crates/bench/src/experiments/fig20.rs crates/bench/src/experiments/fig21.rs crates/bench/src/experiments/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllhj_bench-2c3da563432301eb.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/batching.rs crates/bench/src/experiments/fig05.rs crates/bench/src/experiments/fig17.rs crates/bench/src/experiments/fig18.rs crates/bench/src/experiments/fig19.rs crates/bench/src/experiments/fig20.rs crates/bench/src/experiments/fig21.rs crates/bench/src/experiments/table2.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/batching.rs:
+crates/bench/src/experiments/fig05.rs:
+crates/bench/src/experiments/fig17.rs:
+crates/bench/src/experiments/fig18.rs:
+crates/bench/src/experiments/fig19.rs:
+crates/bench/src/experiments/fig20.rs:
+crates/bench/src/experiments/fig21.rs:
+crates/bench/src/experiments/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/llhj_bench-c6735fae5ef8c068.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/batching.rs crates/bench/src/experiments/fig05.rs crates/bench/src/experiments/fig17.rs crates/bench/src/experiments/fig18.rs crates/bench/src/experiments/fig19.rs crates/bench/src/experiments/fig20.rs crates/bench/src/experiments/fig21.rs crates/bench/src/experiments/table2.rs
+
+/root/repo/target/debug/deps/libllhj_bench-c6735fae5ef8c068.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/batching.rs crates/bench/src/experiments/fig05.rs crates/bench/src/experiments/fig17.rs crates/bench/src/experiments/fig18.rs crates/bench/src/experiments/fig19.rs crates/bench/src/experiments/fig20.rs crates/bench/src/experiments/fig21.rs crates/bench/src/experiments/table2.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/batching.rs:
+crates/bench/src/experiments/fig05.rs:
+crates/bench/src/experiments/fig17.rs:
+crates/bench/src/experiments/fig18.rs:
+crates/bench/src/experiments/fig19.rs:
+crates/bench/src/experiments/fig20.rs:
+crates/bench/src/experiments/fig21.rs:
+crates/bench/src/experiments/table2.rs:

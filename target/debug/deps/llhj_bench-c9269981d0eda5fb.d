@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/llhj_bench-c9269981d0eda5fb.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/batching.rs crates/bench/src/experiments/fig05.rs crates/bench/src/experiments/fig17.rs crates/bench/src/experiments/fig18.rs crates/bench/src/experiments/fig19.rs crates/bench/src/experiments/fig20.rs crates/bench/src/experiments/fig21.rs crates/bench/src/experiments/table2.rs
+
+/root/repo/target/debug/deps/libllhj_bench-c9269981d0eda5fb.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/batching.rs crates/bench/src/experiments/fig05.rs crates/bench/src/experiments/fig17.rs crates/bench/src/experiments/fig18.rs crates/bench/src/experiments/fig19.rs crates/bench/src/experiments/fig20.rs crates/bench/src/experiments/fig21.rs crates/bench/src/experiments/table2.rs
+
+/root/repo/target/debug/deps/libllhj_bench-c9269981d0eda5fb.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/batching.rs crates/bench/src/experiments/fig05.rs crates/bench/src/experiments/fig17.rs crates/bench/src/experiments/fig18.rs crates/bench/src/experiments/fig19.rs crates/bench/src/experiments/fig20.rs crates/bench/src/experiments/fig21.rs crates/bench/src/experiments/table2.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/batching.rs:
+crates/bench/src/experiments/fig05.rs:
+crates/bench/src/experiments/fig17.rs:
+crates/bench/src/experiments/fig18.rs:
+crates/bench/src/experiments/fig19.rs:
+crates/bench/src/experiments/fig20.rs:
+crates/bench/src/experiments/fig21.rs:
+crates/bench/src/experiments/table2.rs:

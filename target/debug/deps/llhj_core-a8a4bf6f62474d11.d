@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/llhj_core-a8a4bf6f62474d11.d: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/homing.rs crates/core/src/latency_model.rs crates/core/src/message.rs crates/core/src/node.rs crates/core/src/node_hsj.rs crates/core/src/node_llhj.rs crates/core/src/predicate.rs crates/core/src/punctuation.rs crates/core/src/result.rs crates/core/src/sorter.rs crates/core/src/stats.rs crates/core/src/store.rs crates/core/src/time.rs crates/core/src/tuple.rs crates/core/src/window.rs
+
+/root/repo/target/debug/deps/libllhj_core-a8a4bf6f62474d11.rmeta: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/homing.rs crates/core/src/latency_model.rs crates/core/src/message.rs crates/core/src/node.rs crates/core/src/node_hsj.rs crates/core/src/node_llhj.rs crates/core/src/predicate.rs crates/core/src/punctuation.rs crates/core/src/result.rs crates/core/src/sorter.rs crates/core/src/stats.rs crates/core/src/store.rs crates/core/src/time.rs crates/core/src/tuple.rs crates/core/src/window.rs
+
+crates/core/src/lib.rs:
+crates/core/src/driver.rs:
+crates/core/src/homing.rs:
+crates/core/src/latency_model.rs:
+crates/core/src/message.rs:
+crates/core/src/node.rs:
+crates/core/src/node_hsj.rs:
+crates/core/src/node_llhj.rs:
+crates/core/src/predicate.rs:
+crates/core/src/punctuation.rs:
+crates/core/src/result.rs:
+crates/core/src/sorter.rs:
+crates/core/src/stats.rs:
+crates/core/src/store.rs:
+crates/core/src/time.rs:
+crates/core/src/tuple.rs:
+crates/core/src/window.rs:

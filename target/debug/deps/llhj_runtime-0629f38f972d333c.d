@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/llhj_runtime-0629f38f972d333c.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/options.rs crates/runtime/src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllhj_runtime-0629f38f972d333c.rmeta: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/options.rs crates/runtime/src/pipeline.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/options.rs:
+crates/runtime/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/llhj_runtime-9539ed641c309765.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/options.rs crates/runtime/src/pipeline.rs
+
+/root/repo/target/debug/deps/llhj_runtime-9539ed641c309765: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/options.rs crates/runtime/src/pipeline.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/options.rs:
+crates/runtime/src/pipeline.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/llhj_runtime-b727d07605a9c050.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/options.rs crates/runtime/src/pipeline.rs
+
+/root/repo/target/debug/deps/libllhj_runtime-b727d07605a9c050.rmeta: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/options.rs crates/runtime/src/pipeline.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/options.rs:
+crates/runtime/src/pipeline.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/llhj_runtime-e377cd9b1e51978d.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/options.rs crates/runtime/src/pipeline.rs
+
+/root/repo/target/debug/deps/libllhj_runtime-e377cd9b1e51978d.rmeta: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/options.rs crates/runtime/src/pipeline.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/options.rs:
+crates/runtime/src/pipeline.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/llhj_runtime-fc4bd6f1d20073ff.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/options.rs crates/runtime/src/pipeline.rs
+
+/root/repo/target/debug/deps/libllhj_runtime-fc4bd6f1d20073ff.rlib: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/options.rs crates/runtime/src/pipeline.rs
+
+/root/repo/target/debug/deps/libllhj_runtime-fc4bd6f1d20073ff.rmeta: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/options.rs crates/runtime/src/pipeline.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/options.rs:
+crates/runtime/src/pipeline.rs:

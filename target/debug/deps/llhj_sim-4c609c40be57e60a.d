@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/llhj_sim-4c609c40be57e60a.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/model.rs crates/sim/src/report.rs crates/sim/src/throughput.rs
+
+/root/repo/target/debug/deps/llhj_sim-4c609c40be57e60a: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/model.rs crates/sim/src/report.rs crates/sim/src/throughput.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/model.rs:
+crates/sim/src/report.rs:
+crates/sim/src/throughput.rs:

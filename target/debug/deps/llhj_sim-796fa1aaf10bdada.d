@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/llhj_sim-796fa1aaf10bdada.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/model.rs crates/sim/src/report.rs crates/sim/src/throughput.rs
+
+/root/repo/target/debug/deps/libllhj_sim-796fa1aaf10bdada.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/model.rs crates/sim/src/report.rs crates/sim/src/throughput.rs
+
+/root/repo/target/debug/deps/libllhj_sim-796fa1aaf10bdada.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/model.rs crates/sim/src/report.rs crates/sim/src/throughput.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/model.rs:
+crates/sim/src/report.rs:
+crates/sim/src/throughput.rs:

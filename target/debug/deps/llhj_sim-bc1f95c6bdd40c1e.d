@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/llhj_sim-bc1f95c6bdd40c1e.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/model.rs crates/sim/src/report.rs crates/sim/src/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllhj_sim-bc1f95c6bdd40c1e.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/model.rs crates/sim/src/report.rs crates/sim/src/throughput.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/model.rs:
+crates/sim/src/report.rs:
+crates/sim/src/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/llhj_workload-0b3ae803e3aaf551.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/rng.rs crates/workload/src/schema.rs
+
+/root/repo/target/debug/deps/llhj_workload-0b3ae803e3aaf551: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/rng.rs crates/workload/src/schema.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/rng.rs:
+crates/workload/src/schema.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/llhj_workload-8bdc07fba7cc0744.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/rng.rs crates/workload/src/schema.rs
+
+/root/repo/target/debug/deps/libllhj_workload-8bdc07fba7cc0744.rlib: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/rng.rs crates/workload/src/schema.rs
+
+/root/repo/target/debug/deps/libllhj_workload-8bdc07fba7cc0744.rmeta: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/rng.rs crates/workload/src/schema.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/rng.rs:
+crates/workload/src/schema.rs:

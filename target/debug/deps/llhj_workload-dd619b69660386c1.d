@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/llhj_workload-dd619b69660386c1.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/rng.rs crates/workload/src/schema.rs
+
+/root/repo/target/debug/deps/libllhj_workload-dd619b69660386c1.rmeta: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/rng.rs crates/workload/src/schema.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/rng.rs:
+crates/workload/src/schema.rs:

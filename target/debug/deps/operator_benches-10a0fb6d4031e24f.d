@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/operator_benches-10a0fb6d4031e24f.d: crates/bench/benches/operator_benches.rs
+
+/root/repo/target/debug/deps/liboperator_benches-10a0fb6d4031e24f.rmeta: crates/bench/benches/operator_benches.rs
+
+crates/bench/benches/operator_benches.rs:

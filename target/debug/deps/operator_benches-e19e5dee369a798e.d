@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/operator_benches-e19e5dee369a798e.d: crates/bench/benches/operator_benches.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboperator_benches-e19e5dee369a798e.rmeta: crates/bench/benches/operator_benches.rs Cargo.toml
+
+crates/bench/benches/operator_benches.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/punctuation_and_order-7706b13bcfe36316.d: tests/punctuation_and_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpunctuation_and_order-7706b13bcfe36316.rmeta: tests/punctuation_and_order.rs Cargo.toml
+
+tests/punctuation_and_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/punctuation_and_order-de48c73d6cc83f2b.d: tests/punctuation_and_order.rs
+
+/root/repo/target/debug/deps/punctuation_and_order-de48c73d6cc83f2b: tests/punctuation_and_order.rs
+
+tests/punctuation_and_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/punctuation_and_order-fc9f1a51786482d2.d: tests/punctuation_and_order.rs
+
+/root/repo/target/debug/deps/libpunctuation_and_order-fc9f1a51786482d2.rmeta: tests/punctuation_and_order.rs
+
+tests/punctuation_and_order.rs:

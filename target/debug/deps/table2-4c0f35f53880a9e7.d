@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-4c0f35f53880a9e7.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-4c0f35f53880a9e7.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-68d805426110b664.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-68d805426110b664: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-79ec54332611b2ef.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-79ec54332611b2ef.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

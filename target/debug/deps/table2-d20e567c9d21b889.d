@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-d20e567c9d21b889.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-d20e567c9d21b889: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/latency_analysis-0590f53c5b8db58f.d: examples/latency_analysis.rs
+
+/root/repo/target/debug/examples/latency_analysis-0590f53c5b8db58f: examples/latency_analysis.rs
+
+examples/latency_analysis.rs:

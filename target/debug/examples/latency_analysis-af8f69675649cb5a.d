@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/latency_analysis-af8f69675649cb5a.d: examples/latency_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblatency_analysis-af8f69675649cb5a.rmeta: examples/latency_analysis.rs Cargo.toml
+
+examples/latency_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

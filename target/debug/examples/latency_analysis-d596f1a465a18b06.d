@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/latency_analysis-d596f1a465a18b06.d: examples/latency_analysis.rs
+
+/root/repo/target/debug/examples/liblatency_analysis-d596f1a465a18b06.rmeta: examples/latency_analysis.rs
+
+examples/latency_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ordered_output-412b33df04daf060.d: examples/ordered_output.rs
+
+/root/repo/target/debug/examples/libordered_output-412b33df04daf060.rmeta: examples/ordered_output.rs
+
+examples/ordered_output.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ordered_output-48500dc9cfb9068b.d: examples/ordered_output.rs
+
+/root/repo/target/debug/examples/ordered_output-48500dc9cfb9068b: examples/ordered_output.rs
+
+examples/ordered_output.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ordered_output-e574df5ca9a25066.d: examples/ordered_output.rs Cargo.toml
+
+/root/repo/target/debug/examples/libordered_output-e574df5ca9a25066.rmeta: examples/ordered_output.rs Cargo.toml
+
+examples/ordered_output.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

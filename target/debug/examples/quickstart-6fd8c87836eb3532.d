@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6fd8c87836eb3532.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6fd8c87836eb3532: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ae46caa5d6729fb7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-ae46caa5d6729fb7.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scalability_sweep-7208f6e0ade24e6b.d: examples/scalability_sweep.rs
+
+/root/repo/target/debug/examples/libscalability_sweep-7208f6e0ade24e6b.rmeta: examples/scalability_sweep.rs
+
+examples/scalability_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scalability_sweep-8724e165bcbcc2e6.d: examples/scalability_sweep.rs
+
+/root/repo/target/debug/examples/scalability_sweep-8724e165bcbcc2e6: examples/scalability_sweep.rs
+
+examples/scalability_sweep.rs:

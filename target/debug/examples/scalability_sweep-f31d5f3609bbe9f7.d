@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scalability_sweep-f31d5f3609bbe9f7.d: examples/scalability_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscalability_sweep-f31d5f3609bbe9f7.rmeta: examples/scalability_sweep.rs Cargo.toml
+
+examples/scalability_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

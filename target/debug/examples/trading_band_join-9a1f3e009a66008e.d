@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trading_band_join-9a1f3e009a66008e.d: examples/trading_band_join.rs
+
+/root/repo/target/debug/examples/trading_band_join-9a1f3e009a66008e: examples/trading_band_join.rs
+
+examples/trading_band_join.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trading_band_join-ca43005d8b396355.d: examples/trading_band_join.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrading_band_join-ca43005d8b396355.rmeta: examples/trading_band_join.rs Cargo.toml
+
+examples/trading_band_join.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

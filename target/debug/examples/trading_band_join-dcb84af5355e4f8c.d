@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trading_band_join-dcb84af5355e4f8c.d: examples/trading_band_join.rs
+
+/root/repo/target/debug/examples/libtrading_band_join-dcb84af5355e4f8c.rmeta: examples/trading_band_join.rs
+
+examples/trading_band_join.rs:

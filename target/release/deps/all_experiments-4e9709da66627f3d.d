@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-4e9709da66627f3d.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-4e9709da66627f3d: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-b98ea20c45b5c9cc.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-b98ea20c45b5c9cc: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/band_join_workload-96a8d6ae3a88b895.d: tests/band_join_workload.rs
+
+/root/repo/target/release/deps/band_join_workload-96a8d6ae3a88b895: tests/band_join_workload.rs
+
+tests/band_join_workload.rs:

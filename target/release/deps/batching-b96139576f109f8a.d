@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/batching-b96139576f109f8a.d: crates/bench/benches/batching.rs
+
+/root/repo/target/release/deps/batching-b96139576f109f8a: crates/bench/benches/batching.rs
+
+crates/bench/benches/batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/batching_equivalence-32e26b02de8a17e4.d: tests/batching_equivalence.rs
+
+/root/repo/target/release/deps/batching_equivalence-32e26b02de8a17e4: tests/batching_equivalence.rs
+
+tests/batching_equivalence.rs:

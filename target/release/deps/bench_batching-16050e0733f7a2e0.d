@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_batching-16050e0733f7a2e0.d: crates/bench/src/bin/bench_batching.rs
+
+/root/repo/target/release/deps/bench_batching-16050e0733f7a2e0: crates/bench/src/bin/bench_batching.rs
+
+crates/bench/src/bin/bench_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_batching-50f1d43237ac180e.d: crates/bench/src/bin/bench_batching.rs
+
+/root/repo/target/release/deps/bench_batching-50f1d43237ac180e: crates/bench/src/bin/bench_batching.rs
+
+crates/bench/src/bin/bench_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dbg_batching-5cd430a284621e8d.d: crates/bench/src/bin/dbg_batching.rs
+
+/root/repo/target/release/deps/dbg_batching-5cd430a284621e8d: crates/bench/src/bin/dbg_batching.rs
+
+crates/bench/src/bin/dbg_batching.rs:

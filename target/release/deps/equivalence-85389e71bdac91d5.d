@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/equivalence-85389e71bdac91d5.d: tests/equivalence.rs
+
+/root/repo/target/release/deps/equivalence-85389e71bdac91d5: tests/equivalence.rs
+
+tests/equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments_smoke-20c946d3060c17b3.d: tests/experiments_smoke.rs
+
+/root/repo/target/release/deps/experiments_smoke-20c946d3060c17b3: tests/experiments_smoke.rs
+
+tests/experiments_smoke.rs:

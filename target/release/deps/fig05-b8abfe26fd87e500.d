@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05-b8abfe26fd87e500.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/release/deps/fig05-b8abfe26fd87e500: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05-cfa348a893bbead7.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/release/deps/fig05-cfa348a893bbead7: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

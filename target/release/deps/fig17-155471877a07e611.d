@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-155471877a07e611.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-155471877a07e611: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

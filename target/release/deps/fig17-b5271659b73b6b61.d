@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-b5271659b73b6b61.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-b5271659b73b6b61: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18-0d1b8c9d9bce6ba3.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/release/deps/fig18-0d1b8c9d9bce6ba3: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18-83c6cd498529d668.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/release/deps/fig18-83c6cd498529d668: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19-4b9c93eb22e0aed8.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/release/deps/fig19-4b9c93eb22e0aed8: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

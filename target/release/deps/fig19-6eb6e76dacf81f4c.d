@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19-6eb6e76dacf81f4c.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/release/deps/fig19-6eb6e76dacf81f4c: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

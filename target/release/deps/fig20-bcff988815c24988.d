@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20-bcff988815c24988.d: crates/bench/src/bin/fig20.rs
+
+/root/repo/target/release/deps/fig20-bcff988815c24988: crates/bench/src/bin/fig20.rs
+
+crates/bench/src/bin/fig20.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20-f48e6024a775736f.d: crates/bench/src/bin/fig20.rs
+
+/root/repo/target/release/deps/fig20-f48e6024a775736f: crates/bench/src/bin/fig20.rs
+
+crates/bench/src/bin/fig20.rs:

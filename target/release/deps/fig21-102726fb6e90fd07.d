@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig21-102726fb6e90fd07.d: crates/bench/src/bin/fig21.rs
+
+/root/repo/target/release/deps/fig21-102726fb6e90fd07: crates/bench/src/bin/fig21.rs
+
+crates/bench/src/bin/fig21.rs:

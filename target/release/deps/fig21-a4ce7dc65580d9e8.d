@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig21-a4ce7dc65580d9e8.d: crates/bench/src/bin/fig21.rs
+
+/root/repo/target/release/deps/fig21-a4ce7dc65580d9e8: crates/bench/src/bin/fig21.rs
+
+crates/bench/src/bin/fig21.rs:

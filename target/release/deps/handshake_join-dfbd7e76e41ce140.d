@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/handshake_join-dfbd7e76e41ce140.d: src/lib.rs
+
+/root/repo/target/release/deps/handshake_join-dfbd7e76e41ce140: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/handshake_join-ef03fdba8ac0c9f6.d: src/lib.rs
+
+/root/repo/target/release/deps/libhandshake_join-ef03fdba8ac0c9f6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhandshake_join-ef03fdba8ac0c9f6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/llhj_baselines-5bb5fda6e2c5bcda.d: crates/baselines/src/lib.rs crates/baselines/src/celljoin.rs crates/baselines/src/kang.rs
+
+/root/repo/target/release/deps/libllhj_baselines-5bb5fda6e2c5bcda.rlib: crates/baselines/src/lib.rs crates/baselines/src/celljoin.rs crates/baselines/src/kang.rs
+
+/root/repo/target/release/deps/libllhj_baselines-5bb5fda6e2c5bcda.rmeta: crates/baselines/src/lib.rs crates/baselines/src/celljoin.rs crates/baselines/src/kang.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/celljoin.rs:
+crates/baselines/src/kang.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/llhj_baselines-92b17bd6387462ae.d: crates/baselines/src/lib.rs crates/baselines/src/celljoin.rs crates/baselines/src/kang.rs
+
+/root/repo/target/release/deps/llhj_baselines-92b17bd6387462ae: crates/baselines/src/lib.rs crates/baselines/src/celljoin.rs crates/baselines/src/kang.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/celljoin.rs:
+crates/baselines/src/kang.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/llhj_bench-be2ba31e9e14a9d4.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/batching.rs crates/bench/src/experiments/fig05.rs crates/bench/src/experiments/fig17.rs crates/bench/src/experiments/fig18.rs crates/bench/src/experiments/fig19.rs crates/bench/src/experiments/fig20.rs crates/bench/src/experiments/fig21.rs crates/bench/src/experiments/table2.rs
+
+/root/repo/target/release/deps/libllhj_bench-be2ba31e9e14a9d4.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/batching.rs crates/bench/src/experiments/fig05.rs crates/bench/src/experiments/fig17.rs crates/bench/src/experiments/fig18.rs crates/bench/src/experiments/fig19.rs crates/bench/src/experiments/fig20.rs crates/bench/src/experiments/fig21.rs crates/bench/src/experiments/table2.rs
+
+/root/repo/target/release/deps/libllhj_bench-be2ba31e9e14a9d4.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/batching.rs crates/bench/src/experiments/fig05.rs crates/bench/src/experiments/fig17.rs crates/bench/src/experiments/fig18.rs crates/bench/src/experiments/fig19.rs crates/bench/src/experiments/fig20.rs crates/bench/src/experiments/fig21.rs crates/bench/src/experiments/table2.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/batching.rs:
+crates/bench/src/experiments/fig05.rs:
+crates/bench/src/experiments/fig17.rs:
+crates/bench/src/experiments/fig18.rs:
+crates/bench/src/experiments/fig19.rs:
+crates/bench/src/experiments/fig20.rs:
+crates/bench/src/experiments/fig21.rs:
+crates/bench/src/experiments/table2.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/llhj_runtime-c5662128370d7df9.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/options.rs crates/runtime/src/pipeline.rs
+
+/root/repo/target/release/deps/llhj_runtime-c5662128370d7df9: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/options.rs crates/runtime/src/pipeline.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/options.rs:
+crates/runtime/src/pipeline.rs:

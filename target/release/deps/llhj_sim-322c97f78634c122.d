@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/llhj_sim-322c97f78634c122.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/model.rs crates/sim/src/report.rs crates/sim/src/throughput.rs
+
+/root/repo/target/release/deps/libllhj_sim-322c97f78634c122.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/model.rs crates/sim/src/report.rs crates/sim/src/throughput.rs
+
+/root/repo/target/release/deps/libllhj_sim-322c97f78634c122.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/model.rs crates/sim/src/report.rs crates/sim/src/throughput.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/model.rs:
+crates/sim/src/report.rs:
+crates/sim/src/throughput.rs:

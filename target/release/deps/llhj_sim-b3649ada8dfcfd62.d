@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/llhj_sim-b3649ada8dfcfd62.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/model.rs crates/sim/src/report.rs crates/sim/src/throughput.rs
+
+/root/repo/target/release/deps/llhj_sim-b3649ada8dfcfd62: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/model.rs crates/sim/src/report.rs crates/sim/src/throughput.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/model.rs:
+crates/sim/src/report.rs:
+crates/sim/src/throughput.rs:

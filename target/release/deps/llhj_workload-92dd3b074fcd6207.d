@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/llhj_workload-92dd3b074fcd6207.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/rng.rs crates/workload/src/schema.rs
+
+/root/repo/target/release/deps/libllhj_workload-92dd3b074fcd6207.rlib: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/rng.rs crates/workload/src/schema.rs
+
+/root/repo/target/release/deps/libllhj_workload-92dd3b074fcd6207.rmeta: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/rng.rs crates/workload/src/schema.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/rng.rs:
+crates/workload/src/schema.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/llhj_workload-ddfae1f85e72de79.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/rng.rs crates/workload/src/schema.rs
+
+/root/repo/target/release/deps/llhj_workload-ddfae1f85e72de79: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/rng.rs crates/workload/src/schema.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/rng.rs:
+crates/workload/src/schema.rs:

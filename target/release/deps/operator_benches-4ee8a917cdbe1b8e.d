@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/operator_benches-4ee8a917cdbe1b8e.d: crates/bench/benches/operator_benches.rs
+
+/root/repo/target/release/deps/operator_benches-4ee8a917cdbe1b8e: crates/bench/benches/operator_benches.rs
+
+crates/bench/benches/operator_benches.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/punctuation_and_order-4262cd5bca1b393d.d: tests/punctuation_and_order.rs
+
+/root/repo/target/release/deps/punctuation_and_order-4262cd5bca1b393d: tests/punctuation_and_order.rs
+
+tests/punctuation_and_order.rs:

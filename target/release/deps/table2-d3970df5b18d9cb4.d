@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-d3970df5b18d9cb4.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-d3970df5b18d9cb4: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

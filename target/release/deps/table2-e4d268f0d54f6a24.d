@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-e4d268f0d54f6a24.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-e4d268f0d54f6a24: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

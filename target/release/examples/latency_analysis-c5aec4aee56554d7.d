@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/latency_analysis-c5aec4aee56554d7.d: examples/latency_analysis.rs
+
+/root/repo/target/release/examples/latency_analysis-c5aec4aee56554d7: examples/latency_analysis.rs
+
+examples/latency_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ordered_output-f0ea1bd8683ea186.d: examples/ordered_output.rs
+
+/root/repo/target/release/examples/ordered_output-f0ea1bd8683ea186: examples/ordered_output.rs
+
+examples/ordered_output.rs:

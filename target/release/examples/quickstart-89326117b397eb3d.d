@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-89326117b397eb3d.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-89326117b397eb3d: examples/quickstart.rs
+
+examples/quickstart.rs:

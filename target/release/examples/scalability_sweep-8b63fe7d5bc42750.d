@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scalability_sweep-8b63fe7d5bc42750.d: examples/scalability_sweep.rs
+
+/root/repo/target/release/examples/scalability_sweep-8b63fe7d5bc42750: examples/scalability_sweep.rs
+
+examples/scalability_sweep.rs:

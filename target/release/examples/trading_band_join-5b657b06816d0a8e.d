@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trading_band_join-5b657b06816d0a8e.d: examples/trading_band_join.rs
+
+/root/repo/target/release/examples/trading_band_join-5b657b06816d0a8e: examples/trading_band_join.rs
+
+examples/trading_band_join.rs:
