@@ -6,9 +6,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use llhj_core::homing::RoundRobin;
+use llhj_core::time::TimeDelta;
 use llhj_core::window::WindowSpec;
-use llhj_runtime::{llhj_indexed_nodes, run_pipeline, PipelineOptions};
-use llhj_workload::{equi_join_schedule, EquiXaPredicate};
+use llhj_runtime::{llhj_indexed_nodes, run_pipeline, Pacing, PipelineOptions};
+use llhj_workload::{equi_join_schedule, EquiJoinWorkload, EquiXaPredicate};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -42,5 +43,48 @@ fn batch_size_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, batch_size_sweep);
+/// Paced replay: wall time is pinned by the pacing, so what this bench
+/// surfaces is the *scheduling overhead* on top of it — with the 100 µs
+/// idle poll each run burned ~10k wake-ups of pure overhead; with
+/// event-driven wake-ups the same replay parks workers between frames.
+/// The companion binary `bench_wakeup` measures the latency side
+/// (snapshot: `BENCH_wakeup.json`).
+fn paced_wakeups(c: &mut Criterion) {
+    let workload = EquiJoinWorkload {
+        rate_per_sec: 2_000.0,
+        duration: TimeDelta::from_millis(400),
+        domain: 4_000,
+        seed: 0xC0FFEE,
+    };
+    let window = WindowSpec::Count(200);
+    let schedule = equi_join_schedule(&workload, window, window);
+
+    let mut group = c.benchmark_group("paced_wakeups");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for batch_size in [1usize, 64] {
+        group.bench_function(format!("batch_{batch_size}"), |b| {
+            b.iter(|| {
+                let opts = PipelineOptions {
+                    batch_size,
+                    pacing: Pacing::RealTime { speedup: 4.0 },
+                    flush_interval: Some(TimeDelta::from_millis(5)),
+                    ..Default::default()
+                };
+                let outcome = run_pipeline(
+                    llhj_indexed_nodes(4, EquiXaPredicate),
+                    EquiXaPredicate,
+                    RoundRobin,
+                    &schedule,
+                    &opts,
+                );
+                black_box((outcome.results.len(), outcome.idle_wakeups))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batch_size_sweep, paced_wakeups);
 criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Paced-run wakeup/latency measurement: the companion binary of the
+//! `paced_latency` criterion bench.  It replays an equi-join workload in
+//! real time (the operating mode whose tail latency the event-driven
+//! scheduler exists for), and reports the number of idle worker wake-ups
+//! together with the frame-latency distribution.  `BENCH_wakeup.json` at
+//! the repo root snapshots this output before and after the switch from
+//! 100 µs idle polling to condvar wake-ups.
+
+use llhj_core::homing::RoundRobin;
+use llhj_core::time::TimeDelta;
+use llhj_core::window::WindowSpec;
+use llhj_runtime::{llhj_indexed_nodes, run_pipeline, Pacing, PipelineOptions};
+use llhj_workload::{equi_join_schedule, EquiJoinWorkload, EquiXaPredicate};
+
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let workload = EquiJoinWorkload {
+        rate_per_sec: 1_000.0,
+        duration: TimeDelta::from_secs(2),
+        domain: 4_000,
+        seed: 0xC0FFEE,
+    };
+    let window = WindowSpec::Count(250);
+    let schedule = equi_join_schedule(&workload, window, window);
+    let nodes = 4;
+
+    println!("{{\n  \"experiment\": \"paced_wakeups\",");
+    println!(
+        "  \"rate_per_sec\": {}, \"stream_secs\": 2, \"nodes\": {nodes}, \"speedup\": 1.0,",
+        workload.rate_per_sec
+    );
+    println!("  \"rows\": [");
+    let batches = [1usize, 8, 64];
+    for (i, &batch_size) in batches.iter().enumerate() {
+        let opts = PipelineOptions {
+            batch_size,
+            pacing: Pacing::RealTime { speedup: 1.0 },
+            flush_interval: Some(TimeDelta::from_millis(5)),
+            ..Default::default()
+        };
+        let outcome = run_pipeline(
+            llhj_indexed_nodes(nodes, EquiXaPredicate),
+            EquiXaPredicate,
+            RoundRobin,
+            &schedule,
+            &opts,
+        );
+        let mut lat: Vec<f64> = outcome
+            .results
+            .iter()
+            .map(|t| t.latency().as_millis_f64())
+            .collect();
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!(
+            "    {{\"batch_size\": {}, \"idle_wakeups\": {}, \"frames_injected\": {}, \
+             \"results\": {}, \"mean_ms\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"max_ms\": {:.3}, \"elapsed_s\": {:.3}}}{}",
+            batch_size,
+            outcome.idle_wakeups,
+            outcome.frames_injected,
+            outcome.results.len(),
+            outcome.latency.mean().as_millis_f64(),
+            percentile_ms(&lat, 0.50),
+            percentile_ms(&lat, 0.99),
+            outcome.latency.max().as_millis_f64(),
+            outcome.elapsed.as_secs_f64(),
+            if i + 1 < batches.len() { "," } else { "" },
+        );
+    }
+    println!("  ]\n}}");
+}

@@ -1,0 +1,24 @@
+//! Prints the HSJ oracle-miss sweep: how many Kang-oracle pairs the
+//! threaded original-handshake-join pipeline misses as the driver batch
+//! size grows (Figure-20 methodology applied to result completeness
+//! instead of latency).  Each run replays ~0.3 s of stream in real time.
+
+use llhj_bench::experiments::oracle_miss;
+
+fn main() {
+    let report = oracle_miss::run(200, 100, 2, &[1, 2, 4, 8, 16, 32]);
+    println!("{}", report.report);
+    println!(
+        "boundary bound per batch: {}",
+        report
+            .rows
+            .iter()
+            .map(|r| format!(
+                "{}→{:.1}%",
+                r.batch_size,
+                report.boundary_bound(r.batch_size) * 100.0
+            ))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

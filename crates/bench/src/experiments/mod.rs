@@ -8,6 +8,7 @@ pub mod fig18;
 pub mod fig19;
 pub mod fig20;
 pub mod fig21;
+pub mod oracle_miss;
 pub mod table2;
 
 use crate::Scale;

@@ -1,0 +1,221 @@
+//! HSJ oracle miss rate as a function of the driver batch size.
+//!
+//! The original handshake join self-expires stored tuples by the *probing*
+//! tuple's timestamp (age-based flow), while the driver releases arrivals
+//! in frames of `batch_size` tuples.  A pair whose window overlap is
+//! smaller than the cross-direction batching delay can therefore be
+//! evicted before the opposite-direction frame reaches it: exact equality
+//! with the Kang oracle holds only at `batch_size = 1`, and coarser frames
+//! trade a bounded fraction of boundary pairs for transport efficiency —
+//! the same axis Figure 20 of the paper varies for latency.  This sweep
+//! quantifies that trade: the miss rate must be zero at batch 1 and stay
+//! below the boundary-pair bound `2·batch/(rate·window)` thereafter, and
+//! no batch size may ever invent or duplicate a result.
+
+use crate::fmt_f;
+use crate::TextTable;
+use llhj_baselines::run_kang;
+use llhj_core::driver::DriverSchedule;
+use llhj_core::homing::RoundRobin;
+use llhj_core::node_hsj::FlowPolicy;
+use llhj_core::predicate::FnPredicate;
+use llhj_core::time::{TimeDelta, Timestamp};
+use llhj_core::window::WindowSpec;
+use llhj_runtime::{hsj_nodes, run_pipeline, Pacing, PipelineOptions};
+
+/// One operating point of the sweep.
+#[derive(Debug, Clone)]
+pub struct OracleMissRow {
+    /// Driver batch size in tuples per frame.
+    pub batch_size: usize,
+    /// Result pairs the Kang oracle reports.
+    pub oracle_pairs: usize,
+    /// Pairs the threaded HSJ pipeline reported.
+    pub reported: usize,
+    /// Oracle pairs the pipeline missed.
+    pub missed: usize,
+    /// Miss rate (`missed / oracle_pairs`).
+    pub miss_rate: f64,
+    /// Reported pairs that the oracle does not contain (must be 0).
+    pub spurious: usize,
+    /// Duplicate reports (must be 0).
+    pub duplicates: usize,
+}
+
+/// Output of the miss-rate sweep.
+#[derive(Debug)]
+pub struct OracleMissReport {
+    /// One row per swept batch size, in sweep order.
+    pub rows: Vec<OracleMissRow>,
+    /// Tuple arrivals per stream per second in the swept schedule.
+    pub rate_per_sec: f64,
+    /// Window span in milliseconds.
+    pub window_ms: u64,
+    /// Human-readable report.
+    pub report: String,
+}
+
+impl OracleMissReport {
+    /// Upper bound on the expected miss rate at the given batch size: only
+    /// pairs whose window overlap is below the cross-direction batching
+    /// delay (`batch / rate`, doubled because both directions batch) are
+    /// at risk.
+    pub fn boundary_bound(&self, batch_size: usize) -> f64 {
+        let delay_ms = 2.0 * batch_size as f64 / self.rate_per_sec * 1_000.0;
+        (delay_ms / self.window_ms as f64).min(1.0)
+    }
+}
+
+fn eq_pred() -> FnPredicate<fn(&u32, &u32) -> bool> {
+    fn eq(r: &u32, s: &u32) -> bool {
+        r == s
+    }
+    FnPredicate(eq as fn(&u32, &u32) -> bool)
+}
+
+/// A 1-tuple/ms schedule followed by one window of never-matching flush
+/// tuples (the original handshake join only reports pending pairs while
+/// input keeps flowing — an infinite stream provides this for free).
+fn flushed_schedule(tuples: u64, window_ms: u64) -> DriverSchedule<u32, u32> {
+    let flush = window_ms + 10;
+    let r: Vec<_> = (0..tuples)
+        .map(|i| (Timestamp::from_millis(i), (i % 13) as u32))
+        .chain((0..flush).map(|i| (Timestamp::from_millis(tuples + i), 1_000_000u32)))
+        .collect();
+    let s: Vec<_> = (0..tuples)
+        .map(|i| (Timestamp::from_millis(i), (i % 17) as u32))
+        .chain((0..flush).map(|i| (Timestamp::from_millis(tuples + i), 2_000_000u32)))
+        .collect();
+    DriverSchedule::build(
+        r,
+        s,
+        WindowSpec::Time(TimeDelta::from_millis(window_ms)),
+        WindowSpec::Time(TimeDelta::from_millis(window_ms)),
+    )
+}
+
+/// Runs the sweep: the threaded HSJ pipeline against the Kang oracle at
+/// each batch size, replayed in real time (window semantics are only exact
+/// under real-time replay).
+pub fn run(tuples: u64, window_ms: u64, nodes: usize, batch_sizes: &[usize]) -> OracleMissReport {
+    let sched = flushed_schedule(tuples, window_ms);
+    let oracle_keys = run_kang(eq_pred(), &sched).result_keys();
+    let flow = FlowPolicy::by_age(
+        TimeDelta::from_millis(window_ms),
+        TimeDelta::from_millis(window_ms),
+    );
+
+    let mut rows = Vec::with_capacity(batch_sizes.len());
+    for &batch_size in batch_sizes {
+        let opts = PipelineOptions {
+            batch_size,
+            pacing: Pacing::RealTime { speedup: 1.0 },
+            ..Default::default()
+        };
+        let outcome = run_pipeline(
+            hsj_nodes(nodes, flow, eq_pred()),
+            eq_pred(),
+            RoundRobin,
+            &sched,
+            &opts,
+        );
+        let keys = outcome.result_keys();
+        let mut deduped = keys.clone();
+        deduped.dedup();
+        let duplicates = keys.len() - deduped.len();
+        let spurious = deduped
+            .iter()
+            .filter(|k| oracle_keys.binary_search(k).is_err())
+            .count();
+        let missed = oracle_keys
+            .iter()
+            .filter(|k| deduped.binary_search(k).is_err())
+            .count();
+        rows.push(OracleMissRow {
+            batch_size,
+            oracle_pairs: oracle_keys.len(),
+            reported: keys.len(),
+            missed,
+            miss_rate: missed as f64 / oracle_keys.len().max(1) as f64,
+            spurious,
+            duplicates,
+        });
+    }
+
+    let mut table = TextTable::new([
+        "batch",
+        "oracle",
+        "reported",
+        "missed",
+        "miss rate",
+        "spurious",
+        "dupes",
+    ]);
+    for row in &rows {
+        table.row([
+            row.batch_size.to_string(),
+            row.oracle_pairs.to_string(),
+            row.reported.to_string(),
+            row.missed.to_string(),
+            fmt_f(row.miss_rate * 100.0, 2) + "%",
+            row.spurious.to_string(),
+            row.duplicates.to_string(),
+        ]);
+    }
+    let report = format!(
+        "HSJ oracle miss rate vs driver batch size ({nodes} workers, \
+         {window_ms} ms windows, 1 tuple/ms, real-time replay)\n{}",
+        table.render()
+    );
+    OracleMissReport {
+        rows,
+        rate_per_sec: 1_000.0,
+        window_ms,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_is_zero_at_batch_one_and_bounded_beyond() {
+        let report = run(200, 100, 2, &[1, 4, 16]);
+        assert_eq!(report.rows.len(), 3);
+        for row in &report.rows {
+            // Soundness at every granularity: nothing invented, nothing
+            // reported twice.
+            assert_eq!(
+                row.spurious, 0,
+                "batch {}: spurious results",
+                row.batch_size
+            );
+            assert_eq!(row.duplicates, 0, "batch {}: duplicates", row.batch_size);
+            assert!(row.oracle_pairs > 0);
+            // The miss rate stays under the boundary-pair bound, which
+            // grows monotonically with the batch size.
+            let bound = report.boundary_bound(row.batch_size);
+            assert!(
+                row.miss_rate <= bound,
+                "batch {}: miss rate {:.4} exceeds boundary bound {:.4}",
+                row.batch_size,
+                row.miss_rate,
+                bound
+            );
+        }
+        // Exactness at per-tuple granularity: age-based self-expiry and
+        // frame timing agree tuple-for-tuple.
+        assert_eq!(report.rows[0].missed, 0, "batch 1 must match the oracle");
+        assert_eq!(report.rows[0].miss_rate, 0.0);
+        // The bound itself is monotone, so coarser batches are allowed —
+        // but never required — to miss more.
+        let bounds: Vec<f64> = report
+            .rows
+            .iter()
+            .map(|r| report.boundary_bound(r.batch_size))
+            .collect();
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+        assert!(report.report.contains("miss rate"));
+    }
+}

@@ -12,10 +12,117 @@
 //! The implementation is a `Mutex<VecDeque>` plus two condition variables
 //! (consumer wake-up and, for bounded channels, producer backpressure).
 //! Senders are cloneable (multiple producers), receivers are unique.
+//!
+//! A worker consumes *two* channels (its left and right input), so blocking
+//! on a single channel's condition variable is not enough: a frame on the
+//! other input must also wake it.  [`WaitSet`] solves this — it is a small
+//! eventcount (epoch counter + condvar) that any number of channels can be
+//! registered with via [`Receiver::set_waiter`]; every send into (and every
+//! disconnect of) a registered channel bumps the epoch and wakes the
+//! waiter, so the consumer can block on one primitive until *either* input
+//! has work.  The runtime also uses bare wait sets as shutdown/quiescence
+//! signals, making `Condvar::wait_timeout` the single blocking primitive of
+//! the whole pipeline.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+/// A shared wake-up target: an eventcount (atomic epoch + waiter count,
+/// with a `Mutex`/`Condvar` used only for actual parking).
+///
+/// The consumer snapshots the [`epoch`](WaitSet::epoch), polls its inputs,
+/// and — if all were empty — parks in [`wait`](WaitSet::wait) until the
+/// epoch moves past the snapshot.  Because the snapshot is taken *before*
+/// polling, a producer that enqueues between the poll and the park bumps
+/// the epoch first and the wait returns immediately: no lost wake-ups.
+///
+/// The split representation keeps the producer path cheap: under sustained
+/// load the consumer is rarely parked, and [`notify`](WaitSet::notify) is
+/// then one atomic increment plus one atomic load — the mutex and condvar
+/// are touched only when a waiter is actually asleep.
+#[derive(Clone, Default)]
+pub struct WaitSet {
+    inner: Arc<WaitSetInner>,
+}
+
+#[derive(Default)]
+struct WaitSetInner {
+    epoch: std::sync::atomic::AtomicU64,
+    /// Number of threads inside `wait` (incremented under `lock` before
+    /// the final epoch re-check, so `notify` cannot observe 0 while a
+    /// waiter is between its re-check and the condvar park).
+    waiters: std::sync::atomic::AtomicUsize,
+    lock: Mutex<()>,
+    condvar: Condvar,
+}
+
+impl WaitSet {
+    /// Creates an empty wait set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current epoch, to pass to a later [`wait`](WaitSet::wait).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Bumps the epoch and wakes every parked waiter.  With no waiter
+    /// parked this is two uncontended atomic operations.
+    pub fn notify(&self) {
+        use std::sync::atomic::Ordering::SeqCst;
+        self.inner.epoch.fetch_add(1, SeqCst);
+        if self.inner.waiters.load(SeqCst) > 0 {
+            // Taking (and immediately releasing) the lock serialises with a
+            // waiter that passed its epoch re-check but has not yet parked:
+            // either it sees the new epoch, or it is inside `wait_timeout`
+            // and the notification below reaches it.
+            drop(self.inner.lock.lock().expect("waitset poisoned"));
+            self.inner.condvar.notify_all();
+        }
+    }
+
+    /// Parks until the epoch differs from `seen` or `timeout` elapses.
+    /// Returns `true` if the epoch moved (a notification arrived), `false`
+    /// on timeout — the caller should re-poll either way.
+    pub fn wait(&self, seen: u64, timeout: Duration) -> bool {
+        use std::sync::atomic::Ordering::SeqCst;
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.inner.lock.lock().expect("waitset poisoned");
+        // Registration order matters: advertise the waiter *before* the
+        // epoch re-check.  A notify that misses the registration therefore
+        // bumped the epoch before our re-check (SeqCst total order), so we
+        // return immediately; a notify that sees it will take the lock and
+        // signal the condvar.
+        self.inner.waiters.fetch_add(1, SeqCst);
+        let moved = loop {
+            if self.inner.epoch.load(SeqCst) != seen {
+                break true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break false;
+            }
+            let (g, _) = self
+                .inner
+                .condvar
+                .wait_timeout(guard, deadline - now)
+                .expect("waitset poisoned");
+            guard = g;
+        };
+        self.inner.waiters.fetch_sub(1, SeqCst);
+        moved
+    }
+}
+
+impl std::fmt::Debug for WaitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaitSet")
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
 
 /// Why a receive attempt returned no frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +143,9 @@ struct State<T> {
     capacity: Option<usize>,
     senders: usize,
     receiver_alive: bool,
+    /// Wait set to poke whenever a frame arrives or the channel
+    /// disconnects, so a consumer blocked across several channels wakes.
+    waiter: Option<WaitSet>,
 }
 
 struct Shared<T> {
@@ -75,6 +185,7 @@ fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
             capacity,
             senders: 1,
             receiver_alive: true,
+            waiter: None,
         }),
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
@@ -104,6 +215,13 @@ impl<T> Sender<T> {
             }
         }
         state.queue.push_back(frame);
+        // Notified under the channel lock to avoid cloning the waiter on
+        // every send; with no consumer parked this is two atomic ops.
+        // Lock order is channel → wait set and `wait` never touches a
+        // channel, so no cycle.
+        if let Some(waiter) = &state.waiter {
+            waiter.notify();
+        }
         drop(state);
         self.shared.not_empty.notify_one();
         Ok(())
@@ -124,16 +242,27 @@ impl<T> Drop for Sender<T> {
         let mut state = self.shared.state.lock().expect("channel poisoned");
         state.senders -= 1;
         let last = state.senders == 0;
-        drop(state);
         if last {
-            // Wake a receiver blocked in recv_timeout so it observes the
-            // disconnect promptly.
+            // Wake a receiver blocked in recv_timeout (or in a multi-channel
+            // WaitSet) so it observes the disconnect promptly.
+            if let Some(waiter) = &state.waiter {
+                waiter.notify();
+            }
+            drop(state);
             self.shared.not_empty.notify_all();
         }
     }
 }
 
 impl<T> Receiver<T> {
+    /// Registers a [`WaitSet`] with this channel: every subsequent send
+    /// (and the final sender's disconnect) notifies it.  A consumer that
+    /// reads several channels registers the same wait set with each, then
+    /// blocks on the set instead of on any single channel.
+    pub fn set_waiter(&self, waiter: &WaitSet) {
+        self.shared.state.lock().expect("channel poisoned").waiter = Some(waiter.clone());
+    }
+
     /// Dequeues the next frame without blocking.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut state = self.shared.state.lock().expect("channel poisoned");
@@ -280,5 +409,110 @@ mod tests {
             tx.send(42u32).unwrap();
         });
         assert_eq!(rx.recv_timeout(Duration::from_secs(2)), Ok(42));
+    }
+
+    /// Runs `f` on a helper thread, panicking if it does not finish within
+    /// `timeout` — guards the blocking-wait tests against a missed wake-up
+    /// turning into a hung test suite.
+    fn with_deadline<F: FnOnce() + Send + 'static>(timeout: Duration, f: F) {
+        let (done_tx, done_rx) = unbounded();
+        let handle = std::thread::spawn(move || {
+            f();
+            let _ = done_tx.send(());
+        });
+        assert_eq!(
+            done_rx.recv_timeout(timeout),
+            Ok(()),
+            "blocked thread did not finish within {timeout:?}"
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn waitset_wakes_on_send_to_either_registered_channel() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (tx_b, rx_b) = unbounded::<u32>();
+        let waitset = WaitSet::new();
+        rx_a.set_waiter(&waitset);
+        rx_b.set_waiter(&waitset);
+
+        for (which, tx) in [(0u8, tx_a), (1u8, tx_b)] {
+            assert!(rx_a.try_recv().is_err() && rx_b.try_recv().is_err());
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                tx.send(u32::from(which)).unwrap();
+            });
+            // The two-input wait must observe the send on either channel;
+            // the deadline guards against a missed wake-up hanging forever.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let got = loop {
+                let seen = waitset.epoch();
+                match rx_a.try_recv().or_else(|_| rx_b.try_recv()) {
+                    Ok(v) => break v,
+                    Err(_) => {
+                        assert!(
+                            Instant::now() < deadline,
+                            "send to channel {which} never woke the wait"
+                        );
+                        waitset.wait(seen, Duration::from_millis(100));
+                    }
+                }
+            };
+            assert_eq!(got, u32::from(which));
+        }
+    }
+
+    #[test]
+    fn waitset_snapshot_before_poll_prevents_lost_wakeups() {
+        // Send *between* the epoch snapshot and the wait: the wait must
+        // return immediately instead of sleeping out its full timeout.
+        let (tx, rx) = unbounded::<u32>();
+        let waitset = WaitSet::new();
+        rx.set_waiter(&waitset);
+        let seen = waitset.epoch();
+        tx.send(1).unwrap();
+        let start = Instant::now();
+        assert!(waitset.wait(seen, Duration::from_secs(5)));
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "wait must return promptly when the epoch already moved"
+        );
+    }
+
+    #[test]
+    fn blocked_two_input_wait_exits_when_both_senders_drop() {
+        // The shutdown path of a pipeline worker: parked on its WaitSet
+        // with both inputs empty, it must wake and exit once both senders
+        // disconnect — without any polling fallback.
+        let (tx_left, rx_left) = unbounded::<u32>();
+        let (tx_right, rx_right) = unbounded::<u32>();
+        let waitset = WaitSet::new();
+        rx_left.set_waiter(&waitset);
+        rx_right.set_waiter(&waitset);
+
+        with_deadline(Duration::from_secs(5), move || {
+            let dropper = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                drop(tx_left);
+                std::thread::sleep(Duration::from_millis(10));
+                drop(tx_right);
+            });
+            // Worker loop: block until both inputs report Disconnected.
+            loop {
+                let seen = waitset.epoch();
+                let left = rx_left.try_recv();
+                let right = rx_right.try_recv();
+                if left == Err(TryRecvError::Disconnected)
+                    && right == Err(TryRecvError::Disconnected)
+                {
+                    break;
+                }
+                assert!(left.is_err() && right.is_err(), "no data was sent");
+                // A generous timeout: the test only passes promptly if the
+                // disconnect notification actually wakes the wait.
+                waitset.wait(seen, Duration::from_secs(60));
+            }
+            dropper.join().unwrap();
+        });
     }
 }

@@ -13,6 +13,19 @@
 //! output of each frame as one frame per direction.  `batch_size = 1`
 //! reproduces the eager per-tuple transport exactly.
 //!
+//! Scheduling is *event-driven*: an idle worker parks on a per-worker
+//! [`channel::WaitSet`] registered with both of its input channels and is
+//! woken by the next frame on either input (or by shutdown) — there is no
+//! polling loop anywhere in the pipeline.  On paced runs with a
+//! `flush_interval`, a wall-clock timer thread additionally flushes
+//! partial entry frames on real time, so a stream that goes silent cannot
+//! hold results back; see [`pipeline`] for the full picture.
+//!
+//! Tuning: `batch_size` buys throughput (one channel operation per frame),
+//! `flush_interval` caps the latency that batching can add — set it near
+//! your latency budget and the batch size purely for throughput; with the
+//! timer thread the cap holds even across arrival gaps.
+//!
 //! ```no_run
 //! use llhj_core::prelude::*;
 //! use llhj_runtime::{llhj_nodes, run_pipeline, PipelineOptions};

@@ -77,6 +77,31 @@ impl Default for PipelineOptions {
 }
 
 impl PipelineOptions {
+    /// Checks the options for values the runtime cannot execute sensibly.
+    ///
+    /// Called by [`crate::run_pipeline`] before any thread is spawned.  A
+    /// non-finite `speedup` is rejected here because it would otherwise
+    /// disappear into a float→integer cast inside the stream clock (NaN
+    /// and −∞ silently freeze the clock at 0, +∞ pins it at the maximum) —
+    /// a mis-configuration that should fail loudly, not warp time.
+    /// Negative and zero speedups remain accepted: they are documented
+    /// degenerate cases (the clock clamps them to "frozen", and
+    /// [`Self::stream_to_wall`] replays without waiting).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.batch_size == 0 {
+            return Err("batch_size must be positive".into());
+        }
+        if self.channel_capacity == 0 {
+            return Err("channel_capacity must be positive".into());
+        }
+        if let Pacing::RealTime { speedup } = self.pacing {
+            if !speedup.is_finite() {
+                return Err(format!("RealTime speedup must be finite, got {speedup}"));
+            }
+        }
+        Ok(())
+    }
+
     /// Converts a stream-time delta into the wall-clock duration it takes
     /// under the configured pacing.
     pub fn stream_to_wall(&self, delta: TimeDelta) -> Duration {
@@ -124,5 +149,39 @@ mod tests {
             degenerate.stream_to_wall(TimeDelta::from_secs(5)),
             Duration::ZERO
         );
+    }
+
+    #[test]
+    fn validation_rejects_non_finite_speedup_and_zero_sizes() {
+        assert!(PipelineOptions::default().validate().is_ok());
+        for speedup in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let opts = PipelineOptions {
+                pacing: Pacing::RealTime { speedup },
+                ..Default::default()
+            };
+            assert!(
+                opts.validate().is_err(),
+                "speedup {speedup} must be rejected"
+            );
+        }
+        // Degenerate but well-defined: negative/zero speedups freeze the
+        // clock instead of failing.
+        for speedup in [0.0, -1.0] {
+            let opts = PipelineOptions {
+                pacing: Pacing::RealTime { speedup },
+                ..Default::default()
+            };
+            assert!(opts.validate().is_ok());
+        }
+        let opts = PipelineOptions {
+            batch_size: 0,
+            ..Default::default()
+        };
+        assert!(opts.validate().is_err());
+        let opts = PipelineOptions {
+            channel_capacity: 0,
+            ..Default::default()
+        };
+        assert!(opts.validate().is_err());
     }
 }

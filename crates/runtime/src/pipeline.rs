@@ -24,7 +24,7 @@
 //! is what the evaluation harness uses to sweep core counts beyond the host
 //! machine.
 
-use crate::channel::{bounded, unbounded, Receiver, Sender};
+use crate::channel::{bounded, unbounded, Receiver, Sender, WaitSet};
 use crate::options::{Pacing, PipelineOptions};
 use llhj_core::driver::{DriverSchedule, Injector, StreamEvent};
 use llhj_core::homing::HomePolicy;
@@ -61,6 +61,10 @@ pub struct RunOutcome<R, S> {
     pub arrivals_per_stream: (usize, usize),
     /// Number of frames the driver injected into the pipeline ends.
     pub frames_injected: u64,
+    /// Number of times a worker woke up (or polled) and found neither of
+    /// its inputs ready.  Under event-driven scheduling this stays near
+    /// zero; a busy-polling loop accumulates one per idle poll interval.
+    pub idle_wakeups: u64,
 }
 
 impl<R, S> RunOutcome<R, S> {
@@ -112,29 +116,89 @@ impl StreamClock {
         match self.pacing {
             Pacing::Unpaced => Timestamp::from_micros(self.injected_us.load(Ordering::Relaxed)),
             Pacing::RealTime { speedup } => {
+                // `speedup` is validated finite by `PipelineOptions::
+                // validate`; a negative value clamps to a frozen clock
+                // instead of travelling through the float→int cast.
                 let elapsed = self.start.elapsed().as_secs_f64() * speedup.max(0.0);
-                Timestamp::from_micros((elapsed * 1e6) as u64)
+                Timestamp::from_micros(saturating_micros(elapsed))
             }
         }
     }
 }
 
-/// How long an idle worker sleeps between polls of its two inputs.
-const IDLE_POLL: Duration = Duration::from_micros(100);
+/// Converts `secs` of stream time to whole microseconds with explicit
+/// saturation: NaN and negative values map to 0, values beyond the `u64`
+/// range to `u64::MAX`.  (The bare `as` cast has the same limits but hides
+/// the policy; the clock's behaviour under degenerate `speedup` values
+/// should be a stated contract, not a cast artefact.)
+fn saturating_micros(secs: f64) -> u64 {
+    let micros = secs * 1e6;
+    if micros.is_nan() || micros <= 0.0 {
+        0
+    } else if micros >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        micros as u64
+    }
+}
+
+/// Safety-net bound on how long a worker parks between wake-ups.  Workers
+/// are woken eagerly — by frame arrivals through their [`WaitSet`] and by
+/// the driver at shutdown — so this timeout only bounds the damage of a
+/// missed notification; it is not a polling interval.
+const WORKER_PARK: Duration = Duration::from_millis(10);
+
+/// In-flight frame accounting plus the wait set the driver parks on while
+/// draining: the counter going to zero is the pipeline's quiescence signal.
+struct InFlight {
+    count: AtomicI64,
+    quiesce: WaitSet,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        InFlight {
+            count: AtomicI64::new(0),
+            quiesce: WaitSet::new(),
+        }
+    }
+
+    fn add(&self) {
+        self.count.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Decrements the counter, waking the driver when it reaches zero.
+    fn finish(&self) {
+        if self.count.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.quiesce.notify();
+        }
+    }
+
+    /// Parks until no frame is anywhere in the pipeline.
+    fn wait_for_quiescence(&self) {
+        loop {
+            let seen = self.quiesce.epoch();
+            if self.count.load(Ordering::SeqCst) <= 0 {
+                return;
+            }
+            self.quiesce.wait(seen, WORKER_PARK);
+        }
+    }
+}
 
 /// Sends one frame, keeping the global in-flight frame count consistent
 /// (the driver's quiescence detection counts frames, not messages).
 fn send_frame<R, S>(
     tx: &Sender<MessageBatch<R, S>>,
     frame: MessageBatch<R, S>,
-    in_flight: &AtomicI64,
+    in_flight: &InFlight,
 ) {
     if frame.is_empty() {
         return;
     }
-    in_flight.fetch_add(1, Ordering::SeqCst);
+    in_flight.add();
     if tx.send(frame).is_err() {
-        in_flight.fetch_sub(1, Ordering::SeqCst);
+        in_flight.finish();
     }
 }
 
@@ -176,7 +240,7 @@ impl<'a, M, R, S> EntryBatcher<'a, M, R, S> {
     }
 
     /// Sends the pending frame (if any) and resets the assembly state.
-    fn flush(&mut self, in_flight: &AtomicI64, frames_injected: &mut u64) {
+    fn flush(&mut self, in_flight: &InFlight, frames_injected: &mut u64) {
         if self.pending.is_empty() {
             return;
         }
@@ -196,7 +260,7 @@ impl<'a, M, R, S> EntryBatcher<'a, M, R, S> {
         &mut self,
         now: Timestamp,
         interval: llhj_core::time::TimeDelta,
-        in_flight: &AtomicI64,
+        in_flight: &InFlight,
         frames_injected: &mut u64,
     ) {
         if let Some(started_at) = self.started_at {
@@ -204,6 +268,32 @@ impl<'a, M, R, S> EntryBatcher<'a, M, R, S> {
                 self.flush(in_flight, frames_injected);
             }
         }
+    }
+}
+
+/// The driver's entry-frame assembly state for both directions, behind one
+/// mutex so the wall-clock flush timer thread can reach it between
+/// schedule events.  The driver holds the lock only briefly per event and
+/// the timer only fires once per `flush_interval`, so contention is nil.
+struct EntryState<'a, R, S> {
+    left: EntryBatcher<'a, LeftToRight<R>, R, S>,
+    right: EntryBatcher<'a, RightToLeft<S>, R, S>,
+    frames_injected: u64,
+}
+
+impl<R, S> EntryState<'_, R, S> {
+    /// Flushes both directions' partial frames that have been filling for
+    /// at least `interval` of stream time.
+    fn flush_older_than(
+        &mut self,
+        now: Timestamp,
+        interval: llhj_core::time::TimeDelta,
+        in_flight: &InFlight,
+    ) {
+        self.left
+            .flush_if_older(now, interval, in_flight, &mut self.frames_injected);
+        self.right
+            .flush_if_older(now, interval, in_flight, &mut self.frames_injected);
     }
 }
 
@@ -227,13 +317,19 @@ where
 {
     let n = nodes.len();
     assert!(n > 0, "pipeline needs at least one node");
-    assert!(options.batch_size > 0, "batch size must be positive");
+    options
+        .validate()
+        .unwrap_or_else(|err| panic!("invalid PipelineOptions: {err}"));
     let started = Instant::now();
 
     let injector = Injector::new(predicate, policy, n);
     let hwm = HighWaterMarks::new();
     let stop = Arc::new(AtomicBool::new(false));
-    let in_flight = Arc::new(AtomicI64::new(0));
+    // Bumped by the driver after `stop` is set so every parked thread
+    // (workers via their own wait sets, the collector via this one)
+    // re-checks the flag immediately instead of timing out.
+    let stop_signal = WaitSet::new();
+    let in_flight = Arc::new(InFlight::new());
     let clock = Arc::new(StreamClock::new(options.pacing));
 
     // Channel wiring: ltr[k] is node k's left input, rtl[k] its right
@@ -272,6 +368,21 @@ where
     let driver_left_tx = ltr_tx[0].take().expect("entry channel");
     let driver_right_tx = rtl_tx[n - 1].take().expect("entry channel");
 
+    // One wait set per worker, registered with both of its input channels:
+    // a send into either input (or the driver's shutdown notification)
+    // wakes the worker, so it never has to poll.
+    let waitsets: Vec<WaitSet> = (0..n).map(|_| WaitSet::new()).collect();
+    for k in 0..n {
+        ltr_rx[k]
+            .as_ref()
+            .expect("left input")
+            .set_waiter(&waitsets[k]);
+        rtl_rx[k]
+            .as_ref()
+            .expect("right input")
+            .set_waiter(&waitsets[k]);
+    }
+
     // Per-worker result queues (Figure 15).
     let mut result_tx: Vec<Sender<TimedResult<R, S>>> = Vec::with_capacity(n);
     let mut result_rx: Vec<Receiver<TimedResult<R, S>>> = Vec::with_capacity(n);
@@ -284,6 +395,17 @@ where
     let mut counters = vec![NodeCounters::default(); n];
     let mut collected: Option<CollectorOutcome<R, S>> = None;
     let mut frames_injected = 0u64;
+    let mut idle_wakeups = 0u64;
+
+    // Entry-frame assembly state, shared between the driver and the flush
+    // timer thread (declared before the thread scope so scoped threads can
+    // borrow it).
+    let entry = std::sync::Mutex::new(EntryState {
+        left: EntryBatcher::new(&driver_left_tx, MessageBatch::Left),
+        right: EntryBatcher::new(&driver_right_tx, MessageBatch::Right),
+        frames_injected: 0,
+    });
+    let timer_stop = WaitSet::new();
 
     std::thread::scope(|scope| {
         // ---------------- workers ----------------
@@ -302,15 +424,22 @@ where
             let stop = Arc::clone(&stop);
             let in_flight = Arc::clone(&in_flight);
             let clock = Arc::clone(&clock);
+            let waitset = waitsets[k].clone();
             let is_leftmost = k == 0;
             let is_rightmost = k + 1 == n;
 
             worker_handles.push(scope.spawn(move || {
                 let mut out: NodeOutput<R, S, ResultTuple<R, S>> = NodeOutput::new();
+                let mut idle_wakeups = 0u64;
                 // Alternate which input is polled first so neither
                 // direction can starve the other under sustained load.
                 let mut poll_left_first = true;
                 loop {
+                    // Epoch snapshot *before* polling: a frame that lands
+                    // between the poll and the park bumps the epoch first,
+                    // so the wait below returns immediately (no lost
+                    // wake-up, no polling fallback needed).
+                    let seen = waitset.epoch();
                     let frame = if poll_left_first {
                         left_rx.try_recv().or_else(|_| right_rx.try_recv())
                     } else {
@@ -381,7 +510,7 @@ where
                                     let _ = results.send(TimedResult::new(result, detected_at));
                                 }
                             }
-                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                            in_flight.finish();
                         }
                         Err(_) => {
                             if stop.load(Ordering::SeqCst)
@@ -390,11 +519,17 @@ where
                             {
                                 break;
                             }
-                            std::thread::sleep(IDLE_POLL);
+                            // Block until either input (or shutdown)
+                            // notifies the wait set.  A timed-out park is
+                            // the only "idle wake-up" left: it means the
+                            // safety-net timer fired with nothing to do.
+                            if !waitset.wait(seen, WORKER_PARK) {
+                                idle_wakeups += 1;
+                            }
                         }
                     }
                 }
-                (k, node.node_counters())
+                (k, node.node_counters(), idle_wakeups)
             }));
         }
         drop(result_tx);
@@ -402,6 +537,7 @@ where
         // ---------------- collector ----------------
         let collector_handle = {
             let stop = Arc::clone(&stop);
+            let stop_signal = stop_signal.clone();
             let hwm = Arc::clone(&hwm);
             let receivers = result_rx;
             let punctuate = options.punctuate;
@@ -416,6 +552,7 @@ where
                     punctuation_count: 0,
                 };
                 loop {
+                    let seen = stop_signal.epoch();
                     let stopping = stop.load(Ordering::SeqCst);
                     // Step 1 (Section 6.1.3): read the high-water marks
                     // before vacuuming the queues.
@@ -441,22 +578,64 @@ where
                     if stopping && !drained_any {
                         break;
                     }
-                    std::thread::sleep(interval);
+                    // The vacuum period doubles as the park timeout; the
+                    // driver's shutdown notification cuts it short so the
+                    // final drain starts immediately.
+                    stop_signal.wait(seen, interval);
                 }
                 outcome
             })
+        };
+
+        // ---------------- flush timer ----------------
+        // The driver's own timer check below only runs when it observes the
+        // next schedule event — useless on a stream that goes silent, where
+        // a partial frame would wait indefinitely.  A dedicated wall-clock
+        // timer thread bounds that wait in real time: every half interval
+        // it flushes any entry frame older than `flush_interval` of stream
+        // time, regardless of schedule progress.  Only paced runs need it
+        // (an unpaced driver never waits between events).
+        let timer_handle = match (options.pacing, options.flush_interval) {
+            (Pacing::RealTime { .. }, Some(interval)) => {
+                let entry = &entry;
+                let in_flight = Arc::clone(&in_flight);
+                let clock = Arc::clone(&clock);
+                let timer_stop = timer_stop.clone();
+                let period = (options.stream_to_wall(interval) / 2).max(Duration::from_micros(50));
+                Some(scope.spawn(move || {
+                    // The driver notifies `timer_stop` exactly once, at
+                    // shutdown.  Snapshot the epoch *before* the loop: a
+                    // notify that lands while we are flushing (outside
+                    // `wait`) still differs from this snapshot, so the next
+                    // wait returns immediately instead of the bump being
+                    // absorbed by a per-iteration re-snapshot — which would
+                    // leave this thread looping forever and the driver
+                    // hanging in `join`.
+                    let seen = timer_stop.epoch();
+                    loop {
+                        if timer_stop.wait(seen, period) {
+                            // Epoch moved: shutdown.
+                            return;
+                        }
+                        let now = clock.now();
+                        entry
+                            .lock()
+                            .expect("entry state poisoned")
+                            .flush_older_than(now, interval, &in_flight);
+                    }
+                }))
+            }
+            _ => None,
         };
 
         // ---------------- driver (this thread) ----------------
         // The driver assembles the two entry frames; a frame is flushed when
         // it holds `batch_size` arrivals, when its stream has delivered its
         // last arrival (so the tail pays the normal batching delay rather
-        // than waiting for trailing expiry events), or when the optional
-        // `flush_interval` has elapsed in stream time since the frame
-        // started filling.
-        let mut left = EntryBatcher::new(&driver_left_tx, MessageBatch::Left);
-        let mut right = EntryBatcher::new(&driver_right_tx, MessageBatch::Right);
-
+        // than waiting for trailing expiry events), or when the
+        // `flush_interval` has elapsed since the frame started filling —
+        // observed either here (on the next event) or by the timer thread
+        // (in wall time, even if no event ever comes).
         let mut seen_r = 0usize;
         let mut seen_s = 0usize;
         for event in schedule.events() {
@@ -469,44 +648,63 @@ where
             }
             clock.note_injection(event.at);
 
+            let mut state = entry.lock().expect("entry state poisoned");
+            let state = &mut *state;
             // Timer flush: a partial frame must not outwait the interval.
             if let Some(interval) = options.flush_interval {
-                left.flush_if_older(event.at, interval, &in_flight, &mut frames_injected);
-                right.flush_if_older(event.at, interval, &in_flight, &mut frames_injected);
+                state.flush_older_than(event.at, interval, &in_flight);
             }
 
             match &event.event {
                 StreamEvent::ArrivalR(r) => {
-                    left.push_arrival(injector.inject_r(r.clone()), event.at);
+                    state
+                        .left
+                        .push_arrival(injector.inject_r(r.clone()), event.at);
                     seen_r += 1;
-                    if left.arrivals >= options.batch_size || seen_r == schedule.r_count() {
-                        left.flush(&in_flight, &mut frames_injected);
+                    if state.left.arrivals >= options.batch_size || seen_r == schedule.r_count() {
+                        state.left.flush(&in_flight, &mut state.frames_injected);
                     }
                 }
-                StreamEvent::ExpireS(seq) => left.push(LeftToRight::ExpiryS(*seq), event.at),
+                StreamEvent::ExpireS(seq) => state.left.push(LeftToRight::ExpiryS(*seq), event.at),
                 StreamEvent::ArrivalS(s) => {
-                    right.push_arrival(injector.inject_s(s.clone()), event.at);
+                    state
+                        .right
+                        .push_arrival(injector.inject_s(s.clone()), event.at);
                     seen_s += 1;
-                    if right.arrivals >= options.batch_size || seen_s == schedule.s_count() {
-                        right.flush(&in_flight, &mut frames_injected);
+                    if state.right.arrivals >= options.batch_size || seen_s == schedule.s_count() {
+                        state.right.flush(&in_flight, &mut state.frames_injected);
                     }
                 }
-                StreamEvent::ExpireR(seq) => right.push(RightToLeft::ExpiryR(*seq), event.at),
+                StreamEvent::ExpireR(seq) => state.right.push(RightToLeft::ExpiryR(*seq), event.at),
             }
         }
         // Tail flush: whatever is still pending (trailing expiries).
-        left.flush(&in_flight, &mut frames_injected);
-        right.flush(&in_flight, &mut frames_injected);
+        {
+            let mut state = entry.lock().expect("entry state poisoned");
+            let state = &mut *state;
+            state.left.flush(&in_flight, &mut state.frames_injected);
+            state.right.flush(&in_flight, &mut state.frames_injected);
+            frames_injected = state.frames_injected;
+        }
+        timer_stop.notify();
+        if let Some(handle) = timer_handle {
+            handle.join().expect("timer thread panicked");
+        }
 
         // Wait for quiescence: no frame anywhere in the pipeline.
-        while in_flight.load(Ordering::SeqCst) > 0 {
-            std::thread::sleep(Duration::from_millis(1));
-        }
+        in_flight.wait_for_quiescence();
         stop.store(true, Ordering::SeqCst);
+        // Wake every parked thread so it observes the stop flag now rather
+        // than at its next safety-net timeout.
+        for waitset in &waitsets {
+            waitset.notify();
+        }
+        stop_signal.notify();
 
         for handle in worker_handles {
-            let (k, c) = handle.join().expect("worker thread panicked");
+            let (k, c, idle) = handle.join().expect("worker thread panicked");
             counters[k] = c;
+            idle_wakeups += idle;
         }
         collected = Some(collector_handle.join().expect("collector thread panicked"));
     });
@@ -522,6 +720,7 @@ where
         punctuation_count: collected.punctuation_count,
         arrivals_per_stream: (schedule.r_count(), schedule.s_count()),
         frames_injected,
+        idle_wakeups,
     }
 }
 
@@ -531,4 +730,105 @@ struct CollectorOutcome<R, S> {
     latency: LatencySummary,
     series: LatencySeries,
     punctuation_count: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::llhj_nodes;
+    use llhj_core::driver::DriverSchedule;
+    use llhj_core::homing::RoundRobin;
+    use llhj_core::predicate::FnPredicate;
+    use llhj_core::time::TimeDelta;
+    use llhj_core::window::WindowSpec;
+
+    #[test]
+    fn saturating_micros_states_the_degenerate_cases() {
+        assert_eq!(saturating_micros(f64::NAN), 0);
+        assert_eq!(saturating_micros(-1.0), 0);
+        assert_eq!(saturating_micros(0.0), 0);
+        assert_eq!(saturating_micros(f64::INFINITY), u64::MAX);
+        assert_eq!(saturating_micros(1e300), u64::MAX);
+        assert_eq!(saturating_micros(2.5), 2_500_000);
+    }
+
+    #[test]
+    fn frozen_clock_for_non_positive_speedup() {
+        let clock = StreamClock::new(Pacing::RealTime { speedup: -3.0 });
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(clock.now(), Timestamp::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid PipelineOptions")]
+    fn run_pipeline_rejects_non_finite_speedup() {
+        let pred = FnPredicate(|r: &u32, s: &u32| r == s);
+        let schedule = DriverSchedule::build(
+            vec![(Timestamp::from_millis(1), 1u32)],
+            vec![(Timestamp::from_millis(1), 1u32)],
+            WindowSpec::time_secs(1),
+            WindowSpec::time_secs(1),
+        );
+        let opts = PipelineOptions {
+            pacing: Pacing::RealTime { speedup: f64::NAN },
+            ..Default::default()
+        };
+        let _ = run_pipeline(
+            llhj_nodes(1, pred.clone()),
+            pred,
+            RoundRobin,
+            &schedule,
+            &opts,
+        );
+    }
+
+    /// The reason the wall-clock timer thread exists: a stream that goes
+    /// silent mid-run must not hold a partial entry frame until the driver
+    /// happens to observe the next schedule event.
+    #[test]
+    fn flush_timer_bounds_latency_across_a_silent_gap() {
+        let pred = FnPredicate(|r: &u32, s: &u32| r == s);
+        // One matching pair right at the start, then ~700 ms of silence
+        // before the streams resume.  The driver sleeps through the gap,
+        // so only the timer thread can release the first frame.
+        let mk = |v: u32| {
+            vec![
+                (Timestamp::from_millis(1), v),
+                (Timestamp::from_millis(700), v + 1_000),
+                (Timestamp::from_millis(710), v + 2_000),
+            ]
+        };
+        let schedule = DriverSchedule::build(
+            mk(7),
+            mk(7),
+            WindowSpec::time_secs(2),
+            WindowSpec::time_secs(2),
+        );
+        let opts = PipelineOptions {
+            // A batch far larger than the pre-gap tuple count: without the
+            // timer the first frame stays partial for the whole gap.
+            batch_size: 64,
+            flush_interval: Some(TimeDelta::from_millis(10)),
+            pacing: Pacing::RealTime { speedup: 1.0 },
+            ..Default::default()
+        };
+        let outcome = run_pipeline(
+            llhj_nodes(2, pred.clone()),
+            pred,
+            RoundRobin,
+            &schedule,
+            &opts,
+        );
+        let first = outcome
+            .results
+            .iter()
+            .find(|t| t.result.key() == (llhj_core::tuple::SeqNo(0), llhj_core::tuple::SeqNo(0)))
+            .expect("the pre-gap pair must be found");
+        let latency = first.latency();
+        assert!(
+            latency < TimeDelta::from_millis(200),
+            "pre-gap result waited {latency} — the wall-clock flush timer \
+             should have bounded it near the 10 ms interval"
+        );
+    }
 }
