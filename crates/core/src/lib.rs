@@ -78,7 +78,7 @@ pub use homing::{HashKey, HomePolicy, Pinned, RoundRobin};
 pub use latency_model::{
     hsj_expected_latency, hsj_latency_at_position, hsj_max_latency, hsj_warmup, LlhjLatencyModel,
 };
-pub use message::{LeftToRight, MessageBatch, NodeOutput, RightToLeft};
+pub use message::{Handoff, LeftToRight, MessageBatch, NodeOutput, RightToLeft, WindowSegment};
 pub use node::PipelineNode;
 pub use node_hsj::{FlowPolicy, HsjNode, HsjOutput, SegmentCapacity};
 pub use node_llhj::{LlhjNode, LlhjOutput};
@@ -96,7 +96,9 @@ pub use window::{Expiry, WindowSpec, WindowTracker};
 pub mod prelude {
     pub use crate::driver::{DriverEvent, DriverSchedule, Injector, StreamEvent};
     pub use crate::homing::{HashKey, HomePolicy, Pinned, RoundRobin};
-    pub use crate::message::{LeftToRight, MessageBatch, NodeOutput, RightToLeft};
+    pub use crate::message::{
+        Handoff, LeftToRight, MessageBatch, NodeOutput, RightToLeft, WindowSegment,
+    };
     pub use crate::node::PipelineNode;
     pub use crate::node_hsj::{FlowPolicy, HsjNode, HsjOutput, SegmentCapacity};
     pub use crate::node_llhj::{LlhjNode, LlhjOutput};

@@ -6,7 +6,7 @@
 //! *right to left* carry S arrivals plus control traffic about R tuples
 //! (Figures 13 and 14 of the paper).
 
-use crate::tuple::{PipelineTuple, SeqNo};
+use crate::tuple::{NodeId, PipelineTuple, SeqNo, StreamTuple};
 
 /// A message travelling left-to-right (towards higher node indices).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +49,78 @@ impl<S> RightToLeft<S> {
     }
 }
 
+/// The stored tuples a node hands to its neighbour during an elastic
+/// reconfiguration.
+///
+/// Elasticity moves node-local window state between neighbours while the
+/// pipeline is fenced (no data frame anywhere in flight).  At that point a
+/// low-latency handshake join node holds only *settled* state: window
+/// tuples whose expeditions have finished and whose acknowledgements have
+/// all been delivered, so a segment is just the two windows — no
+/// expedition flags, no `IWS` entries.  Correctness of the move rests on
+/// the algorithm's own matching rules: a stored tuple is matched by every
+/// traversing arrival of the opposite stream and found by its traversing
+/// expiry message *wherever* it rests, as long as it rests exactly once.
+/// The handoff protocol (segment, then ack) preserves that exactly-once
+/// residence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowSegment<R, S> {
+    /// Stored R tuples, in increasing sequence order.
+    pub wr: Vec<StreamTuple<R>>,
+    /// Stored S tuples, in increasing sequence order.
+    pub ws: Vec<StreamTuple<S>>,
+}
+
+impl<R, S> WindowSegment<R, S> {
+    /// An empty segment.
+    pub fn empty() -> Self {
+        WindowSegment {
+            wr: Vec::new(),
+            ws: Vec::new(),
+        }
+    }
+
+    /// Total number of tuples carried.
+    pub fn len(&self) -> usize {
+        self.wr.len() + self.ws.len()
+    }
+
+    /// True if the segment carries no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.wr.is_empty() && self.ws.is_empty()
+    }
+}
+
+impl<R, S> Default for WindowSegment<R, S> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+/// State-handoff traffic exchanged between neighbouring nodes during an
+/// elastic reconfiguration.
+///
+/// A retiring node sends its (possibly merged) [`WindowSegment`] towards
+/// the surviving side of the chain and may only exit once the receiver has
+/// installed the segment and answered with an ack — otherwise a crash of
+/// the scheduler between the two steps could drop the segment and with it
+/// every pending match against those tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Handoff<R, S> {
+    /// "Install these tuples; they now rest with you."
+    Segment {
+        /// The node that sent the segment (for the matching ack).
+        from: NodeId,
+        /// The migrated window state.
+        segment: WindowSegment<R, S>,
+    },
+    /// "Segment installed; it is safe to retire."
+    Ack {
+        /// The node whose segment was installed.
+        to: NodeId,
+    },
+}
+
 /// A frame of same-direction messages travelling between two neighbouring
 /// nodes (or between the driver and a pipeline end).
 ///
@@ -69,6 +141,11 @@ pub enum MessageBatch<R, S> {
     /// A run of right-to-left messages (S arrivals, R expedition ends, R
     /// expiries).
     Right(Vec<RightToLeft<S>>),
+    /// State-handoff traffic of an elastic reconfiguration.  Handoff frames
+    /// only travel while the pipeline is fenced, so they never interleave
+    /// with data frames; they are excluded from the in-flight frame
+    /// accounting that detects quiescence.
+    Handoff(Handoff<R, S>),
 }
 
 impl<R, S> MessageBatch<R, S> {
@@ -82,11 +159,13 @@ impl<R, S> MessageBatch<R, S> {
         MessageBatch::Right(vec![msg])
     }
 
-    /// Number of messages in the frame.
+    /// Number of messages in the frame.  A handoff frame counts as one
+    /// message regardless of how many tuples it migrates.
     pub fn len(&self) -> usize {
         match self {
             MessageBatch::Left(msgs) => msgs.len(),
             MessageBatch::Right(msgs) => msgs.len(),
+            MessageBatch::Handoff(_) => 1,
         }
     }
 
@@ -100,6 +179,7 @@ impl<R, S> MessageBatch<R, S> {
         match self {
             MessageBatch::Left(msgs) => msgs.iter().filter(|m| m.is_arrival()).count(),
             MessageBatch::Right(msgs) => msgs.iter().filter(|m| m.is_arrival()).count(),
+            MessageBatch::Handoff(_) => 0,
         }
     }
 
@@ -217,6 +297,29 @@ mod tests {
         let from_vec: MessageBatch<u32, u32> = vec![LeftToRight::<u32>::AckS(SeqNo(9))].into();
         assert!(from_vec.is_left_to_right());
         assert_eq!(from_vec.arrivals(), 0);
+    }
+
+    #[test]
+    fn handoff_frames_carry_segments_without_counting_as_arrivals() {
+        let seg: WindowSegment<u32, u32> = WindowSegment {
+            wr: vec![StreamTuple::new(SeqNo(1), Timestamp::ZERO, 5u32)],
+            ws: Vec::new(),
+        };
+        assert_eq!(seg.len(), 1);
+        assert!(!seg.is_empty());
+        assert!(WindowSegment::<u32, u32>::empty().is_empty());
+
+        let frame: MessageBatch<u32, u32> = MessageBatch::Handoff(Handoff::Segment {
+            from: 3,
+            segment: seg,
+        });
+        assert_eq!(frame.len(), 1);
+        assert_eq!(frame.arrivals(), 0);
+        assert!(!frame.is_left_to_right());
+        assert!(!frame.is_empty());
+
+        let ack: MessageBatch<u32, u32> = MessageBatch::Handoff(Handoff::Ack { to: 3 });
+        assert_eq!(ack.arrivals(), 0);
     }
 
     #[test]

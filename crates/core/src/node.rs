@@ -6,7 +6,7 @@
 //! small trait both substrates program against, so an experiment can switch
 //! algorithms by switching the node constructor and nothing else.
 
-use crate::message::{LeftToRight, NodeOutput, RightToLeft};
+use crate::message::{LeftToRight, NodeOutput, RightToLeft, WindowSegment};
 use crate::result::ResultTuple;
 use crate::stats::NodeCounters;
 use crate::tuple::NodeId;
@@ -66,6 +66,33 @@ pub trait PipelineNode<R, S>: Send {
     /// substrate calls this before delivering each message; algorithms that
     /// do not need a clock (low-latency handshake join) ignore it.
     fn observe_time(&mut self, _now: crate::time::Timestamp) {}
+
+    /// True if the node can take part in an elastic reconfiguration
+    /// (export/import of window segments plus renumbering).  Defaults to
+    /// `false`; the elastic substrates refuse to scale pipelines whose
+    /// nodes cannot migrate.
+    fn supports_migration(&self) -> bool {
+        false
+    }
+
+    /// Exports the node's settled window state for migration.  Only valid
+    /// while the pipeline is fenced (no frame in flight anywhere); see
+    /// [`crate::message::WindowSegment`].
+    fn export_segment(&mut self) -> WindowSegment<R, S> {
+        panic!("this node type does not support state migration");
+    }
+
+    /// Installs a neighbour's migrated window segment.  Only valid while
+    /// the pipeline is fenced.
+    fn import_segment(&mut self, _segment: WindowSegment<R, S>) {
+        panic!("this node type does not support state migration");
+    }
+
+    /// Renumbers the node after an elastic reconfiguration.  Only valid
+    /// while the pipeline is fenced.
+    fn set_position(&mut self, _id: NodeId, _nodes: usize) {
+        panic!("this node type does not support state migration");
+    }
 }
 
 impl<R, S, P> PipelineNode<R, S> for crate::node_llhj::LlhjNode<R, S, P>
@@ -108,6 +135,22 @@ where
 
     fn resident_tuples(&self) -> usize {
         self.wr_len() + self.ws_len() + self.iws_len()
+    }
+
+    fn supports_migration(&self) -> bool {
+        true
+    }
+
+    fn export_segment(&mut self) -> WindowSegment<R, S> {
+        crate::node_llhj::LlhjNode::export_segment(self)
+    }
+
+    fn import_segment(&mut self, segment: WindowSegment<R, S>) {
+        crate::node_llhj::LlhjNode::import_segment(self, segment);
+    }
+
+    fn set_position(&mut self, id: NodeId, nodes: usize) {
+        crate::node_llhj::LlhjNode::set_position(self, id, nodes);
     }
 }
 

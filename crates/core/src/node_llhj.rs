@@ -219,6 +219,47 @@ where
         }
     }
 
+    /// Exports the node's entire settled window state for migration to a
+    /// neighbour.
+    ///
+    /// May only be called while the pipeline is fenced: no frame in flight
+    /// anywhere.  At that point every expedition has finished (all
+    /// expedition-end markers were delivered) and every forwarded S tuple
+    /// has been acknowledged (`IWS` is empty) — the two assertions state
+    /// exactly that protocol precondition.
+    pub fn export_segment(&mut self) -> crate::message::WindowSegment<R, S> {
+        assert!(
+            self.iws.is_empty(),
+            "node {}: IWS must be empty at the elastic fence (unacknowledged \
+             S tuples would be lost by the migration)",
+            self.id
+        );
+        crate::message::WindowSegment {
+            wr: self.wr.drain_sorted(),
+            ws: self.ws.drain_sorted(),
+        }
+    }
+
+    /// Installs a neighbour's migrated window segment next to the local
+    /// state.  Like [`Self::export_segment`], only valid while the
+    /// pipeline is fenced.
+    pub fn import_segment(&mut self, segment: crate::message::WindowSegment<R, S>) {
+        self.wr.merge_sorted(segment.wr);
+        self.ws.merge_sorted(segment.ws);
+    }
+
+    /// Renumbers the node after an elastic reconfiguration: `id` is its new
+    /// position in a pipeline that now has `nodes` nodes.  The position
+    /// decides entry/exit behaviour (expedition ends are generated at the
+    /// rightmost node, acknowledgements stop at the pipeline ends), so it
+    /// must only change while the pipeline is fenced.
+    pub fn set_position(&mut self, id: NodeId, nodes: usize) {
+        assert!(nodes > 0, "pipeline must have at least one node");
+        assert!(id < nodes, "node id {id} out of range for {nodes} nodes");
+        self.id = id;
+        self.nodes = nodes;
+    }
+
     /// Lines 3–12 of Figure 13: an R tuple arrives (fresh or already
     /// stored) and rushes through this node.
     fn on_arrival_r(&mut self, r: PipelineTuple<R>, out: &mut LlhjOutput<R, S>) {
@@ -603,6 +644,64 @@ mod tests {
             out_i.comparisons < out_p.comparisons,
             "index probe must touch fewer tuples than a full scan"
         );
+    }
+
+    #[test]
+    fn export_import_migrates_settled_state_and_keeps_matching() {
+        // Two settled nodes (no expeditions, empty IWS): node 2 retires and
+        // hands its windows to node 1, which then answers matches for the
+        // migrated tuples exactly as node 2 would have.
+        let mut survivor = node(1, 3);
+        let mut retiring = node(2, 3);
+        let mut out = LlhjOutput::new();
+        // Home tuples at both nodes, expeditions finished.
+        survivor.handle_left(LeftToRight::ArrivalR(r_tuple(1, 10, 1)), &mut out);
+        survivor.handle_right(RightToLeft::ExpeditionEndR(SeqNo(1)), &mut out);
+        retiring.handle_left(LeftToRight::ArrivalR(r_tuple(2, 20, 2)), &mut out);
+        retiring.handle_left(LeftToRight::ExpiryS(SeqNo(99)), &mut out); // no-op traffic
+        retiring.handle_right(RightToLeft::ExpeditionEndR(SeqNo(2)), &mut out);
+        retiring.handle_right(RightToLeft::ArrivalS(s_tuple(3, 30, 2)), &mut out);
+        out.clear();
+
+        let segment = retiring.export_segment();
+        assert_eq!(segment.wr.len(), 1);
+        assert_eq!(segment.ws.len(), 1);
+        assert_eq!(retiring.wr_len() + retiring.ws_len(), 0);
+        survivor.import_segment(segment);
+        survivor.set_position(1, 2);
+        survivor.check_invariants().unwrap();
+        assert_eq!(survivor.wr_len(), 2);
+        assert_eq!(survivor.ws_len(), 1);
+        assert!(survivor.is_rightmost());
+
+        // An S arrival traversing the shrunk pipeline matches both stored R
+        // tuples (the native one and the migrated one)...
+        survivor.handle_right(RightToLeft::ArrivalS(s_tuple(9, 10, 0)), &mut out);
+        assert_eq!(out.results.len(), 1);
+        out.clear();
+        survivor.handle_right(RightToLeft::ArrivalS(s_tuple(10, 20, 0)), &mut out);
+        assert_eq!(out.results.len(), 1);
+        out.clear();
+        // ...an R arrival matches the migrated stored S copy...
+        survivor.handle_left(LeftToRight::ArrivalR(r_tuple(11, 30, 0)), &mut out);
+        assert_eq!(out.results.len(), 1);
+        out.clear();
+        // ...and expiries find the migrated tuples at their new residence.
+        survivor.handle_right(RightToLeft::ExpiryR(SeqNo(2)), &mut out);
+        assert_eq!(survivor.wr_len(), 1);
+        survivor.handle_left(LeftToRight::ExpiryS(SeqNo(3)), &mut out);
+        assert_eq!(survivor.ws_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "IWS must be empty")]
+    fn export_refuses_unacknowledged_state() {
+        let mut n = node(2, 4);
+        let mut out = LlhjOutput::new();
+        // A fresh S tuple passing through is buffered in IWS until acked.
+        n.handle_right(RightToLeft::ArrivalS(s_tuple(0, 5, 0)), &mut out);
+        assert_eq!(n.iws_len(), 1);
+        let _ = n.export_segment();
     }
 
     #[test]

@@ -261,6 +261,75 @@ impl<T> LocalWindow<T> {
         self.entries.front().map(|e| &e.tuple)
     }
 
+    /// Removes every stored tuple, returning them in sequence order.  Used
+    /// by elastic reconfiguration to export a node's window segment; the
+    /// caller must have cleared all expedition flags first (the elastic
+    /// fence guarantees this).
+    pub fn drain_sorted(&mut self) -> Vec<StreamTuple<T>> {
+        assert_eq!(
+            self.in_expedition_count, 0,
+            "cannot export a window that still holds in-expedition tuples"
+        );
+        if let Some(index) = &mut self.index {
+            index.buckets.clear();
+        }
+        self.entries.drain(..).map(|e| e.tuple).collect()
+    }
+
+    /// Installs a migrated batch of tuples (sorted by sequence number, none
+    /// in expedition), interleaving it with the resident entries so the
+    /// window stays sorted.  The hash index, if any, absorbs the new
+    /// tuples.
+    ///
+    /// Sequence numbers must be disjoint from the resident ones: a tuple
+    /// rests on exactly one node, so a migration can never deliver a
+    /// duplicate.
+    pub fn merge_sorted(&mut self, incoming: Vec<StreamTuple<T>>) {
+        debug_assert!(
+            incoming.windows(2).all(|w| w[0].seq < w[1].seq),
+            "migrated tuples must arrive in increasing sequence order"
+        );
+        if incoming.is_empty() {
+            return;
+        }
+        if let Some(index) = &mut self.index {
+            for tuple in &incoming {
+                let key = (index.key_fn)(&tuple.payload);
+                index.buckets.entry(key).or_default().push(tuple.seq);
+            }
+        }
+        // Classic two-way merge of two sorted runs.
+        let resident: Vec<Entry<T>> = std::mem::take(&mut self.entries).into();
+        let mut resident = resident.into_iter().peekable();
+        let mut incoming = incoming.into_iter().peekable();
+        let mut merged = VecDeque::with_capacity(resident.len() + incoming.len());
+        loop {
+            match (resident.peek(), incoming.peek()) {
+                (Some(r), Some(i)) => {
+                    assert_ne!(
+                        r.tuple.seq, i.seq,
+                        "a migrated tuple already rests in this window"
+                    );
+                    if r.tuple.seq < i.seq {
+                        merged.push_back(resident.next().expect("peeked"));
+                    } else {
+                        merged.push_back(Entry {
+                            tuple: incoming.next().expect("peeked"),
+                            in_expedition: false,
+                        });
+                    }
+                }
+                (Some(_), None) => merged.push_back(resident.next().expect("peeked")),
+                (None, Some(_)) => merged.push_back(Entry {
+                    tuple: incoming.next().expect("peeked"),
+                    in_expedition: false,
+                }),
+                (None, None) => break,
+            }
+        }
+        self.entries = merged;
+    }
+
     /// Consistency check used by tests and debug assertions: the expedition
     /// counter matches the flags, sequence numbers are strictly increasing
     /// and every index bucket references stored tuples.
@@ -558,6 +627,62 @@ mod tests {
         assert_eq!(cmp, 2);
         assert_eq!(hits, 1);
         assert!(!w.has_index());
+    }
+
+    #[test]
+    fn drain_and_merge_interleave_and_keep_the_index_consistent() {
+        let key_fn: KeyFn<u64> = Arc::new(|v: &u64| *v % 4);
+        let mut donor = LocalWindow::with_index(Arc::clone(&key_fn));
+        let mut survivor = LocalWindow::with_index(key_fn);
+        // Round-robin-style interleaved homes: donor holds odd seqs,
+        // survivor even ones.
+        for i in 0..40u64 {
+            if i % 2 == 1 {
+                donor.insert(t(i, i), false);
+            } else {
+                survivor.insert(t(i, i), false);
+            }
+        }
+        let migrated = donor.drain_sorted();
+        assert!(donor.is_empty());
+        assert_eq!(migrated.len(), 20);
+        assert!(migrated.windows(2).all(|w| w[0].seq < w[1].seq));
+        survivor.merge_sorted(migrated);
+        assert_eq!(survivor.len(), 40);
+        survivor.check_invariants().unwrap();
+        // Lookups, probes and removals keep working on the merged window.
+        assert_eq!(survivor.get(SeqNo(13)).unwrap().payload, 13);
+        let mut hits = 0;
+        survivor.probe_matches(1, false, |_| true, |_| hits += 1);
+        assert_eq!(hits, 10);
+        assert!(survivor.remove(SeqNo(13)).is_some());
+        survivor.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn merge_into_empty_and_empty_into_full_are_noops_or_copies() {
+        let mut w = LocalWindow::new();
+        w.merge_sorted(vec![t(3, 3), t(7, 7)]);
+        assert_eq!(w.len(), 2);
+        w.merge_sorted(Vec::new());
+        assert_eq!(w.len(), 2);
+        w.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "in-expedition")]
+    fn drain_rejects_windows_with_live_expeditions() {
+        let mut w = LocalWindow::new();
+        w.insert(t(1, 1), true);
+        let _ = w.drain_sorted();
+    }
+
+    #[test]
+    #[should_panic(expected = "already rests in this window")]
+    fn merge_rejects_duplicate_residence() {
+        let mut w = LocalWindow::new();
+        w.insert(t(5, 5), false);
+        w.merge_sorted(vec![t(5, 5)]);
     }
 
     #[test]

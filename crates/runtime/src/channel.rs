@@ -124,6 +124,68 @@ impl std::fmt::Debug for WaitSet {
     }
 }
 
+/// A cooperative cancellation handle for long-running pipeline replays.
+///
+/// The driver's real-time pacing can sleep for arbitrarily long between
+/// schedule events (a silent stream, a long simulated gap).  Instead of
+/// `thread::sleep`, the driver parks on the token's [`WaitSet`] with the
+/// pacing gap as the timeout, so an external [`cancel`](CancelToken::cancel)
+/// interrupts the wait immediately: the run stops injecting, drains the
+/// pipeline and returns the partial outcome — it does not have to sleep
+/// out the gap first.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<std::sync::atomic::AtomicBool>,
+    signal: WaitSet,
+}
+
+impl CancelToken {
+    /// Creates an un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation and wakes every wait parked on the token.
+    /// Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, std::sync::atomic::Ordering::SeqCst);
+        self.signal.notify();
+    }
+
+    /// True once [`cancel`](CancelToken::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Parks until the deadline passes or the token is cancelled, whichever
+    /// comes first.  Returns `true` if the token was cancelled.
+    ///
+    /// The epoch snapshot is taken before the cancellation re-check, so a
+    /// `cancel` racing with the park is never lost (same discipline as the
+    /// worker wait loop).
+    pub fn wait_until(&self, deadline: std::time::Instant) -> bool {
+        loop {
+            let seen = self.signal.epoch();
+            if self.is_cancelled() {
+                return true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.signal.wait(seen, deadline - now);
+        }
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
 /// Why a receive attempt returned no frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TryRecvError {

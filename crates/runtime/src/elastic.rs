@@ -1,0 +1,1544 @@
+//! Elastic node-chain scaling: grow or shrink a live pipeline.
+//!
+//! [`crate::run_pipeline`] freezes the node count at construction time, so
+//! the paper's "sweep the core count" story (Section 6) can only be told by
+//! re-deploying.  This module makes the chain *elastic*: an
+//! [`ElasticPipeline`] owns the worker threads and channel wiring and can
+//! insert or retire join nodes **mid-run** without dropping or duplicating
+//! a single result.  The control path is the [`ScalePipeline`] trait:
+//! `grow(n)` / `shrink(n)` / `scale_to(n)`.
+//!
+//! ## The reconfiguration protocol
+//!
+//! Every resize runs the same three-phase protocol:
+//!
+//! 1. **Fence.**  The driver flushes its partial entry frames and stops
+//!    injecting, then waits for the global in-flight frame counter to reach
+//!    zero.  Because every emitted frame (forwards, acknowledgements,
+//!    expedition ends, expiries) is counted, a zero counter means the chain
+//!    is *quiescent*: no message anywhere.  For low-latency handshake join
+//!    quiescence implies settled state — all expedition flags cleared, all
+//!    `IWS` buffers empty — which the export path asserts.
+//! 2. **Handoff** (shrink only).  Retiring nodes hand their window
+//!    segments to the surviving side over the *existing* neighbour
+//!    channels, as [`llhj_core::message::Handoff`] frames: the rightmost
+//!    retiree exports and sends left; each inner retiree absorbs the
+//!    incoming segment, acknowledges it, merges it with its own state and
+//!    forwards the union left; the surviving boundary node installs the
+//!    final segment and acknowledges.  A retiree only exits after its ack
+//!    arrives, so a segment always rests on exactly one node — the
+//!    invariant LLHJ's matching rules need (a stored tuple is matched by
+//!    every traversing arrival and found by its traversing expiry message
+//!    wherever it rests).  Growth needs no handoff: new nodes start empty
+//!    and fill as the windows slide.
+//! 3. **Rewire.**  Worker threads receive renumbering and replacement
+//!    channel endpoints through per-worker command mailboxes (woken
+//!    through the same [`WaitSet`]s that deliver frames); new workers are
+//!    spawned, retired ones joined, and the driver's right entry channel
+//!    moves to the new rightmost node.  Once every worker confirms, the
+//!    driver resumes the schedule with an injector rebuilt for the new
+//!    node count.
+//!
+//! Old tuples keep resting where the reconfiguration left them; the
+//! windows rebalance naturally as old tuples expire and new arrivals are
+//! homed across the new chain.  Punctuation safety is untouched: high-water
+//! marks only advance, no result is produced while fenced, and a result
+//! joining an old stored tuple carries the *later* timestamp of the pair.
+//!
+//! ## When to scale vs. when to batch
+//!
+//! `batch_size` buys per-message efficiency on a fixed chain and acts
+//! within microseconds; scaling changes aggregate scan capacity (windows
+//! per node) and costs one fence (typically well under a millisecond plus
+//! the drain time of in-flight frames).  Chase sustained rate changes with
+//! the chain length, absorb short bursts with batching — the
+//! `bench_elastic` binary measures exactly this trade-off.
+
+use crate::channel::{bounded, unbounded, Receiver, Sender, WaitSet};
+use crate::options::{Pacing, PipelineOptions};
+use crate::pipeline::{send_frame, InFlight, StreamClock, WORKER_PARK};
+use llhj_core::driver::{DriverSchedule, Injector, StreamEvent};
+use llhj_core::homing::HomePolicy;
+use llhj_core::message::{Handoff, LeftToRight, MessageBatch, NodeOutput, RightToLeft};
+use llhj_core::node::PipelineNode;
+use llhj_core::predicate::JoinPredicate;
+use llhj_core::punctuation::{HighWaterMarks, OutputItem, Punctuation};
+use llhj_core::result::{ResultTuple, TimedResult};
+use llhj_core::stats::{LatencyPoint, LatencySeries, LatencySummary, NodeCounters};
+use llhj_core::time::Timestamp;
+use llhj_core::tuple::SeqNo;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long the control plane waits for a single protocol step (a worker
+/// confirmation or a retiring worker's exit) before declaring the fence
+/// protocol wedged.  Generous: steps complete in microseconds.
+const PROTOCOL_STEP_TIMEOUT: Duration = Duration::from_secs(30);
+
+type Frame<R, S> = MessageBatch<R, S>;
+
+/// A freshly created link: the sender half plus the (not yet handed out)
+/// receiver half.
+type NewLink<R, S> = (Sender<Frame<R, S>>, Option<Receiver<Frame<R, S>>>);
+
+/// Builds one pipeline node for position `id` of `nodes`.  The elastic
+/// pipeline re-invokes the factory whenever growth adds nodes.
+pub type NodeFactory<R, S> = Arc<dyn Fn(usize, usize) -> Box<dyn PipelineNode<R, S>> + Send + Sync>;
+
+/// A [`NodeFactory`] producing plain low-latency handshake join nodes.
+pub fn llhj_factory<R, S, P>(predicate: P) -> NodeFactory<R, S>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+{
+    Arc::new(move |id, nodes| {
+        Box::new(llhj_core::node_llhj::LlhjNode::new(
+            id,
+            nodes,
+            predicate.clone(),
+        ))
+    })
+}
+
+/// A [`NodeFactory`] producing hash-indexed low-latency handshake join
+/// nodes (requires a predicate exposing equi-keys).
+pub fn llhj_indexed_factory<R, S, P>(predicate: P) -> NodeFactory<R, S>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+{
+    Arc::new(move |id, nodes| {
+        Box::new(llhj_core::node_llhj::LlhjNode::with_index(
+            id,
+            nodes,
+            predicate.clone(),
+        ))
+    })
+}
+
+/// The elastic control path: resize a live pipeline.
+///
+/// Every method fences the pipeline (drains all in-flight frames), runs
+/// the state-handoff protocol if nodes retire, rewires the chain and
+/// resumes.  Calls are synchronous: when they return, the pipeline is
+/// processing again at the new width.
+pub trait ScalePipeline {
+    /// Inserts `delta` nodes at the right end of the chain.
+    fn grow(&mut self, delta: usize);
+    /// Retires the `delta` rightmost nodes, migrating their window state
+    /// into the surviving chain.
+    fn shrink(&mut self, delta: usize);
+    /// Resizes to exactly `target` nodes (≥ 1).
+    fn scale_to(&mut self, target: usize);
+}
+
+/// One entry of a [`ScalePlan`]: after `after_events` schedule events have
+/// been injected, resize the pipeline to `target_nodes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleStep {
+    /// Number of schedule events (arrivals *and* expiries) to inject
+    /// before this resize fires.
+    pub after_events: usize,
+    /// The pipeline width to resize to.
+    pub target_nodes: usize,
+}
+
+/// A schedule-driven resize plan for [`run_elastic_pipeline`].
+#[derive(Debug, Clone, Default)]
+pub struct ScalePlan {
+    steps: Vec<ScaleStep>,
+}
+
+impl ScalePlan {
+    /// A plan with no resizes.
+    pub fn none() -> Self {
+        ScalePlan::default()
+    }
+
+    /// Builds a plan from steps; they are sorted by event index.
+    pub fn new(mut steps: Vec<ScaleStep>) -> Self {
+        steps.sort_by_key(|s| s.after_events);
+        ScalePlan { steps }
+    }
+
+    /// The ordered steps.
+    pub fn steps(&self) -> &[ScaleStep] {
+        &self.steps
+    }
+}
+
+/// One completed reconfiguration, for the outcome's resize log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResizeEvent {
+    /// Stream time at which the fence completed.
+    pub at: Timestamp,
+    /// Chain width before the resize.
+    pub from_nodes: usize,
+    /// Chain width after the resize.
+    pub to_nodes: usize,
+    /// Window tuples migrated between neighbours (0 for growth).
+    pub migrated_tuples: usize,
+    /// Wall-clock duration of the whole reconfiguration (fence, handoff,
+    /// rewire).
+    pub fence_wall_micros: u64,
+}
+
+/// Everything measured during one elastic run.
+#[derive(Debug)]
+pub struct ElasticOutcome<R, S> {
+    /// All produced results, in collection order.
+    pub results: Vec<TimedResult<R, S>>,
+    /// The punctuated output stream (empty unless `punctuate` was set).
+    pub output: Vec<OutputItem<TimedResult<R, S>>>,
+    /// Work counters of the nodes alive at shutdown, indexed by node id.
+    pub counters: Vec<NodeCounters>,
+    /// Work counters of nodes retired by shrink operations, in retirement
+    /// order.
+    pub retired_counters: Vec<NodeCounters>,
+    /// Latency statistics (meaningful only for paced runs).
+    pub latency: LatencySummary,
+    /// Latency time series.
+    pub latency_series: Vec<LatencyPoint>,
+    /// Wall-clock time the run took.
+    pub elapsed: Duration,
+    /// Number of punctuations emitted.
+    pub punctuation_count: u64,
+    /// Number of R/S arrivals injected.
+    pub arrivals_per_stream: (usize, usize),
+    /// Number of frames the driver injected into the pipeline ends.
+    pub frames_injected: u64,
+    /// Idle wake-ups accumulated across all workers (alive and retired).
+    pub idle_wakeups: u64,
+    /// Every reconfiguration the pipeline went through, in order.
+    pub resize_log: Vec<ResizeEvent>,
+    /// Final chain width.
+    pub nodes: usize,
+    /// True if the run was interrupted by [`PipelineOptions::cancel`].
+    pub cancelled: bool,
+}
+
+impl<R, S> ElasticOutcome<R, S> {
+    /// Sorted `(r_seq, s_seq)` result keys for comparison with the oracle.
+    pub fn result_keys(&self) -> Vec<(SeqNo, SeqNo)> {
+        let mut keys: Vec<_> = self.results.iter().map(|t| t.result.key()).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Total predicate evaluations across all workers, retired included.
+    pub fn total_comparisons(&self) -> u64 {
+        self.counters
+            .iter()
+            .chain(self.retired_counters.iter())
+            .map(|c| c.comparisons)
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// Control messages the pipeline sends to a worker through its mailbox.
+/// Commands only travel while the pipeline is fenced.
+enum WorkerCommand<R, S> {
+    /// Renumber the node and (optionally) replace channel endpoints.
+    Rewire {
+        id: usize,
+        nodes: usize,
+        left_rx: Option<Receiver<Frame<R, S>>>,
+        right_rx: Option<Receiver<Frame<R, S>>>,
+        /// Outer `None` keeps the current sender, `Some(x)` replaces it
+        /// with `x` (which may itself be `None`: the node became an end).
+        to_left: Option<Option<Sender<Frame<R, S>>>>,
+        to_right: Option<Option<Sender<Frame<R, S>>>>,
+        done: Sender<ScaleConfirm>,
+    },
+    /// Absorb one migrated segment from the right input, ack it, confirm.
+    Absorb {
+        stall: Option<Duration>,
+        done: Sender<ScaleConfirm>,
+    },
+    /// Export local state, hand it to the left neighbour, await the ack,
+    /// exit the thread.
+    Retire {
+        absorb_first: bool,
+        stall: Option<Duration>,
+    },
+}
+
+/// A worker's confirmation that it executed a scale command.
+struct ScaleConfirm {
+    migrated_tuples: usize,
+}
+
+/// Shared context every worker holds.
+struct WorkerShared<R, S> {
+    hwm: Arc<HighWaterMarks>,
+    clock: Arc<StreamClock>,
+    stop: Arc<AtomicBool>,
+    in_flight: Arc<InFlight>,
+    results: Sender<TimedResult<R, S>>,
+}
+
+struct Worker<R, S> {
+    id: usize,
+    nodes: usize,
+    node: Box<dyn PipelineNode<R, S>>,
+    left_rx: Receiver<Frame<R, S>>,
+    right_rx: Receiver<Frame<R, S>>,
+    to_left: Option<Sender<Frame<R, S>>>,
+    to_right: Option<Sender<Frame<R, S>>>,
+    cmd_rx: Receiver<WorkerCommand<R, S>>,
+    waitset: WaitSet,
+    shared: WorkerShared<R, S>,
+    /// A handoff segment that arrived before this worker processed its
+    /// `Absorb`/`Retire` command (neighbour ran ahead); consumed by the
+    /// command when it executes.
+    pending_segment: Option<Handoff<R, S>>,
+    idle_wakeups: u64,
+}
+
+/// What a worker reports when its thread exits.
+struct WorkerExit {
+    counters: NodeCounters,
+    idle_wakeups: u64,
+}
+
+impl<R, S> Worker<R, S>
+where
+    R: Clone + Send,
+    S: Clone + Send,
+{
+    fn run(mut self) -> WorkerExit {
+        let mut out: NodeOutput<R, S, ResultTuple<R, S>> = NodeOutput::new();
+        let mut poll_left_first = true;
+        loop {
+            // Epoch snapshot before polling (commands included): anything
+            // landing between the polls and the park bumps the epoch first,
+            // so the wait returns immediately — no lost wake-ups.
+            let seen = self.waitset.epoch();
+            if let Ok(cmd) = self.cmd_rx.try_recv() {
+                if self.execute(cmd) {
+                    break;
+                }
+                continue;
+            }
+            let frame = if poll_left_first {
+                self.left_rx
+                    .try_recv()
+                    .or_else(|_| self.right_rx.try_recv())
+            } else {
+                self.right_rx
+                    .try_recv()
+                    .or_else(|_| self.left_rx.try_recv())
+            };
+            poll_left_first = !poll_left_first;
+            match frame {
+                Ok(frame) => self.handle_frame(frame, &mut out),
+                Err(_) => {
+                    if self.shared.stop.load(Ordering::SeqCst)
+                        && self.left_rx.is_empty()
+                        && self.right_rx.is_empty()
+                        && self.cmd_rx.is_empty()
+                    {
+                        break;
+                    }
+                    if !self.waitset.wait(seen, WORKER_PARK) {
+                        self.idle_wakeups += 1;
+                    }
+                }
+            }
+        }
+        WorkerExit {
+            counters: self.node.node_counters(),
+            idle_wakeups: self.idle_wakeups,
+        }
+    }
+
+    /// Processes one data frame exactly like the fixed runtime's worker
+    /// loop; a handoff frame overtaking its command is stashed instead.
+    fn handle_frame(&mut self, frame: Frame<R, S>, out: &mut NodeOutput<R, S, ResultTuple<R, S>>) {
+        if let MessageBatch::Handoff(handoff) = frame {
+            // The neighbour's migration ran ahead of this worker's own
+            // command; park the segment for the command to consume.  Not
+            // part of the in-flight accounting, so nothing to finish.
+            assert!(
+                self.pending_segment.is_none(),
+                "node {}: second handoff segment before the first was absorbed",
+                self.id
+            );
+            assert!(
+                matches!(handoff, Handoff::Segment { .. }),
+                "node {}: handoff ack arrived outside a retire wait",
+                self.id
+            );
+            self.pending_segment = Some(handoff);
+            return;
+        }
+        let is_leftmost = self.id == 0;
+        let is_rightmost = self.id + 1 == self.nodes;
+        self.node.observe_time(self.shared.clock.now());
+        out.clear();
+        match frame {
+            MessageBatch::Left(msgs) => {
+                let end_ts = if is_rightmost {
+                    msgs.iter().rev().find_map(|m| match m {
+                        LeftToRight::ArrivalR(r) => Some(r.ts()),
+                        _ => None,
+                    })
+                } else {
+                    None
+                };
+                self.node.handle_left_batch(msgs, out);
+                if let Some(ts) = end_ts {
+                    self.shared.hwm.observe_r(ts);
+                }
+            }
+            MessageBatch::Right(msgs) => {
+                let end_ts = if is_leftmost {
+                    msgs.iter().rev().find_map(|m| match m {
+                        RightToLeft::ArrivalS(s) => Some(s.ts()),
+                        _ => None,
+                    })
+                } else {
+                    None
+                };
+                self.node.handle_right_batch(msgs, out);
+                if let Some(ts) = end_ts {
+                    self.shared.hwm.observe_s(ts);
+                }
+            }
+            MessageBatch::Handoff(_) => unreachable!("stashed above"),
+        }
+        if !out.to_right.is_empty() {
+            if let Some(tx) = &self.to_right {
+                let msgs = std::mem::take(&mut out.to_right);
+                send_frame(tx, MessageBatch::Left(msgs), &self.shared.in_flight);
+            } else {
+                out.to_right.clear();
+            }
+        }
+        if !out.to_left.is_empty() {
+            if let Some(tx) = &self.to_left {
+                let msgs = std::mem::take(&mut out.to_left);
+                send_frame(tx, MessageBatch::Right(msgs), &self.shared.in_flight);
+            } else {
+                out.to_left.clear();
+            }
+        }
+        if !out.results.is_empty() {
+            let detected_at = self.shared.clock.now();
+            for result in out.results.drain(..) {
+                let _ = self
+                    .shared
+                    .results
+                    .send(TimedResult::new(result, detected_at));
+            }
+        }
+        self.shared.in_flight.finish();
+    }
+
+    /// Executes one scale command.  Returns `true` if the worker retires.
+    fn execute(&mut self, cmd: WorkerCommand<R, S>) -> bool {
+        match cmd {
+            WorkerCommand::Rewire {
+                id,
+                nodes,
+                left_rx,
+                right_rx,
+                to_left,
+                to_right,
+                done,
+            } => {
+                self.id = id;
+                self.nodes = nodes;
+                self.node.set_position(id, nodes);
+                if let Some(rx) = left_rx {
+                    self.left_rx = rx;
+                }
+                if let Some(rx) = right_rx {
+                    self.right_rx = rx;
+                }
+                if let Some(tx) = to_left {
+                    self.to_left = tx;
+                }
+                if let Some(tx) = to_right {
+                    self.to_right = tx;
+                }
+                let _ = done.send(ScaleConfirm { migrated_tuples: 0 });
+                false
+            }
+            WorkerCommand::Absorb { stall, done } => {
+                let migrated = self.absorb_segment(stall);
+                let _ = done.send(ScaleConfirm {
+                    migrated_tuples: migrated,
+                });
+                false
+            }
+            WorkerCommand::Retire {
+                absorb_first,
+                stall,
+            } => {
+                if absorb_first {
+                    self.absorb_segment(stall);
+                }
+                let segment = self.node.export_segment();
+                let to_left = self
+                    .to_left
+                    .as_ref()
+                    .expect("a retiring node always has a left neighbour");
+                let frame = MessageBatch::Handoff(Handoff::Segment {
+                    from: self.id,
+                    segment,
+                });
+                assert!(
+                    to_left.send(frame).is_ok(),
+                    "node {}: segment handoff failed — left neighbour gone",
+                    self.id
+                );
+                self.await_ack_from_left();
+                true
+            }
+        }
+    }
+
+    /// Receives one migrated segment from the right input (or takes the
+    /// stashed one), installs it and acknowledges to the right.  Returns
+    /// the number of migrated tuples.
+    fn absorb_segment(&mut self, stall: Option<Duration>) -> usize {
+        let handoff = match self.pending_segment.take() {
+            Some(h) => h,
+            None => self.recv_handoff(false),
+        };
+        let Handoff::Segment { from, segment } = handoff else {
+            unreachable!("ack filtered by recv_handoff / stash assertion");
+        };
+        if let Some(stall) = stall {
+            // Test instrumentation: widen the handoff window so teardown
+            // tests can deterministically land a shutdown inside it.
+            std::thread::sleep(stall);
+        }
+        let migrated = segment.len();
+        self.node.import_segment(segment);
+        let to_right = self
+            .to_right
+            .as_ref()
+            .expect("an absorbing node has the retiring neighbour to its right");
+        let _ = to_right.send(MessageBatch::Handoff(Handoff::Ack { to: from }));
+        migrated
+    }
+
+    /// Blocks until the left neighbour acknowledges the segment this node
+    /// handed over.
+    fn await_ack_from_left(&mut self) {
+        match self.recv_handoff(true) {
+            Handoff::Ack { to } => {
+                debug_assert_eq!(to, self.id, "ack routed to the wrong node");
+            }
+            Handoff::Segment { .. } => {
+                unreachable!("a retiring node that already exported cannot absorb")
+            }
+        }
+    }
+
+    /// Blocks (through the wait set) until a handoff frame arrives on the
+    /// left (`from_left`) or right input.  Only valid while fenced: any
+    /// data frame here is a protocol violation.
+    fn recv_handoff(&mut self, from_left: bool) -> Handoff<R, S> {
+        loop {
+            let seen = self.waitset.epoch();
+            let rx = if from_left {
+                &self.left_rx
+            } else {
+                &self.right_rx
+            };
+            match rx.try_recv() {
+                Ok(MessageBatch::Handoff(handoff)) => return handoff,
+                Ok(_) => unreachable!("node {}: data frame during a fenced migration", self.id),
+                Err(_) => {
+                    self.waitset.wait(seen, WORKER_PARK);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Control side
+// ---------------------------------------------------------------------------
+
+struct WorkerHandle<R, S> {
+    handle: JoinHandle<WorkerExit>,
+    cmd_tx: Sender<WorkerCommand<R, S>>,
+    waitset: WaitSet,
+}
+
+struct CollectorOutcome<R, S> {
+    results: Vec<TimedResult<R, S>>,
+    output: Vec<OutputItem<TimedResult<R, S>>>,
+    latency: LatencySummary,
+    series: LatencySeries,
+    punctuation_count: u64,
+}
+
+/// One direction's entry-frame assembly state on the driver side.
+struct EntryBuffer<M> {
+    pending: Vec<M>,
+    arrivals: usize,
+    started_at: Option<Timestamp>,
+}
+
+impl<M> EntryBuffer<M> {
+    fn new() -> Self {
+        EntryBuffer {
+            pending: Vec::new(),
+            arrivals: 0,
+            started_at: None,
+        }
+    }
+
+    fn push(&mut self, msg: M, at: Timestamp) {
+        if self.pending.is_empty() {
+            self.started_at = Some(at);
+        }
+        self.pending.push(msg);
+    }
+
+    fn push_arrival(&mut self, msg: M, at: Timestamp) {
+        self.push(msg, at);
+        self.arrivals += 1;
+    }
+
+    fn take(&mut self) -> Vec<M> {
+        self.arrivals = 0;
+        self.started_at = None;
+        std::mem::take(&mut self.pending)
+    }
+
+    fn older_than(&self, now: Timestamp, interval: llhj_core::time::TimeDelta) -> bool {
+        self.started_at
+            .is_some_and(|s| now.saturating_since(s) >= interval)
+    }
+}
+
+/// A live, resizable handshake-join pipeline.
+///
+/// Unlike [`crate::run_pipeline`] (fixed chain, scoped threads), the
+/// elastic pipeline owns its workers and wiring behind a handle, so the
+/// chain can be resized between schedule events via [`ScalePipeline`].
+/// Use [`run_elastic_pipeline`] for the common replay-with-plan case, or
+/// drive [`ElasticPipeline::run_schedule`] / [`ScalePipeline::scale_to`] /
+/// [`ElasticPipeline::finish`] directly.
+pub struct ElasticPipeline<R, S, P, H>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    predicate: P,
+    policy: H,
+    factory: NodeFactory<R, S>,
+    options: PipelineOptions,
+    workers: Vec<WorkerHandle<R, S>>,
+    left_tx: Sender<Frame<R, S>>,
+    right_tx: Sender<Frame<R, S>>,
+    in_flight: Arc<InFlight>,
+    clock: Arc<StreamClock>,
+    stop: Arc<AtomicBool>,
+    stop_signal: WaitSet,
+    hwm: Arc<HighWaterMarks>,
+    result_tx: Option<Sender<TimedResult<R, S>>>,
+    collector: Option<JoinHandle<CollectorOutcome<R, S>>>,
+    injector: Injector<R, S, P, H>,
+    left_buf: EntryBuffer<LeftToRight<R>>,
+    right_buf: EntryBuffer<RightToLeft<S>>,
+    frames_injected: u64,
+    started: Instant,
+    resize_log: Vec<ResizeEvent>,
+    retired_counters: Vec<NodeCounters>,
+    retired_idle_wakeups: u64,
+    migration_stall: Option<Duration>,
+    seen_r: usize,
+    seen_s: usize,
+    cancelled: bool,
+}
+
+impl<R, S, P, H> ElasticPipeline<R, S, P, H>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    /// Deploys an elastic pipeline of `initial_nodes` nodes built by
+    /// `factory`.  Every node the factory produces must support state
+    /// migration ([`PipelineNode::supports_migration`]).
+    pub fn new(
+        initial_nodes: usize,
+        factory: NodeFactory<R, S>,
+        predicate: P,
+        policy: H,
+        options: PipelineOptions,
+    ) -> Self {
+        assert!(initial_nodes > 0, "pipeline needs at least one node");
+        options
+            .validate()
+            .unwrap_or_else(|err| panic!("invalid PipelineOptions: {err}"));
+
+        let in_flight = Arc::new(InFlight::new());
+        let clock = Arc::new(StreamClock::new(options.pacing));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_signal = WaitSet::new();
+        let hwm = HighWaterMarks::new();
+        let (result_tx, result_rx) = unbounded();
+
+        // Channel chain, exactly as in the fixed runtime: bounded entry
+        // channels (driver backpressure), unbounded inner links (two
+        // neighbours may send to each other simultaneously).
+        let n = initial_nodes;
+        let mut ltr_tx: Vec<Option<Sender<Frame<R, S>>>> = Vec::with_capacity(n);
+        let mut ltr_rx: Vec<Option<Receiver<Frame<R, S>>>> = Vec::with_capacity(n);
+        let mut rtl_tx: Vec<Option<Sender<Frame<R, S>>>> = Vec::with_capacity(n);
+        let mut rtl_rx: Vec<Option<Receiver<Frame<R, S>>>> = Vec::with_capacity(n);
+        for k in 0..n {
+            let (tx, rx) = if k == 0 {
+                bounded(options.channel_capacity)
+            } else {
+                unbounded()
+            };
+            ltr_tx.push(Some(tx));
+            ltr_rx.push(Some(rx));
+            let (tx, rx) = if k == n - 1 {
+                bounded(options.channel_capacity)
+            } else {
+                unbounded()
+            };
+            rtl_tx.push(Some(tx));
+            rtl_rx.push(Some(rx));
+        }
+        let left_tx = ltr_tx[0].take().expect("entry channel");
+        let right_tx = rtl_tx[n - 1].take().expect("entry channel");
+
+        let mut pipeline = ElasticPipeline {
+            predicate: predicate.clone(),
+            policy: policy.clone(),
+            factory,
+            workers: Vec::with_capacity(n),
+            left_tx,
+            right_tx,
+            in_flight,
+            clock,
+            stop,
+            stop_signal,
+            hwm,
+            result_tx: Some(result_tx),
+            collector: None,
+            injector: Injector::new(predicate, policy, n),
+            left_buf: EntryBuffer::new(),
+            right_buf: EntryBuffer::new(),
+            frames_injected: 0,
+            started: Instant::now(),
+            resize_log: Vec::new(),
+            retired_counters: Vec::new(),
+            retired_idle_wakeups: 0,
+            migration_stall: None,
+            seen_r: 0,
+            seen_s: 0,
+            cancelled: false,
+            options,
+        };
+
+        for k in 0..n {
+            let left_rx = ltr_rx[k].take().expect("left input");
+            let right_rx = rtl_rx[k].take().expect("right input");
+            let to_right = if k + 1 < n {
+                ltr_tx[k + 1].take()
+            } else {
+                None
+            };
+            let to_left = if k > 0 { rtl_tx[k - 1].take() } else { None };
+            let handle = pipeline.spawn_worker(k, n, left_rx, right_rx, to_left, to_right);
+            pipeline.workers.push(handle);
+        }
+        pipeline.spawn_collector(result_rx);
+        pipeline
+    }
+
+    /// Current chain width.
+    pub fn nodes(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The resize log so far.
+    pub fn resize_log(&self) -> &[ResizeEvent] {
+        &self.resize_log
+    }
+
+    /// Test instrumentation: stalls every segment absorption by `stall`,
+    /// widening the handoff window so teardown tests can deterministically
+    /// overlap a shutdown with an in-flight migration.
+    pub fn set_migration_stall(&mut self, stall: Duration) {
+        self.migration_stall = Some(stall);
+    }
+
+    fn spawn_worker(
+        &self,
+        id: usize,
+        nodes: usize,
+        left_rx: Receiver<Frame<R, S>>,
+        right_rx: Receiver<Frame<R, S>>,
+        to_left: Option<Sender<Frame<R, S>>>,
+        to_right: Option<Sender<Frame<R, S>>>,
+    ) -> WorkerHandle<R, S> {
+        let node = (self.factory)(id, nodes);
+        assert!(
+            node.supports_migration(),
+            "elastic pipelines require nodes that support state migration \
+             (node {id} does not)"
+        );
+        let waitset = WaitSet::new();
+        left_rx.set_waiter(&waitset);
+        right_rx.set_waiter(&waitset);
+        let (cmd_tx, cmd_rx) = unbounded();
+        cmd_rx.set_waiter(&waitset);
+        let worker = Worker {
+            id,
+            nodes,
+            node,
+            left_rx,
+            right_rx,
+            to_left,
+            to_right,
+            cmd_rx,
+            waitset: waitset.clone(),
+            shared: WorkerShared {
+                hwm: Arc::clone(&self.hwm),
+                clock: Arc::clone(&self.clock),
+                stop: Arc::clone(&self.stop),
+                in_flight: Arc::clone(&self.in_flight),
+                results: self
+                    .result_tx
+                    .as_ref()
+                    .expect("workers spawn before finish")
+                    .clone(),
+            },
+            pending_segment: None,
+            idle_wakeups: 0,
+        };
+        WorkerHandle {
+            handle: std::thread::spawn(move || worker.run()),
+            cmd_tx,
+            waitset,
+        }
+    }
+
+    fn spawn_collector(&mut self, receivers: Receiver<TimedResult<R, S>>) {
+        let stop = Arc::clone(&self.stop);
+        let stop_signal = self.stop_signal.clone();
+        let hwm = Arc::clone(&self.hwm);
+        let punctuate = self.options.punctuate;
+        let interval = self.options.collect_interval;
+        let bucket = self.options.latency_bucket;
+        self.collector = Some(std::thread::spawn(move || {
+            let mut outcome = CollectorOutcome {
+                results: Vec::new(),
+                output: Vec::new(),
+                latency: LatencySummary::new(),
+                series: LatencySeries::new(bucket),
+                punctuation_count: 0,
+            };
+            loop {
+                let seen = stop_signal.epoch();
+                let stopping = stop.load(Ordering::SeqCst);
+                // Read the high-water marks before vacuuming, as in the
+                // fixed runtime (Section 6.1.3 step 1).
+                let safe = hwm.safe_punctuation();
+                let mut drained_any = false;
+                while let Ok(timed) = receivers.try_recv() {
+                    drained_any = true;
+                    outcome.latency.record(timed.latency());
+                    outcome.series.record(timed.detected_at, timed.latency());
+                    if punctuate {
+                        outcome.output.push(OutputItem::Result(timed.clone()));
+                    }
+                    outcome.results.push(timed);
+                }
+                if punctuate && drained_any {
+                    outcome
+                        .output
+                        .push(OutputItem::Punctuation(Punctuation { ts: safe }));
+                    outcome.punctuation_count += 1;
+                }
+                if stopping && !drained_any {
+                    break;
+                }
+                stop_signal.wait(seen, interval);
+            }
+            outcome
+        }));
+    }
+
+    // -- driver-side entry batching -------------------------------------
+
+    fn flush_left(&mut self) {
+        if self.left_buf.pending.is_empty() {
+            return;
+        }
+        let msgs = self.left_buf.take();
+        send_frame(&self.left_tx, MessageBatch::Left(msgs), &self.in_flight);
+        self.frames_injected += 1;
+    }
+
+    fn flush_right(&mut self) {
+        if self.right_buf.pending.is_empty() {
+            return;
+        }
+        let msgs = self.right_buf.take();
+        send_frame(&self.right_tx, MessageBatch::Right(msgs), &self.in_flight);
+        self.frames_injected += 1;
+    }
+
+    fn flush_both(&mut self) {
+        self.flush_left();
+        self.flush_right();
+    }
+
+    /// Injects one driver event, applying `batch_size` / `flush_interval`
+    /// exactly like the fixed runtime's driver.
+    fn inject(
+        &mut self,
+        event: &llhj_core::driver::DriverEvent<R, S>,
+        schedule_r: usize,
+        schedule_s: usize,
+    ) {
+        self.clock.note_injection(event.at);
+        if let Some(interval) = self.options.flush_interval {
+            if self.left_buf.older_than(event.at, interval) {
+                self.flush_left();
+            }
+            if self.right_buf.older_than(event.at, interval) {
+                self.flush_right();
+            }
+        }
+        match &event.event {
+            StreamEvent::ArrivalR(r) => {
+                self.left_buf
+                    .push_arrival(self.injector.inject_r(r.clone()), event.at);
+                self.seen_r += 1;
+                if self.left_buf.arrivals >= self.options.batch_size || self.seen_r == schedule_r {
+                    self.flush_left();
+                }
+            }
+            StreamEvent::ExpireS(seq) => {
+                self.left_buf.push(LeftToRight::ExpiryS(*seq), event.at);
+            }
+            StreamEvent::ArrivalS(s) => {
+                self.right_buf
+                    .push_arrival(self.injector.inject_s(s.clone()), event.at);
+                self.seen_s += 1;
+                if self.right_buf.arrivals >= self.options.batch_size || self.seen_s == schedule_s {
+                    self.flush_right();
+                }
+            }
+            StreamEvent::ExpireR(seq) => {
+                self.right_buf.push(RightToLeft::ExpiryR(*seq), event.at);
+            }
+        }
+    }
+
+    /// Real-time pacing wait before injecting an event scheduled at `at`.
+    /// Returns `true` if the wait was cancelled.
+    ///
+    /// With a `flush_interval` configured the wait is sliced at half the
+    /// interval of wall time: the fixed runtime bounds a partial entry
+    /// frame's wait with a dedicated timer thread, but the elastic driver
+    /// owns its entry buffers, so it plays that role itself — a stream
+    /// that goes silent mid-run still cannot hold an assembled frame
+    /// beyond the interval.
+    fn pace_until(&mut self, at: Timestamp, cancel: &crate::channel::CancelToken) -> bool {
+        if !matches!(self.options.pacing, Pacing::RealTime { .. }) {
+            return false;
+        }
+        let target = self
+            .options
+            .stream_to_wall(at.saturating_since(Timestamp::ZERO));
+        let deadline = self.started + target;
+        let slice = self
+            .options
+            .flush_interval
+            .map(|i| (self.options.stream_to_wall(i) / 2).max(Duration::from_micros(50)));
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let wake = match slice {
+                Some(slice) => deadline.min(now + slice),
+                None => deadline,
+            };
+            if cancel.wait_until(wake) {
+                return true;
+            }
+            if let Some(interval) = self.options.flush_interval {
+                let now_ts = self.clock.now();
+                if self.left_buf.older_than(now_ts, interval) {
+                    self.flush_left();
+                }
+                if self.right_buf.older_than(now_ts, interval) {
+                    self.flush_right();
+                }
+            }
+        }
+    }
+
+    /// Replays a driver schedule against the live pipeline, firing the
+    /// plan's resizes at their event indexes.  Returns `true` if the
+    /// replay was cancelled.  Call once per pipeline; then [`Self::finish`].
+    pub fn run_schedule(&mut self, schedule: &DriverSchedule<R, S>, plan: &ScalePlan) -> bool {
+        let cancel = self.options.cancel.clone().unwrap_or_default();
+        let mut steps = plan.steps().iter().peekable();
+        for (idx, event) in schedule.events().iter().enumerate() {
+            while let Some(step) = steps.next_if(|s| s.after_events <= idx) {
+                let target = step.target_nodes;
+                self.scale_to(target);
+            }
+            if cancel.is_cancelled() || self.pace_until(event.at, &cancel) {
+                self.cancelled = true;
+                break;
+            }
+            self.inject(event, schedule.r_count(), schedule.s_count());
+        }
+        // Trailing resizes (plan points at or past the schedule end) still
+        // run: a conformance sweep may place a resize on the very last
+        // event.
+        if !self.cancelled {
+            let remaining: Vec<ScaleStep> = steps.copied().collect();
+            for step in remaining {
+                self.scale_to(step.target_nodes);
+            }
+        }
+        self.flush_both();
+        self.cancelled
+    }
+
+    // -- the reconfiguration protocol ------------------------------------
+
+    /// Fences the pipeline: flushes partial entry frames, then waits until
+    /// no frame is in flight anywhere in the chain.
+    fn fence(&mut self) {
+        self.flush_both();
+        self.in_flight.wait_for_quiescence();
+    }
+
+    fn confirm(&self, done_rx: &Receiver<ScaleConfirm>, expected: usize, what: &str) -> usize {
+        let mut migrated = 0;
+        for _ in 0..expected {
+            match done_rx.recv_timeout(PROTOCOL_STEP_TIMEOUT) {
+                Ok(c) => migrated += c.migrated_tuples,
+                Err(_) => panic!("fence protocol stalled waiting for {what}"),
+            }
+        }
+        migrated
+    }
+
+    fn shrink_to(&mut self, target: usize) -> usize {
+        let current = self.nodes();
+        let (done_tx, done_rx) = unbounded();
+        let stall = self.migration_stall;
+
+        // Retiring workers, rightmost first: each exports (after absorbing
+        // its right neighbour's segment) and hands the union left.
+        let retiring: Vec<WorkerHandle<R, S>> = self.workers.split_off(target);
+        for (offset, handle) in retiring.iter().enumerate().rev() {
+            let k = target + offset;
+            let _ = handle.cmd_tx.send(WorkerCommand::Retire {
+                absorb_first: k + 1 < current,
+                stall,
+            });
+        }
+
+        // The surviving boundary node absorbs the final segment, then
+        // becomes the new rightmost: its right input switches to a fresh
+        // driver entry channel and its right output disappears.
+        let boundary = &self.workers[target - 1];
+        let (new_right_tx, new_right_rx) = bounded(self.options.channel_capacity);
+        new_right_rx.set_waiter(&boundary.waitset);
+        let _ = boundary.cmd_tx.send(WorkerCommand::Absorb {
+            stall,
+            done: done_tx.clone(),
+        });
+        let _ = boundary.cmd_tx.send(WorkerCommand::Rewire {
+            id: target - 1,
+            nodes: target,
+            left_rx: None,
+            right_rx: Some(new_right_rx),
+            to_left: None,
+            to_right: Some(None),
+            done: done_tx.clone(),
+        });
+        for (k, handle) in self.workers.iter().enumerate().take(target - 1) {
+            let _ = handle.cmd_tx.send(WorkerCommand::Rewire {
+                id: k,
+                nodes: target,
+                left_rx: None,
+                right_rx: None,
+                to_left: None,
+                to_right: None,
+                done: done_tx.clone(),
+            });
+        }
+
+        // Retiring workers exit once their segments are acknowledged.
+        for handle in retiring {
+            let exit = handle.handle.join().expect("retiring worker panicked");
+            self.retired_counters.push(exit.counters);
+            self.retired_idle_wakeups += exit.idle_wakeups;
+        }
+        // One Absorb plus `target` Rewires confirm the surviving chain.
+        let migrated = self.confirm(&done_rx, target + 1, "shrink confirmations");
+        self.right_tx = new_right_tx;
+        migrated
+    }
+
+    fn grow_to(&mut self, target: usize) {
+        let current = self.nodes();
+        let (done_tx, done_rx) = unbounded();
+
+        // Fresh links for the chain extension: link j connects node j-1 to
+        // node j; the new rightmost gets a fresh bounded entry channel.
+        let mut ltr: Vec<NewLink<R, S>> = Vec::new();
+        let mut rtl: Vec<NewLink<R, S>> = Vec::new();
+        for _ in current..target {
+            let (tx, rx) = unbounded();
+            ltr.push((tx, Some(rx)));
+            let (tx, rx) = unbounded();
+            rtl.push((tx, Some(rx)));
+        }
+        let (new_right_tx, new_right_rx) = bounded(self.options.channel_capacity);
+        let mut new_right_rx = Some(new_right_rx);
+
+        // Spawn the new workers first so the extension is ready before any
+        // old worker is rewired towards it.
+        for j in current..target {
+            let i = j - current;
+            let left_rx = ltr[i].1.take().expect("new left input");
+            let to_left = Some(rtl[i].0.clone());
+            let (right_rx, to_right) = if j + 1 < target {
+                (
+                    rtl[i + 1].1.take().expect("new right input"),
+                    Some(ltr[i + 1].0.clone()),
+                )
+            } else {
+                (new_right_rx.take().expect("new entry"), None)
+            };
+            let handle = self.spawn_worker(j, target, left_rx, right_rx, to_left, to_right);
+            self.workers.push(handle);
+        }
+
+        // The old rightmost becomes an inner node: it gains a right
+        // neighbour on the new links.  Its wait set must be registered
+        // with the replacement channel *before* the worker receives it —
+        // a send into an unregistered channel would not wake the parked
+        // worker, leaving every frame crossing the old/new boundary to
+        // the 10 ms safety-net timeout.
+        let boundary_rx = rtl[0].1.take().expect("old rightmost right input");
+        boundary_rx.set_waiter(&self.workers[current - 1].waitset);
+        let mut boundary_rx = Some(boundary_rx);
+        for k in 0..current {
+            let (right_rx, to_right) = if k + 1 == current {
+                (
+                    Some(boundary_rx.take().expect("handed over once")),
+                    Some(Some(ltr[0].0.clone())),
+                )
+            } else {
+                (None, None)
+            };
+            let _ = self.workers[k].cmd_tx.send(WorkerCommand::Rewire {
+                id: k,
+                nodes: target,
+                left_rx: None,
+                right_rx,
+                to_left: None,
+                to_right,
+                done: done_tx.clone(),
+            });
+        }
+        self.confirm(&done_rx, current, "grow confirmations");
+        self.right_tx = new_right_tx;
+    }
+}
+
+impl<R, S, P, H> ScalePipeline for ElasticPipeline<R, S, P, H>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    fn grow(&mut self, delta: usize) {
+        self.scale_to(self.nodes() + delta);
+    }
+
+    fn shrink(&mut self, delta: usize) {
+        assert!(delta < self.nodes(), "cannot retire the whole pipeline");
+        self.scale_to(self.nodes() - delta);
+    }
+
+    fn scale_to(&mut self, target: usize) {
+        assert!(target > 0, "pipeline needs at least one node");
+        let current = self.nodes();
+        if target == current {
+            return;
+        }
+        let wall_start = Instant::now();
+        self.fence();
+        let migrated = if target < current {
+            self.shrink_to(target)
+        } else {
+            self.grow_to(target);
+            0
+        };
+        self.injector = Injector::new(self.predicate.clone(), self.policy.clone(), target);
+        self.resize_log.push(ResizeEvent {
+            at: self.clock.now(),
+            from_nodes: current,
+            to_nodes: target,
+            migrated_tuples: migrated,
+            fence_wall_micros: wall_start.elapsed().as_micros() as u64,
+        });
+    }
+}
+
+impl<R, S, P, H> ElasticPipeline<R, S, P, H>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    /// Drains the pipeline, stops every thread and returns the outcome.
+    pub fn finish(mut self) -> ElasticOutcome<R, S> {
+        self.fence();
+        self.stop.store(true, Ordering::SeqCst);
+        for worker in &self.workers {
+            worker.waitset.notify();
+        }
+        self.stop_signal.notify();
+
+        let mut counters = Vec::with_capacity(self.workers.len());
+        let mut idle_wakeups = self.retired_idle_wakeups;
+        let nodes = self.workers.len();
+        for worker in self.workers.drain(..) {
+            let exit = worker.handle.join().expect("worker thread panicked");
+            counters.push(exit.counters);
+            idle_wakeups += exit.idle_wakeups;
+        }
+        drop(self.result_tx.take());
+        let collected = self
+            .collector
+            .take()
+            .expect("finish called once")
+            .join()
+            .expect("collector thread panicked");
+
+        ElasticOutcome {
+            results: collected.results,
+            output: collected.output,
+            counters,
+            retired_counters: std::mem::take(&mut self.retired_counters),
+            latency: collected.latency,
+            latency_series: collected.series.finish(),
+            elapsed: self.started.elapsed(),
+            punctuation_count: collected.punctuation_count,
+            arrivals_per_stream: (self.seen_r, self.seen_s),
+            frames_injected: self.frames_injected,
+            idle_wakeups,
+            resize_log: std::mem::take(&mut self.resize_log),
+            nodes,
+            cancelled: self.cancelled,
+        }
+    }
+}
+
+impl<R, S, P, H> Drop for ElasticPipeline<R, S, P, H>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    /// A pipeline dropped without [`ElasticPipeline::finish`] (e.g. by a
+    /// panic) signals its threads to exit rather than joining them —
+    /// joining from a panic path could hang on a thread that is itself
+    /// stuck.  After `finish` this is a no-op.
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for worker in &self.workers {
+            worker.waitset.notify();
+        }
+        self.stop_signal.notify();
+        drop(self.result_tx.take());
+    }
+}
+
+/// Replays `schedule` through an elastic pipeline of `initial_nodes`
+/// nodes, resizing at the plan's event indexes, and returns the drained
+/// outcome.  The convenience wrapper around [`ElasticPipeline`] used by
+/// the conformance suite and the `bench_elastic` binary.
+pub fn run_elastic_pipeline<R, S, P, H>(
+    initial_nodes: usize,
+    factory: NodeFactory<R, S>,
+    predicate: P,
+    policy: H,
+    schedule: &DriverSchedule<R, S>,
+    plan: &ScalePlan,
+    options: &PipelineOptions,
+) -> ElasticOutcome<R, S>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    let mut pipeline =
+        ElasticPipeline::new(initial_nodes, factory, predicate, policy, options.clone());
+    pipeline.run_schedule(schedule, plan);
+    pipeline.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llhj_baselines::run_kang;
+    use llhj_core::homing::RoundRobin;
+    use llhj_core::predicate::FnPredicate;
+    use llhj_core::time::TimeDelta;
+    use llhj_core::window::WindowSpec;
+
+    fn eq_pred() -> FnPredicate<fn(&u32, &u32) -> bool> {
+        fn eq(r: &u32, s: &u32) -> bool {
+            r == s
+        }
+        FnPredicate(eq as fn(&u32, &u32) -> bool)
+    }
+
+    fn schedule(tuples: u64, window_ms: u64) -> DriverSchedule<u32, u32> {
+        let r: Vec<_> = (0..tuples)
+            .map(|i| (Timestamp::from_millis(i), (i % 13) as u32))
+            .collect();
+        let s: Vec<_> = (0..tuples)
+            .map(|i| (Timestamp::from_millis(i), (i % 17) as u32))
+            .collect();
+        DriverSchedule::build(
+            r,
+            s,
+            WindowSpec::Time(TimeDelta::from_millis(window_ms)),
+            WindowSpec::Time(TimeDelta::from_millis(window_ms)),
+        )
+    }
+
+    fn paced_opts(batch_size: usize) -> PipelineOptions {
+        PipelineOptions {
+            batch_size,
+            pacing: Pacing::RealTime { speedup: 1.0 },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn elastic_without_resizes_matches_the_oracle() {
+        let sched = schedule(300, 150);
+        let oracle = run_kang(eq_pred(), &sched);
+        let outcome = run_elastic_pipeline(
+            2,
+            llhj_factory(eq_pred()),
+            eq_pred(),
+            RoundRobin,
+            &sched,
+            &ScalePlan::none(),
+            &paced_opts(8),
+        );
+        assert_eq!(outcome.result_keys(), oracle.result_keys());
+        assert_eq!(outcome.nodes, 2);
+        assert!(outcome.resize_log.is_empty());
+        assert!(!outcome.cancelled);
+        assert_eq!(outcome.counters.len(), 2);
+    }
+
+    #[test]
+    fn grow_mid_run_preserves_the_exact_result_set() {
+        let sched = schedule(300, 150);
+        let oracle = run_kang(eq_pred(), &sched);
+        let plan = ScalePlan::new(vec![ScaleStep {
+            after_events: sched.events().len() / 2,
+            target_nodes: 4,
+        }]);
+        let outcome = run_elastic_pipeline(
+            2,
+            llhj_factory(eq_pred()),
+            eq_pred(),
+            RoundRobin,
+            &sched,
+            &plan,
+            &paced_opts(8),
+        );
+        assert_eq!(outcome.result_keys(), oracle.result_keys());
+        assert_eq!(outcome.nodes, 4);
+        assert_eq!(outcome.resize_log.len(), 1);
+        assert_eq!(outcome.resize_log[0].from_nodes, 2);
+        assert_eq!(outcome.resize_log[0].to_nodes, 4);
+        assert_eq!(outcome.counters.len(), 4);
+        // The grown nodes actually participated.
+        assert!(outcome.counters[3].arrivals > 0);
+    }
+
+    #[test]
+    fn shrink_mid_run_migrates_state_and_preserves_the_result_set() {
+        let sched = schedule(300, 150);
+        let oracle = run_kang(eq_pred(), &sched);
+        let plan = ScalePlan::new(vec![ScaleStep {
+            after_events: sched.events().len() / 2,
+            target_nodes: 2,
+        }]);
+        let outcome = run_elastic_pipeline(
+            4,
+            llhj_factory(eq_pred()),
+            eq_pred(),
+            RoundRobin,
+            &sched,
+            &plan,
+            &paced_opts(8),
+        );
+        assert_eq!(outcome.result_keys(), oracle.result_keys());
+        assert_eq!(outcome.nodes, 2);
+        assert_eq!(outcome.retired_counters.len(), 2);
+        assert_eq!(outcome.resize_log.len(), 1);
+        assert!(
+            outcome.resize_log[0].migrated_tuples > 0,
+            "a mid-run shrink must migrate resident window tuples"
+        );
+    }
+
+    #[test]
+    fn repeated_resizes_keep_the_pipeline_exact() {
+        let sched = schedule(400, 150);
+        let oracle = run_kang(eq_pred(), &sched);
+        let third = sched.events().len() / 3;
+        let plan = ScalePlan::new(vec![
+            ScaleStep {
+                after_events: third,
+                target_nodes: 5,
+            },
+            ScaleStep {
+                after_events: 2 * third,
+                target_nodes: 2,
+            },
+        ]);
+        let outcome = run_elastic_pipeline(
+            3,
+            llhj_factory(eq_pred()),
+            eq_pred(),
+            RoundRobin,
+            &sched,
+            &plan,
+            &paced_opts(4),
+        );
+        assert_eq!(outcome.result_keys(), oracle.result_keys());
+        assert_eq!(outcome.nodes, 2);
+        assert_eq!(outcome.resize_log.len(), 2);
+        assert_eq!(outcome.retired_counters.len(), 3);
+    }
+
+    /// The elastic counterpart of the fixed runtime's flush-timer
+    /// guarantee: a stream that goes silent mid-run must not hold a
+    /// partial entry frame hostage until the next schedule event — the
+    /// sliced pacing wait flushes it within `flush_interval` of wall time.
+    #[test]
+    fn silent_gap_cannot_hold_a_partial_entry_frame() {
+        let eq = eq_pred();
+        let mk = |v: u32| {
+            vec![
+                (Timestamp::from_millis(1), v),
+                (Timestamp::from_millis(700), v + 1_000),
+                (Timestamp::from_millis(710), v + 2_000),
+            ]
+        };
+        let sched = DriverSchedule::build(
+            mk(7),
+            mk(7),
+            WindowSpec::Time(TimeDelta::from_secs(2)),
+            WindowSpec::Time(TimeDelta::from_secs(2)),
+        );
+        let opts = PipelineOptions {
+            // Far larger than the pre-gap tuple count: without the sliced
+            // wait the first frame would sit out the whole 700 ms gap.
+            batch_size: 64,
+            flush_interval: Some(TimeDelta::from_millis(10)),
+            pacing: Pacing::RealTime { speedup: 1.0 },
+            ..Default::default()
+        };
+        let outcome = run_elastic_pipeline(
+            2,
+            llhj_factory(eq.clone()),
+            eq,
+            RoundRobin,
+            &sched,
+            &ScalePlan::none(),
+            &opts,
+        );
+        let first = outcome
+            .results
+            .iter()
+            .find(|t| t.result.key() == (SeqNo(0), SeqNo(0)))
+            .expect("the pre-gap pair must be found");
+        let latency = first.latency();
+        assert!(
+            latency < TimeDelta::from_millis(200),
+            "pre-gap result waited {latency} — the sliced pacing wait \
+             should have flushed it near the 10 ms interval"
+        );
+    }
+
+    #[test]
+    fn scale_to_same_width_is_a_noop() {
+        let mut pipeline = ElasticPipeline::new(
+            2,
+            llhj_factory(eq_pred()),
+            eq_pred(),
+            RoundRobin,
+            PipelineOptions::default(),
+        );
+        pipeline.scale_to(2);
+        assert!(pipeline.resize_log().is_empty());
+        let outcome = pipeline.finish();
+        assert_eq!(outcome.nodes, 2);
+        assert!(outcome.results.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "state migration")]
+    fn elastic_refuses_nodes_without_migration_support() {
+        use llhj_core::node_hsj::{HsjNode, SegmentCapacity};
+        let factory: NodeFactory<u32, u32> = Arc::new(|id, nodes| {
+            Box::new(HsjNode::with_capacity(
+                id,
+                nodes,
+                SegmentCapacity { r: 16, s: 16 },
+                FnPredicate(|r: &u32, s: &u32| r == s),
+            ))
+        });
+        let _ = ElasticPipeline::new(
+            1,
+            factory,
+            eq_pred(),
+            RoundRobin,
+            PipelineOptions::default(),
+        );
+    }
+}

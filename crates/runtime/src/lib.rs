@@ -51,9 +51,15 @@
 #![warn(rust_2018_idioms)]
 
 pub mod channel;
+pub mod elastic;
 pub mod options;
 pub mod pipeline;
 
+pub use channel::CancelToken;
+pub use elastic::{
+    llhj_factory, llhj_indexed_factory, run_elastic_pipeline, ElasticOutcome, ElasticPipeline,
+    NodeFactory, ResizeEvent, ScalePipeline, ScalePlan, ScaleStep,
+};
 pub use options::{Pacing, PipelineOptions};
 pub use pipeline::{run_pipeline, RunOutcome};
 

@@ -60,6 +60,13 @@ pub struct PipelineOptions {
     pub collect_interval: Duration,
     /// Bucket size for the latency time series.
     pub latency_bucket: u64,
+    /// Optional cooperative cancellation handle.  When set, the driver's
+    /// real-time pacing waits park on the token instead of sleeping, so an
+    /// external [`CancelToken::cancel`](crate::channel::CancelToken::cancel)
+    /// interrupts even a long gap between schedule events: the run stops
+    /// injecting, drains the pipeline and returns the partial outcome with
+    /// [`RunOutcome::cancelled`](crate::RunOutcome) set.
+    pub cancel: Option<crate::channel::CancelToken>,
 }
 
 impl Default for PipelineOptions {
@@ -72,6 +79,7 @@ impl Default for PipelineOptions {
             punctuate: false,
             collect_interval: Duration::from_millis(1),
             latency_bucket: 10_000,
+            cancel: None,
         }
     }
 }

@@ -57,7 +57,8 @@ pub struct RunOutcome<R, S> {
     pub elapsed: Duration,
     /// Number of punctuations emitted.
     pub punctuation_count: u64,
-    /// Number of R/S arrivals replayed.
+    /// Number of R/S arrivals actually injected: the schedule's counts,
+    /// unless the run was cancelled mid-replay (then the injected prefix).
     pub arrivals_per_stream: (usize, usize),
     /// Number of frames the driver injected into the pipeline ends.
     pub frames_injected: u64,
@@ -65,6 +66,11 @@ pub struct RunOutcome<R, S> {
     /// its inputs ready.  Under event-driven scheduling this stays near
     /// zero; a busy-polling loop accumulates one per idle poll interval.
     pub idle_wakeups: u64,
+    /// True if the run was interrupted by [`PipelineOptions::cancel`]
+    /// before the whole schedule was replayed.  The results cover exactly
+    /// the injected prefix of the schedule (the pipeline is drained before
+    /// returning, so nothing in flight is lost).
+    pub cancelled: bool,
 }
 
 impl<R, S> RunOutcome<R, S> {
@@ -90,7 +96,7 @@ impl<R, S> RunOutcome<R, S> {
 }
 
 /// The shared stream clock: maps wall-clock time to stream time.
-struct StreamClock {
+pub(crate) struct StreamClock {
     pacing: Pacing,
     start: Instant,
     /// Stream time of the most recently injected driver event (drives the
@@ -99,7 +105,7 @@ struct StreamClock {
 }
 
 impl StreamClock {
-    fn new(pacing: Pacing) -> Self {
+    pub(crate) fn new(pacing: Pacing) -> Self {
         StreamClock {
             pacing,
             start: Instant::now(),
@@ -107,12 +113,12 @@ impl StreamClock {
         }
     }
 
-    fn note_injection(&self, at: Timestamp) {
+    pub(crate) fn note_injection(&self, at: Timestamp) {
         self.injected_us
             .fetch_max(at.as_micros(), Ordering::Relaxed);
     }
 
-    fn now(&self) -> Timestamp {
+    pub(crate) fn now(&self) -> Timestamp {
         match self.pacing {
             Pacing::Unpaced => Timestamp::from_micros(self.injected_us.load(Ordering::Relaxed)),
             Pacing::RealTime { speedup } => {
@@ -131,7 +137,7 @@ impl StreamClock {
 /// range to `u64::MAX`.  (The bare `as` cast has the same limits but hides
 /// the policy; the clock's behaviour under degenerate `speedup` values
 /// should be a stated contract, not a cast artefact.)
-fn saturating_micros(secs: f64) -> u64 {
+pub(crate) fn saturating_micros(secs: f64) -> u64 {
     let micros = secs * 1e6;
     if micros.is_nan() || micros <= 0.0 {
         0
@@ -146,36 +152,36 @@ fn saturating_micros(secs: f64) -> u64 {
 /// are woken eagerly — by frame arrivals through their [`WaitSet`] and by
 /// the driver at shutdown — so this timeout only bounds the damage of a
 /// missed notification; it is not a polling interval.
-const WORKER_PARK: Duration = Duration::from_millis(10);
+pub(crate) const WORKER_PARK: Duration = Duration::from_millis(10);
 
 /// In-flight frame accounting plus the wait set the driver parks on while
 /// draining: the counter going to zero is the pipeline's quiescence signal.
-struct InFlight {
+pub(crate) struct InFlight {
     count: AtomicI64,
     quiesce: WaitSet,
 }
 
 impl InFlight {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         InFlight {
             count: AtomicI64::new(0),
             quiesce: WaitSet::new(),
         }
     }
 
-    fn add(&self) {
+    pub(crate) fn add(&self) {
         self.count.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Decrements the counter, waking the driver when it reaches zero.
-    fn finish(&self) {
+    pub(crate) fn finish(&self) {
         if self.count.fetch_sub(1, Ordering::SeqCst) == 1 {
             self.quiesce.notify();
         }
     }
 
     /// Parks until no frame is anywhere in the pipeline.
-    fn wait_for_quiescence(&self) {
+    pub(crate) fn wait_for_quiescence(&self) {
         loop {
             let seen = self.quiesce.epoch();
             if self.count.load(Ordering::SeqCst) <= 0 {
@@ -188,7 +194,7 @@ impl InFlight {
 
 /// Sends one frame, keeping the global in-flight frame count consistent
 /// (the driver's quiescence detection counts frames, not messages).
-fn send_frame<R, S>(
+pub(crate) fn send_frame<R, S>(
     tx: &Sender<MessageBatch<R, S>>,
     frame: MessageBatch<R, S>,
     in_flight: &InFlight,
@@ -396,6 +402,11 @@ where
     let mut collected: Option<CollectorOutcome<R, S>> = None;
     let mut frames_injected = 0u64;
     let mut idle_wakeups = 0u64;
+    let mut cancelled = false;
+    // Arrivals actually handed to the pipeline: equal to the schedule's
+    // counts unless the run is cancelled mid-replay.
+    let mut seen_r = 0usize;
+    let mut seen_s = 0usize;
 
     // Entry-frame assembly state, shared between the driver and the flush
     // timer thread (declared before the thread scope so scoped threads can
@@ -482,6 +493,12 @@ where
                                     if let Some(ts) = end_ts {
                                         hwm.observe_s(ts);
                                     }
+                                }
+                                MessageBatch::Handoff(_) => {
+                                    unreachable!(
+                                        "handoff frames only travel in elastic pipelines \
+                                         (crate::elastic), never in a fixed run_pipeline chain"
+                                    );
                                 }
                             }
                             // The complete output of the frame leaves as at
@@ -636,14 +653,22 @@ where
         // `flush_interval` has elapsed since the frame started filling —
         // observed either here (on the next event) or by the timer thread
         // (in wall time, even if no event ever comes).
-        let mut seen_r = 0usize;
-        let mut seen_s = 0usize;
+        // The pacing wait parks on the cancel token (a plain WaitSet wait
+        // when no token is configured) instead of `thread::sleep`, so an
+        // external cancel interrupts even a multi-second gap between
+        // schedule events immediately (ROADMAP open item).
+        let cancel = options.cancel.clone().unwrap_or_default();
         for event in schedule.events() {
+            if cancel.is_cancelled() {
+                cancelled = true;
+                break;
+            }
             if let Pacing::RealTime { .. } = options.pacing {
                 let target = options.stream_to_wall(event.at.saturating_since(Timestamp::ZERO));
                 let elapsed = started.elapsed();
-                if target > elapsed {
-                    std::thread::sleep(target - elapsed);
+                if target > elapsed && cancel.wait_until(started + target) {
+                    cancelled = true;
+                    break;
                 }
             }
             clock.note_injection(event.at);
@@ -718,9 +743,10 @@ where
         latency_series: collected.series.finish(),
         elapsed: started.elapsed(),
         punctuation_count: collected.punctuation_count,
-        arrivals_per_stream: (schedule.r_count(), schedule.s_count()),
+        arrivals_per_stream: (seen_r, seen_s),
         frames_injected,
         idle_wakeups,
+        cancelled,
     }
 }
 
@@ -780,6 +806,68 @@ mod tests {
             &schedule,
             &opts,
         );
+    }
+
+    /// The ROADMAP open item the cancel token closes: a cancel arriving in
+    /// the middle of a long pacing gap must interrupt the wait instead of
+    /// sleeping the gap out.
+    #[test]
+    fn cancel_interrupts_a_long_pacing_gap() {
+        use crate::channel::CancelToken;
+        let pred = FnPredicate(|r: &u32, s: &u32| r == s);
+        // One early pair, then a 30-second silence before the next event:
+        // without the deadline-based wait the driver would sleep ~30 s.
+        let mk = |v: u32| {
+            vec![
+                (Timestamp::from_millis(1), v),
+                (Timestamp::from_secs(30), v + 1_000),
+            ]
+        };
+        let schedule = DriverSchedule::build(
+            mk(7),
+            mk(7),
+            WindowSpec::time_secs(60),
+            WindowSpec::time_secs(60),
+        );
+        let cancel = CancelToken::new();
+        let opts = PipelineOptions {
+            batch_size: 1,
+            pacing: Pacing::RealTime { speedup: 1.0 },
+            cancel: Some(cancel.clone()),
+            ..Default::default()
+        };
+        let canceller = std::thread::spawn({
+            let cancel = cancel.clone();
+            move || {
+                std::thread::sleep(Duration::from_millis(100));
+                cancel.cancel();
+            }
+        });
+        let started = Instant::now();
+        let outcome = run_pipeline(
+            llhj_nodes(2, pred.clone()),
+            pred,
+            RoundRobin,
+            &schedule,
+            &opts,
+        );
+        canceller.join().unwrap();
+        assert!(outcome.cancelled, "the run must report the interruption");
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "cancel must interrupt the 30 s pacing gap, not sleep it out \
+             (took {:?})",
+            started.elapsed()
+        );
+        // The injected prefix (the first pair of each stream) was fully
+        // processed before returning: nothing in flight was dropped.
+        assert_eq!(
+            outcome.result_keys(),
+            vec![(llhj_core::tuple::SeqNo(0), llhj_core::tuple::SeqNo(0))]
+        );
+        // And the outcome reports what was actually injected, not the
+        // full schedule (throughput numbers would otherwise be inflated).
+        assert_eq!(outcome.arrivals_per_stream, (1, 1));
     }
 
     /// The reason the wall-clock timer thread exists: a stream that goes

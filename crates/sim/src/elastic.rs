@@ -1,0 +1,664 @@
+//! Discrete-event simulation of elastic node-chain scaling.
+//!
+//! Mirrors the threaded runtime's reconfiguration protocol
+//! (`llhj-runtime::elastic`) in virtual time so the three substrates —
+//! analytic model, simulator, threaded runtime — can be compared at every
+//! scale step:
+//!
+//! 1. **Fence** — the injection of schedule events pauses and the event
+//!    heap drains completely, which is exactly the runtime's "no frame in
+//!    flight anywhere" condition;
+//! 2. **Handoff** (shrink) — retiring nodes merge their window segments
+//!    leftwards along the neighbour chain; every hop charges the receiving
+//!    node one frame reception ([`CostModel::per_frame_ns`]) plus one
+//!    per-message cost per migrated tuple, and pays the core-to-core hop
+//!    latency, and every ack charges one frame back — the same
+//!    serialisation the runtime's segment/ack protocol exhibits;
+//! 3. **Rewire** — nodes renumber and the chain width changes; surviving
+//!    nodes resume at the virtual instant the fence ends.
+//!
+//! Because injections later in the schedule carry their own (stream)
+//! timestamps, a long fence simply shows up as a busy-time bubble: the
+//! nodes' `busy_until` horizon moves past the fence end and the following
+//! frames queue behind it, exactly like the runtime's driver catching up
+//! after a reconfiguration pause.
+
+use crate::config::{Algorithm, SimConfig};
+use crate::cost::SimNanos;
+use crate::report::SimReport;
+use llhj_core::driver::{DriverSchedule, Injector, StreamEvent};
+use llhj_core::homing::HomePolicy;
+use llhj_core::message::{LeftToRight, MessageBatch, NodeOutput, RightToLeft, WindowSegment};
+use llhj_core::node::PipelineNode;
+use llhj_core::predicate::JoinPredicate;
+use llhj_core::punctuation::{HighWaterMarks, OutputItem, Punctuation};
+use llhj_core::result::TimedResult;
+use llhj_core::stats::{LatencySeries, LatencySummary};
+use llhj_core::time::Timestamp;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+fn ts_to_ns(ts: Timestamp) -> SimNanos {
+    ts.as_micros().saturating_mul(1_000)
+}
+
+fn ns_to_ts(ns: SimNanos) -> Timestamp {
+    Timestamp::from_micros(ns / 1_000)
+}
+
+/// One reconfiguration in the elastic simulation's log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimResizeEvent {
+    /// Virtual time at which the fence completed the drain.
+    pub at_ns: SimNanos,
+    /// Chain width before the resize.
+    pub from_nodes: usize,
+    /// Chain width after.
+    pub to_nodes: usize,
+    /// Window tuples migrated between neighbours (0 for growth).
+    pub migrated_tuples: usize,
+    /// Virtual duration of the handoff (fence end − drain end).
+    pub fence_ns: SimNanos,
+}
+
+/// Outcome of one elastic simulation: the usual [`SimReport`] plus the
+/// resize log.  `report.nodes` is the *final* width and `report.counters`
+/// covers the nodes alive at the end; `report.busy_ns` is indexed by node
+/// id over the widest chain the run reached, so work done by nodes that
+/// later retired is still accounted.
+#[derive(Debug)]
+pub struct ElasticSimReport<R, S> {
+    /// The standard simulation report.
+    pub report: SimReport<R, S>,
+    /// Every reconfiguration, in order.
+    pub resize_log: Vec<SimResizeEvent>,
+}
+
+impl<R, S> ElasticSimReport<R, S> {
+    /// Sorted result keys, for oracle comparison.
+    pub fn result_keys(&self) -> Vec<(llhj_core::tuple::SeqNo, llhj_core::tuple::SeqNo)> {
+        self.report.result_keys()
+    }
+
+    /// Output rate over virtual time: the number of results detected in
+    /// each `bucket_ns` of virtual time, as results/second.  The
+    /// `bench_elastic` trace uses this to show throughput rising after a
+    /// mid-burst grow.
+    pub fn throughput_trace(&self, bucket_ns: SimNanos) -> Vec<(SimNanos, f64)> {
+        assert!(bucket_ns > 0, "bucket must be positive");
+        let mut buckets: Vec<u64> = Vec::new();
+        for timed in &self.report.results {
+            let idx = (ts_to_ns(timed.detected_at) / bucket_ns) as usize;
+            if buckets.len() <= idx {
+                buckets.resize(idx + 1, 0);
+            }
+            buckets[idx] += 1;
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .map(|(i, count)| {
+                (
+                    i as SimNanos * bucket_ns,
+                    count as f64 * 1e9 / bucket_ns as f64,
+                )
+            })
+            .collect()
+    }
+}
+
+struct HeapEntry<R, S> {
+    at: SimNanos,
+    seq: u64,
+    node: usize,
+    frame: MessageBatch<R, S>,
+}
+
+impl<R, S> PartialEq for HeapEntry<R, S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<R, S> Eq for HeapEntry<R, S> {}
+impl<R, S> PartialOrd for HeapEntry<R, S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<R, S> Ord for HeapEntry<R, S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct ElasticSim<R, S> {
+    config: SimConfig,
+    width: usize,
+    nodes: Vec<Box<dyn PipelineNode<R, S>>>,
+    heap: BinaryHeap<HeapEntry<R, S>>,
+    event_seq: u64,
+    busy_until: Vec<SimNanos>,
+    busy_ns: Vec<SimNanos>,
+    hwm: Arc<HighWaterMarks>,
+    results: Vec<TimedResult<R, S>>,
+    pending: Vec<TimedResult<R, S>>,
+    output: Vec<OutputItem<TimedResult<R, S>>>,
+    latency: LatencySummary,
+    series: LatencySeries,
+    punctuation_count: u64,
+    next_collect_ns: SimNanos,
+    collect_interval_ns: SimNanos,
+    last_injection_ns: SimNanos,
+    makespan_ns: SimNanos,
+    frames_delivered: u64,
+    messages_delivered: u64,
+    resize_log: Vec<SimResizeEvent>,
+}
+
+impl<R, S> ElasticSim<R, S>
+where
+    R: Clone + Send,
+    S: Clone + Send,
+{
+    fn push_frame(&mut self, at: SimNanos, node: usize, frame: MessageBatch<R, S>) {
+        self.heap.push(HeapEntry {
+            at,
+            seq: self.event_seq,
+            node,
+            frame,
+        });
+        self.event_seq += 1;
+    }
+
+    /// Drains the event heap completely: the simulated fence.
+    fn drain(&mut self) {
+        let hop = self.config.cost.hop_ns();
+        let mut out: NodeOutput<R, S, llhj_core::result::ResultTuple<R, S>> = NodeOutput::new();
+        while let Some(entry) = self.heap.pop() {
+            while self.config.punctuate && self.next_collect_ns <= entry.at {
+                self.collect();
+                self.next_collect_ns += self.collect_interval_ns;
+            }
+
+            let node_idx = entry.node;
+            let rightmost = self.width - 1;
+            let frame_len = entry.frame.len() as u64;
+            self.frames_delivered += 1;
+            self.messages_delivered += frame_len;
+            let start = entry.at.max(self.busy_until[node_idx]);
+            self.nodes[node_idx].observe_time(ns_to_ts(entry.at));
+
+            out.clear();
+            match entry.frame {
+                MessageBatch::Left(msgs) => {
+                    let observed = if node_idx == rightmost {
+                        msgs.iter().rev().find_map(|m| match m {
+                            LeftToRight::ArrivalR(r) => Some(r.ts()),
+                            _ => None,
+                        })
+                    } else {
+                        None
+                    };
+                    self.nodes[node_idx].handle_left_batch(msgs, &mut out);
+                    if let Some(ts) = observed {
+                        self.hwm.observe_r(ts);
+                    }
+                }
+                MessageBatch::Right(msgs) => {
+                    let observed = if node_idx == 0 {
+                        msgs.iter().rev().find_map(|m| match m {
+                            RightToLeft::ArrivalS(s) => Some(s.ts()),
+                            _ => None,
+                        })
+                    } else {
+                        None
+                    };
+                    self.nodes[node_idx].handle_right_batch(msgs, &mut out);
+                    if let Some(ts) = observed {
+                        self.hwm.observe_s(ts);
+                    }
+                }
+                MessageBatch::Handoff(_) => {
+                    unreachable!("elastic sim migrates state outside the heap")
+                }
+            }
+
+            let punctuated_node = self.config.punctuate && (node_idx == 0 || node_idx == rightmost);
+            let service = self.config.cost.frame_service_ns(
+                frame_len,
+                out.comparisons,
+                out.results.len() as u64,
+                punctuated_node,
+            );
+            let finish = start + service;
+            self.busy_until[node_idx] = finish;
+            self.busy_ns[node_idx] += service;
+            self.makespan_ns = self.makespan_ns.max(finish);
+
+            if !out.to_right.is_empty() {
+                if node_idx + 1 < self.width {
+                    let frame = MessageBatch::Left(std::mem::take(&mut out.to_right));
+                    self.push_frame(finish + hop, node_idx + 1, frame);
+                } else {
+                    out.to_right.clear();
+                }
+            }
+            if !out.to_left.is_empty() {
+                if node_idx > 0 {
+                    let frame = MessageBatch::Right(std::mem::take(&mut out.to_left));
+                    self.push_frame(finish + hop, node_idx - 1, frame);
+                } else {
+                    out.to_left.clear();
+                }
+            }
+
+            let detected_at = ns_to_ts(finish);
+            for result in out.results.drain(..) {
+                let timed = TimedResult::new(result, detected_at);
+                self.latency.record(timed.latency());
+                self.series.record(detected_at, timed.latency());
+                if self.config.punctuate {
+                    self.pending.push(timed.clone());
+                }
+                self.results.push(timed);
+            }
+        }
+    }
+
+    fn collect(&mut self) {
+        let safe = self.hwm.safe_punctuation();
+        for timed in self.pending.drain(..) {
+            self.output.push(OutputItem::Result(timed));
+        }
+        self.output
+            .push(OutputItem::Punctuation(Punctuation { ts: safe }));
+        self.punctuation_count += 1;
+    }
+
+    /// Runs the fenced reconfiguration to `target` nodes, charging the
+    /// handoff the same way the runtime's protocol serialises it.
+    fn resize(
+        &mut self,
+        target: usize,
+        factory: &dyn Fn(usize, usize) -> Box<dyn PipelineNode<R, S>>,
+    ) {
+        assert!(target > 0, "pipeline needs at least one node");
+        let current = self.width;
+        if target == current {
+            return;
+        }
+        self.drain();
+        let fence_start = self.makespan_ns;
+        let mut fence_end = fence_start;
+        let hop = self.config.cost.hop_ns();
+        let mut migrated_total = 0usize;
+
+        if target < current {
+            // The neighbour chain resolves serially, rightmost first: each
+            // retiree merges what its right neighbour handed down, then
+            // hands the union left; each hop is one segment frame (frame
+            // reception + one message per tuple, charged to the receiver)
+            // followed by an ack frame back.
+            let mut carried: WindowSegment<R, S> = WindowSegment::empty();
+            for k in (target - 1..current).rev() {
+                if k + 1 < current {
+                    // Node k receives the segment handed down by node k+1.
+                    let tuples = carried.len();
+                    migrated_total = migrated_total.max(tuples);
+                    let service = self
+                        .config
+                        .cost
+                        .frame_service_ns(tuples as u64, 0, 0, false);
+                    fence_end += hop + service;
+                    self.busy_ns[k] += service;
+                    self.frames_delivered += 1;
+                    self.messages_delivered += tuples as u64;
+                    self.nodes[k].import_segment(std::mem::take(&mut carried));
+                    // Ack back to node k+1: one frame, one hop.
+                    let ack = self.config.cost.frame_service_ns(1, 0, 0, false);
+                    fence_end += hop + ack;
+                    if k + 1 < self.busy_ns.len() {
+                        self.busy_ns[k + 1] += ack;
+                    }
+                }
+                if k >= target {
+                    carried = self.nodes[k].export_segment();
+                }
+            }
+            self.nodes.truncate(target);
+        } else {
+            for k in current..target {
+                self.nodes.push(factory(k, target));
+                if self.busy_until.len() <= k {
+                    self.busy_until.push(fence_end);
+                    self.busy_ns.push(0);
+                }
+            }
+        }
+
+        for (k, node) in self.nodes.iter_mut().enumerate() {
+            node.set_position(k, target);
+        }
+        self.width = target;
+        for k in 0..target {
+            self.busy_until[k] = self.busy_until[k].max(fence_end);
+        }
+        self.makespan_ns = self.makespan_ns.max(fence_end);
+        self.resize_log.push(SimResizeEvent {
+            at_ns: fence_start,
+            from_nodes: current,
+            to_nodes: target,
+            migrated_tuples: migrated_total,
+            fence_ns: fence_end - fence_start,
+        });
+    }
+}
+
+/// Runs an elastic simulation: replays `schedule` through a pipeline that
+/// starts at `config.nodes` nodes and resizes at the given plan steps.
+///
+/// `plan` is a list of `(after_events, target_nodes)` pairs: after that
+/// many schedule events have been injected, the pipeline is fenced,
+/// migrated and resized — the virtual-time mirror of
+/// `llhj-runtime`'s `run_elastic_pipeline`.  Only the LLHJ algorithms
+/// support migration.
+pub fn run_elastic_simulation<R, S, P, H>(
+    config: &SimConfig,
+    predicate: P,
+    policy: H,
+    schedule: &DriverSchedule<R, S>,
+    plan: &[(usize, usize)],
+) -> ElasticSimReport<R, S>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    assert!(config.nodes > 0, "pipeline needs at least one node");
+    assert!(config.batch_size > 0, "batch size must be positive");
+    assert!(
+        matches!(config.algorithm, Algorithm::Llhj | Algorithm::LlhjIndexed),
+        "elastic simulation requires nodes that support state migration \
+         ({:?} does not)",
+        config.algorithm
+    );
+
+    let factory = {
+        let config = config.clone();
+        let predicate = predicate.clone();
+        move |k: usize, n: usize| -> Box<dyn PipelineNode<R, S>> {
+            match config.algorithm {
+                Algorithm::Llhj => {
+                    Box::new(llhj_core::node_llhj::LlhjNode::new(k, n, predicate.clone()))
+                }
+                Algorithm::LlhjIndexed => Box::new(llhj_core::node_llhj::LlhjNode::with_index(
+                    k,
+                    n,
+                    predicate.clone(),
+                )),
+                Algorithm::Hsj => unreachable!("rejected above"),
+            }
+        }
+    };
+
+    let width = config.nodes;
+    let mut sim = ElasticSim {
+        width,
+        nodes: (0..width).map(|k| factory(k, width)).collect(),
+        heap: BinaryHeap::new(),
+        event_seq: 0,
+        busy_until: vec![0; width],
+        busy_ns: vec![0; width],
+        hwm: HighWaterMarks::new(),
+        results: Vec::new(),
+        pending: Vec::new(),
+        output: Vec::new(),
+        latency: LatencySummary::new(),
+        series: LatencySeries::new(config.latency_bucket),
+        punctuation_count: 0,
+        collect_interval_ns: (config.collect_interval.as_micros().max(1)) * 1_000,
+        next_collect_ns: (config.collect_interval.as_micros().max(1)) * 1_000,
+        last_injection_ns: 0,
+        makespan_ns: 0,
+        frames_delivered: 0,
+        messages_delivered: 0,
+        resize_log: Vec::new(),
+        config: config.clone(),
+    };
+
+    let mut injector = Injector::new(predicate.clone(), policy.clone(), width);
+    let mut plan: Vec<(usize, usize)> = plan.to_vec();
+    plan.sort_by_key(|(after, _)| *after);
+    let mut plan = plan.into_iter().peekable();
+
+    let mut left_buf: Vec<LeftToRight<R>> = Vec::new();
+    let mut right_buf: Vec<RightToLeft<S>> = Vec::new();
+    let mut left_arrivals = 0usize;
+    let mut right_arrivals = 0usize;
+    let mut seen_r = 0usize;
+    let mut seen_s = 0usize;
+    let mut last_at = Timestamp::ZERO;
+
+    macro_rules! flush_left {
+        ($at_ns:expr) => {
+            if !left_buf.is_empty() {
+                let frame = MessageBatch::Left(std::mem::take(&mut left_buf));
+                sim.push_frame($at_ns, 0, frame);
+            }
+            sim.last_injection_ns = sim.last_injection_ns.max($at_ns);
+        };
+    }
+    macro_rules! flush_right {
+        ($at_ns:expr) => {
+            if !right_buf.is_empty() {
+                let frame = MessageBatch::Right(std::mem::take(&mut right_buf));
+                let rightmost = sim.width - 1;
+                sim.push_frame($at_ns, rightmost, frame);
+            }
+            sim.last_injection_ns = sim.last_injection_ns.max($at_ns);
+        };
+    }
+
+    for (idx, event) in schedule.events().iter().enumerate() {
+        while let Some(&(after, target)) = plan.peek() {
+            if after > idx {
+                break;
+            }
+            plan.next();
+            // Entry frames assembled for the old chain must enter it before
+            // the fence: their homes were assigned under the old width.
+            let at_ns = ts_to_ns(last_at);
+            flush_left!(at_ns);
+            flush_right!(at_ns);
+            left_arrivals = 0;
+            right_arrivals = 0;
+            sim.resize(target, &factory);
+            injector = Injector::new(predicate.clone(), policy.clone(), target);
+        }
+        last_at = event.at;
+        match &event.event {
+            StreamEvent::ArrivalR(r) => {
+                left_buf.push(injector.inject_r(r.clone()));
+                left_arrivals += 1;
+                seen_r += 1;
+                if left_arrivals >= config.batch_size || seen_r == schedule.r_count() {
+                    flush_left!(ts_to_ns(event.at));
+                    left_arrivals = 0;
+                }
+            }
+            StreamEvent::ExpireS(seq) => left_buf.push(LeftToRight::ExpiryS(*seq)),
+            StreamEvent::ArrivalS(s) => {
+                right_buf.push(injector.inject_s(s.clone()));
+                right_arrivals += 1;
+                seen_s += 1;
+                if right_arrivals >= config.batch_size || seen_s == schedule.s_count() {
+                    flush_right!(ts_to_ns(event.at));
+                    right_arrivals = 0;
+                }
+            }
+            StreamEvent::ExpireR(seq) => right_buf.push(RightToLeft::ExpiryR(*seq)),
+        }
+    }
+    let final_ns = ts_to_ns(last_at);
+    flush_left!(final_ns);
+    flush_right!(final_ns);
+    sim.drain();
+    // Trailing plan steps (a resize on the very last event) still run.
+    let remaining: Vec<(usize, usize)> = plan.collect();
+    for (_, target) in remaining {
+        sim.resize(target, &factory);
+    }
+    if config.punctuate {
+        sim.collect();
+    }
+
+    let nodes_final = sim.width;
+    ElasticSimReport {
+        report: SimReport {
+            algorithm: config.algorithm,
+            nodes: nodes_final,
+            results: sim.results,
+            output: sim.output,
+            latency: sim.latency,
+            latency_series: sim.series.finish(),
+            counters: sim.nodes.iter().map(|n| n.node_counters()).collect(),
+            busy_ns: sim.busy_ns,
+            last_injection_ns: sim.last_injection_ns,
+            makespan_ns: sim.makespan_ns,
+            punctuation_count: sim.punctuation_count,
+            arrivals_per_stream: (schedule.r_count(), schedule.s_count()),
+            frames_delivered: sim.frames_delivered,
+            messages_delivered: sim.messages_delivered,
+        },
+        resize_log: sim.resize_log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llhj_baselines::run_kang;
+    use llhj_core::homing::RoundRobin;
+    use llhj_core::predicate::FnPredicate;
+    use llhj_core::window::WindowSpec;
+
+    fn eq_pred() -> FnPredicate<fn(&u32, &u32) -> bool> {
+        fn eq(r: &u32, s: &u32) -> bool {
+            r == s
+        }
+        FnPredicate(eq as fn(&u32, &u32) -> bool)
+    }
+
+    fn small_schedule() -> DriverSchedule<u32, u32> {
+        let r: Vec<_> = (0..200u64)
+            .map(|i| (Timestamp::from_millis(i), (i % 20) as u32))
+            .collect();
+        let s: Vec<_> = (0..200u64)
+            .map(|i| (Timestamp::from_millis(i), (i % 25) as u32))
+            .collect();
+        DriverSchedule::build(r, s, WindowSpec::time_secs(1), WindowSpec::time_secs(1))
+    }
+
+    fn config(nodes: usize) -> SimConfig {
+        let mut cfg = SimConfig::new(nodes, Algorithm::Llhj);
+        cfg.batch_size = 4;
+        cfg.window_r = WindowSpec::time_secs(1);
+        cfg.window_s = WindowSpec::time_secs(1);
+        cfg.latency_bucket = 1_000_000;
+        cfg
+    }
+
+    #[test]
+    fn elastic_sim_without_resizes_matches_the_fixed_engine() {
+        let schedule = small_schedule();
+        let oracle = run_kang(eq_pred(), &schedule);
+        let fixed = crate::engine::run_simulation(&config(3), eq_pred(), RoundRobin, &schedule);
+        let elastic = run_elastic_simulation(&config(3), eq_pred(), RoundRobin, &schedule, &[]);
+        assert_eq!(elastic.result_keys(), oracle.result_keys());
+        assert_eq!(elastic.result_keys(), fixed.result_keys());
+        assert!(elastic.resize_log.is_empty());
+        assert_eq!(elastic.report.nodes, 3);
+    }
+
+    #[test]
+    fn simulated_grow_and_shrink_preserve_the_result_set() {
+        let schedule = small_schedule();
+        let oracle = run_kang(eq_pred(), &schedule);
+        let events = schedule.events().len();
+        // Grow 2 -> 4 mid-run.
+        let grown = run_elastic_simulation(
+            &config(2),
+            eq_pred(),
+            RoundRobin,
+            &schedule,
+            &[(events / 2, 4)],
+        );
+        assert_eq!(grown.result_keys(), oracle.result_keys());
+        assert_eq!(grown.report.nodes, 4);
+        assert_eq!(grown.resize_log.len(), 1);
+        assert_eq!(grown.resize_log[0].migrated_tuples, 0);
+        // Shrink 4 -> 2 mid-run migrates resident tuples.
+        let shrunk = run_elastic_simulation(
+            &config(4),
+            eq_pred(),
+            RoundRobin,
+            &schedule,
+            &[(events / 2, 2)],
+        );
+        assert_eq!(shrunk.result_keys(), oracle.result_keys());
+        assert_eq!(shrunk.report.nodes, 2);
+        assert!(shrunk.resize_log[0].migrated_tuples > 0);
+        assert!(shrunk.resize_log[0].fence_ns > 0);
+    }
+
+    #[test]
+    fn migration_cost_scales_with_the_migrated_state() {
+        // A larger window migrates more tuples, so the fence must take
+        // longer in virtual time.
+        let mk = |window_ms: u64| {
+            let r: Vec<_> = (0..300u64)
+                .map(|i| (Timestamp::from_millis(i), (i % 20) as u32))
+                .collect();
+            let s: Vec<_> = (0..300u64)
+                .map(|i| (Timestamp::from_millis(i), (i % 25) as u32))
+                .collect();
+            let w = WindowSpec::Time(llhj_core::time::TimeDelta::from_millis(window_ms));
+            DriverSchedule::build(r, s, w, w)
+        };
+        let fence_of = |window_ms: u64| {
+            let mut cfg = config(4);
+            cfg.window_r = WindowSpec::Time(llhj_core::time::TimeDelta::from_millis(window_ms));
+            cfg.window_s = cfg.window_r;
+            let sched = mk(window_ms);
+            let events = sched.events().len();
+            let report =
+                run_elastic_simulation(&cfg, eq_pred(), RoundRobin, &sched, &[(events / 2, 2)]);
+            (
+                report.resize_log[0].migrated_tuples,
+                report.resize_log[0].fence_ns,
+            )
+        };
+        let (small_tuples, small_fence) = fence_of(50);
+        let (large_tuples, large_fence) = fence_of(250);
+        assert!(large_tuples > small_tuples);
+        assert!(
+            large_fence > small_fence,
+            "more migrated state must cost a longer fence: \
+             {small_fence} ns vs {large_fence} ns"
+        );
+    }
+
+    #[test]
+    fn throughput_trace_buckets_cover_the_run() {
+        let schedule = small_schedule();
+        let report = run_elastic_simulation(&config(2), eq_pred(), RoundRobin, &schedule, &[]);
+        let trace = report.throughput_trace(10_000_000); // 10 ms buckets
+        let total: f64 = trace.iter().map(|(_, rate)| rate * 0.01).sum();
+        assert!((total - report.report.results.len() as f64).abs() < 1.0);
+    }
+}

@@ -281,6 +281,12 @@ where
                     hwm.observe_s(ts);
                 }
             }
+            MessageBatch::Handoff(_) => {
+                unreachable!(
+                    "handoff frames only occur in elastic simulations \
+                     (crate::elastic), which migrate state outside the heap"
+                );
+            }
         }
 
         let punctuated_node = config.punctuate && (node_idx == 0 || node_idx == rightmost);

@@ -8,6 +8,9 @@
 //!
 //! * [`engine::run_simulation`] — exact event-driven simulation (real
 //!   predicate evaluations, used for correctness and latency experiments);
+//! * [`elastic::run_elastic_simulation`] — the same engine with mid-run
+//!   grow/shrink reconfigurations, mirroring the threaded runtime's
+//!   fence-and-handoff protocol in virtual time;
 //! * [`throughput::max_sustainable_rate`] — binary search for the maximum
 //!   sustainable input rate, the methodology behind Figure 17;
 //! * [`model::AnalyticModel`] — closed-form utilization model used to
@@ -19,6 +22,7 @@
 
 pub mod config;
 pub mod cost;
+pub mod elastic;
 pub mod engine;
 pub mod model;
 pub mod report;
@@ -26,6 +30,7 @@ pub mod throughput;
 
 pub use config::{Algorithm, SimConfig};
 pub use cost::{CostModel, SimNanos};
+pub use elastic::{run_elastic_simulation, ElasticSimReport, SimResizeEvent};
 pub use engine::run_simulation;
 pub use model::AnalyticModel;
 pub use report::SimReport;

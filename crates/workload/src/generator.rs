@@ -19,6 +19,21 @@ pub enum ArrivalPattern {
     /// Exponentially distributed inter-arrival times (Poisson process) with
     /// the configured mean rate.
     Poisson,
+    /// A rate burst in the middle of the stream: regular arrivals at the
+    /// base rate, except that between `from_pct`% and `to_pct`% of the
+    /// configured duration the rate is multiplied by `factor`.  This is
+    /// the workload that exercises elastic scaling: a pipeline provisioned
+    /// for the base rate must grow when the burst hits and can shrink back
+    /// once it passes.
+    Bursty {
+        /// Rate multiplier during the burst (≥ 1).
+        factor: u32,
+        /// Burst start, as a percentage of the stream duration (0–100).
+        from_pct: u8,
+        /// Burst end, as a percentage of the stream duration
+        /// (`from_pct`–100).
+        to_pct: u8,
+    },
 }
 
 /// Configuration of the band-join benchmark workload.
@@ -84,7 +99,10 @@ impl BandJoinWorkload {
 
     /// Number of tuples generated per stream.
     pub fn tuples_per_stream(&self) -> usize {
-        (self.rate_per_sec * self.duration.as_secs_f64()).round() as usize
+        match self.pattern {
+            ArrivalPattern::Bursty { .. } => self.bursty_timestamps().len(),
+            _ => (self.rate_per_sec * self.duration.as_secs_f64()).round() as usize,
+        }
     }
 
     /// Generates the R stream arrivals.
@@ -114,6 +132,9 @@ impl BandJoinWorkload {
     }
 
     fn timestamps(&self, rng: &mut WorkloadRng) -> Vec<Timestamp> {
+        if let ArrivalPattern::Bursty { .. } = self.pattern {
+            return self.bursty_timestamps();
+        }
         let n = self.tuples_per_stream();
         let mut out = Vec::with_capacity(n);
         match self.pattern {
@@ -131,6 +152,41 @@ impl BandJoinWorkload {
                     out.push(Timestamp::from_micros((t * 1e6) as u64));
                 }
             }
+            ArrivalPattern::Bursty { .. } => unreachable!("handled above"),
+        }
+        out
+    }
+
+    /// Piecewise-steady arrivals for [`ArrivalPattern::Bursty`]: the base
+    /// gap outside the burst window, `1 / (rate · factor)` inside it.
+    fn bursty_timestamps(&self) -> Vec<Timestamp> {
+        let ArrivalPattern::Bursty {
+            factor,
+            from_pct,
+            to_pct,
+        } = self.pattern
+        else {
+            unreachable!("only called for bursty patterns");
+        };
+        assert!(factor >= 1, "burst factor must be at least 1");
+        assert!(
+            from_pct <= to_pct && to_pct <= 100,
+            "burst window must satisfy from_pct <= to_pct <= 100"
+        );
+        let duration = self.duration.as_secs_f64();
+        let from = duration * f64::from(from_pct) / 100.0;
+        let to = duration * f64::from(to_pct) / 100.0;
+        let base_gap = 1.0 / self.rate_per_sec;
+        let burst_gap = base_gap / f64::from(factor);
+        let mut out = Vec::new();
+        let mut t = 0.0f64;
+        while t < duration {
+            out.push(Timestamp::from_micros((t * 1e6) as u64));
+            t += if t >= from && t < to {
+                burst_gap
+            } else {
+                base_gap
+            };
         }
         out
     }
@@ -233,6 +289,61 @@ mod tests {
         assert!(r.windows(2).all(|p| p[0].0 <= p[1].0));
         let last = r.last().unwrap().0.as_secs_f64();
         assert!(last > 2.0 && last < 8.0, "mean should be ~4 s, got {last}");
+    }
+
+    #[test]
+    fn bursty_arrivals_triple_the_rate_inside_the_burst_window() {
+        let w = BandJoinWorkload {
+            rate_per_sec: 100.0,
+            duration: TimeDelta::from_secs(3),
+            pattern: ArrivalPattern::Bursty {
+                factor: 3,
+                from_pct: 33,
+                to_pct: 66,
+            },
+            ..Default::default()
+        };
+        let r = w.generate_r();
+        // One second before, one during, one after: 100 + 300 + 100, give
+        // or take boundary rounding.
+        assert_eq!(r.len(), w.tuples_per_stream());
+        assert!(
+            (480..=520).contains(&r.len()),
+            "expected ~500 arrivals, got {}",
+            r.len()
+        );
+        assert!(r.windows(2).all(|p| p[0].0 <= p[1].0));
+        let in_window = |lo_s: f64, hi_s: f64| {
+            r.iter()
+                .filter(|(ts, _)| {
+                    let t = ts.as_secs_f64();
+                    t >= lo_s && t < hi_s
+                })
+                .count()
+        };
+        let before = in_window(0.0, 0.99);
+        let during = in_window(0.99, 1.98);
+        let after = in_window(1.98, 3.0);
+        assert!(
+            during > 2 * before && during > 2 * after,
+            "burst must be ~3x denser: {before} / {during} / {after}"
+        );
+        // The generator stays deterministic.
+        assert_eq!(w.generate_r(), w.generate_r());
+    }
+
+    #[test]
+    #[should_panic(expected = "burst window")]
+    fn bursty_rejects_inverted_windows() {
+        let w = BandJoinWorkload {
+            pattern: ArrivalPattern::Bursty {
+                factor: 2,
+                from_pct: 80,
+                to_pct: 20,
+            },
+            ..Default::default()
+        };
+        let _ = w.generate_r();
     }
 
     #[test]

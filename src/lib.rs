@@ -12,7 +12,9 @@
 //!   handshake join node, the original handshake join baseline, windows,
 //!   punctuations, the sorting operator and the analytic latency model;
 //! * [`runtime`] (`llhj-runtime`) — a threaded deployment (one worker per
-//!   core, FIFO frame channels, driver + collector threads);
+//!   core, FIFO frame channels, driver + collector threads), including the
+//!   *elastic* pipeline that grows or shrinks the node chain mid-run with
+//!   fenced state handoff (`runtime::elastic`);
 //! * [`sim`] (`llhj-sim`) — a deterministic discrete-event simulator used
 //!   by the evaluation harness to sweep core counts;
 //! * [`baselines`] (`llhj-baselines`) — Kang's three-step procedure and
@@ -64,10 +66,15 @@ pub use llhj_workload as workload;
 pub mod prelude {
     pub use llhj_core::prelude::*;
     pub use llhj_runtime::{
-        hsj_nodes, llhj_indexed_nodes, llhj_nodes, run_pipeline, Pacing, PipelineOptions,
-        RunOutcome,
+        hsj_nodes, llhj_factory, llhj_indexed_factory, llhj_indexed_nodes, llhj_nodes,
+        run_elastic_pipeline, run_pipeline, CancelToken, ElasticOutcome, ElasticPipeline,
+        NodeFactory, Pacing, PipelineOptions, ResizeEvent, RunOutcome, ScalePipeline, ScalePlan,
+        ScaleStep,
     };
-    pub use llhj_sim::{run_simulation, Algorithm, AnalyticModel, CostModel, SimConfig, SimReport};
+    pub use llhj_sim::{
+        run_elastic_simulation, run_simulation, Algorithm, AnalyticModel, CostModel,
+        ElasticSimReport, SimConfig, SimReport,
+    };
     pub use llhj_workload::{
         band_join_schedule, equi_join_schedule, BandJoinWorkload, BandPredicate, EquiJoinWorkload,
         EquiXaPredicate, RTuple, STuple,

@@ -1,0 +1,236 @@
+//! Cross-substrate conformance suite for elastic node-chain scaling.
+//!
+//! An elastic join is wrong in silent ways unless the reconfiguration
+//! windows are hammered: a tuple dropped during a handoff only shows up as
+//! one missing result pair, a duplicated segment as one extra.  These
+//! sweeps therefore grow and shrink live pipelines at *seeded, randomized*
+//! points of both paper workloads (the band join of Section 7.1 and the
+//! equi join of Table 2) and assert, for every case:
+//!
+//! * **byte-identical result sets** against the Kang oracle (not counts —
+//!   the exact sorted `(r_seq, s_seq)` key vectors);
+//! * **no duplicates** across every resize;
+//! * **punctuation monotonicity** of the emitted output stream;
+//! * **substrate agreement**: the discrete-event simulator, reconfigured
+//!   by the same plan, produces the same result set as the threaded
+//!   runtime.
+//!
+//! The paced runs use windows that dwarf the reconfiguration fence (tens
+//! of milliseconds of wall time at most), matching the paper's setting
+//! where window spans dwarf pipeline traversal times.
+
+use handshake_join::prelude::*;
+use llhj_core::punctuation::verify_punctuated_stream;
+use llhj_workload::WorkloadRng;
+
+fn band_schedule(seed: u64) -> llhj_core::DriverSchedule<RTuple, STuple> {
+    let workload = BandJoinWorkload::scaled(400.0, TimeDelta::from_millis(400), 220, seed);
+    band_join_schedule(
+        &workload,
+        WindowSpec::Time(TimeDelta::from_millis(150)),
+        WindowSpec::Time(TimeDelta::from_millis(150)),
+    )
+}
+
+fn equi_schedule(seed: u64) -> llhj_core::DriverSchedule<RTuple, STuple> {
+    let workload = EquiJoinWorkload {
+        rate_per_sec: 400.0,
+        duration: TimeDelta::from_millis(400),
+        domain: 60,
+        seed,
+    };
+    equi_join_schedule(
+        &workload,
+        WindowSpec::Time(TimeDelta::from_millis(150)),
+        WindowSpec::Time(TimeDelta::from_millis(150)),
+    )
+}
+
+fn paced_options() -> PipelineOptions {
+    PipelineOptions {
+        batch_size: 4,
+        punctuate: true,
+        pacing: Pacing::RealTime { speedup: 1.0 },
+        ..Default::default()
+    }
+}
+
+/// Draws two distinct resize points in the middle 10%–90% of the schedule.
+fn resize_points(rng: &mut WorkloadRng, events: usize) -> (usize, usize) {
+    let lo = events / 10;
+    let hi = events * 9 / 10;
+    let a = lo + rng.gen_range_u32(0, (hi - lo) as u32 - 1) as usize;
+    let b = lo + rng.gen_range_u32(0, (hi - lo) as u32 - 1) as usize;
+    (a.min(b), a.max(b).max(a.min(b) + 1))
+}
+
+struct Conformance {
+    keys: Vec<(SeqNo, SeqNo)>,
+    resizes: usize,
+}
+
+/// Runs one elastic case on both substrates and checks every conformance
+/// property against the oracle.
+fn check_case<P>(
+    label: &str,
+    schedule: &llhj_core::DriverSchedule<RTuple, STuple>,
+    predicate: P,
+    factory: NodeFactory<RTuple, STuple>,
+    algorithm: Algorithm,
+    initial_nodes: usize,
+    plan_points: &[(usize, usize)],
+) -> Conformance
+where
+    P: JoinPredicate<RTuple, STuple> + Clone + Send + Sync + 'static,
+{
+    let oracle = handshake_join::baselines::run_kang(predicate.clone(), schedule);
+    let oracle_keys = oracle.result_keys();
+    assert!(
+        oracle_keys.len() > 10,
+        "{label}: workload must produce a meaningful number of matches"
+    );
+
+    // Threaded runtime, resized mid-run.
+    let plan = ScalePlan::new(
+        plan_points
+            .iter()
+            .map(|&(after_events, target_nodes)| ScaleStep {
+                after_events,
+                target_nodes,
+            })
+            .collect(),
+    );
+    let outcome = run_elastic_pipeline(
+        initial_nodes,
+        factory,
+        predicate.clone(),
+        RoundRobin,
+        schedule,
+        &plan,
+        &paced_options(),
+    );
+    let keys = outcome.result_keys();
+    assert_eq!(
+        keys, oracle_keys,
+        "{label}: runtime result set must be byte-identical to the oracle"
+    );
+    let mut deduped = keys.clone();
+    deduped.dedup();
+    assert_eq!(
+        deduped.len(),
+        keys.len(),
+        "{label}: a resize must never duplicate a result"
+    );
+    assert_eq!(
+        outcome.resize_log.len(),
+        plan_points.len(),
+        "{label}: every planned resize must have run"
+    );
+    assert!(outcome.punctuation_count > 0, "{label}: punctuated run");
+    assert_eq!(
+        verify_punctuated_stream(&outcome.output, |t| t.result.ts()),
+        Ok(()),
+        "{label}: punctuation must stay monotone across resizes"
+    );
+
+    // The simulator, reconfigured by the same plan, agrees exactly.
+    let mut cfg = SimConfig::new(initial_nodes, algorithm);
+    cfg.batch_size = 4;
+    cfg.window_r = WindowSpec::Time(TimeDelta::from_millis(150));
+    cfg.window_s = WindowSpec::Time(TimeDelta::from_millis(150));
+    cfg.expected_rate_per_sec = 400.0;
+    cfg.latency_bucket = 1_000_000;
+    let sim = run_elastic_simulation(&cfg, predicate, RoundRobin, schedule, plan_points);
+    assert_eq!(
+        sim.result_keys(),
+        oracle_keys,
+        "{label}: simulator must agree with the oracle under the same plan"
+    );
+    assert_eq!(sim.resize_log.len(), plan_points.len());
+
+    Conformance {
+        keys,
+        resizes: plan_points.len(),
+    }
+}
+
+/// Band-join sweeps: grow 2→4 then shrink 4→2 at seeded random points.
+#[test]
+fn band_join_grow_and_shrink_sweep_matches_the_oracle_exactly() {
+    let mut total_resizes = 0;
+    for case in 0..4u64 {
+        let mut rng = WorkloadRng::seed_from_u64(0xE1A5_71C0 + case);
+        let seed = rng.gen_range_u32(0, 9_999) as u64;
+        let schedule = band_schedule(seed);
+        let (grow_at, shrink_at) = resize_points(&mut rng, schedule.events().len());
+        let conformance = check_case(
+            &format!("band case {case} (seed {seed}, grow@{grow_at}, shrink@{shrink_at})"),
+            &schedule,
+            BandPredicate::default(),
+            llhj_factory(BandPredicate::default()),
+            Algorithm::Llhj,
+            2,
+            &[(grow_at, 4), (shrink_at, 2)],
+        );
+        assert!(!conformance.keys.is_empty());
+        total_resizes += conformance.resizes;
+    }
+    assert!(total_resizes >= 8, "the sweep must cover ≥ 8 resize points");
+}
+
+/// Equi-join sweeps on *indexed* nodes: migration must also carry the
+/// node-local hash indexes correctly.
+#[test]
+fn equi_join_sweep_with_indexed_nodes_matches_the_oracle_exactly() {
+    for case in 0..2u64 {
+        let mut rng = WorkloadRng::seed_from_u64(0xE1A5_71C1 + case);
+        let seed = rng.gen_range_u32(0, 9_999) as u64;
+        let schedule = equi_schedule(seed);
+        let (shrink_at, grow_at) = resize_points(&mut rng, schedule.events().len());
+        // Opposite order from the band sweep: start wide, shrink, re-grow.
+        check_case(
+            &format!("equi case {case} (seed {seed}, shrink@{shrink_at}, grow@{grow_at})"),
+            &schedule,
+            EquiXaPredicate,
+            llhj_indexed_factory(EquiXaPredicate),
+            Algorithm::LlhjIndexed,
+            4,
+            &[(shrink_at, 2), (grow_at, 4)],
+        );
+    }
+}
+
+/// Degenerate widths: growing a single-node pipeline (which is both ends
+/// at once) and shrinking back down to one node.
+#[test]
+fn single_node_boundaries_survive_growth_and_collapse() {
+    let mut rng = WorkloadRng::seed_from_u64(0xE1A5_71C2);
+    let schedule = band_schedule(77);
+    let (grow_at, shrink_at) = resize_points(&mut rng, schedule.events().len());
+    check_case(
+        "single-node boundary case",
+        &schedule,
+        BandPredicate::default(),
+        llhj_factory(BandPredicate::default()),
+        Algorithm::Llhj,
+        1,
+        &[(grow_at, 3), (shrink_at, 1)],
+    );
+}
+
+/// A resize planned at the very end of the schedule (nothing left to
+/// inject afterwards) must still run and still leave the result set exact.
+#[test]
+fn trailing_resize_after_the_last_event_is_exact() {
+    let schedule = band_schedule(123);
+    let events = schedule.events().len();
+    check_case(
+        "trailing resize case",
+        &schedule,
+        BandPredicate::default(),
+        llhj_factory(BandPredicate::default()),
+        Algorithm::Llhj,
+        3,
+        &[(events, 2)],
+    );
+}

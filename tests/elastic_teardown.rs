@@ -1,0 +1,224 @@
+//! Teardown and cancellation tests for the elastic runtime.
+//!
+//! The fence/handoff protocol must never wedge: a shutdown requested while
+//! a migration is in flight has to wait for the handoff to complete (a
+//! segment that has been exported but not acknowledged rests nowhere — a
+//! crash there would lose every pending match against it), then drain and
+//! return.  These tests use the pipeline's migration-stall instrumentation
+//! to hold a handoff open for a known wall-time window and land a cancel
+//! inside it; every test is timeout-guarded so a deadlock fails fast
+//! instead of hanging the suite.
+
+use handshake_join::prelude::*;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+fn band_schedule(
+    rate: f64,
+    duration_ms: u64,
+    seed: u64,
+) -> llhj_core::DriverSchedule<RTuple, STuple> {
+    let workload = BandJoinWorkload::scaled(rate, TimeDelta::from_millis(duration_ms), 220, seed);
+    band_join_schedule(
+        &workload,
+        WindowSpec::Time(TimeDelta::from_millis(150)),
+        WindowSpec::Time(TimeDelta::from_millis(150)),
+    )
+}
+
+/// Runs `f` on a helper thread, panicking if it does not finish within
+/// `timeout` — a deadlocked fence protocol fails the test instead of
+/// hanging the whole suite.
+fn with_deadline<T: Send + 'static>(
+    timeout: Duration,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (done_tx, done_rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let value = f();
+        let _ = done_tx.send(());
+        value
+    });
+    done_rx
+        .recv_timeout(timeout)
+        .unwrap_or_else(|_| panic!("teardown did not complete within {timeout:?} — deadlock?"));
+    handle.join().expect("guarded thread panicked")
+}
+
+/// Asserts soundness of a (possibly partial) result set: no duplicates,
+/// nothing outside the oracle.
+fn assert_sound(keys: &[(SeqNo, SeqNo)], oracle_keys: &[(SeqNo, SeqNo)], label: &str) {
+    let mut deduped = keys.to_vec();
+    deduped.dedup();
+    assert_eq!(deduped.len(), keys.len(), "{label}: duplicated result");
+    for key in keys {
+        assert!(
+            oracle_keys.contains(key),
+            "{label}: spurious result {key:?} not in the oracle"
+        );
+    }
+}
+
+/// A shutdown issued *while a migration is in flight* (the absorb side is
+/// stalled for a full second) must wait for the handoff to complete, drain
+/// the chain and return — without deadlock and without losing the migrated
+/// frames.
+#[test]
+fn cancel_during_an_in_flight_migration_drains_without_losing_frames() {
+    let schedule = band_schedule(200.0, 2_000, 11);
+    let oracle = handshake_join::baselines::run_kang(BandPredicate::default(), &schedule);
+    let oracle_keys = oracle.result_keys();
+    let events = schedule.events().len();
+
+    let cancel = CancelToken::new();
+    let canceller = {
+        let cancel = cancel.clone();
+        std::thread::spawn(move || {
+            // The shrink fires at ~25% of the 2 s schedule (~0.5 s of wall
+            // time) and its absorb stalls for 1 s, so a cancel at 0.7 s
+            // lands inside the migration window with ±0.2 s of slack on
+            // both sides.
+            std::thread::sleep(Duration::from_millis(700));
+            cancel.cancel();
+        })
+    };
+
+    let outcome = with_deadline(Duration::from_secs(30), move || {
+        let mut pipeline = ElasticPipeline::new(
+            4,
+            llhj_factory(BandPredicate::default()),
+            BandPredicate::default(),
+            RoundRobin,
+            PipelineOptions {
+                batch_size: 4,
+                pacing: Pacing::RealTime { speedup: 1.0 },
+                cancel: Some(cancel),
+                ..Default::default()
+            },
+        );
+        pipeline.set_migration_stall(Duration::from_secs(1));
+        let plan = ScalePlan::new(vec![ScaleStep {
+            after_events: events / 4,
+            target_nodes: 2,
+        }]);
+        pipeline.run_schedule(&schedule, &plan);
+        pipeline.finish()
+    });
+    canceller.join().unwrap();
+
+    assert!(outcome.cancelled, "the cancel must be reported");
+    assert_eq!(
+        outcome.resize_log.len(),
+        1,
+        "the in-flight migration must complete despite the shutdown"
+    );
+    assert!(
+        outcome.resize_log[0].migrated_tuples > 0,
+        "the stalled handoff carried real window state"
+    );
+    assert!(
+        outcome.results.len() < oracle_keys.len(),
+        "the cancel interrupted the run early, so only a prefix was joined"
+    );
+    assert_sound(&outcome.result_keys(), &oracle_keys, "cancelled run");
+}
+
+/// `finish()` issued immediately after a stalled migration (no cancel, no
+/// remaining input) must serialise behind the handoff and produce the full
+/// exact result set.
+#[test]
+fn finish_right_after_a_stalled_migration_is_exact() {
+    let schedule = band_schedule(400.0, 400, 23);
+    let oracle = handshake_join::baselines::run_kang(BandPredicate::default(), &schedule);
+    let events = schedule.events().len();
+
+    let outcome = with_deadline(Duration::from_secs(30), move || {
+        let mut pipeline = ElasticPipeline::new(
+            4,
+            llhj_factory(BandPredicate::default()),
+            BandPredicate::default(),
+            RoundRobin,
+            PipelineOptions {
+                batch_size: 4,
+                pacing: Pacing::RealTime { speedup: 1.0 },
+                ..Default::default()
+            },
+        );
+        pipeline.set_migration_stall(Duration::from_millis(200));
+        // The resize fires on the very last event; finish() follows
+        // immediately, while the stalled handoff is still in flight.
+        let plan = ScalePlan::new(vec![ScaleStep {
+            after_events: events,
+            target_nodes: 2,
+        }]);
+        pipeline.run_schedule(&schedule, &plan);
+        pipeline.finish()
+    });
+
+    assert!(!outcome.cancelled);
+    assert_eq!(outcome.resize_log.len(), 1);
+    assert_eq!(
+        outcome.result_keys(),
+        oracle.result_keys(),
+        "a shutdown racing a migration must not drop or duplicate results"
+    );
+}
+
+/// A cancel arriving before any planned resize skips the remaining scale
+/// steps: the pipeline drains at its current width instead of fencing for
+/// a pointless reconfiguration.
+#[test]
+fn cancel_before_the_planned_resize_skips_it_and_drains() {
+    let schedule = band_schedule(200.0, 5_000, 31);
+    let oracle = handshake_join::baselines::run_kang(BandPredicate::default(), &schedule);
+    let events = schedule.events().len();
+
+    let cancel = CancelToken::new();
+    let canceller = {
+        let cancel = cancel.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            cancel.cancel();
+        })
+    };
+    let started = Instant::now();
+    let outcome = with_deadline(Duration::from_secs(30), move || {
+        run_elastic_pipeline(
+            2,
+            llhj_factory(BandPredicate::default()),
+            BandPredicate::default(),
+            RoundRobin,
+            &schedule,
+            // Planned near the end of the 5 s schedule — the cancel at
+            // 0.3 s must win long before it.
+            &ScalePlan::new(vec![ScaleStep {
+                after_events: events * 9 / 10,
+                target_nodes: 4,
+            }]),
+            &PipelineOptions {
+                batch_size: 4,
+                pacing: Pacing::RealTime { speedup: 1.0 },
+                cancel: Some(cancel),
+                ..Default::default()
+            },
+        )
+    });
+    canceller.join().unwrap();
+
+    assert!(outcome.cancelled);
+    assert!(
+        outcome.resize_log.is_empty(),
+        "a cancelled run must not fence for resizes it never reached"
+    );
+    assert_eq!(outcome.nodes, 2);
+    assert!(
+        started.elapsed() < Duration::from_secs(4),
+        "the cancel must cut the 5 s replay short (took {:?})",
+        started.elapsed()
+    );
+    assert_sound(
+        &outcome.result_keys(),
+        &oracle.result_keys(),
+        "early cancel",
+    );
+}
