@@ -1,0 +1,338 @@
+//! Closed-loop auto-scaler measurement, snapshotted to
+//! `BENCH_autoscale.json`.
+//!
+//! Two views of the same story, mirroring `bench_elastic` but with the
+//! controller — not a plan — deciding the resizes:
+//!
+//! * **runtime** — a real-time replay of a bursty band-join workload
+//!   through `run_autoscaled_pipeline`: the controller thread samples the
+//!   metrics bus, the hysteresis policy grows the chain into the burst
+//!   and shrinks it after the cooldown, and the snapshot records every
+//!   decision, the sampled rate/latency series, and per-phase result
+//!   latency.  (On a 1-core container the grow cannot buy real
+//!   parallelism; the decisions are the point here.)
+//! * **sim** — the same closed loop in the discrete-event simulator with
+//!   a scan-dominated cost model under which 2 virtual cores are far over
+//!   capacity during the burst.  The throughput trace shows the
+//!   autoscaled chain's output rate rising right after the controller's
+//!   grow while the fixed chain flat-lines — the `bench_elastic` story
+//!   with the human taken out of the loop.  Asserted, so the CI smoke run
+//!   guards the closed loop end to end.
+
+use llhj_bench::{bursty_band_schedule, percentile as percentile_ms};
+use llhj_core::driver::DriverSchedule;
+use llhj_core::homing::RoundRobin;
+use llhj_core::metrics::AutoscalePolicy;
+use llhj_core::time::{TimeDelta, Timestamp};
+use llhj_core::window::WindowSpec;
+use llhj_runtime::{
+    llhj_factory, run_autoscaled_pipeline, AutoscaleOptions, Pacing, PipelineOptions,
+};
+use llhj_sim::{run_autoscaled_simulation, run_elastic_simulation, Algorithm, SimConfig};
+use llhj_workload::BandPredicate;
+use llhj_workload::{RTuple, STuple};
+
+fn bursty_schedule(
+    base_rate: f64,
+    duration: TimeDelta,
+    factor: u32,
+    window: TimeDelta,
+) -> DriverSchedule<RTuple, STuple> {
+    bursty_band_schedule(base_rate, duration, factor, 40, 70, window, 0xA07_05CA)
+}
+
+fn main() {
+    println!("{{");
+    println!("  \"experiment\": \"autoscale\",");
+    println!("  \"host\": {},", llhj_bench::host_meta_json());
+
+    // ---------------- threaded runtime: the loop closes itself ----------
+    // 400/s base, 3x burst over 800-1400 ms of a 2 s stream.  Watermarks
+    // around the operating points: 400/2 = 200/node (band), 1200/2 =
+    // 600/node (overload), 1200/4 = 300/node (band), 400/4 = 100/node
+    // (underload).
+    let duration = TimeDelta::from_secs(2);
+    let burst_from = Timestamp::from_millis(800);
+    let burst_to = Timestamp::from_millis(1_400);
+    let schedule = bursty_schedule(400.0, duration, 3, TimeDelta::from_millis(150));
+    let policy = AutoscalePolicy {
+        target_p99: TimeDelta::from_millis(500),
+        high_watermark: 450.0,
+        low_watermark: 130.0,
+        cooldown: TimeDelta::from_millis(250),
+        min_nodes: 2,
+        max_nodes: 4,
+        step: 2,
+    };
+    let autoscale = AutoscaleOptions {
+        policy: policy.clone(),
+        sample_interval: TimeDelta::from_millis(100),
+    };
+    let opts = PipelineOptions {
+        batch_size: 4,
+        flush_interval: Some(TimeDelta::from_millis(5)),
+        pacing: Pacing::RealTime { speedup: 1.0 },
+        ..Default::default()
+    };
+    let (outcome, report) = run_autoscaled_pipeline(
+        2,
+        llhj_factory(BandPredicate::default()),
+        BandPredicate::default(),
+        RoundRobin,
+        &schedule,
+        &autoscale,
+        &opts,
+    );
+
+    println!("  \"runtime\": {{");
+    println!(
+        "    \"base_rate_per_sec\": 400, \"burst_factor\": 3, \"stream_secs\": 2, \
+         \"burst_window_ms\": [800, 1400],"
+    );
+    println!(
+        "    \"policy\": {{\"high_watermark_per_node\": {}, \"low_watermark_per_node\": {}, \
+         \"target_p99_ms\": 500, \"cooldown_ms\": 250, \"min_nodes\": 2, \"max_nodes\": 4, \
+         \"step\": 2}},",
+        policy.high_watermark, policy.low_watermark,
+    );
+    println!("    \"decisions\": [");
+    for (i, d) in report.decisions.iter().enumerate() {
+        println!(
+            "      {{\"at_ms\": {:.1}, \"from\": {}, \"to\": {}}}{}",
+            d.at.as_secs_f64() * 1e3,
+            d.from_nodes,
+            d.to_nodes,
+            if i + 1 < report.decisions.len() {
+                ","
+            } else {
+                ""
+            },
+        );
+    }
+    println!("    ],");
+    println!("    \"resizes\": [");
+    for (i, resize) in outcome.resize_log.iter().enumerate() {
+        println!(
+            "      {{\"at_ms\": {:.1}, \"from\": {}, \"to\": {}, \"migrated_tuples\": {}, \
+             \"fence_us\": {}}}{}",
+            resize.at.as_secs_f64() * 1e3,
+            resize.from_nodes,
+            resize.to_nodes,
+            resize.migrated_tuples,
+            resize.fence_wall_micros,
+            if i + 1 < outcome.resize_log.len() {
+                ","
+            } else {
+                ""
+            },
+        );
+    }
+    println!("    ],");
+    println!("    \"samples\": [");
+    for (i, s) in report.samples.iter().enumerate() {
+        println!(
+            "      {{\"t_ms\": {:.0}, \"nodes\": {}, \"rate_per_s\": {:.0}, \
+             \"latency_ewma_ms\": {:.3}, \"entry_occupancy\": [{}, {}], \
+             \"busy\": [{}]}}{}",
+            s.at.as_secs_f64() * 1e3,
+            s.nodes,
+            s.arrival_rate_per_sec,
+            s.latency_ewma.as_millis_f64(),
+            s.entry_occupancy.0,
+            s.entry_occupancy.1,
+            s.busy_fraction
+                .iter()
+                .map(|f| format!("{f:.3}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            if i + 1 < report.samples.len() {
+                ","
+            } else {
+                ""
+            },
+        );
+    }
+    println!("    ],");
+    let phases = [
+        ("pre_burst", Timestamp::ZERO, burst_from),
+        ("burst", burst_from, burst_to),
+        ("post_burst", burst_to, Timestamp::from_millis(10_000)),
+    ];
+    println!("    \"phases\": [");
+    for (i, (name, from, to)) in phases.iter().enumerate() {
+        let mut lat: Vec<f64> = outcome
+            .results
+            .iter()
+            .filter(|t| t.detected_at >= *from && t.detected_at < *to)
+            .map(|t| t.latency().as_millis_f64())
+            .collect();
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = if lat.is_empty() {
+            0.0
+        } else {
+            lat.iter().sum::<f64>() / lat.len() as f64
+        };
+        println!(
+            "      {{\"phase\": \"{name}\", \"results\": {}, \"mean_ms\": {:.3}, \
+             \"p99_ms\": {:.3}}}{}",
+            lat.len(),
+            mean,
+            percentile_ms(&lat, 0.99),
+            if i + 1 < phases.len() { "," } else { "" },
+        );
+    }
+    println!("    ],");
+    println!(
+        "    \"results_total\": {}, \"final_nodes\": {}, \"elapsed_s\": {:.3}",
+        outcome.results.len(),
+        outcome.nodes,
+        outcome.elapsed.as_secs_f64()
+    );
+    println!("  }},");
+
+    // The closed loop must actually have closed: grown >= 2 nodes into the
+    // burst and shrunk back afterwards.
+    assert!(
+        report.peak_nodes(2) >= 4,
+        "the controller must grow >= 2 nodes during the burst, \
+         decisions: {:?}",
+        report.decisions
+    );
+    assert!(
+        report.decisions.iter().any(|d| d.to_nodes < d.from_nodes),
+        "the controller must shrink after the burst, decisions: {:?}",
+        report.decisions
+    );
+    assert_eq!(outcome.nodes, 2, "the chain must end back at the floor");
+
+    // ---------------- simulator: autoscaled vs fixed throughput ---------
+    // Scan-dominated cost model (as in bench_elastic): during the 4x burst
+    // two virtual cores are far over capacity, eight are not.  Watermarks
+    // around the operating points: 800/2 = 400/node, 3200/2 = 1600/node,
+    // 3200/8 = 400/node, 800/8 = 100/node.
+    let sim_schedule = bursty_schedule(
+        800.0,
+        TimeDelta::from_secs(3),
+        4,
+        TimeDelta::from_millis(500),
+    );
+    let mut cfg = SimConfig::new(2, Algorithm::Llhj);
+    cfg.batch_size = 16;
+    cfg.cost.per_comparison_ns = 400.0;
+    cfg.window_r = WindowSpec::Time(TimeDelta::from_millis(500));
+    cfg.window_s = WindowSpec::Time(TimeDelta::from_millis(500));
+    cfg.expected_rate_per_sec = 800.0;
+    cfg.latency_bucket = u64::MAX;
+    cfg.collect_interval = TimeDelta::from_millis(10);
+    let sim_policy = AutoscalePolicy {
+        target_p99: TimeDelta::from_secs(2),
+        high_watermark: 600.0,
+        low_watermark: 150.0,
+        cooldown: TimeDelta::from_millis(300),
+        min_nodes: 2,
+        max_nodes: 8,
+        step: 6,
+    };
+
+    let fixed = run_elastic_simulation(
+        &cfg,
+        BandPredicate::default(),
+        RoundRobin,
+        &sim_schedule,
+        &[],
+    );
+    let (auto_sim, auto_report) = run_autoscaled_simulation(
+        &cfg,
+        BandPredicate::default(),
+        RoundRobin,
+        &sim_schedule,
+        &sim_policy,
+        TimeDelta::from_millis(100),
+    );
+
+    let bucket_ns = 100_000_000u64; // 100 ms of virtual time
+    let fixed_trace = fixed.throughput_trace(bucket_ns);
+    let auto_trace = auto_sim.throughput_trace(bucket_ns);
+
+    println!("  \"sim\": {{");
+    println!(
+        "    \"base_rate_per_sec\": 800, \"burst_factor\": 4, \"stream_secs\": 3, \
+         \"burst_window_ms\": [1200, 2100],"
+    );
+    println!(
+        "    \"policy\": {{\"high_watermark_per_node\": {}, \"low_watermark_per_node\": {}, \
+         \"cooldown_ms\": 300, \"min_nodes\": 2, \"max_nodes\": 8, \"step\": 6}},",
+        sim_policy.high_watermark, sim_policy.low_watermark,
+    );
+    println!("    \"decisions\": [");
+    for (i, d) in auto_report.decisions.iter().enumerate() {
+        println!(
+            "      {{\"at_ms\": {:.0}, \"from\": {}, \"to\": {}}}{}",
+            d.at.as_secs_f64() * 1e3,
+            d.from_nodes,
+            d.to_nodes,
+            if i + 1 < auto_report.decisions.len() {
+                ","
+            } else {
+                ""
+            },
+        );
+    }
+    println!("    ],");
+    println!("    \"trace_bucket_ms\": 100,");
+    println!("    \"trace\": [");
+    let buckets = fixed_trace.len().max(auto_trace.len());
+    let at = |trace: &[(u64, f64)], i: usize| trace.get(i).map(|&(_, v)| v).unwrap_or(0.0);
+    // Node count over virtual time, reconstructed from the decision log.
+    let nodes_at = |t_ns: u64| {
+        let mut nodes = 2usize;
+        for d in &auto_report.decisions {
+            if (d.at.as_micros() * 1_000) <= t_ns {
+                nodes = d.to_nodes;
+            }
+        }
+        nodes
+    };
+    for i in 0..buckets {
+        println!(
+            "      {{\"t_ms\": {}, \"fixed2_results_per_s\": {:.0}, \
+             \"autoscaled_results_per_s\": {:.0}, \"autoscaled_nodes\": {}}}{}",
+            i * 100,
+            at(&fixed_trace, i),
+            at(&auto_trace, i),
+            nodes_at(i as u64 * bucket_ns),
+            if i + 1 < buckets { "," } else { "" },
+        );
+    }
+    println!("    ],");
+
+    // The claim the trace exists for: with nobody planning resizes, the
+    // controller alone must buy the same throughput rise bench_elastic
+    // demonstrated with a hand-written plan.
+    let burst_range = |trace: &[(u64, f64)]| {
+        trace
+            .iter()
+            .filter(|&&(t, _)| (1_300_000_000..2_100_000_000).contains(&t))
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max)
+    };
+    let fixed_peak = burst_range(&fixed_trace);
+    let auto_peak = burst_range(&auto_trace);
+    assert!(
+        auto_report.peak_nodes(2) >= 4,
+        "the sim controller must grow during the burst: {:?}",
+        auto_report.decisions
+    );
+    assert!(
+        auto_peak > 1.3 * fixed_peak,
+        "throughput must rise after the controller's grow: autoscaled peak \
+         {auto_peak:.0}/s vs fixed-2 peak {fixed_peak:.0}/s during the burst"
+    );
+    println!(
+        "    \"burst_peak_results_per_s\": {{\"fixed2\": {fixed_peak:.0}, \
+         \"autoscaled\": {auto_peak:.0}}}, \"final_nodes\": {}",
+        auto_sim.report.nodes
+    );
+    println!("  }}");
+    println!("}}");
+}

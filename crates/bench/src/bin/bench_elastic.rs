@@ -15,6 +15,7 @@
 //!   after the grow — the paper's Section 6 scaling story, made a runtime
 //!   property.
 
+use llhj_bench::{bursty_band_schedule, percentile as percentile_ms};
 use llhj_core::driver::DriverSchedule;
 use llhj_core::homing::RoundRobin;
 use llhj_core::time::{TimeDelta, Timestamp};
@@ -23,16 +24,8 @@ use llhj_runtime::{
     llhj_factory, run_elastic_pipeline, Pacing, PipelineOptions, ScalePlan, ScaleStep,
 };
 use llhj_sim::{run_elastic_simulation, Algorithm, SimConfig};
-use llhj_workload::{band_join_schedule, ArrivalPattern, BandJoinWorkload, BandPredicate};
+use llhj_workload::BandPredicate;
 use llhj_workload::{RTuple, STuple};
-
-fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
-}
 
 /// First schedule-event index at or after the given stream time.
 fn event_index_at(schedule: &DriverSchedule<RTuple, STuple>, at: Timestamp) -> usize {
@@ -49,31 +42,13 @@ fn bursty_schedule(
     factor: u32,
     window: TimeDelta,
 ) -> DriverSchedule<RTuple, STuple> {
-    let workload = BandJoinWorkload {
-        rate_per_sec: base_rate,
-        duration,
-        domain: 220,
-        pattern: ArrivalPattern::Bursty {
-            factor,
-            from_pct: 40,
-            to_pct: 70,
-        },
-        seed: 0xE1A5,
-    };
-    band_join_schedule(
-        &workload,
-        WindowSpec::Time(window),
-        WindowSpec::Time(window),
-    )
+    bursty_band_schedule(base_rate, duration, factor, 40, 70, window, 0xE1A5)
 }
 
 fn main() {
     println!("{{");
     println!("  \"experiment\": \"elastic_scaling\",");
-    println!(
-        "  \"host_caveat\": \"runtime section measured on whatever cores this host has \
-         (1-core container when snapshotted); the sim section is host-independent\","
-    );
+    println!("  \"host\": {},", llhj_bench::host_meta_json());
 
     // ---------------- threaded runtime: grow under a real-time burst ----
     let duration = TimeDelta::from_secs(2);

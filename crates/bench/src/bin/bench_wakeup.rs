@@ -32,6 +32,7 @@ fn main() {
     let nodes = 4;
 
     println!("{{\n  \"experiment\": \"paced_wakeups\",");
+    println!("  \"host\": {},", llhj_bench::host_meta_json());
     println!(
         "  \"rate_per_sec\": {}, \"stream_secs\": 2, \"nodes\": {nodes}, \"speedup\": 1.0,",
         workload.rate_per_sec

@@ -63,6 +63,7 @@ impl BatchingReport {
     /// environment has no serde).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"experiment\": \"batching_sweep\",\n");
+        out.push_str(&format!("  \"host\": {},\n", crate::host_meta_json()));
         out.push_str("  \"workload\": \"equi_join\",\n  \"rows\": [\n");
         for (i, row) in self.rows.iter().enumerate() {
             out.push_str(&format!(

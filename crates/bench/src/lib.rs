@@ -20,6 +20,49 @@ pub mod experiments;
 
 use std::fmt::Write as _;
 
+/// Number of logical cores the host exposes.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The host's CPU model string (from `/proc/cpuinfo`; `"unknown"` where
+/// that is unavailable).
+pub fn host_cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|info| {
+            info.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .filter(|m| !m.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The `"host"` object every `BENCH_*.json` snapshot embeds: core count,
+/// CPU model, and the standing ROADMAP caveat that threaded-runtime
+/// numbers snapshotted on the 1-core CI container underestimate real
+/// multicore hardware (the simulator sections are host-independent).
+/// Not JSON-escaped beyond what `/proc/cpuinfo` model strings need
+/// (alphanumerics, spaces, `()@.-`).
+pub fn host_meta_json() -> String {
+    let cores = host_cores();
+    let model = host_cpu_model().replace('"', "'");
+    let caveat = if cores == 1 {
+        "measured on a 1-core container: threaded-runtime numbers cannot \
+         show real parallelism and underestimate multicore hardware \
+         (ROADMAP open item: re-snapshot on real multicore); simulator \
+         sections are host-independent"
+    } else {
+        "simulator sections are host-independent; runtime sections depend \
+         on this host"
+    };
+    format!("{{\"cores\": {cores}, \"cpu_model\": \"{model}\", \"caveat\": \"{caveat}\"}}")
+}
+
 /// Scale factors shared by all experiments.
 ///
 /// `Scale::default()` is the configuration used to regenerate
@@ -147,6 +190,44 @@ impl TextTable {
 /// Formats a float with the given precision, used by the report tables.
 pub fn fmt_f(value: f64, digits: usize) -> String {
     format!("{value:.digits$}")
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (0 when empty).
+/// Shared by the bench binaries so their per-phase latency rows stay
+/// comparable across snapshots.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// The bursty band-join schedule the elasticity benches replay: base
+/// `rate` per stream with a `factor`× burst between `from_pct`% and
+/// `to_pct`% of `duration`, on the scaled 220-value domain, over
+/// symmetric time windows of `window`.  One definition so
+/// `BENCH_elastic.json` and `BENCH_autoscale.json` measure the same
+/// workload shape.
+pub fn bursty_band_schedule(
+    rate: f64,
+    duration: llhj_core::time::TimeDelta,
+    factor: u32,
+    from_pct: u8,
+    to_pct: u8,
+    window: llhj_core::time::TimeDelta,
+    seed: u64,
+) -> llhj_core::driver::DriverSchedule<llhj_workload::RTuple, llhj_workload::STuple> {
+    let workload = llhj_workload::BandJoinWorkload {
+        domain: 220,
+        seed,
+        ..llhj_workload::BandJoinWorkload::bursty(rate, duration, factor, from_pct, to_pct)
+    };
+    llhj_workload::band_join_schedule(
+        &workload,
+        llhj_core::window::WindowSpec::Time(window),
+        llhj_core::window::WindowSpec::Time(window),
+    )
 }
 
 #[cfg(test)]

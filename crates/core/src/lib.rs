@@ -13,7 +13,10 @@
 //! * **punctuations** and high-water marks for ordered output
 //!   (Sections 5 and 6) plus the punctuation-driven [`SortingOperator`];
 //! * the **analytic latency model** of Section 3.1;
-//! * node-local **hash indexing** for equi-join acceleration (Section 7.6).
+//! * node-local **hash indexing** for equi-join acceleration (Section 7.6);
+//! * the **auto-scale control policy** ([`metrics`]) shared by the
+//!   threaded runtime's controller thread and the simulator's
+//!   deterministic mirror.
 //!
 //! The node state machines are engine agnostic: they consume messages and
 //! append to [`NodeOutput`] buffers.  The `llhj-runtime` crate drives them
@@ -60,6 +63,7 @@ pub mod driver;
 pub mod homing;
 pub mod latency_model;
 pub mod message;
+pub mod metrics;
 pub mod node;
 pub mod node_hsj;
 pub mod node_llhj;
@@ -79,7 +83,11 @@ pub use latency_model::{
     hsj_expected_latency, hsj_latency_at_position, hsj_max_latency, hsj_warmup, LlhjLatencyModel,
 };
 pub use message::{Handoff, LeftToRight, MessageBatch, NodeOutput, RightToLeft, WindowSegment};
-pub use node::PipelineNode;
+pub use metrics::{
+    AutoscaleDecision, AutoscalePolicy, AutoscaleReport, LatencyEwma, MetricsSample, PolicyState,
+    ResizeDecision,
+};
+pub use node::{ElasticError, PipelineNode};
 pub use node_hsj::{FlowPolicy, HsjNode, HsjOutput, SegmentCapacity};
 pub use node_llhj::{LlhjNode, LlhjOutput};
 pub use predicate::{AlwaysFalse, AlwaysTrue, EquiPredicate, FnPredicate, JoinPredicate};
@@ -99,7 +107,11 @@ pub mod prelude {
     pub use crate::message::{
         Handoff, LeftToRight, MessageBatch, NodeOutput, RightToLeft, WindowSegment,
     };
-    pub use crate::node::PipelineNode;
+    pub use crate::metrics::{
+        AutoscaleDecision, AutoscalePolicy, AutoscaleReport, LatencyEwma, MetricsSample,
+        PolicyState, ResizeDecision,
+    };
+    pub use crate::node::{ElasticError, PipelineNode};
     pub use crate::node_hsj::{FlowPolicy, HsjNode, HsjOutput, SegmentCapacity};
     pub use crate::node_llhj::{LlhjNode, LlhjOutput};
     pub use crate::predicate::{EquiPredicate, FnPredicate, JoinPredicate};

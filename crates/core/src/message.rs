@@ -63,6 +63,12 @@ impl<S> RightToLeft<S> {
 /// expiry message *wherever* it rests, as long as it rests exactly once.
 /// The handoff protocol (segment, then ack) preserves that exactly-once
 /// residence.
+///
+/// Segments are produced and consumed through the
+/// [`crate::node::PipelineNode::export_segment`] /
+/// [`crate::node::PipelineNode::import_segment`] contract; node types
+/// without migration support (the original handshake join) refuse both
+/// with a typed [`crate::node::ElasticError`] instead of panicking.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WindowSegment<R, S> {
     /// Stored R tuples, in increasing sequence order.

@@ -1,0 +1,473 @@
+//! Metric types and the auto-scale control policy.
+//!
+//! Elastic scaling (PR 3) made the chain width a *runtime* property, but
+//! left the decision of **when** to resize to a human-supplied plan of
+//! `(event index, target width)` steps.  This module holds the
+//! substrate-agnostic half of the closed loop:
+//!
+//! * [`MetricsSample`] — one observation of the pipeline's load, taken at
+//!   a stream-time instant.  The threaded runtime fills it from its
+//!   lock-free metrics bus (channel occupancy, collector latency EWMA,
+//!   per-node busy fractions); the discrete-event simulator fills it from
+//!   its deterministic virtual-time counters.  Both substrates feed the
+//!   *same* sample type into the *same* policy, which is what makes a
+//!   controller decision reproducible across them.
+//! * [`AutoscalePolicy`] — a hysteresis controller: per-node arrival-rate
+//!   watermarks plus a latency target decide between grow / shrink /
+//!   hold, a cooldown suppresses flapping, and min/max clamps bound the
+//!   chain width.
+//! * [`AutoscaleReport`] — the exported time series: every sample the
+//!   controller saw and every resize it decided, for benchmarks and the
+//!   conformance suite (which asserts that the simulator mirror
+//!   reproduces the runtime's decision sequence).
+//!
+//! The policy is a pure function of `(state, sample)`, so it is
+//! unit-testable against synthetic metric traces without spinning up
+//! either substrate — see the tests at the bottom of this module.
+
+use crate::time::{TimeDelta, Timestamp};
+
+/// Default smoothing factor of the result-latency EWMA.  Both substrates
+/// use it — the runtime's metrics bus and the simulator's auto-scale
+/// mirror — so the latency signal a policy sees is derived identically
+/// from the same result stream.
+pub const DEFAULT_LATENCY_ALPHA: f64 = 0.2;
+
+/// Exponentially weighted moving average of result latencies.
+///
+/// The collector updates it once per result; the controller reads it as
+/// the pipeline's latency signal.  An EWMA is used instead of an exact
+/// percentile because it can be maintained in O(1) per observation and
+/// published through a single atomic word (the runtime's metrics bus
+/// stores the `f64` bits in an `AtomicU64`).
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyEwma {
+    /// Smoothing factor in `(0, 1]`: the weight of the newest observation.
+    pub alpha: f64,
+    value_us: f64,
+    observed: bool,
+}
+
+impl LatencyEwma {
+    /// Creates an empty average with the given smoothing factor.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        LatencyEwma {
+            alpha,
+            value_us: 0.0,
+            observed: false,
+        }
+    }
+
+    /// Folds one latency observation into the average.
+    pub fn observe(&mut self, latency: TimeDelta) {
+        let us = latency.as_micros() as f64;
+        if self.observed {
+            self.value_us += self.alpha * (us - self.value_us);
+        } else {
+            self.value_us = us;
+            self.observed = true;
+        }
+    }
+
+    /// Current average (zero before the first observation).
+    pub fn value(&self) -> TimeDelta {
+        TimeDelta::from_micros(self.value_us.max(0.0).round() as u64)
+    }
+
+    /// Raw microsecond value, for atomic publication.
+    pub fn value_us(&self) -> f64 {
+        self.value_us
+    }
+}
+
+/// One observation of the pipeline's load at a stream-time instant.
+///
+/// Produced by the runtime's sampler thread (wall-clock ticks, stream
+/// timestamps from the shared clock) or by the simulator (exact
+/// stream-time boundaries).  Fields that a substrate cannot measure are
+/// zero: the simulator has no channel queues, so its `entry_occupancy`
+/// is always `(0, 0)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSample {
+    /// Stream time at which the sample was taken.
+    pub at: Timestamp,
+    /// Chain width at sample time.
+    pub nodes: usize,
+    /// Observed per-stream arrival rate (tuples/second) since the
+    /// previous sample: `(ΔR + ΔS) / 2 / Δt`.
+    pub arrival_rate_per_sec: f64,
+    /// Collector-side result-latency EWMA at sample time.
+    pub latency_ewma: TimeDelta,
+    /// Frames queued in the (left, right) driver entry channels.
+    pub entry_occupancy: (usize, usize),
+    /// Fraction of the sample interval each node spent processing frames,
+    /// indexed by node id (live nodes only).
+    pub busy_fraction: Vec<f64>,
+}
+
+/// What the controller decided for one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AutoscaleDecision {
+    /// Load is inside the hysteresis band (or the cooldown is active, or
+    /// a clamp made the resize a no-op): keep the current width.
+    Hold,
+    /// Grow the chain to this width.
+    Grow(usize),
+    /// Shrink the chain to this width.
+    Shrink(usize),
+}
+
+impl AutoscaleDecision {
+    /// The target width, if the decision is a resize.
+    pub fn target(&self) -> Option<usize> {
+        match self {
+            AutoscaleDecision::Hold => None,
+            AutoscaleDecision::Grow(n) | AutoscaleDecision::Shrink(n) => Some(*n),
+        }
+    }
+}
+
+/// The hysteresis auto-scale policy.
+///
+/// A sample counts as **overload** when the per-node arrival rate
+/// exceeds [`high_watermark`](Self::high_watermark) *or* the latency
+/// EWMA exceeds [`target_p99`](Self::target_p99); it counts as
+/// **underload** when the per-node rate is below
+/// [`low_watermark`](Self::low_watermark) *and* the latency signal is
+/// within target.  Overload grows the chain by [`step`](Self::step)
+/// nodes, underload shrinks it by `step`, anything in between holds —
+/// the gap between the watermarks is the hysteresis band that prevents
+/// flapping, and [`cooldown`](Self::cooldown) additionally enforces a
+/// minimum stream-time distance between consecutive resizes (each fence
+/// pauses injection, so back-to-back fences would themselves hurt the
+/// latency the controller chases).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoscalePolicy {
+    /// Latency target the controller chases: a latency EWMA above this is
+    /// treated as overload even when the rate watermark is not crossed.
+    pub target_p99: TimeDelta,
+    /// Per-node arrival rate (tuples/second/node) above which the chain
+    /// grows.
+    pub high_watermark: f64,
+    /// Per-node arrival rate below which the chain shrinks.  Must be
+    /// comfortably under `high_watermark / (1 + step/nodes)` or a grow
+    /// immediately re-arms a shrink.
+    pub low_watermark: f64,
+    /// Minimum stream time between consecutive resizes.
+    pub cooldown: TimeDelta,
+    /// Smallest chain width the controller may shrink to (≥ 1).
+    pub min_nodes: usize,
+    /// Largest chain width the controller may grow to.
+    pub max_nodes: usize,
+    /// Nodes added or retired per decision.
+    pub step: usize,
+}
+
+impl AutoscalePolicy {
+    /// Validates the policy's invariants; returns a description of the
+    /// first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_nodes == 0 {
+            return Err("min_nodes must be at least 1".into());
+        }
+        if self.max_nodes < self.min_nodes {
+            return Err("max_nodes must be >= min_nodes".into());
+        }
+        if self.step == 0 {
+            return Err("step must be positive".into());
+        }
+        if !(self.low_watermark >= 0.0 && self.high_watermark > self.low_watermark) {
+            return Err("watermarks must satisfy 0 <= low < high".into());
+        }
+        Ok(())
+    }
+
+    /// Evaluates one sample against the policy.
+    ///
+    /// Pure: all controller memory lives in `state`, so the same
+    /// `(policy, state, trace)` sequence produces the same decisions on
+    /// every substrate — the property the conformance suite pins.
+    pub fn decide(&self, state: &mut PolicyState, sample: &MetricsSample) -> AutoscaleDecision {
+        let nodes = sample.nodes.max(1);
+        let per_node_rate = sample.arrival_rate_per_sec / nodes as f64;
+        let latency_high = sample.latency_ewma > self.target_p99;
+        let overloaded = per_node_rate > self.high_watermark || latency_high;
+        let underloaded = per_node_rate < self.low_watermark && !latency_high;
+
+        let cooling = state
+            .last_resize_at
+            .is_some_and(|at| sample.at.saturating_since(at) < self.cooldown);
+
+        let decision = if overloaded && !cooling {
+            let target = sample
+                .nodes
+                .saturating_add(self.step)
+                .min(self.max_nodes.max(self.min_nodes));
+            if target > sample.nodes {
+                AutoscaleDecision::Grow(target)
+            } else {
+                AutoscaleDecision::Hold
+            }
+        } else if underloaded && !cooling {
+            let target = sample
+                .nodes
+                .saturating_sub(self.step)
+                .max(self.min_nodes)
+                .min(sample.nodes);
+            if target < sample.nodes {
+                AutoscaleDecision::Shrink(target)
+            } else {
+                AutoscaleDecision::Hold
+            }
+        } else {
+            AutoscaleDecision::Hold
+        };
+
+        if decision.target().is_some() {
+            state.last_resize_at = Some(sample.at);
+        }
+        decision
+    }
+}
+
+/// Controller memory carried between samples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PolicyState {
+    /// Stream time of the most recent resize decision (for the cooldown).
+    pub last_resize_at: Option<Timestamp>,
+}
+
+/// One resize the controller decided, for the decision log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResizeDecision {
+    /// Stream time of the sample that triggered the resize.
+    pub at: Timestamp,
+    /// Chain width before.
+    pub from_nodes: usize,
+    /// Chain width after.
+    pub to_nodes: usize,
+}
+
+/// The controller's exported time series: every sample and every resize
+/// decision, in order.
+#[derive(Debug, Clone, Default)]
+pub struct AutoscaleReport {
+    /// Every metrics sample the controller evaluated.
+    pub samples: Vec<MetricsSample>,
+    /// Every resize it decided (grow and shrink), in decision order.
+    pub decisions: Vec<ResizeDecision>,
+}
+
+impl AutoscaleReport {
+    /// The decision sequence as `(from, to)` width pairs — the shape the
+    /// conformance suite compares across substrates (timing jitters with
+    /// the wall clock; the sequence of widths must not).
+    pub fn decision_sequence(&self) -> Vec<(usize, usize)> {
+        self.decisions
+            .iter()
+            .map(|d| (d.from_nodes, d.to_nodes))
+            .collect()
+    }
+
+    /// Largest chain width any decision grew to (the initial width if no
+    /// decision was taken).
+    pub fn peak_nodes(&self, initial: usize) -> usize {
+        self.decisions
+            .iter()
+            .map(|d| d.to_nodes)
+            .fold(initial, usize::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> AutoscalePolicy {
+        AutoscalePolicy {
+            target_p99: TimeDelta::from_millis(50),
+            high_watermark: 500.0,
+            low_watermark: 120.0,
+            cooldown: TimeDelta::from_millis(200),
+            min_nodes: 2,
+            max_nodes: 8,
+            step: 2,
+        }
+    }
+
+    fn sample(at_ms: u64, nodes: usize, rate: f64, latency_ms: u64) -> MetricsSample {
+        MetricsSample {
+            at: Timestamp::from_millis(at_ms),
+            nodes,
+            arrival_rate_per_sec: rate,
+            latency_ewma: TimeDelta::from_millis(latency_ms),
+            entry_occupancy: (0, 0),
+            busy_fraction: vec![0.5; nodes],
+        }
+    }
+
+    /// A synthetic bursty trace: steady → burst → steady.  The controller
+    /// must grow exactly once during the burst and shrink exactly once
+    /// after it — the hysteresis band absorbs everything else.
+    #[test]
+    fn synthetic_burst_trace_grows_once_and_shrinks_once() {
+        let policy = policy();
+        let mut state = PolicyState::default();
+        let mut nodes = 2;
+        let mut decisions = Vec::new();
+        // 100 ms sampling; burst (rate 1600/s) between 400 and 1200 ms.
+        for tick in 1..=20u64 {
+            let at = tick * 100;
+            let rate = if (400..1200).contains(&at) {
+                1600.0
+            } else {
+                400.0
+            };
+            let decision = policy.decide(&mut state, &sample(at, nodes, rate, 1));
+            if let Some(target) = decision.target() {
+                decisions.push((nodes, target));
+                nodes = target;
+            }
+        }
+        assert_eq!(decisions, vec![(2, 4), (4, 2)]);
+    }
+
+    #[test]
+    fn latency_above_target_grows_even_under_the_rate_watermark() {
+        let policy = policy();
+        let mut state = PolicyState::default();
+        // Rate comfortably below the high watermark, latency blown.
+        let decision = policy.decide(&mut state, &sample(100, 2, 300.0, 80));
+        assert_eq!(decision, AutoscaleDecision::Grow(4));
+        // And a blown latency also vetoes a shrink.
+        let mut state = PolicyState::default();
+        let decision = policy.decide(&mut state, &sample(100, 4, 100.0, 80));
+        assert_eq!(decision, AutoscaleDecision::Grow(6));
+    }
+
+    #[test]
+    fn hysteresis_band_holds() {
+        let policy = policy();
+        let mut state = PolicyState::default();
+        // 300/s over 2 nodes = 150/node: between the watermarks.
+        assert_eq!(
+            policy.decide(&mut state, &sample(100, 2, 300.0, 1)),
+            AutoscaleDecision::Hold
+        );
+        assert!(state.last_resize_at.is_none(), "a hold must not re-arm");
+    }
+
+    #[test]
+    fn cooldown_suppresses_consecutive_resizes() {
+        let policy = policy();
+        let mut state = PolicyState::default();
+        // Overload at t=100 ms: grow fires.
+        assert_eq!(
+            policy.decide(&mut state, &sample(100, 2, 2000.0, 1)),
+            AutoscaleDecision::Grow(4)
+        );
+        // Still overloaded at t=200 ms, but inside the 200 ms cooldown.
+        assert_eq!(
+            policy.decide(&mut state, &sample(200, 4, 4000.0, 1)),
+            AutoscaleDecision::Hold
+        );
+        // Cooldown elapsed at t=300 ms: the next grow fires.
+        assert_eq!(
+            policy.decide(&mut state, &sample(300, 4, 4000.0, 1)),
+            AutoscaleDecision::Grow(6)
+        );
+    }
+
+    #[test]
+    fn min_and_max_clamps_turn_resizes_into_holds() {
+        let policy = policy();
+        let mut state = PolicyState::default();
+        // Already at max_nodes: overload holds instead of growing past it.
+        assert_eq!(
+            policy.decide(&mut state, &sample(100, 8, 90_000.0, 1)),
+            AutoscaleDecision::Hold
+        );
+        // Already at min_nodes: underload holds instead of shrinking.
+        assert_eq!(
+            policy.decide(&mut state, &sample(400, 2, 1.0, 0)),
+            AutoscaleDecision::Hold
+        );
+        // A step that would overshoot the clamp is truncated, not dropped.
+        let decision = policy.decide(&mut state, &sample(800, 7, 90_000.0, 1));
+        assert_eq!(decision, AutoscaleDecision::Grow(8));
+        let decision = policy.decide(&mut state, &sample(1200, 3, 1.0, 0));
+        assert_eq!(decision, AutoscaleDecision::Shrink(2));
+    }
+
+    #[test]
+    fn clamped_holds_do_not_start_a_cooldown() {
+        let policy = policy();
+        let mut state = PolicyState::default();
+        assert_eq!(
+            policy.decide(&mut state, &sample(100, 8, 90_000.0, 1)),
+            AutoscaleDecision::Hold
+        );
+        assert!(
+            state.last_resize_at.is_none(),
+            "a clamped hold must leave the cooldown un-armed"
+        );
+    }
+
+    #[test]
+    fn ewma_tracks_and_reports() {
+        let mut ewma = LatencyEwma::new(0.5);
+        assert_eq!(ewma.value(), TimeDelta::ZERO);
+        ewma.observe(TimeDelta::from_millis(10));
+        assert_eq!(ewma.value(), TimeDelta::from_millis(10));
+        ewma.observe(TimeDelta::from_millis(20));
+        assert_eq!(ewma.value(), TimeDelta::from_millis(15));
+        ewma.observe(TimeDelta::from_millis(15));
+        assert_eq!(ewma.value(), TimeDelta::from_millis(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_zero_alpha() {
+        let _ = LatencyEwma::new(0.0);
+    }
+
+    #[test]
+    fn policy_validation_catches_inverted_fields() {
+        assert!(policy().validate().is_ok());
+        let mut p = policy();
+        p.min_nodes = 0;
+        assert!(p.validate().is_err());
+        let mut p = policy();
+        p.max_nodes = 1;
+        assert!(p.validate().is_err());
+        let mut p = policy();
+        p.step = 0;
+        assert!(p.validate().is_err());
+        let mut p = policy();
+        p.low_watermark = p.high_watermark;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn report_exposes_sequence_and_peak() {
+        let report = AutoscaleReport {
+            samples: Vec::new(),
+            decisions: vec![
+                ResizeDecision {
+                    at: Timestamp::from_millis(100),
+                    from_nodes: 2,
+                    to_nodes: 4,
+                },
+                ResizeDecision {
+                    at: Timestamp::from_millis(900),
+                    from_nodes: 4,
+                    to_nodes: 2,
+                },
+            ],
+        };
+        assert_eq!(report.decision_sequence(), vec![(2, 4), (4, 2)]);
+        assert_eq!(report.peak_nodes(2), 4);
+        assert_eq!(AutoscaleReport::default().peak_nodes(3), 3);
+    }
+}

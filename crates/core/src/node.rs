@@ -11,6 +11,43 @@ use crate::result::ResultTuple;
 use crate::stats::NodeCounters;
 use crate::tuple::NodeId;
 
+/// Why an elastic reconfiguration request was refused.
+///
+/// The elastic substrates (`llhj-runtime`'s `ElasticPipeline`, `llhj-sim`'s
+/// elastic engine) only drive pipelines whose nodes report
+/// [`PipelineNode::supports_migration`], but the migration entry points are
+/// part of the shared node trait, so a caller that skips that check gets a
+/// *typed* refusal rather than a bare "unsupported" panic.  The canonical
+/// case: original handshake-join nodes ([`crate::node_hsj::HsjNode`]) tie
+/// their window state to construction-time segment capacities (the flow
+/// model of Section 3.1), so they cannot export or absorb a
+/// [`WindowSegment`] — only the LLHJ variants are elastic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElasticError {
+    /// The node's algorithm does not support state migration.
+    MigrationUnsupported {
+        /// The refusing node's pipeline position.
+        node: NodeId,
+        /// The refused operation (`"export_segment"`, `"import_segment"`,
+        /// `"set_position"`).
+        operation: &'static str,
+    },
+}
+
+impl std::fmt::Display for ElasticError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElasticError::MigrationUnsupported { node, operation } => write!(
+                f,
+                "node {node}: {operation} refused — this node type does not \
+                 support state migration (only LLHJ nodes are elastic)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ElasticError {}
+
 /// One processing node of a handshake-join style pipeline.
 pub trait PipelineNode<R, S>: Send {
     /// Handles a message arriving from the left neighbour (or the driver,
@@ -70,28 +107,49 @@ pub trait PipelineNode<R, S>: Send {
     /// True if the node can take part in an elastic reconfiguration
     /// (export/import of window segments plus renumbering).  Defaults to
     /// `false`; the elastic substrates refuse to scale pipelines whose
-    /// nodes cannot migrate.
+    /// nodes cannot migrate, and the three migration entry points below
+    /// return [`ElasticError::MigrationUnsupported`] for such nodes.
     fn supports_migration(&self) -> bool {
         false
     }
 
-    /// Exports the node's settled window state for migration.  Only valid
-    /// while the pipeline is fenced (no frame in flight anywhere); see
-    /// [`crate::message::WindowSegment`].
-    fn export_segment(&mut self) -> WindowSegment<R, S> {
-        panic!("this node type does not support state migration");
+    /// Exports the node's settled window state for migration.
+    ///
+    /// **Contract** (see [`crate::message::WindowSegment`]): only valid
+    /// while the pipeline is fenced — no frame in flight anywhere — at
+    /// which point an LLHJ node holds only settled state (no expedition
+    /// flags, empty `IWS`), which the implementation asserts.  The caller
+    /// owns the returned segment; the node is left empty and must either
+    /// receive an `import_segment` or retire.  Node types without
+    /// migration support (HSJ, whose flow model ties state to
+    /// construction-time segment capacities) return a typed
+    /// [`ElasticError`] instead of panicking.
+    fn export_segment(&mut self) -> Result<WindowSegment<R, S>, ElasticError> {
+        Err(ElasticError::MigrationUnsupported {
+            node: self.node_id(),
+            operation: "export_segment",
+        })
     }
 
-    /// Installs a neighbour's migrated window segment.  Only valid while
-    /// the pipeline is fenced.
-    fn import_segment(&mut self, _segment: WindowSegment<R, S>) {
-        panic!("this node type does not support state migration");
+    /// Installs a neighbour's migrated window segment, merging it with the
+    /// local windows (sorted by sequence number, hash indexes rebuilt).
+    /// Only valid while the pipeline is fenced; the same support rules as
+    /// [`PipelineNode::export_segment`] apply.
+    fn import_segment(&mut self, _segment: WindowSegment<R, S>) -> Result<(), ElasticError> {
+        Err(ElasticError::MigrationUnsupported {
+            node: self.node_id(),
+            operation: "import_segment",
+        })
     }
 
     /// Renumbers the node after an elastic reconfiguration.  Only valid
-    /// while the pipeline is fenced.
-    fn set_position(&mut self, _id: NodeId, _nodes: usize) {
-        panic!("this node type does not support state migration");
+    /// while the pipeline is fenced; the same support rules as
+    /// [`PipelineNode::export_segment`] apply.
+    fn set_position(&mut self, _id: NodeId, _nodes: usize) -> Result<(), ElasticError> {
+        Err(ElasticError::MigrationUnsupported {
+            node: self.node_id(),
+            operation: "set_position",
+        })
     }
 }
 
@@ -141,16 +199,18 @@ where
         true
     }
 
-    fn export_segment(&mut self) -> WindowSegment<R, S> {
-        crate::node_llhj::LlhjNode::export_segment(self)
+    fn export_segment(&mut self) -> Result<WindowSegment<R, S>, ElasticError> {
+        Ok(crate::node_llhj::LlhjNode::export_segment(self))
     }
 
-    fn import_segment(&mut self, segment: WindowSegment<R, S>) {
+    fn import_segment(&mut self, segment: WindowSegment<R, S>) -> Result<(), ElasticError> {
         crate::node_llhj::LlhjNode::import_segment(self, segment);
+        Ok(())
     }
 
-    fn set_position(&mut self, id: NodeId, nodes: usize) {
+    fn set_position(&mut self, id: NodeId, nodes: usize) -> Result<(), ElasticError> {
         crate::node_llhj::LlhjNode::set_position(self, id, nodes);
+        Ok(())
     }
 }
 
@@ -232,6 +292,41 @@ mod tests {
         // algorithms.
         assert_eq!(probe(&mut llhj), 1);
         assert_eq!(probe(&mut hsj), 1);
+    }
+
+    /// The HSJ flow model ties state to construction-time segment
+    /// capacities, so migration requests come back as a typed
+    /// [`ElasticError`] instead of a panic.
+    #[test]
+    fn hsj_refuses_migration_with_a_typed_error() {
+        let pred = FnPredicate(|r: &u32, s: &u32| r == s);
+        let mut hsj = HsjNode::with_capacity(2, 4, SegmentCapacity { r: 16, s: 16 }, pred);
+        let node: &mut dyn PipelineNode<u32, u32> = &mut hsj;
+        assert!(!node.supports_migration());
+        assert_eq!(
+            node.export_segment(),
+            Err(ElasticError::MigrationUnsupported {
+                node: 2,
+                operation: "export_segment",
+            })
+        );
+        assert_eq!(
+            node.import_segment(WindowSegment::empty()),
+            Err(ElasticError::MigrationUnsupported {
+                node: 2,
+                operation: "import_segment",
+            })
+        );
+        assert_eq!(
+            node.set_position(0, 2),
+            Err(ElasticError::MigrationUnsupported {
+                node: 2,
+                operation: "set_position",
+            })
+        );
+        let err = node.export_segment().unwrap_err();
+        assert!(err.to_string().contains("export_segment"));
+        assert!(err.to_string().contains("node 2"));
     }
 
     #[test]

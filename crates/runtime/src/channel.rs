@@ -290,6 +290,27 @@ impl<T> Sender<T> {
     }
 }
 
+impl<T> Sender<T> {
+    /// Number of frames currently queued in the channel.
+    ///
+    /// Exposed on the *sender* because that is the half the control plane
+    /// keeps: the metrics sampler probes the driver-side entry channels
+    /// for occupancy without disturbing the consuming worker.
+    pub fn len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("channel poisoned")
+            .queue
+            .len()
+    }
+
+    /// True if no frame is currently queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         self.shared.state.lock().expect("channel poisoned").senders += 1;

@@ -6,7 +6,14 @@
 //! [`ElasticPipeline`] owns the worker threads and channel wiring and can
 //! insert or retire join nodes **mid-run** without dropping or duplicating
 //! a single result.  The control path is the [`ScalePipeline`] trait:
-//! `grow(n)` / `shrink(n)` / `scale_to(n)`.
+//! `grow(n)` / `shrink(n)` / `scale_to(n)`; the *closed-loop* path — a
+//! controller that decides when to call them — is [`crate::autoscale`].
+//!
+//! The data plane (worker loop, entry batching, collector) is the shared
+//! machinery of the crate-private `exec` module — exactly the code the fixed pipeline
+//! runs.  This module only adds the control plane of a *resizable*
+//! deployment: owned (rather than scoped) workers behind handles, command
+//! mailboxes, and the reconfiguration protocol below.
 //!
 //! ## The reconfiguration protocol
 //!
@@ -33,7 +40,7 @@
 //!    and fill as the windows slide.
 //! 3. **Rewire.**  Worker threads receive renumbering and replacement
 //!    channel endpoints through per-worker command mailboxes (woken
-//!    through the same [`WaitSet`]s that deliver frames); new workers are
+//!    through the same `WaitSet`s that deliver frames); new workers are
 //!    spawned, retired ones joined, and the driver's right entry channel
 //!    moves to the new rightmost node.  Once every worker confirms, the
 //!    driver resumes the schedule with an injector rebuilt for the new
@@ -52,19 +59,26 @@
 //! per node) and costs one fence (typically well under a millisecond plus
 //! the drain time of in-flight frames).  Chase sustained rate changes with
 //! the chain length, absorb short bursts with batching — the
-//! `bench_elastic` binary measures exactly this trade-off.
+//! `bench_elastic` binary measures exactly this trade-off, and the
+//! [`crate::autoscale`] controller automates the chain-length half.
 
+use crate::autoscale::{AutoscaleOptions, Controller};
 use crate::channel::{bounded, unbounded, Receiver, Sender, WaitSet};
+use crate::exec::{
+    spawn_collector, CollectorConfig, EntryState, InFlight, ScaleConfirm, StreamClock, Worker,
+    WorkerCommand, WorkerHandle, WorkerShared,
+};
+use crate::metrics::MetricsBus;
 use crate::options::{Pacing, PipelineOptions};
-use crate::pipeline::{send_frame, InFlight, StreamClock, WORKER_PARK};
 use llhj_core::driver::{DriverSchedule, Injector, StreamEvent};
 use llhj_core::homing::HomePolicy;
-use llhj_core::message::{Handoff, LeftToRight, MessageBatch, NodeOutput, RightToLeft};
+use llhj_core::message::{LeftToRight, MessageBatch, RightToLeft};
+use llhj_core::metrics::AutoscaleReport;
 use llhj_core::node::PipelineNode;
 use llhj_core::predicate::JoinPredicate;
-use llhj_core::punctuation::{HighWaterMarks, OutputItem, Punctuation};
-use llhj_core::result::{ResultTuple, TimedResult};
-use llhj_core::stats::{LatencyPoint, LatencySeries, LatencySummary, NodeCounters};
+use llhj_core::punctuation::{HighWaterMarks, OutputItem};
+use llhj_core::result::TimedResult;
+use llhj_core::stats::{LatencyPoint, LatencySummary, NodeCounters};
 use llhj_core::time::Timestamp;
 use llhj_core::tuple::SeqNo;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -239,399 +253,13 @@ impl<R, S> ElasticOutcome<R, S> {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Worker side
-// ---------------------------------------------------------------------------
-
-/// Control messages the pipeline sends to a worker through its mailbox.
-/// Commands only travel while the pipeline is fenced.
-enum WorkerCommand<R, S> {
-    /// Renumber the node and (optionally) replace channel endpoints.
-    Rewire {
-        id: usize,
-        nodes: usize,
-        left_rx: Option<Receiver<Frame<R, S>>>,
-        right_rx: Option<Receiver<Frame<R, S>>>,
-        /// Outer `None` keeps the current sender, `Some(x)` replaces it
-        /// with `x` (which may itself be `None`: the node became an end).
-        to_left: Option<Option<Sender<Frame<R, S>>>>,
-        to_right: Option<Option<Sender<Frame<R, S>>>>,
-        done: Sender<ScaleConfirm>,
-    },
-    /// Absorb one migrated segment from the right input, ack it, confirm.
-    Absorb {
-        stall: Option<Duration>,
-        done: Sender<ScaleConfirm>,
-    },
-    /// Export local state, hand it to the left neighbour, await the ack,
-    /// exit the thread.
-    Retire {
-        absorb_first: bool,
-        stall: Option<Duration>,
-    },
-}
-
-/// A worker's confirmation that it executed a scale command.
-struct ScaleConfirm {
-    migrated_tuples: usize,
-}
-
-/// Shared context every worker holds.
-struct WorkerShared<R, S> {
-    hwm: Arc<HighWaterMarks>,
-    clock: Arc<StreamClock>,
-    stop: Arc<AtomicBool>,
-    in_flight: Arc<InFlight>,
-    results: Sender<TimedResult<R, S>>,
-}
-
-struct Worker<R, S> {
-    id: usize,
-    nodes: usize,
-    node: Box<dyn PipelineNode<R, S>>,
-    left_rx: Receiver<Frame<R, S>>,
-    right_rx: Receiver<Frame<R, S>>,
-    to_left: Option<Sender<Frame<R, S>>>,
-    to_right: Option<Sender<Frame<R, S>>>,
-    cmd_rx: Receiver<WorkerCommand<R, S>>,
-    waitset: WaitSet,
-    shared: WorkerShared<R, S>,
-    /// A handoff segment that arrived before this worker processed its
-    /// `Absorb`/`Retire` command (neighbour ran ahead); consumed by the
-    /// command when it executes.
-    pending_segment: Option<Handoff<R, S>>,
-    idle_wakeups: u64,
-}
-
-/// What a worker reports when its thread exits.
-struct WorkerExit {
-    counters: NodeCounters,
-    idle_wakeups: u64,
-}
-
-impl<R, S> Worker<R, S>
-where
-    R: Clone + Send,
-    S: Clone + Send,
-{
-    fn run(mut self) -> WorkerExit {
-        let mut out: NodeOutput<R, S, ResultTuple<R, S>> = NodeOutput::new();
-        let mut poll_left_first = true;
-        loop {
-            // Epoch snapshot before polling (commands included): anything
-            // landing between the polls and the park bumps the epoch first,
-            // so the wait returns immediately — no lost wake-ups.
-            let seen = self.waitset.epoch();
-            if let Ok(cmd) = self.cmd_rx.try_recv() {
-                if self.execute(cmd) {
-                    break;
-                }
-                continue;
-            }
-            let frame = if poll_left_first {
-                self.left_rx
-                    .try_recv()
-                    .or_else(|_| self.right_rx.try_recv())
-            } else {
-                self.right_rx
-                    .try_recv()
-                    .or_else(|_| self.left_rx.try_recv())
-            };
-            poll_left_first = !poll_left_first;
-            match frame {
-                Ok(frame) => self.handle_frame(frame, &mut out),
-                Err(_) => {
-                    if self.shared.stop.load(Ordering::SeqCst)
-                        && self.left_rx.is_empty()
-                        && self.right_rx.is_empty()
-                        && self.cmd_rx.is_empty()
-                    {
-                        break;
-                    }
-                    if !self.waitset.wait(seen, WORKER_PARK) {
-                        self.idle_wakeups += 1;
-                    }
-                }
-            }
-        }
-        WorkerExit {
-            counters: self.node.node_counters(),
-            idle_wakeups: self.idle_wakeups,
-        }
-    }
-
-    /// Processes one data frame exactly like the fixed runtime's worker
-    /// loop; a handoff frame overtaking its command is stashed instead.
-    fn handle_frame(&mut self, frame: Frame<R, S>, out: &mut NodeOutput<R, S, ResultTuple<R, S>>) {
-        if let MessageBatch::Handoff(handoff) = frame {
-            // The neighbour's migration ran ahead of this worker's own
-            // command; park the segment for the command to consume.  Not
-            // part of the in-flight accounting, so nothing to finish.
-            assert!(
-                self.pending_segment.is_none(),
-                "node {}: second handoff segment before the first was absorbed",
-                self.id
-            );
-            assert!(
-                matches!(handoff, Handoff::Segment { .. }),
-                "node {}: handoff ack arrived outside a retire wait",
-                self.id
-            );
-            self.pending_segment = Some(handoff);
-            return;
-        }
-        let is_leftmost = self.id == 0;
-        let is_rightmost = self.id + 1 == self.nodes;
-        self.node.observe_time(self.shared.clock.now());
-        out.clear();
-        match frame {
-            MessageBatch::Left(msgs) => {
-                let end_ts = if is_rightmost {
-                    msgs.iter().rev().find_map(|m| match m {
-                        LeftToRight::ArrivalR(r) => Some(r.ts()),
-                        _ => None,
-                    })
-                } else {
-                    None
-                };
-                self.node.handle_left_batch(msgs, out);
-                if let Some(ts) = end_ts {
-                    self.shared.hwm.observe_r(ts);
-                }
-            }
-            MessageBatch::Right(msgs) => {
-                let end_ts = if is_leftmost {
-                    msgs.iter().rev().find_map(|m| match m {
-                        RightToLeft::ArrivalS(s) => Some(s.ts()),
-                        _ => None,
-                    })
-                } else {
-                    None
-                };
-                self.node.handle_right_batch(msgs, out);
-                if let Some(ts) = end_ts {
-                    self.shared.hwm.observe_s(ts);
-                }
-            }
-            MessageBatch::Handoff(_) => unreachable!("stashed above"),
-        }
-        if !out.to_right.is_empty() {
-            if let Some(tx) = &self.to_right {
-                let msgs = std::mem::take(&mut out.to_right);
-                send_frame(tx, MessageBatch::Left(msgs), &self.shared.in_flight);
-            } else {
-                out.to_right.clear();
-            }
-        }
-        if !out.to_left.is_empty() {
-            if let Some(tx) = &self.to_left {
-                let msgs = std::mem::take(&mut out.to_left);
-                send_frame(tx, MessageBatch::Right(msgs), &self.shared.in_flight);
-            } else {
-                out.to_left.clear();
-            }
-        }
-        if !out.results.is_empty() {
-            let detected_at = self.shared.clock.now();
-            for result in out.results.drain(..) {
-                let _ = self
-                    .shared
-                    .results
-                    .send(TimedResult::new(result, detected_at));
-            }
-        }
-        self.shared.in_flight.finish();
-    }
-
-    /// Executes one scale command.  Returns `true` if the worker retires.
-    fn execute(&mut self, cmd: WorkerCommand<R, S>) -> bool {
-        match cmd {
-            WorkerCommand::Rewire {
-                id,
-                nodes,
-                left_rx,
-                right_rx,
-                to_left,
-                to_right,
-                done,
-            } => {
-                self.id = id;
-                self.nodes = nodes;
-                self.node.set_position(id, nodes);
-                if let Some(rx) = left_rx {
-                    self.left_rx = rx;
-                }
-                if let Some(rx) = right_rx {
-                    self.right_rx = rx;
-                }
-                if let Some(tx) = to_left {
-                    self.to_left = tx;
-                }
-                if let Some(tx) = to_right {
-                    self.to_right = tx;
-                }
-                let _ = done.send(ScaleConfirm { migrated_tuples: 0 });
-                false
-            }
-            WorkerCommand::Absorb { stall, done } => {
-                let migrated = self.absorb_segment(stall);
-                let _ = done.send(ScaleConfirm {
-                    migrated_tuples: migrated,
-                });
-                false
-            }
-            WorkerCommand::Retire {
-                absorb_first,
-                stall,
-            } => {
-                if absorb_first {
-                    self.absorb_segment(stall);
-                }
-                let segment = self.node.export_segment();
-                let to_left = self
-                    .to_left
-                    .as_ref()
-                    .expect("a retiring node always has a left neighbour");
-                let frame = MessageBatch::Handoff(Handoff::Segment {
-                    from: self.id,
-                    segment,
-                });
-                assert!(
-                    to_left.send(frame).is_ok(),
-                    "node {}: segment handoff failed — left neighbour gone",
-                    self.id
-                );
-                self.await_ack_from_left();
-                true
-            }
-        }
-    }
-
-    /// Receives one migrated segment from the right input (or takes the
-    /// stashed one), installs it and acknowledges to the right.  Returns
-    /// the number of migrated tuples.
-    fn absorb_segment(&mut self, stall: Option<Duration>) -> usize {
-        let handoff = match self.pending_segment.take() {
-            Some(h) => h,
-            None => self.recv_handoff(false),
-        };
-        let Handoff::Segment { from, segment } = handoff else {
-            unreachable!("ack filtered by recv_handoff / stash assertion");
-        };
-        if let Some(stall) = stall {
-            // Test instrumentation: widen the handoff window so teardown
-            // tests can deterministically land a shutdown inside it.
-            std::thread::sleep(stall);
-        }
-        let migrated = segment.len();
-        self.node.import_segment(segment);
-        let to_right = self
-            .to_right
-            .as_ref()
-            .expect("an absorbing node has the retiring neighbour to its right");
-        let _ = to_right.send(MessageBatch::Handoff(Handoff::Ack { to: from }));
-        migrated
-    }
-
-    /// Blocks until the left neighbour acknowledges the segment this node
-    /// handed over.
-    fn await_ack_from_left(&mut self) {
-        match self.recv_handoff(true) {
-            Handoff::Ack { to } => {
-                debug_assert_eq!(to, self.id, "ack routed to the wrong node");
-            }
-            Handoff::Segment { .. } => {
-                unreachable!("a retiring node that already exported cannot absorb")
-            }
-        }
-    }
-
-    /// Blocks (through the wait set) until a handoff frame arrives on the
-    /// left (`from_left`) or right input.  Only valid while fenced: any
-    /// data frame here is a protocol violation.
-    fn recv_handoff(&mut self, from_left: bool) -> Handoff<R, S> {
-        loop {
-            let seen = self.waitset.epoch();
-            let rx = if from_left {
-                &self.left_rx
-            } else {
-                &self.right_rx
-            };
-            match rx.try_recv() {
-                Ok(MessageBatch::Handoff(handoff)) => return handoff,
-                Ok(_) => unreachable!("node {}: data frame during a fenced migration", self.id),
-                Err(_) => {
-                    self.waitset.wait(seen, WORKER_PARK);
-                }
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Control side
-// ---------------------------------------------------------------------------
-
-struct WorkerHandle<R, S> {
-    handle: JoinHandle<WorkerExit>,
-    cmd_tx: Sender<WorkerCommand<R, S>>,
-    waitset: WaitSet,
-}
-
-struct CollectorOutcome<R, S> {
-    results: Vec<TimedResult<R, S>>,
-    output: Vec<OutputItem<TimedResult<R, S>>>,
-    latency: LatencySummary,
-    series: LatencySeries,
-    punctuation_count: u64,
-}
-
-/// One direction's entry-frame assembly state on the driver side.
-struct EntryBuffer<M> {
-    pending: Vec<M>,
-    arrivals: usize,
-    started_at: Option<Timestamp>,
-}
-
-impl<M> EntryBuffer<M> {
-    fn new() -> Self {
-        EntryBuffer {
-            pending: Vec::new(),
-            arrivals: 0,
-            started_at: None,
-        }
-    }
-
-    fn push(&mut self, msg: M, at: Timestamp) {
-        if self.pending.is_empty() {
-            self.started_at = Some(at);
-        }
-        self.pending.push(msg);
-    }
-
-    fn push_arrival(&mut self, msg: M, at: Timestamp) {
-        self.push(msg, at);
-        self.arrivals += 1;
-    }
-
-    fn take(&mut self) -> Vec<M> {
-        self.arrivals = 0;
-        self.started_at = None;
-        std::mem::take(&mut self.pending)
-    }
-
-    fn older_than(&self, now: Timestamp, interval: llhj_core::time::TimeDelta) -> bool {
-        self.started_at
-            .is_some_and(|s| now.saturating_since(s) >= interval)
-    }
-}
-
 /// A live, resizable handshake-join pipeline.
 ///
-/// Unlike [`crate::run_pipeline`] (fixed chain, scoped threads), the
-/// elastic pipeline owns its workers and wiring behind a handle, so the
-/// chain can be resized between schedule events via [`ScalePipeline`].
-/// Use [`run_elastic_pipeline`] for the common replay-with-plan case, or
+/// Unlike [`crate::run_pipeline`] (fixed chain), the elastic pipeline owns
+/// its workers and wiring behind a handle, so the chain can be resized
+/// between schedule events via [`ScalePipeline`].  Use
+/// [`run_elastic_pipeline`] for the common replay-with-plan case,
+/// [`crate::autoscale::run_autoscaled_pipeline`] for the closed loop, or
 /// drive [`ElasticPipeline::run_schedule`] / [`ScalePipeline::scale_to`] /
 /// [`ElasticPipeline::finish`] directly.
 pub struct ElasticPipeline<R, S, P, H>
@@ -646,19 +274,16 @@ where
     factory: NodeFactory<R, S>,
     options: PipelineOptions,
     workers: Vec<WorkerHandle<R, S>>,
-    left_tx: Sender<Frame<R, S>>,
-    right_tx: Sender<Frame<R, S>>,
+    entry: EntryState<R, S>,
     in_flight: Arc<InFlight>,
     clock: Arc<StreamClock>,
     stop: Arc<AtomicBool>,
     stop_signal: WaitSet,
     hwm: Arc<HighWaterMarks>,
+    metrics: Arc<MetricsBus>,
     result_tx: Option<Sender<TimedResult<R, S>>>,
-    collector: Option<JoinHandle<CollectorOutcome<R, S>>>,
+    collector: Option<JoinHandle<crate::exec::CollectorOutcome<R, S>>>,
     injector: Injector<R, S, P, H>,
-    left_buf: EntryBuffer<LeftToRight<R>>,
-    right_buf: EntryBuffer<RightToLeft<S>>,
-    frames_injected: u64,
     started: Instant,
     resize_log: Vec<ResizeEvent>,
     retired_counters: Vec<NodeCounters>,
@@ -696,6 +321,7 @@ where
         let stop = Arc::new(AtomicBool::new(false));
         let stop_signal = WaitSet::new();
         let hwm = HighWaterMarks::new();
+        let metrics = Arc::new(MetricsBus::new());
         let (result_tx, result_rx) = unbounded();
 
         // Channel chain, exactly as in the fixed runtime: bounded entry
@@ -730,19 +356,16 @@ where
             policy: policy.clone(),
             factory,
             workers: Vec::with_capacity(n),
-            left_tx,
-            right_tx,
+            entry: EntryState::new(left_tx, right_tx),
             in_flight,
             clock,
             stop,
             stop_signal,
             hwm,
+            metrics,
             result_tx: Some(result_tx),
             collector: None,
             injector: Injector::new(predicate, policy, n),
-            left_buf: EntryBuffer::new(),
-            right_buf: EntryBuffer::new(),
-            frames_injected: 0,
             started: Instant::now(),
             resize_log: Vec::new(),
             retired_counters: Vec::new(),
@@ -766,7 +389,21 @@ where
             let handle = pipeline.spawn_worker(k, n, left_rx, right_rx, to_left, to_right);
             pipeline.workers.push(handle);
         }
-        pipeline.spawn_collector(result_rx);
+        let collector = spawn_collector(
+            vec![result_rx],
+            Arc::clone(&pipeline.stop),
+            pipeline.stop_signal.clone(),
+            Arc::clone(&pipeline.hwm),
+            Some(Arc::clone(&pipeline.metrics)),
+            CollectorConfig {
+                punctuate: pipeline.options.punctuate,
+                interval: pipeline.options.collect_interval,
+                latency_bucket: pipeline.options.latency_bucket,
+            },
+        );
+        pipeline.collector = Some(collector);
+        pipeline.metrics.set_nodes(n);
+        pipeline.register_occupancy_probe();
         pipeline
     }
 
@@ -780,11 +417,31 @@ where
         &self.resize_log
     }
 
+    /// The pipeline's metrics bus (the auto-scaler samples it; tests and
+    /// dashboards may too).
+    pub fn metrics_bus(&self) -> Arc<MetricsBus> {
+        Arc::clone(&self.metrics)
+    }
+
+    pub(crate) fn stream_clock(&self) -> Arc<StreamClock> {
+        Arc::clone(&self.clock)
+    }
+
     /// Test instrumentation: stalls every segment absorption by `stall`,
     /// widening the handoff window so teardown tests can deterministically
     /// overlap a shutdown with an in-flight migration.
     pub fn set_migration_stall(&mut self, stall: Duration) {
         self.migration_stall = Some(stall);
+    }
+
+    /// (Re-)points the metrics bus's occupancy probe at the current entry
+    /// channels (the right entry moves whenever the rightmost node
+    /// changes).
+    fn register_occupancy_probe(&self) {
+        let left = self.entry.left.sender().clone();
+        let right = self.entry.right.sender().clone();
+        self.metrics
+            .set_occupancy_probe(move || (left.len(), right.len()));
     }
 
     fn spawn_worker(
@@ -802,115 +459,31 @@ where
             "elastic pipelines require nodes that support state migration \
              (node {id} does not)"
         );
-        let waitset = WaitSet::new();
-        left_rx.set_waiter(&waitset);
-        right_rx.set_waiter(&waitset);
-        let (cmd_tx, cmd_rx) = unbounded();
-        cmd_rx.set_waiter(&waitset);
-        let worker = Worker {
-            id,
-            nodes,
-            node,
-            left_rx,
-            right_rx,
-            to_left,
-            to_right,
-            cmd_rx,
-            waitset: waitset.clone(),
-            shared: WorkerShared {
-                hwm: Arc::clone(&self.hwm),
-                clock: Arc::clone(&self.clock),
-                stop: Arc::clone(&self.stop),
-                in_flight: Arc::clone(&self.in_flight),
-                results: self
-                    .result_tx
-                    .as_ref()
-                    .expect("workers spawn before finish")
-                    .clone(),
-            },
-            pending_segment: None,
-            idle_wakeups: 0,
+        let shared = WorkerShared {
+            hwm: Arc::clone(&self.hwm),
+            clock: Arc::clone(&self.clock),
+            stop: Arc::clone(&self.stop),
+            in_flight: Arc::clone(&self.in_flight),
+            results: self
+                .result_tx
+                .as_ref()
+                .expect("workers spawn before finish")
+                .clone(),
+            busy_ns: Some(self.metrics.register_node(id)),
         };
-        WorkerHandle {
-            handle: std::thread::spawn(move || worker.run()),
-            cmd_tx,
-            waitset,
-        }
-    }
-
-    fn spawn_collector(&mut self, receivers: Receiver<TimedResult<R, S>>) {
-        let stop = Arc::clone(&self.stop);
-        let stop_signal = self.stop_signal.clone();
-        let hwm = Arc::clone(&self.hwm);
-        let punctuate = self.options.punctuate;
-        let interval = self.options.collect_interval;
-        let bucket = self.options.latency_bucket;
-        self.collector = Some(std::thread::spawn(move || {
-            let mut outcome = CollectorOutcome {
-                results: Vec::new(),
-                output: Vec::new(),
-                latency: LatencySummary::new(),
-                series: LatencySeries::new(bucket),
-                punctuation_count: 0,
-            };
-            loop {
-                let seen = stop_signal.epoch();
-                let stopping = stop.load(Ordering::SeqCst);
-                // Read the high-water marks before vacuuming, as in the
-                // fixed runtime (Section 6.1.3 step 1).
-                let safe = hwm.safe_punctuation();
-                let mut drained_any = false;
-                while let Ok(timed) = receivers.try_recv() {
-                    drained_any = true;
-                    outcome.latency.record(timed.latency());
-                    outcome.series.record(timed.detected_at, timed.latency());
-                    if punctuate {
-                        outcome.output.push(OutputItem::Result(timed.clone()));
-                    }
-                    outcome.results.push(timed);
-                }
-                if punctuate && drained_any {
-                    outcome
-                        .output
-                        .push(OutputItem::Punctuation(Punctuation { ts: safe }));
-                    outcome.punctuation_count += 1;
-                }
-                if stopping && !drained_any {
-                    break;
-                }
-                stop_signal.wait(seen, interval);
-            }
-            outcome
-        }));
+        Worker::spawn(
+            id, nodes, node, left_rx, right_rx, to_left, to_right, shared, true,
+        )
     }
 
     // -- driver-side entry batching -------------------------------------
 
-    fn flush_left(&mut self) {
-        if self.left_buf.pending.is_empty() {
-            return;
-        }
-        let msgs = self.left_buf.take();
-        send_frame(&self.left_tx, MessageBatch::Left(msgs), &self.in_flight);
-        self.frames_injected += 1;
-    }
-
-    fn flush_right(&mut self) {
-        if self.right_buf.pending.is_empty() {
-            return;
-        }
-        let msgs = self.right_buf.take();
-        send_frame(&self.right_tx, MessageBatch::Right(msgs), &self.in_flight);
-        self.frames_injected += 1;
-    }
-
     fn flush_both(&mut self) {
-        self.flush_left();
-        self.flush_right();
+        self.entry.flush_both(&self.in_flight);
     }
 
     /// Injects one driver event, applying `batch_size` / `flush_interval`
-    /// exactly like the fixed runtime's driver.
+    /// exactly like the fixed runtime's driver (same [`EntryState`]).
     fn inject(
         &mut self,
         event: &llhj_core::driver::DriverEvent<R, S>,
@@ -919,35 +492,40 @@ where
     ) {
         self.clock.note_injection(event.at);
         if let Some(interval) = self.options.flush_interval {
-            if self.left_buf.older_than(event.at, interval) {
-                self.flush_left();
-            }
-            if self.right_buf.older_than(event.at, interval) {
-                self.flush_right();
-            }
+            self.entry
+                .flush_older_than(event.at, interval, &self.in_flight);
         }
+        let entry = &mut self.entry;
         match &event.event {
             StreamEvent::ArrivalR(r) => {
-                self.left_buf
+                entry
+                    .left
                     .push_arrival(self.injector.inject_r(r.clone()), event.at);
+                self.metrics.note_arrival();
                 self.seen_r += 1;
-                if self.left_buf.arrivals >= self.options.batch_size || self.seen_r == schedule_r {
-                    self.flush_left();
+                if entry.left.arrivals >= self.options.batch_size || self.seen_r == schedule_r {
+                    entry
+                        .left
+                        .flush(&self.in_flight, &mut entry.frames_injected);
                 }
             }
             StreamEvent::ExpireS(seq) => {
-                self.left_buf.push(LeftToRight::ExpiryS(*seq), event.at);
+                entry.left.push(LeftToRight::ExpiryS(*seq), event.at);
             }
             StreamEvent::ArrivalS(s) => {
-                self.right_buf
+                entry
+                    .right
                     .push_arrival(self.injector.inject_s(s.clone()), event.at);
+                self.metrics.note_arrival();
                 self.seen_s += 1;
-                if self.right_buf.arrivals >= self.options.batch_size || self.seen_s == schedule_s {
-                    self.flush_right();
+                if entry.right.arrivals >= self.options.batch_size || self.seen_s == schedule_s {
+                    entry
+                        .right
+                        .flush(&self.in_flight, &mut entry.frames_injected);
                 }
             }
             StreamEvent::ExpireR(seq) => {
-                self.right_buf.push(RightToLeft::ExpiryR(*seq), event.at);
+                entry.right.push(RightToLeft::ExpiryR(*seq), event.at);
             }
         }
     }
@@ -987,12 +565,8 @@ where
             }
             if let Some(interval) = self.options.flush_interval {
                 let now_ts = self.clock.now();
-                if self.left_buf.older_than(now_ts, interval) {
-                    self.flush_left();
-                }
-                if self.right_buf.older_than(now_ts, interval) {
-                    self.flush_right();
-                }
+                self.entry
+                    .flush_older_than(now_ts, interval, &self.in_flight);
             }
         }
     }
@@ -1027,6 +601,46 @@ where
         self.cancelled
     }
 
+    /// Replays a driver schedule with the **closed loop** engaged: an
+    /// [`AutoscaleOptions`] controller thread samples the metrics bus and
+    /// publishes a desired width; the driver applies it between events
+    /// through the same fence+handoff protocol a [`ScalePlan`] uses.
+    /// Returns the controller's report (every sample and resize decision).
+    ///
+    /// Requires real-time pacing: the loop chases an observed arrival
+    /// rate, which an unpaced replay (stream time decoupled from wall
+    /// time) does not have.
+    pub fn run_schedule_autoscaled(
+        &mut self,
+        schedule: &DriverSchedule<R, S>,
+        autoscale: &AutoscaleOptions,
+    ) -> AutoscaleReport {
+        assert!(
+            matches!(self.options.pacing, Pacing::RealTime { .. }),
+            "autoscaling requires Pacing::RealTime (the controller chases \
+             a wall-clock arrival rate)"
+        );
+        let controller = Controller::spawn(
+            autoscale,
+            &self.options,
+            self.metrics_bus(),
+            self.stream_clock(),
+        );
+        let cancel = self.options.cancel.clone().unwrap_or_default();
+        for event in schedule.events() {
+            if let Some(target) = controller.desired_if_changed(self.nodes()) {
+                self.scale_to(target);
+            }
+            if cancel.is_cancelled() || self.pace_until(event.at, &cancel) {
+                self.cancelled = true;
+                break;
+            }
+            self.inject(event, schedule.r_count(), schedule.s_count());
+        }
+        self.flush_both();
+        controller.finish()
+    }
+
     // -- the reconfiguration protocol ------------------------------------
 
     /// Fences the pipeline: flushes partial entry frames, then waits until
@@ -1057,7 +671,7 @@ where
         let retiring: Vec<WorkerHandle<R, S>> = self.workers.split_off(target);
         for (offset, handle) in retiring.iter().enumerate().rev() {
             let k = target + offset;
-            let _ = handle.cmd_tx.send(WorkerCommand::Retire {
+            let _ = handle.commands().send(WorkerCommand::Retire {
                 absorb_first: k + 1 < current,
                 stall,
             });
@@ -1069,11 +683,11 @@ where
         let boundary = &self.workers[target - 1];
         let (new_right_tx, new_right_rx) = bounded(self.options.channel_capacity);
         new_right_rx.set_waiter(&boundary.waitset);
-        let _ = boundary.cmd_tx.send(WorkerCommand::Absorb {
+        let _ = boundary.commands().send(WorkerCommand::Absorb {
             stall,
             done: done_tx.clone(),
         });
-        let _ = boundary.cmd_tx.send(WorkerCommand::Rewire {
+        let _ = boundary.commands().send(WorkerCommand::Rewire {
             id: target - 1,
             nodes: target,
             left_rx: None,
@@ -1083,7 +697,7 @@ where
             done: done_tx.clone(),
         });
         for (k, handle) in self.workers.iter().enumerate().take(target - 1) {
-            let _ = handle.cmd_tx.send(WorkerCommand::Rewire {
+            let _ = handle.commands().send(WorkerCommand::Rewire {
                 id: k,
                 nodes: target,
                 left_rx: None,
@@ -1102,7 +716,7 @@ where
         }
         // One Absorb plus `target` Rewires confirm the surviving chain.
         let migrated = self.confirm(&done_rx, target + 1, "shrink confirmations");
-        self.right_tx = new_right_tx;
+        self.entry.right.set_sender(new_right_tx);
         migrated
     }
 
@@ -1159,7 +773,7 @@ where
             } else {
                 (None, None)
             };
-            let _ = self.workers[k].cmd_tx.send(WorkerCommand::Rewire {
+            let _ = self.workers[k].commands().send(WorkerCommand::Rewire {
                 id: k,
                 nodes: target,
                 left_rx: None,
@@ -1170,7 +784,7 @@ where
             });
         }
         self.confirm(&done_rx, current, "grow confirmations");
-        self.right_tx = new_right_tx;
+        self.entry.right.set_sender(new_right_tx);
     }
 }
 
@@ -1205,6 +819,8 @@ where
             0
         };
         self.injector = Injector::new(self.predicate.clone(), self.policy.clone(), target);
+        self.metrics.set_nodes(target);
+        self.register_occupancy_probe();
         self.resize_log.push(ResizeEvent {
             at: self.clock.now(),
             from_nodes: current,
@@ -1257,7 +873,7 @@ where
             elapsed: self.started.elapsed(),
             punctuation_count: collected.punctuation_count,
             arrivals_per_stream: (self.seen_r, self.seen_s),
-            frames_injected: self.frames_injected,
+            frames_injected: self.entry.frames_injected,
             idle_wakeups,
             resize_log: std::mem::take(&mut self.resize_log),
             nodes,
@@ -1519,6 +1135,41 @@ mod tests {
         let outcome = pipeline.finish();
         assert_eq!(outcome.nodes, 2);
         assert!(outcome.results.is_empty());
+    }
+
+    /// The metrics bus follows the pipeline through resizes: the arrival
+    /// counter counts injected tuples, the published width tracks
+    /// `scale_to`, and the collector feeds the latency EWMA.
+    #[test]
+    fn metrics_bus_tracks_arrivals_width_and_latency() {
+        let sched = schedule(200, 150);
+        let mut pipeline = ElasticPipeline::new(
+            2,
+            llhj_factory(eq_pred()),
+            eq_pred(),
+            RoundRobin,
+            paced_opts(8),
+        );
+        let bus = pipeline.metrics_bus();
+        assert_eq!(bus.nodes(), 2);
+        pipeline.run_schedule(
+            &sched,
+            &ScalePlan::new(vec![ScaleStep {
+                after_events: sched.events().len() / 2,
+                target_nodes: 3,
+            }]),
+        );
+        assert_eq!(bus.nodes(), 3);
+        assert_eq!(bus.arrivals(), 400, "200 R + 200 S tuples injected");
+        let outcome = pipeline.finish();
+        assert!(outcome.results.len() > 10);
+        assert_eq!(bus.results(), outcome.results.len() as u64);
+        assert!(bus.latency_ewma() > TimeDelta::ZERO);
+        let busy = bus.busy_ns(3);
+        assert!(
+            busy.iter().all(|&ns| ns > 0),
+            "all nodes did work: {busy:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,852 @@
+//! Shared execution machinery of the threaded runtimes.
+//!
+//! The fixed pipeline ([`crate::run_pipeline`]) and the elastic pipeline
+//! ([`crate::elastic::ElasticPipeline`]) are the *same* data plane — worker
+//! threads moving [`MessageBatch`] frames between neighbours, a driver
+//! assembling entry frames, a collector vacuuming result queues — and for
+//! two PRs they carried two copies of it (the fixed path on scoped threads
+//! and borrowed state, the elastic path on owned `'static` state), a
+//! divergence ROADMAP called out explicitly.  This module is the single
+//! implementation both deploy:
+//!
+//! * [`Worker`] — the worker thread: event-driven two-input poll loop,
+//!   frame handling (batch dispatch, high-water-mark observation, output
+//!   forwarding, result emission, in-flight accounting), plus the elastic
+//!   command mailbox (rewire / absorb / retire).  A fixed pipeline simply
+//!   never sends a command — it *is* an elastic pipeline that never
+//!   resizes.
+//! * [`EntryBatcher`] / [`EntryState`] — the driver's entry-frame assembly
+//!   for one direction / both directions: `batch_size` arrivals per frame,
+//!   expiries riding along, `flush_interval` aging.
+//! * [`spawn_collector`] — the collector thread: reads the high-water
+//!   marks *before* vacuuming (Section 6.1.3 step 1), drains the result
+//!   queues, emits punctuations, and feeds the metrics bus's latency EWMA.
+//! * The shared primitives: [`StreamClock`], [`InFlight`] (quiescence
+//!   accounting), [`send_frame`], [`WORKER_PARK`].
+//!
+//! Everything here is `pub(crate)`: the public API stays in
+//! [`crate::pipeline`] and [`crate::elastic`].
+
+use crate::channel::{unbounded, Receiver, Sender, WaitSet};
+use crate::metrics::MetricsBus;
+use crate::options::Pacing;
+use llhj_core::message::{Handoff, LeftToRight, MessageBatch, NodeOutput, RightToLeft};
+use llhj_core::node::PipelineNode;
+use llhj_core::punctuation::{HighWaterMarks, OutputItem, Punctuation};
+use llhj_core::result::{ResultTuple, TimedResult};
+use llhj_core::stats::{LatencySeries, LatencySummary, NodeCounters};
+use llhj_core::time::Timestamp;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Safety-net bound on how long a worker parks between wake-ups.  Workers
+/// are woken eagerly — by frame arrivals through their [`WaitSet`] and by
+/// the driver at shutdown — so this timeout only bounds the damage of a
+/// missed notification; it is not a polling interval.
+pub(crate) const WORKER_PARK: Duration = Duration::from_millis(10);
+
+/// The shared stream clock: maps wall-clock time to stream time.
+pub(crate) struct StreamClock {
+    pacing: Pacing,
+    start: Instant,
+    /// Stream time of the most recently injected driver event (drives the
+    /// clock in unpaced mode).
+    injected_us: AtomicU64,
+}
+
+impl StreamClock {
+    pub(crate) fn new(pacing: Pacing) -> Self {
+        StreamClock {
+            pacing,
+            start: Instant::now(),
+            injected_us: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn note_injection(&self, at: Timestamp) {
+        self.injected_us
+            .fetch_max(at.as_micros(), Ordering::Relaxed);
+    }
+
+    pub(crate) fn now(&self) -> Timestamp {
+        match self.pacing {
+            Pacing::Unpaced => Timestamp::from_micros(self.injected_us.load(Ordering::Relaxed)),
+            Pacing::RealTime { speedup } => {
+                // `speedup` is validated finite by `PipelineOptions::
+                // validate`; a negative value clamps to a frozen clock
+                // instead of travelling through the float→int cast.
+                let elapsed = self.start.elapsed().as_secs_f64() * speedup.max(0.0);
+                Timestamp::from_micros(saturating_micros(elapsed))
+            }
+        }
+    }
+}
+
+/// Converts `secs` of stream time to whole microseconds with explicit
+/// saturation: NaN and negative values map to 0, values beyond the `u64`
+/// range to `u64::MAX`.  (The bare `as` cast has the same limits but hides
+/// the policy; the clock's behaviour under degenerate `speedup` values
+/// should be a stated contract, not a cast artefact.)
+pub(crate) fn saturating_micros(secs: f64) -> u64 {
+    let micros = secs * 1e6;
+    if micros.is_nan() || micros <= 0.0 {
+        0
+    } else if micros >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        micros as u64
+    }
+}
+
+/// In-flight frame accounting plus the wait set the driver parks on while
+/// draining: the counter going to zero is the pipeline's quiescence signal.
+pub(crate) struct InFlight {
+    count: AtomicI64,
+    quiesce: WaitSet,
+}
+
+impl InFlight {
+    pub(crate) fn new() -> Self {
+        InFlight {
+            count: AtomicI64::new(0),
+            quiesce: WaitSet::new(),
+        }
+    }
+
+    pub(crate) fn add(&self) {
+        self.count.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Decrements the counter, waking the driver when it reaches zero.
+    pub(crate) fn finish(&self) {
+        if self.count.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.quiesce.notify();
+        }
+    }
+
+    /// Parks until no frame is anywhere in the pipeline.
+    pub(crate) fn wait_for_quiescence(&self) {
+        loop {
+            let seen = self.quiesce.epoch();
+            if self.count.load(Ordering::SeqCst) <= 0 {
+                return;
+            }
+            self.quiesce.wait(seen, WORKER_PARK);
+        }
+    }
+}
+
+/// Sends one frame, keeping the global in-flight frame count consistent
+/// (the driver's quiescence detection counts frames, not messages).
+pub(crate) fn send_frame<R, S>(
+    tx: &Sender<MessageBatch<R, S>>,
+    frame: MessageBatch<R, S>,
+    in_flight: &InFlight,
+) {
+    if frame.is_empty() {
+        return;
+    }
+    in_flight.add();
+    if tx.send(frame).is_err() {
+        in_flight.finish();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver-side entry batching
+// ---------------------------------------------------------------------------
+
+/// One direction's entry-frame assembly state in the driver: the pending
+/// messages, how many of them are arrivals (expiries ride along without
+/// counting towards `batch_size`), when the frame started filling (for
+/// the `flush_interval` timer), and the entry channel the frames leave on.
+pub(crate) struct EntryBatcher<M, R, S> {
+    pending: Vec<M>,
+    pub(crate) arrivals: usize,
+    started_at: Option<Timestamp>,
+    tx: Sender<MessageBatch<R, S>>,
+    wrap: fn(Vec<M>) -> MessageBatch<R, S>,
+}
+
+impl<M, R, S> EntryBatcher<M, R, S> {
+    pub(crate) fn new(
+        tx: Sender<MessageBatch<R, S>>,
+        wrap: fn(Vec<M>) -> MessageBatch<R, S>,
+    ) -> Self {
+        EntryBatcher {
+            pending: Vec::new(),
+            arrivals: 0,
+            started_at: None,
+            tx,
+            wrap,
+        }
+    }
+
+    /// Queues a control message; it rides the next flush.
+    pub(crate) fn push(&mut self, msg: M, at: Timestamp) {
+        if self.pending.is_empty() {
+            self.started_at = Some(at);
+        }
+        self.pending.push(msg);
+    }
+
+    /// Queues a tuple arrival, counting it towards the batch size.
+    pub(crate) fn push_arrival(&mut self, msg: M, at: Timestamp) {
+        self.push(msg, at);
+        self.arrivals += 1;
+    }
+
+    /// Sends the pending frame (if any) and resets the assembly state.
+    pub(crate) fn flush(&mut self, in_flight: &InFlight, frames_injected: &mut u64) {
+        if self.pending.is_empty() {
+            return;
+        }
+        send_frame(
+            &self.tx,
+            (self.wrap)(std::mem::take(&mut self.pending)),
+            in_flight,
+        );
+        *frames_injected += 1;
+        self.arrivals = 0;
+        self.started_at = None;
+    }
+
+    /// True if the frame has been filling for at least `interval` of
+    /// stream time.
+    pub(crate) fn is_older_than(
+        &self,
+        now: Timestamp,
+        interval: llhj_core::time::TimeDelta,
+    ) -> bool {
+        self.started_at
+            .is_some_and(|s| now.saturating_since(s) >= interval)
+    }
+
+    /// Flushes if the frame has been filling for at least `interval` of
+    /// stream time.
+    pub(crate) fn flush_if_older(
+        &mut self,
+        now: Timestamp,
+        interval: llhj_core::time::TimeDelta,
+        in_flight: &InFlight,
+        frames_injected: &mut u64,
+    ) {
+        if self.is_older_than(now, interval) {
+            self.flush(in_flight, frames_injected);
+        }
+    }
+
+    /// Replaces the entry channel (the elastic pipeline's right entry
+    /// moves whenever the rightmost node changes).
+    pub(crate) fn set_sender(&mut self, tx: Sender<MessageBatch<R, S>>) {
+        self.tx = tx;
+    }
+
+    /// The current entry channel (for the metrics occupancy probe).
+    pub(crate) fn sender(&self) -> &Sender<MessageBatch<R, S>> {
+        &self.tx
+    }
+}
+
+/// The driver's entry-frame assembly state for both directions.  The fixed
+/// runtime shares it (behind a mutex) with the wall-clock flush-timer
+/// thread; the elastic driver owns it and plays the timer role itself
+/// inside its sliced pacing wait.
+pub(crate) struct EntryState<R, S> {
+    pub(crate) left: EntryBatcher<LeftToRight<R>, R, S>,
+    pub(crate) right: EntryBatcher<RightToLeft<S>, R, S>,
+    pub(crate) frames_injected: u64,
+}
+
+impl<R, S> EntryState<R, S> {
+    pub(crate) fn new(
+        left_tx: Sender<MessageBatch<R, S>>,
+        right_tx: Sender<MessageBatch<R, S>>,
+    ) -> Self {
+        EntryState {
+            left: EntryBatcher::new(left_tx, MessageBatch::Left),
+            right: EntryBatcher::new(right_tx, MessageBatch::Right),
+            frames_injected: 0,
+        }
+    }
+
+    /// Flushes both directions' partial frames that have been filling for
+    /// at least `interval` of stream time.
+    pub(crate) fn flush_older_than(
+        &mut self,
+        now: Timestamp,
+        interval: llhj_core::time::TimeDelta,
+        in_flight: &InFlight,
+    ) {
+        self.left
+            .flush_if_older(now, interval, in_flight, &mut self.frames_injected);
+        self.right
+            .flush_if_older(now, interval, in_flight, &mut self.frames_injected);
+    }
+
+    /// Flushes both directions unconditionally.
+    pub(crate) fn flush_both(&mut self, in_flight: &InFlight) {
+        self.left.flush(in_flight, &mut self.frames_injected);
+        self.right.flush(in_flight, &mut self.frames_injected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+type Frame<R, S> = MessageBatch<R, S>;
+
+/// Control messages the pipeline sends to a worker through its mailbox.
+/// Commands only travel while the pipeline is fenced; a fixed pipeline
+/// never sends one.
+pub(crate) enum WorkerCommand<R, S> {
+    /// Renumber the node and (optionally) replace channel endpoints.
+    Rewire {
+        id: usize,
+        nodes: usize,
+        left_rx: Option<Receiver<Frame<R, S>>>,
+        right_rx: Option<Receiver<Frame<R, S>>>,
+        /// Outer `None` keeps the current sender, `Some(x)` replaces it
+        /// with `x` (which may itself be `None`: the node became an end).
+        to_left: Option<Option<Sender<Frame<R, S>>>>,
+        to_right: Option<Option<Sender<Frame<R, S>>>>,
+        done: Sender<ScaleConfirm>,
+    },
+    /// Absorb one migrated segment from the right input, ack it, confirm.
+    Absorb {
+        stall: Option<Duration>,
+        done: Sender<ScaleConfirm>,
+    },
+    /// Export local state, hand it to the left neighbour, await the ack,
+    /// exit the thread.
+    Retire {
+        absorb_first: bool,
+        stall: Option<Duration>,
+    },
+}
+
+/// A worker's confirmation that it executed a scale command.
+pub(crate) struct ScaleConfirm {
+    pub(crate) migrated_tuples: usize,
+}
+
+/// Shared context every worker holds.
+pub(crate) struct WorkerShared<R, S> {
+    pub(crate) hwm: Arc<HighWaterMarks>,
+    pub(crate) clock: Arc<StreamClock>,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) in_flight: Arc<InFlight>,
+    pub(crate) results: Sender<TimedResult<R, S>>,
+    /// This worker's busy-nanoseconds slot on the metrics bus; bumped
+    /// (relaxed) after every frame.  `None` skips the instrumentation
+    /// entirely (the fixed pipeline, whose bus nobody samples): no
+    /// `Instant::now` pair on the frame hot path.
+    pub(crate) busy_ns: Option<Arc<AtomicU64>>,
+}
+
+/// What a worker reports when its thread exits.
+pub(crate) struct WorkerExit {
+    pub(crate) counters: NodeCounters,
+    pub(crate) idle_wakeups: u64,
+}
+
+/// The control plane's handle on one spawned worker.  `cmd_tx` is `None`
+/// for workers spawned without a mailbox (the fixed pipeline).
+pub(crate) struct WorkerHandle<R, S> {
+    pub(crate) handle: JoinHandle<WorkerExit>,
+    pub(crate) cmd_tx: Option<Sender<WorkerCommand<R, S>>>,
+    pub(crate) waitset: WaitSet,
+}
+
+impl<R, S> WorkerHandle<R, S> {
+    /// The command mailbox; panics on a worker spawned without one (only
+    /// elastic pipelines send commands, and they always spawn with it).
+    pub(crate) fn commands(&self) -> &Sender<WorkerCommand<R, S>> {
+        self.cmd_tx
+            .as_ref()
+            .expect("worker was spawned without a command mailbox")
+    }
+}
+
+/// One worker thread: a pipeline node plus its channel endpoints.
+pub(crate) struct Worker<R, S> {
+    id: usize,
+    nodes: usize,
+    node: Box<dyn PipelineNode<R, S>>,
+    left_rx: Receiver<Frame<R, S>>,
+    right_rx: Receiver<Frame<R, S>>,
+    to_left: Option<Sender<Frame<R, S>>>,
+    to_right: Option<Sender<Frame<R, S>>>,
+    /// Elastic command mailbox; `None` on a fixed pipeline, which also
+    /// skips the per-iteration mailbox poll (one channel lock per frame).
+    cmd_rx: Option<Receiver<WorkerCommand<R, S>>>,
+    waitset: WaitSet,
+    shared: WorkerShared<R, S>,
+    /// A handoff segment that arrived before this worker processed its
+    /// `Absorb`/`Retire` command (neighbour ran ahead); consumed by the
+    /// command when it executes.
+    pending_segment: Option<Handoff<R, S>>,
+    idle_wakeups: u64,
+}
+
+impl<R, S> Worker<R, S>
+where
+    R: Clone + Send + 'static,
+    S: Clone + Send + 'static,
+{
+    /// Spawns a worker thread for position `id` of `nodes`, registering
+    /// its wait set with both inputs — and, when `with_mailbox` is set
+    /// (elastic pipelines), with a command mailbox.  A mailbox-less
+    /// worker never pays the per-iteration command poll.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn spawn(
+        id: usize,
+        nodes: usize,
+        node: Box<dyn PipelineNode<R, S>>,
+        left_rx: Receiver<Frame<R, S>>,
+        right_rx: Receiver<Frame<R, S>>,
+        to_left: Option<Sender<Frame<R, S>>>,
+        to_right: Option<Sender<Frame<R, S>>>,
+        shared: WorkerShared<R, S>,
+        with_mailbox: bool,
+    ) -> WorkerHandle<R, S> {
+        let waitset = WaitSet::new();
+        left_rx.set_waiter(&waitset);
+        right_rx.set_waiter(&waitset);
+        let (cmd_tx, cmd_rx) = if with_mailbox {
+            let (tx, rx) = unbounded();
+            rx.set_waiter(&waitset);
+            (Some(tx), Some(rx))
+        } else {
+            (None, None)
+        };
+        let worker = Worker {
+            id,
+            nodes,
+            node,
+            left_rx,
+            right_rx,
+            to_left,
+            to_right,
+            cmd_rx,
+            waitset: waitset.clone(),
+            shared,
+            pending_segment: None,
+            idle_wakeups: 0,
+        };
+        WorkerHandle {
+            handle: std::thread::spawn(move || worker.run()),
+            cmd_tx,
+            waitset,
+        }
+    }
+
+    fn run(mut self) -> WorkerExit {
+        let mut out: NodeOutput<R, S, ResultTuple<R, S>> = NodeOutput::new();
+        // Alternate which input is polled first so neither direction can
+        // starve the other under sustained load.
+        let mut poll_left_first = true;
+        loop {
+            // Epoch snapshot before polling (commands included): anything
+            // landing between the polls and the park bumps the epoch first,
+            // so the wait returns immediately — no lost wake-ups.
+            let seen = self.waitset.epoch();
+            if let Some(cmd_rx) = &self.cmd_rx {
+                if let Ok(cmd) = cmd_rx.try_recv() {
+                    if self.execute(cmd) {
+                        break;
+                    }
+                    continue;
+                }
+            }
+            let frame = if poll_left_first {
+                self.left_rx
+                    .try_recv()
+                    .or_else(|_| self.right_rx.try_recv())
+            } else {
+                self.right_rx
+                    .try_recv()
+                    .or_else(|_| self.left_rx.try_recv())
+            };
+            poll_left_first = !poll_left_first;
+            match frame {
+                Ok(frame) => self.handle_frame(frame, &mut out),
+                Err(_) => {
+                    if self.shared.stop.load(Ordering::SeqCst)
+                        && self.left_rx.is_empty()
+                        && self.right_rx.is_empty()
+                        && self.cmd_rx.as_ref().is_none_or(|rx| rx.is_empty())
+                    {
+                        break;
+                    }
+                    // Block until either input (or shutdown) notifies the
+                    // wait set.  A timed-out park is the only "idle
+                    // wake-up" left: it means the safety-net timer fired
+                    // with nothing to do.
+                    if !self.waitset.wait(seen, WORKER_PARK) {
+                        self.idle_wakeups += 1;
+                    }
+                }
+            }
+        }
+        WorkerExit {
+            counters: self.node.node_counters(),
+            idle_wakeups: self.idle_wakeups,
+        }
+    }
+
+    /// Processes one data frame: batch dispatch into the node, high-water
+    /// mark observation at the pipeline ends, output forwarding (the
+    /// complete output of one frame leaves as at most one frame per
+    /// direction), result emission, in-flight accounting.  A handoff frame
+    /// overtaking its command is stashed instead.
+    fn handle_frame(&mut self, frame: Frame<R, S>, out: &mut NodeOutput<R, S, ResultTuple<R, S>>) {
+        if let MessageBatch::Handoff(handoff) = frame {
+            // The neighbour's migration ran ahead of this worker's own
+            // command; park the segment for the command to consume.  Not
+            // part of the in-flight accounting, so nothing to finish.
+            assert!(
+                self.pending_segment.is_none(),
+                "node {}: second handoff segment before the first was absorbed",
+                self.id
+            );
+            assert!(
+                matches!(handoff, Handoff::Segment { .. }),
+                "node {}: handoff ack arrived outside a retire wait",
+                self.id
+            );
+            self.pending_segment = Some(handoff);
+            return;
+        }
+        let busy_start = self.shared.busy_ns.is_some().then(Instant::now);
+        let is_leftmost = self.id == 0;
+        let is_rightmost = self.id + 1 == self.nodes;
+        self.node.observe_time(self.shared.clock.now());
+        out.clear();
+        // High-water marks advance only *after* this frame's results are
+        // in the result queue (see below): the collector reads the marks
+        // before vacuuming, so a mark that advanced ahead of its results
+        // would let a punctuation overtake them.  `observed` stashes the
+        // traversal-end timestamp until the results are safely enqueued.
+        let mut observed: Option<(bool, Timestamp)> = None;
+        match frame {
+            MessageBatch::Left(msgs) => {
+                // The rightmost node is where R arrivals complete their
+                // pipeline traversal; the last arrival of the frame
+                // carries the largest timestamp (FIFO order).
+                if is_rightmost {
+                    observed = msgs
+                        .iter()
+                        .rev()
+                        .find_map(|m| match m {
+                            LeftToRight::ArrivalR(r) => Some(r.ts()),
+                            _ => None,
+                        })
+                        .map(|ts| (true, ts));
+                }
+                self.node.handle_left_batch(msgs, out);
+            }
+            MessageBatch::Right(msgs) => {
+                if is_leftmost {
+                    observed = msgs
+                        .iter()
+                        .rev()
+                        .find_map(|m| match m {
+                            RightToLeft::ArrivalS(s) => Some(s.ts()),
+                            _ => None,
+                        })
+                        .map(|ts| (false, ts));
+                }
+                self.node.handle_right_batch(msgs, out);
+            }
+            MessageBatch::Handoff(_) => unreachable!("stashed above"),
+        }
+        // The complete output of the frame leaves as at most one frame
+        // per direction: this is where per-message channel cost collapses
+        // to per-frame cost.
+        if !out.to_right.is_empty() {
+            if let Some(tx) = &self.to_right {
+                let msgs = std::mem::take(&mut out.to_right);
+                send_frame(tx, MessageBatch::Left(msgs), &self.shared.in_flight);
+            } else {
+                out.to_right.clear();
+            }
+        }
+        if !out.to_left.is_empty() {
+            if let Some(tx) = &self.to_left {
+                let msgs = std::mem::take(&mut out.to_left);
+                send_frame(tx, MessageBatch::Right(msgs), &self.shared.in_flight);
+            } else {
+                out.to_left.clear();
+            }
+        }
+        if !out.results.is_empty() {
+            let detected_at = self.shared.clock.now();
+            for result in out.results.drain(..) {
+                let _ = self
+                    .shared
+                    .results
+                    .send(TimedResult::new(result, detected_at));
+            }
+        }
+        // Only now — with every result of this frame enqueued — may the
+        // traversal-end mark advance.  Upstream nodes' results for the
+        // same tuples were enqueued even earlier (FIFO chain), so when
+        // the collector sees the new mark, every result it promises
+        // already sits in a queue (Section 6.1.3 step 1 reads the marks
+        // before vacuuming).
+        match observed {
+            Some((true, ts)) => self.shared.hwm.observe_r(ts),
+            Some((false, ts)) => self.shared.hwm.observe_s(ts),
+            None => {}
+        }
+        if let (Some(slot), Some(started)) = (&self.shared.busy_ns, busy_start) {
+            slot.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        self.shared.in_flight.finish();
+    }
+
+    /// Executes one scale command.  Returns `true` if the worker retires.
+    fn execute(&mut self, cmd: WorkerCommand<R, S>) -> bool {
+        match cmd {
+            WorkerCommand::Rewire {
+                id,
+                nodes,
+                left_rx,
+                right_rx,
+                to_left,
+                to_right,
+                done,
+            } => {
+                self.id = id;
+                self.nodes = nodes;
+                self.node
+                    .set_position(id, nodes)
+                    .expect("elastic workers are spawned with migration-capable nodes");
+                if let Some(rx) = left_rx {
+                    self.left_rx = rx;
+                }
+                if let Some(rx) = right_rx {
+                    self.right_rx = rx;
+                }
+                if let Some(tx) = to_left {
+                    self.to_left = tx;
+                }
+                if let Some(tx) = to_right {
+                    self.to_right = tx;
+                }
+                let _ = done.send(ScaleConfirm { migrated_tuples: 0 });
+                false
+            }
+            WorkerCommand::Absorb { stall, done } => {
+                let migrated = self.absorb_segment(stall);
+                let _ = done.send(ScaleConfirm {
+                    migrated_tuples: migrated,
+                });
+                false
+            }
+            WorkerCommand::Retire {
+                absorb_first,
+                stall,
+            } => {
+                if absorb_first {
+                    self.absorb_segment(stall);
+                }
+                let segment = self
+                    .node
+                    .export_segment()
+                    .expect("elastic workers are spawned with migration-capable nodes");
+                let to_left = self
+                    .to_left
+                    .as_ref()
+                    .expect("a retiring node always has a left neighbour");
+                let frame = MessageBatch::Handoff(Handoff::Segment {
+                    from: self.id,
+                    segment,
+                });
+                assert!(
+                    to_left.send(frame).is_ok(),
+                    "node {}: segment handoff failed — left neighbour gone",
+                    self.id
+                );
+                self.await_ack_from_left();
+                true
+            }
+        }
+    }
+
+    /// Receives one migrated segment from the right input (or takes the
+    /// stashed one), installs it and acknowledges to the right.  Returns
+    /// the number of migrated tuples.
+    fn absorb_segment(&mut self, stall: Option<Duration>) -> usize {
+        let handoff = match self.pending_segment.take() {
+            Some(h) => h,
+            None => self.recv_handoff(false),
+        };
+        let Handoff::Segment { from, segment } = handoff else {
+            unreachable!("ack filtered by recv_handoff / stash assertion");
+        };
+        if let Some(stall) = stall {
+            // Test instrumentation: widen the handoff window so teardown
+            // tests can deterministically land a shutdown inside it.
+            std::thread::sleep(stall);
+        }
+        let migrated = segment.len();
+        self.node
+            .import_segment(segment)
+            .expect("elastic workers are spawned with migration-capable nodes");
+        let to_right = self
+            .to_right
+            .as_ref()
+            .expect("an absorbing node has the retiring neighbour to its right");
+        let _ = to_right.send(MessageBatch::Handoff(Handoff::Ack { to: from }));
+        migrated
+    }
+
+    /// Blocks until the left neighbour acknowledges the segment this node
+    /// handed over.
+    fn await_ack_from_left(&mut self) {
+        match self.recv_handoff(true) {
+            Handoff::Ack { to } => {
+                debug_assert_eq!(to, self.id, "ack routed to the wrong node");
+            }
+            Handoff::Segment { .. } => {
+                unreachable!("a retiring node that already exported cannot absorb")
+            }
+        }
+    }
+
+    /// Blocks (through the wait set) until a handoff frame arrives on the
+    /// left (`from_left`) or right input.  Only valid while fenced: any
+    /// data frame here is a protocol violation.
+    fn recv_handoff(&mut self, from_left: bool) -> Handoff<R, S> {
+        loop {
+            let seen = self.waitset.epoch();
+            let rx = if from_left {
+                &self.left_rx
+            } else {
+                &self.right_rx
+            };
+            match rx.try_recv() {
+                Ok(MessageBatch::Handoff(handoff)) => return handoff,
+                Ok(_) => unreachable!("node {}: data frame during a fenced migration", self.id),
+                Err(_) => {
+                    self.waitset.wait(seen, WORKER_PARK);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collector side
+// ---------------------------------------------------------------------------
+
+/// Everything the collector thread assembled by the time it exits.
+pub(crate) struct CollectorOutcome<R, S> {
+    pub(crate) results: Vec<TimedResult<R, S>>,
+    pub(crate) output: Vec<OutputItem<TimedResult<R, S>>>,
+    pub(crate) latency: LatencySummary,
+    pub(crate) series: LatencySeries,
+    pub(crate) punctuation_count: u64,
+}
+
+/// Collector knobs (a subset of [`crate::options::PipelineOptions`]).
+pub(crate) struct CollectorConfig {
+    pub(crate) punctuate: bool,
+    pub(crate) interval: Duration,
+    pub(crate) latency_bucket: u64,
+}
+
+/// Spawns the collector thread over the given per-worker result queues.
+///
+/// Step 1 of the paper's Section 6.1.3 is preserved: the high-water marks
+/// are read *before* the queues are vacuumed, so every punctuation `p`
+/// emitted after a batch of results is a valid promise (no later result
+/// can carry a smaller timestamp).  With a metrics bus attached (elastic
+/// pipelines), every collected latency is also fed into the bus's EWMA
+/// for the auto-scaler; `None` skips the per-result CAS.
+pub(crate) fn spawn_collector<R, S>(
+    receivers: Vec<Receiver<TimedResult<R, S>>>,
+    stop: Arc<AtomicBool>,
+    stop_signal: WaitSet,
+    hwm: Arc<HighWaterMarks>,
+    metrics: Option<Arc<MetricsBus>>,
+    config: CollectorConfig,
+) -> JoinHandle<CollectorOutcome<R, S>>
+where
+    R: Clone + Send + 'static,
+    S: Clone + Send + 'static,
+{
+    std::thread::spawn(move || {
+        let mut outcome = CollectorOutcome {
+            results: Vec::new(),
+            output: Vec::new(),
+            latency: LatencySummary::new(),
+            series: LatencySeries::new(config.latency_bucket),
+            punctuation_count: 0,
+        };
+        loop {
+            let seen = stop_signal.epoch();
+            let stopping = stop.load(Ordering::SeqCst);
+            // Step 1 (Section 6.1.3): read the high-water marks before
+            // vacuuming the queues.
+            let safe = hwm.safe_punctuation();
+            let mut drained_any = false;
+            for rx in &receivers {
+                while let Ok(timed) = rx.try_recv() {
+                    drained_any = true;
+                    let latency = timed.latency();
+                    outcome.latency.record(latency);
+                    outcome.series.record(timed.detected_at, latency);
+                    if let Some(bus) = &metrics {
+                        bus.observe_latency(latency);
+                    }
+                    if config.punctuate {
+                        outcome.output.push(OutputItem::Result(timed.clone()));
+                    }
+                    outcome.results.push(timed);
+                }
+            }
+            if config.punctuate && drained_any {
+                outcome
+                    .output
+                    .push(OutputItem::Punctuation(Punctuation { ts: safe }));
+                outcome.punctuation_count += 1;
+            }
+            if stopping && !drained_any {
+                break;
+            }
+            // The vacuum period doubles as the park timeout; the driver's
+            // shutdown notification cuts it short so the final drain
+            // starts immediately.
+            stop_signal.wait(seen, config.interval);
+        }
+        outcome
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturating_micros_states_the_degenerate_cases() {
+        assert_eq!(saturating_micros(f64::NAN), 0);
+        assert_eq!(saturating_micros(-1.0), 0);
+        assert_eq!(saturating_micros(0.0), 0);
+        assert_eq!(saturating_micros(f64::INFINITY), u64::MAX);
+        assert_eq!(saturating_micros(1e300), u64::MAX);
+        assert_eq!(saturating_micros(2.5), 2_500_000);
+    }
+
+    #[test]
+    fn frozen_clock_for_non_positive_speedup() {
+        let clock = StreamClock::new(Pacing::RealTime { speedup: -3.0 });
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(clock.now(), Timestamp::ZERO);
+    }
+}

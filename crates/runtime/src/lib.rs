@@ -50,16 +50,21 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod autoscale;
 pub mod channel;
 pub mod elastic;
+mod exec;
+pub mod metrics;
 pub mod options;
 pub mod pipeline;
 
+pub use autoscale::{run_autoscaled_pipeline, AutoscaleOptions};
 pub use channel::CancelToken;
 pub use elastic::{
     llhj_factory, llhj_indexed_factory, run_elastic_pipeline, ElasticOutcome, ElasticPipeline,
     NodeFactory, ResizeEvent, ScalePipeline, ScalePlan, ScaleStep,
 };
+pub use metrics::MetricsBus;
 pub use options::{Pacing, PipelineOptions};
 pub use pipeline::{run_pipeline, RunOutcome};
 

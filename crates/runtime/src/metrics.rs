@@ -1,0 +1,249 @@
+//! The runtime's lock-free metrics bus.
+//!
+//! The auto-scaler needs a live view of the pipeline's load, but the hot
+//! paths (workers handling frames, the collector vacuuming results, the
+//! driver injecting) must not take a lock or block to report it.  The bus
+//! is therefore a bundle of atomics that producers update with relaxed
+//! stores and the sampler reads at its own pace:
+//!
+//! * **arrival counter** — bumped by the driver once per injected tuple;
+//!   the sampler differentiates it against the stream clock to get the
+//!   observed arrival rate.
+//! * **result-latency EWMA** — the collector folds every result's latency
+//!   into an exponentially weighted moving average
+//!   ([`llhj_core::metrics::LatencyEwma`] semantics) kept as `f64` bits in
+//!   an `AtomicU64` (compare-and-swap loop, no lock).
+//! * **per-node busy counters** — each worker owns an `Arc<AtomicU64>` of
+//!   nanoseconds spent processing frames; the registry that hands the
+//!   slots out is behind a mutex, but it is touched only by the control
+//!   plane at spawn/retire time — the per-frame update is a single
+//!   relaxed `fetch_add` on the worker's own counter.
+//! * **entry-channel occupancy probe** — a registered closure reading
+//!   `Sender::len` of the two driver entry channels (re-registered by the
+//!   elastic pipeline whenever a resize replaces an entry channel).
+//!
+//! The sampler (the auto-scaler's controller thread, see
+//! [`crate::autoscale`]) turns one read of the bus into a
+//! [`MetricsSample`](llhj_core::metrics::MetricsSample) — the shared,
+//! substrate-agnostic observation type the policy consumes.
+
+use llhj_core::time::TimeDelta;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Smoothing factor of the collector's result-latency EWMA.  Shared with
+/// the simulator mirror (both alias
+/// [`llhj_core::metrics::DEFAULT_LATENCY_ALPHA`]) so the two substrates
+/// derive the same latency signal from the same result stream.
+pub const LATENCY_EWMA_ALPHA: f64 = llhj_core::metrics::DEFAULT_LATENCY_ALPHA;
+
+type OccupancyProbe = Box<dyn Fn() -> (usize, usize) + Send + Sync>;
+
+/// Lock-free sampled pipeline metrics; see the module docs.
+pub struct MetricsBus {
+    arrivals: AtomicU64,
+    results: AtomicU64,
+    /// `f64` bits of the latency EWMA in microseconds; `u64::MAX` encodes
+    /// "no observation yet" (a NaN bit pattern no latency update writes).
+    latency_bits: AtomicU64,
+    nodes: AtomicUsize,
+    node_busy: Mutex<Vec<Arc<AtomicU64>>>,
+    occupancy: Mutex<Option<OccupancyProbe>>,
+}
+
+impl Default for MetricsBus {
+    fn default() -> Self {
+        MetricsBus {
+            arrivals: AtomicU64::new(0),
+            results: AtomicU64::new(0),
+            latency_bits: AtomicU64::new(u64::MAX),
+            nodes: AtomicUsize::new(0),
+            node_busy: Mutex::new(Vec::new()),
+            occupancy: Mutex::new(None),
+        }
+    }
+}
+
+impl MetricsBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one injected tuple arrival (driver hot path: one relaxed
+    /// `fetch_add`).
+    pub fn note_arrival(&self) {
+        self.arrivals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total tuple arrivals injected so far (both streams).
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals.load(Ordering::Relaxed)
+    }
+
+    /// Folds one result latency into the EWMA and bumps the result
+    /// counter (collector hot path: lock-free CAS loop).
+    pub fn observe_latency(&self, latency: TimeDelta) {
+        self.results.fetch_add(1, Ordering::Relaxed);
+        let us = latency.as_micros() as f64;
+        let mut current = self.latency_bits.load(Ordering::Relaxed);
+        loop {
+            let next = if current == u64::MAX {
+                us
+            } else {
+                let prev = f64::from_bits(current);
+                prev + LATENCY_EWMA_ALPHA * (us - prev)
+            };
+            match self.latency_bits.compare_exchange_weak(
+                current,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Current result-latency EWMA (zero before the first result).
+    pub fn latency_ewma(&self) -> TimeDelta {
+        let bits = self.latency_bits.load(Ordering::Relaxed);
+        if bits == u64::MAX {
+            TimeDelta::ZERO
+        } else {
+            TimeDelta::from_micros(f64::from_bits(bits).max(0.0).round() as u64)
+        }
+    }
+
+    /// Total results collected so far.
+    pub fn results(&self) -> u64 {
+        self.results.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the current chain width (control plane, at deploy and
+    /// after every resize).
+    pub fn set_nodes(&self, nodes: usize) {
+        self.nodes.store(nodes, Ordering::Relaxed);
+    }
+
+    /// Chain width as last published.
+    pub fn nodes(&self) -> usize {
+        self.nodes.load(Ordering::Relaxed)
+    }
+
+    /// Hands out (or re-hands-out) the busy-nanoseconds slot for node
+    /// `id`.  Called by the control plane when a worker spawns; the
+    /// worker then updates the returned counter lock-free.  A re-used id
+    /// (a grow after a shrink) resumes the old slot, so busy time is
+    /// cumulative per position.
+    pub fn register_node(&self, id: usize) -> Arc<AtomicU64> {
+        let mut slots = self.node_busy.lock().expect("metrics bus poisoned");
+        while slots.len() <= id {
+            slots.push(Arc::new(AtomicU64::new(0)));
+        }
+        Arc::clone(&slots[id])
+    }
+
+    /// Snapshot of the busy counters of the first `nodes` positions.
+    pub fn busy_ns(&self, nodes: usize) -> Vec<u64> {
+        let slots = self.node_busy.lock().expect("metrics bus poisoned");
+        (0..nodes)
+            .map(|k| {
+                slots
+                    .get(k)
+                    .map(|slot| slot.load(Ordering::Relaxed))
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Registers the closure the sampler uses to read the (left, right)
+    /// driver entry-channel occupancy.  The elastic pipeline re-registers
+    /// it whenever a resize replaces an entry channel.
+    pub fn set_occupancy_probe<F>(&self, probe: F)
+    where
+        F: Fn() -> (usize, usize) + Send + Sync + 'static,
+    {
+        *self.occupancy.lock().expect("metrics bus poisoned") = Some(Box::new(probe));
+    }
+
+    /// Frames queued in the (left, right) entry channels; `(0, 0)` when no
+    /// probe is registered.
+    pub fn entry_occupancy(&self) -> (usize, usize) {
+        self.occupancy
+            .lock()
+            .expect("metrics bus poisoned")
+            .as_ref()
+            .map(|probe| probe())
+            .unwrap_or((0, 0))
+    }
+}
+
+impl std::fmt::Debug for MetricsBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsBus")
+            .field("arrivals", &self.arrivals())
+            .field("results", &self.results())
+            .field("latency_ewma", &self.latency_ewma())
+            .field("nodes", &self.nodes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_matches_the_core_reference() {
+        let bus = MetricsBus::new();
+        assert_eq!(bus.latency_ewma(), TimeDelta::ZERO);
+        let mut reference = llhj_core::metrics::LatencyEwma::new(LATENCY_EWMA_ALPHA);
+        for ms in [10u64, 30, 20, 5, 40] {
+            bus.observe_latency(TimeDelta::from_millis(ms));
+            reference.observe(TimeDelta::from_millis(ms));
+        }
+        let got = bus.latency_ewma().as_micros() as i64;
+        let want = reference.value().as_micros() as i64;
+        assert!(
+            (got - want).abs() <= 1,
+            "bus {got} us vs reference {want} us"
+        );
+        assert_eq!(bus.results(), 5);
+    }
+
+    #[test]
+    fn busy_registry_is_cumulative_per_position() {
+        let bus = MetricsBus::new();
+        let slot = bus.register_node(2);
+        slot.fetch_add(500, Ordering::Relaxed);
+        // Re-registering the same position resumes the counter.
+        let again = bus.register_node(2);
+        again.fetch_add(250, Ordering::Relaxed);
+        assert_eq!(bus.busy_ns(4), vec![0, 0, 750, 0]);
+        assert_eq!(bus.busy_ns(1), vec![0]);
+    }
+
+    #[test]
+    fn occupancy_probe_defaults_to_zero_and_follows_registration() {
+        let bus = MetricsBus::new();
+        assert_eq!(bus.entry_occupancy(), (0, 0));
+        let (tx, _rx) = crate::channel::unbounded::<u32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let probe_tx = tx.clone();
+        bus.set_occupancy_probe(move || (probe_tx.len(), 0));
+        assert_eq!(bus.entry_occupancy(), (2, 0));
+    }
+
+    #[test]
+    fn arrival_counter_counts() {
+        let bus = MetricsBus::new();
+        bus.note_arrival();
+        bus.note_arrival();
+        assert_eq!(bus.arrivals(), 2);
+        bus.set_nodes(3);
+        assert_eq!(bus.nodes(), 3);
+    }
+}

@@ -18,6 +18,14 @@
 //! per-tuple transport exactly, FIFO order and quiescence protocol
 //! included.
 //!
+//! The worker threads, entry batching and collector are the *shared*
+//! execution machinery of the crate-private `exec` module — the same code the elastic
+//! pipeline deploys.  A fixed pipeline is an elastic pipeline that never
+//! receives a scale command, so the two paths cannot drift (the ROADMAP
+//! debt PR 4 paid down).  What stays here is only the fixed deployment:
+//! channel wiring for a construction-time node count, the schedule replay
+//! driver, and the wall-clock flush-timer thread.
+//!
 //! The workers execute exactly the same node state machines as the
 //! discrete-event simulator, so the produced result *set* is identical; the
 //! runtime is what you would deploy on real hardware, while the simulator
@@ -25,19 +33,22 @@
 //! machine.
 
 use crate::channel::{bounded, unbounded, Receiver, Sender, WaitSet};
+use crate::exec::{
+    spawn_collector, CollectorConfig, EntryState, InFlight, StreamClock, Worker, WorkerShared,
+};
 use crate::options::{Pacing, PipelineOptions};
 use llhj_core::driver::{DriverSchedule, Injector, StreamEvent};
 use llhj_core::homing::HomePolicy;
-use llhj_core::message::{LeftToRight, MessageBatch, NodeOutput, RightToLeft};
+use llhj_core::message::MessageBatch;
 use llhj_core::node::PipelineNode;
 use llhj_core::predicate::JoinPredicate;
-use llhj_core::punctuation::{HighWaterMarks, OutputItem, Punctuation};
-use llhj_core::result::{ResultTuple, TimedResult};
-use llhj_core::stats::{LatencyPoint, LatencySeries, LatencySummary, NodeCounters};
+use llhj_core::punctuation::{HighWaterMarks, OutputItem};
+use llhj_core::result::TimedResult;
+use llhj_core::stats::{LatencyPoint, LatencySummary, NodeCounters};
 use llhj_core::time::Timestamp;
 use llhj_core::tuple::SeqNo;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Everything measured during one threaded run.
@@ -92,214 +103,6 @@ impl<R, S> RunOutcome<R, S> {
     /// Total predicate evaluations across all workers.
     pub fn total_comparisons(&self) -> u64 {
         self.counters.iter().map(|c| c.comparisons).sum()
-    }
-}
-
-/// The shared stream clock: maps wall-clock time to stream time.
-pub(crate) struct StreamClock {
-    pacing: Pacing,
-    start: Instant,
-    /// Stream time of the most recently injected driver event (drives the
-    /// clock in unpaced mode).
-    injected_us: AtomicU64,
-}
-
-impl StreamClock {
-    pub(crate) fn new(pacing: Pacing) -> Self {
-        StreamClock {
-            pacing,
-            start: Instant::now(),
-            injected_us: AtomicU64::new(0),
-        }
-    }
-
-    pub(crate) fn note_injection(&self, at: Timestamp) {
-        self.injected_us
-            .fetch_max(at.as_micros(), Ordering::Relaxed);
-    }
-
-    pub(crate) fn now(&self) -> Timestamp {
-        match self.pacing {
-            Pacing::Unpaced => Timestamp::from_micros(self.injected_us.load(Ordering::Relaxed)),
-            Pacing::RealTime { speedup } => {
-                // `speedup` is validated finite by `PipelineOptions::
-                // validate`; a negative value clamps to a frozen clock
-                // instead of travelling through the float→int cast.
-                let elapsed = self.start.elapsed().as_secs_f64() * speedup.max(0.0);
-                Timestamp::from_micros(saturating_micros(elapsed))
-            }
-        }
-    }
-}
-
-/// Converts `secs` of stream time to whole microseconds with explicit
-/// saturation: NaN and negative values map to 0, values beyond the `u64`
-/// range to `u64::MAX`.  (The bare `as` cast has the same limits but hides
-/// the policy; the clock's behaviour under degenerate `speedup` values
-/// should be a stated contract, not a cast artefact.)
-pub(crate) fn saturating_micros(secs: f64) -> u64 {
-    let micros = secs * 1e6;
-    if micros.is_nan() || micros <= 0.0 {
-        0
-    } else if micros >= u64::MAX as f64 {
-        u64::MAX
-    } else {
-        micros as u64
-    }
-}
-
-/// Safety-net bound on how long a worker parks between wake-ups.  Workers
-/// are woken eagerly — by frame arrivals through their [`WaitSet`] and by
-/// the driver at shutdown — so this timeout only bounds the damage of a
-/// missed notification; it is not a polling interval.
-pub(crate) const WORKER_PARK: Duration = Duration::from_millis(10);
-
-/// In-flight frame accounting plus the wait set the driver parks on while
-/// draining: the counter going to zero is the pipeline's quiescence signal.
-pub(crate) struct InFlight {
-    count: AtomicI64,
-    quiesce: WaitSet,
-}
-
-impl InFlight {
-    pub(crate) fn new() -> Self {
-        InFlight {
-            count: AtomicI64::new(0),
-            quiesce: WaitSet::new(),
-        }
-    }
-
-    pub(crate) fn add(&self) {
-        self.count.fetch_add(1, Ordering::SeqCst);
-    }
-
-    /// Decrements the counter, waking the driver when it reaches zero.
-    pub(crate) fn finish(&self) {
-        if self.count.fetch_sub(1, Ordering::SeqCst) == 1 {
-            self.quiesce.notify();
-        }
-    }
-
-    /// Parks until no frame is anywhere in the pipeline.
-    pub(crate) fn wait_for_quiescence(&self) {
-        loop {
-            let seen = self.quiesce.epoch();
-            if self.count.load(Ordering::SeqCst) <= 0 {
-                return;
-            }
-            self.quiesce.wait(seen, WORKER_PARK);
-        }
-    }
-}
-
-/// Sends one frame, keeping the global in-flight frame count consistent
-/// (the driver's quiescence detection counts frames, not messages).
-pub(crate) fn send_frame<R, S>(
-    tx: &Sender<MessageBatch<R, S>>,
-    frame: MessageBatch<R, S>,
-    in_flight: &InFlight,
-) {
-    if frame.is_empty() {
-        return;
-    }
-    in_flight.add();
-    if tx.send(frame).is_err() {
-        in_flight.finish();
-    }
-}
-
-/// One direction's entry-frame assembly state in the driver: the pending
-/// messages, how many of them are arrivals (expiries ride along without
-/// counting towards `batch_size`), and when the frame started filling
-/// (for the `flush_interval` timer).
-struct EntryBatcher<'a, M, R, S> {
-    pending: Vec<M>,
-    arrivals: usize,
-    started_at: Option<Timestamp>,
-    tx: &'a Sender<MessageBatch<R, S>>,
-    wrap: fn(Vec<M>) -> MessageBatch<R, S>,
-}
-
-impl<'a, M, R, S> EntryBatcher<'a, M, R, S> {
-    fn new(tx: &'a Sender<MessageBatch<R, S>>, wrap: fn(Vec<M>) -> MessageBatch<R, S>) -> Self {
-        EntryBatcher {
-            pending: Vec::new(),
-            arrivals: 0,
-            started_at: None,
-            tx,
-            wrap,
-        }
-    }
-
-    /// Queues a control message; it rides the next flush.
-    fn push(&mut self, msg: M, at: Timestamp) {
-        if self.pending.is_empty() {
-            self.started_at = Some(at);
-        }
-        self.pending.push(msg);
-    }
-
-    /// Queues a tuple arrival, counting it towards the batch size.
-    fn push_arrival(&mut self, msg: M, at: Timestamp) {
-        self.push(msg, at);
-        self.arrivals += 1;
-    }
-
-    /// Sends the pending frame (if any) and resets the assembly state.
-    fn flush(&mut self, in_flight: &InFlight, frames_injected: &mut u64) {
-        if self.pending.is_empty() {
-            return;
-        }
-        send_frame(
-            self.tx,
-            (self.wrap)(std::mem::take(&mut self.pending)),
-            in_flight,
-        );
-        *frames_injected += 1;
-        self.arrivals = 0;
-        self.started_at = None;
-    }
-
-    /// Flushes if the frame has been filling for at least `interval` of
-    /// stream time.
-    fn flush_if_older(
-        &mut self,
-        now: Timestamp,
-        interval: llhj_core::time::TimeDelta,
-        in_flight: &InFlight,
-        frames_injected: &mut u64,
-    ) {
-        if let Some(started_at) = self.started_at {
-            if now.saturating_since(started_at) >= interval {
-                self.flush(in_flight, frames_injected);
-            }
-        }
-    }
-}
-
-/// The driver's entry-frame assembly state for both directions, behind one
-/// mutex so the wall-clock flush timer thread can reach it between
-/// schedule events.  The driver holds the lock only briefly per event and
-/// the timer only fires once per `flush_interval`, so contention is nil.
-struct EntryState<'a, R, S> {
-    left: EntryBatcher<'a, LeftToRight<R>, R, S>,
-    right: EntryBatcher<'a, RightToLeft<S>, R, S>,
-    frames_injected: u64,
-}
-
-impl<R, S> EntryState<'_, R, S> {
-    /// Flushes both directions' partial frames that have been filling for
-    /// at least `interval` of stream time.
-    fn flush_older_than(
-        &mut self,
-        now: Timestamp,
-        interval: llhj_core::time::TimeDelta,
-        in_flight: &InFlight,
-    ) {
-        self.left
-            .flush_if_older(now, interval, in_flight, &mut self.frames_injected);
-        self.right
-            .flush_if_older(now, interval, in_flight, &mut self.frames_injected);
     }
 }
 
@@ -374,21 +177,6 @@ where
     let driver_left_tx = ltr_tx[0].take().expect("entry channel");
     let driver_right_tx = rtl_tx[n - 1].take().expect("entry channel");
 
-    // One wait set per worker, registered with both of its input channels:
-    // a send into either input (or the driver's shutdown notification)
-    // wakes the worker, so it never has to poll.
-    let waitsets: Vec<WaitSet> = (0..n).map(|_| WaitSet::new()).collect();
-    for k in 0..n {
-        ltr_rx[k]
-            .as_ref()
-            .expect("left input")
-            .set_waiter(&waitsets[k]);
-        rtl_rx[k]
-            .as_ref()
-            .expect("right input")
-            .set_waiter(&waitsets[k]);
-    }
-
     // Per-worker result queues (Figure 15).
     let mut result_tx: Vec<Sender<TimedResult<R, S>>> = Vec::with_capacity(n);
     let mut result_rx: Vec<Receiver<TimedResult<R, S>>> = Vec::with_capacity(n);
@@ -398,343 +186,191 @@ where
         result_rx.push(rx);
     }
 
-    let mut counters = vec![NodeCounters::default(); n];
-    let mut collected: Option<CollectorOutcome<R, S>> = None;
-    let mut frames_injected = 0u64;
+    // ---------------- workers (shared exec machinery) ----------------
+    let mut worker_handles = Vec::with_capacity(n);
+    for (k, node) in nodes.into_iter().enumerate() {
+        let left_rx = ltr_rx[k].take().expect("left input");
+        let right_rx = rtl_rx[k].take().expect("right input");
+        let to_right = if k + 1 < n {
+            ltr_tx[k + 1].take()
+        } else {
+            None
+        };
+        let to_left = if k > 0 { rtl_tx[k - 1].take() } else { None };
+        let shared = WorkerShared {
+            hwm: Arc::clone(&hwm),
+            clock: Arc::clone(&clock),
+            stop: Arc::clone(&stop),
+            in_flight: Arc::clone(&in_flight),
+            results: result_tx[k].clone(),
+            // No metrics bus on the fixed path: nothing samples it, and
+            // the instrumentation would tax every frame for nothing.
+            busy_ns: None,
+        };
+        worker_handles.push(Worker::spawn(
+            k, n, node, left_rx, right_rx, to_left, to_right, shared, false,
+        ));
+    }
+    drop(result_tx);
+
+    // ---------------- collector (shared exec machinery) ----------------
+    let collector_handle = spawn_collector(
+        result_rx,
+        Arc::clone(&stop),
+        stop_signal.clone(),
+        Arc::clone(&hwm),
+        None,
+        CollectorConfig {
+            punctuate: options.punctuate,
+            interval: options.collect_interval,
+            latency_bucket: options.latency_bucket,
+        },
+    );
+
+    // Entry-frame assembly state, shared between the driver and the flush
+    // timer thread.
+    let entry = Arc::new(Mutex::new(EntryState::new(driver_left_tx, driver_right_tx)));
+    let timer_stop = WaitSet::new();
+
+    // ---------------- flush timer ----------------
+    // The driver's own timer check below only runs when it observes the
+    // next schedule event — useless on a stream that goes silent, where
+    // a partial frame would wait indefinitely.  A dedicated wall-clock
+    // timer thread bounds that wait in real time: every half interval
+    // it flushes any entry frame older than `flush_interval` of stream
+    // time, regardless of schedule progress.  Only paced runs need it
+    // (an unpaced driver never waits between events).
+    let timer_handle = match (options.pacing, options.flush_interval) {
+        (Pacing::RealTime { .. }, Some(interval)) => {
+            let entry = Arc::clone(&entry);
+            let in_flight = Arc::clone(&in_flight);
+            let clock = Arc::clone(&clock);
+            let timer_stop = timer_stop.clone();
+            let period = (options.stream_to_wall(interval) / 2).max(Duration::from_micros(50));
+            Some(std::thread::spawn(move || {
+                // The driver notifies `timer_stop` exactly once, at
+                // shutdown.  Snapshot the epoch *before* the loop: a
+                // notify that lands while we are flushing (outside
+                // `wait`) still differs from this snapshot, so the next
+                // wait returns immediately instead of the bump being
+                // absorbed by a per-iteration re-snapshot — which would
+                // leave this thread looping forever and the driver
+                // hanging in `join`.
+                let seen = timer_stop.epoch();
+                loop {
+                    if timer_stop.wait(seen, period) {
+                        // Epoch moved: shutdown.
+                        return;
+                    }
+                    let now = clock.now();
+                    entry
+                        .lock()
+                        .expect("entry state poisoned")
+                        .flush_older_than(now, interval, &in_flight);
+                }
+            }))
+        }
+        _ => None,
+    };
+
+    // ---------------- driver (this thread) ----------------
+    // The driver assembles the two entry frames; a frame is flushed when
+    // it holds `batch_size` arrivals, when its stream has delivered its
+    // last arrival (so the tail pays the normal batching delay rather
+    // than waiting for trailing expiry events), or when the
+    // `flush_interval` has elapsed since the frame started filling —
+    // observed either here (on the next event) or by the timer thread
+    // (in wall time, even if no event ever comes).
+    // The pacing wait parks on the cancel token (a plain WaitSet wait
+    // when no token is configured) instead of `thread::sleep`, so an
+    // external cancel interrupts even a multi-second gap between
+    // schedule events immediately (ROADMAP open item).
+    let frames_injected;
     let mut idle_wakeups = 0u64;
     let mut cancelled = false;
     // Arrivals actually handed to the pipeline: equal to the schedule's
     // counts unless the run is cancelled mid-replay.
     let mut seen_r = 0usize;
     let mut seen_s = 0usize;
-
-    // Entry-frame assembly state, shared between the driver and the flush
-    // timer thread (declared before the thread scope so scoped threads can
-    // borrow it).
-    let entry = std::sync::Mutex::new(EntryState {
-        left: EntryBatcher::new(&driver_left_tx, MessageBatch::Left),
-        right: EntryBatcher::new(&driver_right_tx, MessageBatch::Right),
-        frames_injected: 0,
-    });
-    let timer_stop = WaitSet::new();
-
-    std::thread::scope(|scope| {
-        // ---------------- workers ----------------
-        let mut worker_handles = Vec::with_capacity(n);
-        for (k, mut node) in nodes.into_iter().enumerate() {
-            let left_rx = ltr_rx[k].take().expect("left input");
-            let right_rx = rtl_rx[k].take().expect("right input");
-            let to_right = if k + 1 < n {
-                ltr_tx[k + 1].take()
-            } else {
-                None
-            };
-            let to_left = if k > 0 { rtl_tx[k - 1].take() } else { None };
-            let results = result_tx[k].clone();
-            let hwm = Arc::clone(&hwm);
-            let stop = Arc::clone(&stop);
-            let in_flight = Arc::clone(&in_flight);
-            let clock = Arc::clone(&clock);
-            let waitset = waitsets[k].clone();
-            let is_leftmost = k == 0;
-            let is_rightmost = k + 1 == n;
-
-            worker_handles.push(scope.spawn(move || {
-                let mut out: NodeOutput<R, S, ResultTuple<R, S>> = NodeOutput::new();
-                let mut idle_wakeups = 0u64;
-                // Alternate which input is polled first so neither
-                // direction can starve the other under sustained load.
-                let mut poll_left_first = true;
-                loop {
-                    // Epoch snapshot *before* polling: a frame that lands
-                    // between the poll and the park bumps the epoch first,
-                    // so the wait below returns immediately (no lost
-                    // wake-up, no polling fallback needed).
-                    let seen = waitset.epoch();
-                    let frame = if poll_left_first {
-                        left_rx.try_recv().or_else(|_| right_rx.try_recv())
-                    } else {
-                        right_rx.try_recv().or_else(|_| left_rx.try_recv())
-                    };
-                    poll_left_first = !poll_left_first;
-                    match frame {
-                        Ok(frame) => {
-                            node.observe_time(clock.now());
-                            out.clear();
-                            match frame {
-                                MessageBatch::Left(msgs) => {
-                                    // The rightmost node is where R arrivals
-                                    // complete their pipeline traversal; the
-                                    // last arrival of the frame carries the
-                                    // largest timestamp (FIFO order).
-                                    let end_ts = if is_rightmost {
-                                        msgs.iter().rev().find_map(|m| match m {
-                                            LeftToRight::ArrivalR(r) => Some(r.ts()),
-                                            _ => None,
-                                        })
-                                    } else {
-                                        None
-                                    };
-                                    node.handle_left_batch(msgs, &mut out);
-                                    if let Some(ts) = end_ts {
-                                        hwm.observe_r(ts);
-                                    }
-                                }
-                                MessageBatch::Right(msgs) => {
-                                    let end_ts = if is_leftmost {
-                                        msgs.iter().rev().find_map(|m| match m {
-                                            RightToLeft::ArrivalS(s) => Some(s.ts()),
-                                            _ => None,
-                                        })
-                                    } else {
-                                        None
-                                    };
-                                    node.handle_right_batch(msgs, &mut out);
-                                    if let Some(ts) = end_ts {
-                                        hwm.observe_s(ts);
-                                    }
-                                }
-                                MessageBatch::Handoff(_) => {
-                                    unreachable!(
-                                        "handoff frames only travel in elastic pipelines \
-                                         (crate::elastic), never in a fixed run_pipeline chain"
-                                    );
-                                }
-                            }
-                            // The complete output of the frame leaves as at
-                            // most one frame per direction: this is where
-                            // per-message channel cost collapses to
-                            // per-frame cost.
-                            if !out.to_right.is_empty() {
-                                if let Some(tx) = &to_right {
-                                    let msgs = std::mem::take(&mut out.to_right);
-                                    send_frame(tx, MessageBatch::Left(msgs), &in_flight);
-                                } else {
-                                    out.to_right.clear();
-                                }
-                            }
-                            if !out.to_left.is_empty() {
-                                if let Some(tx) = &to_left {
-                                    let msgs = std::mem::take(&mut out.to_left);
-                                    send_frame(tx, MessageBatch::Right(msgs), &in_flight);
-                                } else {
-                                    out.to_left.clear();
-                                }
-                            }
-                            if !out.results.is_empty() {
-                                let detected_at = clock.now();
-                                for result in out.results.drain(..) {
-                                    let _ = results.send(TimedResult::new(result, detected_at));
-                                }
-                            }
-                            in_flight.finish();
-                        }
-                        Err(_) => {
-                            if stop.load(Ordering::SeqCst)
-                                && left_rx.is_empty()
-                                && right_rx.is_empty()
-                            {
-                                break;
-                            }
-                            // Block until either input (or shutdown)
-                            // notifies the wait set.  A timed-out park is
-                            // the only "idle wake-up" left: it means the
-                            // safety-net timer fired with nothing to do.
-                            if !waitset.wait(seen, WORKER_PARK) {
-                                idle_wakeups += 1;
-                            }
-                        }
-                    }
-                }
-                (k, node.node_counters(), idle_wakeups)
-            }));
+    let cancel = options.cancel.clone().unwrap_or_default();
+    for event in schedule.events() {
+        if cancel.is_cancelled() {
+            cancelled = true;
+            break;
         }
-        drop(result_tx);
-
-        // ---------------- collector ----------------
-        let collector_handle = {
-            let stop = Arc::clone(&stop);
-            let stop_signal = stop_signal.clone();
-            let hwm = Arc::clone(&hwm);
-            let receivers = result_rx;
-            let punctuate = options.punctuate;
-            let interval = options.collect_interval;
-            let bucket = options.latency_bucket;
-            scope.spawn(move || {
-                let mut outcome = CollectorOutcome {
-                    results: Vec::new(),
-                    output: Vec::new(),
-                    latency: LatencySummary::new(),
-                    series: LatencySeries::new(bucket),
-                    punctuation_count: 0,
-                };
-                loop {
-                    let seen = stop_signal.epoch();
-                    let stopping = stop.load(Ordering::SeqCst);
-                    // Step 1 (Section 6.1.3): read the high-water marks
-                    // before vacuuming the queues.
-                    let safe = hwm.safe_punctuation();
-                    let mut drained_any = false;
-                    for rx in &receivers {
-                        while let Ok(timed) = rx.try_recv() {
-                            drained_any = true;
-                            outcome.latency.record(timed.latency());
-                            outcome.series.record(timed.detected_at, timed.latency());
-                            if punctuate {
-                                outcome.output.push(OutputItem::Result(timed.clone()));
-                            }
-                            outcome.results.push(timed);
-                        }
-                    }
-                    if punctuate && drained_any {
-                        outcome
-                            .output
-                            .push(OutputItem::Punctuation(Punctuation { ts: safe }));
-                        outcome.punctuation_count += 1;
-                    }
-                    if stopping && !drained_any {
-                        break;
-                    }
-                    // The vacuum period doubles as the park timeout; the
-                    // driver's shutdown notification cuts it short so the
-                    // final drain starts immediately.
-                    stop_signal.wait(seen, interval);
-                }
-                outcome
-            })
-        };
-
-        // ---------------- flush timer ----------------
-        // The driver's own timer check below only runs when it observes the
-        // next schedule event — useless on a stream that goes silent, where
-        // a partial frame would wait indefinitely.  A dedicated wall-clock
-        // timer thread bounds that wait in real time: every half interval
-        // it flushes any entry frame older than `flush_interval` of stream
-        // time, regardless of schedule progress.  Only paced runs need it
-        // (an unpaced driver never waits between events).
-        let timer_handle = match (options.pacing, options.flush_interval) {
-            (Pacing::RealTime { .. }, Some(interval)) => {
-                let entry = &entry;
-                let in_flight = Arc::clone(&in_flight);
-                let clock = Arc::clone(&clock);
-                let timer_stop = timer_stop.clone();
-                let period = (options.stream_to_wall(interval) / 2).max(Duration::from_micros(50));
-                Some(scope.spawn(move || {
-                    // The driver notifies `timer_stop` exactly once, at
-                    // shutdown.  Snapshot the epoch *before* the loop: a
-                    // notify that lands while we are flushing (outside
-                    // `wait`) still differs from this snapshot, so the next
-                    // wait returns immediately instead of the bump being
-                    // absorbed by a per-iteration re-snapshot — which would
-                    // leave this thread looping forever and the driver
-                    // hanging in `join`.
-                    let seen = timer_stop.epoch();
-                    loop {
-                        if timer_stop.wait(seen, period) {
-                            // Epoch moved: shutdown.
-                            return;
-                        }
-                        let now = clock.now();
-                        entry
-                            .lock()
-                            .expect("entry state poisoned")
-                            .flush_older_than(now, interval, &in_flight);
-                    }
-                }))
-            }
-            _ => None,
-        };
-
-        // ---------------- driver (this thread) ----------------
-        // The driver assembles the two entry frames; a frame is flushed when
-        // it holds `batch_size` arrivals, when its stream has delivered its
-        // last arrival (so the tail pays the normal batching delay rather
-        // than waiting for trailing expiry events), or when the
-        // `flush_interval` has elapsed since the frame started filling —
-        // observed either here (on the next event) or by the timer thread
-        // (in wall time, even if no event ever comes).
-        // The pacing wait parks on the cancel token (a plain WaitSet wait
-        // when no token is configured) instead of `thread::sleep`, so an
-        // external cancel interrupts even a multi-second gap between
-        // schedule events immediately (ROADMAP open item).
-        let cancel = options.cancel.clone().unwrap_or_default();
-        for event in schedule.events() {
-            if cancel.is_cancelled() {
+        if let Pacing::RealTime { .. } = options.pacing {
+            let target = options.stream_to_wall(event.at.saturating_since(Timestamp::ZERO));
+            let elapsed = started.elapsed();
+            if target > elapsed && cancel.wait_until(started + target) {
                 cancelled = true;
                 break;
             }
-            if let Pacing::RealTime { .. } = options.pacing {
-                let target = options.stream_to_wall(event.at.saturating_since(Timestamp::ZERO));
-                let elapsed = started.elapsed();
-                if target > elapsed && cancel.wait_until(started + target) {
-                    cancelled = true;
-                    break;
+        }
+        clock.note_injection(event.at);
+
+        let mut state = entry.lock().expect("entry state poisoned");
+        let state = &mut *state;
+        // Timer flush: a partial frame must not outwait the interval.
+        if let Some(interval) = options.flush_interval {
+            state.flush_older_than(event.at, interval, &in_flight);
+        }
+
+        match &event.event {
+            StreamEvent::ArrivalR(r) => {
+                state
+                    .left
+                    .push_arrival(injector.inject_r(r.clone()), event.at);
+                seen_r += 1;
+                if state.left.arrivals >= options.batch_size || seen_r == schedule.r_count() {
+                    state.left.flush(&in_flight, &mut state.frames_injected);
                 }
             }
-            clock.note_injection(event.at);
-
-            let mut state = entry.lock().expect("entry state poisoned");
-            let state = &mut *state;
-            // Timer flush: a partial frame must not outwait the interval.
-            if let Some(interval) = options.flush_interval {
-                state.flush_older_than(event.at, interval, &in_flight);
-            }
-
-            match &event.event {
-                StreamEvent::ArrivalR(r) => {
-                    state
-                        .left
-                        .push_arrival(injector.inject_r(r.clone()), event.at);
-                    seen_r += 1;
-                    if state.left.arrivals >= options.batch_size || seen_r == schedule.r_count() {
-                        state.left.flush(&in_flight, &mut state.frames_injected);
-                    }
+            StreamEvent::ExpireS(seq) => state
+                .left
+                .push(llhj_core::message::LeftToRight::ExpiryS(*seq), event.at),
+            StreamEvent::ArrivalS(s) => {
+                state
+                    .right
+                    .push_arrival(injector.inject_s(s.clone()), event.at);
+                seen_s += 1;
+                if state.right.arrivals >= options.batch_size || seen_s == schedule.s_count() {
+                    state.right.flush(&in_flight, &mut state.frames_injected);
                 }
-                StreamEvent::ExpireS(seq) => state.left.push(LeftToRight::ExpiryS(*seq), event.at),
-                StreamEvent::ArrivalS(s) => {
-                    state
-                        .right
-                        .push_arrival(injector.inject_s(s.clone()), event.at);
-                    seen_s += 1;
-                    if state.right.arrivals >= options.batch_size || seen_s == schedule.s_count() {
-                        state.right.flush(&in_flight, &mut state.frames_injected);
-                    }
-                }
-                StreamEvent::ExpireR(seq) => state.right.push(RightToLeft::ExpiryR(*seq), event.at),
             }
+            StreamEvent::ExpireR(seq) => state
+                .right
+                .push(llhj_core::message::RightToLeft::ExpiryR(*seq), event.at),
         }
-        // Tail flush: whatever is still pending (trailing expiries).
-        {
-            let mut state = entry.lock().expect("entry state poisoned");
-            let state = &mut *state;
-            state.left.flush(&in_flight, &mut state.frames_injected);
-            state.right.flush(&in_flight, &mut state.frames_injected);
-            frames_injected = state.frames_injected;
-        }
-        timer_stop.notify();
-        if let Some(handle) = timer_handle {
-            handle.join().expect("timer thread panicked");
-        }
+    }
+    // Tail flush: whatever is still pending (trailing expiries).
+    {
+        let mut state = entry.lock().expect("entry state poisoned");
+        state.flush_both(&in_flight);
+        frames_injected = state.frames_injected;
+    }
+    timer_stop.notify();
+    if let Some(handle) = timer_handle {
+        handle.join().expect("timer thread panicked");
+    }
 
-        // Wait for quiescence: no frame anywhere in the pipeline.
-        in_flight.wait_for_quiescence();
-        stop.store(true, Ordering::SeqCst);
-        // Wake every parked thread so it observes the stop flag now rather
-        // than at its next safety-net timeout.
-        for waitset in &waitsets {
-            waitset.notify();
-        }
-        stop_signal.notify();
+    // Wait for quiescence: no frame anywhere in the pipeline.
+    in_flight.wait_for_quiescence();
+    stop.store(true, Ordering::SeqCst);
+    // Wake every parked thread so it observes the stop flag now rather
+    // than at its next safety-net timeout.
+    for handle in &worker_handles {
+        handle.waitset.notify();
+    }
+    stop_signal.notify();
 
-        for handle in worker_handles {
-            let (k, c, idle) = handle.join().expect("worker thread panicked");
-            counters[k] = c;
-            idle_wakeups += idle;
-        }
-        collected = Some(collector_handle.join().expect("collector thread panicked"));
-    });
+    let mut counters = vec![NodeCounters::default(); n];
+    for (k, handle) in worker_handles.into_iter().enumerate() {
+        let exit = handle.handle.join().expect("worker thread panicked");
+        counters[k] = exit.counters;
+        idle_wakeups += exit.idle_wakeups;
+    }
+    let collected = collector_handle.join().expect("collector thread panicked");
 
-    let collected = collected.expect("collector outcome");
     RunOutcome {
         results: collected.results,
         output: collected.output,
@@ -750,14 +386,6 @@ where
     }
 }
 
-struct CollectorOutcome<R, S> {
-    results: Vec<TimedResult<R, S>>,
-    output: Vec<OutputItem<TimedResult<R, S>>>,
-    latency: LatencySummary,
-    series: LatencySeries,
-    punctuation_count: u64,
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -767,23 +395,6 @@ mod tests {
     use llhj_core::predicate::FnPredicate;
     use llhj_core::time::TimeDelta;
     use llhj_core::window::WindowSpec;
-
-    #[test]
-    fn saturating_micros_states_the_degenerate_cases() {
-        assert_eq!(saturating_micros(f64::NAN), 0);
-        assert_eq!(saturating_micros(-1.0), 0);
-        assert_eq!(saturating_micros(0.0), 0);
-        assert_eq!(saturating_micros(f64::INFINITY), u64::MAX);
-        assert_eq!(saturating_micros(1e300), u64::MAX);
-        assert_eq!(saturating_micros(2.5), 2_500_000);
-    }
-
-    #[test]
-    fn frozen_clock_for_non_positive_speedup() {
-        let clock = StreamClock::new(Pacing::RealTime { speedup: -3.0 });
-        std::thread::sleep(Duration::from_millis(2));
-        assert_eq!(clock.now(), Timestamp::ZERO);
-    }
 
     #[test]
     #[should_panic(expected = "invalid PipelineOptions")]

@@ -10,7 +10,7 @@
 //!    flight anywhere" condition;
 //! 2. **Handoff** (shrink) — retiring nodes merge their window segments
 //!    leftwards along the neighbour chain; every hop charges the receiving
-//!    node one frame reception ([`CostModel::per_frame_ns`]) plus one
+//!    node one frame reception ([`crate::cost::CostModel::per_frame_ns`]) plus one
 //!    per-message cost per migrated tuple, and pays the core-to-core hop
 //!    latency, and every ack charges one frame back — the same
 //!    serialisation the runtime's segment/ack protocol exhibits;
@@ -29,12 +29,16 @@ use crate::report::SimReport;
 use llhj_core::driver::{DriverSchedule, Injector, StreamEvent};
 use llhj_core::homing::HomePolicy;
 use llhj_core::message::{LeftToRight, MessageBatch, NodeOutput, RightToLeft, WindowSegment};
+use llhj_core::metrics::{
+    AutoscalePolicy, AutoscaleReport, LatencyEwma, MetricsSample, PolicyState, ResizeDecision,
+    DEFAULT_LATENCY_ALPHA,
+};
 use llhj_core::node::PipelineNode;
 use llhj_core::predicate::JoinPredicate;
 use llhj_core::punctuation::{HighWaterMarks, OutputItem, Punctuation};
 use llhj_core::result::TimedResult;
 use llhj_core::stats::{LatencySeries, LatencySummary};
-use llhj_core::time::Timestamp;
+use llhj_core::time::{TimeDelta, Timestamp};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -174,11 +178,21 @@ where
         self.event_seq += 1;
     }
 
-    /// Drains the event heap completely: the simulated fence.
-    fn drain(&mut self) {
+    /// Drains the event heap up to `until` (virtual time), or completely
+    /// when `until` is `None` — the latter is the simulated fence.  A
+    /// bounded drain is what the auto-scale mirror uses to materialise
+    /// the results (and therefore the latency signal) that exist at a
+    /// sample boundary; it pops every frame *scheduled* at or before the
+    /// boundary, exactly once, in deterministic heap order.
+    fn drain(&mut self, until: Option<SimNanos>) {
         let hop = self.config.cost.hop_ns();
         let mut out: NodeOutput<R, S, llhj_core::result::ResultTuple<R, S>> = NodeOutput::new();
-        while let Some(entry) = self.heap.pop() {
+        while let Some(entry) = {
+            match (self.heap.peek(), until) {
+                (Some(head), Some(bound)) if head.at > bound => None,
+                _ => self.heap.pop(),
+            }
+        } {
             while self.config.punctuate && self.next_collect_ns <= entry.at {
                 self.collect();
                 self.next_collect_ns += self.collect_interval_ns;
@@ -291,7 +305,7 @@ where
         if target == current {
             return;
         }
-        self.drain();
+        self.drain(None);
         let fence_start = self.makespan_ns;
         let mut fence_end = fence_start;
         let hop = self.config.cost.hop_ns();
@@ -317,7 +331,9 @@ where
                     self.busy_ns[k] += service;
                     self.frames_delivered += 1;
                     self.messages_delivered += tuples as u64;
-                    self.nodes[k].import_segment(std::mem::take(&mut carried));
+                    self.nodes[k]
+                        .import_segment(std::mem::take(&mut carried))
+                        .expect("elastic simulation requires migration-capable nodes");
                     // Ack back to node k+1: one frame, one hop.
                     let ack = self.config.cost.frame_service_ns(1, 0, 0, false);
                     fence_end += hop + ack;
@@ -326,7 +342,9 @@ where
                     }
                 }
                 if k >= target {
-                    carried = self.nodes[k].export_segment();
+                    carried = self.nodes[k]
+                        .export_segment()
+                        .expect("elastic simulation requires migration-capable nodes");
                 }
             }
             self.nodes.truncate(target);
@@ -341,7 +359,8 @@ where
         }
 
         for (k, node) in self.nodes.iter_mut().enumerate() {
-            node.set_position(k, target);
+            node.set_position(k, target)
+                .expect("elastic simulation requires migration-capable nodes");
         }
         self.width = target;
         for k in 0..target {
@@ -357,21 +376,39 @@ where
         });
     }
 }
-
-/// Runs an elastic simulation: replays `schedule` through a pipeline that
-/// starts at `config.nodes` nodes and resizes at the given plan steps.
+/// How resizes are decided during an elastic replay.
 ///
-/// `plan` is a list of `(after_events, target_nodes)` pairs: after that
-/// many schedule events have been injected, the pipeline is fenced,
-/// migrated and resized — the virtual-time mirror of
-/// `llhj-runtime`'s `run_elastic_pipeline`.  Only the LLHJ algorithms
-/// support migration.
-pub fn run_elastic_simulation<R, S, P, H>(
+/// `Plan` is a pre-computed list of `(after_events, target_nodes)` steps;
+/// `Auto` is the deterministic mirror of the runtime's auto-scale
+/// controller, sampling at stream-time boundaries.  Both steer the *same*
+/// driver loop ([`run_elastic_driver`]) — the sim-side twin of the
+/// runtime's shared `exec` machinery, so the two replay paths cannot
+/// drift either.
+enum Steering<'a> {
+    Plan(std::iter::Peekable<std::vec::IntoIter<(usize, usize)>>),
+    Auto {
+        policy: &'a AutoscalePolicy,
+        interval: TimeDelta,
+        state: PolicyState,
+        ewma: LatencyEwma,
+        /// How many of `sim.results` have been folded into the EWMA.
+        ewma_fed: usize,
+        next_sample_at: Timestamp,
+        prev_arrivals: usize,
+        prev_busy: Vec<SimNanos>,
+        report: AutoscaleReport,
+    },
+}
+
+/// The single elastic driver loop: batches and injects the schedule,
+/// letting `steering` fence-and-resize the chain between events.  Both
+/// public entry points wrap it.
+fn run_elastic_driver<R, S, P, H>(
     config: &SimConfig,
     predicate: P,
     policy: H,
     schedule: &DriverSchedule<R, S>,
-    plan: &[(usize, usize)],
+    steering: &mut Steering<'_>,
 ) -> ElasticSimReport<R, S>
 where
     R: Clone + Send + Sync + 'static,
@@ -432,10 +469,6 @@ where
     };
 
     let mut injector = Injector::new(predicate.clone(), policy.clone(), width);
-    let mut plan: Vec<(usize, usize)> = plan.to_vec();
-    plan.sort_by_key(|(after, _)| *after);
-    let mut plan = plan.into_iter().peekable();
-
     let mut left_buf: Vec<LeftToRight<R>> = Vec::new();
     let mut right_buf: Vec<RightToLeft<S>> = Vec::new();
     let mut left_arrivals = 0usize;
@@ -463,23 +496,94 @@ where
             sim.last_injection_ns = sim.last_injection_ns.max($at_ns);
         };
     }
-
-    for (idx, event) in schedule.events().iter().enumerate() {
-        while let Some(&(after, target)) = plan.peek() {
-            if after > idx {
-                break;
-            }
-            plan.next();
-            // Entry frames assembled for the old chain must enter it before
-            // the fence: their homes were assigned under the old width.
-            let at_ns = ts_to_ns(last_at);
-            flush_left!(at_ns);
-            flush_right!(at_ns);
+    /// Entry frames assembled for the old chain must enter it before the
+    /// fence: their homes were assigned under the old width.
+    macro_rules! fence_and_resize {
+        ($target:expr, $at_ns:expr) => {
+            flush_left!($at_ns);
+            flush_right!($at_ns);
             left_arrivals = 0;
             right_arrivals = 0;
-            sim.resize(target, &factory);
-            injector = Injector::new(predicate.clone(), policy.clone(), target);
+            sim.resize($target, &factory);
+            injector = Injector::new(predicate.clone(), policy.clone(), $target);
+        };
+    }
+
+    for (idx, event) in schedule.events().iter().enumerate() {
+        match steering {
+            Steering::Plan(steps) => {
+                while let Some(&(after, target)) = steps.peek() {
+                    if after > idx {
+                        break;
+                    }
+                    steps.next();
+                    fence_and_resize!(target, ts_to_ns(last_at));
+                }
+            }
+            Steering::Auto {
+                policy: autoscale,
+                interval,
+                state,
+                ewma,
+                ewma_fed,
+                next_sample_at,
+                prev_arrivals,
+                prev_busy,
+                report,
+            } => {
+                // Controller tick(s): every sample boundary at or before
+                // this event, in order.  (Several boundaries can pass at
+                // once across a silent gap — each gets its own zero-rate
+                // sample, mirroring the runtime controller ticking through
+                // the gap on the wall clock.)
+                while *next_sample_at <= event.at {
+                    let boundary = *next_sample_at;
+                    // Materialise everything scheduled up to the boundary
+                    // so the latency signal reflects the results that
+                    // exist by now.
+                    sim.drain(Some(ts_to_ns(boundary)));
+                    while *ewma_fed < sim.results.len() {
+                        ewma.observe(sim.results[*ewma_fed].latency());
+                        *ewma_fed += 1;
+                    }
+                    let arrivals = seen_r + seen_s;
+                    let rate = (arrivals - *prev_arrivals) as f64 / 2.0 / interval.as_secs_f64();
+                    let nodes = sim.width;
+                    let interval_ns = (interval.as_micros().max(1) * 1_000) as f64;
+                    let busy_fraction = (0..nodes)
+                        .map(|k| {
+                            let current = sim.busy_ns.get(k).copied().unwrap_or(0);
+                            let prev = prev_busy.get(k).copied().unwrap_or(0);
+                            ((current.saturating_sub(prev)) as f64 / interval_ns).min(1.0)
+                        })
+                        .collect::<Vec<_>>();
+                    let sample = MetricsSample {
+                        at: boundary,
+                        nodes,
+                        arrival_rate_per_sec: rate,
+                        latency_ewma: ewma.value(),
+                        entry_occupancy: (0, 0),
+                        busy_fraction,
+                    };
+                    let decision = autoscale.decide(state, &sample);
+                    if let Some(target) = decision.target() {
+                        if target != sim.width {
+                            report.decisions.push(ResizeDecision {
+                                at: boundary,
+                                from_nodes: sim.width,
+                                to_nodes: target,
+                            });
+                            fence_and_resize!(target, ts_to_ns(last_at.max(boundary)));
+                        }
+                    }
+                    report.samples.push(sample);
+                    *prev_arrivals = arrivals;
+                    *prev_busy = sim.busy_ns.clone();
+                    *next_sample_at = next_sample_at.saturating_add(*interval);
+                }
+            }
         }
+
         last_at = event.at;
         match &event.event {
             StreamEvent::ArrivalR(r) => {
@@ -507,11 +611,12 @@ where
     let final_ns = ts_to_ns(last_at);
     flush_left!(final_ns);
     flush_right!(final_ns);
-    sim.drain();
+    sim.drain(None);
     // Trailing plan steps (a resize on the very last event) still run.
-    let remaining: Vec<(usize, usize)> = plan.collect();
-    for (_, target) in remaining {
-        sim.resize(target, &factory);
+    if let Steering::Plan(steps) = steering {
+        for (_, target) in steps.by_ref() {
+            sim.resize(target, &factory);
+        }
     }
     if config.punctuate {
         sim.collect();
@@ -539,6 +644,90 @@ where
     }
 }
 
+/// Runs an elastic simulation: replays `schedule` through a pipeline that
+/// starts at `config.nodes` nodes and resizes at the given plan steps.
+///
+/// `plan` is a list of `(after_events, target_nodes)` pairs: after that
+/// many schedule events have been injected, the pipeline is fenced,
+/// migrated and resized — the virtual-time mirror of
+/// `llhj-runtime`'s `run_elastic_pipeline`.  Only the LLHJ algorithms
+/// support migration.
+pub fn run_elastic_simulation<R, S, P, H>(
+    config: &SimConfig,
+    predicate: P,
+    policy: H,
+    schedule: &DriverSchedule<R, S>,
+    plan: &[(usize, usize)],
+) -> ElasticSimReport<R, S>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    let mut plan: Vec<(usize, usize)> = plan.to_vec();
+    plan.sort_by_key(|(after, _)| *after);
+    let mut steering = Steering::Plan(plan.into_iter().peekable());
+    run_elastic_driver(config, predicate, policy, schedule, &mut steering)
+}
+
+/// Runs an elastic simulation with the **auto-scale mirror** engaged: the
+/// same [`AutoscalePolicy`] the threaded runtime's controller thread runs
+/// (`llhj-runtime::autoscale`), evaluated at deterministic stream-time
+/// sample boundaries instead of wall-clock ticks.
+///
+/// At every multiple of `sample_interval` the mirror materialises the
+/// results scheduled up to the boundary (a bounded heap drain), builds a
+/// [`MetricsSample`] from its virtual-time counters — per-stream arrival
+/// rate over the window, result-latency EWMA (the shared
+/// [`DEFAULT_LATENCY_ALPHA`] matches the runtime bus), per-node busy
+/// fraction; channel occupancy is zero, the simulator has no queues —
+/// and feeds it to the policy.  A grow/shrink decision resizes
+/// immediately through the same fenced migration as a planned resize.
+///
+/// Because every input to the policy is a deterministic function of the
+/// schedule and the cost model, the decision sequence is reproducible,
+/// which is what makes the controller unit-testable: the conformance
+/// suite asserts this mirror reproduces the threaded runtime's resize
+/// decision sequence on the same workload and policy.
+pub fn run_autoscaled_simulation<R, S, P, H>(
+    config: &SimConfig,
+    predicate: P,
+    policy: H,
+    schedule: &DriverSchedule<R, S>,
+    autoscale: &AutoscalePolicy,
+    sample_interval: TimeDelta,
+) -> (ElasticSimReport<R, S>, AutoscaleReport)
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    assert!(
+        sample_interval > TimeDelta::ZERO,
+        "sample_interval must be positive"
+    );
+    autoscale
+        .validate()
+        .unwrap_or_else(|err| panic!("invalid AutoscalePolicy: {err}"));
+    let mut steering = Steering::Auto {
+        policy: autoscale,
+        interval: sample_interval,
+        state: PolicyState::default(),
+        ewma: LatencyEwma::new(DEFAULT_LATENCY_ALPHA),
+        ewma_fed: 0,
+        next_sample_at: Timestamp::ZERO.saturating_add(sample_interval),
+        prev_arrivals: 0,
+        prev_busy: Vec::new(),
+        report: AutoscaleReport::default(),
+    };
+    let sim_report = run_elastic_driver(config, predicate, policy, schedule, &mut steering);
+    let Steering::Auto { report, .. } = steering else {
+        unreachable!("steering mode is fixed at construction")
+    };
+    (sim_report, report)
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -651,6 +840,88 @@ mod tests {
             "more migrated state must cost a longer fence: \
              {small_fence} ns vs {large_fence} ns"
         );
+    }
+
+    /// A hand-built burst: 200/s per stream, 5x for the middle second.
+    fn bursty_schedule() -> DriverSchedule<u32, u32> {
+        let mut ts = Vec::new();
+        let mut t_us: u64 = 0;
+        while t_us < 3_000_000 {
+            ts.push(Timestamp::from_micros(t_us));
+            t_us += if (1_000_000..2_000_000).contains(&t_us) {
+                1_000 // 1000/s inside the burst
+            } else {
+                5_000 // 200/s outside
+            };
+        }
+        let r: Vec<_> = ts.iter().map(|&t| (t, 7u32)).collect();
+        let s: Vec<_> = ts.iter().map(|&t| (t, 7u32)).collect();
+        let w = WindowSpec::Time(llhj_core::time::TimeDelta::from_millis(20));
+        DriverSchedule::build(r, s, w, w)
+    }
+
+    fn burst_policy() -> AutoscalePolicy {
+        AutoscalePolicy {
+            target_p99: llhj_core::time::TimeDelta::from_secs(1),
+            high_watermark: 300.0,
+            low_watermark: 60.0,
+            cooldown: llhj_core::time::TimeDelta::from_millis(200),
+            min_nodes: 2,
+            max_nodes: 6,
+            step: 2,
+        }
+    }
+
+    /// The deterministic mirror of the runtime controller: a burst grows
+    /// the chain once, the post-burst lull shrinks it back, the result
+    /// set stays byte-identical to the oracle, and re-running reproduces
+    /// the identical decision sequence (the property the cross-substrate
+    /// conformance suite builds on).
+    #[test]
+    fn autoscaled_sim_tracks_the_burst_and_stays_exact() {
+        let schedule = bursty_schedule();
+        let oracle = run_kang(eq_pred(), &schedule);
+        let run = || {
+            run_autoscaled_simulation(
+                &config(2),
+                eq_pred(),
+                RoundRobin,
+                &schedule,
+                &burst_policy(),
+                llhj_core::time::TimeDelta::from_millis(100),
+            )
+        };
+        let (report, autoscale) = run();
+        assert_eq!(report.result_keys(), oracle.result_keys());
+        assert_eq!(
+            autoscale.decision_sequence(),
+            vec![(2, 4), (4, 2)],
+            "grow once into the burst, shrink once after it; samples: {:?}",
+            autoscale
+                .samples
+                .iter()
+                .map(|s| (s.at.as_micros(), s.nodes, s.arrival_rate_per_sec as u64))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(autoscale.peak_nodes(2), 4);
+        // The resize log mirrors the decisions one-to-one.
+        assert_eq!(report.resize_log.len(), 2);
+        assert_eq!(report.resize_log[0].from_nodes, 2);
+        assert_eq!(report.resize_log[0].to_nodes, 4);
+        assert!(report.resize_log[1].migrated_tuples > 0);
+        // Samples carry a meaningful latency/busy signal.
+        assert!(autoscale
+            .samples
+            .iter()
+            .any(|s| s.latency_ewma > llhj_core::time::TimeDelta::ZERO));
+        assert!(autoscale
+            .samples
+            .iter()
+            .any(|s| s.busy_fraction.iter().any(|&f| f > 0.0)));
+        // Determinism: an identical re-run reproduces the sequence.
+        let (_, again) = run();
+        assert_eq!(again.decision_sequence(), autoscale.decision_sequence());
+        assert_eq!(again.samples.len(), autoscale.samples.len());
     }
 
     #[test]

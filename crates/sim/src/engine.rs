@@ -70,7 +70,7 @@ impl<R, S> Ord for HeapEntry<R, S> {
 
 /// Runs one simulation of the configured pipeline over a driver schedule.
 ///
-/// The same schedule fed to [`llhj_baselines::run_kang`] (or to the
+/// The same schedule fed to `llhj_baselines::run_kang` (or to the
 /// threaded runtime) yields exactly the same result *set*; what the
 /// simulator adds is virtual time: latencies, utilization and punctuation
 /// behaviour.

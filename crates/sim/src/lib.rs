@@ -30,7 +30,9 @@ pub mod throughput;
 
 pub use config::{Algorithm, SimConfig};
 pub use cost::{CostModel, SimNanos};
-pub use elastic::{run_elastic_simulation, ElasticSimReport, SimResizeEvent};
+pub use elastic::{
+    run_autoscaled_simulation, run_elastic_simulation, ElasticSimReport, SimResizeEvent,
+};
 pub use engine::run_simulation;
 pub use model::AnalyticModel;
 pub use report::SimReport;

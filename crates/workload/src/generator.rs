@@ -88,6 +88,31 @@ impl BandJoinWorkload {
         }
     }
 
+    /// A bursty configuration: `factor`× the base rate between `from_pct`%
+    /// and `to_pct`% of the duration — the workload that exercises elastic
+    /// scaling and the closed-loop auto-scaler (a pipeline provisioned for
+    /// the base rate must grow when the burst hits and can shrink back once
+    /// it passes).  Combine with struct update syntax to override `domain`
+    /// or `seed`.
+    pub fn bursty(
+        rate_per_sec: f64,
+        duration: TimeDelta,
+        factor: u32,
+        from_pct: u8,
+        to_pct: u8,
+    ) -> Self {
+        BandJoinWorkload {
+            rate_per_sec,
+            duration,
+            pattern: ArrivalPattern::Bursty {
+                factor,
+                from_pct,
+                to_pct,
+            },
+            ..Default::default()
+        }
+    }
+
     /// Expected join hit rate of a single (r, s) pair: the probability that
     /// both band conditions hold for uniformly drawn attributes.
     pub fn expected_hit_rate(&self, band_x: i32, band_y: f32) -> f64 {
@@ -330,6 +355,23 @@ mod tests {
         );
         // The generator stays deterministic.
         assert_eq!(w.generate_r(), w.generate_r());
+    }
+
+    #[test]
+    fn bursty_constructor_matches_the_hand_built_pattern() {
+        let by_hand = BandJoinWorkload {
+            rate_per_sec: 100.0,
+            duration: TimeDelta::from_secs(3),
+            pattern: ArrivalPattern::Bursty {
+                factor: 3,
+                from_pct: 33,
+                to_pct: 66,
+            },
+            ..Default::default()
+        };
+        let by_ctor = BandJoinWorkload::bursty(100.0, TimeDelta::from_secs(3), 3, 33, 66);
+        assert_eq!(by_ctor.generate_r(), by_hand.generate_r());
+        assert_eq!(by_ctor.generate_s(), by_hand.generate_s());
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Closed-loop autoscale conformance: the controller must track a burst
+//! without ever costing a result.
+//!
+//! The elastic conformance suite (`tests/elastic_scaling.rs`) proved that
+//! *planned* resizes preserve the exact result set.  This suite closes the
+//! loop on top of it: a seeded [`ArrivalPattern::Bursty`] band-join
+//! workload is replayed in real time through
+//! [`run_autoscaled_pipeline`], where a hysteresis
+//! [`AutoscalePolicy`] — not a plan — decides the resizes from the live
+//! metrics bus, and the run must
+//!
+//! * stay **byte-identical** to the Kang oracle (sorted result-key
+//!   vectors, not counts),
+//! * **grow ≥ 2 nodes while the burst is hot** and **shrink back after
+//!   the cooldown** once it passes,
+//! * keep the punctuated output stream monotone, and
+//! * make the same resize decision sequence as the simulator mirror
+//!   ([`run_autoscaled_simulation`]) running the identical policy on the
+//!   identical schedule — wall-clock sampling jitter may move a decision
+//!   by a tick, but the *sequence of widths* must be reproducible, which
+//!   is what makes controller behaviour testable at all.
+
+use handshake_join::prelude::*;
+use llhj_core::punctuation::verify_punctuated_stream;
+
+/// Base rate 300 tuples/s/stream, 4x burst between 35% and 70% of a 2 s
+/// stream: the burst window (700–1400 ms) is long against the cooldown
+/// and the sample interval, so the controller has several in-burst
+/// samples to act on.
+fn bursty_schedule(seed: u64) -> llhj_core::DriverSchedule<RTuple, STuple> {
+    let workload = BandJoinWorkload {
+        domain: 220,
+        seed,
+        ..BandJoinWorkload::bursty(300.0, TimeDelta::from_secs(2), 4, 35, 70)
+    };
+    band_join_schedule(
+        &workload,
+        WindowSpec::Time(TimeDelta::from_millis(100)),
+        WindowSpec::Time(TimeDelta::from_millis(100)),
+    )
+}
+
+/// The watermarks are placed around the workload's two stable operating
+/// points: 300/s over 2 nodes = 150/node (in band), 1200/s over 2 nodes =
+/// 600/node (overload), 1200/s over 4 nodes = 300/node (in band again),
+/// 300/s over 4 nodes = 75/node (underload).  `target_p99` is far above
+/// any latency either substrate produces, so the rate signal — identical
+/// on both — drives every decision.
+fn policy() -> AutoscalePolicy {
+    AutoscalePolicy {
+        target_p99: TimeDelta::from_millis(500),
+        high_watermark: 350.0,
+        low_watermark: 100.0,
+        cooldown: TimeDelta::from_millis(250),
+        min_nodes: 2,
+        max_nodes: 4,
+        step: 2,
+    }
+}
+
+fn autoscale_options() -> AutoscaleOptions {
+    AutoscaleOptions {
+        policy: policy(),
+        sample_interval: TimeDelta::from_millis(100),
+    }
+}
+
+/// One test, three sequential phases — sequential on purpose: the runtime
+/// phase replays in real time on the wall clock, and a concurrently
+/// running sibling test would steal its CPU on a small CI machine and
+/// distort the controller's sampled rate windows.
+#[test]
+fn autoscaled_burst_is_exact_and_tracks_the_load_on_both_substrates() {
+    // Phase 1: the deterministic mirror across extra seeds (cheap),
+    // pinning the canonical burst response.
+    mirror_is_stable_across_seeds();
+
+    // Phases 2 (runtime) and 3 (mirror agreement) on the primary seed.
+    let seed = 0xA07_05CA1E;
+    let schedule = bursty_schedule(seed);
+    let oracle = handshake_join::baselines::run_kang(BandPredicate::default(), &schedule);
+    let oracle_keys = oracle.result_keys();
+    assert!(
+        oracle_keys.len() > 50,
+        "workload must produce a meaningful number of matches, got {}",
+        oracle_keys.len()
+    );
+
+    // ---- threaded runtime, closed loop engaged ----
+    let opts = PipelineOptions {
+        batch_size: 4,
+        punctuate: true,
+        pacing: Pacing::RealTime { speedup: 1.0 },
+        ..Default::default()
+    };
+    let (outcome, runtime_report) = run_autoscaled_pipeline(
+        2,
+        llhj_factory(BandPredicate::default()),
+        BandPredicate::default(),
+        RoundRobin,
+        &schedule,
+        &autoscale_options(),
+        &opts,
+    );
+
+    // Exactness: the closed loop must never cost (or invent) a result.
+    let keys = outcome.result_keys();
+    assert_eq!(
+        keys, oracle_keys,
+        "autoscaled runtime result set must be byte-identical to the oracle"
+    );
+    let mut deduped = keys.clone();
+    deduped.dedup();
+    assert_eq!(
+        deduped.len(),
+        keys.len(),
+        "no resize may duplicate a result"
+    );
+    assert!(outcome.punctuation_count > 0);
+    assert_eq!(
+        verify_punctuated_stream(&outcome.output, |t| t.result.ts()),
+        Ok(()),
+        "punctuation must stay monotone across autoscale resizes"
+    );
+
+    // Elasticity: the controller grew >= 2 nodes while the burst was hot
+    // and shrank back after the cooldown.
+    assert!(
+        !runtime_report.decisions.is_empty(),
+        "the burst must trigger the controller"
+    );
+    let grow = &runtime_report.decisions[0];
+    assert!(
+        grow.to_nodes >= grow.from_nodes + 2,
+        "first decision must grow >= 2 nodes, got {grow:?}"
+    );
+    assert!(
+        grow.at >= Timestamp::from_millis(600) && grow.at <= Timestamp::from_millis(1_500),
+        "the grow must land in (or hard against) the 700-1400 ms burst, \
+         got {:?}",
+        grow.at
+    );
+    assert_eq!(runtime_report.peak_nodes(2), 4);
+    let shrink = runtime_report
+        .decisions
+        .iter()
+        .find(|d| d.to_nodes < d.from_nodes)
+        .expect("the post-burst lull must shrink the chain back");
+    assert!(
+        shrink.at.saturating_since(grow.at) >= policy().cooldown,
+        "the shrink must respect the cooldown: grow at {:?}, shrink at {:?}",
+        grow.at,
+        shrink.at
+    );
+    assert_eq!(outcome.nodes, 2, "the chain must end back at the floor");
+    // The pipeline actually executed what the controller decided.
+    assert_eq!(
+        outcome
+            .resize_log
+            .iter()
+            .map(|r| (r.from_nodes, r.to_nodes))
+            .collect::<Vec<_>>(),
+        runtime_report.decision_sequence(),
+        "every controller decision must have been applied, in order"
+    );
+
+    // The sample series is a real time series: stream-time ordered, with
+    // the burst visible in the rate signal.
+    assert!(runtime_report.samples.len() >= 10);
+    assert!(runtime_report
+        .samples
+        .windows(2)
+        .all(|w| w[0].at <= w[1].at));
+    let peak_rate = runtime_report
+        .samples
+        .iter()
+        .map(|s| s.arrival_rate_per_sec)
+        .fold(0.0f64, f64::max);
+    assert!(
+        peak_rate > 600.0,
+        "the 1200/s burst must show in the sampled rate, peak {peak_rate:.0}"
+    );
+
+    // ---- simulator mirror: same schedule, same policy ----
+    let mut cfg = SimConfig::new(2, Algorithm::Llhj);
+    cfg.batch_size = 4;
+    cfg.window_r = WindowSpec::Time(TimeDelta::from_millis(100));
+    cfg.window_s = WindowSpec::Time(TimeDelta::from_millis(100));
+    cfg.expected_rate_per_sec = 300.0;
+    cfg.latency_bucket = 1_000_000;
+    let (sim, sim_report) = run_autoscaled_simulation(
+        &cfg,
+        BandPredicate::default(),
+        RoundRobin,
+        &schedule,
+        &policy(),
+        TimeDelta::from_millis(100),
+    );
+    assert_eq!(
+        sim.result_keys(),
+        oracle_keys,
+        "autoscaled simulator result set must be byte-identical to the oracle"
+    );
+    assert_eq!(
+        sim_report.decision_sequence(),
+        runtime_report.decision_sequence(),
+        "the simulator mirror must reproduce the runtime's resize decision \
+         sequence (runtime: {:?}, sim: {:?})",
+        runtime_report.decisions,
+        sim_report.decisions
+    );
+}
+
+/// Extra seeds, sanity-checking that the conformance property is not an
+/// artefact of one workload draw.  Runs the simulator mirror only (cheap)
+/// and pins the canonical grow/shrink sequence.
+fn mirror_is_stable_across_seeds() {
+    for seed in [11u64, 4242] {
+        let schedule = bursty_schedule(seed);
+        let oracle = handshake_join::baselines::run_kang(BandPredicate::default(), &schedule);
+        let mut cfg = SimConfig::new(2, Algorithm::Llhj);
+        cfg.batch_size = 4;
+        cfg.window_r = WindowSpec::Time(TimeDelta::from_millis(100));
+        cfg.window_s = WindowSpec::Time(TimeDelta::from_millis(100));
+        cfg.expected_rate_per_sec = 300.0;
+        cfg.latency_bucket = 1_000_000;
+        let (sim, report) = run_autoscaled_simulation(
+            &cfg,
+            BandPredicate::default(),
+            RoundRobin,
+            &schedule,
+            &policy(),
+            TimeDelta::from_millis(100),
+        );
+        assert_eq!(sim.result_keys(), oracle.result_keys(), "seed {seed}");
+        assert_eq!(
+            report.decision_sequence(),
+            vec![(2, 4), (4, 2)],
+            "seed {seed}: canonical burst response"
+        );
+    }
+}
