@@ -63,6 +63,7 @@ fn main() {
         min_nodes: 2,
         max_nodes: 4,
         step: 2,
+        ..AutoscalePolicy::default()
     };
     let autoscale = AutoscaleOptions {
         policy: policy.clone(),
@@ -232,6 +233,7 @@ fn main() {
         min_nodes: 2,
         max_nodes: 8,
         step: 6,
+        ..AutoscalePolicy::default()
     };
 
     let fixed = run_elastic_simulation(

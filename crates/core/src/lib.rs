@@ -69,6 +69,7 @@ pub mod node_hsj;
 pub mod node_llhj;
 pub mod predicate;
 pub mod punctuation;
+pub mod rebalance;
 pub mod result;
 pub mod sorter;
 pub mod stats;
@@ -82,7 +83,9 @@ pub use homing::{HashKey, HomePolicy, Pinned, RoundRobin};
 pub use latency_model::{
     hsj_expected_latency, hsj_latency_at_position, hsj_max_latency, hsj_warmup, LlhjLatencyModel,
 };
-pub use message::{Handoff, LeftToRight, MessageBatch, NodeOutput, RightToLeft, WindowSegment};
+pub use message::{
+    Direction, Handoff, LeftToRight, MessageBatch, NodeOutput, RightToLeft, WindowSegment,
+};
 pub use metrics::{
     AutoscaleDecision, AutoscalePolicy, AutoscaleReport, LatencyEwma, MetricsSample, PolicyState,
     ResizeDecision,
@@ -92,6 +95,7 @@ pub use node_hsj::{FlowPolicy, HsjNode, HsjOutput, SegmentCapacity};
 pub use node_llhj::{LlhjNode, LlhjOutput};
 pub use predicate::{AlwaysFalse, AlwaysTrue, EquiPredicate, FnPredicate, JoinPredicate};
 pub use punctuation::{verify_punctuated_stream, HighWaterMarks, OutputItem, Punctuation};
+pub use rebalance::{EdgeTransfer, FlowConstraint, MigrationConstraint, RedistributionPlan};
 pub use result::{ResultTuple, TimedResult};
 pub use sorter::SortingOperator;
 pub use stats::{LatencyPoint, LatencySeries, LatencySummary, NodeCounters};
@@ -105,7 +109,7 @@ pub mod prelude {
     pub use crate::driver::{DriverEvent, DriverSchedule, Injector, StreamEvent};
     pub use crate::homing::{HashKey, HomePolicy, Pinned, RoundRobin};
     pub use crate::message::{
-        Handoff, LeftToRight, MessageBatch, NodeOutput, RightToLeft, WindowSegment,
+        Direction, Handoff, LeftToRight, MessageBatch, NodeOutput, RightToLeft, WindowSegment,
     };
     pub use crate::metrics::{
         AutoscaleDecision, AutoscalePolicy, AutoscaleReport, LatencyEwma, MetricsSample,
@@ -116,6 +120,9 @@ pub mod prelude {
     pub use crate::node_llhj::{LlhjNode, LlhjOutput};
     pub use crate::predicate::{EquiPredicate, FnPredicate, JoinPredicate};
     pub use crate::punctuation::{HighWaterMarks, OutputItem, Punctuation};
+    pub use crate::rebalance::{
+        EdgeTransfer, FlowConstraint, MigrationConstraint, RedistributionPlan,
+    };
     pub use crate::result::{ResultTuple, TimedResult};
     pub use crate::sorter::SortingOperator;
     pub use crate::stats::{LatencySeries, LatencySummary, NodeCounters};

@@ -49,6 +49,33 @@ impl<S> RightToLeft<S> {
     }
 }
 
+/// Which neighbour a message, segment or transfer involves, from the
+/// owning node's point of view.
+///
+/// Elastic state handoffs are direction-sensitive: the original handshake
+/// join matches a migrated segment against the receiver's opposite window
+/// depending on which way the segment travelled (see
+/// [`crate::node::PipelineNode::import_segment`]), and the redistribution
+/// planner ([`crate::rebalance`]) selects which window slice a node sheds
+/// by the direction of the transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Towards lower node indices.
+    Left,
+    /// Towards higher node indices.
+    Right,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn opposite(&self) -> Direction {
+        match self {
+            Direction::Left => Direction::Right,
+            Direction::Right => Direction::Left,
+        }
+    }
+}
+
 /// The stored tuples a node hands to its neighbour during an elastic
 /// reconfiguration.
 ///
@@ -64,11 +91,16 @@ impl<S> RightToLeft<S> {
 /// The handoff protocol (segment, then ack) preserves that exactly-once
 /// residence.
 ///
+/// The original handshake join migrates under the additional
+/// stream-monotone rules of [`crate::rebalance`]: its imports *match* the
+/// still-unmet direction of the segment, reproducing the meets the hop
+/// carries past each other.
+///
 /// Segments are produced and consumed through the
 /// [`crate::node::PipelineNode::export_segment`] /
 /// [`crate::node::PipelineNode::import_segment`] contract; node types
-/// without migration support (the original handshake join) refuse both
-/// with a typed [`crate::node::ElasticError`] instead of panicking.
+/// without migration support refuse both with a typed
+/// [`crate::node::ElasticError`] instead of panicking.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WindowSegment<R, S> {
     /// Stored R tuples, in increasing sequence order.

@@ -162,6 +162,43 @@ pub struct AutoscalePolicy {
     pub max_nodes: usize,
     /// Nodes added or retired per decision.
     pub step: usize,
+    /// Total frames queued in the two driver entry channels at or above
+    /// which a sample counts as overload (and vetoes a shrink) even while
+    /// the rate and latency signals are still in band.  Backlog is the
+    /// *leading* congestion signal: frames queue at the entry the moment
+    /// the chain falls behind, a full sample interval before the queueing
+    /// delay has propagated into the collector's latency EWMA — folding it
+    /// in cuts the reaction lag by one sample.  `usize::MAX` disables the
+    /// signal (the deterministic simulator mirror has no queues, so
+    /// conformance policies that must decide identically on both
+    /// substrates leave it disabled).
+    pub entry_backlog_high: usize,
+    /// Peak per-node busy fraction above which a sample counts as
+    /// overload (and vetoes a shrink).  Busy fractions are measured in
+    /// `[0, 1]`, so any value above `1.0` disables the signal; like the
+    /// backlog it reacts before the latency EWMA does, and unlike the
+    /// arrival rate it also catches *skew* — one saturated node in an
+    /// otherwise idle chain.
+    pub busy_high: f64,
+}
+
+/// Conservative defaults: rate watermarks for a small chain, the
+/// occupancy and busy signals disabled (opt-in — they are runtime-only
+/// signals unless the workload keeps them identical across substrates).
+impl Default for AutoscalePolicy {
+    fn default() -> Self {
+        AutoscalePolicy {
+            target_p99: TimeDelta::from_millis(500),
+            high_watermark: 1_000.0,
+            low_watermark: 200.0,
+            cooldown: TimeDelta::from_millis(500),
+            min_nodes: 1,
+            max_nodes: 8,
+            step: 1,
+            entry_backlog_high: usize::MAX,
+            busy_high: f64::INFINITY,
+        }
+    }
 }
 
 impl AutoscalePolicy {
@@ -180,6 +217,15 @@ impl AutoscalePolicy {
         if !(self.low_watermark >= 0.0 && self.high_watermark > self.low_watermark) {
             return Err("watermarks must satisfy 0 <= low < high".into());
         }
+        if self.entry_backlog_high == 0 {
+            return Err(
+                "entry_backlog_high must be positive (an empty queue is not overload)".into(),
+            );
+        }
+        // NaN must be rejected too, hence no negated comparison.
+        if self.busy_high <= 0.0 || self.busy_high.is_nan() {
+            return Err("busy_high must be positive".into());
+        }
         Ok(())
     }
 
@@ -192,8 +238,17 @@ impl AutoscalePolicy {
         let nodes = sample.nodes.max(1);
         let per_node_rate = sample.arrival_rate_per_sec / nodes as f64;
         let latency_high = sample.latency_ewma > self.target_p99;
-        let overloaded = per_node_rate > self.high_watermark || latency_high;
-        let underloaded = per_node_rate < self.low_watermark && !latency_high;
+        // Congestion signals: entry-channel backlog and peak per-node busy
+        // fraction lead the latency EWMA by roughly one sample interval
+        // (queueing shows up immediately; its latency cost only after the
+        // queued tuples have been collected), so either one crossing its
+        // watermark is treated as overload — and vetoes a shrink — even
+        // while rate and latency still read in-band.
+        let backlog = sample.entry_occupancy.0 + sample.entry_occupancy.1;
+        let congested = backlog >= self.entry_backlog_high
+            || sample.busy_fraction.iter().fold(0.0_f64, |a, &b| a.max(b)) > self.busy_high;
+        let overloaded = per_node_rate > self.high_watermark || latency_high || congested;
+        let underloaded = per_node_rate < self.low_watermark && !latency_high && !congested;
 
         let cooling = state
             .last_resize_at
@@ -293,6 +348,7 @@ mod tests {
             min_nodes: 2,
             max_nodes: 8,
             step: 2,
+            ..AutoscalePolicy::default()
         }
     }
 
@@ -412,6 +468,95 @@ mod tests {
             state.last_resize_at.is_none(),
             "a clamped hold must leave the cooldown un-armed"
         );
+    }
+
+    /// The satellite property this PR claims: on a ramping load, a policy
+    /// watching the entry-channel backlog grows one full sample earlier
+    /// than the same policy on rate alone — the backlog crosses its
+    /// watermark the moment the chain falls behind, while the rate signal
+    /// needs the next sample window to average above its watermark.
+    #[test]
+    fn occupancy_driven_grow_fires_one_sample_earlier_than_rate_only() {
+        let rate_only = policy();
+        let occupancy_aware = AutoscalePolicy {
+            entry_backlog_high: 6,
+            ..policy()
+        };
+        // The ramp: in-band rate at t=100 but the entry queues are already
+        // backing up; the rate watermark (500/node over 2 nodes) is only
+        // crossed by the t=200 sample.
+        let trace = [
+            (100u64, 800.0, (5, 3)),    // 400/node, backlog 8
+            (200u64, 2400.0, (20, 15)), // 1200/node, backlog 35
+        ];
+        let fire_at = |policy: &AutoscalePolicy| -> u64 {
+            let mut state = PolicyState::default();
+            for &(at, rate, occ) in &trace {
+                let mut s = sample(at, 2, rate, 1);
+                s.entry_occupancy = occ;
+                if policy.decide(&mut state, &s).target().is_some() {
+                    return at;
+                }
+            }
+            panic!("the ramp must eventually trigger a grow");
+        };
+        assert_eq!(fire_at(&occupancy_aware), 100);
+        assert_eq!(fire_at(&rate_only), 200);
+    }
+
+    #[test]
+    fn busy_fraction_skew_grows_and_vetoes_shrink() {
+        let busy_aware = AutoscalePolicy {
+            busy_high: 0.9,
+            ..policy()
+        };
+        // One saturated node in an otherwise idle chain: the mean rate is
+        // deep in shrink territory, but the skew signal must both veto the
+        // shrink and trigger a grow.
+        let mut s = sample(100, 4, 100.0, 1); // 25/node, under the low watermark
+        s.busy_fraction = vec![0.05, 0.02, 0.97, 0.04];
+        let mut state = PolicyState::default();
+        assert_eq!(
+            busy_aware.decide(&mut state, &s),
+            AutoscaleDecision::Grow(6)
+        );
+        // The rate-only policy would have shrunk on the same sample.
+        let mut state = PolicyState::default();
+        assert_eq!(
+            policy().decide(&mut state, &s),
+            AutoscaleDecision::Shrink(2)
+        );
+    }
+
+    #[test]
+    fn congestion_signals_are_disabled_by_default() {
+        // The Default policy ignores arbitrarily large backlog and fully
+        // busy nodes: a sample that is only congested holds.
+        let default = AutoscalePolicy {
+            high_watermark: policy().high_watermark,
+            low_watermark: policy().low_watermark,
+            min_nodes: 2,
+            ..AutoscalePolicy::default()
+        };
+        let mut s = sample(100, 2, 300.0, 1); // mid-band rate
+        s.entry_occupancy = (1_000, 1_000);
+        s.busy_fraction = vec![1.0, 1.0];
+        let mut state = PolicyState::default();
+        assert_eq!(default.decide(&mut state, &s), AutoscaleDecision::Hold);
+    }
+
+    #[test]
+    fn validation_covers_the_congestion_watermarks() {
+        let mut p = policy();
+        p.entry_backlog_high = 0;
+        assert!(p.validate().is_err());
+        let mut p = policy();
+        p.busy_high = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = policy();
+        p.busy_high = -1.0;
+        assert!(p.validate().is_err());
+        assert!(AutoscalePolicy::default().validate().is_ok());
     }
 
     #[test]

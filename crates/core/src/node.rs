@@ -6,7 +6,8 @@
 //! small trait both substrates program against, so an experiment can switch
 //! algorithms by switching the node constructor and nothing else.
 
-use crate::message::{LeftToRight, NodeOutput, RightToLeft, WindowSegment};
+use crate::message::{Direction, LeftToRight, NodeOutput, RightToLeft, WindowSegment};
+use crate::rebalance::MigrationConstraint;
 use crate::result::ResultTuple;
 use crate::stats::NodeCounters;
 use crate::tuple::NodeId;
@@ -17,11 +18,11 @@ use crate::tuple::NodeId;
 /// elastic engine) only drive pipelines whose nodes report
 /// [`PipelineNode::supports_migration`], but the migration entry points are
 /// part of the shared node trait, so a caller that skips that check gets a
-/// *typed* refusal rather than a bare "unsupported" panic.  The canonical
-/// case: original handshake-join nodes ([`crate::node_hsj::HsjNode`]) tie
-/// their window state to construction-time segment capacities (the flow
-/// model of Section 3.1), so they cannot export or absorb a
-/// [`WindowSegment`] — only the LLHJ variants are elastic.
+/// *typed* refusal rather than a bare "unsupported" panic.  Both shipped
+/// node types are elastic today (the original handshake join gained
+/// capacity renegotiation and direction-aware imports); the typed error
+/// remains the contract for any future node type whose algorithm pins
+/// state to a fixed deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ElasticError {
     /// The node's algorithm does not support state migration.
@@ -40,7 +41,7 @@ impl std::fmt::Display for ElasticError {
             ElasticError::MigrationUnsupported { node, operation } => write!(
                 f,
                 "node {node}: {operation} refused — this node type does not \
-                 support state migration (only LLHJ nodes are elastic)"
+                 support state migration"
             ),
         }
     }
@@ -113,17 +114,32 @@ pub trait PipelineNode<R, S>: Send {
         false
     }
 
+    /// The directions this node type's stored tuples may migrate in
+    /// during a chain-wide redistribution.  Free for LLHJ (residence is
+    /// arbitrary), stream-monotone for HSJ (R rightward only, S leftward
+    /// only — see [`crate::rebalance`] for the correctness argument).
+    fn migration_constraint(&self) -> MigrationConstraint {
+        MigrationConstraint::free()
+    }
+
+    /// The node's current stored-window census `(|WR_k|, |WS_k|)` — the
+    /// input of the redistribution planner.  Unlike
+    /// [`PipelineNode::resident_tuples`] it excludes the `IWS` buffer
+    /// (empty whenever a census is taken: the planner only runs fenced).
+    fn window_census(&self) -> (usize, usize) {
+        (0, 0)
+    }
+
     /// Exports the node's settled window state for migration.
     ///
     /// **Contract** (see [`crate::message::WindowSegment`]): only valid
     /// while the pipeline is fenced — no frame in flight anywhere — at
-    /// which point an LLHJ node holds only settled state (no expedition
-    /// flags, empty `IWS`), which the implementation asserts.  The caller
-    /// owns the returned segment; the node is left empty and must either
+    /// which point a node holds only settled state (no expedition flags,
+    /// empty `IWS`), which the implementations assert.  The caller owns
+    /// the returned segment; the node is left empty and must either
     /// receive an `import_segment` or retire.  Node types without
-    /// migration support (HSJ, whose flow model ties state to
-    /// construction-time segment capacities) return a typed
-    /// [`ElasticError`] instead of panicking.
+    /// migration support return a typed [`ElasticError`] instead of
+    /// panicking.
     fn export_segment(&mut self) -> Result<WindowSegment<R, S>, ElasticError> {
         Err(ElasticError::MigrationUnsupported {
             node: self.node_id(),
@@ -131,11 +147,42 @@ pub trait PipelineNode<R, S>: Send {
         })
     }
 
+    /// Exports an arbitrary *slice* of the node's settled window state:
+    /// the R tuples at positions `r` and the S tuples at positions `s` of
+    /// the seq-sorted windows (position 0 = oldest).  This is the
+    /// split half of the redistribution protocol — a node sheds exactly
+    /// the slice the plan assigns to an edge instead of its whole window.
+    /// Same fencing contract as [`PipelineNode::export_segment`].
+    fn export_segment_range(
+        &mut self,
+        _r: std::ops::Range<usize>,
+        _s: std::ops::Range<usize>,
+    ) -> Result<WindowSegment<R, S>, ElasticError> {
+        Err(ElasticError::MigrationUnsupported {
+            node: self.node_id(),
+            operation: "export_segment_range",
+        })
+    }
+
     /// Installs a neighbour's migrated window segment, merging it with the
     /// local windows (sorted by sequence number, hash indexes rebuilt).
-    /// Only valid while the pipeline is fenced; the same support rules as
+    ///
+    /// `from` is the side the segment arrived on; `out` collects any
+    /// results the installation produces.  LLHJ installs silently in both
+    /// directions (its matching rules find a stored tuple wherever it
+    /// rests), so `from`/`out` are unused there.  HSJ matches the
+    /// still-unmet direction of the segment against its resident windows —
+    /// incoming R from the left against `WS_k`, incoming S from the right
+    /// against `WR_k` — which is exactly the set of pairs the migration
+    /// hop carries past each other (see `node_hsj`).  Only valid while the
+    /// pipeline is fenced; the same support rules as
     /// [`PipelineNode::export_segment`] apply.
-    fn import_segment(&mut self, _segment: WindowSegment<R, S>) -> Result<(), ElasticError> {
+    fn import_segment(
+        &mut self,
+        _segment: WindowSegment<R, S>,
+        _from: Direction,
+        _out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
+    ) -> Result<(), ElasticError> {
         Err(ElasticError::MigrationUnsupported {
             node: self.node_id(),
             operation: "import_segment",
@@ -199,11 +246,28 @@ where
         true
     }
 
+    fn window_census(&self) -> (usize, usize) {
+        (self.wr_len(), self.ws_len())
+    }
+
     fn export_segment(&mut self) -> Result<WindowSegment<R, S>, ElasticError> {
         Ok(crate::node_llhj::LlhjNode::export_segment(self))
     }
 
-    fn import_segment(&mut self, segment: WindowSegment<R, S>) -> Result<(), ElasticError> {
+    fn export_segment_range(
+        &mut self,
+        r: std::ops::Range<usize>,
+        s: std::ops::Range<usize>,
+    ) -> Result<WindowSegment<R, S>, ElasticError> {
+        Ok(crate::node_llhj::LlhjNode::export_segment_range(self, r, s))
+    }
+
+    fn import_segment(
+        &mut self,
+        segment: WindowSegment<R, S>,
+        _from: Direction,
+        _out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
+    ) -> Result<(), ElasticError> {
         crate::node_llhj::LlhjNode::import_segment(self, segment);
         Ok(())
     }
@@ -260,6 +324,46 @@ where
     fn observe_time(&mut self, now: crate::time::Timestamp) {
         self.advance_clock(now);
     }
+
+    fn supports_migration(&self) -> bool {
+        true
+    }
+
+    fn migration_constraint(&self) -> MigrationConstraint {
+        MigrationConstraint::monotone()
+    }
+
+    fn window_census(&self) -> (usize, usize) {
+        let (wr, ws, _) = self.segment_sizes();
+        (wr, ws)
+    }
+
+    fn export_segment(&mut self) -> Result<WindowSegment<R, S>, ElasticError> {
+        Ok(crate::node_hsj::HsjNode::export_segment(self))
+    }
+
+    fn export_segment_range(
+        &mut self,
+        r: std::ops::Range<usize>,
+        s: std::ops::Range<usize>,
+    ) -> Result<WindowSegment<R, S>, ElasticError> {
+        Ok(crate::node_hsj::HsjNode::export_segment_range(self, r, s))
+    }
+
+    fn import_segment(
+        &mut self,
+        segment: WindowSegment<R, S>,
+        from: Direction,
+        out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
+    ) -> Result<(), ElasticError> {
+        crate::node_hsj::HsjNode::import_segment(self, segment, from, out);
+        Ok(())
+    }
+
+    fn set_position(&mut self, id: NodeId, nodes: usize) -> Result<(), ElasticError> {
+        crate::node_hsj::HsjNode::set_position(self, id, nodes);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -294,15 +398,41 @@ mod tests {
         assert_eq!(probe(&mut hsj), 1);
     }
 
-    /// The HSJ flow model ties state to construction-time segment
-    /// capacities, so migration requests come back as a typed
-    /// [`ElasticError`] instead of a panic.
+    /// Both shipped node types are elastic now; the typed refusal remains
+    /// the default-contract for node types that never opt in.
     #[test]
-    fn hsj_refuses_migration_with_a_typed_error() {
-        let pred = FnPredicate(|r: &u32, s: &u32| r == s);
-        let mut hsj = HsjNode::with_capacity(2, 4, SegmentCapacity { r: 16, s: 16 }, pred);
-        let node: &mut dyn PipelineNode<u32, u32> = &mut hsj;
+    fn non_migratory_nodes_refuse_with_a_typed_error() {
+        /// A node type that leaves every migration default untouched.
+        struct Inert;
+        impl PipelineNode<u32, u32> for Inert {
+            fn handle_left(
+                &mut self,
+                _msg: LeftToRight<u32>,
+                _out: &mut NodeOutput<u32, u32, ResultTuple<u32, u32>>,
+            ) {
+            }
+            fn handle_right(
+                &mut self,
+                _msg: RightToLeft<u32>,
+                _out: &mut NodeOutput<u32, u32, ResultTuple<u32, u32>>,
+            ) {
+            }
+            fn node_id(&self) -> NodeId {
+                2
+            }
+            fn node_counters(&self) -> NodeCounters {
+                NodeCounters::default()
+            }
+            fn resident_tuples(&self) -> usize {
+                0
+            }
+        }
+        let mut inert = Inert;
+        let node: &mut dyn PipelineNode<u32, u32> = &mut inert;
+        let mut out = NodeOutput::new();
         assert!(!node.supports_migration());
+        assert_eq!(node.window_census(), (0, 0));
+        assert_eq!(node.migration_constraint(), MigrationConstraint::free());
         assert_eq!(
             node.export_segment(),
             Err(ElasticError::MigrationUnsupported {
@@ -311,7 +441,14 @@ mod tests {
             })
         );
         assert_eq!(
-            node.import_segment(WindowSegment::empty()),
+            node.export_segment_range(0..0, 0..0),
+            Err(ElasticError::MigrationUnsupported {
+                node: 2,
+                operation: "export_segment_range",
+            })
+        );
+        assert_eq!(
+            node.import_segment(WindowSegment::empty(), Direction::Right, &mut out),
             Err(ElasticError::MigrationUnsupported {
                 node: 2,
                 operation: "import_segment",
@@ -327,6 +464,30 @@ mod tests {
         let err = node.export_segment().unwrap_err();
         assert!(err.to_string().contains("export_segment"));
         assert!(err.to_string().contains("node 2"));
+    }
+
+    /// The original handshake join is elastic since the capacity
+    /// renegotiation refactor: it exports, imports and renumbers through
+    /// the shared trait, under the stream-monotone constraint.
+    #[test]
+    fn hsj_is_elastic_through_the_trait() {
+        let pred = FnPredicate(|r: &u32, s: &u32| r == s);
+        let mut hsj = HsjNode::with_capacity(0, 2, SegmentCapacity { r: 16, s: 16 }, pred);
+        let node: &mut dyn PipelineNode<u32, u32> = &mut hsj;
+        assert!(node.supports_migration());
+        assert_eq!(node.migration_constraint(), MigrationConstraint::monotone());
+        let mut out = NodeOutput::new();
+        let r = StreamTuple::new(SeqNo(0), Timestamp::from_millis(1), 3u32);
+        node.handle_left(LeftToRight::ArrivalR(PipelineTuple::fresh(r, 0)), &mut out);
+        assert_eq!(node.window_census(), (1, 0));
+        let segment = node.export_segment().unwrap();
+        assert_eq!(segment.wr.len(), 1);
+        assert_eq!(node.window_census(), (0, 0));
+        node.import_segment(segment, Direction::Right, &mut out)
+            .unwrap();
+        assert_eq!(node.window_census(), (1, 0));
+        node.set_position(1, 2).unwrap();
+        assert_eq!(node.node_id(), 1);
     }
 
     #[test]

@@ -26,8 +26,41 @@
 //! The acknowledgement mechanism on the S side (identical to the one in
 //! [`crate::node_llhj`]) prevents missed pairs when two tuples cross
 //! between the same pair of neighbouring nodes.
+//!
+//! ## Elasticity: capacity renegotiation and stream-monotone migration
+//!
+//! For two PRs this node was the non-elastic exception: the flow model
+//! pinned segment capacities at construction, so resizing a chain required
+//! redeployment.  Two additions close that gap:
+//!
+//! * [`HsjNode::renegotiate_capacity`] recomputes the per-node segment
+//!   capacity from the chain-total window population and the new width —
+//!   the flow model's `|W| / n` — and [`HsjNode::set_position`] applies it
+//!   automatically whenever the chain is renumbered (age-based flow needs
+//!   no stored renegotiation: its thresholds are already a function of
+//!   `(id, nodes)`).
+//! * [`HsjNode::import_segment`] installs a migrated [`WindowSegment`]
+//!   **with matching**: handshake join's exactness rests on every pair of
+//!   concurrent tuples *crossing exactly once* (R flows only rightward, S
+//!   only leftward), so a migration hop must reproduce the meets it
+//!   carries past each other.  A pair `(R at i, S at j)` has met if and
+//!   only if `i >= j` — their monotone paths have crossed.  A segment
+//!   arriving from the **left** therefore matches its R tuples (moving
+//!   rightward into territory they have not crossed) against the local
+//!   `WS_k`, and installs its S tuples silently (an S tuple moving
+//!   rightward moves *away* from unmet R; the pair still crosses later).
+//!   A segment arriving from the **right** is the mirror image: S tuples
+//!   match against `WR_k`, R tuples install silently (an R tuple handed
+//!   leftward out of a retiring node has already crossed every surviving
+//!   S).  The matched side is always evaluated against the *pre-import*
+//!   window, so two tuples migrating together are never re-matched.
+//!   Redistribution plans additionally respect
+//!   [`MigrationConstraint::monotone`](crate::rebalance::MigrationConstraint):
+//!   R never migrates leftward and S never rightward outside a retirement,
+//!   because such a move would un-cross already-met pairs and the flow
+//!   policy would cross them again — a duplicate result.
 
-use crate::message::{LeftToRight, NodeOutput, RightToLeft};
+use crate::message::{Direction, LeftToRight, NodeOutput, RightToLeft, WindowSegment};
 use crate::predicate::JoinPredicate;
 use crate::result::ResultTuple;
 use crate::stats::NodeCounters;
@@ -98,6 +131,12 @@ pub struct HsjNode<R, S, P> {
     nodes: usize,
     predicate: P,
     flow: FlowPolicy,
+    /// Chain-total window population `(R, S)` the capacity-based flow
+    /// model was sized for; recorded at construction so an elastic
+    /// renumbering can renegotiate the per-node capacity (`total / n`).
+    /// `None` for age-based flow, whose thresholds renegotiate
+    /// implicitly.
+    chain_capacity: Option<(usize, usize)>,
     wr: LocalWindow<R>,
     ws: LocalWindow<S>,
     iws: IwsBuffer<S>,
@@ -115,11 +154,16 @@ where
     pub fn new(id: NodeId, nodes: usize, flow: FlowPolicy, predicate: P) -> Self {
         assert!(nodes > 0, "pipeline must have at least one node");
         assert!(id < nodes, "node id {id} out of range for {nodes} nodes");
+        let chain_capacity = match flow {
+            FlowPolicy::ByCapacity(cap) => Some((cap.r * nodes, cap.s * nodes)),
+            FlowPolicy::ByAge { .. } => None,
+        };
         HsjNode {
             id,
             nodes,
             predicate,
             flow,
+            chain_capacity,
             wr: LocalWindow::new(),
             ws: LocalWindow::new(),
             iws: IwsBuffer::new(),
@@ -251,6 +295,152 @@ where
         for msg in msgs {
             self.handle_right(msg, out);
         }
+    }
+
+    /// The window-concurrency check shared by arrivals and migrated
+    /// imports: under age-based flow a pair only joins when both tuples
+    /// are inside each other's window span (same boundary convention as
+    /// the driver schedule: R events first on ties); capacity-based flow
+    /// leaves eviction entirely to expiry messages.
+    fn within_window(&self, r_ts: Timestamp, s_ts: Timestamp) -> bool {
+        match self.flow {
+            FlowPolicy::ByAge { window_r, window_s } => {
+                s_ts.saturating_since(r_ts) < window_r && r_ts.saturating_since(s_ts) <= window_s
+            }
+            FlowPolicy::ByCapacity(_) => true,
+        }
+    }
+
+    /// Recomputes the per-node segment capacity from a chain-total window
+    /// population and the chain width — the flow model's `|W| / n` sizing
+    /// — and records the totals for future renegotiations.  Only
+    /// meaningful for capacity-based flow; age-based flow renegotiates
+    /// implicitly through [`HsjNode::set_position`] (its thresholds are a
+    /// function of `(id, nodes)`).
+    pub fn renegotiate_capacity(
+        &mut self,
+        window_tuples_r: usize,
+        window_tuples_s: usize,
+        nodes: usize,
+    ) {
+        if matches!(self.flow, FlowPolicy::ByCapacity(_)) {
+            self.chain_capacity = Some((window_tuples_r, window_tuples_s));
+            self.flow = FlowPolicy::ByCapacity(SegmentCapacity::balanced(
+                window_tuples_r,
+                window_tuples_s,
+                nodes,
+            ));
+        }
+    }
+
+    /// Renumbers the node after an elastic reconfiguration, renegotiating
+    /// the capacity-based flow model for the new width.  Only valid while
+    /// the pipeline is fenced (the position decides entry/exit behaviour
+    /// and the age bands of the flow policy).
+    pub fn set_position(&mut self, id: NodeId, nodes: usize) {
+        assert!(nodes > 0, "pipeline must have at least one node");
+        assert!(id < nodes, "node id {id} out of range for {nodes} nodes");
+        self.id = id;
+        self.nodes = nodes;
+        if let Some((total_r, total_s)) = self.chain_capacity {
+            self.renegotiate_capacity(total_r, total_s, nodes);
+        }
+    }
+
+    /// Exports the node's entire settled window state for migration.  Only
+    /// valid while the pipeline is fenced: every forwarded S tuple has
+    /// been acknowledged (`IWS` empty), which is asserted.
+    pub fn export_segment(&mut self) -> WindowSegment<R, S> {
+        let len_r = self.wr.len();
+        let len_s = self.ws.len();
+        self.export_segment_range(0..len_r, 0..len_s)
+    }
+
+    /// Exports the R tuples at positions `r` and the S tuples at positions
+    /// `s` of the seq-sorted windows (position 0 = oldest).  Same fencing
+    /// contract as [`HsjNode::export_segment`].
+    pub fn export_segment_range(
+        &mut self,
+        r: std::ops::Range<usize>,
+        s: std::ops::Range<usize>,
+    ) -> WindowSegment<R, S> {
+        assert!(
+            self.iws.is_empty(),
+            "node {}: IWS must be empty at the elastic fence (unacknowledged \
+             S tuples would be lost by the migration)",
+            self.id
+        );
+        WindowSegment {
+            wr: self.wr.drain_range(r),
+            ws: self.ws.drain_range(s),
+        }
+    }
+
+    /// Installs a migrated window segment, reproducing the meets the
+    /// migration hop carries past each other (see the module docs): the
+    /// still-unmet direction of the segment — R when it arrived from the
+    /// left, S when it arrived from the right — is matched against the
+    /// *pre-import* opposite window under the usual window-concurrency
+    /// check; the other direction installs silently.  Only valid while the
+    /// pipeline is fenced.
+    pub fn import_segment(
+        &mut self,
+        segment: WindowSegment<R, S>,
+        from: Direction,
+        out: &mut HsjOutput<R, S>,
+    ) {
+        debug_assert!(
+            self.iws.is_empty(),
+            "segments only migrate while fenced, when IWS is empty"
+        );
+        let results_before = out.results.len();
+        let mut comparisons = 0;
+        match from {
+            Direction::Left => {
+                // R tuples moving rightward enter territory their monotone
+                // path has not crossed: match like an arrival traversal.
+                for r_tuple in &segment.wr {
+                    comparisons += self.ws.scan_matches(
+                        false,
+                        |s| self.predicate.matches(&r_tuple.payload, s),
+                        |s| {
+                            if self.within_window(r_tuple.ts, s.ts) {
+                                out.results.push(ResultTuple::new(
+                                    r_tuple.clone(),
+                                    s.clone(),
+                                    self.id,
+                                ));
+                            }
+                        },
+                    );
+                }
+            }
+            Direction::Right => {
+                // S tuples moving leftward are the mirror image.
+                for s_tuple in &segment.ws {
+                    comparisons += self.wr.scan_matches(
+                        false,
+                        |r| self.predicate.matches(r, &s_tuple.payload),
+                        |r| {
+                            if self.within_window(r.ts, s_tuple.ts) {
+                                out.results.push(ResultTuple::new(
+                                    r.clone(),
+                                    s_tuple.clone(),
+                                    self.id,
+                                ));
+                            }
+                        },
+                    );
+                }
+            }
+        }
+        out.comparisons += comparisons;
+        self.counters.comparisons += comparisons;
+        self.counters.results += (out.results.len() - results_before) as u64;
+        self.wr.merge_sorted(segment.wr);
+        self.ws.merge_sorted(segment.ws);
+        self.counters
+            .observe_sizes(self.wr.len(), self.ws.len(), self.iws.len());
     }
 
     /// Removes locally stored tuples that are no longer window-concurrent
@@ -647,6 +837,158 @@ mod tests {
         let mut out = HsjOutput::new();
         n.handle_right(RightToLeft::ExpeditionEndR(SeqNo(1)), &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn renegotiate_capacity_tracks_the_flow_model() {
+        let mut n = node(0, 4, 8); // chain total 32 per stream
+        assert_eq!(
+            n.flow_policy(),
+            FlowPolicy::ByCapacity(SegmentCapacity { r: 8, s: 8 })
+        );
+        // Renumbering to a 2-node chain doubles the per-node share.
+        n.set_position(0, 2);
+        assert_eq!(
+            n.flow_policy(),
+            FlowPolicy::ByCapacity(SegmentCapacity { r: 16, s: 16 })
+        );
+        // Renumbering to 8 nodes halves it.
+        n.set_position(3, 8);
+        assert_eq!(
+            n.flow_policy(),
+            FlowPolicy::ByCapacity(SegmentCapacity { r: 4, s: 4 })
+        );
+        assert_eq!(n.id(), 3);
+        // An explicit renegotiation overrides the recorded totals.
+        n.renegotiate_capacity(80, 40, 8);
+        assert_eq!(
+            n.flow_policy(),
+            FlowPolicy::ByCapacity(SegmentCapacity { r: 10, s: 5 })
+        );
+        // Age-based flow carries no stored capacity; set_position only
+        // renumbers (the age bands are functions of (id, nodes)).
+        let mut aged = age_node(0, 2, 10);
+        aged.set_position(1, 3);
+        assert!(matches!(aged.flow_policy(), FlowPolicy::ByAge { .. }));
+        assert_eq!(aged.id(), 1);
+    }
+
+    #[test]
+    fn export_and_range_export_shed_settled_state() {
+        let mut n = node(1, 3, 8);
+        let mut out = HsjOutput::new();
+        for i in 0..4 {
+            n.handle_left(LeftToRight::ArrivalR(rt(i, i)), &mut out);
+        }
+        n.handle_right(RightToLeft::ArrivalS(st(0, 99)), &mut out);
+        // The ArrivalS was forwarded? capacity 8, no overflow: stored.
+        assert_eq!(n.segment_sizes(), (4, 1, 0));
+        let slice = n.export_segment_range(0..2, 0..0);
+        assert_eq!(slice.wr.len(), 2);
+        assert_eq!(slice.wr[0].seq, SeqNo(0));
+        assert_eq!(n.segment_sizes(), (2, 1, 0));
+        let rest = n.export_segment();
+        assert_eq!(rest.wr.len(), 2);
+        assert_eq!(rest.ws.len(), 1);
+        assert_eq!(n.segment_sizes(), (0, 0, 0));
+    }
+
+    /// A segment arriving from the left matches its R tuples (unmet by
+    /// the monotone-crossing argument) against the resident S window; a
+    /// segment arriving from the right matches its S tuples against the
+    /// resident R window.  Co-migrating tuples are never re-matched.
+    #[test]
+    fn import_matches_the_unmet_direction_only() {
+        let mut receiver = node(1, 3, 8);
+        let mut out = HsjOutput::new();
+        // Resident state: one S tuple (value 5), one R tuple (value 7).
+        receiver.handle_right(RightToLeft::ArrivalS(st(0, 5)), &mut out);
+        receiver.handle_left(LeftToRight::ArrivalR(rt(0, 7)), &mut out);
+        out.clear();
+
+        // From the left: migrated R (value 5) must match the resident S;
+        // the migrated S (value 7) must NOT match the resident R (their
+        // paths have already crossed), and must not match the migrated R
+        // either (they travelled together).
+        let segment = WindowSegment {
+            wr: vec![StreamTuple::new(
+                SeqNo(10),
+                Timestamp::from_millis(10),
+                5u64,
+            )],
+            ws: vec![StreamTuple::new(
+                SeqNo(10),
+                Timestamp::from_millis(10),
+                7u64,
+            )],
+        };
+        receiver.import_segment(segment, Direction::Left, &mut out);
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].key(), (SeqNo(10), SeqNo(0)));
+        assert_eq!(receiver.segment_sizes(), (2, 2, 0));
+        out.clear();
+
+        // From the right: migrated S (value 7) matches the resident R;
+        // migrated R installs silently.
+        let segment = WindowSegment {
+            wr: vec![StreamTuple::new(
+                SeqNo(11),
+                Timestamp::from_millis(11),
+                5u64,
+            )],
+            ws: vec![StreamTuple::new(
+                SeqNo(11),
+                Timestamp::from_millis(11),
+                7u64,
+            )],
+        };
+        receiver.import_segment(segment, Direction::Right, &mut out);
+        // Resident R holds values {7 (seq 0), 5 (seq 10)}: the migrated
+        // S (value 7) matches seq 0 only.
+        let keys: Vec<_> = out.results.iter().map(ResultTuple::key).collect();
+        assert_eq!(keys, vec![(SeqNo(0), SeqNo(11))]);
+        assert_eq!(receiver.segment_sizes(), (3, 3, 0));
+    }
+
+    /// Migrated imports respect the window-concurrency check under
+    /// age-based flow: a pair whose spans do not overlap must not join.
+    #[test]
+    fn import_applies_the_window_check_under_age_flow() {
+        let mut n = age_node(0, 2, 10);
+        let mut out = HsjOutput::new();
+        n.handle_right(
+            RightToLeft::ArrivalS(st_at(0, 5, Timestamp::from_secs(0))),
+            &mut out,
+        );
+        out.clear();
+        // A migrated R with the same value but 11 s later: outside the
+        // 10 s window, no result.
+        let segment = WindowSegment {
+            wr: vec![StreamTuple::new(SeqNo(9), Timestamp::from_secs(11), 5u64)],
+            ws: Vec::new(),
+        };
+        n.import_segment(segment, Direction::Left, &mut out);
+        assert!(out.results.is_empty());
+        // A concurrent one does join.
+        let segment = WindowSegment {
+            wr: vec![StreamTuple::new(SeqNo(10), Timestamp::from_secs(3), 5u64)],
+            ws: Vec::new(),
+        };
+        n.import_segment(segment, Direction::Left, &mut out);
+        assert_eq!(out.results.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "IWS must be empty")]
+    fn export_refuses_unacknowledged_state() {
+        let mut n = node(1, 3, 1);
+        let mut out = HsjOutput::new();
+        // Overflowing the S segment forwards the oldest left and parks it
+        // in IWS awaiting the acknowledgement.
+        n.handle_right(RightToLeft::ArrivalS(st(0, 10)), &mut out);
+        n.handle_right(RightToLeft::ArrivalS(st(1, 11)), &mut out);
+        assert_eq!(n.segment_sizes().2, 1);
+        let _ = n.export_segment();
     }
 
     #[test]

@@ -240,6 +240,31 @@ where
         }
     }
 
+    /// Exports an arbitrary slice of the settled window state: the R
+    /// tuples at positions `r` and the S tuples at positions `s` of the
+    /// seq-sorted windows (position 0 = oldest).  The chain-wide
+    /// redistribution protocol sheds exactly the slice its plan assigns
+    /// to an edge; [`Self::export_segment`] is the `0..len` special case.
+    /// Same fencing contract as [`Self::export_segment`] — the `IWS`
+    /// check applies because a slice is only settled when the whole node
+    /// is.
+    pub fn export_segment_range(
+        &mut self,
+        r: std::ops::Range<usize>,
+        s: std::ops::Range<usize>,
+    ) -> crate::message::WindowSegment<R, S> {
+        assert!(
+            self.iws.is_empty(),
+            "node {}: IWS must be empty at the elastic fence (unacknowledged \
+             S tuples would be lost by the migration)",
+            self.id
+        );
+        crate::message::WindowSegment {
+            wr: self.wr.drain_range(r),
+            ws: self.ws.drain_range(s),
+        }
+    }
+
     /// Installs a neighbour's migrated window segment next to the local
     /// state.  Like [`Self::export_segment`], only valid while the
     /// pipeline is fenced.
@@ -691,6 +716,35 @@ mod tests {
         assert_eq!(survivor.wr_len(), 1);
         survivor.handle_left(LeftToRight::ExpiryS(SeqNo(3)), &mut out);
         assert_eq!(survivor.ws_len(), 0);
+    }
+
+    #[test]
+    fn export_range_sheds_a_slice_that_keeps_matching_elsewhere() {
+        // Node 0 holds four settled R tuples; shedding the oldest two
+        // leaves the rest matchable here, and the slice stays matchable
+        // wherever it is imported.
+        let mut shedder = node(0, 2);
+        let mut absorber = node(1, 2);
+        let mut out = LlhjOutput::new();
+        for i in 0..4 {
+            shedder.handle_left(LeftToRight::ArrivalR(r_tuple(i, 10 + i, 0)), &mut out);
+            shedder.handle_right(RightToLeft::ExpeditionEndR(SeqNo(i)), &mut out);
+        }
+        out.clear();
+        let slice = shedder.export_segment_range(0..2, 0..0);
+        assert_eq!(slice.wr.len(), 2);
+        assert!(slice.ws.is_empty());
+        assert_eq!(shedder.wr_len(), 2);
+        absorber.import_segment(slice);
+        shedder.check_invariants().unwrap();
+        absorber.check_invariants().unwrap();
+        // The migrated tuples answer matches at their new residence...
+        absorber.handle_right(RightToLeft::ArrivalS(s_tuple(0, 10, 0)), &mut out);
+        assert_eq!(out.results.len(), 1);
+        out.clear();
+        // ...and the retained ones still answer here.
+        shedder.handle_right(RightToLeft::ArrivalS(s_tuple(1, 13, 0)), &mut out);
+        assert_eq!(out.results.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,441 @@
+//! Chain-wide state redistribution planning.
+//!
+//! The elastic protocol of PR 3 moved window state only pairwise at shrink:
+//! retiring nodes handed their segments to the surviving boundary, and a
+//! grow added empty nodes that stayed cold for a full window turnover.  The
+//! handshake-join chain, however, only delivers its throughput law when the
+//! distributed window is spread *evenly* — a node holding twice its share
+//! scans twice as long per probing tuple and becomes the pipeline
+//! bottleneck (the flow model of Section 3.1 assumes per-node segments of
+//! `|W|/n`).  This module holds the substrate-agnostic half of the fix:
+//!
+//! * [`RedistributionPlan`] — given a per-node residence census, compute
+//!   the *balanced* target residence and the signed tuple flow across
+//!   every neighbour edge that realises it.  The plan is a pure function
+//!   of the census (and the node type's [`MigrationConstraint`]), so the
+//!   threaded runtime and the discrete-event simulator derive the *same*
+//!   placement from the same state — which is what keeps their result
+//!   sets byte-identical under the conformance sweeps.
+//! * [`EdgeTransfer`] — one hop of the plan: `count` tuples of each stream
+//!   crossing one neighbour edge in one direction.  Transfers are ordered
+//!   so every edge has enough tuples on hand when its turn comes
+//!   (rightward edges left-to-right, then leftward edges right-to-left).
+//! * [`shed_ranges`] — the shared slice-selection rule: *which* tuples
+//!   cross an edge.  Rightward transfers carry the oldest R and the
+//!   newest S slice, leftward transfers the mirror image, matching the
+//!   age-ordering both algorithms maintain along the chain (R ages left
+//!   to right, S ages right to left).
+//!
+//! ## Direction constraints
+//!
+//! Low-latency handshake join tuples may rest anywhere (a stored tuple is
+//! matched by every traversing arrival and found by its traversing expiry
+//! wherever it rests), so LLHJ plans are unconstrained.  The original
+//! handshake join is different: its correctness argument is that each pair
+//! of concurrent tuples *crosses exactly once*, with R flowing only
+//! rightward and S only leftward.  Moving an R tuple leftward (or an S
+//! tuple rightward) past state it has already crossed would let the pair
+//! cross twice — a duplicate result the oracle comparison would catch.
+//! HSJ therefore declares [`MigrationConstraint::monotone`]: its R side
+//! redistributes rightward only and its S side leftward only; flows the
+//! constraint forbids are clamped to zero and the affected side rebalances
+//! through the ordinary flow policy instead.
+
+use crate::message::Direction;
+use std::ops::Range;
+
+/// Which directions one stream's stored tuples may migrate in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowConstraint {
+    /// Tuples may migrate towards either neighbour (LLHJ: residence is
+    /// free, the matching rules find a tuple wherever it rests).
+    BothWays,
+    /// Tuples may only migrate rightward (HSJ stream R: moving an R tuple
+    /// left would un-cross pairs it has already met).
+    RightwardOnly,
+    /// Tuples may only migrate leftward (HSJ stream S, symmetric).
+    LeftwardOnly,
+}
+
+impl FlowConstraint {
+    /// Clamps a signed edge flow (positive = rightward) to the constraint.
+    fn clamp(&self, flow: i64) -> i64 {
+        match self {
+            FlowConstraint::BothWays => flow,
+            FlowConstraint::RightwardOnly => flow.max(0),
+            FlowConstraint::LeftwardOnly => flow.min(0),
+        }
+    }
+}
+
+/// A node type's migration semantics, one constraint per stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationConstraint {
+    /// Constraint on stored R tuples.
+    pub r: FlowConstraint,
+    /// Constraint on stored S tuples.
+    pub s: FlowConstraint,
+}
+
+impl MigrationConstraint {
+    /// Free placement on both sides (low-latency handshake join).
+    pub const fn free() -> Self {
+        MigrationConstraint {
+            r: FlowConstraint::BothWays,
+            s: FlowConstraint::BothWays,
+        }
+    }
+
+    /// Stream-monotone placement (original handshake join): R rightward
+    /// only, S leftward only.
+    pub const fn monotone() -> Self {
+        MigrationConstraint {
+            r: FlowConstraint::RightwardOnly,
+            s: FlowConstraint::LeftwardOnly,
+        }
+    }
+}
+
+/// One hop of a redistribution: `r`/`s` tuples crossing the edge between
+/// node `from` and its neighbour `to = from ± 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeTransfer {
+    /// The shedding node.
+    pub from: usize,
+    /// The absorbing neighbour (`from + 1` for rightward, `from - 1` for
+    /// leftward transfers).
+    pub to: usize,
+    /// Stored R tuples crossing the edge.
+    pub r: usize,
+    /// Stored S tuples crossing the edge.
+    pub s: usize,
+}
+
+impl EdgeTransfer {
+    /// The direction the segment travels, from the shedder's viewpoint.
+    pub fn direction(&self) -> Direction {
+        if self.to > self.from {
+            Direction::Right
+        } else {
+            Direction::Left
+        }
+    }
+
+    /// Total tuples crossing the edge.
+    pub fn tuples(&self) -> usize {
+        self.r + self.s
+    }
+}
+
+/// The signed per-edge tuple flows that move a chain from its current
+/// residence census to the balanced target.
+///
+/// `flow_r[k]` / `flow_s[k]` is the flow across the edge between node `k`
+/// and node `k + 1`: positive flows travel rightward, negative leftward.
+/// Computed as the prefix-sum difference between the census and the
+/// balanced target (`total / n` per node, remainder spread over the lowest
+/// ids), then clamped by the node type's [`MigrationConstraint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedistributionPlan {
+    flow_r: Vec<i64>,
+    flow_s: Vec<i64>,
+}
+
+/// Balanced per-node targets: `total / n` each, remainder on the lowest
+/// node ids (deterministic, shared by both substrates).
+fn balanced_targets(census: &[usize]) -> Vec<usize> {
+    let n = census.len();
+    let total: usize = census.iter().sum();
+    let base = total / n;
+    let rem = total % n;
+    (0..n).map(|i| base + usize::from(i < rem)).collect()
+}
+
+/// Signed edge flows for one stream: prefix(census) − prefix(target),
+/// clamped by the constraint.  Clamped plans stay feasible: processing
+/// rightward edges left-to-right (and leftward edges right-to-left) a node
+/// always holds at least the tuples its edge sheds by the time the edge
+/// executes.
+fn edge_flows(census: &[usize], constraint: FlowConstraint) -> Vec<i64> {
+    let targets = balanced_targets(census);
+    let mut flows = Vec::with_capacity(census.len().saturating_sub(1));
+    let mut surplus: i64 = 0;
+    for k in 0..census.len().saturating_sub(1) {
+        surplus += census[k] as i64 - targets[k] as i64;
+        flows.push(constraint.clamp(surplus));
+    }
+    flows
+}
+
+impl RedistributionPlan {
+    /// Computes the balanced plan for a chain whose node `k` currently
+    /// holds `census[k] = (|WR_k|, |WS_k|)` stored tuples.
+    pub fn balanced(census: &[(usize, usize)], constraint: MigrationConstraint) -> Self {
+        assert!(!census.is_empty(), "a chain has at least one node");
+        let wr: Vec<usize> = census.iter().map(|c| c.0).collect();
+        let ws: Vec<usize> = census.iter().map(|c| c.1).collect();
+        RedistributionPlan {
+            flow_r: edge_flows(&wr, constraint.r),
+            flow_s: edge_flows(&ws, constraint.s),
+        }
+    }
+
+    /// True if the plan moves nothing (already balanced, or fully clamped).
+    pub fn is_noop(&self) -> bool {
+        self.flow_r.iter().all(|&f| f == 0) && self.flow_s.iter().all(|&f| f == 0)
+    }
+
+    /// Total tuples the plan moves across edges (each hop counted once —
+    /// a tuple crossing two edges counts twice, matching the transfer cost
+    /// both substrates charge per hop).
+    pub fn moved_tuples(&self) -> usize {
+        self.flow_r
+            .iter()
+            .chain(self.flow_s.iter())
+            .map(|f| f.unsigned_abs() as usize)
+            .sum()
+    }
+
+    /// The ordered hop sequence realising the plan: rightward transfers in
+    /// increasing edge order, then leftward transfers in decreasing edge
+    /// order.  This ordering guarantees every shedding node holds enough
+    /// tuples when its transfer executes, even for cascading (multi-hop)
+    /// flows.
+    pub fn transfers(&self) -> Vec<EdgeTransfer> {
+        let edges = self.flow_r.len();
+        let mut out = Vec::new();
+        for k in 0..edges {
+            let r = self.flow_r[k].max(0) as usize;
+            let s = self.flow_s[k].max(0) as usize;
+            if r + s > 0 {
+                out.push(EdgeTransfer {
+                    from: k,
+                    to: k + 1,
+                    r,
+                    s,
+                });
+            }
+        }
+        for k in (0..edges).rev() {
+            let r = (-self.flow_r[k]).max(0) as usize;
+            let s = (-self.flow_s[k]).max(0) as usize;
+            if r + s > 0 {
+                out.push(EdgeTransfer {
+                    from: k + 1,
+                    to: k,
+                    r,
+                    s,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// The shared slice-selection rule: which window positions a node sheds
+/// when `transfer.r` / `transfer.s` tuples leave towards `direction`.
+///
+/// Windows are ordered by sequence number (oldest first).  Rightward
+/// transfers carry the **oldest R** and **newest S** slice; leftward
+/// transfers the **newest R** and **oldest S** slice.  This follows the
+/// age-ordering both algorithms maintain along the chain — R tuples age
+/// towards the right (where their expiries enter), S tuples towards the
+/// left — so a redistribution deposits tuples where the flow model would
+/// have placed them, and the original handshake join's age-based flow
+/// policy does not immediately undo the move.
+pub fn shed_ranges(
+    census: (usize, usize),
+    r: usize,
+    s: usize,
+    direction: Direction,
+) -> (Range<usize>, Range<usize>) {
+    let (wr, ws) = census;
+    assert!(r <= wr && s <= ws, "cannot shed more tuples than resident");
+    match direction {
+        Direction::Right => (0..r, ws - s..ws),
+        Direction::Left => (wr - r..wr, 0..s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_targets_spread_the_remainder_low() {
+        assert_eq!(balanced_targets(&[10, 0, 0]), vec![4, 3, 3]);
+        assert_eq!(balanced_targets(&[5, 5]), vec![5, 5]);
+        assert_eq!(balanced_targets(&[0, 0, 7, 0]), vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn grow_plan_flows_rightward_into_empty_nodes() {
+        // All state on the two old nodes; two grown nodes empty.
+        let plan = RedistributionPlan::balanced(
+            &[(8, 8), (8, 8), (0, 0), (0, 0)],
+            MigrationConstraint::free(),
+        );
+        assert!(!plan.is_noop());
+        let transfers = plan.transfers();
+        // Rightward only, increasing edge order, cascading: edge 1 moves
+        // twice what edge 2 moves.
+        assert_eq!(
+            transfers,
+            vec![
+                EdgeTransfer {
+                    from: 0,
+                    to: 1,
+                    r: 4,
+                    s: 4
+                },
+                EdgeTransfer {
+                    from: 1,
+                    to: 2,
+                    r: 8,
+                    s: 8
+                },
+                EdgeTransfer {
+                    from: 2,
+                    to: 3,
+                    r: 4,
+                    s: 4
+                },
+            ]
+        );
+        assert_eq!(plan.moved_tuples(), 32);
+    }
+
+    #[test]
+    fn shrink_plan_flows_leftward_out_of_the_boundary_pile() {
+        // A shrink leaves everything on the rightmost survivor.
+        let plan = RedistributionPlan::balanced(&[(0, 0), (9, 3)], MigrationConstraint::free());
+        let transfers = plan.transfers();
+        assert_eq!(
+            transfers,
+            vec![EdgeTransfer {
+                from: 1,
+                to: 0,
+                r: 5,
+                s: 2
+            }]
+        );
+        assert_eq!(transfers[0].direction(), Direction::Left);
+        assert_eq!(transfers[0].tuples(), 7);
+    }
+
+    #[test]
+    fn balanced_census_is_a_noop() {
+        let plan =
+            RedistributionPlan::balanced(&[(4, 3), (4, 3), (4, 3)], MigrationConstraint::free());
+        assert!(plan.is_noop());
+        assert!(plan.transfers().is_empty());
+        assert_eq!(plan.moved_tuples(), 0);
+    }
+
+    #[test]
+    fn monotone_constraint_clamps_forbidden_directions() {
+        // Boundary pile after a shrink: free plans move R leftward, but
+        // the monotone (HSJ) constraint pins R and only spreads S.
+        let plan = RedistributionPlan::balanced(&[(0, 0), (6, 6)], MigrationConstraint::monotone());
+        assert_eq!(
+            plan.transfers(),
+            vec![EdgeTransfer {
+                from: 1,
+                to: 0,
+                r: 0,
+                s: 3
+            }]
+        );
+        // Grow pile on the left: R may spread rightward, S may not.
+        let plan = RedistributionPlan::balanced(&[(6, 6), (0, 0)], MigrationConstraint::monotone());
+        assert_eq!(
+            plan.transfers(),
+            vec![EdgeTransfer {
+                from: 0,
+                to: 1,
+                r: 3,
+                s: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn mixed_direction_edges_produce_one_transfer_per_direction() {
+        // R piled left, S piled right: the same edge carries R rightward
+        // and S leftward, as two ordered transfers.
+        let plan = RedistributionPlan::balanced(&[(10, 0), (0, 10)], MigrationConstraint::free());
+        assert_eq!(
+            plan.transfers(),
+            vec![
+                EdgeTransfer {
+                    from: 0,
+                    to: 1,
+                    r: 5,
+                    s: 0
+                },
+                EdgeTransfer {
+                    from: 1,
+                    to: 0,
+                    r: 0,
+                    s: 5
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn single_node_plans_are_empty() {
+        let plan = RedistributionPlan::balanced(&[(42, 17)], MigrationConstraint::free());
+        assert!(plan.is_noop());
+        assert!(plan.transfers().is_empty());
+    }
+
+    /// Executing the transfer sequence on a simulated census must land
+    /// every node exactly on the balanced target — and never overdraw a
+    /// node mid-sequence (the feasibility property the ordering provides).
+    #[test]
+    fn transfer_sequence_is_feasible_and_lands_on_target() {
+        let cases: Vec<Vec<(usize, usize)>> = vec![
+            vec![(8, 8), (8, 8), (0, 0), (0, 0)],
+            vec![(0, 0), (0, 0), (20, 7)],
+            vec![(3, 9), (0, 0), (7, 1), (2, 2), (0, 5)],
+            vec![(1, 0), (0, 1)],
+        ];
+        for census in cases {
+            let plan = RedistributionPlan::balanced(&census, MigrationConstraint::free());
+            let mut wr: Vec<i64> = census.iter().map(|c| c.0 as i64).collect();
+            let mut ws: Vec<i64> = census.iter().map(|c| c.1 as i64).collect();
+            for t in plan.transfers() {
+                wr[t.from] -= t.r as i64;
+                ws[t.from] -= t.s as i64;
+                assert!(
+                    wr[t.from] >= 0 && ws[t.from] >= 0,
+                    "transfer {t:?} overdraws node {} of census {census:?}",
+                    t.from
+                );
+                wr[t.to] += t.r as i64;
+                ws[t.to] += t.s as i64;
+            }
+            let target_r = balanced_targets(&census.iter().map(|c| c.0).collect::<Vec<_>>());
+            let target_s = balanced_targets(&census.iter().map(|c| c.1).collect::<Vec<_>>());
+            assert_eq!(wr, target_r.iter().map(|&t| t as i64).collect::<Vec<_>>());
+            assert_eq!(ws, target_s.iter().map(|&t| t as i64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn shed_ranges_follow_the_age_ordering() {
+        // Rightward: oldest R, newest S.
+        assert_eq!(shed_ranges((10, 6), 3, 2, Direction::Right), (0..3, 4..6));
+        // Leftward: newest R, oldest S.
+        assert_eq!(shed_ranges((10, 6), 3, 2, Direction::Left), (7..10, 0..2));
+        // Zero-count slices are empty at the correct end.
+        assert_eq!(shed_ranges((4, 4), 0, 0, Direction::Right), (0..0, 4..4));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shed more")]
+    fn shed_ranges_reject_overdraw() {
+        let _ = shed_ranges((2, 2), 3, 0, Direction::Right);
+    }
+}

@@ -276,6 +276,44 @@ impl<T> LocalWindow<T> {
         self.entries.drain(..).map(|e| e.tuple).collect()
     }
 
+    /// Removes and returns the tuples at the given *positions* of the
+    /// seq-sorted window (position 0 = oldest), in sequence order.  The
+    /// elastic redistribution uses this to shed an arbitrary slice — the
+    /// oldest or newest `k` tuples — instead of the whole window.
+    ///
+    /// Like [`LocalWindow::drain_sorted`], only valid for settled state:
+    /// panics if the range contains an in-expedition tuple (the elastic
+    /// fence guarantees there are none anywhere).
+    pub fn drain_range(&mut self, range: std::ops::Range<usize>) -> Vec<StreamTuple<T>> {
+        assert!(
+            range.end <= self.entries.len(),
+            "drain range {range:?} out of bounds for window of {}",
+            self.entries.len()
+        );
+        let drained: Vec<Entry<T>> = self
+            .entries
+            .drain(range)
+            .inspect(|e| {
+                assert!(
+                    !e.in_expedition,
+                    "cannot export a window slice that holds in-expedition tuples"
+                );
+            })
+            .collect();
+        if let Some(index) = &mut self.index {
+            for entry in &drained {
+                let key = (index.key_fn)(&entry.tuple.payload);
+                if let MapEntry::Occupied(mut bucket) = index.buckets.entry(key) {
+                    bucket.get_mut().retain(|&s| s != entry.tuple.seq);
+                    if bucket.get().is_empty() {
+                        bucket.remove();
+                    }
+                }
+            }
+        }
+        drained.into_iter().map(|e| e.tuple).collect()
+    }
+
     /// Installs a migrated batch of tuples (sorted by sequence number, none
     /// in expedition), interleaving it with the resident entries so the
     /// window stays sorted.  The hash index, if any, absorbs the new
@@ -657,6 +695,45 @@ mod tests {
         assert_eq!(hits, 10);
         assert!(survivor.remove(SeqNo(13)).is_some());
         survivor.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn drain_range_sheds_a_slice_and_keeps_the_index_consistent() {
+        let key_fn: KeyFn<u64> = Arc::new(|v: &u64| *v % 4);
+        let mut w = LocalWindow::with_index(key_fn);
+        for i in 0..10u64 {
+            w.insert(t(i, i), false);
+        }
+        // Shed the oldest three (positions 0..3).
+        let oldest = w.drain_range(0..3);
+        assert_eq!(
+            oldest.iter().map(|t| t.seq).collect::<Vec<_>>(),
+            vec![SeqNo(0), SeqNo(1), SeqNo(2)]
+        );
+        assert_eq!(w.len(), 7);
+        w.check_invariants().unwrap();
+        // Shed the newest two (positions len-2..len).
+        let newest = w.drain_range(5..7);
+        assert_eq!(
+            newest.iter().map(|t| t.seq).collect::<Vec<_>>(),
+            vec![SeqNo(8), SeqNo(9)]
+        );
+        w.check_invariants().unwrap();
+        // The drained tuples are gone from the index too.
+        let mut hits = Vec::new();
+        w.probe_matches(0, false, |_| true, |m| hits.push(m.seq));
+        assert_eq!(hits, vec![SeqNo(4)]);
+        // An empty range is a no-op.
+        assert!(w.drain_range(2..2).is_empty());
+        assert_eq!(w.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "in-expedition")]
+    fn drain_range_rejects_live_expeditions() {
+        let mut w = LocalWindow::new();
+        w.insert(t(1, 1), true);
+        let _ = w.drain_range(0..1);
     }
 
     #[test]

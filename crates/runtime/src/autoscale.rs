@@ -78,6 +78,10 @@ struct ControllerShared {
 pub(crate) struct Controller {
     shared: Arc<ControllerShared>,
     handle: JoinHandle<AutoscaleReport>,
+    /// The wall-clock sampling period; the driver slices its pacing waits
+    /// at this granularity so a desired width published on a silent
+    /// stream is actuated on the next tick instead of the next event.
+    tick: Duration,
 }
 
 impl Controller {
@@ -108,7 +112,16 @@ impl Controller {
         let thread_shared = Arc::clone(&shared);
         let handle =
             std::thread::spawn(move || controller_loop(thread_shared, bus, clock, policy, tick));
-        Controller { shared, handle }
+        Controller {
+            shared,
+            handle,
+            tick,
+        }
+    }
+
+    /// The controller's wall-clock sampling period.
+    pub(crate) fn tick(&self) -> Duration {
+        self.tick
     }
 
     /// The desired width, if it differs from `current` (the driver's
@@ -277,6 +290,7 @@ mod tests {
                 min_nodes: 2,
                 max_nodes: 8,
                 step: 1,
+                ..AutoscalePolicy::default()
             },
             sample_interval: TimeDelta::from_millis(50),
         };
@@ -337,6 +351,7 @@ mod tests {
                 min_nodes: 1,
                 max_nodes: 8,
                 step: 1,
+                ..AutoscalePolicy::default()
             },
             sample_interval: TimeDelta::from_millis(50),
         };
@@ -369,6 +384,7 @@ mod tests {
                 min_nodes: 1,
                 max_nodes: 8,
                 step: 1,
+                ..AutoscalePolicy::default()
             },
             sample_interval: TimeDelta::from_millis(50),
         };

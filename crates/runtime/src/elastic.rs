@@ -65,8 +65,8 @@
 use crate::autoscale::{AutoscaleOptions, Controller};
 use crate::channel::{bounded, unbounded, Receiver, Sender, WaitSet};
 use crate::exec::{
-    spawn_collector, CollectorConfig, EntryState, InFlight, ScaleConfirm, StreamClock, Worker,
-    WorkerCommand, WorkerHandle, WorkerShared,
+    spawn_collector, CensusReport, CollectorConfig, EntryState, InFlight, ScaleConfirm,
+    StreamClock, Worker, WorkerCommand, WorkerHandle, WorkerShared,
 };
 use crate::metrics::MetricsBus;
 use crate::options::{Pacing, PipelineOptions};
@@ -77,6 +77,7 @@ use llhj_core::metrics::AutoscaleReport;
 use llhj_core::node::PipelineNode;
 use llhj_core::predicate::JoinPredicate;
 use llhj_core::punctuation::{HighWaterMarks, OutputItem};
+use llhj_core::rebalance::{EdgeTransfer, MigrationConstraint, RedistributionPlan};
 use llhj_core::result::TimedResult;
 use llhj_core::stats::{LatencyPoint, LatencySummary, NodeCounters};
 use llhj_core::time::Timestamp;
@@ -134,6 +135,32 @@ where
     })
 }
 
+/// A [`NodeFactory`] producing original handshake join nodes with
+/// age-based flow — the exact configuration (with `batch_size = 1`) under
+/// which HSJ reproduces the oracle result set.  Elastic since the capacity
+/// renegotiation refactor: resizes redistribute under the stream-monotone
+/// constraint and migrated segments are installed with matching.
+pub fn hsj_age_factory<R, S, P>(
+    window_r: llhj_core::time::TimeDelta,
+    window_s: llhj_core::time::TimeDelta,
+    predicate: P,
+) -> NodeFactory<R, S>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+{
+    Arc::new(move |id, nodes| {
+        Box::new(llhj_core::node_hsj::HsjNode::with_age_flow(
+            id,
+            nodes,
+            window_r,
+            window_s,
+            predicate.clone(),
+        ))
+    })
+}
+
 /// The elastic control path: resize a live pipeline.
 ///
 /// Every method fences the pipeline (drains all in-flight frames), runs
@@ -186,7 +213,7 @@ impl ScalePlan {
 }
 
 /// One completed reconfiguration, for the outcome's resize log.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResizeEvent {
     /// Stream time at which the fence completed.
     pub at: Timestamp,
@@ -194,10 +221,18 @@ pub struct ResizeEvent {
     pub from_nodes: usize,
     /// Chain width after the resize.
     pub to_nodes: usize,
-    /// Window tuples migrated between neighbours (0 for growth).
+    /// Window tuples the retirement handoff moved into the surviving
+    /// boundary (0 for growth).
     pub migrated_tuples: usize,
+    /// Window-tuple hops the chain-wide redistribution performed after
+    /// the width change (a tuple crossing two edges counts twice).
+    pub rebalanced_tuples: usize,
+    /// Per-node stored-window census `(|WR_k|, |WS_k|)` immediately after
+    /// the redistribution, indexed by node id — what the balance
+    /// assertions of the conformance suite read.
+    pub residence_after: Vec<(usize, usize)>,
     /// Wall-clock duration of the whole reconfiguration (fence, handoff,
-    /// rewire).
+    /// rewire, redistribution).
     pub fence_wall_micros: u64,
 }
 
@@ -272,6 +307,9 @@ where
     predicate: P,
     policy: H,
     factory: NodeFactory<R, S>,
+    /// The node type's migration semantics, probed from the factory once:
+    /// the redistribution planner clamps flows the node type forbids.
+    constraint: MigrationConstraint,
     options: PipelineOptions,
     workers: Vec<WorkerHandle<R, S>>,
     entry: EntryState<R, S>,
@@ -351,10 +389,12 @@ where
         let left_tx = ltr_tx[0].take().expect("entry channel");
         let right_tx = rtl_tx[n - 1].take().expect("entry channel");
 
+        let constraint = factory(0, 1).migration_constraint();
         let mut pipeline = ElasticPipeline {
             predicate: predicate.clone(),
             policy: policy.clone(),
             factory,
+            constraint,
             workers: Vec::with_capacity(n),
             entry: EntryState::new(left_tx, right_tx),
             in_flight,
@@ -539,7 +579,21 @@ where
     /// owns its entry buffers, so it plays that role itself — a stream
     /// that goes silent mid-run still cannot hold an assembled frame
     /// beyond the interval.
-    fn pace_until(&mut self, at: Timestamp, cancel: &crate::channel::CancelToken) -> bool {
+    ///
+    /// With a `controller` attached the wait also *actuates* the
+    /// auto-scaler: the slice additionally caps at the controller's
+    /// sampling tick, and every slice applies a newly published desired
+    /// width through the usual fenced protocol.  This is what makes the
+    /// closed loop converge on a *silent* stream — a desired resize
+    /// published during an arrival gap lands on the next tick instead of
+    /// waiting for traffic to resume (fencing an idle chain is nearly
+    /// free: there is nothing in flight to drain).
+    fn pace_until(
+        &mut self,
+        at: Timestamp,
+        cancel: &crate::channel::CancelToken,
+        controller: Option<&Controller>,
+    ) -> bool {
         if !matches!(self.options.pacing, Pacing::RealTime { .. }) {
             return false;
         }
@@ -547,11 +601,22 @@ where
             .options
             .stream_to_wall(at.saturating_since(Timestamp::ZERO));
         let deadline = self.started + target;
-        let slice = self
+        let floor = Duration::from_micros(50);
+        let flush_slice = self
             .options
             .flush_interval
-            .map(|i| (self.options.stream_to_wall(i) / 2).max(Duration::from_micros(50)));
+            .map(|i| (self.options.stream_to_wall(i) / 2).max(floor));
+        let tick_slice = controller.map(|c| c.tick().max(floor));
+        let slice = match (flush_slice, tick_slice) {
+            (Some(f), Some(t)) => Some(f.min(t)),
+            (s, None) | (None, s) => s,
+        };
         loop {
+            if let Some(controller) = controller {
+                if let Some(width) = controller.desired_if_changed(self.nodes()) {
+                    self.scale_to(width);
+                }
+            }
             let now = Instant::now();
             if now >= deadline {
                 return false;
@@ -582,7 +647,7 @@ where
                 let target = step.target_nodes;
                 self.scale_to(target);
             }
-            if cancel.is_cancelled() || self.pace_until(event.at, &cancel) {
+            if cancel.is_cancelled() || self.pace_until(event.at, &cancel, None) {
                 self.cancelled = true;
                 break;
             }
@@ -603,9 +668,12 @@ where
 
     /// Replays a driver schedule with the **closed loop** engaged: an
     /// [`AutoscaleOptions`] controller thread samples the metrics bus and
-    /// publishes a desired width; the driver applies it between events
-    /// through the same fence+handoff protocol a [`ScalePlan`] uses.
-    /// Returns the controller's report (every sample and resize decision).
+    /// publishes a desired width; the driver applies it through the same
+    /// fence+handoff protocol a [`ScalePlan`] uses — before every event,
+    /// *and* on every controller tick inside an arrival gap (the pacing
+    /// wait actuates), so the width converges while the stream is idle
+    /// too.  Returns the controller's report (every sample and resize
+    /// decision).
     ///
     /// Requires real-time pacing: the loop chases an observed arrival
     /// rate, which an unpaced replay (stream time decoupled from wall
@@ -628,10 +696,7 @@ where
         );
         let cancel = self.options.cancel.clone().unwrap_or_default();
         for event in schedule.events() {
-            if let Some(target) = controller.desired_if_changed(self.nodes()) {
-                self.scale_to(target);
-            }
-            if cancel.is_cancelled() || self.pace_until(event.at, &cancel) {
+            if cancel.is_cancelled() || self.pace_until(event.at, &cancel, Some(&controller)) {
                 self.cancelled = true;
                 break;
             }
@@ -684,6 +749,7 @@ where
         let (new_right_tx, new_right_rx) = bounded(self.options.channel_capacity);
         new_right_rx.set_waiter(&boundary.waitset);
         let _ = boundary.commands().send(WorkerCommand::Absorb {
+            from: llhj_core::message::Direction::Right,
             stall,
             done: done_tx.clone(),
         });
@@ -786,6 +852,73 @@ where
         self.confirm(&done_rx, current, "grow confirmations");
         self.entry.right.set_sender(new_right_tx);
     }
+
+    /// Takes the per-node stored-window census `(|WR_k|, |WS_k|)` of the
+    /// live chain.  Only meaningful while fenced (the planner's input must
+    /// not race frame processing).
+    fn census(&self) -> Vec<(usize, usize)> {
+        let (done_tx, done_rx) = unbounded();
+        for handle in &self.workers {
+            let _ = handle.commands().send(WorkerCommand::Census {
+                done: done_tx.clone(),
+            });
+        }
+        let mut census = vec![(0, 0); self.workers.len()];
+        for _ in 0..self.workers.len() {
+            match done_rx.recv_timeout(PROTOCOL_STEP_TIMEOUT) {
+                Ok(CensusReport { node, wr, ws }) => census[node] = (wr, ws),
+                Err(_) => panic!("fence protocol stalled waiting for census replies"),
+            }
+        }
+        census
+    }
+
+    /// Executes one redistribution hop: the shedding worker exports the
+    /// plan's slice and hands it over the existing neighbour channel; the
+    /// absorbing worker installs it (matching where the node type requires
+    /// it) and acks.  The control plane waits for both confirmations, so
+    /// transfers execute strictly in plan order — which is what makes the
+    /// cascading multi-hop flows feasible and the runtime's placement
+    /// identical to the simulator's.
+    fn execute_transfer(&mut self, transfer: EdgeTransfer) -> usize {
+        let (done_tx, done_rx) = unbounded();
+        let direction = transfer.direction();
+        let _ = self.workers[transfer.from]
+            .commands()
+            .send(WorkerCommand::Shed {
+                direction,
+                r: transfer.r,
+                s: transfer.s,
+                done: done_tx.clone(),
+            });
+        let _ = self.workers[transfer.to]
+            .commands()
+            .send(WorkerCommand::Absorb {
+                from: direction.opposite(),
+                stall: self.migration_stall,
+                done: done_tx,
+            });
+        self.confirm(&done_rx, 2, "redistribution transfer confirmations")
+    }
+
+    /// The chain-wide redistribution pass every resize ends with: census
+    /// the (still fenced) chain, compute the balanced
+    /// [`RedistributionPlan`] under the node type's constraint, route the
+    /// plan's segments hop by hop along the existing channels, and return
+    /// the moved-tuple count plus the post-redistribution census.
+    fn rebalance(&mut self) -> (usize, Vec<(usize, usize)>) {
+        let census = self.census();
+        let plan = RedistributionPlan::balanced(&census, self.constraint);
+        if plan.is_noop() {
+            return (0, census);
+        }
+        let mut moved = 0;
+        for transfer in plan.transfers() {
+            moved += self.execute_transfer(transfer);
+        }
+        let after = self.census();
+        (moved, after)
+    }
 }
 
 impl<R, S, P, H> ScalePipeline for ElasticPipeline<R, S, P, H>
@@ -818,6 +951,11 @@ where
             self.grow_to(target);
             0
         };
+        // The chain is still fenced (injection paused, no data frame
+        // anywhere): spread the window state evenly across the new width
+        // before resuming, so the resized chain is warm immediately
+        // instead of after a window turnover.
+        let (rebalanced, residence_after) = self.rebalance();
         self.injector = Injector::new(self.predicate.clone(), self.policy.clone(), target);
         self.metrics.set_nodes(target);
         self.register_occupancy_probe();
@@ -826,6 +964,8 @@ where
             from_nodes: current,
             to_nodes: target,
             migrated_tuples: migrated,
+            rebalanced_tuples: rebalanced,
+            residence_after,
             fence_wall_micros: wall_start.elapsed().as_micros() as u64,
         });
     }
@@ -1172,24 +1312,82 @@ mod tests {
         );
     }
 
+    /// Every resize ends with the chain-wide redistribution: immediately
+    /// after a mid-run grow the stored windows are spread evenly across
+    /// the new width (within the integer rounding of the balanced
+    /// targets), not concentrated on the old nodes.
     #[test]
-    #[should_panic(expected = "state migration")]
-    fn elastic_refuses_nodes_without_migration_support() {
-        use llhj_core::node_hsj::{HsjNode, SegmentCapacity};
-        let factory: NodeFactory<u32, u32> = Arc::new(|id, nodes| {
-            Box::new(HsjNode::with_capacity(
-                id,
-                nodes,
-                SegmentCapacity { r: 16, s: 16 },
-                FnPredicate(|r: &u32, s: &u32| r == s),
-            ))
-        });
-        let _ = ElasticPipeline::new(
-            1,
-            factory,
+    fn grow_rebalances_residence_immediately() {
+        let sched = schedule(300, 150);
+        let plan = ScalePlan::new(vec![ScaleStep {
+            after_events: sched.events().len() / 2,
+            target_nodes: 4,
+        }]);
+        let outcome = run_elastic_pipeline(
+            2,
+            llhj_factory(eq_pred()),
             eq_pred(),
             RoundRobin,
-            PipelineOptions::default(),
+            &sched,
+            &plan,
+            &paced_opts(8),
         );
+        let resize = &outcome.resize_log[0];
+        assert!(
+            resize.rebalanced_tuples > 0,
+            "a loaded grow must move window state into the new nodes"
+        );
+        assert_eq!(resize.residence_after.len(), 4);
+        let totals: Vec<usize> = resize
+            .residence_after
+            .iter()
+            .map(|&(wr, ws)| wr + ws)
+            .collect();
+        let (min, max) = (*totals.iter().min().unwrap(), *totals.iter().max().unwrap());
+        assert!(
+            max - min <= 2,
+            "post-grow residence must be balanced to the rounding unit, got {totals:?}"
+        );
+        assert!(min > 0, "every node holds state right after the rebalance");
+    }
+
+    /// The original handshake join deploys on the elastic pipeline since
+    /// the capacity renegotiation refactor (it was the one non-elastic
+    /// node type for two PRs).
+    #[test]
+    fn hsj_pipeline_is_elastic_and_exact_at_batch_one() {
+        use llhj_core::time::TimeDelta;
+        // Tail traffic keeps the streams flowing so every real pair
+        // physically meets before the run ends (HSJ matches pairs only
+        // when they cross).
+        let mk = |sentinel: u32| {
+            let real = (0..200u64).map(move |i| (Timestamp::from_millis(i), (i % 13) as u32));
+            let tail =
+                (0..110u64).map(move |i| (Timestamp::from_millis(200 + i), sentinel + i as u32));
+            real.chain(tail).collect::<Vec<_>>()
+        };
+        let w = WindowSpec::Time(TimeDelta::from_millis(100));
+        let sched = DriverSchedule::build(mk(1_000_000), mk(2_000_000), w, w);
+        let oracle = run_kang(eq_pred(), &sched);
+        let plan = ScalePlan::new(vec![ScaleStep {
+            after_events: sched.events().len() / 2,
+            target_nodes: 4,
+        }]);
+        let outcome = run_elastic_pipeline(
+            2,
+            super::hsj_age_factory(
+                TimeDelta::from_millis(100),
+                TimeDelta::from_millis(100),
+                eq_pred(),
+            ),
+            eq_pred(),
+            RoundRobin,
+            &sched,
+            &plan,
+            &paced_opts(1),
+        );
+        assert_eq!(outcome.result_keys(), oracle.result_keys());
+        assert_eq!(outcome.nodes, 4);
+        assert_eq!(outcome.resize_log.len(), 1);
     }
 }

@@ -30,9 +30,10 @@
 use crate::channel::{unbounded, Receiver, Sender, WaitSet};
 use crate::metrics::MetricsBus;
 use crate::options::Pacing;
-use llhj_core::message::{Handoff, LeftToRight, MessageBatch, NodeOutput, RightToLeft};
+use llhj_core::message::{Direction, Handoff, LeftToRight, MessageBatch, NodeOutput, RightToLeft};
 use llhj_core::node::PipelineNode;
 use llhj_core::punctuation::{HighWaterMarks, OutputItem, Punctuation};
+use llhj_core::rebalance::shed_ranges;
 use llhj_core::result::{ResultTuple, TimedResult};
 use llhj_core::stats::{LatencySeries, LatencySummary, NodeCounters};
 use llhj_core::time::Timestamp;
@@ -315,11 +316,26 @@ pub(crate) enum WorkerCommand<R, S> {
         to_right: Option<Option<Sender<Frame<R, S>>>>,
         done: Sender<ScaleConfirm>,
     },
-    /// Absorb one migrated segment from the right input, ack it, confirm.
+    /// Absorb one migrated segment arriving from the `from` side, install
+    /// it (matching where the node type requires it), ack it, confirm.
     Absorb {
+        from: Direction,
         stall: Option<Duration>,
         done: Sender<ScaleConfirm>,
     },
+    /// Shed the plan-assigned window slice towards `direction`: export the
+    /// range, hand it over as a [`Handoff::Segment`], await the ack,
+    /// confirm.  One half of a redistribution edge transfer (the
+    /// neighbour executes the matching [`WorkerCommand::Absorb`]).
+    Shed {
+        direction: Direction,
+        r: usize,
+        s: usize,
+        done: Sender<ScaleConfirm>,
+    },
+    /// Report the node's stored-window census `(|WR_k|, |WS_k|)` — the
+    /// input the control plane feeds the redistribution planner.
+    Census { done: Sender<CensusReport> },
     /// Export local state, hand it to the left neighbour, await the ack,
     /// exit the thread.
     Retire {
@@ -331,6 +347,13 @@ pub(crate) enum WorkerCommand<R, S> {
 /// A worker's confirmation that it executed a scale command.
 pub(crate) struct ScaleConfirm {
     pub(crate) migrated_tuples: usize,
+}
+
+/// A worker's reply to [`WorkerCommand::Census`].
+pub(crate) struct CensusReport {
+    pub(crate) node: usize,
+    pub(crate) wr: usize,
+    pub(crate) ws: usize,
 }
 
 /// Shared context every worker holds.
@@ -641,10 +664,31 @@ where
                 let _ = done.send(ScaleConfirm { migrated_tuples: 0 });
                 false
             }
-            WorkerCommand::Absorb { stall, done } => {
-                let migrated = self.absorb_segment(stall);
+            WorkerCommand::Absorb { from, stall, done } => {
+                let migrated = self.absorb_segment(from, stall);
                 let _ = done.send(ScaleConfirm {
                     migrated_tuples: migrated,
+                });
+                false
+            }
+            WorkerCommand::Shed {
+                direction,
+                r,
+                s,
+                done,
+            } => {
+                self.shed_segment(direction, r, s);
+                // The absorbing side reports the moved tuples; a zero here
+                // keeps the control plane's per-transfer sum single-counted.
+                let _ = done.send(ScaleConfirm { migrated_tuples: 0 });
+                false
+            }
+            WorkerCommand::Census { done } => {
+                let (wr, ws) = self.node.window_census();
+                let _ = done.send(CensusReport {
+                    node: self.id,
+                    wr,
+                    ws,
                 });
                 false
             }
@@ -653,7 +697,7 @@ where
                 stall,
             } => {
                 if absorb_first {
-                    self.absorb_segment(stall);
+                    self.absorb_segment(Direction::Right, stall);
                 }
                 let segment = self
                     .node
@@ -672,21 +716,27 @@ where
                     "node {}: segment handoff failed — left neighbour gone",
                     self.id
                 );
-                self.await_ack_from_left();
+                self.await_ack(Direction::Left);
                 true
             }
         }
     }
 
-    /// Receives one migrated segment from the right input (or takes the
-    /// stashed one), installs it and acknowledges to the right.  Returns
-    /// the number of migrated tuples.
-    fn absorb_segment(&mut self, stall: Option<Duration>) -> usize {
+    /// Receives one migrated segment from the `from` input (or takes the
+    /// stashed one), installs it — emitting any results the installation
+    /// produces (the original handshake join matches the still-unmet
+    /// direction of a migrated segment) — and acknowledges back towards
+    /// `from`.  Returns the number of migrated tuples.
+    fn absorb_segment(&mut self, from: Direction, stall: Option<Duration>) -> usize {
         let handoff = match self.pending_segment.take() {
             Some(h) => h,
-            None => self.recv_handoff(false),
+            None => self.recv_handoff(from),
         };
-        let Handoff::Segment { from, segment } = handoff else {
+        let Handoff::Segment {
+            from: sender,
+            segment,
+        } = handoff
+        else {
             unreachable!("ack filtered by recv_handoff / stash assertion");
         };
         if let Some(stall) = stall {
@@ -695,40 +745,87 @@ where
             std::thread::sleep(stall);
         }
         let migrated = segment.len();
+        let mut out: NodeOutput<R, S, ResultTuple<R, S>> = NodeOutput::new();
         self.node
-            .import_segment(segment)
+            .import_segment(segment, from, &mut out)
             .expect("elastic workers are spawned with migration-capable nodes");
-        let to_right = self
-            .to_right
+        debug_assert!(
+            out.to_left.is_empty() && out.to_right.is_empty(),
+            "segment installation must not emit pipeline messages"
+        );
+        if !out.results.is_empty() {
+            let detected_at = self.shared.clock.now();
+            for result in out.results.drain(..) {
+                let _ = self
+                    .shared
+                    .results
+                    .send(TimedResult::new(result, detected_at));
+            }
+        }
+        let back = match from {
+            Direction::Left => &self.to_left,
+            Direction::Right => &self.to_right,
+        };
+        let back = back
             .as_ref()
-            .expect("an absorbing node has the retiring neighbour to its right");
-        let _ = to_right.send(MessageBatch::Handoff(Handoff::Ack { to: from }));
+            .expect("an absorbing node has the shedding neighbour on the segment side");
+        let _ = back.send(MessageBatch::Handoff(Handoff::Ack { to: sender }));
         migrated
     }
 
-    /// Blocks until the left neighbour acknowledges the segment this node
-    /// handed over.
-    fn await_ack_from_left(&mut self) {
-        match self.recv_handoff(true) {
+    /// Exports the plan-assigned window slice and hands it towards
+    /// `direction`, blocking until the receiving neighbour acknowledges
+    /// the installation — the exactly-once-residence guarantee of a
+    /// redistribution hop is the same segment-then-ack protocol a
+    /// retirement uses.
+    fn shed_segment(&mut self, direction: Direction, r: usize, s: usize) {
+        let census = self.node.window_census();
+        let (range_r, range_s) = shed_ranges(census, r, s, direction);
+        let segment = self
+            .node
+            .export_segment_range(range_r, range_s)
+            .expect("elastic workers are spawned with migration-capable nodes");
+        let tx = match direction {
+            Direction::Left => &self.to_left,
+            Direction::Right => &self.to_right,
+        };
+        let tx = tx
+            .as_ref()
+            .expect("the plan only sheds across existing edges");
+        let frame = MessageBatch::Handoff(Handoff::Segment {
+            from: self.id,
+            segment,
+        });
+        assert!(
+            tx.send(frame).is_ok(),
+            "node {}: redistribution handoff failed — neighbour gone",
+            self.id
+        );
+        self.await_ack(direction);
+    }
+
+    /// Blocks until the neighbour on `side` acknowledges the segment this
+    /// node handed over.
+    fn await_ack(&mut self, side: Direction) {
+        match self.recv_handoff(side) {
             Handoff::Ack { to } => {
                 debug_assert_eq!(to, self.id, "ack routed to the wrong node");
             }
             Handoff::Segment { .. } => {
-                unreachable!("a retiring node that already exported cannot absorb")
+                unreachable!("a node awaiting an ack cannot be handed a segment")
             }
         }
     }
 
     /// Blocks (through the wait set) until a handoff frame arrives on the
-    /// left (`from_left`) or right input.  Only valid while fenced: any
-    /// data frame here is a protocol violation.
-    fn recv_handoff(&mut self, from_left: bool) -> Handoff<R, S> {
+    /// given input.  Only valid while fenced: any data frame here is a
+    /// protocol violation.
+    fn recv_handoff(&mut self, side: Direction) -> Handoff<R, S> {
         loop {
             let seen = self.waitset.epoch();
-            let rx = if from_left {
-                &self.left_rx
-            } else {
-                &self.right_rx
+            let rx = match side {
+                Direction::Left => &self.left_rx,
+                Direction::Right => &self.right_rx,
             };
             match rx.try_recv() {
                 Ok(MessageBatch::Handoff(handoff)) => return handoff,

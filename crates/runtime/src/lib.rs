@@ -61,8 +61,8 @@ pub mod pipeline;
 pub use autoscale::{run_autoscaled_pipeline, AutoscaleOptions};
 pub use channel::CancelToken;
 pub use elastic::{
-    llhj_factory, llhj_indexed_factory, run_elastic_pipeline, ElasticOutcome, ElasticPipeline,
-    NodeFactory, ResizeEvent, ScalePipeline, ScalePlan, ScaleStep,
+    hsj_age_factory, llhj_factory, llhj_indexed_factory, run_elastic_pipeline, ElasticOutcome,
+    ElasticPipeline, NodeFactory, ResizeEvent, ScalePipeline, ScalePlan, ScaleStep,
 };
 pub use metrics::MetricsBus;
 pub use options::{Pacing, PipelineOptions};

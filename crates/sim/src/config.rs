@@ -57,6 +57,12 @@ pub struct SimConfig {
     /// Bucket size of the latency time series (the paper uses 200,000
     /// output tuples per data point; scaled runs use smaller buckets).
     pub latency_bucket: u64,
+    /// Whether an elastic resize ends with the chain-wide redistribution
+    /// pass (balanced residence immediately) or leaves placement to the
+    /// natural window turnover.  Defaults to `true` — `false` exists for
+    /// the `bench_rebalance` baseline that measures what the
+    /// redistribution buys.
+    pub rebalance_on_resize: bool,
 }
 
 impl SimConfig {
@@ -73,6 +79,7 @@ impl SimConfig {
             window_s: WindowSpec::time_secs(10),
             expected_rate_per_sec: 1000.0,
             latency_bucket: 10_000,
+            rebalance_on_resize: true,
         }
     }
 

@@ -28,7 +28,9 @@ use crate::cost::SimNanos;
 use crate::report::SimReport;
 use llhj_core::driver::{DriverSchedule, Injector, StreamEvent};
 use llhj_core::homing::HomePolicy;
-use llhj_core::message::{LeftToRight, MessageBatch, NodeOutput, RightToLeft, WindowSegment};
+use llhj_core::message::{
+    Direction, LeftToRight, MessageBatch, NodeOutput, RightToLeft, WindowSegment,
+};
 use llhj_core::metrics::{
     AutoscalePolicy, AutoscaleReport, LatencyEwma, MetricsSample, PolicyState, ResizeDecision,
     DEFAULT_LATENCY_ALPHA,
@@ -36,6 +38,7 @@ use llhj_core::metrics::{
 use llhj_core::node::PipelineNode;
 use llhj_core::predicate::JoinPredicate;
 use llhj_core::punctuation::{HighWaterMarks, OutputItem, Punctuation};
+use llhj_core::rebalance::{shed_ranges, RedistributionPlan};
 use llhj_core::result::TimedResult;
 use llhj_core::stats::{LatencySeries, LatencySummary};
 use llhj_core::time::{TimeDelta, Timestamp};
@@ -52,7 +55,7 @@ fn ns_to_ts(ns: SimNanos) -> Timestamp {
 }
 
 /// One reconfiguration in the elastic simulation's log.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimResizeEvent {
     /// Virtual time at which the fence completed the drain.
     pub at_ns: SimNanos,
@@ -60,8 +63,16 @@ pub struct SimResizeEvent {
     pub from_nodes: usize,
     /// Chain width after.
     pub to_nodes: usize,
-    /// Window tuples migrated between neighbours (0 for growth).
+    /// Window tuples the retirement handoff moved into the surviving
+    /// boundary (0 for growth).
     pub migrated_tuples: usize,
+    /// Window-tuple hops the chain-wide redistribution performed after
+    /// the width change (a tuple crossing two edges counts twice) —
+    /// mirrors the runtime's `ResizeEvent::rebalanced_tuples`.
+    pub rebalanced_tuples: usize,
+    /// Per-node stored-window census `(|WR_k|, |WS_k|)` immediately after
+    /// the redistribution, indexed by node id.
+    pub residence_after: Vec<(usize, usize)>,
     /// Virtual duration of the handoff (fence end − drain end).
     pub fence_ns: SimNanos,
 }
@@ -293,6 +304,30 @@ where
         self.punctuation_count += 1;
     }
 
+    /// Records the results a migrated-segment installation produced (the
+    /// original handshake join matches the still-unmet direction of every
+    /// segment), detected at the given virtual instant.
+    fn record_migration_results(
+        &mut self,
+        out: &mut NodeOutput<R, S, llhj_core::result::ResultTuple<R, S>>,
+        at_ns: SimNanos,
+    ) {
+        debug_assert!(
+            out.to_left.is_empty() && out.to_right.is_empty(),
+            "segment installation must not emit pipeline messages"
+        );
+        let detected_at = ns_to_ts(at_ns);
+        for result in out.results.drain(..) {
+            let timed = TimedResult::new(result, detected_at);
+            self.latency.record(timed.latency());
+            self.series.record(detected_at, timed.latency());
+            if self.config.punctuate {
+                self.pending.push(timed.clone());
+            }
+            self.results.push(timed);
+        }
+    }
+
     /// Runs the fenced reconfiguration to `target` nodes, charging the
     /// handoff the same way the runtime's protocol serialises it.
     fn resize(
@@ -310,30 +345,36 @@ where
         let mut fence_end = fence_start;
         let hop = self.config.cost.hop_ns();
         let mut migrated_total = 0usize;
+        let mut out: NodeOutput<R, S, llhj_core::result::ResultTuple<R, S>> = NodeOutput::new();
 
         if target < current {
             // The neighbour chain resolves serially, rightmost first: each
             // retiree merges what its right neighbour handed down, then
             // hands the union left; each hop is one segment frame (frame
-            // reception + one message per tuple, charged to the receiver)
-            // followed by an ack frame back.
+            // reception + one message per tuple, plus any install-time
+            // matching work, charged to the receiver) followed by an ack
+            // frame back.
             let mut carried: WindowSegment<R, S> = WindowSegment::empty();
             for k in (target - 1..current).rev() {
                 if k + 1 < current {
                     // Node k receives the segment handed down by node k+1.
                     let tuples = carried.len();
                     migrated_total = migrated_total.max(tuples);
-                    let service = self
-                        .config
-                        .cost
-                        .frame_service_ns(tuples as u64, 0, 0, false);
+                    out.clear();
+                    self.nodes[k]
+                        .import_segment(std::mem::take(&mut carried), Direction::Right, &mut out)
+                        .expect("elastic simulation requires migration-capable nodes");
+                    let service = self.config.cost.frame_service_ns(
+                        tuples as u64,
+                        out.comparisons,
+                        out.results.len() as u64,
+                        false,
+                    );
                     fence_end += hop + service;
                     self.busy_ns[k] += service;
                     self.frames_delivered += 1;
                     self.messages_delivered += tuples as u64;
-                    self.nodes[k]
-                        .import_segment(std::mem::take(&mut carried))
-                        .expect("elastic simulation requires migration-capable nodes");
+                    self.record_migration_results(&mut out, fence_end);
                     // Ack back to node k+1: one frame, one hop.
                     let ack = self.config.cost.frame_service_ns(1, 0, 0, false);
                     fence_end += hop + ack;
@@ -363,6 +404,56 @@ where
                 .expect("elastic simulation requires migration-capable nodes");
         }
         self.width = target;
+
+        // Chain-wide redistribution: the same balanced plan the runtime
+        // computes from its worker census, executed on the same node
+        // state, so the two substrates land every tuple on the same node.
+        // Each hop charges one segment frame (reception + per-tuple
+        // message cost + install-time matching, to the receiver), one ack
+        // frame (to the shedder) and two hop latencies — per_frame_ns /
+        // per_message_ns × hop count, serialised like the runtime's
+        // one-transfer-at-a-time control plane.
+        let mut rebalanced = 0usize;
+        if self.config.rebalance_on_resize && target > 1 {
+            let census: Vec<(usize, usize)> =
+                self.nodes.iter().map(|n| n.window_census()).collect();
+            let plan = RedistributionPlan::balanced(&census, self.nodes[0].migration_constraint());
+            for transfer in plan.transfers() {
+                let direction = transfer.direction();
+                let (range_r, range_s) = shed_ranges(
+                    self.nodes[transfer.from].window_census(),
+                    transfer.r,
+                    transfer.s,
+                    direction,
+                );
+                let segment = self.nodes[transfer.from]
+                    .export_segment_range(range_r, range_s)
+                    .expect("elastic simulation requires migration-capable nodes");
+                let tuples = segment.len();
+                out.clear();
+                self.nodes[transfer.to]
+                    .import_segment(segment, direction.opposite(), &mut out)
+                    .expect("elastic simulation requires migration-capable nodes");
+                let service = self.config.cost.frame_service_ns(
+                    tuples as u64,
+                    out.comparisons,
+                    out.results.len() as u64,
+                    false,
+                );
+                fence_end += hop + service;
+                self.busy_ns[transfer.to] += service;
+                self.frames_delivered += 1;
+                self.messages_delivered += tuples as u64;
+                self.record_migration_results(&mut out, fence_end);
+                let ack = self.config.cost.frame_service_ns(1, 0, 0, false);
+                fence_end += hop + ack;
+                self.busy_ns[transfer.from] += ack;
+                rebalanced += tuples;
+            }
+        }
+        let residence_after: Vec<(usize, usize)> =
+            self.nodes.iter().map(|n| n.window_census()).collect();
+
         for k in 0..target {
             self.busy_until[k] = self.busy_until[k].max(fence_end);
         }
@@ -372,6 +463,8 @@ where
             from_nodes: current,
             to_nodes: target,
             migrated_tuples: migrated_total,
+            rebalanced_tuples: rebalanced,
+            residence_after,
             fence_ns: fence_end - fence_start,
         });
     }
@@ -418,12 +511,6 @@ where
 {
     assert!(config.nodes > 0, "pipeline needs at least one node");
     assert!(config.batch_size > 0, "batch size must be positive");
-    assert!(
-        matches!(config.algorithm, Algorithm::Llhj | Algorithm::LlhjIndexed),
-        "elastic simulation requires nodes that support state migration \
-         ({:?} does not)",
-        config.algorithm
-    );
 
     let factory = {
         let config = config.clone();
@@ -438,7 +525,16 @@ where
                     n,
                     predicate.clone(),
                 )),
-                Algorithm::Hsj => unreachable!("rejected above"),
+                // Elastic since the capacity renegotiation refactor: the
+                // flow policy renegotiates on renumbering and migrated
+                // segments install with matching (stream-monotone
+                // redistribution).
+                Algorithm::Hsj => Box::new(llhj_core::node_hsj::HsjNode::new(
+                    k,
+                    n,
+                    config.hsj_flow(),
+                    predicate.clone(),
+                )),
             }
         }
     };
@@ -805,6 +901,99 @@ mod tests {
         assert!(shrunk.resize_log[0].fence_ns > 0);
     }
 
+    /// Every resize ends with the chain-wide redistribution: right after
+    /// a mid-run grow the stored windows are spread to the balanced
+    /// targets; with the knob off, the grown nodes start cold and the old
+    /// nodes keep the whole window.
+    #[test]
+    fn grow_rebalances_residence_unless_disabled() {
+        let schedule = small_schedule();
+        let events = schedule.events().len();
+        let run = |rebalance: bool| {
+            let mut cfg = config(2);
+            cfg.rebalance_on_resize = rebalance;
+            run_elastic_simulation(&cfg, eq_pred(), RoundRobin, &schedule, &[(events / 2, 4)])
+        };
+        let balanced = run(true);
+        let resize = &balanced.resize_log[0];
+        assert!(resize.rebalanced_tuples > 0);
+        let totals: Vec<usize> = resize
+            .residence_after
+            .iter()
+            .map(|&(wr, ws)| wr + ws)
+            .collect();
+        assert_eq!(totals.len(), 4);
+        let (min, max) = (*totals.iter().min().unwrap(), *totals.iter().max().unwrap());
+        assert!(
+            max - min <= 2,
+            "post-grow residence must hit the balanced targets, got {totals:?}"
+        );
+
+        let cold = run(false);
+        let resize = &cold.resize_log[0];
+        assert_eq!(resize.rebalanced_tuples, 0);
+        assert_eq!(
+            resize.residence_after[2],
+            (0, 0),
+            "without the redistribution, grown nodes start cold"
+        );
+        // The result set is exact either way — the rebalance buys
+        // placement, never correctness.
+        assert_eq!(balanced.result_keys(), cold.result_keys());
+    }
+
+    /// The original handshake join is elastic in the simulator too:
+    /// seeded grow and shrink preserve byte-identical oracle equality
+    /// (migrated segments install with matching, the flow model
+    /// renegotiates on renumbering).
+    #[test]
+    fn elastic_hsj_matches_the_oracle_across_resizes() {
+        // The HSJ flushed-schedule discipline: one window length of
+        // never-matching tail traffic keeps the stream flowing so every
+        // real pair physically meets before the input ends.
+        let window_ms = 1_000u64;
+        let real = 200u64;
+        let flush = window_ms + 100;
+        let r: Vec<_> = (0..real)
+            .map(|i| (Timestamp::from_millis(i), (i % 20) as u32))
+            .chain((0..flush).map(|i| (Timestamp::from_millis(real + i), 1_000_000u32)))
+            .collect();
+        let s: Vec<_> = (0..real)
+            .map(|i| (Timestamp::from_millis(i), (i % 25) as u32))
+            .chain((0..flush).map(|i| (Timestamp::from_millis(real + i), 2_000_000u32)))
+            .collect();
+        let schedule =
+            DriverSchedule::build(r, s, WindowSpec::time_secs(1), WindowSpec::time_secs(1));
+        let oracle = run_kang(eq_pred(), &schedule);
+        let events = schedule.events().len();
+        let mut cfg = SimConfig::new(2, Algorithm::Hsj);
+        cfg.batch_size = 1;
+        cfg.window_r = WindowSpec::time_secs(1);
+        cfg.window_s = WindowSpec::time_secs(1);
+        cfg.latency_bucket = 1_000_000;
+        let report = run_elastic_simulation(
+            &cfg,
+            eq_pred(),
+            RoundRobin,
+            &schedule,
+            &[(events / 3, 4), (2 * events / 3, 2)],
+        );
+        assert_eq!(
+            report.result_keys(),
+            oracle.result_keys(),
+            "elastic HSJ must stay byte-identical to the oracle"
+        );
+        assert_eq!(report.resize_log.len(), 2);
+        // The monotone constraint still lets the R side spread right on
+        // the grow.
+        let grow = &report.resize_log[0];
+        assert!(
+            grow.residence_after.iter().skip(2).any(|&(wr, _)| wr > 0),
+            "grown nodes must receive R state: {:?}",
+            grow.residence_after
+        );
+    }
+
     #[test]
     fn migration_cost_scales_with_the_migrated_state() {
         // A larger window migrates more tuples, so the fence must take
@@ -869,6 +1058,7 @@ mod tests {
             min_nodes: 2,
             max_nodes: 6,
             step: 2,
+            ..AutoscalePolicy::default()
         }
     }
 

@@ -66,10 +66,10 @@ pub use llhj_workload as workload;
 pub mod prelude {
     pub use llhj_core::prelude::*;
     pub use llhj_runtime::{
-        hsj_nodes, llhj_factory, llhj_indexed_factory, llhj_indexed_nodes, llhj_nodes,
-        run_autoscaled_pipeline, run_elastic_pipeline, run_pipeline, AutoscaleOptions, CancelToken,
-        ElasticOutcome, ElasticPipeline, MetricsBus, NodeFactory, Pacing, PipelineOptions,
-        ResizeEvent, RunOutcome, ScalePipeline, ScalePlan, ScaleStep,
+        hsj_age_factory, hsj_nodes, llhj_factory, llhj_indexed_factory, llhj_indexed_nodes,
+        llhj_nodes, run_autoscaled_pipeline, run_elastic_pipeline, run_pipeline, AutoscaleOptions,
+        CancelToken, ElasticOutcome, ElasticPipeline, MetricsBus, NodeFactory, Pacing,
+        PipelineOptions, ResizeEvent, RunOutcome, ScalePipeline, ScalePlan, ScaleStep,
     };
     pub use llhj_sim::{
         run_autoscaled_simulation, run_elastic_simulation, run_simulation, Algorithm,

@@ -55,6 +55,7 @@ fn policy() -> AutoscalePolicy {
         min_nodes: 2,
         max_nodes: 4,
         step: 2,
+        ..AutoscalePolicy::default()
     }
 }
 

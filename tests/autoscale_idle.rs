@@ -1,0 +1,109 @@
+//! Timer-driven autoscale actuation: the width converges while the
+//! stream is **silent**.
+//!
+//! The controller thread samples on wall-clock ticks, so it keeps
+//! publishing desired widths through an arrival gap — but until this PR
+//! the driver only *applied* a published width before injecting the next
+//! schedule event, so on a silent stream a desired resize sat unapplied
+//! until traffic resumed.  The driver's pacing wait is now sliced at the
+//! controller tick and actuates mid-gap (fencing an idle chain is nearly
+//! free: nothing is in flight to drain).
+//!
+//! The scenario: steady traffic on a 4-node chain, a mid-run **30 s
+//! arrival gap** (replayed at 100× speedup), then more traffic.  The gap
+//! drops the observed rate to zero, the policy decides a shrink to the
+//! floor, and the resize must land *inside* the gap — at a stream time
+//! strictly after the last pre-gap event and well before traffic resumes
+//! — while the result set stays byte-identical to the oracle.
+
+use handshake_join::prelude::*;
+
+fn gapped_schedule() -> llhj_core::DriverSchedule<u32, u32> {
+    // 200/s per stream for 1 s, 30 s of silence, 200/s for 0.5 s.
+    let mk = || {
+        let pre = (0..200u64).map(|i| (Timestamp::from_millis(i * 5), (i % 13) as u32));
+        let post = (0..100u64).map(|i| (Timestamp::from_millis(31_000 + i * 5), (i % 13) as u32));
+        pre.chain(post).collect::<Vec<_>>()
+    };
+    DriverSchedule::build(
+        mk(),
+        mk(),
+        WindowSpec::Time(TimeDelta::from_millis(500)),
+        WindowSpec::Time(TimeDelta::from_millis(500)),
+    )
+}
+
+#[test]
+fn silent_gap_shrinks_on_the_next_tick_not_on_the_next_event() {
+    let schedule = gapped_schedule();
+    let oracle = handshake_join::baselines::run_kang(eq_pred(), &schedule);
+
+    // 200/s over 4 nodes = 50/node: inside the band while traffic flows
+    // (low watermark 30), zero during the gap (underload).  After the
+    // shrink to the 2-node floor, the resumed 100/node is still in band.
+    let autoscale = AutoscaleOptions {
+        policy: AutoscalePolicy {
+            target_p99: TimeDelta::from_secs(30),
+            high_watermark: 400.0,
+            low_watermark: 30.0,
+            cooldown: TimeDelta::from_millis(1_000),
+            min_nodes: 2,
+            max_nodes: 4,
+            step: 2,
+            ..AutoscalePolicy::default()
+        },
+        sample_interval: TimeDelta::from_millis(500),
+    };
+    let opts = PipelineOptions {
+        batch_size: 4,
+        // 100x: the 30 s stream gap takes 0.3 s of wall time; the 500 ms
+        // sample interval ticks every 5 ms.
+        pacing: Pacing::RealTime { speedup: 100.0 },
+        ..Default::default()
+    };
+    let (outcome, report) = run_autoscaled_pipeline(
+        4,
+        llhj_factory(eq_pred()),
+        eq_pred(),
+        RoundRobin,
+        &schedule,
+        &autoscale,
+        &opts,
+    );
+
+    // Exact across the idle resize.
+    assert_eq!(outcome.result_keys(), oracle.result_keys());
+
+    // The shrink landed inside the gap: after the last pre-gap arrival
+    // (1 s) plus the expiry tail of its window, and with at least 20 of
+    // the 30 silent seconds still ahead — long before the next schedule
+    // event could have actuated it.
+    let shrink = outcome
+        .resize_log
+        .iter()
+        .find(|r| r.to_nodes < r.from_nodes)
+        .expect("the silent gap must shrink the chain");
+    assert!(
+        shrink.at > Timestamp::from_millis(1_000),
+        "shrink at {:?} precedes the gap",
+        shrink.at
+    );
+    assert!(
+        shrink.at < Timestamp::from_millis(11_000),
+        "shrink at {:?} waited for traffic to resume instead of landing \
+         on a controller tick inside the gap",
+        shrink.at
+    );
+    assert_eq!(outcome.nodes, 2, "the chain ends at the floor");
+    assert!(
+        report.decisions.iter().any(|d| d.to_nodes < d.from_nodes),
+        "the controller's report must carry the shrink decision"
+    );
+}
+
+fn eq_pred() -> FnPredicate<fn(&u32, &u32) -> bool> {
+    fn eq(r: &u32, s: &u32) -> bool {
+        r == s
+    }
+    FnPredicate(eq as fn(&u32, &u32) -> bool)
+}

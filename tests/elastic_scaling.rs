@@ -13,7 +13,19 @@
 //! * **punctuation monotonicity** of the emitted output stream;
 //! * **substrate agreement**: the discrete-event simulator, reconfigured
 //!   by the same plan, produces the same result set as the threaded
-//!   runtime.
+//!   runtime;
+//! * **immediate balance**: every resize ends with the chain-wide
+//!   redistribution, so the per-node residence recorded right after a
+//!   reconfiguration sits within 10% of the balanced share (LLHJ: both
+//!   stream sides; HSJ: the R side — its S side may only migrate
+//!   leftward under the stream-monotone constraint, so a right-end grow
+//!   leaves S to the flow policy).
+//!
+//! Since the capacity renegotiation refactor the sweeps cover **both**
+//! node types: the original handshake join runs at `batch_size = 1` with
+//! age-based flow (the configuration under which it reproduces the oracle
+//! exactly) and a flushed tail of never-matching traffic, because HSJ
+//! only reports a pair once the two tuples physically meet.
 //!
 //! The paced runs use windows that dwarf the reconfiguration fence (tens
 //! of milliseconds of wall time at most), matching the paper's setting
@@ -21,6 +33,7 @@
 
 use handshake_join::prelude::*;
 use llhj_core::punctuation::verify_punctuated_stream;
+use llhj_runtime::elastic::hsj_age_factory;
 use llhj_workload::WorkloadRng;
 
 fn band_schedule(seed: u64) -> llhj_core::DriverSchedule<RTuple, STuple> {
@@ -46,12 +59,86 @@ fn equi_schedule(seed: u64) -> llhj_core::DriverSchedule<RTuple, STuple> {
     )
 }
 
-fn paced_options() -> PipelineOptions {
+/// The band workload followed by one window length of never-matching tail
+/// traffic.  The original handshake join only reports a pair once the two
+/// tuples physically meet, which over a finite input is only guaranteed if
+/// the streams keep flowing for one more window length — exactly what a
+/// real, infinite stream provides.  Harmless for LLHJ and the oracle (the
+/// sentinels match nothing).
+fn flushed_band_schedule(seed: u64) -> llhj_core::DriverSchedule<RTuple, STuple> {
+    let workload = BandJoinWorkload::scaled(400.0, TimeDelta::from_millis(400), 220, seed);
+    let window = TimeDelta::from_millis(150);
+    let tail_from = Timestamp::from_millis(400);
+    let tail = |base: i32, sign: i32| {
+        (0..70u64).map(move |i| {
+            (
+                tail_from.saturating_add(TimeDelta::from_micros(i * 2_500)),
+                sign * (base + i as i32),
+            )
+        })
+    };
+    let mut r = workload.generate_r();
+    r.extend(tail(1_000_000, 1).map(|(ts, x)| (ts, RTuple::new(x, 1e6))));
+    let mut s = workload.generate_s();
+    s.extend(tail(1_000_000, -1).map(|(ts, a)| (ts, STuple::new(a, -1e6))));
+    llhj_core::DriverSchedule::build(r, s, WindowSpec::Time(window), WindowSpec::Time(window))
+}
+
+fn paced_options(batch_size: usize) -> PipelineOptions {
     PipelineOptions {
-        batch_size: 4,
+        batch_size,
         punctuate: true,
         pacing: Pacing::RealTime { speedup: 1.0 },
         ..Default::default()
+    }
+}
+
+/// Which residence balance the redistribution can promise for a node type.
+#[derive(Clone, Copy)]
+enum BalanceCheck {
+    /// LLHJ: placement is free, every resize lands on the balanced
+    /// targets for both stream sides.
+    TotalEveryResize,
+    /// HSJ: R may only migrate rightward, so only a grow out of a
+    /// balanced chain (the first resize of a grow-first plan) promises a
+    /// balanced R side.
+    RSideFirstGrow,
+}
+
+/// Asserts one resize's recorded post-redistribution residence is within
+/// 10% of the balanced share (with one tuple of integer-rounding slack).
+fn assert_balanced(label: &str, totals: &[usize]) {
+    let sum: usize = totals.iter().sum();
+    let mean = sum as f64 / totals.len() as f64;
+    // 10% of the balanced share, with two tuples of slack for the integer
+    // rounding of the per-side targets (each side rounds independently).
+    let slack = (0.1 * mean).max(2.0);
+    for (node, &t) in totals.iter().enumerate() {
+        assert!(
+            (t as f64 - mean).abs() <= slack,
+            "{label}: node {node} holds {t} tuples against a balanced share \
+             of {mean:.1} (all: {totals:?})"
+        );
+    }
+}
+
+/// One resize's `(from_nodes, to_nodes, residence_after)` record.
+type ResizeResidence = (usize, usize, Vec<(usize, usize)>);
+
+fn check_balance(label: &str, check: BalanceCheck, log: &[ResizeResidence]) {
+    match check {
+        BalanceCheck::TotalEveryResize => {
+            for (i, (_, _, residence)) in log.iter().enumerate() {
+                let totals: Vec<usize> = residence.iter().map(|&(wr, ws)| wr + ws).collect();
+                assert_balanced(&format!("{label} resize {i} (total)"), &totals);
+            }
+        }
+        BalanceCheck::RSideFirstGrow => {
+            let (from, to, residence) = &log[0];
+            assert!(to > from, "the HSJ sweeps grow first");
+            let wr: Vec<usize> = residence.iter().map(|&(wr, _)| wr).collect();
+            assert_balanced(&format!("{label} first grow (R side)"), &wr);
+        }
     }
 }
 
@@ -71,14 +158,17 @@ struct Conformance {
 
 /// Runs one elastic case on both substrates and checks every conformance
 /// property against the oracle.
+#[allow(clippy::too_many_arguments)]
 fn check_case<P>(
     label: &str,
     schedule: &llhj_core::DriverSchedule<RTuple, STuple>,
     predicate: P,
     factory: NodeFactory<RTuple, STuple>,
     algorithm: Algorithm,
+    batch_size: usize,
     initial_nodes: usize,
     plan_points: &[(usize, usize)],
+    balance: Option<BalanceCheck>,
 ) -> Conformance
 where
     P: JoinPredicate<RTuple, STuple> + Clone + Send + Sync + 'static,
@@ -107,7 +197,7 @@ where
         RoundRobin,
         schedule,
         &plan,
-        &paced_options(),
+        &paced_options(batch_size),
     );
     let keys = outcome.result_keys();
     assert_eq!(
@@ -135,7 +225,7 @@ where
 
     // The simulator, reconfigured by the same plan, agrees exactly.
     let mut cfg = SimConfig::new(initial_nodes, algorithm);
-    cfg.batch_size = 4;
+    cfg.batch_size = batch_size;
     cfg.window_r = WindowSpec::Time(TimeDelta::from_millis(150));
     cfg.window_s = WindowSpec::Time(TimeDelta::from_millis(150));
     cfg.expected_rate_per_sec = 400.0;
@@ -148,6 +238,24 @@ where
     );
     assert_eq!(sim.resize_log.len(), plan_points.len());
 
+    // Immediate balance: the residence recorded right after every
+    // reconfiguration — on both substrates, and they must agree on the
+    // placement exactly (same census, same plan, same slices).
+    if let Some(balance) = balance {
+        let runtime_log: Vec<ResizeResidence> = outcome
+            .resize_log
+            .iter()
+            .map(|r| (r.from_nodes, r.to_nodes, r.residence_after.clone()))
+            .collect();
+        let sim_log: Vec<ResizeResidence> = sim
+            .resize_log
+            .iter()
+            .map(|r| (r.from_nodes, r.to_nodes, r.residence_after.clone()))
+            .collect();
+        check_balance(&format!("{label} [runtime]"), balance, &runtime_log);
+        check_balance(&format!("{label} [sim]"), balance, &sim_log);
+    }
+
     Conformance {
         keys,
         resizes: plan_points.len(),
@@ -155,6 +263,8 @@ where
 }
 
 /// Band-join sweeps: grow 2→4 then shrink 4→2 at seeded random points.
+/// Every resize must leave the per-node residence on the balanced targets
+/// (both sides — LLHJ placement is free).
 #[test]
 fn band_join_grow_and_shrink_sweep_matches_the_oracle_exactly() {
     let mut total_resizes = 0;
@@ -169,13 +279,45 @@ fn band_join_grow_and_shrink_sweep_matches_the_oracle_exactly() {
             BandPredicate::default(),
             llhj_factory(BandPredicate::default()),
             Algorithm::Llhj,
+            4,
             2,
             &[(grow_at, 4), (shrink_at, 2)],
+            Some(BalanceCheck::TotalEveryResize),
         );
         assert!(!conformance.keys.is_empty());
         total_resizes += conformance.resizes;
     }
     assert!(total_resizes >= 8, "the sweep must cover ≥ 8 resize points");
+}
+
+/// The original handshake join sweeps, elastic since the capacity
+/// renegotiation refactor: seeded grow-then-shrink at `batch_size = 1`
+/// with age-based flow — byte-identical to the oracle, no duplicates,
+/// punctuation monotone, and the R side balanced within 10% immediately
+/// after the grow (S may only migrate leftward under the stream-monotone
+/// constraint, so a right-end grow leaves it to the flow policy).
+#[test]
+fn hsj_grow_and_shrink_sweep_matches_the_oracle_exactly() {
+    let window = TimeDelta::from_millis(150);
+    for case in 0..3u64 {
+        let mut rng = WorkloadRng::seed_from_u64(0xE1A5_71C4 + case);
+        let seed = rng.gen_range_u32(0, 9_999) as u64;
+        let schedule = flushed_band_schedule(seed);
+        // Resize inside the *real* traffic (the first ~64% of events), so
+        // the chain still holds window state when it moves.
+        let (grow_at, shrink_at) = resize_points(&mut rng, schedule.events().len() * 7 / 10);
+        check_case(
+            &format!("hsj case {case} (seed {seed}, grow@{grow_at}, shrink@{shrink_at})"),
+            &schedule,
+            BandPredicate::default(),
+            hsj_age_factory(window, window, BandPredicate::default()),
+            Algorithm::Hsj,
+            1,
+            2,
+            &[(grow_at, 4), (shrink_at, 2)],
+            Some(BalanceCheck::RSideFirstGrow),
+        );
+    }
 }
 
 /// Equi-join sweeps on *indexed* nodes: migration must also carry the
@@ -195,7 +337,9 @@ fn equi_join_sweep_with_indexed_nodes_matches_the_oracle_exactly() {
             llhj_indexed_factory(EquiXaPredicate),
             Algorithm::LlhjIndexed,
             4,
+            4,
             &[(shrink_at, 2), (grow_at, 4)],
+            Some(BalanceCheck::TotalEveryResize),
         );
     }
 }
@@ -213,8 +357,10 @@ fn single_node_boundaries_survive_growth_and_collapse() {
         BandPredicate::default(),
         llhj_factory(BandPredicate::default()),
         Algorithm::Llhj,
+        4,
         1,
         &[(grow_at, 3), (shrink_at, 1)],
+        Some(BalanceCheck::TotalEveryResize),
     );
 }
 
@@ -230,7 +376,9 @@ fn trailing_resize_after_the_last_event_is_exact() {
         BandPredicate::default(),
         llhj_factory(BandPredicate::default()),
         Algorithm::Llhj,
+        4,
         3,
         &[(events, 2)],
+        None,
     );
 }
