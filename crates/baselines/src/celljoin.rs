@@ -110,10 +110,7 @@ where
                         false,
                         |s| pred.matches(&r.payload, s),
                         |s| {
-                            emit(TimedResult::new(
-                                ResultTuple::new(r.clone(), s.clone(), 0),
-                                at,
-                            ));
+                            emit(TimedResult::new(ResultTuple::new(r.clone(), s, 0), at));
                         },
                     );
                     self.costs.comparisons += cmp;
@@ -132,10 +129,7 @@ where
                         false,
                         |r| pred.matches(r, &s.payload),
                         |r| {
-                            emit(TimedResult::new(
-                                ResultTuple::new(r.clone(), s.clone(), 0),
-                                at,
-                            ));
+                            emit(TimedResult::new(ResultTuple::new(r, s.clone(), 0), at));
                         },
                     );
                     self.costs.comparisons += cmp;

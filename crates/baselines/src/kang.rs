@@ -82,15 +82,15 @@ where
     {
         match event {
             StreamEvent::ArrivalR(r) => {
+                // Deliberately always the scalar closure path: Kang is the
+                // semantic oracle the columnar band scan is verified against,
+                // so it must not share the code under test.
                 let pred = &self.predicate;
                 self.comparisons += self.window_s.scan_matches(
                     false,
                     |s| pred.matches(&r.payload, s),
                     |s| {
-                        emit(TimedResult::new(
-                            ResultTuple::new(r.clone(), s.clone(), 0),
-                            at,
-                        ));
+                        emit(TimedResult::new(ResultTuple::new(r.clone(), s, 0), at));
                     },
                 );
                 self.window_r.insert(r.clone(), false);
@@ -101,10 +101,7 @@ where
                     false,
                     |r| pred.matches(r, &s.payload),
                     |r| {
-                        emit(TimedResult::new(
-                            ResultTuple::new(r.clone(), s.clone(), 0),
-                            at,
-                        ));
+                        emit(TimedResult::new(ResultTuple::new(r, s.clone(), 0), at));
                     },
                 );
                 self.window_s.insert(s.clone(), false);

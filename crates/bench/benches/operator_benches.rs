@@ -77,6 +77,47 @@ fn index_probe_vs_scan(c: &mut Criterion) {
     group.finish();
 }
 
+fn band_scan_vs_scalar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("band_scan");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let pred = BandPredicate::default();
+    let probe = llhj_workload::RTuple::new(5_000, 50.0);
+    let band = pred.s_band(&probe).expect("band form");
+    let mut window = LocalWindow::new();
+    for i in 0..65_536u64 {
+        let s = llhj_workload::STuple::new((i % 10_000) as i32 + 1, (i % 100) as f32);
+        let attr = s.a as i64;
+        window.insert_with_attr(
+            StreamTuple::new(SeqNo(i), Timestamp::from_micros(i), s),
+            attr,
+            false,
+        );
+    }
+    group.bench_function("scalar_closure_64k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            window.scan_matches(false, |s| pred.matches(&probe, s), |_| hits += 1);
+            black_box(hits)
+        })
+    });
+    group.bench_function("columnar_band_64k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            window.scan_band(
+                band,
+                false,
+                pred.band_exact(),
+                |s| pred.matches(&probe, s),
+                |_| hits += 1,
+            );
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
 fn llhj_node_arrival(c: &mut Criterion) {
     let mut group = c.benchmark_group("llhj_node_arrival");
     group.sample_size(20);
@@ -182,6 +223,7 @@ fn predicate_eval(c: &mut Criterion) {
 criterion_group!(
     benches,
     window_scan,
+    band_scan_vs_scalar,
     index_probe_vs_scan,
     llhj_node_arrival,
     end_to_end,

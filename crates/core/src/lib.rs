@@ -93,13 +93,15 @@ pub use metrics::{
 pub use node::{ElasticError, PipelineNode};
 pub use node_hsj::{FlowPolicy, HsjNode, HsjOutput, SegmentCapacity};
 pub use node_llhj::{LlhjNode, LlhjOutput};
-pub use predicate::{AlwaysFalse, AlwaysTrue, EquiPredicate, FnPredicate, JoinPredicate};
+pub use predicate::{
+    AlwaysFalse, AlwaysTrue, BandSpec, EquiPredicate, FnPredicate, JoinPredicate, ScalarOnly,
+};
 pub use punctuation::{verify_punctuated_stream, HighWaterMarks, OutputItem, Punctuation};
 pub use rebalance::{EdgeTransfer, FlowConstraint, MigrationConstraint, RedistributionPlan};
 pub use result::{ResultTuple, TimedResult};
 pub use sorter::SortingOperator;
 pub use stats::{LatencyPoint, LatencySeries, LatencySummary, NodeCounters};
-pub use store::{IwsBuffer, KeyFn, LocalWindow};
+pub use store::{ColumnarPayload, ColumnarWindow, IwsBuffer, KeyFn, LocalWindow, ProbeCost};
 pub use time::{TimeDelta, Timestamp};
 pub use tuple::{NodeId, PipelineTuple, SeqNo, Side, StreamTuple};
 pub use window::{Expiry, WindowSpec, WindowTracker};
@@ -118,7 +120,7 @@ pub mod prelude {
     pub use crate::node::{ElasticError, PipelineNode};
     pub use crate::node_hsj::{FlowPolicy, HsjNode, HsjOutput, SegmentCapacity};
     pub use crate::node_llhj::{LlhjNode, LlhjOutput};
-    pub use crate::predicate::{EquiPredicate, FnPredicate, JoinPredicate};
+    pub use crate::predicate::{BandSpec, EquiPredicate, FnPredicate, JoinPredicate, ScalarOnly};
     pub use crate::punctuation::{HighWaterMarks, OutputItem, Punctuation};
     pub use crate::rebalance::{
         EdgeTransfer, FlowConstraint, MigrationConstraint, RedistributionPlan,

@@ -101,6 +101,14 @@ impl Direction {
 /// [`crate::node::PipelineNode::import_segment`] contract; node types
 /// without migration support refuse both with a typed
 /// [`crate::node::ElasticError`] instead of panicking.
+///
+/// Segments deliberately stay in sorted **row** form even though the
+/// windows themselves are columnar: the wire format is
+/// layout-independent, and the importer rebuilds everything derived —
+/// the attribute column, the valid/expedition bitsets and the hash
+/// index — as it merges (see
+/// [`crate::store::ColumnarWindow::merge_sorted`]), so elastic resize
+/// and rebalance were untouched by the columnar layout change.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WindowSegment<R, S> {
     /// Stored R tuples, in increasing sequence order.

@@ -405,11 +405,8 @@ where
                         |s| self.predicate.matches(&r_tuple.payload, s),
                         |s| {
                             if self.within_window(r_tuple.ts, s.ts) {
-                                out.results.push(ResultTuple::new(
-                                    r_tuple.clone(),
-                                    s.clone(),
-                                    self.id,
-                                ));
+                                out.results
+                                    .push(ResultTuple::new(r_tuple.clone(), s, self.id));
                             }
                         },
                     );
@@ -423,11 +420,8 @@ where
                         |r| self.predicate.matches(r, &s_tuple.payload),
                         |r| {
                             if self.within_window(r.ts, s_tuple.ts) {
-                                out.results.push(ResultTuple::new(
-                                    r.clone(),
-                                    s_tuple.clone(),
-                                    self.id,
-                                ));
+                                out.results
+                                    .push(ResultTuple::new(r, s_tuple.clone(), self.id));
                             }
                         },
                     );
@@ -437,8 +431,16 @@ where
         out.comparisons += comparisons;
         self.counters.comparisons += comparisons;
         self.counters.results += (out.results.len() - results_before) as u64;
-        self.wr.merge_sorted(segment.wr);
-        self.ws.merge_sorted(segment.ws);
+        {
+            // Rebuild the columnar form (attribute column, bitsets, index)
+            // from the plain migrated rows; disjoint field borrows let the
+            // predicate supply attributes while the windows mutate.
+            let Self {
+                wr, ws, predicate, ..
+            } = self;
+            wr.merge_sorted(segment.wr, |r| predicate.r_attr(r).unwrap_or(0));
+            ws.merge_sorted(segment.ws, |s| predicate.s_attr(s).unwrap_or(0));
+        }
         self.counters
             .observe_sizes(self.wr.len(), self.ws.len(), self.iws.len());
     }
@@ -462,17 +464,15 @@ where
             // events with R-stream events first, so an R tuple whose window
             // elapses exactly when an S tuple arrives does NOT join (>=),
             // while an S tuple in the symmetric situation still does (>).
-            while let Some(oldest) = self.wr.peek_oldest() {
-                if now.saturating_since(oldest.ts) >= window_r {
-                    let seq = oldest.seq;
+            while let Some((seq, ts)) = self.wr.peek_oldest() {
+                if now.saturating_since(ts) >= window_r {
                     self.wr.remove(seq);
                 } else {
                     break;
                 }
             }
-            while let Some(oldest) = self.ws.peek_oldest() {
-                if now.saturating_since(oldest.ts) > window_s {
-                    let seq = oldest.seq;
+            while let Some((seq, ts)) = self.ws.peek_oldest() {
+                if now.saturating_since(ts) > window_s {
                     self.ws.remove(seq);
                 } else {
                     break;
@@ -501,15 +501,32 @@ where
         let results = &mut out.results;
         let results_before = results.len();
         let node_id = self.id;
-        let mut comparisons = self.ws.scan_matches(
-            false,
-            |s| pred.matches(&r_tuple.payload, s),
-            |s| {
-                if check(r_tuple.ts, s.ts) {
-                    results.push(ResultTuple::new(r_tuple.clone(), s.clone(), node_id));
-                }
-            },
-        );
+        let mut comparisons = if let Some(band) = pred.s_band(&r_tuple.payload) {
+            // Branch-free fast path over the attribute column; the
+            // window-concurrency check stays inside the match callback,
+            // exactly as on the scalar path.
+            self.ws.scan_band(
+                band,
+                false,
+                pred.band_exact(),
+                |s| pred.matches(&r_tuple.payload, s),
+                |s| {
+                    if check(r_tuple.ts, s.ts) {
+                        results.push(ResultTuple::new(r_tuple.clone(), s, node_id));
+                    }
+                },
+            )
+        } else {
+            self.ws.scan_matches(
+                false,
+                |s| pred.matches(&r_tuple.payload, s),
+                |s| {
+                    if check(r_tuple.ts, s.ts) {
+                        results.push(ResultTuple::new(r_tuple.clone(), s, node_id));
+                    }
+                },
+            )
+        };
         comparisons += self.iws.scan_matches(
             |s| pred.matches(&r_tuple.payload, s),
             |s| {
@@ -522,7 +539,8 @@ where
         self.counters.comparisons += comparisons;
         self.counters.results += (results.len() - results_before) as u64;
 
-        self.wr.insert(r.tuple, false);
+        let attr = self.predicate.r_attr(&r.tuple.payload).unwrap_or(0);
+        self.wr.insert_with_attr(r.tuple, attr, false);
         self.counters.stored += 1;
         self.flow_tuples(out);
         self.counters
@@ -549,15 +567,29 @@ where
         let results = &mut out.results;
         let results_before = results.len();
         let node_id = self.id;
-        let comparisons = self.wr.scan_matches(
-            false,
-            |r| pred.matches(r, &s_tuple.payload),
-            |r| {
-                if check(r.ts, s_tuple.ts) {
-                    results.push(ResultTuple::new(r.clone(), s_tuple.clone(), node_id));
-                }
-            },
-        );
+        let comparisons = if let Some(band) = pred.r_band(&s_tuple.payload) {
+            self.wr.scan_band(
+                band,
+                false,
+                pred.band_exact(),
+                |r| pred.matches(r, &s_tuple.payload),
+                |r| {
+                    if check(r.ts, s_tuple.ts) {
+                        results.push(ResultTuple::new(r, s_tuple.clone(), node_id));
+                    }
+                },
+            )
+        } else {
+            self.wr.scan_matches(
+                false,
+                |r| pred.matches(r, &s_tuple.payload),
+                |r| {
+                    if check(r.ts, s_tuple.ts) {
+                        results.push(ResultTuple::new(r, s_tuple.clone(), node_id));
+                    }
+                },
+            )
+        };
         out.comparisons += comparisons;
         self.counters.comparisons += comparisons;
         self.counters.results += (results.len() - results_before) as u64;
@@ -568,7 +600,8 @@ where
             out.to_right.push(LeftToRight::AckS(s.tuple.seq));
         }
 
-        self.ws.insert(s.tuple, false);
+        let attr = self.predicate.s_attr(&s.tuple.payload).unwrap_or(0);
+        self.ws.insert_with_attr(s.tuple, attr, false);
         self.counters.stored += 1;
         self.flow_tuples(out);
         self.counters
@@ -598,8 +631,8 @@ where
                     let leave_after = TimeDelta::from_micros(
                         window_r.as_micros() * (self.id as u64 + 1) / self.nodes as u64,
                     );
-                    while let Some(oldest) = self.wr.peek_oldest() {
-                        if self.clock.saturating_since(oldest.ts) >= leave_after {
+                    while let Some((_, ts)) = self.wr.peek_oldest() {
+                        if self.clock.saturating_since(ts) >= leave_after {
                             self.forward_oldest_r(out);
                         } else {
                             break;
@@ -610,8 +643,8 @@ where
                     let leave_after = TimeDelta::from_micros(
                         window_s.as_micros() * (self.nodes - self.id) as u64 / self.nodes as u64,
                     );
-                    while let Some(oldest) = self.ws.peek_oldest() {
-                        if self.clock.saturating_since(oldest.ts) >= leave_after {
+                    while let Some((_, ts)) = self.ws.peek_oldest() {
+                        if self.clock.saturating_since(ts) >= leave_after {
                             self.forward_oldest_s(out);
                         } else {
                             break;

@@ -269,8 +269,15 @@ where
     /// state.  Like [`Self::export_segment`], only valid while the
     /// pipeline is fenced.
     pub fn import_segment(&mut self, segment: crate::message::WindowSegment<R, S>) {
-        self.wr.merge_sorted(segment.wr);
-        self.ws.merge_sorted(segment.ws);
+        // A migrated tuple crosses the wire as plain rows; the columnar
+        // attribute column (and the bitsets and hash index underneath) is
+        // rebuilt on import from the same predicate hooks used at insert
+        // time, so elastic resize and rebalance see identical state.
+        let Self {
+            wr, ws, predicate, ..
+        } = self;
+        wr.merge_sorted(segment.wr, |r| predicate.r_attr(r).unwrap_or(0));
+        ws.merge_sorted(segment.ws, |s| predicate.s_attr(s).unwrap_or(0));
     }
 
     /// Renumbers the node after an elastic reconfiguration: `id` is its new
@@ -317,13 +324,24 @@ where
                 key,
                 false,
                 |s| pred.matches(&r_tuple.payload, s),
-                |s| results.push(ResultTuple::new(r_tuple.clone(), s.clone(), node_id)),
+                |s| results.push(ResultTuple::new(r_tuple.clone(), s, node_id)),
+            );
+        } else if let Some(band) = pred.s_band(&r_tuple.payload) {
+            // Branch-free fast path: compare-and-mask over the attribute
+            // column; band hits are re-checked against the full predicate
+            // unless the band alone is exact.
+            comparisons += self.ws.scan_band(
+                band,
+                false,
+                pred.band_exact(),
+                |s| pred.matches(&r_tuple.payload, s),
+                |s| results.push(ResultTuple::new(r_tuple.clone(), s, node_id)),
             );
         } else {
             comparisons += self.ws.scan_matches(
                 false,
                 |s| pred.matches(&r_tuple.payload, s),
-                |s| results.push(ResultTuple::new(r_tuple.clone(), s.clone(), node_id)),
+                |s| results.push(ResultTuple::new(r_tuple.clone(), s, node_id)),
             );
         }
         if let (Some(key), true) = (key, self.iws.has_index()) {
@@ -342,9 +360,11 @@ where
         self.counters.comparisons += comparisons;
         self.counters.results += (out.results.len() - results_before) as u64;
 
-        // Step 3: store the tuple at its home node, flagged "in expedition".
+        // Step 3: store the tuple at its home node, flagged "in expedition",
+        // mirroring its join attribute into the columnar attribute column.
         if home == self.id {
-            self.wr.insert(r.tuple, true);
+            let attr = self.predicate.r_attr(&r.tuple.payload).unwrap_or(0);
+            self.wr.insert_with_attr(r.tuple, attr, true);
             self.counters.stored += 1;
         }
 
@@ -396,13 +416,21 @@ where
                 key,
                 true,
                 |r| pred.matches(r, &s_tuple.payload),
-                |r| results.push(ResultTuple::new(r.clone(), s_tuple.clone(), node_id)),
+                |r| results.push(ResultTuple::new(r, s_tuple.clone(), node_id)),
+            );
+        } else if let Some(band) = pred.r_band(&s_tuple.payload) {
+            comparisons += self.wr.scan_band(
+                band,
+                true,
+                pred.band_exact(),
+                |r| pred.matches(r, &s_tuple.payload),
+                |r| results.push(ResultTuple::new(r, s_tuple.clone(), node_id)),
             );
         } else {
             comparisons += self.wr.scan_matches(
                 true,
                 |r| pred.matches(r, &s_tuple.payload),
-                |r| results.push(ResultTuple::new(r.clone(), s_tuple.clone(), node_id)),
+                |r| results.push(ResultTuple::new(r, s_tuple.clone(), node_id)),
             );
         }
         out.comparisons += comparisons;
@@ -416,9 +444,11 @@ where
             self.iws.insert(s.tuple.clone());
         }
 
-        // Store at the home node.
+        // Store at the home node, mirroring the join attribute into the
+        // columnar attribute column.
         if home == self.id {
-            self.ws.insert(s.tuple, false);
+            let attr = self.predicate.s_attr(&s.tuple.payload).unwrap_or(0);
+            self.ws.insert_with_attr(s.tuple, attr, false);
             self.counters.stored += 1;
         }
 

@@ -5,8 +5,54 @@
 //! when they do, node-local windows can maintain a hash index and probing
 //! degenerates from a full window scan to a hash lookup (the "index
 //! acceleration" of Section 7.6 / Table 2 of the paper).
+//!
+//! Predicates may also expose a *band form*: a scalar join attribute per
+//! side ([`JoinPredicate::r_attr`] / [`JoinPredicate::s_attr`]) plus, for a
+//! given probe tuple, the inclusive attribute interval a stored partner must
+//! fall into ([`JoinPredicate::s_band`] / [`JoinPredicate::r_band`]).  When
+//! a band form is available, window scans run as branch-free compare-and-mask
+//! loops over the columnar attribute vector instead of calling the `matches`
+//! closure per tuple (see `ColumnarWindow::scan_band` in the store module).
+//! Both band and equi joins fit: an equi-join is the degenerate band
+//! `[key, key]`.  The closure path remains the universal fallback.
 
 use std::sync::Arc;
+
+/// An inclusive interval `[lo, hi]` over the columnar join attribute.
+///
+/// A stored tuple with attribute `a` is a band candidate iff
+/// `lo <= a && a <= hi` — evaluated without branches over the raw column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandSpec {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl BandSpec {
+    /// The degenerate single-point band `[k, k]` of an equi-join.
+    #[inline]
+    pub fn point(k: i64) -> Self {
+        BandSpec { lo: k, hi: k }
+    }
+
+    /// The symmetric band `[center - half_width, center + half_width]`,
+    /// saturating at the `i64` domain edges.
+    #[inline]
+    pub fn around(center: i64, half_width: i64) -> Self {
+        BandSpec {
+            lo: center.saturating_sub(half_width),
+            hi: center.saturating_add(half_width),
+        }
+    }
+
+    /// True if `a` lies inside the band.
+    #[inline]
+    pub fn contains(&self, a: i64) -> bool {
+        self.lo <= a && a <= self.hi
+    }
+}
 
 /// A join predicate over payload types `R` and `S`.
 pub trait JoinPredicate<R, S>: Send + Sync {
@@ -32,6 +78,41 @@ pub trait JoinPredicate<R, S>: Send + Sync {
     fn supports_index(&self) -> bool {
         false
     }
+
+    /// The scalar join attribute of an `R` payload, mirrored into the
+    /// columnar attribute column of R-side windows at insert time.  `None`
+    /// (the default) disables the branch-free scan path for that side.
+    fn r_attr(&self, _r: &R) -> Option<i64> {
+        None
+    }
+
+    /// The scalar join attribute of an `S` payload; see
+    /// [`JoinPredicate::r_attr`].
+    fn s_attr(&self, _s: &S) -> Option<i64> {
+        None
+    }
+
+    /// For a probing `R` tuple, the inclusive [`BandSpec`] its S-side
+    /// partners' attributes must fall into.  Any tuple outside the band is
+    /// guaranteed to fail `matches`.
+    fn s_band(&self, _r: &R) -> Option<BandSpec> {
+        None
+    }
+
+    /// For a probing `S` tuple, the band its R-side partners' attributes
+    /// must fall into; see [`JoinPredicate::s_band`].
+    fn r_band(&self, _s: &S) -> Option<BandSpec> {
+        None
+    }
+
+    /// True if band membership alone *implies* `matches` (pure band and
+    /// equi joins).  When false, band hits are re-checked against the full
+    /// predicate — the residual path composite predicates take (e.g. the
+    /// paper's two-dimensional band join, whose second dimension is not in
+    /// the attribute column).
+    fn band_exact(&self) -> bool {
+        false
+    }
 }
 
 /// Blanket implementation: any shared predicate is a predicate.
@@ -47,6 +128,36 @@ impl<R, S, P: JoinPredicate<R, S> + ?Sized> JoinPredicate<R, S> for Arc<P> {
     }
     fn supports_index(&self) -> bool {
         (**self).supports_index()
+    }
+    fn r_attr(&self, r: &R) -> Option<i64> {
+        (**self).r_attr(r)
+    }
+    fn s_attr(&self, s: &S) -> Option<i64> {
+        (**self).s_attr(s)
+    }
+    fn s_band(&self, r: &R) -> Option<BandSpec> {
+        (**self).s_band(r)
+    }
+    fn r_band(&self, s: &S) -> Option<BandSpec> {
+        (**self).r_band(s)
+    }
+    fn band_exact(&self) -> bool {
+        (**self).band_exact()
+    }
+}
+
+/// Hides every acceleration hook of an inner predicate, leaving only the
+/// `matches` closure: no keys (no hash index), no attributes and no bands
+/// (no branch-free scan).  Joins through `ScalarOnly(p)` and through `p`
+/// must produce byte-identical results — the equivalence tests and the
+/// scan benchmark use this wrapper to pin the scalar fallback path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarOnly<P>(pub P);
+
+impl<R, S, P: JoinPredicate<R, S>> JoinPredicate<R, S> for ScalarOnly<P> {
+    #[inline]
+    fn matches(&self, r: &R, s: &S) -> bool {
+        self.0.matches(r, s)
     }
 }
 
@@ -102,6 +213,27 @@ where
         Some((self.extract_s)(s))
     }
     fn supports_index(&self) -> bool {
+        true
+    }
+    #[inline]
+    fn r_attr(&self, r: &R) -> Option<i64> {
+        Some((self.extract_r)(r) as i64)
+    }
+    #[inline]
+    fn s_attr(&self, s: &S) -> Option<i64> {
+        Some((self.extract_s)(s) as i64)
+    }
+    #[inline]
+    fn s_band(&self, r: &R) -> Option<BandSpec> {
+        // The `u64 -> i64` cast is injective, so point-band equality over
+        // the cast attribute is exactly key equality.
+        Some(BandSpec::point((self.extract_r)(r) as i64))
+    }
+    #[inline]
+    fn r_band(&self, s: &S) -> Option<BandSpec> {
+        Some(BandSpec::point((self.extract_s)(s) as i64))
+    }
+    fn band_exact(&self) -> bool {
         true
     }
 }
@@ -165,5 +297,58 @@ mod tests {
     fn constant_predicates() {
         assert!(JoinPredicate::<u8, u8>::matches(&AlwaysTrue, &1, &2));
         assert!(!JoinPredicate::<u8, u8>::matches(&AlwaysFalse, &1, &2));
+    }
+
+    #[test]
+    fn band_spec_constructors_and_membership() {
+        let b = BandSpec::around(10, 3);
+        assert_eq!(b, BandSpec { lo: 7, hi: 13 });
+        assert!(b.contains(7) && b.contains(13) && b.contains(10));
+        assert!(!b.contains(6) && !b.contains(14));
+        let p = BandSpec::point(-5);
+        assert!(p.contains(-5) && !p.contains(-4));
+        // Saturation at the domain edges.
+        let edge = BandSpec::around(i64::MAX - 1, 10);
+        assert_eq!(edge.hi, i64::MAX);
+    }
+
+    #[test]
+    fn equi_predicate_exposes_exact_point_bands() {
+        let p = EquiPredicate::new(|r: &u64| *r, |s: &u64| *s);
+        assert_eq!(p.s_band(&7), Some(BandSpec::point(7)));
+        assert_eq!(p.r_band(&9), Some(BandSpec::point(9)));
+        assert_eq!(p.r_attr(&7), Some(7));
+        assert_eq!(p.s_attr(&9), Some(9));
+        assert!(JoinPredicate::<u64, u64>::band_exact(&p));
+        // Band membership must agree with `matches` for the point band.
+        assert!(p.s_band(&7).unwrap().contains(p.s_attr(&7).unwrap()));
+        assert!(!p.s_band(&7).unwrap().contains(p.s_attr(&8).unwrap()));
+    }
+
+    #[test]
+    fn scalar_only_hides_every_acceleration_hook() {
+        let inner = EquiPredicate::new(|r: &u64| *r, |s: &u64| *s);
+        let p = ScalarOnly(inner);
+        assert!(p.matches(&3, &3));
+        assert!(!p.matches(&3, &4));
+        assert_eq!(JoinPredicate::<u64, u64>::r_key(&p, &3), None);
+        assert_eq!(JoinPredicate::<u64, u64>::s_key(&p, &3), None);
+        assert_eq!(JoinPredicate::<u64, u64>::r_attr(&p, &3), None);
+        assert_eq!(JoinPredicate::<u64, u64>::s_attr(&p, &3), None);
+        assert!(JoinPredicate::<u64, u64>::s_band(&p, &3).is_none());
+        assert!(JoinPredicate::<u64, u64>::r_band(&p, &3).is_none());
+        assert!(!JoinPredicate::<u64, u64>::supports_index(&p));
+        assert!(!JoinPredicate::<u64, u64>::band_exact(&p));
+    }
+
+    #[test]
+    fn arc_predicate_forwards_band_hooks() {
+        let p: Arc<EquiPredicate<_, _>> = Arc::new(EquiPredicate::new(|r: &u64| *r, |s: &u64| *s));
+        assert_eq!(
+            JoinPredicate::<u64, u64>::s_band(&p, &3),
+            Some(BandSpec::point(3))
+        );
+        assert_eq!(JoinPredicate::<u64, u64>::r_attr(&p, &3), Some(3));
+        assert!(JoinPredicate::<u64, u64>::band_exact(&p));
     }
 }

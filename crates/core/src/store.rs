@@ -8,56 +8,240 @@
 //! * `IWS_k` — the buffer of S tuples that were forwarded to the left
 //!   neighbour but have not been acknowledged yet.
 //!
-//! [`LocalWindow`] implements the first two (the expedition flag is simply
-//! unused on the S side), optionally maintaining a hash index over an
-//! equi-key for the index acceleration experiment (Table 2).  [`IwsBuffer`]
-//! implements the third.
+//! [`ColumnarWindow`] implements the first two (the expedition flag is
+//! simply unused on the S side), optionally maintaining a hash index over
+//! an equi-key for the index acceleration experiment (Table 2).
+//! [`IwsBuffer`] implements the third.
+//!
+//! ## Columnar (structure-of-arrays) layout
+//!
+//! The window is the hot loop of the whole system: every result the chain
+//! produces comes out of a window scan or probe.  Earlier revisions stored
+//! an array-of-structs `VecDeque<Entry<T>>`; a scan then walked tuple
+//! structs, branched on the expedition flag per entry and called a closure
+//! per tuple — none of which autovectorizes or stays cache-resident.  The
+//! window now stores one `Vec` per column:
+//!
+//! ```text
+//!   seq:        [ u64 | u64 | u64 | ... ]   sorted, binary-searchable
+//!   ts:         [ i64 | i64 | i64 | ... ]   microseconds
+//!   attr:       [ i64 | i64 | i64 | ... ]   the join attribute
+//!   payload:    [  T  |  T  |  T  | ... ]   opaque carried columns
+//!   valid:      bitset (1 u64 word per 64 slots)
+//!   expedition: bitset (same shape)
+//! ```
+//!
+//! A band or equi scan ([`ColumnarWindow::scan_band`]) touches only the
+//! `attr` column and the two bitsets until a match fires; the predicate
+//! becomes a branch-free compare-and-mask loop over a dense `i64` column,
+//! evaluated 64 tuples per bitset word.  The payload column is only read
+//! to materialize actual matches.  The closure path
+//! ([`ColumnarWindow::scan_matches`]) remains the universal fallback for
+//! predicates that expose no band form.
+//!
+//! ## Tombstones, the live region and compaction
+//!
+//! Removal never shifts columns.  A removed slot keeps its `seq` (so
+//! binary search still works) and has its `valid` bit cleared; removals at
+//! the front additionally advance the `start` offset, so the common FIFO
+//! expiry pattern reclaims slots without leaving tombstones behind.  When
+//! dead slots outnumber live ones the window compacts: columns are
+//! rewritten densely and the bitsets and hash index are rebuilt, which
+//! bounds memory at roughly twice the live population and keeps the cost
+//! amortized O(1) per removal.
+//!
+//! The hash index stores **physical column offsets**, not sequence
+//! numbers: a probe resolves each bucket candidate with one direct column
+//! access instead of a per-candidate binary search, and bucket maintenance
+//! on removal is free (dead offsets are skipped by the `valid` bit and
+//! dropped wholesale at the next compaction or rebuilt on import).
 
+use crate::predicate::BandSpec;
+use crate::time::Timestamp;
 use crate::tuple::{SeqNo, StreamTuple};
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// Key extractor used by the optional hash index of a [`LocalWindow`].
+/// Key extractor used by the optional hash index of a [`ColumnarWindow`].
 pub type KeyFn<T> = Arc<dyn Fn(&T) -> u64 + Send + Sync>;
 
-/// One entry of a node-local window.
-#[derive(Debug, Clone)]
-struct Entry<T> {
-    tuple: StreamTuple<T>,
-    /// True while the pipeline copy of this tuple is still travelling
-    /// ("in expedition"); only meaningful for R-side windows.
-    in_expedition: bool,
+/// Payload types that mirror their join attribute into the window's
+/// contiguous attribute column.
+///
+/// Implementors promise that `join_attr` is pure: the same payload always
+/// yields the same attribute, so the value cached in the column at insert
+/// time never goes stale.  Predicates whose band form
+/// ([`crate::predicate::JoinPredicate::s_band`]) is expressed over this
+/// attribute get the branch-free scan path for free.
+pub trait ColumnarPayload {
+    /// The join attribute stored in the window's `attr` column.
+    fn join_attr(&self) -> i64;
 }
 
-/// A node-local sliding-window segment.
+macro_rules! columnar_for_ints {
+    ($($ty:ty),*) => {$(
+        impl ColumnarPayload for $ty {
+            #[inline]
+            fn join_attr(&self) -> i64 {
+                *self as i64
+            }
+        }
+    )*};
+}
+columnar_for_ints!(i8, i16, i32, i64, u8, u16, u32, u64);
+
+/// Cost breakdown of one hash-index probe
+/// ([`ColumnarWindow::probe_matches_counted`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeCost {
+    /// Predicate evaluations performed (the figure reported by
+    /// [`ColumnarWindow::probe_matches`] and fed into the simulator's cost
+    /// model).
+    pub evaluated: u64,
+    /// Bucket slots inspected, including tombstoned offsets that were
+    /// skipped without a predicate call.  Each inspection is one direct
+    /// column access — the probe performs **zero** per-candidate binary
+    /// searches, which the comparison-count regression test pins.
+    pub inspected: u64,
+}
+
+/// A node-local sliding-window segment in columnar (structure-of-arrays)
+/// form; see the [module docs](self) for the layout.
 ///
 /// Tuples are inserted in strictly increasing sequence-number order (the
 /// drivers guarantee this), which lets all lookups by sequence number use
-/// binary search on a `VecDeque`.
-pub struct LocalWindow<T> {
-    entries: VecDeque<Entry<T>>,
+/// binary search on the `seq` column.
+pub struct ColumnarWindow<T> {
+    /// Sequence numbers, sorted ascending (tombstones keep their slot).
+    seq: Vec<u64>,
+    /// Timestamps in microseconds.
+    ts: Vec<i64>,
+    /// The join attribute column ([`ColumnarPayload::join_attr`] or a
+    /// predicate-supplied attribute; 0 for payloads without one).
+    attr: Vec<i64>,
+    /// The opaque carried columns, only touched when a match materializes.
+    payload: Vec<T>,
+    /// Bitset: slot holds a live tuple.
+    valid: Vec<u64>,
+    /// Bitset: slot holds a tuple whose expedition has not finished.
+    expedition: Vec<u64>,
+    /// First physical slot of the live region; always points at a valid
+    /// slot (or at `len` when empty), so peeks and pops are O(1).
+    start: usize,
+    /// Number of live tuples.
+    live: usize,
     in_expedition_count: usize,
     index: Option<WindowIndex<T>>,
 }
 
+/// The backwards-compatible name: sequential baselines (Kang, CellJoin)
+/// keep calling the store a `LocalWindow`; they use the scalar closure
+/// path of the same columnar structure.
+pub type LocalWindow<T> = ColumnarWindow<T>;
+
 struct WindowIndex<T> {
     key_fn: KeyFn<T>,
-    buckets: HashMap<u64, Vec<SeqNo>>,
+    /// Buckets hold *physical column offsets* (stable until the next
+    /// compaction, which rebuilds them), not sequence numbers.
+    buckets: HashMap<u64, Vec<u32>>,
 }
 
-impl<T> Default for LocalWindow<T> {
+/// Compaction is skipped below this many dead slots so tiny windows never
+/// churn; above it, compaction triggers when dead slots outnumber live
+/// ones, bounding physical size at `2 * live + 64`.  An emptied window
+/// resets immediately regardless of the floor.
+const COMPACT_MIN_DEAD: usize = 64;
+
+#[inline]
+fn bit(words: &[u64], i: usize) -> bool {
+    words[i >> 6] & (1u64 << (i & 63)) != 0
+}
+
+#[inline]
+fn clear_bit(words: &mut [u64], i: usize) {
+    words[i >> 6] &= !(1u64 << (i & 63));
+}
+
+#[inline]
+fn push_bit(words: &mut Vec<u64>, i: usize, on: bool) {
+    if i & 63 == 0 {
+        words.push(0);
+    }
+    if on {
+        words[i >> 6] |= 1u64 << (i & 63);
+    }
+}
+
+/// One full bitset word of the branch-free band scan: the hit mask of a
+/// dense 64-attribute block against `[lo, hi]`.
+///
+/// The portable loop is correct everywhere, but the baseline `x86-64`
+/// target lacks packed 64-bit compares (`pcmpgtq` is SSE4.2+), so rustc
+/// scalarizes it.  The `#[target_feature]` clones compile the *same* loop
+/// with AVX2 / AVX-512 enabled — there LLVM autovectorizes it to packed
+/// compares plus a movemask — and are selected once at runtime via the
+/// cached `is_x86_feature_detected!` dispatch.  The kernel is chosen
+/// per 64-tuple word, so the detection cost (one relaxed atomic load) is
+/// noise.
+#[inline]
+fn band_hits_word(attr: &[i64; 64], lo: i64, hi: i64) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+        {
+            // SAFETY: guarded by the runtime feature check above.
+            return unsafe { band_hits_word_avx512(attr, lo, hi) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: guarded by the runtime feature check above.
+            return unsafe { band_hits_word_avx2(attr, lo, hi) };
+        }
+    }
+    band_hits_word_portable(attr, lo, hi)
+}
+
+#[inline(always)]
+fn band_hits_word_portable(attr: &[i64; 64], lo: i64, hi: i64) -> u64 {
+    let mut hits = 0u64;
+    for (b, &a) in attr.iter().enumerate() {
+        hits |= (((a >= lo) as u64) & ((a <= hi) as u64)) << b;
+    }
+    hits
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn band_hits_word_avx2(attr: &[i64; 64], lo: i64, hi: i64) -> u64 {
+    band_hits_word_portable(attr, lo, hi)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw")]
+unsafe fn band_hits_word_avx512(attr: &[i64; 64], lo: i64, hi: i64) -> u64 {
+    band_hits_word_portable(attr, lo, hi)
+}
+
+impl<T> Default for ColumnarWindow<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T> LocalWindow<T> {
+impl<T> ColumnarWindow<T> {
     /// Creates an empty, unindexed window.
     pub fn new() -> Self {
-        LocalWindow {
-            entries: VecDeque::new(),
+        ColumnarWindow {
+            seq: Vec::new(),
+            ts: Vec::new(),
+            attr: Vec::new(),
+            payload: Vec::new(),
+            valid: Vec::new(),
+            expedition: Vec::new(),
+            start: 0,
+            live: 0,
             in_expedition_count: 0,
             index: None,
         }
@@ -65,24 +249,29 @@ impl<T> LocalWindow<T> {
 
     /// Creates an empty window with a hash index over `key_fn`.
     pub fn with_index(key_fn: KeyFn<T>) -> Self {
-        LocalWindow {
-            entries: VecDeque::new(),
-            in_expedition_count: 0,
-            index: Some(WindowIndex {
-                key_fn,
-                buckets: HashMap::new(),
-            }),
-        }
+        let mut w = Self::new();
+        w.index = Some(WindowIndex {
+            key_fn,
+            buckets: HashMap::new(),
+        });
+        w
     }
 
-    /// Number of stored tuples.
+    /// Number of stored (live) tuples.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
-    /// True if the window holds no tuples.
+    /// True if the window holds no live tuples.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
+    }
+
+    /// Number of physical column slots, live or tombstoned.  Compaction
+    /// keeps this at most `2 * len() + 64`; exposed so tests and benches
+    /// can pin that bound.
+    pub fn physical_len(&self) -> usize {
+        self.seq.len()
     }
 
     /// Number of stored tuples whose expedition has not finished yet.
@@ -95,65 +284,63 @@ impl<T> LocalWindow<T> {
         self.index.is_some()
     }
 
-    /// Inserts a tuple.  `in_expedition` should be true for R-side windows
-    /// (the flag is cleared later by an expedition-end message) and false
-    /// for S-side windows.
+    /// Inserts a tuple with a zero join attribute; see
+    /// [`ColumnarWindow::insert_with_attr`].  Used by callers that never
+    /// take the band-scan path (the sequential baselines).
+    pub fn insert(&mut self, tuple: StreamTuple<T>, in_expedition: bool) {
+        self.insert_with_attr(tuple, 0, in_expedition);
+    }
+
+    /// Inserts a tuple, mirroring `attr` (its join attribute, typically
+    /// [`ColumnarPayload::join_attr`] or a predicate's
+    /// [`r_attr`](crate::predicate::JoinPredicate::r_attr)) into the
+    /// contiguous attribute column so band scans never touch the payload.
+    /// `in_expedition` should be true for R-side windows (the flag is
+    /// cleared later by an expedition-end message) and false for S-side
+    /// windows.
     ///
     /// Panics in debug builds if sequence numbers are not inserted in
     /// increasing order.
-    pub fn insert(&mut self, tuple: StreamTuple<T>, in_expedition: bool) {
+    pub fn insert_with_attr(&mut self, tuple: StreamTuple<T>, attr: i64, in_expedition: bool) {
         debug_assert!(
-            self.entries.back().is_none_or(|e| e.tuple.seq < tuple.seq),
+            self.seq.last().is_none_or(|&last| last < tuple.seq.0),
             "window insertions must be in increasing sequence order"
         );
-        if let Some(index) = &mut self.index {
-            let key = (index.key_fn)(&tuple.payload);
-            index.buckets.entry(key).or_default().push(tuple.seq);
-        }
+        let i = self.seq.len();
+        debug_assert!(i < u32::MAX as usize, "window exceeds offset range");
+        let key = self
+            .index
+            .as_ref()
+            .map(|index| (index.key_fn)(&tuple.payload));
+        self.seq.push(tuple.seq.0);
+        self.ts.push(tuple.ts.as_micros() as i64);
+        self.attr.push(attr);
+        self.payload.push(tuple.payload);
+        push_bit(&mut self.valid, i, true);
+        push_bit(&mut self.expedition, i, in_expedition);
         if in_expedition {
             self.in_expedition_count += 1;
         }
-        self.entries.push_back(Entry {
-            tuple,
-            in_expedition,
-        });
+        self.live += 1;
+        if let (Some(index), Some(key)) = (&mut self.index, key) {
+            index.buckets.entry(key).or_default().push(i as u32);
+        }
     }
 
-    /// Position of `seq` in the entry deque, if present.
-    fn position(&self, seq: SeqNo) -> Option<usize> {
-        self.entries
-            .binary_search_by(|e| e.tuple.seq.cmp(&seq))
-            .ok()
-    }
-
-    /// Removes the tuple with the given sequence number, returning it if it
-    /// was present.
-    pub fn remove(&mut self, seq: SeqNo) -> Option<StreamTuple<T>> {
-        let pos = self.position(seq)?;
-        let entry = self.entries.remove(pos).expect("position was valid");
-        if entry.in_expedition {
-            self.in_expedition_count -= 1;
-        }
-        if let Some(index) = &mut self.index {
-            let key = (index.key_fn)(&entry.tuple.payload);
-            if let MapEntry::Occupied(mut bucket) = index.buckets.entry(key) {
-                bucket.get_mut().retain(|&s| s != seq);
-                if bucket.get().is_empty() {
-                    bucket.remove();
-                }
-            }
-        }
-        Some(entry.tuple)
+    /// Physical offset of the live tuple with sequence number `seq`.
+    #[inline]
+    fn find(&self, seq: SeqNo) -> Option<usize> {
+        let i = self.start + self.seq[self.start..].binary_search(&seq.0).ok()?;
+        bit(&self.valid, i).then_some(i)
     }
 
     /// Clears the expedition flag of the tuple with the given sequence
     /// number.  Returns true if the tuple was found in this window.
     pub fn finish_expedition(&mut self, seq: SeqNo) -> bool {
-        match self.position(seq) {
-            Some(pos) => {
-                let entry = &mut self.entries[pos];
-                if entry.in_expedition {
-                    entry.in_expedition = false;
+        match self.find(seq) {
+            Some(i) => {
+                if bit(&self.expedition, i) {
+                    clear_bit(&mut self.expedition, i);
                     self.in_expedition_count -= 1;
                 }
                 true
@@ -162,103 +349,115 @@ impl<T> LocalWindow<T> {
         }
     }
 
-    /// Returns a reference to the tuple with the given sequence number.
-    pub fn get(&self, seq: SeqNo) -> Option<&StreamTuple<T>> {
-        self.position(seq).map(|pos| &self.entries[pos].tuple)
+    /// Returns the sequence number and timestamp of the oldest live tuple
+    /// without removing it.
+    pub fn peek_oldest(&self) -> Option<(SeqNo, Timestamp)> {
+        (self.start < self.seq.len()).then(|| {
+            (
+                SeqNo(self.seq[self.start]),
+                Timestamp::from_micros(self.ts[self.start] as u64),
+            )
+        })
     }
 
-    /// Iterates over all stored tuples in sequence order.
-    pub fn iter(&self) -> impl Iterator<Item = &StreamTuple<T>> {
-        self.entries.iter().map(|e| &e.tuple)
-    }
-
-    /// Scans the window, invoking `on_match` for every tuple that satisfies
-    /// `pred`.  When `only_finished` is set, tuples whose expedition flag is
-    /// still set are skipped (this is how stored/stored double matches are
-    /// avoided, Section 4.2.3).
-    ///
-    /// Returns the number of predicate evaluations performed.
-    pub fn scan_matches<F, M>(&self, only_finished: bool, mut pred: F, mut on_match: M) -> u64
-    where
-        F: FnMut(&T) -> bool,
-        M: FnMut(&StreamTuple<T>),
-    {
-        let mut comparisons = 0;
-        for entry in &self.entries {
-            if only_finished && entry.in_expedition {
-                continue;
-            }
-            comparisons += 1;
-            if pred(&entry.tuple.payload) {
-                on_match(&entry.tuple);
-            }
-        }
-        comparisons
-    }
-
-    /// Probes the hash index with `key`, invoking `on_match` for every
-    /// candidate tuple that additionally satisfies `pred` (the residual
-    /// predicate re-check keeps the probe correct for composite predicates).
-    ///
-    /// Returns the number of candidate evaluations.  Callers must check
-    /// [`LocalWindow::has_index`] first; probing an unindexed window falls
-    /// back to a full scan.
-    pub fn probe_matches<F, M>(
-        &self,
-        key: u64,
-        only_finished: bool,
-        mut pred: F,
-        mut on_match: M,
-    ) -> u64
-    where
-        F: FnMut(&T) -> bool,
-        M: FnMut(&StreamTuple<T>),
-    {
-        let Some(index) = &self.index else {
-            return self.scan_matches(only_finished, pred, on_match);
-        };
-        let mut comparisons = 0;
-        if let Some(bucket) = index.buckets.get(&key) {
-            for &seq in bucket {
-                let pos = self
-                    .position(seq)
-                    .expect("index bucket references a stored tuple");
-                let entry = &self.entries[pos];
-                if only_finished && entry.in_expedition {
-                    continue;
-                }
-                comparisons += 1;
-                if pred(&entry.tuple.payload) {
-                    on_match(&entry.tuple);
-                }
-            }
-        }
-        comparisons
-    }
-
-    /// Removes and returns the oldest stored tuple (lowest sequence number).
-    /// Used by the original handshake join when a segment overflows.
-    pub fn pop_oldest(&mut self) -> Option<(StreamTuple<T>, bool)> {
-        let entry = self.entries.pop_front()?;
-        if entry.in_expedition {
+    /// Tombstones slot `i`: clears its flags, updates the counters and
+    /// advances the live-region start past any dead prefix.  The hash
+    /// index is deliberately *not* touched — dead offsets are skipped by
+    /// the `valid` bit and reclaimed at the next compaction.
+    fn clear_slot(&mut self, i: usize) {
+        debug_assert!(bit(&self.valid, i), "slot already dead");
+        clear_bit(&mut self.valid, i);
+        if bit(&self.expedition, i) {
+            clear_bit(&mut self.expedition, i);
             self.in_expedition_count -= 1;
         }
-        if let Some(index) = &mut self.index {
-            let key = (index.key_fn)(&entry.tuple.payload);
-            if let MapEntry::Occupied(mut bucket) = index.buckets.entry(key) {
-                bucket.get_mut().retain(|&s| s != entry.tuple.seq);
-                if bucket.get().is_empty() {
-                    bucket.remove();
-                }
+        self.live -= 1;
+        if i == self.start {
+            let len = self.seq.len();
+            while self.start < len && !bit(&self.valid, self.start) {
+                self.start += 1;
             }
         }
-        Some((entry.tuple, entry.in_expedition))
     }
 
-    /// Returns a reference to the oldest stored tuple (lowest sequence
-    /// number) without removing it.
-    pub fn peek_oldest(&self) -> Option<&StreamTuple<T>> {
-        self.entries.front().map(|e| &e.tuple)
+    /// Compacts when dead slots outnumber live ones (amortized O(1) per
+    /// removal; bounds physical size at `2 * live + 64`).
+    fn maybe_compact(&mut self) {
+        if self.live == 0 {
+            self.clear_all();
+            return;
+        }
+        let dead = self.seq.len() - self.live;
+        if dead > self.live.max(COMPACT_MIN_DEAD) {
+            self.compact();
+        }
+    }
+
+    /// Rewrites all columns densely (live slots only), resetting the
+    /// live-region start and rebuilding both bitsets and the hash index.
+    fn compact(&mut self) {
+        let len = self.seq.len();
+        if self.live == len && self.start == 0 {
+            return;
+        }
+        let mut seq = Vec::with_capacity(self.live);
+        let mut ts = Vec::with_capacity(self.live);
+        let mut attr = Vec::with_capacity(self.live);
+        let mut payload = Vec::with_capacity(self.live);
+        let mut valid = Vec::new();
+        let mut expedition = Vec::new();
+        let old_payload = std::mem::take(&mut self.payload);
+        for (i, p) in old_payload.into_iter().enumerate() {
+            if !bit(&self.valid, i) {
+                continue;
+            }
+            let j = seq.len();
+            seq.push(self.seq[i]);
+            ts.push(self.ts[i]);
+            attr.push(self.attr[i]);
+            push_bit(&mut valid, j, true);
+            push_bit(&mut expedition, j, bit(&self.expedition, i));
+            payload.push(p);
+        }
+        self.seq = seq;
+        self.ts = ts;
+        self.attr = attr;
+        self.payload = payload;
+        self.valid = valid;
+        self.expedition = expedition;
+        self.start = 0;
+        debug_assert_eq!(self.payload.len(), self.live);
+        self.rebuild_index();
+    }
+
+    /// Recomputes every hash bucket from the current (dense) columns.
+    fn rebuild_index(&mut self) {
+        let Some(index) = &mut self.index else {
+            return;
+        };
+        index.buckets.clear();
+        for (i, p) in self.payload.iter().enumerate() {
+            if bit(&self.valid, i) {
+                let key = (index.key_fn)(p);
+                index.buckets.entry(key).or_default().push(i as u32);
+            }
+        }
+    }
+
+    /// Resets the window to empty without dropping the index key function.
+    fn clear_all(&mut self) {
+        self.seq.clear();
+        self.ts.clear();
+        self.attr.clear();
+        self.payload.clear();
+        self.valid.clear();
+        self.expedition.clear();
+        self.start = 0;
+        self.live = 0;
+        self.in_expedition_count = 0;
+        if let Some(index) = &mut self.index {
+            index.buckets.clear();
+        }
     }
 
     /// Removes every stored tuple, returning them in sequence order.  Used
@@ -270,59 +469,90 @@ impl<T> LocalWindow<T> {
             self.in_expedition_count, 0,
             "cannot export a window that still holds in-expedition tuples"
         );
-        if let Some(index) = &mut self.index {
-            index.buckets.clear();
-        }
-        self.entries.drain(..).map(|e| e.tuple).collect()
+        self.compact();
+        let seq = std::mem::take(&mut self.seq);
+        let ts = std::mem::take(&mut self.ts);
+        let payload = std::mem::take(&mut self.payload);
+        let out = seq
+            .into_iter()
+            .zip(ts)
+            .zip(payload)
+            .map(|((q, t), p)| StreamTuple::new(SeqNo(q), Timestamp::from_micros(t as u64), p))
+            .collect();
+        self.clear_all();
+        out
     }
 
     /// Removes and returns the tuples at the given *positions* of the
     /// seq-sorted window (position 0 = oldest), in sequence order.  The
     /// elastic redistribution uses this to shed an arbitrary slice — the
     /// oldest or newest `k` tuples — instead of the whole window.
+    /// Compacts first, so positions address the live tuples; the bitsets
+    /// and hash index are rebuilt over the survivors.
     ///
-    /// Like [`LocalWindow::drain_sorted`], only valid for settled state:
-    /// panics if the range contains an in-expedition tuple (the elastic
-    /// fence guarantees there are none anywhere).
+    /// Like [`ColumnarWindow::drain_sorted`], only valid for settled
+    /// state: panics if the range contains an in-expedition tuple (the
+    /// elastic fence guarantees there are none anywhere).
     pub fn drain_range(&mut self, range: std::ops::Range<usize>) -> Vec<StreamTuple<T>> {
+        self.compact();
+        let len = self.seq.len();
         assert!(
-            range.end <= self.entries.len(),
-            "drain range {range:?} out of bounds for window of {}",
-            self.entries.len()
+            range.end <= len,
+            "drain range {range:?} out of bounds for window of {len}"
         );
-        let drained: Vec<Entry<T>> = self
-            .entries
-            .drain(range)
-            .inspect(|e| {
-                assert!(
-                    !e.in_expedition,
-                    "cannot export a window slice that holds in-expedition tuples"
-                );
-            })
-            .collect();
-        if let Some(index) = &mut self.index {
-            for entry in &drained {
-                let key = (index.key_fn)(&entry.tuple.payload);
-                if let MapEntry::Occupied(mut bucket) = index.buckets.entry(key) {
-                    bucket.get_mut().retain(|&s| s != entry.tuple.seq);
-                    if bucket.get().is_empty() {
-                        bucket.remove();
-                    }
-                }
-            }
+        for i in range.clone() {
+            assert!(
+                !bit(&self.expedition, i),
+                "cannot export a window slice that holds in-expedition tuples"
+            );
         }
-        drained.into_iter().map(|e| e.tuple).collect()
+        let kept_expedition: Vec<bool> = (0..len)
+            .filter(|i| !range.contains(i))
+            .map(|i| bit(&self.expedition, i))
+            .collect();
+        let seq: Vec<u64> = self.seq.drain(range.clone()).collect();
+        let ts: Vec<i64> = self.ts.drain(range.clone()).collect();
+        self.attr.drain(range.clone());
+        let payload: Vec<T> = self.payload.drain(range).collect();
+        self.rebuild_flags(&kept_expedition);
+        self.rebuild_index();
+        seq.into_iter()
+            .zip(ts)
+            .zip(payload)
+            .map(|((q, t), p)| StreamTuple::new(SeqNo(q), Timestamp::from_micros(t as u64), p))
+            .collect()
     }
 
-    /// Installs a migrated batch of tuples (sorted by sequence number, none
-    /// in expedition), interleaving it with the resident entries so the
-    /// window stays sorted.  The hash index, if any, absorbs the new
-    /// tuples.
+    /// Rebuilds both bitsets and the counters for dense columns whose
+    /// per-slot expedition flags are given positionally.
+    fn rebuild_flags(&mut self, expedition: &[bool]) {
+        debug_assert_eq!(expedition.len(), self.seq.len());
+        self.valid.clear();
+        self.expedition.clear();
+        for (i, &flag) in expedition.iter().enumerate() {
+            push_bit(&mut self.valid, i, true);
+            push_bit(&mut self.expedition, i, flag);
+        }
+        self.start = 0;
+        self.live = self.seq.len();
+        self.in_expedition_count = expedition.iter().filter(|&&f| f).count();
+    }
+
+    /// Installs a migrated batch of tuples (sorted by sequence number,
+    /// none in expedition), interleaving it with the resident entries so
+    /// the window stays sorted.  `attr_of` recomputes the join-attribute
+    /// column for the incoming tuples (a migrated tuple crosses the wire
+    /// as plain rows; the columnar form — attribute column, bitsets and
+    /// hash index — is rebuilt on import, which is what keeps elastic
+    /// resize and rebalance byte-identical on the columnar layout).
     ///
     /// Sequence numbers must be disjoint from the resident ones: a tuple
     /// rests on exactly one node, so a migration can never deliver a
     /// duplicate.
-    pub fn merge_sorted(&mut self, incoming: Vec<StreamTuple<T>>) {
+    pub fn merge_sorted<F>(&mut self, incoming: Vec<StreamTuple<T>>, attr_of: F)
+    where
+        F: Fn(&T) -> i64,
+    {
         debug_assert!(
             incoming.windows(2).all(|w| w[0].seq < w[1].seq),
             "migrated tuples must arrive in increasing sequence order"
@@ -330,77 +560,345 @@ impl<T> LocalWindow<T> {
         if incoming.is_empty() {
             return;
         }
-        if let Some(index) = &mut self.index {
-            for tuple in &incoming {
-                let key = (index.key_fn)(&tuple.payload);
-                index.buckets.entry(key).or_default().push(tuple.seq);
-            }
-        }
-        // Classic two-way merge of two sorted runs.
-        let resident: Vec<Entry<T>> = std::mem::take(&mut self.entries).into();
+        self.compact();
+        // Row form (seq, ts, attr, expedition, payload) of both runs.
+        let resident: Vec<(u64, i64, i64, bool, T)> = {
+            let seq = std::mem::take(&mut self.seq);
+            let ts = std::mem::take(&mut self.ts);
+            let attr = std::mem::take(&mut self.attr);
+            let payload = std::mem::take(&mut self.payload);
+            seq.into_iter()
+                .zip(ts)
+                .zip(attr)
+                .zip(payload)
+                .enumerate()
+                .map(|(i, (((q, t), a), p))| (q, t, a, bit(&self.expedition, i), p))
+                .collect()
+        };
+        let incoming: Vec<(u64, i64, i64, bool, T)> = incoming
+            .into_iter()
+            .map(|t| {
+                let a = attr_of(&t.payload);
+                (t.seq.0, t.ts.as_micros() as i64, a, false, t.payload)
+            })
+            .collect();
+        let total = resident.len() + incoming.len();
         let mut resident = resident.into_iter().peekable();
         let mut incoming = incoming.into_iter().peekable();
-        let mut merged = VecDeque::with_capacity(resident.len() + incoming.len());
+        let mut expedition_flags = Vec::with_capacity(total);
+        self.seq.reserve(total);
+        self.ts.reserve(total);
+        self.attr.reserve(total);
+        self.payload.reserve(total);
         loop {
-            match (resident.peek(), incoming.peek()) {
+            let take_resident = match (resident.peek(), incoming.peek()) {
                 (Some(r), Some(i)) => {
-                    assert_ne!(
-                        r.tuple.seq, i.seq,
-                        "a migrated tuple already rests in this window"
-                    );
-                    if r.tuple.seq < i.seq {
-                        merged.push_back(resident.next().expect("peeked"));
-                    } else {
-                        merged.push_back(Entry {
-                            tuple: incoming.next().expect("peeked"),
-                            in_expedition: false,
-                        });
-                    }
+                    assert_ne!(r.0, i.0, "a migrated tuple already rests in this window");
+                    r.0 < i.0
                 }
-                (Some(_), None) => merged.push_back(resident.next().expect("peeked")),
-                (None, Some(_)) => merged.push_back(Entry {
-                    tuple: incoming.next().expect("peeked"),
-                    in_expedition: false,
-                }),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
                 (None, None) => break,
-            }
+            };
+            let (q, t, a, flag, p) = if take_resident {
+                resident.next().expect("peeked")
+            } else {
+                incoming.next().expect("peeked")
+            };
+            self.seq.push(q);
+            self.ts.push(t);
+            self.attr.push(a);
+            self.payload.push(p);
+            expedition_flags.push(flag);
         }
-        self.entries = merged;
+        let in_expedition = self.in_expedition_count;
+        self.rebuild_flags(&expedition_flags);
+        debug_assert_eq!(self.in_expedition_count, in_expedition);
+        self.rebuild_index();
     }
 
-    /// Consistency check used by tests and debug assertions: the expedition
-    /// counter matches the flags, sequence numbers are strictly increasing
-    /// and every index bucket references stored tuples.
+    /// Consistency check used by tests and debug assertions: the counters
+    /// match the bitsets, sequence numbers are strictly increasing, the
+    /// live-region start is settled and every live tuple is referenced by
+    /// exactly one index bucket (tombstoned bucket offsets are legal —
+    /// they are lazily reclaimed).
     pub fn check_invariants(&self) -> Result<(), String> {
-        let flagged = self.entries.iter().filter(|e| e.in_expedition).count();
-        if flagged != self.in_expedition_count {
+        let len = self.seq.len();
+        if self.ts.len() != len || self.attr.len() != len || self.payload.len() != len {
+            return Err("column lengths diverge".into());
+        }
+        let live = (0..len).filter(|&i| bit(&self.valid, i)).count();
+        if live != self.live {
             return Err(format!(
-                "expedition counter {} does not match flags {flagged}",
-                self.in_expedition_count
+                "live counter {} does not match bits {live}",
+                self.live
             ));
         }
-        for pair in self.entries.iter().zip(self.entries.iter().skip(1)) {
-            if pair.0.tuple.seq >= pair.1.tuple.seq {
-                return Err("sequence numbers are not strictly increasing".into());
-            }
+        let flagged = (0..len)
+            .filter(|&i| bit(&self.expedition, i))
+            .collect::<Vec<_>>();
+        if flagged.len() != self.in_expedition_count {
+            return Err(format!(
+                "expedition counter {} does not match flags {}",
+                self.in_expedition_count,
+                flagged.len()
+            ));
+        }
+        if let Some(&i) = flagged.iter().find(|&&i| !bit(&self.valid, i)) {
+            return Err(format!(
+                "tombstoned slot {i} still carries an expedition flag"
+            ));
+        }
+        if self.seq.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("sequence numbers are not strictly increasing".into());
+        }
+        if (0..self.start.min(len)).any(|i| bit(&self.valid, i)) {
+            return Err("live tuple before the live-region start".into());
+        }
+        if self.start < len && !bit(&self.valid, self.start) {
+            return Err("live-region start points at a dead slot".into());
+        }
+        if self.start > len {
+            return Err("live-region start out of bounds".into());
         }
         if let Some(index) = &self.index {
-            let indexed: usize = index.buckets.values().map(Vec::len).sum();
-            if indexed != self.entries.len() {
-                return Err(format!(
-                    "index holds {indexed} entries but window holds {}",
-                    self.entries.len()
-                ));
-            }
-            for bucket in index.buckets.values() {
-                for &seq in bucket {
-                    if self.position(seq).is_none() {
-                        return Err(format!("index references missing tuple {seq}"));
+            let mut seen = vec![false; len];
+            for (&key, bucket) in &index.buckets {
+                for &off in bucket {
+                    let i = off as usize;
+                    if i >= len {
+                        return Err(format!("index offset {i} out of bounds"));
+                    }
+                    if !bit(&self.valid, i) {
+                        continue; // lazily-reclaimed tombstone
+                    }
+                    if seen[i] {
+                        return Err(format!("index references slot {i} twice"));
+                    }
+                    seen[i] = true;
+                    if (index.key_fn)(&self.payload[i]) != key {
+                        return Err(format!("slot {i} filed under the wrong key"));
                     }
                 }
+            }
+            let indexed = seen.iter().filter(|&&s| s).count();
+            if indexed != self.live {
+                return Err(format!(
+                    "index covers {indexed} live tuples but window holds {}",
+                    self.live
+                ));
             }
         }
         Ok(())
+    }
+}
+
+impl<T: Clone> ColumnarWindow<T> {
+    /// Materializes the tuple at physical slot `i`.
+    #[inline]
+    fn tuple_at(&self, i: usize) -> StreamTuple<T> {
+        StreamTuple::new(
+            SeqNo(self.seq[i]),
+            Timestamp::from_micros(self.ts[i] as u64),
+            self.payload[i].clone(),
+        )
+    }
+
+    /// Returns the tuple with the given sequence number, if live.
+    pub fn get(&self, seq: SeqNo) -> Option<StreamTuple<T>> {
+        self.find(seq).map(|i| self.tuple_at(i))
+    }
+
+    /// Removes the tuple with the given sequence number, returning it if
+    /// it was present.  The slot is tombstoned (columns never shift) and
+    /// reclaimed by the next compaction.
+    pub fn remove(&mut self, seq: SeqNo) -> Option<StreamTuple<T>> {
+        let i = self.find(seq)?;
+        let tuple = self.tuple_at(i);
+        self.clear_slot(i);
+        self.maybe_compact();
+        Some(tuple)
+    }
+
+    /// Removes and returns the oldest stored tuple (lowest sequence
+    /// number) along with its expedition flag.  Used by the original
+    /// handshake join when a segment overflows.
+    pub fn pop_oldest(&mut self) -> Option<(StreamTuple<T>, bool)> {
+        if self.start >= self.seq.len() {
+            return None;
+        }
+        let i = self.start;
+        let tuple = self.tuple_at(i);
+        let flagged = bit(&self.expedition, i);
+        self.clear_slot(i);
+        self.maybe_compact();
+        Some((tuple, flagged))
+    }
+
+    /// Scans the window, invoking `on_match` for every tuple that
+    /// satisfies `pred`.  When `only_finished` is set, tuples whose
+    /// expedition flag is still set are skipped (this is how
+    /// stored/stored double matches are avoided, Section 4.2.3).  This is
+    /// the universal scalar path: one closure call per live tuple.
+    ///
+    /// Returns the number of predicate evaluations performed.
+    pub fn scan_matches<F, M>(&self, only_finished: bool, mut pred: F, mut on_match: M) -> u64
+    where
+        F: FnMut(&T) -> bool,
+        M: FnMut(StreamTuple<T>),
+    {
+        let mut comparisons = 0;
+        for i in self.start..self.seq.len() {
+            if !bit(&self.valid, i) {
+                continue;
+            }
+            if only_finished && bit(&self.expedition, i) {
+                continue;
+            }
+            comparisons += 1;
+            if pred(&self.payload[i]) {
+                on_match(self.tuple_at(i));
+            }
+        }
+        comparisons
+    }
+
+    /// Branch-free band scan: finds every live tuple whose attribute
+    /// column value lies in `band`, 64 tuples per bitset word.  The match
+    /// positions are collected as a compare-and-mask bit pattern over the
+    /// raw `i64` column and only then materialized.  When `exact` is set
+    /// the band *is* the predicate (equi and pure band joins); otherwise
+    /// `residual` re-checks each band hit against the full predicate
+    /// (composite predicates such as the paper's two-dimensional band
+    /// join).
+    ///
+    /// Returns the number of comparisons *as the scalar path would count
+    /// them* — one per live (and, under `only_finished`, non-expedited)
+    /// tuple — so the simulator's cost model sees a layout-independent
+    /// work measure and stays byte-identical across both paths.
+    pub fn scan_band<F, M>(
+        &self,
+        band: BandSpec,
+        only_finished: bool,
+        exact: bool,
+        mut residual: F,
+        mut on_match: M,
+    ) -> u64
+    where
+        F: FnMut(&T) -> bool,
+        M: FnMut(StreamTuple<T>),
+    {
+        let len = self.seq.len();
+        let comparisons = (self.live
+            - if only_finished {
+                self.in_expedition_count
+            } else {
+                0
+            }) as u64;
+        if self.start >= len {
+            return comparisons;
+        }
+        let first_word = self.start >> 6;
+        let last_word = (len - 1) >> 6;
+        for w in first_word..=last_word {
+            let mut mask = self.valid[w];
+            if only_finished {
+                mask &= !self.expedition[w];
+            }
+            if w == first_word {
+                mask &= !0u64 << (self.start & 63);
+            }
+            let base = w << 6;
+            let block_len = (len - base).min(64);
+            if block_len < 64 {
+                mask &= (1u64 << block_len) - 1;
+            }
+            if mask == 0 {
+                continue;
+            }
+            // Compare-and-mask over the dense attribute block: no branch
+            // per element, so the loop autovectorizes.  Full words go
+            // through the runtime-dispatched kernel (see [`band_hits_word`]).
+            let block = &self.attr[base..base + block_len];
+            let hits = if let Ok(full) = <&[i64; 64]>::try_from(block) {
+                band_hits_word(full, band.lo, band.hi)
+            } else {
+                let mut hits = 0u64;
+                for (b, &a) in block.iter().enumerate() {
+                    hits |= (((a >= band.lo) as u64) & ((a <= band.hi) as u64)) << b;
+                }
+                hits
+            };
+            let mut m = mask & hits;
+            while m != 0 {
+                let i = base + m.trailing_zeros() as usize;
+                m &= m - 1;
+                if exact || residual(&self.payload[i]) {
+                    on_match(self.tuple_at(i));
+                }
+            }
+        }
+        comparisons
+    }
+
+    /// Probes the hash index with `key`, invoking `on_match` for every
+    /// candidate tuple that additionally satisfies `pred` (the residual
+    /// predicate re-check keeps the probe correct for composite
+    /// predicates).
+    ///
+    /// Returns the number of candidate evaluations.  Callers must check
+    /// [`ColumnarWindow::has_index`] first; probing an unindexed window
+    /// falls back to a full scan.
+    pub fn probe_matches<F, M>(&self, key: u64, only_finished: bool, pred: F, on_match: M) -> u64
+    where
+        F: FnMut(&T) -> bool,
+        M: FnMut(StreamTuple<T>),
+    {
+        self.probe_matches_counted(key, only_finished, pred, on_match)
+            .evaluated
+    }
+
+    /// [`ColumnarWindow::probe_matches`] with the full [`ProbeCost`]
+    /// breakdown.  Buckets store physical column offsets, so every
+    /// candidate resolves with one direct column access — no per-candidate
+    /// binary search (`inspected` counts exactly those accesses, including
+    /// tombstones skipped without a predicate call).
+    pub fn probe_matches_counted<F, M>(
+        &self,
+        key: u64,
+        only_finished: bool,
+        mut pred: F,
+        mut on_match: M,
+    ) -> ProbeCost
+    where
+        F: FnMut(&T) -> bool,
+        M: FnMut(StreamTuple<T>),
+    {
+        let Some(index) = &self.index else {
+            let evaluated = self.scan_matches(only_finished, pred, on_match);
+            return ProbeCost {
+                evaluated,
+                inspected: evaluated,
+            };
+        };
+        let mut cost = ProbeCost::default();
+        if let Some(bucket) = index.buckets.get(&key) {
+            for &off in bucket {
+                let i = off as usize;
+                cost.inspected += 1;
+                if !bit(&self.valid, i) {
+                    continue; // tombstone awaiting compaction
+                }
+                if only_finished && bit(&self.expedition, i) {
+                    continue;
+                }
+                cost.evaluated += 1;
+                if pred(&self.payload[i]) {
+                    on_match(self.tuple_at(i));
+                }
+            }
+        }
+        cost
     }
 }
 
@@ -409,6 +907,9 @@ impl<T> LocalWindow<T> {
 ///
 /// The buffer is scanned by arriving R tuples to detect pairs that would
 /// otherwise pass each other "in flight" between two neighbouring nodes.
+/// Unlike the windows it is bounded by the acknowledgement round-trip, so
+/// it keeps the simple row layout: entries live for one hop, far too short
+/// for a columnar rebuild to pay off.
 pub struct IwsBuffer<T> {
     entries: VecDeque<StreamTuple<T>>,
     index: Option<IwsIndex<T>>,
@@ -556,9 +1057,16 @@ mod tests {
         StreamTuple::new(SeqNo(seq), Timestamp::from_millis(seq), v)
     }
 
+    /// Insert with the payload itself as the attribute column value, the
+    /// way a columnar-aware node would.
+    fn insert_attr(w: &mut ColumnarWindow<u64>, tuple: StreamTuple<u64>, in_expedition: bool) {
+        let attr = tuple.payload.join_attr();
+        w.insert_with_attr(tuple, attr, in_expedition);
+    }
+
     #[test]
     fn insert_get_remove() {
-        let mut w = LocalWindow::new();
+        let mut w = ColumnarWindow::new();
         w.insert(t(1, 10), true);
         w.insert(t(3, 30), false);
         w.insert(t(5, 50), true);
@@ -570,12 +1078,13 @@ mod tests {
         assert_eq!(removed.payload, 10);
         assert_eq!(w.in_expedition(), 1);
         assert!(w.remove(SeqNo(1)).is_none());
+        assert!(w.get(SeqNo(1)).is_none(), "tombstoned slot is invisible");
         w.check_invariants().unwrap();
     }
 
     #[test]
     fn finish_expedition_clears_flag_once() {
-        let mut w = LocalWindow::new();
+        let mut w = ColumnarWindow::new();
         w.insert(t(2, 0), true);
         assert!(w.finish_expedition(SeqNo(2)));
         assert_eq!(w.in_expedition(), 0);
@@ -589,7 +1098,7 @@ mod tests {
 
     #[test]
     fn scan_respects_expedition_filter() {
-        let mut w = LocalWindow::new();
+        let mut w = ColumnarWindow::new();
         w.insert(t(1, 7), true);
         w.insert(t(2, 7), false);
         w.insert(t(3, 8), false);
@@ -606,24 +1115,96 @@ mod tests {
     }
 
     #[test]
+    fn band_scan_equals_scalar_scan_including_comparisons() {
+        let mut w = ColumnarWindow::new();
+        for i in 0..300u64 {
+            insert_attr(&mut w, t(i, i % 37), i % 5 == 0);
+        }
+        for only_finished in [false, true] {
+            for (lo, hi) in [(3, 9), (0, 0), (36, 99), (12, 11)] {
+                let band = BandSpec { lo, hi };
+                let mut scalar = Vec::new();
+                let scmp = w.scan_matches(
+                    only_finished,
+                    |v| (*v as i64) >= lo && (*v as i64) <= hi,
+                    |m| scalar.push((m.seq, m.payload)),
+                );
+                let mut columnar = Vec::new();
+                let ccmp = w.scan_band(
+                    band,
+                    only_finished,
+                    true,
+                    |_| true,
+                    |m| columnar.push((m.seq, m.payload)),
+                );
+                assert_eq!(
+                    scalar, columnar,
+                    "band [{lo},{hi}] finished={only_finished}"
+                );
+                assert_eq!(scmp, ccmp, "comparison counts must be layout-independent");
+            }
+        }
+        // Residual path: band over the attribute plus a parity filter.
+        let band = BandSpec { lo: 0, hi: 20 };
+        let mut scalar = Vec::new();
+        w.scan_matches(
+            false,
+            |v| (*v as i64) <= 20 && *v % 2 == 0,
+            |m| scalar.push(m.seq),
+        );
+        let mut columnar = Vec::new();
+        w.scan_band(
+            band,
+            false,
+            false,
+            |v| *v % 2 == 0,
+            |m| columnar.push(m.seq),
+        );
+        assert_eq!(scalar, columnar);
+    }
+
+    #[test]
+    fn band_scan_sees_tombstones_and_the_live_region() {
+        let mut w = ColumnarWindow::new();
+        for i in 0..200u64 {
+            insert_attr(&mut w, t(i, i), false);
+        }
+        // Kill a mix of front and middle slots (front removals advance the
+        // live-region start, middle ones leave tombstones).
+        for i in (0..100u64).chain([130, 131, 190]) {
+            w.remove(SeqNo(i)).unwrap();
+        }
+        let band = BandSpec { lo: 120, hi: 140 };
+        let mut hits = Vec::new();
+        let cmp = w.scan_band(band, false, true, |_| true, |m| hits.push(m.payload));
+        let expected: Vec<u64> = (120..=140).filter(|v| ![130, 131].contains(v)).collect();
+        assert_eq!(hits, expected);
+        assert_eq!(cmp, w.len() as u64);
+        w.check_invariants().unwrap();
+    }
+
+    #[test]
     fn pop_oldest_returns_fifo_order() {
-        let mut w = LocalWindow::new();
+        let mut w = ColumnarWindow::new();
         w.insert(t(1, 1), true);
         w.insert(t(2, 2), false);
+        assert_eq!(w.peek_oldest().unwrap().0, SeqNo(1));
         let (first, flagged) = w.pop_oldest().unwrap();
         assert_eq!(first.seq, SeqNo(1));
         assert!(flagged);
         assert_eq!(w.in_expedition(), 0);
+        assert_eq!(w.peek_oldest().unwrap().0, SeqNo(2));
         let (second, flagged) = w.pop_oldest().unwrap();
         assert_eq!(second.seq, SeqNo(2));
         assert!(!flagged);
         assert!(w.pop_oldest().is_none());
+        assert!(w.peek_oldest().is_none());
     }
 
     #[test]
     fn hash_index_probe_finds_only_matching_bucket() {
         let key_fn: KeyFn<u64> = Arc::new(|v: &u64| *v % 10);
-        let mut w = LocalWindow::with_index(key_fn);
+        let mut w = ColumnarWindow::with_index(key_fn);
         for i in 0..100u64 {
             w.insert(t(i, i), false);
         }
@@ -636,9 +1217,71 @@ mod tests {
     }
 
     #[test]
+    fn probe_resolves_candidates_by_offset_without_searches() {
+        // The comparison-count regression test for the offset-based index:
+        // with a heavily duplicated key, the probe must inspect exactly
+        // the bucket (live + tombstoned candidates), independent of the
+        // window size — the old per-candidate binary search is gone, and
+        // nothing outside the bucket is touched.
+        let key_fn: KeyFn<u64> = Arc::new(|v: &u64| *v % 4);
+        let mut w = ColumnarWindow::with_index(key_fn);
+        for i in 0..4096u64 {
+            w.insert(t(i, i), false);
+        }
+        let cost = w.probe_matches_counted(1, false, |_| true, |_| ());
+        assert_eq!(cost.inspected, 1024, "exactly the bucket, nothing more");
+        assert_eq!(cost.evaluated, 1024);
+        // Tombstoning half the bucket (not enough to compact) leaves dead
+        // offsets behind: they are inspected but never evaluated.
+        for i in (1..4096u64).step_by(8) {
+            w.remove(SeqNo(i)).unwrap();
+        }
+        let cost = w.probe_matches_counted(1, false, |_| true, |_| ());
+        assert_eq!(cost.inspected, 1024);
+        assert_eq!(cost.evaluated, 512);
+        w.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn heavy_duplicate_key_window_removes_cheaply_and_compacts() {
+        // Every tuple shares one key, the worst case for the old
+        // O(bucket-len) retain-per-removal: the bucket held the whole
+        // window.  Tombstoning makes each removal O(log n); compaction
+        // keeps physical storage bounded and rebuilds the single bucket.
+        let key_fn: KeyFn<u64> = Arc::new(|_| 42);
+        let mut w = ColumnarWindow::with_index(key_fn);
+        for i in 0..10_000u64 {
+            w.insert(t(i, i), false);
+        }
+        // Remove from the middle out, the pattern that defeats the
+        // front-advance fast path.
+        for i in (1..10_000u64).step_by(2) {
+            assert!(w.remove(SeqNo(i)).is_some());
+        }
+        assert_eq!(w.len(), 5_000);
+        assert!(
+            w.physical_len() <= 2 * w.len() + 64,
+            "compaction must bound physical storage: {} slots for {} live",
+            w.physical_len(),
+            w.len()
+        );
+        w.check_invariants().unwrap();
+        let mut hits = 0u64;
+        let cost = w.probe_matches_counted(42, false, |_| true, |_| hits += 1);
+        assert_eq!(hits, 5_000);
+        assert_eq!(cost.evaluated, 5_000);
+        assert!(cost.inspected <= w.physical_len() as u64);
+        // Drain the rest; the window must end empty and consistent.
+        while w.pop_oldest().is_some() {}
+        assert!(w.is_empty());
+        assert_eq!(w.physical_len(), 0, "emptying compacts away all slots");
+        w.check_invariants().unwrap();
+    }
+
+    #[test]
     fn hash_index_stays_consistent_under_removal() {
         let key_fn: KeyFn<u64> = Arc::new(|v: &u64| *v % 4);
-        let mut w = LocalWindow::with_index(key_fn);
+        let mut w = ColumnarWindow::with_index(key_fn);
         for i in 0..40u64 {
             w.insert(t(i, i), false);
         }
@@ -657,7 +1300,7 @@ mod tests {
 
     #[test]
     fn probe_without_index_falls_back_to_scan() {
-        let mut w = LocalWindow::new();
+        let mut w = ColumnarWindow::new();
         w.insert(t(0, 5), false);
         w.insert(t(1, 6), false);
         let mut hits = 0;
@@ -670,29 +1313,39 @@ mod tests {
     #[test]
     fn drain_and_merge_interleave_and_keep_the_index_consistent() {
         let key_fn: KeyFn<u64> = Arc::new(|v: &u64| *v % 4);
-        let mut donor = LocalWindow::with_index(Arc::clone(&key_fn));
-        let mut survivor = LocalWindow::with_index(key_fn);
+        let mut donor = ColumnarWindow::with_index(Arc::clone(&key_fn));
+        let mut survivor = ColumnarWindow::with_index(key_fn);
         // Round-robin-style interleaved homes: donor holds odd seqs,
         // survivor even ones.
         for i in 0..40u64 {
             if i % 2 == 1 {
-                donor.insert(t(i, i), false);
+                insert_attr(&mut donor, t(i, i), false);
             } else {
-                survivor.insert(t(i, i), false);
+                insert_attr(&mut survivor, t(i, i), false);
             }
         }
         let migrated = donor.drain_sorted();
         assert!(donor.is_empty());
         assert_eq!(migrated.len(), 20);
         assert!(migrated.windows(2).all(|w| w[0].seq < w[1].seq));
-        survivor.merge_sorted(migrated);
+        survivor.merge_sorted(migrated, |v| v.join_attr());
         assert_eq!(survivor.len(), 40);
         survivor.check_invariants().unwrap();
-        // Lookups, probes and removals keep working on the merged window.
+        // Lookups, probes, band scans and removals keep working on the
+        // merged window — the attribute column was rebuilt on import.
         assert_eq!(survivor.get(SeqNo(13)).unwrap().payload, 13);
         let mut hits = 0;
         survivor.probe_matches(1, false, |_| true, |_| hits += 1);
         assert_eq!(hits, 10);
+        let mut band_hits = Vec::new();
+        survivor.scan_band(
+            BandSpec { lo: 10, hi: 13 },
+            false,
+            true,
+            |_| true,
+            |m| band_hits.push(m.payload),
+        );
+        assert_eq!(band_hits, vec![10, 11, 12, 13]);
         assert!(survivor.remove(SeqNo(13)).is_some());
         survivor.check_invariants().unwrap();
     }
@@ -700,7 +1353,7 @@ mod tests {
     #[test]
     fn drain_range_sheds_a_slice_and_keeps_the_index_consistent() {
         let key_fn: KeyFn<u64> = Arc::new(|v: &u64| *v % 4);
-        let mut w = LocalWindow::with_index(key_fn);
+        let mut w = ColumnarWindow::with_index(key_fn);
         for i in 0..10u64 {
             w.insert(t(i, i), false);
         }
@@ -729,19 +1382,38 @@ mod tests {
     }
 
     #[test]
+    fn drain_range_addresses_live_positions_despite_tombstones() {
+        let mut w = ColumnarWindow::new();
+        for i in 0..10u64 {
+            w.insert(t(i, i), false);
+        }
+        // Tombstone seqs 0 and 4; live tuples are then 1,2,3,5,6,7,8,9.
+        w.remove(SeqNo(0)).unwrap();
+        w.remove(SeqNo(4)).unwrap();
+        let slice = w.drain_range(0..3);
+        assert_eq!(
+            slice.iter().map(|t| t.seq).collect::<Vec<_>>(),
+            vec![SeqNo(1), SeqNo(2), SeqNo(3)],
+            "positions address live tuples, not physical slots"
+        );
+        assert_eq!(w.len(), 5);
+        w.check_invariants().unwrap();
+    }
+
+    #[test]
     #[should_panic(expected = "in-expedition")]
     fn drain_range_rejects_live_expeditions() {
-        let mut w = LocalWindow::new();
+        let mut w = ColumnarWindow::new();
         w.insert(t(1, 1), true);
         let _ = w.drain_range(0..1);
     }
 
     #[test]
     fn merge_into_empty_and_empty_into_full_are_noops_or_copies() {
-        let mut w = LocalWindow::new();
-        w.merge_sorted(vec![t(3, 3), t(7, 7)]);
+        let mut w = ColumnarWindow::new();
+        w.merge_sorted(vec![t(3, 3), t(7, 7)], |v| v.join_attr());
         assert_eq!(w.len(), 2);
-        w.merge_sorted(Vec::new());
+        w.merge_sorted(Vec::new(), |v| v.join_attr());
         assert_eq!(w.len(), 2);
         w.check_invariants().unwrap();
     }
@@ -749,7 +1421,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "in-expedition")]
     fn drain_rejects_windows_with_live_expeditions() {
-        let mut w = LocalWindow::new();
+        let mut w = ColumnarWindow::new();
         w.insert(t(1, 1), true);
         let _ = w.drain_sorted();
     }
@@ -757,9 +1429,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "already rests in this window")]
     fn merge_rejects_duplicate_residence() {
-        let mut w = LocalWindow::new();
+        let mut w = ColumnarWindow::new();
         w.insert(t(5, 5), false);
-        w.merge_sorted(vec![t(5, 5)]);
+        w.merge_sorted(vec![t(5, 5)], |v| v.join_attr());
     }
 
     #[test]
@@ -811,9 +1483,19 @@ mod tests {
 
     #[test]
     fn empty_windows_behave() {
-        let w: LocalWindow<u64> = LocalWindow::new();
+        let w: ColumnarWindow<u64> = ColumnarWindow::new();
         assert!(w.is_empty());
         assert_eq!(w.scan_matches(false, |_| true, |_| panic!("no tuples")), 0);
+        assert_eq!(
+            w.scan_band(
+                BandSpec { lo: 0, hi: 100 },
+                false,
+                true,
+                |_| true,
+                |_| { panic!("no tuples") }
+            ),
+            0
+        );
         w.check_invariants().unwrap();
         let iws: IwsBuffer<u64> = IwsBuffer::new();
         assert!(iws.is_empty());

@@ -19,7 +19,8 @@
 //! experiment (Table 2) the predicate is changed to an equi-join on
 //! `r.x = s.a` so that hash indexes apply.
 
-use llhj_core::predicate::JoinPredicate;
+use llhj_core::predicate::{BandSpec, JoinPredicate};
+use llhj_core::store::ColumnarPayload;
 
 /// A tuple of stream R: `⟨ x: int, y: float, z: char[20] ⟩`.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,11 +65,31 @@ impl STuple {
     }
 }
 
+/// The integer join attribute `x`, mirrored into the columnar attribute
+/// column so band scans over R windows run branch-free.
+impl ColumnarPayload for RTuple {
+    #[inline]
+    fn join_attr(&self) -> i64 {
+        self.x as i64
+    }
+}
+
+/// The integer join attribute `a`; see the [`RTuple`] impl.
+impl ColumnarPayload for STuple {
+    #[inline]
+    fn join_attr(&self) -> i64 {
+        self.a as i64
+    }
+}
+
 /// The paper's two-dimensional band join predicate.
 ///
 /// `band` is the half-width of the band (10 in the paper).  The predicate
-/// does not expose equi-keys, so all window probing is a nested-loop scan —
-/// exactly the workload the handshake join algorithms were designed for.
+/// does not expose equi-keys, so no hash index applies — but it does expose
+/// a *band form* over the integer attribute (`x` / `a`): window scans
+/// evaluate `|r.x - s.a| <= band_x` as a branch-free compare-and-mask loop
+/// over the columnar attribute vector and only re-check the float residual
+/// `|r.y - s.b| <= band_y` on the (rare) integer-band hits.
 #[derive(Debug, Clone, Copy)]
 pub struct BandPredicate {
     /// Half-width of the integer band on `x` / `a`.
@@ -91,6 +112,24 @@ impl JoinPredicate<RTuple, STuple> for BandPredicate {
     fn matches(&self, r: &RTuple, s: &STuple) -> bool {
         (r.x - s.a).abs() <= self.band_x && (r.y - s.b).abs() <= self.band_y
     }
+    #[inline]
+    fn r_attr(&self, r: &RTuple) -> Option<i64> {
+        Some(r.join_attr())
+    }
+    #[inline]
+    fn s_attr(&self, s: &STuple) -> Option<i64> {
+        Some(s.join_attr())
+    }
+    #[inline]
+    fn s_band(&self, r: &RTuple) -> Option<BandSpec> {
+        Some(BandSpec::around(r.join_attr(), self.band_x as i64))
+    }
+    #[inline]
+    fn r_band(&self, s: &STuple) -> Option<BandSpec> {
+        Some(BandSpec::around(s.join_attr(), self.band_x as i64))
+    }
+    // band_exact stays false: the float band on `y` / `b` is the residual
+    // check applied to every integer-band hit.
 }
 
 /// Equi-join variant `r.x = s.a` used for the index-acceleration experiment
@@ -115,6 +154,25 @@ impl JoinPredicate<RTuple, STuple> for EquiXaPredicate {
     fn supports_index(&self) -> bool {
         true
     }
+    #[inline]
+    fn r_attr(&self, r: &RTuple) -> Option<i64> {
+        Some(r.join_attr())
+    }
+    #[inline]
+    fn s_attr(&self, s: &STuple) -> Option<i64> {
+        Some(s.join_attr())
+    }
+    #[inline]
+    fn s_band(&self, r: &RTuple) -> Option<BandSpec> {
+        Some(BandSpec::point(r.join_attr()))
+    }
+    #[inline]
+    fn r_band(&self, s: &STuple) -> Option<BandSpec> {
+        Some(BandSpec::point(s.join_attr()))
+    }
+    fn band_exact(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +195,48 @@ mod tests {
         assert!(!JoinPredicate::<RTuple, STuple>::supports_index(&p));
         assert_eq!(p.r_key(&RTuple::new(1, 1.0)), None);
         assert_eq!(p.s_key(&STuple::new(1, 1.0)), None);
+    }
+
+    #[test]
+    fn band_predicate_band_form_is_sound_but_not_exact() {
+        // Soundness: every matching pair lies inside the band; the band
+        // alone is NOT exact because of the float residual on y/b.
+        let p = BandPredicate::default();
+        assert!(!JoinPredicate::<RTuple, STuple>::band_exact(&p));
+        let r = RTuple::new(100, 50.0);
+        let band = p.s_band(&r).unwrap();
+        assert_eq!(band, BandSpec { lo: 90, hi: 110 });
+        for a in [90, 100, 110] {
+            let s = STuple::new(a, 50.0);
+            assert!(p.matches(&r, &s));
+            assert!(band.contains(p.s_attr(&s).unwrap()));
+        }
+        // Inside the integer band, outside the float band: a band hit the
+        // residual must reject.
+        let s = STuple::new(100, 61.0);
+        assert!(band.contains(p.s_attr(&s).unwrap()) && !p.matches(&r, &s));
+        // Outside the integer band: never a hit.
+        assert!(!band.contains(p.s_attr(&STuple::new(111, 50.0)).unwrap()));
+        // The mirror direction.
+        let rb = p.r_band(&STuple::new(100, 50.0)).unwrap();
+        assert_eq!(rb, BandSpec { lo: 90, hi: 110 });
+        assert!(rb.contains(p.r_attr(&r).unwrap()));
+    }
+
+    #[test]
+    fn equi_predicate_band_form_is_exact_points() {
+        let p = EquiXaPredicate;
+        assert!(JoinPredicate::<RTuple, STuple>::band_exact(&p));
+        assert_eq!(p.s_band(&RTuple::new(7, 0.0)), Some(BandSpec::point(7)));
+        assert_eq!(p.r_band(&STuple::new(9, 0.0)), Some(BandSpec::point(9)));
+        assert_eq!(p.r_attr(&RTuple::new(7, 0.0)), Some(7));
+        assert_eq!(p.s_attr(&STuple::new(9, 0.0)), Some(9));
+    }
+
+    #[test]
+    fn columnar_payloads_mirror_the_integer_attribute() {
+        assert_eq!(RTuple::new(42, 9.9).join_attr(), 42);
+        assert_eq!(STuple::new(-3, 0.0).join_attr(), -3);
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Columnar/scalar equivalence: the branch-free band scan and the
+//! offset-resolving hash probe must be *byte-identical* to the scalar
+//! closure path — same matches, in the same order, with the same reported
+//! comparison counts — for band, equi and composite predicates, with and
+//! without in-expedition tuples.
+//!
+//! Three layers of evidence:
+//!
+//! 1. a seeded property sweep directly on [`ColumnarWindow`], comparing
+//!    `scan_band` against `scan_matches` over random windows and bands;
+//! 2. full simulations where the same workload runs once with the real
+//!    predicate (band path engaged) and once wrapped in [`ScalarOnly`]
+//!    (every acceleration hook hidden), which must agree exactly;
+//! 3. the Kang oracle — which deliberately never takes the band path —
+//!    as the cross-substrate conformance baseline.
+
+use handshake_join::baselines::run_kang;
+use handshake_join::prelude::*;
+use handshake_join::workload::WorkloadRng;
+use llhj_core::store::ColumnarWindow;
+use llhj_core::tuple::StreamTuple;
+
+fn seeded_window(
+    seed: u64,
+    n: u64,
+    flagged_period: u64,
+) -> (ColumnarWindow<i64>, Vec<(u64, i64, bool)>) {
+    let mut rng = WorkloadRng::seed_from_u64(seed);
+    let mut w = ColumnarWindow::new();
+    let mut rows = Vec::new();
+    let mut seq = 0u64;
+    for i in 0..n {
+        seq += 1 + rng.next_u64() % 3; // gaps in the sequence space
+        let attr = rng.gen_range_u32(0, 1_000) as i64 - 500;
+        let flagged = flagged_period != 0 && i % flagged_period == 0;
+        w.insert_with_attr(
+            StreamTuple::new(SeqNo(seq), Timestamp::from_millis(seq), attr),
+            attr,
+            flagged,
+        );
+        rows.push((seq, attr, flagged));
+    }
+    (w, rows)
+}
+
+/// Layer 1: the property sweep.  Random windows (some with expedition
+/// flags, some with tombstones from random removals), random bands, both
+/// expedition filters — results and comparison counts must match the
+/// scalar path exactly, in scan order.
+#[test]
+fn band_scan_is_byte_identical_to_scalar_scan() {
+    for seed in 0..8u64 {
+        let flagged_period = [0, 3, 1][seed as usize % 3];
+        let (mut w, rows) = seeded_window(seed, 400, flagged_period);
+        // Punch random tombstones into half the sweeps.
+        let mut rng = WorkloadRng::seed_from_u64(seed ^ 0xdead);
+        if seed % 2 == 0 {
+            for &(seq, _, _) in rows.iter().filter(|_| rng.gen_unit_f64() < 0.3) {
+                w.remove(SeqNo(seq));
+            }
+        }
+        w.check_invariants().unwrap();
+        for _ in 0..25 {
+            let lo = rng.gen_range_u32(0, 1_000) as i64 - 500;
+            let hi = lo + rng.gen_range_u32(0, 120) as i64;
+            let band = BandSpec { lo, hi };
+            for only_finished in [false, true] {
+                let mut scalar = Vec::new();
+                let scalar_cmp = w.scan_matches(
+                    only_finished,
+                    |a| band.contains(*a),
+                    |t| scalar.push((t.seq, t.payload)),
+                );
+                let mut columnar = Vec::new();
+                let columnar_cmp = w.scan_band(
+                    band,
+                    only_finished,
+                    true,
+                    |_| true,
+                    |t| columnar.push((t.seq, t.payload)),
+                );
+                assert_eq!(scalar, columnar, "seed {seed} band {band:?}");
+                assert_eq!(scalar_cmp, columnar_cmp, "comparison counts diverge");
+                // Composite (non-exact) form: an extra parity residual.
+                let mut scalar_res = Vec::new();
+                w.scan_matches(
+                    only_finished,
+                    |a| band.contains(*a) && a.rem_euclid(2) == 0,
+                    |t| scalar_res.push(t.seq),
+                );
+                let mut columnar_res = Vec::new();
+                w.scan_band(
+                    band,
+                    only_finished,
+                    false,
+                    |a| a.rem_euclid(2) == 0,
+                    |t| columnar_res.push(t.seq),
+                );
+                assert_eq!(scalar_res, columnar_res, "residual path diverges");
+            }
+        }
+    }
+}
+
+fn band_schedule(seed: u64) -> llhj_core::DriverSchedule<RTuple, STuple> {
+    let workload = BandJoinWorkload::scaled(130.0, TimeDelta::from_secs(10), 350, seed);
+    band_join_schedule(
+        &workload,
+        WindowSpec::time_secs(3),
+        WindowSpec::time_secs(3),
+    )
+}
+
+fn run<P>(
+    algorithm: Algorithm,
+    pred: P,
+    schedule: &llhj_core::DriverSchedule<RTuple, STuple>,
+) -> SimReport<RTuple, STuple>
+where
+    P: JoinPredicate<RTuple, STuple> + Clone + Send + Sync + 'static,
+{
+    let mut cfg = SimConfig::new(4, algorithm);
+    cfg.window_r = WindowSpec::time_secs(3);
+    cfg.window_s = WindowSpec::time_secs(3);
+    cfg.expected_rate_per_sec = 130.0;
+    cfg.batch_size = 16;
+    cfg.latency_bucket = 1_000_000;
+    run_simulation(&cfg, pred, RoundRobin, schedule)
+}
+
+/// Layer 2+3: whole joins through both node types.  `ScalarOnly` hides the
+/// band form, so the same simulation exercises the scalar fallback; the
+/// results, the comparison totals (the count is layout-independent by
+/// construction) and the Kang oracle must all agree.
+#[test]
+fn simulated_joins_agree_between_band_and_scalar_paths() {
+    for seed in [11u64, 23] {
+        let schedule = band_schedule(seed);
+        let pred = BandPredicate::default();
+        let oracle = run_kang(pred, &schedule);
+        assert!(oracle.results.len() > 10, "degenerate workload");
+        for algorithm in [Algorithm::Llhj, Algorithm::Hsj] {
+            let columnar = run(algorithm, pred, &schedule);
+            let scalar = run(algorithm, ScalarOnly(pred), &schedule);
+            assert_eq!(
+                columnar.result_keys(),
+                scalar.result_keys(),
+                "{algorithm:?} seed {seed}: band path diverges from scalar path"
+            );
+            assert_eq!(
+                columnar.total_comparisons(),
+                scalar.total_comparisons(),
+                "{algorithm:?} seed {seed}: comparison counts must be layout-independent"
+            );
+            assert_eq!(
+                columnar.result_keys(),
+                oracle.result_keys(),
+                "{algorithm:?} seed {seed}: conformance with the Kang oracle"
+            );
+        }
+    }
+}
+
+/// The equi-join: the indexed node takes the offset-resolving probe, the
+/// unindexed one the point-band scan, the `ScalarOnly` run the closure
+/// scan.  All three must produce the oracle's result set.
+#[test]
+fn equi_join_probe_band_and_scalar_paths_agree() {
+    let workload = EquiJoinWorkload {
+        rate_per_sec: 140.0,
+        duration: TimeDelta::from_secs(8),
+        domain: 250,
+        seed: 17,
+    };
+    let window = WindowSpec::time_secs(3);
+    let schedule = equi_join_schedule(&workload, window, window);
+    let oracle = run_kang(EquiXaPredicate, &schedule);
+    assert!(oracle.results.len() > 10, "degenerate workload");
+
+    let run = |algorithm, scalar_only: bool| {
+        let mut cfg = SimConfig::new(4, algorithm);
+        cfg.window_r = window;
+        cfg.window_s = window;
+        cfg.expected_rate_per_sec = 140.0;
+        cfg.batch_size = 16;
+        cfg.latency_bucket = 1_000_000;
+        if scalar_only {
+            run_simulation(&cfg, ScalarOnly(EquiXaPredicate), RoundRobin, &schedule)
+        } else {
+            run_simulation(&cfg, EquiXaPredicate, RoundRobin, &schedule)
+        }
+    };
+    let probed = run(Algorithm::LlhjIndexed, false);
+    let banded = run(Algorithm::Llhj, false);
+    let scalar = run(Algorithm::Llhj, true);
+    assert_eq!(probed.result_keys(), oracle.result_keys());
+    assert_eq!(banded.result_keys(), oracle.result_keys());
+    assert_eq!(scalar.result_keys(), oracle.result_keys());
+    assert_eq!(
+        banded.total_comparisons(),
+        scalar.total_comparisons(),
+        "the point-band scan reports scalar-equivalent comparison counts"
+    );
+    assert!(
+        probed.total_comparisons() * 5 < scalar.total_comparisons(),
+        "the offset probe must actually cut work: {} vs {}",
+        probed.total_comparisons(),
+        scalar.total_comparisons()
+    );
+}
