@@ -17,9 +17,9 @@ use llhj_core::time::{TimeDelta, Timestamp};
 use llhj_core::tuple::{PipelineTuple, SeqNo, StreamTuple};
 use llhj_core::window::WindowSpec;
 use llhj_sim::{run_simulation, Algorithm, SimConfig};
+use llhj_sync::sync::Arc;
 use llhj_workload::{band_join_schedule, BandJoinWorkload, BandPredicate};
 use std::hint::black_box;
-use std::sync::Arc;
 use std::time::Duration;
 
 fn window_scan(c: &mut Criterion) {

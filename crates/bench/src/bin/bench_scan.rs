@@ -29,10 +29,10 @@ use llhj_core::predicate::{BandSpec, JoinPredicate};
 use llhj_core::store::{ColumnarWindow, KeyFn};
 use llhj_core::time::Timestamp;
 use llhj_core::tuple::{SeqNo, StreamTuple};
+use llhj_sync::sync::Arc;
+use llhj_sync::time::Instant;
 use llhj_workload::{BandPredicate, EquiXaPredicate, RTuple, STuple, WorkloadRng};
 use std::hint::black_box;
-use std::sync::Arc;
-use std::time::Instant;
 
 /// Tuples resident in the scanned window.  Large enough that the
 /// payload vector (24 B per `S` tuple) no longer fits the L2 cache:

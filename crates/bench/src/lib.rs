@@ -22,7 +22,7 @@ use std::fmt::Write as _;
 
 /// Number of logical cores the host exposes.
 pub fn host_cores() -> usize {
-    std::thread::available_parallelism()
+    llhj_sync::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }

@@ -10,7 +10,10 @@
 //! nanoseconds per iteration.  Numbers are comparable between runs on the
 //! same machine, which is all the repo's benches need.
 
-use std::time::{Duration, Instant};
+// This shim stands in for an external crate and deliberately stays
+// free of workspace dependencies; it measures wall-clock time, so the
+// facade's logical clock would be wrong here anyway.
+use std::time::{Duration, Instant}; // lint:allow(facade)
 
 pub use std::hint::black_box;
 

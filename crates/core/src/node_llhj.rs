@@ -28,7 +28,7 @@ use crate::result::ResultTuple;
 use crate::stats::NodeCounters;
 use crate::store::{IwsBuffer, KeyFn, LocalWindow};
 use crate::tuple::{NodeId, PipelineTuple};
-use std::sync::Arc;
+use llhj_sync::sync::Arc;
 
 /// Output type produced by the LLHJ node: pipeline messages plus results.
 pub type LlhjOutput<R, S> = NodeOutput<R, S, ResultTuple<R, S>>;

@@ -16,7 +16,7 @@
 //! Both band and equi joins fit: an equi-join is the degenerate band
 //! `[key, key]`.  The closure path remains the universal fallback.
 
-use std::sync::Arc;
+use llhj_sync::sync::Arc;
 
 /// An inclusive interval `[lo, hi]` over the columnar join attribute.
 ///

@@ -9,16 +9,26 @@
 //! vacuuming cycle.
 
 use crate::time::Timestamp;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use llhj_sync::sync::atomic::{AtomicU64, Ordering};
+use llhj_sync::sync::Arc;
 
 /// High-water marks of both input streams.
 ///
 /// The marks are updated by whichever component observes a tuple reaching
 /// the end of its pipeline traversal: the rightmost node for R tuples, the
-/// leftmost node for S tuples.  Updates use relaxed atomics, so the same
-/// type serves the multi-threaded runtime and the single-threaded
-/// simulator.
+/// leftmost node for S tuples.
+///
+/// ### Memory ordering
+///
+/// A mark is a *publication*: the worker enqueues the tuple's result
+/// frames first and advances the mark second, and the collector's safety
+/// argument ("every result at or below the mark is already in my input
+/// queues") depends on observing those enqueues once it reads the mark.
+/// The updates are therefore `Release` and the reads `Acquire` — a
+/// `Relaxed` mark would let the collector emit a punctuation whose
+/// results it cannot yet see.  (The model checker covers the
+/// *interleaving* half of this argument; the acquire/release pair covers
+/// the weak-memory half.)
 #[derive(Debug, Default)]
 pub struct HighWaterMarks {
     r_micros: AtomicU64,
@@ -32,23 +42,28 @@ impl HighWaterMarks {
     }
 
     /// Records that an R tuple with timestamp `ts` reached the right end.
+    /// `Release`: publishes the result enqueues that preceded the call
+    /// (see the type-level ordering note).
     pub fn observe_r(&self, ts: Timestamp) {
-        self.r_micros.fetch_max(ts.as_micros(), Ordering::Relaxed);
+        self.r_micros.fetch_max(ts.as_micros(), Ordering::Release);
     }
 
     /// Records that an S tuple with timestamp `ts` reached the left end.
+    /// `Release`, as for [`observe_r`](HighWaterMarks::observe_r).
     pub fn observe_s(&self, ts: Timestamp) {
-        self.s_micros.fetch_max(ts.as_micros(), Ordering::Relaxed);
+        self.s_micros.fetch_max(ts.as_micros(), Ordering::Release);
     }
 
-    /// Current high-water mark of stream R.
+    /// Current high-water mark of stream R.  `Acquire` pairs with the
+    /// `Release` in [`observe_r`](HighWaterMarks::observe_r).
     pub fn r(&self) -> Timestamp {
-        Timestamp::from_micros(self.r_micros.load(Ordering::Relaxed))
+        Timestamp::from_micros(self.r_micros.load(Ordering::Acquire))
     }
 
-    /// Current high-water mark of stream S.
+    /// Current high-water mark of stream S.  `Acquire` pairs with the
+    /// `Release` in [`observe_s`](HighWaterMarks::observe_s).
     pub fn s(&self) -> Timestamp {
-        Timestamp::from_micros(self.s_micros.load(Ordering::Relaxed))
+        Timestamp::from_micros(self.s_micros.load(Ordering::Acquire))
     }
 
     /// The punctuation value that is currently safe to emit:

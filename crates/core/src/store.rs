@@ -59,10 +59,10 @@
 use crate::predicate::BandSpec;
 use crate::time::Timestamp;
 use crate::tuple::{SeqNo, StreamTuple};
+use llhj_sync::sync::Arc;
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::Arc;
 
 /// Key extractor used by the optional hash index of a [`ColumnarWindow`].
 pub type KeyFn<T> = Arc<dyn Fn(&T) -> u64 + Send + Sync>;
@@ -212,12 +212,18 @@ fn band_hits_word_portable(attr: &[i64; 64], lo: i64, hi: i64) -> u64 {
     hits
 }
 
+// SAFETY: `unsafe` only because of `#[target_feature]` — the caller must
+// guarantee AVX2 is available (the dispatcher's `is_x86_feature_detected!`
+// check).  The body is the safe portable loop; no unsafe operations occur,
+// so with `deny(unsafe_op_in_unsafe_fn)` nothing inside needs a block.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn band_hits_word_avx2(attr: &[i64; 64], lo: i64, hi: i64) -> u64 {
     band_hits_word_portable(attr, lo, hi)
 }
 
+// SAFETY: as for the AVX2 clone — caller must have verified avx512f +
+// avx512bw at runtime; the body itself is the safe portable loop.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512bw")]
 unsafe fn band_hits_word_avx512(attr: &[i64; 64], lo: i64, hi: i64) -> u64 {

@@ -47,10 +47,10 @@ use llhj_core::metrics::{
 };
 use llhj_core::predicate::JoinPredicate;
 use llhj_core::time::TimeDelta;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use llhj_sync::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use llhj_sync::sync::Arc;
+use llhj_sync::thread::{self, JoinHandle};
+use llhj_sync::time::{Duration, Instant};
 
 /// Configuration of the closed loop: the policy plus how often the
 /// controller samples the metrics bus.
@@ -111,7 +111,7 @@ impl Controller {
         let policy = options.policy.clone();
         let thread_shared = Arc::clone(&shared);
         let handle =
-            std::thread::spawn(move || controller_loop(thread_shared, bus, clock, policy, tick));
+            thread::spawn(move || controller_loop(thread_shared, bus, clock, policy, tick));
         Controller {
             shared,
             handle,

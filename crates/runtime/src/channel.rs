@@ -25,8 +25,10 @@
 //! the whole pipeline.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+
+use llhj_sync::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use llhj_sync::sync::{Arc, Condvar, Mutex};
+use llhj_sync::time::{Duration, Instant};
 
 /// A shared wake-up target: an eventcount (atomic epoch + waiter count,
 /// with a `Mutex`/`Condvar` used only for actual parking).
@@ -48,11 +50,11 @@ pub struct WaitSet {
 
 #[derive(Default)]
 struct WaitSetInner {
-    epoch: std::sync::atomic::AtomicU64,
+    epoch: AtomicU64,
     /// Number of threads inside `wait` (incremented under `lock` before
     /// the final epoch re-check, so `notify` cannot observe 0 while a
     /// waiter is between its re-check and the condvar park).
-    waiters: std::sync::atomic::AtomicUsize,
+    waiters: AtomicUsize,
     lock: Mutex<()>,
     condvar: Condvar,
 }
@@ -65,13 +67,12 @@ impl WaitSet {
 
     /// Current epoch, to pass to a later [`wait`](WaitSet::wait).
     pub fn epoch(&self) -> u64 {
-        self.inner.epoch.load(std::sync::atomic::Ordering::SeqCst)
+        self.inner.epoch.load(SeqCst)
     }
 
     /// Bumps the epoch and wakes every parked waiter.  With no waiter
     /// parked this is two uncontended atomic operations.
     pub fn notify(&self) {
-        use std::sync::atomic::Ordering::SeqCst;
         self.inner.epoch.fetch_add(1, SeqCst);
         if self.inner.waiters.load(SeqCst) > 0 {
             // Taking (and immediately releasing) the lock serialises with a
@@ -87,8 +88,7 @@ impl WaitSet {
     /// Returns `true` if the epoch moved (a notification arrived), `false`
     /// on timeout — the caller should re-poll either way.
     pub fn wait(&self, seen: u64, timeout: Duration) -> bool {
-        use std::sync::atomic::Ordering::SeqCst;
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = Instant::now() + timeout;
         let mut guard = self.inner.lock.lock().expect("waitset poisoned");
         // Registration order matters: advertise the waiter *before* the
         // epoch re-check.  A notify that misses the registration therefore
@@ -100,7 +100,7 @@ impl WaitSet {
             if self.inner.epoch.load(SeqCst) != seen {
                 break true;
             }
-            let now = std::time::Instant::now();
+            let now = Instant::now();
             if now >= deadline {
                 break false;
             }
@@ -135,7 +135,7 @@ impl std::fmt::Debug for WaitSet {
 /// out the gap first.
 #[derive(Clone, Default)]
 pub struct CancelToken {
-    flag: Arc<std::sync::atomic::AtomicBool>,
+    flag: Arc<AtomicBool>,
     signal: WaitSet,
 }
 
@@ -148,13 +148,13 @@ impl CancelToken {
     /// Requests cancellation and wakes every wait parked on the token.
     /// Idempotent.
     pub fn cancel(&self) {
-        self.flag.store(true, std::sync::atomic::Ordering::SeqCst);
+        self.flag.store(true, SeqCst);
         self.signal.notify();
     }
 
     /// True once [`cancel`](CancelToken::cancel) has been called.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(std::sync::atomic::Ordering::SeqCst)
+        self.flag.load(SeqCst)
     }
 
     /// Parks until the deadline passes or the token is cancelled, whichever
@@ -163,13 +163,13 @@ impl CancelToken {
     /// The epoch snapshot is taken before the cancellation re-check, so a
     /// `cancel` racing with the park is never lost (same discipline as the
     /// worker wait loop).
-    pub fn wait_until(&self, deadline: std::time::Instant) -> bool {
+    pub fn wait_until(&self, deadline: Instant) -> bool {
         loop {
             let seen = self.signal.epoch();
             if self.is_cancelled() {
                 return true;
             }
-            let now = std::time::Instant::now();
+            let now = Instant::now();
             if now >= deadline {
                 return false;
             }
@@ -362,7 +362,7 @@ impl<T> Receiver<T> {
 
     /// Dequeues the next frame, waiting up to `timeout` for one to arrive.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, TryRecvError> {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = Instant::now() + timeout;
         let mut state = self.shared.state.lock().expect("channel poisoned");
         loop {
             if let Some(frame) = state.queue.pop_front() {
@@ -373,7 +373,7 @@ impl<T> Receiver<T> {
             if state.senders == 0 {
                 return Err(TryRecvError::Disconnected);
             }
-            let now = std::time::Instant::now();
+            let now = Instant::now();
             if now >= deadline {
                 return Err(TryRecvError::Empty);
             }
@@ -421,7 +421,7 @@ impl<T> Drop for Receiver<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Instant;
+    use llhj_sync::thread;
 
     #[test]
     fn fifo_order_is_preserved() {
@@ -442,12 +442,12 @@ mod tests {
         tx.send(1).unwrap();
         tx.send(2).unwrap();
         // The third send must block until the consumer drains a slot.
-        let handle = std::thread::spawn(move || {
+        let handle = thread::spawn(move || {
             let start = Instant::now();
             tx.send(3).unwrap();
             start.elapsed()
         });
-        std::thread::sleep(Duration::from_millis(20));
+        thread::sleep(Duration::from_millis(20));
         assert_eq!(rx.try_recv(), Ok(1));
         let blocked_for = handle.join().unwrap();
         assert!(
@@ -478,8 +478,8 @@ mod tests {
     fn dropping_the_receiver_fails_sends_and_unblocks_producers() {
         let (tx, rx) = bounded(1);
         tx.send(1u32).unwrap();
-        let handle = std::thread::spawn(move || tx.send(2).is_err());
-        std::thread::sleep(Duration::from_millis(10));
+        let handle = thread::spawn(move || tx.send(2).is_err());
+        thread::sleep(Duration::from_millis(10));
         drop(rx);
         assert!(handle.join().unwrap(), "send must fail after receiver drop");
     }
@@ -487,8 +487,8 @@ mod tests {
     #[test]
     fn recv_timeout_delivers_cross_thread() {
         let (tx, rx) = unbounded();
-        std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(5));
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(5));
             tx.send(42u32).unwrap();
         });
         assert_eq!(rx.recv_timeout(Duration::from_secs(2)), Ok(42));
@@ -499,7 +499,7 @@ mod tests {
     /// turning into a hung test suite.
     fn with_deadline<F: FnOnce() + Send + 'static>(timeout: Duration, f: F) {
         let (done_tx, done_rx) = unbounded();
-        let handle = std::thread::spawn(move || {
+        let handle = thread::spawn(move || {
             f();
             let _ = done_tx.send(());
         });
@@ -521,8 +521,8 @@ mod tests {
 
         for (which, tx) in [(0u8, tx_a), (1u8, tx_b)] {
             assert!(rx_a.try_recv().is_err() && rx_b.try_recv().is_err());
-            std::thread::spawn(move || {
-                std::thread::sleep(Duration::from_millis(5));
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(5));
                 tx.send(u32::from(which)).unwrap();
             });
             // The two-input wait must observe the send on either channel;
@@ -574,10 +574,10 @@ mod tests {
         rx_right.set_waiter(&waitset);
 
         with_deadline(Duration::from_secs(5), move || {
-            let dropper = std::thread::spawn(move || {
-                std::thread::sleep(Duration::from_millis(10));
+            let dropper = thread::spawn(move || {
+                thread::sleep(Duration::from_millis(10));
                 drop(tx_left);
-                std::thread::sleep(Duration::from_millis(10));
+                thread::sleep(Duration::from_millis(10));
                 drop(tx_right);
             });
             // Worker loop: block until both inputs report Disconnected.

@@ -82,10 +82,10 @@ use llhj_core::result::TimedResult;
 use llhj_core::stats::{LatencyPoint, LatencySummary, NodeCounters};
 use llhj_core::time::Timestamp;
 use llhj_core::tuple::SeqNo;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use llhj_sync::sync::atomic::{AtomicBool, Ordering};
+use llhj_sync::sync::Arc;
+use llhj_sync::thread::JoinHandle;
+use llhj_sync::time::{Duration, Instant};
 
 /// How long the control plane waits for a single protocol step (a worker
 /// confirmation or a retiring worker's exit) before declaring the fence

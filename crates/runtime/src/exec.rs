@@ -37,10 +37,10 @@ use llhj_core::rebalance::shed_ranges;
 use llhj_core::result::{ResultTuple, TimedResult};
 use llhj_core::stats::{LatencySeries, LatencySummary, NodeCounters};
 use llhj_core::time::Timestamp;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use llhj_sync::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use llhj_sync::sync::Arc;
+use llhj_sync::thread::{self, JoinHandle};
+use llhj_sync::time::{Duration, Instant};
 
 /// Safety-net bound on how long a worker parks between wake-ups.  Workers
 /// are woken eagerly — by frame arrivals through their [`WaitSet`] and by
@@ -461,7 +461,7 @@ where
             idle_wakeups: 0,
         };
         WorkerHandle {
-            handle: std::thread::spawn(move || worker.run()),
+            handle: thread::spawn(move || worker.run()),
             cmd_tx,
             waitset,
         }
@@ -587,6 +587,21 @@ where
             }
             MessageBatch::Handoff(_) => unreachable!("stashed above"),
         }
+        // Results are enqueued *before* the frame is forwarded: a
+        // downstream node may otherwise process the forwarded tuples,
+        // reach a pipeline end and advance the high-water mark while this
+        // node's results for the very same tuples are still local — and a
+        // punctuation would overtake them.  (The model suite encodes this
+        // ordering; swapping the two blocks fails the checker.)
+        if !out.results.is_empty() {
+            let detected_at = self.shared.clock.now();
+            for result in out.results.drain(..) {
+                let _ = self
+                    .shared
+                    .results
+                    .send(TimedResult::new(result, detected_at));
+            }
+        }
         // The complete output of the frame leaves as at most one frame
         // per direction: this is where per-message channel cost collapses
         // to per-frame cost.
@@ -604,15 +619,6 @@ where
                 send_frame(tx, MessageBatch::Right(msgs), &self.shared.in_flight);
             } else {
                 out.to_left.clear();
-            }
-        }
-        if !out.results.is_empty() {
-            let detected_at = self.shared.clock.now();
-            for result in out.results.drain(..) {
-                let _ = self
-                    .shared
-                    .results
-                    .send(TimedResult::new(result, detected_at));
             }
         }
         // Only now — with every result of this frame enqueued — may the
@@ -742,7 +748,7 @@ where
         if let Some(stall) = stall {
             // Test instrumentation: widen the handoff window so teardown
             // tests can deterministically land a shutdown inside it.
-            std::thread::sleep(stall);
+            thread::sleep(stall);
         }
         let migrated = segment.len();
         let mut out: NodeOutput<R, S, ResultTuple<R, S>> = NodeOutput::new();
@@ -878,7 +884,7 @@ where
     R: Clone + Send + 'static,
     S: Clone + Send + 'static,
 {
-    std::thread::spawn(move || {
+    thread::spawn(move || {
         let mut outcome = CollectorOutcome {
             results: Vec::new(),
             output: Vec::new(),
@@ -943,7 +949,7 @@ mod tests {
     #[test]
     fn frozen_clock_for_non_positive_speedup() {
         let clock = StreamClock::new(Pacing::RealTime { speedup: -3.0 });
-        std::thread::sleep(Duration::from_millis(2));
+        thread::sleep(Duration::from_millis(2));
         assert_eq!(clock.now(), Timestamp::ZERO);
     }
 }

@@ -27,9 +27,30 @@
 //! [`MetricsSample`](llhj_core::metrics::MetricsSample) — the shared,
 //! substrate-agnostic observation type the policy consumes.
 
+//! ## Memory-ordering audit
+//!
+//! Every `Ordering` below is deliberate (this file is on the house
+//! lint's `Relaxed` whitelist):
+//!
+//! * `arrivals`, `results`, the `latency_bits` CAS and the `node_busy`
+//!   slots are **monotonic statistics**.  Nothing is published *through*
+//!   them — no consumer dereferences other memory on the strength of a
+//!   counter value, and the sampler tolerates any interleaving of the
+//!   individual updates (it differentiates against its own clock).
+//!   `Relaxed` is therefore sufficient: atomicity per counter is all the
+//!   protocol needs, and `Relaxed` still guarantees per-counter total
+//!   modification order (monotonicity).
+//! * `nodes` is different: the control plane stores it *after* wiring a
+//!   new chain topology, and the sampler divides busy time by it.  The
+//!   store is `Release` and the load `Acquire` so a sampler that
+//!   observes the new width also observes the `register_node` writes
+//!   that preceded it (the mutex inside `register_node` orders the slot
+//!   vector itself; the acquire/release pair orders the width against
+//!   the registration).
+
 use llhj_core::time::TimeDelta;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use llhj_sync::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use llhj_sync::sync::{Arc, Mutex};
 
 /// Smoothing factor of the collector's result-latency EWMA.  Shared with
 /// the simulator mirror (both alias
@@ -122,14 +143,16 @@ impl MetricsBus {
     }
 
     /// Publishes the current chain width (control plane, at deploy and
-    /// after every resize).
+    /// after every resize).  `Release`: the store publishes the
+    /// preceding topology writes (see the module-level ordering audit).
     pub fn set_nodes(&self, nodes: usize) {
-        self.nodes.store(nodes, Ordering::Relaxed);
+        self.nodes.store(nodes, Ordering::Release);
     }
 
-    /// Chain width as last published.
+    /// Chain width as last published.  `Acquire` pairs with
+    /// [`set_nodes`](MetricsBus::set_nodes)'s `Release`.
     pub fn nodes(&self) -> usize {
-        self.nodes.load(Ordering::Relaxed)
+        self.nodes.load(Ordering::Acquire)
     }
 
     /// Hands out (or re-hands-out) the busy-nanoseconds slot for node

@@ -47,9 +47,10 @@ use llhj_core::result::TimedResult;
 use llhj_core::stats::{LatencyPoint, LatencySummary, NodeCounters};
 use llhj_core::time::Timestamp;
 use llhj_core::tuple::SeqNo;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use llhj_sync::sync::atomic::{AtomicBool, Ordering};
+use llhj_sync::sync::{Arc, Mutex};
+use llhj_sync::thread;
+use llhj_sync::time::{Duration, Instant};
 
 /// Everything measured during one threaded run.
 #[derive(Debug)]
@@ -247,7 +248,7 @@ where
             let clock = Arc::clone(&clock);
             let timer_stop = timer_stop.clone();
             let period = (options.stream_to_wall(interval) / 2).max(Duration::from_micros(50));
-            Some(std::thread::spawn(move || {
+            Some(thread::spawn(move || {
                 // The driver notifies `timer_stop` exactly once, at
                 // shutdown.  Snapshot the epoch *before* the loop: a
                 // notify that lands while we are flushing (outside
@@ -447,10 +448,10 @@ mod tests {
             cancel: Some(cancel.clone()),
             ..Default::default()
         };
-        let canceller = std::thread::spawn({
+        let canceller = thread::spawn({
             let cancel = cancel.clone();
             move || {
-                std::thread::sleep(Duration::from_millis(100));
+                thread::sleep(Duration::from_millis(100));
                 cancel.cancel();
             }
         });

@@ -1,0 +1,474 @@
+//! Model-checked concurrency invariants of the runtime's protocol layer.
+//!
+//! Compiled only under the model backend:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg llhj_model" cargo test -p llhj-runtime --test model_concurrency
+//! ```
+//!
+//! Each test wraps a protocol scenario in [`llhj_sync::model::explore`],
+//! which reruns it under every schedule within the exploration budget
+//! (DFS over yield points, preemption-bounded, state-hash pruned).  The
+//! scenarios use the *real* runtime types — `WaitSet`, frame channels,
+//! `CancelToken`, `MetricsBus`, `HighWaterMarks` — at model scale (a
+//! couple of tuples, two or three tasks), because the checker's
+//! guarantee is per-schedule exhaustiveness, not per-volume stress.
+//! Every loop parks on a `WaitSet` exactly like the real workers do;
+//! busy-waiting would (correctly) be reported as a livelock.
+//!
+//! Four invariant families, per the concurrency chapter in
+//! ARCHITECTURE.md:
+//!
+//! 1. no lost wakeups in the epoch-snapshot `WaitSet` protocol;
+//! 2. punctuation high-water marks never pass enqueued results — with
+//!    the two historical orderings (the PR 4 vacuum-before-marks
+//!    collector, and the forward-before-results node fixed in this PR)
+//!    encoded buggy-side, so the checker provably catches both;
+//! 3. exactly-once tuple residence across a fence+handoff retire with a
+//!    concurrent cancel;
+//! 4. torn-read/lost-update freedom on the `MetricsBus` atomics.
+#![cfg(llhj_model)]
+
+use llhj_core::punctuation::{verify_punctuated_stream, HighWaterMarks, OutputItem, Punctuation};
+use llhj_core::time::{TimeDelta, Timestamp};
+use llhj_runtime::channel::{unbounded, CancelToken, Receiver, TryRecvError, WaitSet};
+use llhj_runtime::metrics::{MetricsBus, LATENCY_EWMA_ALPHA};
+use llhj_sync::model::{explore, explore_expect_violation, ModelOptions, Report};
+use llhj_sync::sync::{Arc, Mutex};
+use llhj_sync::thread;
+use llhj_sync::time::Duration;
+
+/// Every scenario here must exhaust its schedule tree — a budget-capped
+/// search would weaken "the race is unreachable" to "we did not look
+/// hard enough".
+fn assert_exhaustive(report: &Report) {
+    assert!(
+        report.complete,
+        "exploration hit the execution budget ({} runs) before exhausting \
+         the tree; raise the budget or shrink the scenario",
+        report.executions
+    );
+}
+
+fn opts() -> ModelOptions {
+    ModelOptions {
+        max_preemptions: 2,
+        max_executions: 200_000,
+        max_steps: 20_000,
+        state_pruning: true,
+    }
+}
+
+/// The runtime's worker discipline for draining a channel: snapshot the
+/// epoch, poll, park on the snapshot only if the poll came up empty.
+fn recv_parked<T>(rx: &Receiver<T>, ws: &WaitSet) -> Option<T> {
+    loop {
+        let seen = ws.epoch();
+        match rx.try_recv() {
+            Ok(v) => return Some(v),
+            Err(TryRecvError::Empty) => {
+                ws.wait(seen, Duration::from_millis(10));
+            }
+            Err(TryRecvError::Disconnected) => return None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1. WaitSet: epoch-snapshot-before-poll has no lost wakeups
+// ---------------------------------------------------------------------------
+
+/// Under every interleaving the consumer drains both frames without ever
+/// needing the safety-net timeout.
+#[test]
+fn waitset_snapshot_before_poll_never_loses_wakeups() {
+    let report = explore(opts(), || {
+        let ws = WaitSet::new();
+        let (tx, rx) = unbounded::<u32>();
+        rx.set_waiter(&ws);
+        let producer = thread::spawn(move || {
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+        });
+        let mut got = 0;
+        while got < 2 {
+            // Snapshot BEFORE polling: a send landing between the poll
+            // and the park bumps the epoch past `seen`, so the wait
+            // returns immediately.
+            let seen = ws.epoch();
+            match rx.try_recv() {
+                Ok(_) => got += 1,
+                Err(TryRecvError::Empty) => {
+                    ws.wait(seen, Duration::from_millis(10));
+                }
+                Err(TryRecvError::Disconnected) => {
+                    panic!("producer disconnected with frames missing")
+                }
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(
+            llhj_sync::model::forced_timeouts(),
+            0,
+            "a parked worker needed the safety-net timeout: lost wakeup"
+        );
+    });
+    assert_exhaustive(&report);
+}
+
+/// The buggy inversion — poll first, snapshot afterwards.  A send landing
+/// between the poll and the snapshot is invisible: the consumer parks on
+/// an epoch that already includes the notification and nothing but the
+/// safety-net timer ever wakes it.  The checker must find the schedule.
+#[test]
+fn waitset_snapshot_after_poll_loses_a_wakeup() {
+    let report = explore_expect_violation(opts(), || {
+        let ws = WaitSet::new();
+        let (tx, rx) = unbounded::<u32>();
+        rx.set_waiter(&ws);
+        let producer = thread::spawn(move || {
+            tx.send(1).unwrap();
+        });
+        let mut got = 0;
+        while got < 1 {
+            match rx.try_recv() {
+                Ok(_) => got += 1,
+                Err(TryRecvError::Empty) => {
+                    // BUG: epoch read after the poll — the producer's
+                    // send can land in between, and its notification is
+                    // already folded into `seen`.
+                    let seen = ws.epoch();
+                    ws.wait(seen, Duration::from_millis(10));
+                }
+                Err(TryRecvError::Disconnected) => unreachable!(),
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(llhj_sync::model::forced_timeouts(), 0, "lost wakeup");
+    });
+    // The violation must be the lost wakeup itself, not some incidental
+    // deadlock or livelock of the encoding.
+    let message = &report.violation.as_ref().unwrap().message;
+    assert!(
+        message.contains("lost wakeup"),
+        "wrong violation: {message}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 2. Punctuation: high-water marks never pass enqueued results
+// ---------------------------------------------------------------------------
+
+/// Model-scale replica of the worker/collector punctuation protocol on a
+/// two-node chain (`exec.rs::handle_frame` + the collector loop).  One
+/// frame carries two tuples (5 s and 6 s) — the high-water mark a
+/// completed frame advances is the frame's *latest* tuple, while the
+/// frame's results include the *earlier* one, which is exactly the gap a
+/// reordering bug falls into.
+///
+/// * node 0 (middle) enqueues the frame's results FIRST, then forwards
+///   the frame rightward (`enqueue_before_forward`);
+/// * node 1 (rightmost) marks the tuples' traversal as complete;
+/// * the collector reads the marks BEFORE vacuuming the result queue
+///   (`marks_before_vacuum`) and emits the punctuation after the drained
+///   results.
+///
+/// Flipping either boolean re-creates a shipped bug: `marks_before_vacuum
+/// = false` is the pre-PR-4 collector ordering, `enqueue_before_forward
+/// = false` the forward-before-results node race fixed in this PR.  The
+/// output stream is checked with the same `verify_punctuated_stream`
+/// oracle the integration tests use.
+fn punctuation_scenario(enqueue_before_forward: bool, marks_before_vacuum: bool) {
+    const TS_EARLY: u64 = 5_000_000; // 5 s, in micros
+    const TS_LATE: u64 = 6_000_000; // 6 s
+
+    let hwm = HighWaterMarks::new();
+    // The S side sits far ahead so min(r, s) tracks the R mark.
+    hwm.observe_s(Timestamp::from_secs(1_000));
+    let ws = WaitSet::new();
+    let (res_tx, res_rx) = unbounded::<u64>(); // result timestamps (micros)
+    let (fwd_tx, fwd_rx) = unbounded::<(u64, u64)>(); // the frame, travelling right
+    res_rx.set_waiter(&ws);
+
+    // Node 0: results for both tuples, then the forwarded frame.
+    let node0 = thread::spawn(move || {
+        if enqueue_before_forward {
+            res_tx.send(TS_EARLY).unwrap();
+            res_tx.send(TS_LATE).unwrap();
+            fwd_tx.send((TS_EARLY, TS_LATE)).unwrap();
+        } else {
+            // BUG: the frame races ahead of its own results.
+            fwd_tx.send((TS_EARLY, TS_LATE)).unwrap();
+            res_tx.send(TS_EARLY).unwrap();
+            res_tx.send(TS_LATE).unwrap();
+        }
+    });
+
+    // Node 1 (rightmost): the frame completed its traversal — advance
+    // the R mark to the frame's latest tuple.
+    let node1 = {
+        let hwm = Arc::clone(&hwm);
+        let ws = ws.clone();
+        let fwd_ws = WaitSet::new();
+        fwd_rx.set_waiter(&fwd_ws);
+        thread::spawn(move || {
+            let (_early, late) =
+                recv_parked(&fwd_rx, &fwd_ws).expect("frame lost before the chain end");
+            hwm.observe_r(Timestamp::from_micros(late));
+            ws.notify();
+        })
+    };
+
+    // Collector (this task): read marks, then vacuum, then punctuate
+    // (Section 6.1.3) — or the other way round, when modelling the bug.
+    let mut out: Vec<OutputItem<u64>> = Vec::new();
+    let mut results = 0;
+    while results < 2 {
+        let seen = ws.epoch();
+        let mut drained = Vec::new();
+        let p;
+        if marks_before_vacuum {
+            p = hwm.safe_punctuation();
+            while let Ok(ts) = res_rx.try_recv() {
+                drained.push(ts);
+            }
+        } else {
+            // BUG (pre-PR-4): vacuum first.  A mark advancing between
+            // the vacuum and the read covers results still enqueued.
+            while let Ok(ts) = res_rx.try_recv() {
+                drained.push(ts);
+            }
+            p = hwm.safe_punctuation();
+        }
+        let progressed = !drained.is_empty();
+        results += drained.len();
+        out.extend(drained.into_iter().map(OutputItem::Result));
+        out.push(OutputItem::Punctuation(Punctuation { ts: p }));
+        if !progressed {
+            ws.wait(seen, Duration::from_millis(10));
+        }
+    }
+    node0.join().unwrap();
+    node1.join().unwrap();
+
+    assert_eq!(
+        verify_punctuated_stream(&out, |&us| Timestamp::from_micros(us)),
+        Ok(()),
+        "a punctuation overtook a result: {out:?}"
+    );
+}
+
+/// Current code: both orderings correct — no schedule violates the
+/// punctuation guarantee.
+#[test]
+fn punctuation_never_passes_results() {
+    let report = explore(opts(), || punctuation_scenario(true, true));
+    assert_exhaustive(&report);
+}
+
+/// Reverting the PR 4 fix (vacuum before reading the marks) must fail
+/// the checker deterministically.
+#[test]
+fn punctuation_pre_pr4_ordering_is_caught() {
+    let report = explore_expect_violation(opts(), || punctuation_scenario(true, false));
+    let message = &report.violation.as_ref().unwrap().message;
+    assert!(
+        message.contains("punctuation overtook a result"),
+        "wrong violation: {message}"
+    );
+}
+
+/// Reverting this PR's fix (forward the frame before enqueueing its
+/// results) must fail the checker deterministically.
+#[test]
+fn punctuation_forward_before_results_is_caught() {
+    let report = explore_expect_violation(opts(), || punctuation_scenario(false, true));
+    let message = &report.violation.as_ref().unwrap().message;
+    assert!(
+        message.contains("punctuation overtook a result"),
+        "wrong violation: {message}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 3. Fence + handoff retire vs. concurrent cancel: exactly-once residence
+// ---------------------------------------------------------------------------
+
+/// Model-scale replica of the retire leg of the resize protocol: the
+/// retiree sheds its segment to the absorber over a handoff channel and
+/// may exit only after the absorber's ack; a cancel fires concurrently
+/// at every possible point.  Checked invariants, under every schedule:
+///
+/// * every tuple resides in exactly one store afterwards (nothing lost,
+///   nothing duplicated);
+/// * the retiree observes the ack before exiting, cancelled or not;
+/// * nobody needs the safety-net timeout to make progress.
+#[test]
+fn handoff_retire_is_exactly_once_under_cancel() {
+    let report = explore(opts(), || {
+        let cancel = CancelToken::new();
+        let (seg_tx, seg_rx) = unbounded::<Vec<u64>>();
+        let (ack_tx, ack_rx) = unbounded::<()>();
+        let seg_ws = WaitSet::new();
+        let ack_ws = WaitSet::new();
+        seg_rx.set_waiter(&seg_ws);
+        ack_rx.set_waiter(&ack_ws);
+        let absorber_store = Arc::new(Mutex::new(vec![40u64, 50]));
+
+        // Absorber: drains the handoff channel even when cancelled (the
+        // real worker keeps consuming its mailbox until Retire).
+        let absorber = {
+            let store = Arc::clone(&absorber_store);
+            thread::spawn(move || {
+                let segment = recv_parked(&seg_rx, &seg_ws).expect("segment lost in handoff");
+                store.lock().unwrap().extend(segment);
+                ack_tx.send(()).unwrap();
+            })
+        };
+
+        // A cancel can land at any point relative to the handoff.
+        let canceller = {
+            let cancel = cancel.clone();
+            thread::spawn(move || cancel.cancel())
+        };
+
+        // Retiree (this task): shed the segment, then hold position until
+        // the ack — cancellation must not short-circuit the wait, or the
+        // segment could still be in flight when the chain is torn down.
+        seg_tx.send(vec![10u64, 20, 30]).unwrap();
+        let acked = recv_parked(&ack_rx, &ack_ws).is_some();
+        assert!(acked, "retiree exited before its ack");
+
+        canceller.join().unwrap();
+        absorber.join().unwrap();
+        let mut store = absorber_store.lock().unwrap().clone();
+        store.sort_unstable();
+        assert_eq!(
+            store,
+            vec![10, 20, 30, 40, 50],
+            "tuple residence not exactly-once after handoff under cancel"
+        );
+        assert_eq!(
+            llhj_sync::model::forced_timeouts(),
+            0,
+            "handoff needed the safety-net timeout"
+        );
+    });
+    assert_exhaustive(&report);
+}
+
+/// The buggy retiree that treats cancel as permission to exit early:
+/// some schedule tears it down with the segment unacknowledged, which
+/// the exit assertion must catch.
+#[test]
+fn handoff_retire_exiting_on_cancel_is_caught() {
+    let report = explore_expect_violation(opts(), || {
+        let cancel = CancelToken::new();
+        let (seg_tx, seg_rx) = unbounded::<Vec<u64>>();
+        let (ack_tx, ack_rx) = unbounded::<()>();
+        let seg_ws = WaitSet::new();
+        let ack_ws = WaitSet::new();
+        seg_rx.set_waiter(&seg_ws);
+        ack_rx.set_waiter(&ack_ws);
+
+        let absorber = thread::spawn(move || {
+            let seg = recv_parked(&seg_rx, &seg_ws).expect("segment lost");
+            assert_eq!(seg, vec![10u64, 20, 30]);
+            let _ = ack_tx.send(());
+        });
+        let canceller = {
+            let cancel = cancel.clone();
+            thread::spawn(move || cancel.cancel())
+        };
+
+        seg_tx.send(vec![10u64, 20, 30]).unwrap();
+        let mut acked = false;
+        // BUG: bails out on cancel instead of holding for the ack.
+        while !cancel.is_cancelled() {
+            let seen = ack_ws.epoch();
+            match ack_rx.try_recv() {
+                Ok(()) => {
+                    acked = true;
+                    break;
+                }
+                Err(TryRecvError::Empty) => {
+                    ack_ws.wait(seen, Duration::from_millis(10));
+                }
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        assert!(
+            acked,
+            "retiree exited on cancel with its segment unacknowledged"
+        );
+        canceller.join().unwrap();
+        absorber.join().unwrap();
+    });
+    let message = &report.violation.as_ref().unwrap().message;
+    assert!(
+        message.contains("unacknowledged"),
+        "wrong violation: {message}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 4. MetricsBus: torn-read / lost-update freedom
+// ---------------------------------------------------------------------------
+
+/// Two collectors fold latencies concurrently: the CAS loop must lose no
+/// observation, and the final EWMA must equal one of the two serial
+/// orders (sequential consistency of the fold, no torn f64).
+#[test]
+fn metrics_latency_cas_loses_no_update() {
+    let report = explore(opts(), || {
+        let bus = Arc::new(MetricsBus::new());
+        let a = {
+            let bus = Arc::clone(&bus);
+            thread::spawn(move || bus.observe_latency(TimeDelta::from_millis(10)))
+        };
+        let b = {
+            let bus = Arc::clone(&bus);
+            thread::spawn(move || bus.observe_latency(TimeDelta::from_millis(30)))
+        };
+        a.join().unwrap();
+        b.join().unwrap();
+        assert_eq!(bus.results(), 2, "result counter lost an update");
+
+        let ewma = |first: f64, second: f64| first + LATENCY_EWMA_ALPHA * (second - first);
+        let got = bus.latency_ewma().as_micros() as f64;
+        let order_ab = ewma(10_000.0, 30_000.0);
+        let order_ba = ewma(30_000.0, 10_000.0);
+        assert!(
+            (got - order_ab).abs() <= 1.0 || (got - order_ba).abs() <= 1.0,
+            "EWMA {got} matches neither serial order ({order_ab} / {order_ba}): \
+             torn or lost CAS"
+        );
+    });
+    assert_exhaustive(&report);
+}
+
+/// The published chain width: a sampler racing the control plane's
+/// store sees either the old or the new width, never garbage, and the
+/// final value is the last store.
+#[test]
+fn metrics_width_is_never_torn() {
+    let report = explore(opts(), || {
+        let bus = Arc::new(MetricsBus::new());
+        bus.set_nodes(2);
+        let control = {
+            let bus = Arc::clone(&bus);
+            thread::spawn(move || bus.set_nodes(3))
+        };
+        let sampler = {
+            let bus = Arc::clone(&bus);
+            thread::spawn(move || {
+                let w = bus.nodes();
+                assert!(w == 2 || w == 3, "torn width read: {w}");
+            })
+        };
+        control.join().unwrap();
+        sampler.join().unwrap();
+        assert_eq!(bus.nodes(), 3);
+    });
+    assert_exhaustive(&report);
+}

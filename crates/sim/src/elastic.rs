@@ -42,9 +42,9 @@ use llhj_core::rebalance::{shed_ranges, RedistributionPlan};
 use llhj_core::result::TimedResult;
 use llhj_core::stats::{LatencySeries, LatencySummary};
 use llhj_core::time::{TimeDelta, Timestamp};
+use llhj_sync::sync::Arc;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::Arc;
 
 fn ts_to_ns(ts: Timestamp) -> SimNanos {
     ts.as_micros().saturating_mul(1_000)

@@ -1,0 +1,117 @@
+//! # llhj-sync — the concurrency facade of the handshake-join workspace
+//!
+//! Every concurrency-bearing crate in this workspace (`llhj-runtime`'s
+//! channels, wait sets and worker threads; `llhj-core`'s high-water-mark
+//! atomics) imports its primitives from this crate instead of from
+//! `std::sync` / `std::thread` / `std::time::Instant` — a rule enforced
+//! by the house lint (`crates/lint`).  The facade has two backends:
+//!
+//! * **std** (default): zero-cost re-exports of the standard library
+//!   types.  Compiled code is byte-for-byte what a direct `std::sync`
+//!   import would produce.
+//! * **model** (`--cfg llhj_model`, usually via
+//!   `RUSTFLAGS="--cfg llhj_model"`): every primitive becomes a puppet of
+//!   a deterministic scheduler (the `model` module) that runs "threads" as
+//!   cooperative tasks and *explores interleavings* — depth-first over
+//!   the scheduling choice points, with a preemption bound and
+//!   visited-state-hash pruning, in the spirit of loom/shuttle but
+//!   self-contained (this environment has no registry access).  A test
+//!   wraps its scenario in `model::explore` and the checker reruns it
+//!   under every schedule the budget allows, turning "this race is
+//!   unlikely" into "this race is unreachable (within the bound)".
+//!
+//! ## What the model backend checks — and what it does not
+//!
+//! The scheduler serializes execution: exactly one task runs between two
+//! yield points, and every facade operation (atomic access, mutex
+//! acquisition, condvar park/notify, spawn/join) is a yield point.  The
+//! exploration therefore covers every *interleaving* of those operations
+//! (up to the preemption bound), which is what the runtime's protocol
+//! bugs — lost wakeups, punctuation overtaking results, double-resting
+//! segments — live in.  It does **not** model weak-memory reordering:
+//! execution is sequentially consistent regardless of the `Ordering`
+//! arguments, which are accepted and ignored.  Memory-ordering
+//! correctness is covered separately: the orderings are audited and
+//! documented at each use site, the house lint rejects `Relaxed` outside
+//! an explicit whitelist, and CI runs ThreadSanitizer over the runtime
+//! tests.
+//!
+//! ## Time under the model
+//!
+//! The model clock is *logical* and frozen: `time::Instant::now` does
+//! not advance on its own, so code that computes deadlines never reaches
+//! them spontaneously.  Timeouts fire only through the scheduler's
+//! deadlock-breaker: when every task is blocked, the clock jumps to the
+//! earliest pending deadline and that wait returns "timed out" — and the
+//! event is counted (`model::forced_timeouts`).  A protocol whose
+//! liveness silently leans on a safety-net timeout (a lost wakeup!) is
+//! thus *visible*: the run completes, but the forced-timeout count is
+//! non-zero, and the model test asserts it is zero.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+#[cfg(llhj_model)]
+pub mod model;
+
+#[cfg(llhj_model)]
+mod model_backend;
+
+/// Synchronization primitives: `Arc`, `Mutex`, `Condvar`, `RwLock` and
+/// the `atomic` module.  Std re-exports by default; scheduler-controlled
+/// replicas under `--cfg llhj_model`.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// `std::sync::mpsc`, re-exported for test plumbing only.  Not
+    /// modeled: code checked under the model backend must use
+    /// `llhj-runtime`'s frame channels (which are built on the facade's
+    /// `Mutex`/`Condvar`) instead.
+    pub use std::sync::mpsc;
+
+    #[cfg(not(llhj_model))]
+    pub use std::sync::{
+        Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+    };
+
+    #[cfg(llhj_model)]
+    pub use crate::model_backend::sync::{
+        Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+    };
+
+    /// Atomic integer and boolean types plus [`Ordering`](atomic::Ordering).
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        #[cfg(not(llhj_model))]
+        pub use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize};
+
+        #[cfg(llhj_model)]
+        pub use crate::model_backend::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize};
+    }
+}
+
+/// Thread spawning and sleeping.  Under the model backend, `spawn`
+/// registers a cooperative task with the active exploration (and panics
+/// outside one), and `sleep` parks on the logical clock.
+pub mod thread {
+    #[cfg(not(llhj_model))]
+    pub use std::thread::{available_parallelism, sleep, spawn, yield_now, JoinHandle};
+
+    #[cfg(llhj_model)]
+    pub use crate::model_backend::thread::{
+        available_parallelism, sleep, spawn, yield_now, JoinHandle,
+    };
+}
+
+/// Time: `Duration` is always `std`'s; `Instant` is logical (frozen)
+/// under the model backend.
+pub mod time {
+    pub use std::time::Duration;
+
+    #[cfg(not(llhj_model))]
+    pub use std::time::Instant;
+
+    #[cfg(llhj_model)]
+    pub use crate::model_backend::time::Instant;
+}

@@ -1,0 +1,1019 @@
+//! The deterministic interleaving explorer (`--cfg llhj_model` only).
+//!
+//! [`explore`] runs a closure under a cooperative scheduler: the closure
+//! is task 0, every [`crate::thread::spawn`] adds a task, and every
+//! facade operation is a *yield point* where the scheduler decides which
+//! task runs next.  One task runs at a time (tasks are real OS threads,
+//! serialized by a token), so an execution is fully determined by the
+//! sequence of scheduling choices — and the explorer enumerates those
+//! sequences depth-first:
+//!
+//! * **Choice points.**  At every yield point where more than one task
+//!   could run, the explorer records the alternatives.  After an
+//!   execution finishes it backtracks to the deepest choice point with
+//!   an untried alternative, replays the prefix (determinism makes the
+//!   replay exact) and diverges there.
+//! * **Preemption bound.**  Switching away from a task that could have
+//!   continued is a *preemption*; executions with more than
+//!   [`ModelOptions::max_preemptions`] of them are not explored.  Most
+//!   protocol bugs need very few preemptions (the PR 4 punctuation race
+//!   needs one), and the bound keeps the search polynomial instead of
+//!   exponential.
+//! * **State-hash pruning.**  Before registering a new choice point the
+//!   explorer hashes the logical state (every primitive's value, holder
+//!   and waiter lists, every task's status and position, the logical
+//!   clock).  A state already expanded from is not expanded again —
+//!   classic visited-state pruning, sound because executions are
+//!   deterministic functions of state.
+//!
+//! A *violation* is a task panic (a failed `assert!` in the scenario), a
+//! deadlock (no task can run, no pending timeout), or a blown step
+//! budget (livelock).  [`explore`] panics on the first violation,
+//! printing the schedule that produced it — rerunning is deterministic.
+//! [`explore_expect_violation`] inverts the polarity for encoding known
+//! bugs: it panics if the whole search finds *nothing*.
+//!
+//! ## Timeouts and the lost-wakeup detector
+//!
+//! The logical clock never advances while any task can run.  When every
+//! task is blocked and at least one sits in a timed wait, the scheduler
+//! advances the clock to the earliest deadline and wakes that waiter
+//! with "timed out" — counting the event.  [`forced_timeouts`] exposes
+//! the count: a protocol that claims event-driven wakeups must assert it
+//! stays zero, because a non-zero count means some task was parked with
+//! work pending and nothing but the safety-net timer to save it — the
+//! precise signature of a lost wakeup.
+
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+pub(crate) type TaskId = usize;
+pub(crate) type ObjId = usize;
+
+/// Exploration budget and strategy knobs.
+#[derive(Debug, Clone)]
+pub struct ModelOptions {
+    /// Maximum preemptive context switches per execution (switching away
+    /// from a still-runnable task).  Non-preemptive switches (the active
+    /// task blocked or finished) are free.
+    pub max_preemptions: usize,
+    /// Maximum number of executions to run before giving up the search.
+    pub max_executions: usize,
+    /// Maximum scheduling decisions in one execution; exceeding it is
+    /// reported as a livelock violation.
+    pub max_steps: usize,
+    /// Enables visited-state-hash pruning (on by default).
+    pub state_pruning: bool,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        ModelOptions {
+            max_preemptions: 2,
+            max_executions: 20_000,
+            max_steps: 20_000,
+            state_pruning: true,
+        }
+    }
+}
+
+/// What the search found.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Human-readable description (panic message, deadlock report, …).
+    pub message: String,
+    /// The scheduling trace of the failing execution: one entry per
+    /// yield point, `(task, operation)`.
+    pub trace: Vec<(TaskId, String)>,
+}
+
+/// Statistics of one [`explore`] / [`explore_expect_violation`] run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Executions actually run.
+    pub executions: usize,
+    /// True if the choice tree was exhausted (within the preemption
+    /// bound and pruning); false if `max_executions` stopped the search.
+    pub complete: bool,
+    /// Total forced timeouts across all executions (see module docs).
+    pub forced_timeouts: u64,
+    /// The first violation found, if any.
+    pub violation: Option<Violation>,
+}
+
+/// Sentinel payload used to unwind tasks after a violation aborts the
+/// execution; never user-visible.
+pub(crate) struct Abort;
+
+// ---------------------------------------------------------------------------
+// Logical state
+// ---------------------------------------------------------------------------
+
+/// The scheduler-visible state of one facade primitive.
+#[derive(Debug)]
+pub(crate) enum ObjState {
+    /// An atomic value (all widths share the `u64` representation).
+    Atomic(u64),
+    /// A mutex: who holds it.
+    Mutex { holder: Option<TaskId> },
+    /// A condvar: parked tasks in FIFO order.
+    Condvar { waiters: Vec<TaskId> },
+    /// A readers/writer lock.
+    RwLock {
+        writer: Option<TaskId>,
+        readers: u32,
+    },
+}
+
+/// Why a task cannot run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Wait {
+    /// Wants `obj`, which is held.
+    Mutex(ObjId),
+    /// Wants the rwlock, for reading or writing.
+    Rw { obj: ObjId, write: bool },
+    /// Parked on a condvar until notified (or the deadline, if any,
+    /// fires through the deadlock-breaker).  `mutex` is reacquired on
+    /// wake.
+    Cond {
+        cv: ObjId,
+        mutex: ObjId,
+        deadline: Option<u64>,
+    },
+    /// Sleeping until the logical clock reaches `deadline`.
+    Sleep { deadline: u64 },
+    /// Waiting for task `0` to finish.
+    Join(TaskId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    Blocked(Wait),
+    Finished,
+}
+
+pub(crate) struct TaskState {
+    status: Status,
+    /// Number of engine operations this task has executed — a program
+    /// counter proxy for the state hash.
+    steps: u64,
+    /// Set when the task's last condvar wait ended via the
+    /// deadlock-breaker rather than a notification.
+    timed_out: bool,
+}
+
+/// One node of the DFS over scheduling choices.
+struct Choice {
+    /// Schedulable tasks at this point, default (non-preemptive
+    /// continuation when possible) first.
+    options: Vec<TaskId>,
+    /// Index of the currently explored alternative.
+    index: usize,
+    /// The task that was active when this choice was made.
+    prev_active: Option<TaskId>,
+    /// Preemptions already spent on the prefix above this choice.
+    preemptions_before: usize,
+}
+
+impl Choice {
+    fn is_preemptive(&self, option: TaskId) -> bool {
+        match self.prev_active {
+            Some(p) => option != p && self.options.contains(&p),
+            None => false,
+        }
+    }
+}
+
+pub(crate) struct ExecState {
+    tasks: Vec<TaskState>,
+    objects: Vec<ObjState>,
+    active: Option<TaskId>,
+    /// Scheduling decisions taken so far in this execution.
+    step: usize,
+    /// Logical clock in nanoseconds (advances only via the breaker).
+    pub(crate) clock_ns: u64,
+    pub(crate) forced_timeouts: u64,
+    preemptions_used: usize,
+    trace: Vec<(TaskId, String)>,
+    failure: Option<String>,
+    abort: bool,
+    done: bool,
+    live_tasks: usize,
+}
+
+/// The per-execution engine: the big lock every facade operation takes,
+/// plus the condvar tasks park on while not active.
+pub(crate) struct Engine {
+    pub(crate) state: StdMutex<ExecState>,
+    pub(crate) cond: StdCondvar,
+    /// Shared search state (the DFS stack lives across executions).
+    search: Arc<StdMutex<Search>>,
+    opts: ModelOptions,
+}
+
+struct Search {
+    stack: Vec<Choice>,
+    visited: HashSet<u64>,
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local execution context
+// ---------------------------------------------------------------------------
+
+std::thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Engine>, TaskId)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The calling task's engine handle; panics outside a model execution.
+pub(crate) fn current() -> (Arc<Engine>, TaskId) {
+    CURRENT.with(|c| {
+        c.borrow().clone().expect(
+            "llhj-sync model primitive used outside model::explore \
+             (build without --cfg llhj_model for real execution)",
+        )
+    })
+}
+
+fn set_current(ctx: Option<(Arc<Engine>, TaskId)>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Total forced timeouts of the current execution so far — the
+/// lost-wakeup detector (see module docs).  Only callable from inside a
+/// model execution.
+pub fn forced_timeouts() -> u64 {
+    let (engine, _) = current();
+    let st = engine.state.lock().expect("model engine poisoned");
+    st.forced_timeouts
+}
+
+// ---------------------------------------------------------------------------
+// Engine: scheduling core
+// ---------------------------------------------------------------------------
+
+impl Engine {
+    fn schedulable(st: &ExecState, task: TaskId) -> bool {
+        match st.tasks[task].status {
+            Status::Runnable => true,
+            Status::Blocked(Wait::Mutex(m)) => {
+                matches!(st.objects[m], ObjState::Mutex { holder: None })
+            }
+            Status::Blocked(Wait::Rw { obj, write }) => match st.objects[obj] {
+                ObjState::RwLock { writer, readers } => {
+                    if write {
+                        writer.is_none() && readers == 0
+                    } else {
+                        writer.is_none()
+                    }
+                }
+                _ => unreachable!("rw wait on non-rwlock"),
+            },
+            Status::Blocked(Wait::Join(t)) => st.tasks[t].status == Status::Finished,
+            Status::Blocked(Wait::Cond { .. }) | Status::Blocked(Wait::Sleep { .. }) => false,
+            Status::Finished => false,
+        }
+    }
+
+    fn options(st: &ExecState) -> Vec<TaskId> {
+        let mut opts = Vec::new();
+        if let Some(a) = st.active {
+            if Self::schedulable(st, a) {
+                opts.push(a);
+            }
+        }
+        for t in 0..st.tasks.len() {
+            if Some(t) != st.active && Self::schedulable(st, t) {
+                opts.push(t);
+            }
+        }
+        opts
+    }
+
+    fn state_hash(st: &ExecState) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        st.clock_ns.hash(&mut h);
+        for task in &st.tasks {
+            std::mem::discriminant(&task.status).hash(&mut h);
+            if let Status::Blocked(w) = task.status {
+                w.hash(&mut h);
+            }
+            task.steps.hash(&mut h);
+        }
+        for obj in &st.objects {
+            match obj {
+                ObjState::Atomic(v) => (0u8, *v).hash(&mut h),
+                ObjState::Mutex { holder } => (1u8, holder).hash(&mut h),
+                ObjState::Condvar { waiters } => (2u8, waiters).hash(&mut h),
+                ObjState::RwLock { writer, readers } => (3u8, writer, readers).hash(&mut h),
+            }
+        }
+        h.finish()
+    }
+
+    /// Advances the logical clock to the earliest pending deadline and
+    /// wakes the affected waiters.  Returns false if nothing is pending
+    /// (a true deadlock).
+    fn fire_timeouts(st: &mut ExecState) -> bool {
+        let mut earliest: Option<u64> = None;
+        for task in &st.tasks {
+            let deadline = match task.status {
+                Status::Blocked(Wait::Cond {
+                    deadline: Some(d), ..
+                }) => Some(d),
+                Status::Blocked(Wait::Sleep { deadline }) => Some(deadline),
+                _ => None,
+            };
+            if let Some(d) = deadline {
+                earliest = Some(earliest.map_or(d, |e: u64| e.min(d)));
+            }
+        }
+        let Some(now) = earliest else { return false };
+        st.clock_ns = st.clock_ns.max(now);
+        for t in 0..st.tasks.len() {
+            match st.tasks[t].status {
+                Status::Blocked(Wait::Cond {
+                    cv,
+                    mutex,
+                    deadline: Some(d),
+                }) if d <= st.clock_ns => {
+                    if let ObjState::Condvar { waiters } = &mut st.objects[cv] {
+                        waiters.retain(|&w| w != t);
+                    }
+                    st.tasks[t].status = Status::Blocked(Wait::Mutex(mutex));
+                    st.tasks[t].timed_out = true;
+                    // The lost-wakeup detector: a timed wait that only
+                    // the deadlock-breaker could end.
+                    st.forced_timeouts += 1;
+                }
+                Status::Blocked(Wait::Sleep { deadline }) if deadline <= st.clock_ns => {
+                    st.tasks[t].status = Status::Runnable;
+                }
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Hands the token to the next task that still has to unwind after
+    /// an abort — ONE at a time, so destructors never run concurrently
+    /// (tasks are real OS threads; parallel unwinding through the model
+    /// primitives would race on the `UnsafeCell` data they guard).
+    /// Keeps the current victim if it is still alive.
+    fn advance_abort(st: &mut ExecState) {
+        if st.live_tasks == 0 {
+            st.active = None;
+            st.done = true;
+            return;
+        }
+        if let Some(t) = st.active {
+            if st.tasks[t].status != Status::Finished {
+                return;
+            }
+        }
+        st.active = (0..st.tasks.len()).find(|&t| st.tasks[t].status != Status::Finished);
+    }
+
+    /// The scheduling decision: called with the big lock held, by the
+    /// task that is giving up (or re-offering) the token.
+    fn schedule<'a>(
+        self: &Arc<Self>,
+        mut st: std::sync::MutexGuard<'a, ExecState>,
+    ) -> std::sync::MutexGuard<'a, ExecState> {
+        if st.abort {
+            Self::advance_abort(&mut st);
+            self.cond.notify_all();
+            return st;
+        }
+        let mut opts = Self::options(&st);
+        if opts.is_empty() {
+            if st.live_tasks == 0 {
+                st.done = true;
+                st.active = None;
+                self.cond.notify_all();
+                return st;
+            }
+            if !Self::fire_timeouts(&mut st) {
+                let report = st
+                    .tasks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| matches!(t.status, Status::Blocked(_)))
+                    .map(|(i, t)| format!("task {i}: {:?}", t.status))
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                return self.fail(st, format!("deadlock: every task is blocked ({report})"));
+            }
+            opts = Self::options(&st);
+            if opts.is_empty() {
+                // Timed waiters woke into mutex reacquisition that is
+                // immediately schedulable, so this cannot happen — but a
+                // diagnostic beats an unwrap.
+                return self.fail(st, "deadlock after firing timeouts".into());
+            }
+        }
+
+        let step = st.step;
+        st.step += 1;
+        if st.step > self.opts.max_steps {
+            return self.fail(
+                st,
+                format!(
+                    "step budget exceeded ({} scheduling decisions): livelock?",
+                    self.opts.max_steps
+                ),
+            );
+        }
+
+        let mut search = self.search.lock().expect("model search poisoned");
+        let chosen = if step < search.stack.len() {
+            // Replaying the prefix of a previous execution.  Determinism
+            // means the same options reappear; the debug assert guards
+            // the engine against nondeterministic scenarios.
+            let choice = &search.stack[step];
+            let chosen = choice.options[choice.index];
+            debug_assert!(
+                opts.contains(&chosen),
+                "replay divergence at step {step}: scenario is nondeterministic \
+                 (chose {chosen}, options now {opts:?})"
+            );
+            chosen
+        } else {
+            let hash = Self::state_hash(&st);
+            let options = if self.opts.state_pruning && !search.visited.insert(hash) {
+                // Already expanded from an identical logical state:
+                // follow the default continuation, register no
+                // alternatives.
+                vec![opts[0]]
+            } else {
+                opts.clone()
+            };
+            let choice = Choice {
+                options,
+                index: 0,
+                prev_active: st.active,
+                preemptions_before: st.preemptions_used,
+            };
+            let chosen = choice.options[0];
+            search.stack.push(choice);
+            chosen
+        };
+        let choice = &search.stack[step];
+        if choice.is_preemptive(chosen) {
+            st.preemptions_used += 1;
+        }
+        drop(search);
+
+        st.active = Some(chosen);
+        self.cond.notify_all();
+        st
+    }
+
+    /// Records a violation, aborts the execution, and wakes every task
+    /// so it can unwind.
+    fn fail<'a>(
+        self: &Arc<Self>,
+        mut st: std::sync::MutexGuard<'a, ExecState>,
+        message: String,
+    ) -> std::sync::MutexGuard<'a, ExecState> {
+        if st.failure.is_none() {
+            st.failure = Some(message);
+        }
+        st.abort = true;
+        // Whoever holds the token keeps it and unwinds first; the other
+        // tasks follow one by one via `advance_abort`.
+        Self::advance_abort(&mut st);
+        self.cond.notify_all();
+        st
+    }
+
+    /// Parks the calling task until it is the active one (or the
+    /// execution aborts and it is this task's turn to unwind, in which
+    /// case it panics [`Abort`]).
+    fn park_until_active<'a>(
+        self: &Arc<Self>,
+        mut st: std::sync::MutexGuard<'a, ExecState>,
+        me: TaskId,
+    ) -> std::sync::MutexGuard<'a, ExecState> {
+        loop {
+            if st.active == Some(me) {
+                if st.abort {
+                    drop(st);
+                    std::panic::panic_any(Abort);
+                }
+                return st;
+            }
+            st = self.cond.wait(st).expect("model engine poisoned");
+        }
+    }
+
+    /// One yield point: records the operation, lets the scheduler pick
+    /// the next task, and returns (lock re-held) once this task is
+    /// active again.  Every facade operation funnels through here.
+    pub(crate) fn yield_op<'a>(
+        self: &'a Arc<Self>,
+        me: TaskId,
+        op: &str,
+    ) -> std::sync::MutexGuard<'a, ExecState> {
+        let mut st = self.state.lock().expect("model engine poisoned");
+        if std::thread::panicking() {
+            // A destructor running during unwind (a guard or `Sender`
+            // being dropped by a panicking task).  Execute the operation
+            // without scheduling and without panicking again — the task
+            // keeps the token, so teardown stays serialized, and a
+            // second panic here would abort the whole process.
+            return st;
+        }
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        debug_assert_eq!(st.active, Some(me), "yield from a non-active task");
+        st.tasks[me].steps += 1;
+        st.trace.push((me, op.to_string()));
+        st = self.schedule(st);
+        self.park_until_active(st, me)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine: primitive operations (called by model_backend)
+// ---------------------------------------------------------------------------
+
+impl Engine {
+    pub(crate) fn register(self: &Arc<Self>, obj: ObjState) -> ObjId {
+        let mut st = self.state.lock().expect("model engine poisoned");
+        st.objects.push(obj);
+        st.objects.len() - 1
+    }
+
+    /// Applies `f` to an atomic's value at a yield point and returns
+    /// `f`'s output (the previous value, a CAS result, …).
+    pub(crate) fn atomic_op<T>(
+        self: &Arc<Self>,
+        me: TaskId,
+        obj: ObjId,
+        op: &str,
+        f: impl FnOnce(&mut u64) -> T,
+    ) -> T {
+        let mut st = self.yield_op(me, op);
+        match &mut st.objects[obj] {
+            ObjState::Atomic(v) => f(v),
+            _ => unreachable!("atomic op on non-atomic object"),
+        }
+    }
+
+    /// Blocks until the mutex is acquired.
+    pub(crate) fn mutex_lock(self: &Arc<Self>, me: TaskId, obj: ObjId) {
+        let mut st = self.yield_op(me, "mutex.lock");
+        if std::thread::panicking() {
+            // Unwinding: steal the lock.  Any logical holder is parked
+            // and will never run again in this aborted execution, so
+            // exclusive access to the guarded data is still exclusive.
+            if let ObjState::Mutex { holder } = &mut st.objects[obj] {
+                *holder = Some(me);
+            }
+            return;
+        }
+        loop {
+            match &mut st.objects[obj] {
+                ObjState::Mutex { holder } => {
+                    if holder.is_none() {
+                        *holder = Some(me);
+                        return;
+                    }
+                    st.tasks[me].status = Status::Blocked(Wait::Mutex(obj));
+                    st = self.schedule(st);
+                    st = self.park_until_active(st, me);
+                    st.tasks[me].status = Status::Runnable;
+                }
+                _ => unreachable!("lock on non-mutex object"),
+            }
+        }
+    }
+
+    pub(crate) fn mutex_unlock(self: &Arc<Self>, me: TaskId, obj: ObjId) {
+        let mut st = self.state.lock().expect("model engine poisoned");
+        match &mut st.objects[obj] {
+            ObjState::Mutex { holder } => {
+                // After an abort-time steal the holder may be someone
+                // else; only assert on the happy path.
+                if !std::thread::panicking() {
+                    debug_assert_eq!(*holder, Some(me), "unlock by non-holder");
+                }
+                *holder = None;
+            }
+            _ => unreachable!("unlock on non-mutex object"),
+        }
+        // Waiters become schedulable by the free mutex; no yield needed
+        // (the next yield point offers them).
+    }
+
+    /// Condvar wait (optionally timed): releases `mutex`, parks until a
+    /// notification or (via the deadlock-breaker) the deadline, then
+    /// reacquires the mutex.  Returns true if the wait timed out.
+    pub(crate) fn cond_wait(
+        self: &Arc<Self>,
+        me: TaskId,
+        cv: ObjId,
+        mutex: ObjId,
+        timeout: Option<std::time::Duration>,
+    ) -> bool {
+        let mut st = self.yield_op(me, "condvar.wait");
+        if std::thread::panicking() {
+            // Unwinding: do not park.  The mutex is kept held (the
+            // caller reconstructs its guard from the return).
+            drop(st);
+            return false;
+        }
+        match &mut st.objects[mutex] {
+            ObjState::Mutex { holder } => {
+                debug_assert_eq!(*holder, Some(me), "condvar wait without the mutex");
+                *holder = None;
+            }
+            _ => unreachable!("condvar wait with a non-mutex"),
+        }
+        let deadline = timeout.map(|t| {
+            st.clock_ns
+                .saturating_add(t.as_nanos().min(u128::from(u64::MAX)) as u64)
+        });
+        match &mut st.objects[cv] {
+            ObjState::Condvar { waiters } => waiters.push(me),
+            _ => unreachable!("wait on non-condvar object"),
+        }
+        st.tasks[me].timed_out = false;
+        st.tasks[me].status = Status::Blocked(Wait::Cond {
+            cv,
+            mutex,
+            deadline,
+        });
+        st = self.schedule(st);
+        st = self.park_until_active(st, me);
+        // Woken: a notify or the breaker moved us to Blocked(Mutex) and
+        // the scheduler picked us with the mutex free — acquire it.
+        debug_assert!(matches!(
+            st.tasks[me].status,
+            Status::Blocked(Wait::Mutex(_))
+        ));
+        st.tasks[me].status = Status::Runnable;
+        loop {
+            match &mut st.objects[mutex] {
+                ObjState::Mutex { holder } => {
+                    if holder.is_none() {
+                        *holder = Some(me);
+                        break;
+                    }
+                    st.tasks[me].status = Status::Blocked(Wait::Mutex(mutex));
+                    st = self.schedule(st);
+                    st = self.park_until_active(st, me);
+                    st.tasks[me].status = Status::Runnable;
+                }
+                _ => unreachable!("condvar reacquire on non-mutex"),
+            }
+        }
+        st.tasks[me].timed_out
+    }
+
+    /// Wakes the first `count` waiters (usize::MAX = all).
+    pub(crate) fn cond_notify(self: &Arc<Self>, _me: TaskId, cv: ObjId, count: usize) {
+        let mut st = self.state.lock().expect("model engine poisoned");
+        let woken: Vec<TaskId> = match &mut st.objects[cv] {
+            ObjState::Condvar { waiters } => {
+                let n = count.min(waiters.len());
+                waiters.drain(..n).collect()
+            }
+            _ => unreachable!("notify on non-condvar object"),
+        };
+        for t in woken {
+            if let Status::Blocked(Wait::Cond { mutex, .. }) = st.tasks[t].status {
+                st.tasks[t].status = Status::Blocked(Wait::Mutex(mutex));
+                st.tasks[t].timed_out = false;
+            }
+        }
+    }
+
+    pub(crate) fn rw_lock(self: &Arc<Self>, me: TaskId, obj: ObjId, write: bool) {
+        let op = if write { "rwlock.write" } else { "rwlock.read" };
+        let mut st = self.yield_op(me, op);
+        if std::thread::panicking() {
+            // Unwinding: steal (see `mutex_lock`).
+            if let ObjState::RwLock { writer, readers } = &mut st.objects[obj] {
+                if write {
+                    *writer = Some(me);
+                } else {
+                    *readers += 1;
+                }
+            }
+            return;
+        }
+        loop {
+            match &mut st.objects[obj] {
+                ObjState::RwLock { writer, readers } => {
+                    let free = if write {
+                        writer.is_none() && *readers == 0
+                    } else {
+                        writer.is_none()
+                    };
+                    if free {
+                        if write {
+                            *writer = Some(me);
+                        } else {
+                            *readers += 1;
+                        }
+                        return;
+                    }
+                    st.tasks[me].status = Status::Blocked(Wait::Rw { obj, write });
+                    st = self.schedule(st);
+                    st = self.park_until_active(st, me);
+                    st.tasks[me].status = Status::Runnable;
+                }
+                _ => unreachable!("rw op on non-rwlock object"),
+            }
+        }
+    }
+
+    pub(crate) fn rw_unlock(self: &Arc<Self>, me: TaskId, obj: ObjId, write: bool) {
+        let mut st = self.state.lock().expect("model engine poisoned");
+        match &mut st.objects[obj] {
+            ObjState::RwLock { writer, readers } => {
+                if write {
+                    if !std::thread::panicking() {
+                        debug_assert_eq!(*writer, Some(me));
+                    }
+                    *writer = None;
+                } else {
+                    if !std::thread::panicking() {
+                        debug_assert!(*readers > 0);
+                    }
+                    *readers = readers.saturating_sub(1);
+                }
+            }
+            _ => unreachable!("rw unlock on non-rwlock object"),
+        }
+    }
+
+    /// Registers and starts a new task running `f` on its own (real,
+    /// token-serialized) thread.  Returns the new task id.
+    pub(crate) fn spawn_task(
+        self: &Arc<Self>,
+        me: Option<TaskId>,
+        f: Box<dyn FnOnce() + Send>,
+    ) -> TaskId {
+        let task = {
+            let mut st = self.state.lock().expect("model engine poisoned");
+            st.tasks.push(TaskState {
+                status: Status::Runnable,
+                steps: 0,
+                timed_out: false,
+            });
+            st.live_tasks += 1;
+            st.tasks.len() - 1
+        };
+        let engine = Arc::clone(self);
+        std::thread::spawn(move || {
+            set_current(Some((Arc::clone(&engine), task)));
+            // The initial park sits inside the catch_unwind so that an
+            // abort arriving before this task ever runs still funnels
+            // through the normal completion path below.
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                {
+                    let st = engine.state.lock().expect("model engine poisoned");
+                    let st = engine.park_until_active(st, task);
+                    drop(st);
+                }
+                f()
+            }));
+            set_current(None);
+            let mut st = engine.state.lock().expect("model engine poisoned");
+            st.tasks[task].status = Status::Finished;
+            st.live_tasks -= 1;
+            match result {
+                Ok(()) => {
+                    st = engine.schedule(st);
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<Abort>().is_some() {
+                        // Unwound by an abort: someone else recorded the
+                        // failure.  Pass the teardown token on.
+                        Engine::advance_abort(&mut st);
+                        engine.cond.notify_all();
+                    } else {
+                        let msg = panic_message(payload.as_ref());
+                        st = engine.fail(st, format!("task {task} panicked: {msg}"));
+                    }
+                }
+            }
+            if st.live_tasks == 0 {
+                st.done = true;
+                engine.cond.notify_all();
+            }
+            drop(st);
+        });
+        // The spawn itself is a yield point for the parent (the child
+        // became schedulable).  Task 0 has no parent.
+        if let Some(me) = me {
+            drop(self.yield_op(me, "thread.spawn"));
+        }
+        task
+    }
+
+    /// Blocks until `target` finishes.
+    pub(crate) fn join_task(self: &Arc<Self>, me: TaskId, target: TaskId) {
+        let mut st = self.yield_op(me, "thread.join");
+        if std::thread::panicking() {
+            return;
+        }
+        while st.tasks[target].status != Status::Finished {
+            st.tasks[me].status = Status::Blocked(Wait::Join(target));
+            st = self.schedule(st);
+            st = self.park_until_active(st, me);
+            st.tasks[me].status = Status::Runnable;
+        }
+    }
+
+    /// Parks until the logical clock reaches now + `dur` (which only the
+    /// deadlock-breaker advances).
+    pub(crate) fn sleep(self: &Arc<Self>, me: TaskId, dur: std::time::Duration) {
+        let mut st = self.yield_op(me, "thread.sleep");
+        if std::thread::panicking() {
+            return;
+        }
+        let deadline = st
+            .clock_ns
+            .saturating_add(dur.as_nanos().min(u128::from(u64::MAX)) as u64);
+        st.tasks[me].status = Status::Blocked(Wait::Sleep { deadline });
+        st = self.schedule(st);
+        st = self.park_until_active(st, me);
+        st.tasks[me].status = Status::Runnable;
+    }
+
+    /// The logical clock, in nanoseconds.  Not a yield point: reading
+    /// time is not an interaction with another task.
+    pub(crate) fn now_ns(self: &Arc<Self>) -> u64 {
+        self.state.lock().expect("model engine poisoned").clock_ns
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------------
+
+fn run_one(
+    search: &Arc<StdMutex<Search>>,
+    opts: &ModelOptions,
+    f: &Arc<dyn Fn() + Send + Sync>,
+) -> (Option<Violation>, u64) {
+    let engine = Arc::new(Engine {
+        state: StdMutex::new(ExecState {
+            tasks: Vec::new(),
+            objects: Vec::new(),
+            active: None,
+            step: 0,
+            clock_ns: 0,
+            forced_timeouts: 0,
+            preemptions_used: 0,
+            trace: Vec::new(),
+            failure: None,
+            abort: false,
+            done: false,
+            live_tasks: 0,
+        }),
+        cond: StdCondvar::new(),
+        search: Arc::clone(search),
+        opts: opts.clone(),
+    });
+    let body = Arc::clone(f);
+    let root = engine.spawn_task(None, Box::new(move || body()));
+    {
+        let mut st = engine.state.lock().expect("model engine poisoned");
+        st.active = Some(root);
+        engine.cond.notify_all();
+    }
+    // Wait for the execution to finish (all tasks done or aborted).
+    let mut st = engine.state.lock().expect("model engine poisoned");
+    while !st.done {
+        st = engine.cond.wait(st).expect("model engine poisoned");
+    }
+    let violation = st.failure.take().map(|message| Violation {
+        message,
+        trace: std::mem::take(&mut st.trace),
+    });
+    (violation, st.forced_timeouts)
+}
+
+/// Pops exhausted choice points and advances the deepest one with an
+/// unexplored, preemption-budget-respecting alternative.  Returns false
+/// when the whole tree is exhausted.
+fn backtrack(search: &mut Search, max_preemptions: usize) -> bool {
+    while let Some(top) = search.stack.last_mut() {
+        let mut next = top.index + 1;
+        while next < top.options.len() {
+            let extra = usize::from(top.is_preemptive(top.options[next]));
+            if top.preemptions_before + extra <= max_preemptions {
+                break;
+            }
+            next += 1;
+        }
+        if next < top.options.len() {
+            top.index = next;
+            return true;
+        }
+        search.stack.pop();
+    }
+    false
+}
+
+/// Explores every schedule of `f` within the budget; panics (with the
+/// offending schedule) on the first violation.  Returns the search
+/// statistics.
+pub fn explore(opts: ModelOptions, f: impl Fn() + Send + Sync + 'static) -> Report {
+    let report = search(opts, Arc::new(f), false);
+    if let Some(v) = &report.violation {
+        panic!(
+            "model checking found a violation after {} execution(s):\n{}\nschedule trace ({} steps):\n{}",
+            report.executions,
+            v.message,
+            v.trace.len(),
+            format_trace(&v.trace),
+        );
+    }
+    report
+}
+
+/// Explores schedules of `f` expecting to find a violation (an encoded
+/// known bug); panics if the search ends without one.
+pub fn explore_expect_violation(
+    opts: ModelOptions,
+    f: impl Fn() + Send + Sync + 'static,
+) -> Report {
+    let report = search(opts, Arc::new(f), true);
+    assert!(
+        report.violation.is_some(),
+        "expected the model checker to find a violation, but {} execution(s) \
+         (complete: {}) all passed",
+        report.executions,
+        report.complete,
+    );
+    report
+}
+
+fn format_trace(trace: &[(TaskId, String)]) -> String {
+    const TAIL: usize = 120;
+    let skip = trace.len().saturating_sub(TAIL);
+    let mut out = String::new();
+    if skip > 0 {
+        out.push_str(&format!("  … {skip} earlier steps elided …\n"));
+    }
+    for (task, op) in &trace[skip..] {
+        out.push_str(&format!("  task {task}: {op}\n"));
+    }
+    out
+}
+
+fn search(opts: ModelOptions, f: Arc<dyn Fn() + Send + Sync>, stop_on_violation: bool) -> Report {
+    let search = Arc::new(StdMutex::new(Search {
+        stack: Vec::new(),
+        visited: HashSet::new(),
+    }));
+    let mut report = Report {
+        executions: 0,
+        complete: false,
+        forced_timeouts: 0,
+        violation: None,
+    };
+    loop {
+        if report.executions >= opts.max_executions {
+            return report;
+        }
+        let (violation, forced) = run_one(&search, &opts, &f);
+        report.executions += 1;
+        report.forced_timeouts += forced;
+        if let Some(v) = violation {
+            report.violation = Some(v);
+            if stop_on_violation {
+                return report;
+            }
+            // The caller (explore) panics on any violation; stop either
+            // way.
+            return report;
+        }
+        let mut guard = search.lock().expect("model search poisoned");
+        if !backtrack(&mut guard, opts.max_preemptions) {
+            report.complete = true;
+            return report;
+        }
+    }
+}

@@ -1,0 +1,620 @@
+//! Scheduler-puppet replicas of the std primitives (`--cfg llhj_model`).
+//!
+//! Each type registers an object with the active execution's engine at
+//! construction and routes every operation through a scheduler yield
+//! point.  The API mirrors the `std::sync` subset the workspace uses, so
+//! the facade re-exports are drop-in.  `Ordering` arguments are accepted
+//! and ignored — the model executes sequentially consistently (see the
+//! crate docs for why that is an explicit, compensated limitation).
+
+use crate::model::{current, Engine, ObjState};
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+pub mod sync {
+    //! Model `Mutex`, `Condvar` and `RwLock`.
+
+    use super::*;
+    use std::sync::LockResult;
+
+    /// Model mutex: ownership tracked by the scheduler, data inline.
+    /// Operations resolve the engine through the task-local context, so
+    /// the object only stores its id.
+    pub struct Mutex<T: ?Sized> {
+        obj: usize,
+        data: UnsafeCell<T>,
+    }
+
+    // SAFETY: the scheduler serializes all access — `data` is only
+    // touched through a `MutexGuard`, which exists only while the model
+    // lock is logically held by the running task, and exactly one task
+    // runs at a time.
+    unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+    // SAFETY: as above — guard-mediated access is mutually exclusive.
+    unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+    impl<T> Mutex<T> {
+        /// Creates a mutex registered with the active model execution.
+        pub fn new(value: T) -> Self {
+            let (engine, _) = current();
+            let obj = engine.register(ObjState::Mutex { holder: None });
+            Mutex {
+                obj,
+                data: UnsafeCell::new(value),
+            }
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the lock, parking this task if it is held.  Never
+        /// poisons (a task panic aborts the whole execution instead).
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            let (engine, me) = current();
+            engine.mutex_lock(me, self.obj);
+            Ok(MutexGuard { lock: self })
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Mutex").finish_non_exhaustive()
+        }
+    }
+
+    /// RAII guard for [`Mutex`]; releases on drop.
+    pub struct MutexGuard<'a, T: ?Sized> {
+        lock: &'a Mutex<T>,
+    }
+
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: holding the guard means this task logically holds
+            // the model lock; the scheduler runs one task at a time, so
+            // no other reference to `data` is live.
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: as in `deref` — exclusive logical ownership.
+            unsafe { &mut *self.lock.data.get() }
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            let (engine, me) = current();
+            engine.mutex_unlock(me, self.lock.obj);
+        }
+    }
+
+    /// Result of a timed condvar wait; mirrors
+    /// `std::sync::WaitTimeoutResult`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct WaitTimeoutResult(pub(crate) bool);
+
+    impl WaitTimeoutResult {
+        /// True if the wait ended because the timeout elapsed (under the
+        /// model: because the deadlock-breaker fired it).
+        pub fn timed_out(&self) -> bool {
+            self.0
+        }
+    }
+
+    /// Model condvar; wakes FIFO.
+    pub struct Condvar {
+        engine: Arc<Engine>,
+        obj: usize,
+    }
+
+    impl Condvar {
+        /// Creates a condvar registered with the active model execution.
+        pub fn new() -> Self {
+            let (engine, _) = current();
+            let obj = engine.register(ObjState::Condvar {
+                waiters: Vec::new(),
+            });
+            Condvar { engine, obj }
+        }
+
+        /// Releases the guard's mutex, parks until notified, reacquires.
+        pub fn wait<'a, T: ?Sized>(
+            &self,
+            guard: MutexGuard<'a, T>,
+        ) -> LockResult<MutexGuard<'a, T>> {
+            let (engine, me) = current();
+            let lock = guard.lock;
+            // The engine releases the mutex logically; skip the guard's
+            // unlocking drop.
+            std::mem::forget(guard);
+            engine.cond_wait(me, self.obj, lock.obj, None);
+            Ok(MutexGuard { lock })
+        }
+
+        /// Timed wait.  Under the model the timeout only fires through
+        /// the deadlock-breaker, which counts the event (see
+        /// [`crate::model::forced_timeouts`]).
+        pub fn wait_timeout<'a, T: ?Sized>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: std::time::Duration,
+        ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            let (engine, me) = current();
+            let lock = guard.lock;
+            std::mem::forget(guard);
+            let timed_out = engine.cond_wait(me, self.obj, lock.obj, Some(dur));
+            Ok((MutexGuard { lock }, WaitTimeoutResult(timed_out)))
+        }
+
+        /// Wakes one waiter (FIFO).
+        pub fn notify_one(&self) {
+            let (engine, me) = current();
+            debug_assert!(Arc::ptr_eq(&engine, &self.engine));
+            engine.cond_notify(me, self.obj, 1);
+        }
+
+        /// Wakes every waiter.
+        pub fn notify_all(&self) {
+            let (engine, me) = current();
+            engine.cond_notify(me, self.obj, usize::MAX);
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Condvar::new()
+        }
+    }
+
+    impl std::fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Condvar").finish_non_exhaustive()
+        }
+    }
+
+    /// Model readers/writer lock.
+    pub struct RwLock<T: ?Sized> {
+        obj: usize,
+        data: UnsafeCell<T>,
+    }
+
+    // SAFETY: access to `data` is mediated by the model rwlock protocol:
+    // readers take shared references under a reader count, the writer an
+    // exclusive one, and the scheduler runs one task at a time.
+    unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+    // SAFETY: as above.
+    unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+    impl<T> RwLock<T> {
+        /// Creates an rwlock registered with the active model execution.
+        pub fn new(value: T) -> Self {
+            let (engine, _) = current();
+            let obj = engine.register(ObjState::RwLock {
+                writer: None,
+                readers: 0,
+            });
+            RwLock {
+                obj,
+                data: UnsafeCell::new(value),
+            }
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquires a shared read lock.
+        pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+            let (engine, me) = current();
+            engine.rw_lock(me, self.obj, false);
+            Ok(RwLockReadGuard { lock: self })
+        }
+
+        /// Acquires the exclusive write lock.
+        pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+            let (engine, me) = current();
+            engine.rw_lock(me, self.obj, true);
+            Ok(RwLockWriteGuard { lock: self })
+        }
+    }
+
+    /// Shared-read guard for [`RwLock`].
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        lock: &'a RwLock<T>,
+    }
+
+    impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: read guards coexist only with other read guards
+            // (the model blocks writers while readers > 0), so shared
+            // access is sound.
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+        fn drop(&mut self) {
+            let (engine, me) = current();
+            engine.rw_unlock(me, self.lock.obj, false);
+        }
+    }
+
+    /// Exclusive-write guard for [`RwLock`].
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        lock: &'a RwLock<T>,
+    }
+
+    impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: the write guard is exclusive by the model rwlock
+            // protocol.
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: as in `deref` — exclusive ownership.
+            unsafe { &mut *self.lock.data.get() }
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            let (engine, me) = current();
+            engine.rw_unlock(me, self.lock.obj, true);
+        }
+    }
+}
+
+pub mod atomic {
+    //! Model atomics: values live in the engine's object table (so the
+    //! state hash covers them); every access is a yield point.
+
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    macro_rules! model_atomic {
+        ($(#[$meta:meta])* $name:ident, $ty:ty, $to:expr, $from:expr) => {
+            $(#[$meta])*
+            pub struct $name {
+                engine: Arc<Engine>,
+                obj: usize,
+            }
+
+            impl $name {
+                /// Creates an atomic registered with the active model
+                /// execution.
+                pub fn new(value: $ty) -> Self {
+                    let (engine, _) = current();
+                    let obj = engine.register(ObjState::Atomic($to(value)));
+                    $name { engine, obj }
+                }
+
+                fn op<R>(&self, name: &str, f: impl FnOnce(&mut u64) -> R) -> R {
+                    let (engine, me) = current();
+                    debug_assert!(Arc::ptr_eq(&engine, &self.engine));
+                    engine.atomic_op(me, self.obj, name, f)
+                }
+
+                /// Loads the value (ordering ignored; model is SC).
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    self.op("atomic.load", |v| $from(*v))
+                }
+
+                /// Stores a value (ordering ignored; model is SC).
+                pub fn store(&self, value: $ty, _order: Ordering) {
+                    self.op("atomic.store", |v| *v = $to(value))
+                }
+
+                /// Swaps in a new value, returning the previous one.
+                pub fn swap(&self, value: $ty, _order: Ordering) -> $ty {
+                    self.op("atomic.swap", |v| {
+                        let prev = $from(*v);
+                        *v = $to(value);
+                        prev
+                    })
+                }
+
+                /// Strong compare-and-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    expect: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.op("atomic.cas", |v| {
+                        let prev = $from(*v);
+                        if prev == expect {
+                            *v = $to(new);
+                            Ok(prev)
+                        } else {
+                            Err(prev)
+                        }
+                    })
+                }
+
+                /// Weak compare-and-exchange.  The model never fails
+                /// spuriously (spurious failure only widens the retry
+                /// loop, which the interleaving exploration already
+                /// covers).
+                pub fn compare_exchange_weak(
+                    &self,
+                    expect: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(expect, new, success, failure)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    f.debug_struct(stringify!($name)).finish_non_exhaustive()
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(<$ty>::default())
+                }
+            }
+        };
+    }
+
+    macro_rules! model_atomic_int {
+        ($name:ident, $ty:ty) => {
+            impl $name {
+                /// Wrapping add; returns the previous value.
+                pub fn fetch_add(&self, delta: $ty, _order: Ordering) -> $ty {
+                    self.op("atomic.fetch_add", |v| {
+                        let prev = *v as $ty;
+                        *v = prev.wrapping_add(delta) as u64;
+                        prev
+                    })
+                }
+
+                /// Wrapping subtract; returns the previous value.
+                pub fn fetch_sub(&self, delta: $ty, _order: Ordering) -> $ty {
+                    self.op("atomic.fetch_sub", |v| {
+                        let prev = *v as $ty;
+                        *v = prev.wrapping_sub(delta) as u64;
+                        prev
+                    })
+                }
+
+                /// Maximum; returns the previous value.
+                pub fn fetch_max(&self, value: $ty, _order: Ordering) -> $ty {
+                    self.op("atomic.fetch_max", |v| {
+                        let prev = *v as $ty;
+                        *v = prev.max(value) as u64;
+                        prev
+                    })
+                }
+
+                /// Minimum; returns the previous value.
+                pub fn fetch_min(&self, value: $ty, _order: Ordering) -> $ty {
+                    self.op("atomic.fetch_min", |v| {
+                        let prev = *v as $ty;
+                        *v = prev.min(value) as u64;
+                        prev
+                    })
+                }
+            }
+        };
+    }
+
+    model_atomic!(
+        /// Model `AtomicU64`.
+        AtomicU64,
+        u64,
+        |v: u64| v,
+        |v: u64| v
+    );
+    model_atomic!(
+        /// Model `AtomicUsize`.
+        AtomicUsize,
+        usize,
+        |v: usize| v as u64,
+        |v: u64| v as usize
+    );
+    model_atomic!(
+        /// Model `AtomicI64`.
+        AtomicI64,
+        i64,
+        |v: i64| v as u64,
+        |v: u64| v as i64
+    );
+    model_atomic!(
+        /// Model `AtomicBool`.
+        AtomicBool,
+        bool,
+        |v: bool| v as u64,
+        |v: u64| v != 0
+    );
+
+    model_atomic_int!(AtomicU64, u64);
+    model_atomic_int!(AtomicUsize, usize);
+    model_atomic_int!(AtomicI64, i64);
+
+    impl AtomicBool {
+        /// Logical OR; returns the previous value.
+        pub fn fetch_or(&self, value: bool, _order: Ordering) -> bool {
+            self.op("atomic.fetch_or", |v| {
+                let prev = *v != 0;
+                *v = u64::from(prev || value);
+                prev
+            })
+        }
+
+        /// Logical AND; returns the previous value.
+        pub fn fetch_and(&self, value: bool, _order: Ordering) -> bool {
+            self.op("atomic.fetch_and", |v| {
+                let prev = *v != 0;
+                *v = u64::from(prev && value);
+                prev
+            })
+        }
+    }
+}
+
+pub mod thread {
+    //! Model threads: cooperative tasks of the active execution.
+
+    use super::*;
+
+    /// Handle to a model task; `join` parks until the task finishes.
+    pub struct JoinHandle<T> {
+        task: usize,
+        result: Arc<std::sync::Mutex<Option<T>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the task and returns its result.  A panicking task
+        /// aborts the whole execution as a model violation, so unlike
+        /// `std` this never observes `Err`.
+        pub fn join(self) -> std::thread::Result<T> {
+            let (engine, me) = current();
+            engine.join_task(me, self.task);
+            let value = self
+                .result
+                .lock()
+                .expect("model join slot poisoned")
+                .take()
+                .expect("model task finished without storing a result");
+            Ok(value)
+        }
+    }
+
+    /// Spawns a new cooperative task in the active model execution.
+    pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (engine, me) = current();
+        let result = Arc::new(std::sync::Mutex::new(None));
+        let slot = Arc::clone(&result);
+        let task = engine.spawn_task(
+            Some(me),
+            Box::new(move || {
+                let value = f();
+                *slot.lock().expect("model join slot poisoned") = Some(value);
+            }),
+        );
+        JoinHandle { task, result }
+    }
+
+    /// Parks until the logical clock reaches `dur` from now — which only
+    /// happens through the deadlock-breaker (the clock is frozen while
+    /// any task can run).
+    pub fn sleep(dur: std::time::Duration) {
+        let (engine, me) = current();
+        engine.sleep(me, dur);
+    }
+
+    /// A bare yield point: offers the scheduler a switch.
+    pub fn yield_now() {
+        let (engine, me) = current();
+        drop(engine.yield_op(me, "thread.yield_now"));
+    }
+
+    /// Model executions are single-core by construction: one task runs
+    /// between yield points, so the honest answer is 1.
+    pub fn available_parallelism() -> std::io::Result<std::num::NonZeroUsize> {
+        Ok(std::num::NonZeroUsize::MIN)
+    }
+}
+
+pub mod time {
+    //! Logical time: frozen while any task can run; advanced only by the
+    //! deadlock-breaker.
+
+    use super::current;
+    use std::time::Duration;
+
+    /// Model instant on the logical clock (nanoseconds from execution
+    /// start).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    pub struct Instant(u64);
+
+    impl Instant {
+        /// The current logical time.  Never advances between yield
+        /// points; see the crate docs.
+        pub fn now() -> Instant {
+            let (engine, _) = current();
+            Instant(engine.now_ns())
+        }
+
+        /// Logical time elapsed since `self`.
+        pub fn elapsed(&self) -> Duration {
+            Instant::now().duration_since(*self)
+        }
+
+        /// Saturating difference, mirroring `std`.
+        pub fn duration_since(&self, earlier: Instant) -> Duration {
+            Duration::from_nanos(self.0.saturating_sub(earlier.0))
+        }
+
+        /// Saturating difference, mirroring `std`.
+        pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+            self.duration_since(earlier)
+        }
+
+        /// Checked difference, `None` if `earlier` is later.
+        pub fn checked_duration_since(&self, earlier: Instant) -> Option<Duration> {
+            self.0.checked_sub(earlier.0).map(Duration::from_nanos)
+        }
+
+        /// Checked add, mirroring `std`.
+        pub fn checked_add(&self, dur: Duration) -> Option<Instant> {
+            let ns = u64::try_from(dur.as_nanos()).ok()?;
+            self.0.checked_add(ns).map(Instant)
+        }
+
+        /// Checked subtract, mirroring `std`.
+        pub fn checked_sub(&self, dur: Duration) -> Option<Instant> {
+            let ns = u64::try_from(dur.as_nanos()).ok()?;
+            self.0.checked_sub(ns).map(Instant)
+        }
+    }
+
+    impl std::ops::Add<Duration> for Instant {
+        type Output = Instant;
+        fn add(self, dur: Duration) -> Instant {
+            self.checked_add(dur)
+                .expect("overflow when adding duration to model instant")
+        }
+    }
+
+    impl std::ops::Sub<Duration> for Instant {
+        type Output = Instant;
+        fn sub(self, dur: Duration) -> Instant {
+            self.checked_sub(dur)
+                .expect("underflow when subtracting duration from model instant")
+        }
+    }
+
+    impl std::ops::Sub<Instant> for Instant {
+        type Output = Duration;
+        fn sub(self, earlier: Instant) -> Duration {
+            self.duration_since(earlier)
+        }
+    }
+
+    impl std::ops::AddAssign<Duration> for Instant {
+        fn add_assign(&mut self, dur: Duration) {
+            *self = *self + dur;
+        }
+    }
+}

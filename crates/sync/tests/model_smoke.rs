@@ -1,0 +1,187 @@
+//! Engine self-tests: the explorer must find classic races and accept
+//! classic correct protocols.  Compiled only under `--cfg llhj_model`:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg llhj_model" cargo test -p llhj-sync --test model_smoke
+//! ```
+#![cfg(llhj_model)]
+
+use llhj_sync::model::{explore, explore_expect_violation, ModelOptions};
+use llhj_sync::sync::atomic::{AtomicU64, Ordering};
+use llhj_sync::sync::{Arc, Condvar, Mutex};
+use llhj_sync::thread;
+use llhj_sync::time::Duration;
+
+/// A non-atomic read-modify-write from two tasks must lose an update in
+/// some interleaving — the checker has to find it.
+#[test]
+fn finds_lost_update() {
+    let report = explore_expect_violation(ModelOptions::default(), || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                thread::spawn(move || {
+                    let v = c.load(Ordering::SeqCst);
+                    c.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+    });
+    assert!(report.violation.is_some());
+}
+
+/// The same counter behind fetch_add is race-free: the full exploration
+/// must complete without a violation.
+#[test]
+fn accepts_atomic_counter() {
+    let report = explore(ModelOptions::default(), || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                thread::spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.complete, "exploration should exhaust the tree");
+    assert!(report.violation.is_none());
+}
+
+/// Mutex-protected increments are also race-free, and exercise the
+/// blocking/handoff paths of the model mutex.
+#[test]
+fn accepts_mutex_counter() {
+    explore(ModelOptions::default(), || {
+        let counter = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                thread::spawn(move || {
+                    *c.lock().unwrap() += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock().unwrap(), 3);
+    });
+}
+
+/// The classic check-then-park lost wakeup: the consumer checks the flag
+/// *outside* the mutex, then parks; the producer can set + notify in the
+/// window between check and park, leaving the consumer parked forever.
+/// The deadlock-breaker rescues it via the timed wait and counts a
+/// forced timeout — which the scenario asserts never happens, so the
+/// checker must flag it.
+#[test]
+fn finds_lost_wakeup() {
+    let report = explore_expect_violation(ModelOptions::default(), || {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let producer = {
+            let s = Arc::clone(&state);
+            thread::spawn(move || {
+                *s.0.lock().unwrap() = true;
+                s.1.notify_all();
+            })
+        };
+        // BUG: the readiness check happens outside the lock that guards
+        // the wait, and is not re-checked after reacquiring — the notify
+        // can land between check and park and be lost.
+        let ready_now = *state.0.lock().unwrap();
+        if !ready_now {
+            let guard = state.0.lock().unwrap();
+            let (guard, _timeout) = state
+                .1
+                .wait_timeout(guard, Duration::from_millis(100))
+                .unwrap();
+            drop(guard);
+        }
+        producer.join().unwrap();
+        assert_eq!(
+            llhj_sync::model::forced_timeouts(),
+            0,
+            "wakeup was lost: a waiter needed the safety-net timeout"
+        );
+    });
+    assert!(report.violation.is_some());
+}
+
+/// The correct version of the same protocol — re-check the predicate
+/// under the wait mutex in a loop — never needs a forced timeout.
+#[test]
+fn accepts_checked_wait() {
+    let report = explore(ModelOptions::default(), || {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let producer = {
+            let s = Arc::clone(&state);
+            thread::spawn(move || {
+                *s.0.lock().unwrap() = true;
+                s.1.notify_all();
+            })
+        };
+        let mut guard = state.0.lock().unwrap();
+        while !*guard {
+            let (g, _timeout) = state
+                .1
+                .wait_timeout(guard, Duration::from_millis(100))
+                .unwrap();
+            guard = g;
+        }
+        drop(guard);
+        producer.join().unwrap();
+        assert_eq!(llhj_sync::model::forced_timeouts(), 0);
+    });
+    assert!(report.violation.is_none());
+}
+
+/// A true deadlock (cyclic lock acquisition) must be reported, not hang.
+#[test]
+fn finds_deadlock() {
+    let report = explore_expect_violation(ModelOptions::default(), || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let t = {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            thread::spawn(move || {
+                let _ga = a.lock().unwrap();
+                let _gb = b.lock().unwrap();
+            })
+        };
+        let _gb = b.lock().unwrap();
+        let _ga = a.lock().unwrap();
+        drop(_ga);
+        drop(_gb);
+        t.join().unwrap();
+    });
+    let v = report.violation.expect("deadlock must be found");
+    assert!(v.message.contains("deadlock"), "got: {}", v.message);
+}
+
+/// Sleeps advance the logical clock through the breaker without counting
+/// as forced timeouts, and Instant observes the jump.
+#[test]
+fn logical_clock_advances_only_by_sleep() {
+    explore(ModelOptions::default(), || {
+        let t0 = llhj_sync::time::Instant::now();
+        thread::sleep(Duration::from_millis(5));
+        let dt = t0.elapsed();
+        assert!(dt >= Duration::from_millis(5), "clock must reach deadline");
+        assert_eq!(
+            llhj_sync::model::forced_timeouts(),
+            0,
+            "sleep wakeups are not forced timeouts"
+        );
+    });
+}

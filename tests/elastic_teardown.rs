@@ -10,8 +10,8 @@
 //! instead of hanging the suite.
 
 use handshake_join::prelude::*;
-use std::sync::mpsc;
-use std::time::{Duration, Instant};
+use llhj_sync::sync::mpsc;
+use llhj_sync::time::{Duration, Instant};
 
 fn band_schedule(
     rate: f64,
@@ -34,7 +34,7 @@ fn with_deadline<T: Send + 'static>(
     f: impl FnOnce() -> T + Send + 'static,
 ) -> T {
     let (done_tx, done_rx) = mpsc::channel();
-    let handle = std::thread::spawn(move || {
+    let handle = llhj_sync::thread::spawn(move || {
         let value = f();
         let _ = done_tx.send(());
         value
@@ -73,12 +73,12 @@ fn cancel_during_an_in_flight_migration_drains_without_losing_frames() {
     let cancel = CancelToken::new();
     let canceller = {
         let cancel = cancel.clone();
-        std::thread::spawn(move || {
+        llhj_sync::thread::spawn(move || {
             // The shrink fires at ~25% of the 2 s schedule (~0.5 s of wall
             // time) and its absorb stalls for 1 s, so a cancel at 0.7 s
             // lands inside the migration window with ±0.2 s of slack on
             // both sides.
-            std::thread::sleep(Duration::from_millis(700));
+            llhj_sync::thread::sleep(Duration::from_millis(700));
             cancel.cancel();
         })
     };
@@ -176,8 +176,8 @@ fn cancel_before_the_planned_resize_skips_it_and_drains() {
     let cancel = CancelToken::new();
     let canceller = {
         let cancel = cancel.clone();
-        std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(300));
+        llhj_sync::thread::spawn(move || {
+            llhj_sync::thread::sleep(Duration::from_millis(300));
             cancel.cancel();
         })
     };
