@@ -1,0 +1,118 @@
+//! Shard-mesh scaling measurement, snapshotted to `BENCH_shard.json`.
+//!
+//! For each shard count the discrete-event mesh simulator binary-searches
+//! the maximum per-stream arrival rate at which every node of every shard
+//! stays under 90% utilization — the same max-sustainable-rate methodology
+//! as the Figure 17 chain experiment, extended to the second scaling axis.
+//! The cost model is scan-dominated (non-indexed LLHJ, 400 ns per
+//! comparison): each probe scans the shard-local R window, so halving a
+//! shard's key range halves both its arrival rate *and* the window each
+//! arrival scans — the regime where key partitioning pays quadratically
+//! and the mesh should scale near-linearly in shard count.
+//!
+//! The CI smoke run executes this binary and the final assertion guards
+//! the claim the snapshot exists for: 4 shards must sustain at least
+//! twice the rate of 1 shard.
+
+use llhj_core::driver::DriverSchedule;
+use llhj_core::homing::RoundRobin;
+use llhj_core::shard::RouteMode;
+use llhj_core::time::{TimeDelta, Timestamp};
+use llhj_core::window::WindowSpec;
+use llhj_sim::{max_sustainable_mesh_rate, Algorithm, SimConfig, ThroughputSearch};
+use llhj_workload::{EquiXaPredicate, RTuple, STuple};
+
+/// Skew-free equi trace: co-prime key cycles on the two streams so every
+/// shard owns a near-equal slice of both key spaces.
+fn make_schedule(rate: f64, window: WindowSpec) -> DriverSchedule<RTuple, STuple> {
+    let n = (rate * 0.25) as u64; // a quarter virtual second per probe
+    let gap = (1e6 / rate) as u64;
+    let r: Vec<_> = (0..n)
+        .map(|i| {
+            (
+                Timestamp::from_micros(i * gap),
+                RTuple::new((i % 97) as i32, 0.0),
+            )
+        })
+        .collect();
+    let s: Vec<_> = (0..n)
+        .map(|i| {
+            (
+                Timestamp::from_micros(i * gap),
+                STuple::new((i % 89) as i32, 0.0),
+            )
+        })
+        .collect();
+    DriverSchedule::build(r, s, window, window)
+}
+
+fn main() {
+    let window = WindowSpec::Count(200);
+    let search = ThroughputSearch {
+        utilization_threshold: 0.9,
+        min_rate: 100.0,
+        max_rate: 200_000.0,
+        steps: 12,
+    };
+    let mut cfg = SimConfig::new(2, Algorithm::Llhj);
+    cfg.batch_size = 16;
+    cfg.cost.per_comparison_ns = 400.0;
+    cfg.window_r = window;
+    cfg.window_s = window;
+    cfg.latency_bucket = 1_000_000;
+    cfg.collect_interval = TimeDelta::from_millis(10);
+
+    println!("{{");
+    println!("  \"experiment\": \"shard_mesh_scaling\",");
+    println!("  \"host\": {},", llhj_bench::host_meta_json());
+    println!(
+        "  \"setup\": \"non-indexed LLHJ, 400ns/comparison, count-200 windows, \
+         width 2 per shard, co-partitioned equi keys (mod 97 x mod 89), \
+         max rate with all nodes under 90% utilization\","
+    );
+
+    let shard_counts = [1usize, 2, 4];
+    let mut rates = Vec::new();
+    println!("  \"shards\": [");
+    for (i, &shards) in shard_counts.iter().enumerate() {
+        let result = max_sustainable_mesh_rate(
+            &cfg,
+            EquiXaPredicate,
+            RoundRobin,
+            RouteMode::CoPartition,
+            shards,
+            |rate| make_schedule(rate, window),
+            &search,
+        );
+        println!(
+            "    {{\"shards\": {}, \"nodes_total\": {}, \
+             \"max_rate_per_stream_per_s\": {:.0}, \"utilization\": {:.3}, \
+             \"speedup_vs_1\": {:.2}}}{}",
+            shards,
+            shards * 2,
+            result.rate_per_stream,
+            result.utilization,
+            if rates.is_empty() {
+                1.0
+            } else {
+                result.rate_per_stream / rates[0]
+            },
+            if i + 1 < shard_counts.len() { "," } else { "" },
+        );
+        rates.push(result.rate_per_stream);
+    }
+    println!("  ],");
+
+    // The claim this snapshot exists for, asserted so the CI smoke run
+    // guards it.
+    let speedup4 = rates[2] / rates[0];
+    assert!(
+        speedup4 >= 2.0,
+        "4 shards must sustain at least twice 1 shard: {:.0}/s vs {:.0}/s \
+         (speedup {speedup4:.2}x)",
+        rates[0],
+        rates[2],
+    );
+    println!("  \"speedup_4_shards\": {speedup4:.2}");
+    println!("}}");
+}

@@ -42,15 +42,38 @@ pub fn host_cpu_model() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// Escapes a string for interpolation into a JSON string literal:
+/// backslash, double quote, and every control character below `0x20`
+/// (the characters RFC 8259 requires escaping).  Everything the
+/// snapshot files embed from the host — notably the `/proc/cpuinfo`
+/// model string — must pass through here.
+pub fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// The `"host"` object every `BENCH_*.json` snapshot embeds: core count,
 /// CPU model, and the standing ROADMAP caveat that threaded-runtime
 /// numbers snapshotted on the 1-core CI container underestimate real
 /// multicore hardware (the simulator sections are host-independent).
-/// Not JSON-escaped beyond what `/proc/cpuinfo` model strings need
-/// (alphanumerics, spaces, `()@.-`).
+/// Interpolated fields are escaped with [`json_escape`], so a hostile
+/// model string cannot break the snapshot out of valid JSON.
 pub fn host_meta_json() -> String {
     let cores = host_cores();
-    let model = host_cpu_model().replace('"', "'");
+    let model = json_escape(&host_cpu_model());
     let caveat = if cores == 1 {
         "measured on a 1-core container: threaded-runtime numbers cannot \
          show real parallelism and underestimate multicore hardware \
@@ -245,6 +268,48 @@ mod tests {
         assert_eq!(rendered.lines().count(), 4);
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn json_escape_neutralises_hostile_model_strings() {
+        // A CPU model string with quotes, backslashes and control
+        // characters must stay inside one JSON string literal.
+        let hostile = "Evil\" CPU \\ v1\n\t\u{1}";
+        let escaped = json_escape(hostile);
+        assert_eq!(escaped, "Evil\\\" CPU \\\\ v1\\n\\t\\u0001");
+        // No raw quote, backslash or control character survives.
+        let mut chars = escaped.chars().peekable();
+        while let Some(c) = chars.next() {
+            assert!((c as u32) >= 0x20, "raw control character leaked");
+            if c == '\\' {
+                chars.next(); // the escaped character, whatever it is
+            } else {
+                assert_ne!(c, '"', "raw quote leaked");
+            }
+        }
+        // Benign strings pass through untouched.
+        assert_eq!(
+            json_escape("AMD Opteron(tm) Processor 6174 @ 2.20GHz"),
+            "AMD Opteron(tm) Processor 6174 @ 2.20GHz"
+        );
+    }
+
+    #[test]
+    fn host_meta_json_is_structurally_valid() {
+        let meta = host_meta_json();
+        assert!(meta.starts_with('{') && meta.ends_with('}'));
+        // Crude but dependency-free balance check: an even number of
+        // unescaped quotes, and the three expected fields are present.
+        let unescaped_quotes = meta
+            .as_bytes()
+            .iter()
+            .enumerate()
+            .filter(|&(i, &b)| b == b'"' && (i == 0 || meta.as_bytes()[i - 1] != b'\\'))
+            .count();
+        assert_eq!(unescaped_quotes % 2, 0);
+        assert!(meta.contains("\"cores\""));
+        assert!(meta.contains("\"cpu_model\""));
+        assert!(meta.contains("\"caveat\""));
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub mod predicate;
 pub mod punctuation;
 pub mod rebalance;
 pub mod result;
+pub mod shard;
 pub mod sorter;
 pub mod stats;
 pub mod store;
@@ -99,6 +100,10 @@ pub use predicate::{
 pub use punctuation::{verify_punctuated_stream, HighWaterMarks, OutputItem, Punctuation};
 pub use rebalance::{EdgeTransfer, FlowConstraint, MigrationConstraint, RedistributionPlan};
 pub use result::{ResultTuple, TimedResult};
+pub use shard::{
+    merge_punctuated_streams, mix64, MeshAutoscalePolicy, MeshDecision, MeshPlan, MeshStep, Route,
+    RouteMode, ShardMap, ShardRouter,
+};
 pub use sorter::SortingOperator;
 pub use stats::{LatencyPoint, LatencySeries, LatencySummary, NodeCounters};
 pub use store::{ColumnarPayload, ColumnarWindow, IwsBuffer, KeyFn, LocalWindow, ProbeCost};
@@ -126,6 +131,10 @@ pub mod prelude {
         EdgeTransfer, FlowConstraint, MigrationConstraint, RedistributionPlan,
     };
     pub use crate::result::{ResultTuple, TimedResult};
+    pub use crate::shard::{
+        merge_punctuated_streams, MeshAutoscalePolicy, MeshDecision, MeshPlan, MeshStep, Route,
+        RouteMode, ShardMap, ShardRouter,
+    };
     pub use crate::sorter::SortingOperator;
     pub use crate::stats::{LatencySeries, LatencySummary, NodeCounters};
     pub use crate::time::{TimeDelta, Timestamp};

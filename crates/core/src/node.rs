@@ -189,6 +189,28 @@ pub trait PipelineNode<R, S>: Send {
         })
     }
 
+    /// Installs a migrated window segment **silently** — merged into the
+    /// local windows with no matching in either direction.
+    ///
+    /// This is the cross-shard variant of
+    /// [`PipelineNode::import_segment`]: when a shard splits or merges,
+    /// the moved tuples re-enter a chain at the *same* pipeline position
+    /// they occupied in the source chain, so every pair they could meet
+    /// through the hop has already been examined there (and on a
+    /// fragment-replicate merge the child's S rows are broadcast copies —
+    /// re-matching them would duplicate results).  Only valid while the
+    /// pipeline is fenced; the same support rules as
+    /// [`PipelineNode::export_segment`] apply.
+    fn install_segment_silent(
+        &mut self,
+        _segment: WindowSegment<R, S>,
+    ) -> Result<(), ElasticError> {
+        Err(ElasticError::MigrationUnsupported {
+            node: self.node_id(),
+            operation: "install_segment_silent",
+        })
+    }
+
     /// Renumbers the node after an elastic reconfiguration.  Only valid
     /// while the pipeline is fenced; the same support rules as
     /// [`PipelineNode::export_segment`] apply.
@@ -268,6 +290,13 @@ where
         _from: Direction,
         _out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
     ) -> Result<(), ElasticError> {
+        crate::node_llhj::LlhjNode::import_segment(self, segment);
+        Ok(())
+    }
+
+    fn install_segment_silent(&mut self, segment: WindowSegment<R, S>) -> Result<(), ElasticError> {
+        // LLHJ imports are already silent: its matching rules find a stored
+        // tuple wherever it rests, so no install-time probe exists to skip.
         crate::node_llhj::LlhjNode::import_segment(self, segment);
         Ok(())
     }
@@ -357,6 +386,11 @@ where
         out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
     ) -> Result<(), ElasticError> {
         crate::node_hsj::HsjNode::import_segment(self, segment, from, out);
+        Ok(())
+    }
+
+    fn install_segment_silent(&mut self, segment: WindowSegment<R, S>) -> Result<(), ElasticError> {
+        crate::node_hsj::HsjNode::install_segment_silent(self, segment);
         Ok(())
     }
 

@@ -445,8 +445,32 @@ where
             .observe_sizes(self.wr.len(), self.ws.len(), self.iws.len());
     }
 
-    /// Removes locally stored tuples that are no longer window-concurrent
-    /// with a probing tuple that carries stream timestamp `now`.
+    /// Installs a window segment **without probing** either direction.
+    ///
+    /// Cross-shard state movement (shard split/merge in the mesh) must not
+    /// re-run the migration-hop matching that
+    /// [`HsjNode::import_segment`] performs: the moved tuples already met
+    /// their partners in the source chain (a split re-installs them at the
+    /// *same* pipeline position, so the positional met-invariant carries
+    /// over verbatim), and on a fragment-replicate merge the child's S rows
+    /// are broadcast copies of the parent's — matching them again would
+    /// duplicate results.  Only valid while the pipeline is fenced.
+    pub fn install_segment_silent(&mut self, segment: WindowSegment<R, S>) {
+        debug_assert!(
+            self.iws.is_empty(),
+            "segments only install while fenced, when IWS is empty"
+        );
+        let Self {
+            wr, ws, predicate, ..
+        } = self;
+        wr.merge_sorted(segment.wr, |r| predicate.r_attr(r).unwrap_or(0));
+        ws.merge_sorted(segment.ws, |s| predicate.s_attr(s).unwrap_or(0));
+        self.counters
+            .observe_sizes(self.wr.len(), self.ws.len(), self.iws.len());
+    }
+
+    /// Removes stored S tuples that are no longer window-concurrent with a
+    /// probing **R** tuple carrying stream timestamp `now`.
     ///
     /// Expiry messages remain the primary eviction mechanism
     /// (Section 4.2.4), but because tuples *move* in the original handshake
@@ -458,22 +482,42 @@ where
     /// concurrency is defined on stream time, independent of processing
     /// delays.  It only applies to age-based flow, where the node knows the
     /// window spans.
-    fn self_expire(&mut self, now: Timestamp) {
-        if let FlowPolicy::ByAge { window_r, window_s } = self.flow {
+    ///
+    /// Crucially, an R probe may only evict from the window it is about to
+    /// scan (`WS`), never from its own side's window: probe timestamps are
+    /// monotone *per direction* only.  Under coarse batching a
+    /// right-to-left frame can lag a whole batch behind the left-to-right
+    /// frame that advanced the node — if the R probe also evicted `WR`,
+    /// a lagging S probe whose window still covers those R tuples would
+    /// miss its matches (the PR 1 "exact only at batch 1" limitation).
+    /// Evicting `WS` is safe because every future R probe at this node
+    /// carries a timestamp `>= now`, so a tuple out of window for `now`
+    /// stays out of window for all of them.
+    fn self_expire_ws(&mut self, now: Timestamp) {
+        if let FlowPolicy::ByAge { window_s, .. } = self.flow {
             // Boundary convention: the driver schedule orders same-instant
-            // events with R-stream events first, so an R tuple whose window
-            // elapses exactly when an S tuple arrives does NOT join (>=),
-            // while an S tuple in the symmetric situation still does (>).
-            while let Some((seq, ts)) = self.wr.peek_oldest() {
-                if now.saturating_since(ts) >= window_r {
-                    self.wr.remove(seq);
+            // events with R-stream events first, so an S tuple whose window
+            // elapses exactly when the R probe arrives still joins (>).
+            while let Some((seq, ts)) = self.ws.peek_oldest() {
+                if now.saturating_since(ts) > window_s {
+                    self.ws.remove(seq);
                 } else {
                     break;
                 }
             }
-            while let Some((seq, ts)) = self.ws.peek_oldest() {
-                if now.saturating_since(ts) > window_s {
-                    self.ws.remove(seq);
+        }
+    }
+
+    /// Removes stored R tuples that are no longer window-concurrent with a
+    /// probing **S** tuple carrying stream timestamp `now`; the mirror of
+    /// [`HsjNode::self_expire_ws`] with the opposite boundary convention
+    /// (an R tuple whose window elapses exactly when the S probe arrives
+    /// does NOT join, `>=`).
+    fn self_expire_wr(&mut self, now: Timestamp) {
+        if let FlowPolicy::ByAge { window_r, .. } = self.flow {
+            while let Some((seq, ts)) = self.wr.peek_oldest() {
+                if now.saturating_since(ts) >= window_r {
+                    self.wr.remove(seq);
                 } else {
                     break;
                 }
@@ -487,7 +531,7 @@ where
     fn on_arrival_r(&mut self, r: PipelineTuple<R>, out: &mut HsjOutput<R, S>) {
         self.counters.arrivals += 1;
         self.clock = self.clock.max(r.ts());
-        self.self_expire(r.ts());
+        self.self_expire_ws(r.ts());
         let within = match self.flow {
             FlowPolicy::ByAge { window_r, window_s } => Some((window_r, window_s)),
             FlowPolicy::ByCapacity(_) => None,
@@ -553,7 +597,7 @@ where
     fn on_arrival_s(&mut self, s: PipelineTuple<S>, out: &mut HsjOutput<R, S>) {
         self.counters.arrivals += 1;
         self.clock = self.clock.max(s.ts());
-        self.self_expire(s.ts());
+        self.self_expire_wr(s.ts());
         let within = match self.flow {
             FlowPolicy::ByAge { window_r, window_s } => Some((window_r, window_s)),
             FlowPolicy::ByCapacity(_) => None,
@@ -1009,6 +1053,68 @@ mod tests {
         };
         n.import_segment(segment, Direction::Left, &mut out);
         assert_eq!(out.results.len(), 1);
+    }
+
+    /// Self-expiry is one-sided: a probing tuple may evict only the window
+    /// it is about to scan, because probe timestamps are monotone per
+    /// direction only.  Under coarse batching an S frame can lag a whole
+    /// batch behind the R frame, so an R probe that also evicted `WR`
+    /// would destroy tuples the lagging S probes still match — the exact
+    /// cause of the historical batch > 1 oracle misses.
+    #[test]
+    fn self_expiry_never_evicts_the_probes_own_side() {
+        let mut n = age_node(0, 1, 10);
+        let mut out = HsjOutput::new();
+        // R tuple at t=0 is stored.
+        n.handle_left(
+            LeftToRight::ArrivalR(rt_at(0, 5, Timestamp::from_secs(0))),
+            &mut out,
+        );
+        out.clear();
+        // A much later R probe (t=25, far outside the 10 s window of the
+        // stored R tuple) arrives first because its frame ran ahead.
+        n.handle_left(
+            LeftToRight::ArrivalR(rt_at(1, 99, Timestamp::from_secs(25))),
+            &mut out,
+        );
+        out.clear();
+        // The lagging S probe at t=9 is still window-concurrent with the
+        // R tuple from t=0 and must find it.
+        n.handle_right(
+            RightToLeft::ArrivalS(st_at(0, 5, Timestamp::from_secs(9))),
+            &mut out,
+        );
+        assert_eq!(
+            out.results.len(),
+            1,
+            "a lagging S probe must still match R tuples inside its window"
+        );
+        assert_eq!(out.results[0].key(), (SeqNo(0), SeqNo(0)));
+
+        // Mirror direction, fresh node: the S frame ran ahead (probe at
+        // t=25), the R frame lags (probe at t=9); the stored S tuple from
+        // t=0 must survive the future S probe and match the lagging R.
+        let mut n = age_node(0, 1, 10);
+        let mut out = HsjOutput::new();
+        n.handle_right(
+            RightToLeft::ArrivalS(st_at(0, 5, Timestamp::from_secs(0))),
+            &mut out,
+        );
+        n.handle_right(
+            RightToLeft::ArrivalS(st_at(1, 77, Timestamp::from_secs(25))),
+            &mut out,
+        );
+        out.clear();
+        n.handle_left(
+            LeftToRight::ArrivalR(rt_at(0, 5, Timestamp::from_secs(9))),
+            &mut out,
+        );
+        assert_eq!(
+            out.results.len(),
+            1,
+            "a lagging R probe must still match S tuples inside its window"
+        );
+        assert_eq!(out.results[0].key(), (SeqNo(0), SeqNo(0)));
     }
 
     #[test]

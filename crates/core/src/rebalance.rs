@@ -37,9 +37,18 @@
 //! tuple rightward) past state it has already crossed would let the pair
 //! cross twice — a duplicate result the oracle comparison would catch.
 //! HSJ therefore declares [`MigrationConstraint::monotone`]: its R side
-//! redistributes rightward only and its S side leftward only; flows the
-//! constraint forbids are clamped to zero and the affected side rebalances
-//! through the ordinary flow policy instead.
+//! redistributes rightward only and its S side leftward only.
+//!
+//! Constrained targets are computed by **water-filling** rather than by
+//! clamping the unconstrained flows: a rightward-only stream is assigned,
+//! left to right, the fair share of the not-yet-placed total capped by
+//! what the census prefix can actually deliver (`prefix(census) -
+//! placed`); a leftward-only stream is the mirror image.  This reaches
+//! the most even residence the constraint permits — clamping, by
+//! contrast, zeroed every forbidden edge and silently left allowed-side
+//! imbalance in place (the historical "S rebalances only by flow after a
+//! right-end grow" caveat).  Unconstrained streams keep the exact
+//! `total / n` targets.
 
 use crate::message::Direction;
 use std::ops::Range;
@@ -58,12 +67,14 @@ pub enum FlowConstraint {
 }
 
 impl FlowConstraint {
-    /// Clamps a signed edge flow (positive = rightward) to the constraint.
-    fn clamp(&self, flow: i64) -> i64 {
+    /// True if the constraint permits a signed edge flow (positive =
+    /// rightward).  Water-filled targets never produce forbidden flows;
+    /// this is the debug check for that invariant.
+    fn permits(&self, flow: i64) -> bool {
         match self {
-            FlowConstraint::BothWays => flow,
-            FlowConstraint::RightwardOnly => flow.max(0),
-            FlowConstraint::LeftwardOnly => flow.min(0),
+            FlowConstraint::BothWays => true,
+            FlowConstraint::RightwardOnly => flow >= 0,
+            FlowConstraint::LeftwardOnly => flow <= 0,
         }
     }
 }
@@ -133,8 +144,9 @@ impl EdgeTransfer {
 /// `flow_r[k]` / `flow_s[k]` is the flow across the edge between node `k`
 /// and node `k + 1`: positive flows travel rightward, negative leftward.
 /// Computed as the prefix-sum difference between the census and the
-/// balanced target (`total / n` per node, remainder spread over the lowest
-/// ids), then clamped by the node type's [`MigrationConstraint`].
+/// constrained target — `total / n` per node (remainder spread over the
+/// lowest ids) for free placement, the water-filled maximum-evenness
+/// allocation under the node type's [`MigrationConstraint`] otherwise.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RedistributionPlan {
     flow_r: Vec<i64>,
@@ -151,18 +163,63 @@ fn balanced_targets(census: &[usize]) -> Vec<usize> {
     (0..n).map(|i| base + usize::from(i < rem)).collect()
 }
 
-/// Signed edge flows for one stream: prefix(census) − prefix(target),
-/// clamped by the constraint.  Clamped plans stay feasible: processing
+/// Water-filled targets for a rightward-only stream: left to right, each
+/// node receives the fair (ceiling) share of the not-yet-placed total,
+/// capped by what the census prefix can deliver without any leftward move
+/// (`prefix(census) - placed`).  This is the max-min-fair allocation under
+/// the prefix-feasibility constraint; nodes whose cap binds push their
+/// shortfall onto later nodes.
+fn rightward_targets(census: &[usize]) -> Vec<usize> {
+    let n = census.len();
+    let total: usize = census.iter().sum();
+    let mut out = Vec::with_capacity(n);
+    let mut placed = 0usize;
+    let mut prefix = 0usize;
+    for (i, &c) in census.iter().enumerate() {
+        prefix += c;
+        let remaining_nodes = n - i;
+        let remaining_total = total - placed;
+        let fair = remaining_total.div_ceil(remaining_nodes);
+        let take = fair.min(prefix - placed);
+        out.push(take);
+        placed += take;
+    }
+    debug_assert_eq!(placed, total, "water-filling places every tuple");
+    out
+}
+
+/// Constrained per-node targets for one stream: exact `total / n` shares
+/// when placement is free, water-filled shares under a one-directional
+/// constraint (a leftward-only stream is the reversed rightward case).
+fn constrained_targets(census: &[usize], constraint: FlowConstraint) -> Vec<usize> {
+    match constraint {
+        FlowConstraint::BothWays => balanced_targets(census),
+        FlowConstraint::RightwardOnly => rightward_targets(census),
+        FlowConstraint::LeftwardOnly => {
+            let reversed: Vec<usize> = census.iter().rev().copied().collect();
+            let mut targets = rightward_targets(&reversed);
+            targets.reverse();
+            targets
+        }
+    }
+}
+
+/// Signed edge flows for one stream: prefix(census) − prefix(target) over
+/// the constrained targets.  Feasibility holds by construction: processing
 /// rightward edges left-to-right (and leftward edges right-to-left) a node
 /// always holds at least the tuples its edge sheds by the time the edge
-/// executes.
+/// executes, and no flow violates the constraint (debug-asserted).
 fn edge_flows(census: &[usize], constraint: FlowConstraint) -> Vec<i64> {
-    let targets = balanced_targets(census);
+    let targets = constrained_targets(census, constraint);
     let mut flows = Vec::with_capacity(census.len().saturating_sub(1));
     let mut surplus: i64 = 0;
     for k in 0..census.len().saturating_sub(1) {
         surplus += census[k] as i64 - targets[k] as i64;
-        flows.push(constraint.clamp(surplus));
+        debug_assert!(
+            constraint.permits(surplus),
+            "water-filled targets produced a forbidden flow {surplus} at edge {k}"
+        );
+        flows.push(surplus);
     }
     flows
 }
@@ -357,6 +414,128 @@ mod tests {
                 s: 0
             }]
         );
+    }
+
+    /// The both-end-grow census shape: old state in the middle, one fresh
+    /// node at each end.  Water-filling spreads R over the right-reachable
+    /// suffix and S over the left-reachable prefix — the historical
+    /// clamping planner moved S only when state sat strictly right of the
+    /// target, so this exact shape used to leave S piled in the middle.
+    #[test]
+    fn monotone_both_end_grow_balances_each_side_over_its_reachable_nodes() {
+        let plan = RedistributionPlan::balanced(
+            &[(0, 0), (6, 6), (6, 6), (0, 0)],
+            MigrationConstraint::monotone(),
+        );
+        // R (rightward only): node 0 is unreachable; 12 tuples spread over
+        // nodes 1..=3 as [4, 4, 4].  S (leftward only): node 3 is
+        // unreachable; spread over nodes 0..=2 as [4, 4, 4].
+        let mut wr = vec![0i64, 6, 6, 0];
+        let mut ws = vec![0i64, 6, 6, 0];
+        for t in plan.transfers() {
+            wr[t.from] -= t.r as i64;
+            ws[t.from] -= t.s as i64;
+            assert!(wr[t.from] >= 0 && ws[t.from] >= 0, "overdraw in {t:?}");
+            wr[t.to] += t.r as i64;
+            ws[t.to] += t.s as i64;
+        }
+        assert_eq!(wr, vec![0, 4, 4, 4]);
+        assert_eq!(ws, vec![4, 4, 4, 0]);
+    }
+
+    /// Leftward-only state that is *partially* movable: water-filling
+    /// moves as much as feasibility allows instead of clamping to zero.
+    #[test]
+    fn water_filling_moves_the_feasible_part_of_a_constrained_imbalance() {
+        // S piled on the right end of a 3-node chain, leftward-only.
+        let plan = RedistributionPlan::balanced(
+            &[(0, 0), (0, 0), (0, 12)],
+            MigrationConstraint::monotone(),
+        );
+        let transfers = plan.transfers();
+        // Leftward cascade, decreasing edge order: 8 off the pile, 4 of
+        // which continue to node 0.
+        assert_eq!(
+            transfers,
+            vec![
+                EdgeTransfer {
+                    from: 2,
+                    to: 1,
+                    r: 0,
+                    s: 8
+                },
+                EdgeTransfer {
+                    from: 1,
+                    to: 0,
+                    r: 0,
+                    s: 4
+                },
+            ]
+        );
+        // R piled mid-chain, rightward-only: only the suffix evens out.
+        let plan = RedistributionPlan::balanced(
+            &[(0, 0), (9, 0), (0, 0)],
+            MigrationConstraint::monotone(),
+        );
+        assert_eq!(
+            plan.transfers(),
+            vec![EdgeTransfer {
+                from: 1,
+                to: 2,
+                r: 4,
+                s: 0
+            }]
+        );
+    }
+
+    /// Feasibility and target-landing for monotone plans, mirroring the
+    /// free-placement property test below.
+    #[test]
+    fn monotone_transfer_sequence_is_feasible_and_maximally_even() {
+        let cases: Vec<Vec<(usize, usize)>> = vec![
+            vec![(0, 0), (6, 6), (6, 6), (0, 0)],
+            vec![(0, 0), (0, 0), (20, 7)],
+            vec![(3, 9), (0, 0), (7, 1), (2, 2), (0, 5)],
+            vec![(13, 13), (0, 0)],
+        ];
+        for census in cases {
+            let plan = RedistributionPlan::balanced(&census, MigrationConstraint::monotone());
+            let mut wr: Vec<i64> = census.iter().map(|c| c.0 as i64).collect();
+            let mut ws: Vec<i64> = census.iter().map(|c| c.1 as i64).collect();
+            for t in plan.transfers() {
+                wr[t.from] -= t.r as i64;
+                ws[t.from] -= t.s as i64;
+                assert!(
+                    wr[t.from] >= 0 && ws[t.from] >= 0,
+                    "transfer {t:?} overdraws node {} of census {census:?}",
+                    t.from
+                );
+                wr[t.to] += t.r as i64;
+                ws[t.to] += t.s as i64;
+            }
+            let r_census: Vec<usize> = census.iter().map(|c| c.0).collect();
+            let s_census: Vec<usize> = census.iter().map(|c| c.1).collect();
+            let target_r = constrained_targets(&r_census, FlowConstraint::RightwardOnly);
+            let target_s = constrained_targets(&s_census, FlowConstraint::LeftwardOnly);
+            assert_eq!(wr, target_r.iter().map(|&t| t as i64).collect::<Vec<_>>());
+            assert_eq!(ws, target_s.iter().map(|&t| t as i64).collect::<Vec<_>>());
+            // Every prefix respects rightward-only feasibility for R and
+            // the mirrored constraint for S.
+            let mut cp = 0i64;
+            let mut tp = 0i64;
+            for k in 0..census.len() {
+                cp += r_census[k] as i64;
+                tp += target_r[k] as i64;
+                assert!(tp <= cp, "R target prefix exceeds census prefix at {k}");
+            }
+            let mut cs = 0i64;
+            let mut tss = 0i64;
+            for k in (0..census.len()).rev() {
+                cs += s_census[k] as i64;
+                tss += target_s[k] as i64;
+                assert!(tss <= cs, "S target suffix exceeds census suffix at {k}");
+            }
+        }
     }
 
     #[test]

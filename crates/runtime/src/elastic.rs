@@ -168,7 +168,9 @@ where
 /// resumes.  Calls are synchronous: when they return, the pipeline is
 /// processing again at the new width.
 pub trait ScalePipeline {
-    /// Inserts `delta` nodes at the right end of the chain.
+    /// Inserts `delta` nodes: at the right end for free node types, split
+    /// across both ends for stream-monotone ones (HSJ), so each stream's
+    /// migration constraint can reach fresh nodes.
     fn grow(&mut self, delta: usize);
     /// Retires the `delta` rightmost nodes, migrating their window state
     /// into the surviving chain.
@@ -788,69 +790,157 @@ where
 
     fn grow_to(&mut self, target: usize) {
         let current = self.nodes();
+        let delta = target - current;
+        // Stream-monotone node types (HSJ) grow at BOTH ends: stored S
+        // tuples may only migrate leftward, so a purely right-end grow
+        // would leave every new node unreachable for the whole resident S
+        // window (the historical "S rebalances only by flow" caveat).
+        // Splitting the extension — the left end gets the ceiling half —
+        // gives each stream fresh nodes its constraint can actually reach.
+        // Free node types keep the plain right-end grow.
+        let left_delta = if self.constraint == MigrationConstraint::free() {
+            0
+        } else {
+            delta.div_ceil(2)
+        };
+        let right_delta = delta - left_delta;
         let (done_tx, done_rx) = unbounded();
 
-        // Fresh links for the chain extension: link j connects node j-1 to
-        // node j; the new rightmost gets a fresh bounded entry channel.
+        // Fresh links for the right extension: link i connects new node
+        // `left_delta + current + i` to its left neighbour; the new
+        // rightmost gets a fresh bounded entry channel.
         let mut ltr: Vec<NewLink<R, S>> = Vec::new();
         let mut rtl: Vec<NewLink<R, S>> = Vec::new();
-        for _ in current..target {
+        for _ in 0..right_delta {
             let (tx, rx) = unbounded();
             ltr.push((tx, Some(rx)));
             let (tx, rx) = unbounded();
             rtl.push((tx, Some(rx)));
         }
-        let (new_right_tx, new_right_rx) = bounded(self.options.channel_capacity);
-        let mut new_right_rx = Some(new_right_rx);
-
         // Spawn the new workers first so the extension is ready before any
-        // old worker is rewired towards it.
-        for j in current..target {
-            let i = j - current;
-            let left_rx = ltr[i].1.take().expect("new left input");
-            let to_left = Some(rtl[i].0.clone());
-            let (right_rx, to_right) = if j + 1 < target {
-                (
-                    rtl[i + 1].1.take().expect("new right input"),
-                    Some(ltr[i + 1].0.clone()),
-                )
-            } else {
-                (new_right_rx.take().expect("new entry"), None)
-            };
-            let handle = self.spawn_worker(j, target, left_rx, right_rx, to_left, to_right);
-            self.workers.push(handle);
+        // old worker is rewired towards it.  (New ids renumber the old
+        // workers by `left_delta`; their busy slots stay registered under
+        // the old position, so per-position busy attribution is
+        // approximate across a both-end grow while the totals stay exact.)
+        let mut new_right_entry = None;
+        if right_delta > 0 {
+            let (tx, rx) = bounded(self.options.channel_capacity);
+            new_right_entry = Some(tx);
+            let mut new_right_rx = Some(rx);
+            for i in 0..right_delta {
+                let id = left_delta + current + i;
+                let left_rx = ltr[i].1.take().expect("new left input");
+                let to_left = Some(rtl[i].0.clone());
+                let (right_rx, to_right) = if i + 1 < right_delta {
+                    (
+                        rtl[i + 1].1.take().expect("new right input"),
+                        Some(ltr[i + 1].0.clone()),
+                    )
+                } else {
+                    (new_right_rx.take().expect("new entry"), None)
+                };
+                let handle = self.spawn_worker(id, target, left_rx, right_rx, to_left, to_right);
+                self.workers.push(handle);
+            }
         }
 
-        // The old rightmost becomes an inner node: it gains a right
-        // neighbour on the new links.  Its wait set must be registered
-        // with the replacement channel *before* the worker receives it —
-        // a send into an unregistered channel would not wake the parked
-        // worker, leaving every frame crossing the old/new boundary to
-        // the 10 ms safety-net timeout.
-        let boundary_rx = rtl[0].1.take().expect("old rightmost right input");
-        boundary_rx.set_waiter(&self.workers[current - 1].waitset);
-        let mut boundary_rx = Some(boundary_rx);
+        // Fresh links for the left extension, the mirror image: `lltr[i]`
+        // carries frames from new node i to node i + 1, `lrtl[i]` the
+        // reverse; the new leftmost gets a fresh bounded left entry.
+        let mut lltr: Vec<NewLink<R, S>> = Vec::new();
+        let mut lrtl: Vec<NewLink<R, S>> = Vec::new();
+        for _ in 0..left_delta {
+            let (tx, rx) = unbounded();
+            lltr.push((tx, Some(rx)));
+            let (tx, rx) = unbounded();
+            lrtl.push((tx, Some(rx)));
+        }
+        let mut new_left_entry = None;
+        let mut left_workers: Vec<WorkerHandle<R, S>> = Vec::new();
+        if left_delta > 0 {
+            let (tx, rx) = bounded(self.options.channel_capacity);
+            new_left_entry = Some(tx);
+            let mut new_left_rx = Some(rx);
+            for i in 0..left_delta {
+                let left_rx = if i == 0 {
+                    new_left_rx.take().expect("new entry")
+                } else {
+                    lltr[i - 1].1.take().expect("new left input")
+                };
+                let right_rx = lrtl[i].1.take().expect("new right input");
+                let to_left = if i == 0 {
+                    None
+                } else {
+                    Some(lrtl[i - 1].0.clone())
+                };
+                let to_right = Some(lltr[i].0.clone());
+                let handle = self.spawn_worker(i, target, left_rx, right_rx, to_left, to_right);
+                left_workers.push(handle);
+            }
+        }
+
+        // The old end nodes become inner nodes: they gain a neighbour on
+        // the new links.  Each replacement receiver must be registered
+        // with the owning worker's wait set *before* the worker receives
+        // it — a send into an unregistered channel would not wake the
+        // parked worker, leaving every frame crossing the old/new
+        // boundary to the 10 ms safety-net timeout.
+        let mut boundary_right_rx = if right_delta > 0 {
+            let rx = rtl[0].1.take().expect("old rightmost right input");
+            rx.set_waiter(&self.workers[current - 1].waitset);
+            Some(rx)
+        } else {
+            None
+        };
+        let mut boundary_left_rx = if left_delta > 0 {
+            let rx = lltr[left_delta - 1]
+                .1
+                .take()
+                .expect("old leftmost left input");
+            rx.set_waiter(&self.workers[0].waitset);
+            Some(rx)
+        } else {
+            None
+        };
         for k in 0..current {
-            let (right_rx, to_right) = if k + 1 == current {
+            let (right_rx, to_right) = if k + 1 == current && right_delta > 0 {
                 (
-                    Some(boundary_rx.take().expect("handed over once")),
+                    Some(boundary_right_rx.take().expect("handed over once")),
                     Some(Some(ltr[0].0.clone())),
                 )
             } else {
                 (None, None)
             };
+            let (left_rx, to_left) = if k == 0 && left_delta > 0 {
+                (
+                    Some(boundary_left_rx.take().expect("handed over once")),
+                    Some(Some(lrtl[left_delta - 1].0.clone())),
+                )
+            } else {
+                (None, None)
+            };
             let _ = self.workers[k].commands().send(WorkerCommand::Rewire {
-                id: k,
+                id: left_delta + k,
                 nodes: target,
-                left_rx: None,
+                left_rx,
                 right_rx,
-                to_left: None,
+                to_left,
                 to_right,
                 done: done_tx.clone(),
             });
         }
         self.confirm(&done_rx, current, "grow confirmations");
-        self.entry.right.set_sender(new_right_tx);
+        // Splice the new left workers in at the front so `workers[k]` is
+        // the worker running node id `k` again.
+        if !left_workers.is_empty() {
+            self.workers.splice(0..0, left_workers);
+        }
+        if let Some(tx) = new_right_entry {
+            self.entry.right.set_sender(tx);
+        }
+        if let Some(tx) = new_left_entry {
+            self.entry.left.set_sender(tx);
+        }
     }
 
     /// Takes the per-node stored-window census `(|WR_k|, |WS_k|)` of the
@@ -918,6 +1008,69 @@ where
         }
         let after = self.census();
         (moved, after)
+    }
+
+    // -- mesh hooks (crate-private) --------------------------------------
+    //
+    // The shard mesh (`crate::mesh`) drives N of these pipelines as the
+    // chains of a key-partitioned mesh: one external router feeds events
+    // to the owning chain, and a shard split/merge moves window state
+    // *across* chains.  These hooks expose exactly the pieces the mesh
+    // layer needs — online injection, the fence, and the cross-shard
+    // export/install protocol — without widening the public API.
+
+    /// Injects one routed driver event.  The mesh router decides online
+    /// which chain sees an event, so no per-chain schedule totals exist;
+    /// partial frames are flushed by `batch_size`, `flush_interval` and
+    /// the fences instead of the end-of-schedule count.
+    pub(crate) fn inject_routed(&mut self, event: &llhj_core::driver::DriverEvent<R, S>) {
+        self.inject(event, usize::MAX, usize::MAX);
+    }
+
+    /// Fences the chain for a mesh-wide reshard (public protocol step).
+    pub(crate) fn fence_for_reshard(&mut self) {
+        self.fence();
+    }
+
+    /// Exports every node's full window, leaving the chain empty.  Only
+    /// valid while fenced; segment `k` is node `k`'s window.
+    pub(crate) fn export_all_segments(&mut self) -> Vec<llhj_core::message::WindowSegment<R, S>> {
+        let mut segments = Vec::with_capacity(self.workers.len());
+        for handle in &self.workers {
+            let (done_tx, done_rx) = unbounded();
+            let _ = handle
+                .commands()
+                .send(WorkerCommand::ExportAll { done: done_tx });
+            match done_rx.recv_timeout(PROTOCOL_STEP_TIMEOUT) {
+                Ok(segment) => segments.push(segment),
+                Err(_) => panic!("fence protocol stalled waiting for a full export"),
+            }
+        }
+        segments
+    }
+
+    /// Installs a segment silently into node `k`.  Only valid while
+    /// fenced, and only for cross-shard movement (the rows re-enter at the
+    /// pipeline position they held in the source chain, so no
+    /// migration-hop matching is due).
+    pub(crate) fn install_segment(
+        &mut self,
+        k: usize,
+        segment: llhj_core::message::WindowSegment<R, S>,
+    ) -> usize {
+        let (done_tx, done_rx) = unbounded();
+        let _ = self.workers[k].commands().send(WorkerCommand::Install {
+            segment,
+            done: done_tx,
+        });
+        self.confirm(&done_rx, 1, "a silent install confirmation")
+    }
+
+    /// Runs the chain-wide redistribution pass (census → plan → hops).
+    /// Only valid while fenced; the mesh calls it after a reshard changed
+    /// the chain's resident state.
+    pub(crate) fn rebalance_fenced(&mut self) -> usize {
+        self.rebalance().0
     }
 }
 

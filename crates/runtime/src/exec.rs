@@ -30,7 +30,9 @@
 use crate::channel::{unbounded, Receiver, Sender, WaitSet};
 use crate::metrics::MetricsBus;
 use crate::options::Pacing;
-use llhj_core::message::{Direction, Handoff, LeftToRight, MessageBatch, NodeOutput, RightToLeft};
+use llhj_core::message::{
+    Direction, Handoff, LeftToRight, MessageBatch, NodeOutput, RightToLeft, WindowSegment,
+};
 use llhj_core::node::PipelineNode;
 use llhj_core::punctuation::{HighWaterMarks, OutputItem, Punctuation};
 use llhj_core::rebalance::shed_ranges;
@@ -336,6 +338,21 @@ pub(crate) enum WorkerCommand<R, S> {
     /// Report the node's stored-window census `(|WR_k|, |WS_k|)` — the
     /// input the control plane feeds the redistribution planner.
     Census { done: Sender<CensusReport> },
+    /// Export the node's entire window back to the control plane, leaving
+    /// the node empty.  The cross-*shard* half of a mesh split/merge:
+    /// unlike [`WorkerCommand::Shed`] no neighbour is involved — the mesh
+    /// layer partitions the rows by hash and re-installs them (into this
+    /// chain and/or a sibling chain) with [`WorkerCommand::Install`].
+    ExportAll { done: Sender<WindowSegment<R, S>> },
+    /// Install a segment *silently* — merged without matching.  Valid only
+    /// for cross-shard movement, where the rows re-enter a chain at the
+    /// pipeline position they held in the source chain and every pair they
+    /// could meet was already examined there (matching again would
+    /// duplicate results on a fragment-replicate merge).
+    Install {
+        segment: WindowSegment<R, S>,
+        done: Sender<ScaleConfirm>,
+    },
     /// Export local state, hand it to the left neighbour, await the ack,
     /// exit the thread.
     Retire {
@@ -695,6 +712,24 @@ where
                     node: self.id,
                     wr,
                     ws,
+                });
+                false
+            }
+            WorkerCommand::ExportAll { done } => {
+                let segment = self
+                    .node
+                    .export_segment()
+                    .expect("elastic workers are spawned with migration-capable nodes");
+                let _ = done.send(segment);
+                false
+            }
+            WorkerCommand::Install { segment, done } => {
+                let migrated = segment.len();
+                self.node
+                    .install_segment_silent(segment)
+                    .expect("elastic workers are spawned with migration-capable nodes");
+                let _ = done.send(ScaleConfirm {
+                    migrated_tuples: migrated,
                 });
                 false
             }

@@ -1,0 +1,497 @@
+//! The threaded shard mesh: one router, `N` elastic chains.
+//!
+//! A single [`crate::elastic::ElasticPipeline`] scales by adding nodes,
+//! but every tuple still traverses one chain, so its throughput ceiling
+//! is the chain's frame rate.  The mesh adds the second axis from
+//! ROADMAP's sharding item: the key space is hashed over `N` independent
+//! elastic chains by a [`ShardRouter`], each chain keeps its own
+//! collector, and the per-shard punctuated outputs are merged by
+//! [`merge_punctuated_streams`] into one global stream whose punctuation
+//! frontier is the minimum over shards.
+//!
+//! ## Routing
+//!
+//! Equi-joins co-partition: both streams hash by join key, so matching
+//! tuples meet inside one shard and shards share nothing.  Keyless
+//! predicates (bands) fragment-and-replicate: R is partitioned by a hash
+//! of its sequence number and S (with its expiries) is broadcast, so each
+//! `(r, s)` pair is examined in exactly the shard owning `r`.  Either
+//! way the union of shard outputs equals the single-chain result set with
+//! no duplicates — the conformance suite checks byte-identity against
+//! the Kang oracle.
+//!
+//! ## Resharding
+//!
+//! A shard split doubles the chain count.  It reuses the chain-internal
+//! fence discipline end to end: every chain fences (drains to
+//! quiescence), the router adds one mask bit, and each parent chain's
+//! nodes run `ExportAll` → hash-partition → silent `Install`: node `k`'s
+//! rows split between the parent's node `k` and the (same-width) child
+//! chain's node `k`.  Re-installing at the *same pipeline position* is
+//! what keeps stream-monotone node types correct — the positional
+//! met-invariant carries over verbatim, so no migration-hop matching is
+//! due (and on a fragment-replicate merge, matching again would duplicate
+//! results; hence the installs are silent).  Each chain then runs the
+//! ordinary census → [`llhj_core::rebalance::RedistributionPlan`] →
+//! multi-hop acked handoff pass to level its windows, and the mesh
+//! resumes.  A merge is the inverse: the child chain is first scaled to
+//! the parent's width, then exports node by node into the parent.
+
+use crate::elastic::{ElasticOutcome, ElasticPipeline, NodeFactory, ScalePipeline};
+use crate::options::PipelineOptions;
+use llhj_core::driver::DriverSchedule;
+use llhj_core::homing::HomePolicy;
+use llhj_core::predicate::JoinPredicate;
+use llhj_core::punctuation::OutputItem;
+use llhj_core::result::TimedResult;
+use llhj_core::shard::{merge_punctuated_streams, MeshPlan, RouteMode, ShardRouter};
+use llhj_core::time::Timestamp;
+use llhj_core::tuple::SeqNo;
+use llhj_sync::thread;
+use llhj_sync::time::Instant;
+
+/// One completed mesh reshaping, for the outcome's reshard log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReshardEvent {
+    /// Schedule events consumed when the reshaping fired.
+    pub after_events: usize,
+    /// Shard count before.
+    pub from_shards: usize,
+    /// Shard count after.
+    pub to_shards: usize,
+    /// Per-shard chain width after the reshaping.
+    pub width: usize,
+    /// Window tuples that crossed a shard boundary (split halves moving
+    /// to a child, or child windows folding back into a parent).
+    pub moved_tuples: usize,
+}
+
+/// Everything measured during one mesh run.
+#[derive(Debug)]
+pub struct MeshOutcome<R, S> {
+    /// All results from every shard (collection order within a shard,
+    /// shards concatenated; use [`MeshOutcome::result_keys`] to compare
+    /// with an oracle).
+    pub results: Vec<TimedResult<R, S>>,
+    /// The merged punctuated output stream (empty unless `punctuate`).
+    pub output: Vec<OutputItem<TimedResult<R, S>>>,
+    /// Every reshaping the mesh went through, in order.
+    pub reshard_log: Vec<ReshardEvent>,
+    /// Final shard count.
+    pub shards: usize,
+    /// Final per-shard chain widths.
+    pub widths: Vec<usize>,
+}
+
+impl<R, S> MeshOutcome<R, S> {
+    /// Sorted `(r_seq, s_seq)` result keys for comparison with the oracle.
+    pub fn result_keys(&self) -> Vec<(SeqNo, SeqNo)> {
+        let mut keys: Vec<_> = self.results.iter().map(|t| t.result.key()).collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+/// A live mesh of elastic chains behind one key-partitioning router.
+pub struct MeshPipeline<R, S, P, H>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    router: ShardRouter<R, S, P>,
+    chains: Vec<ElasticPipeline<R, S, P, H>>,
+    factory: NodeFactory<R, S>,
+    predicate: P,
+    policy: H,
+    options: PipelineOptions,
+    /// Outcomes of chains retired by shard merges; their output streams
+    /// join the final frontier merge.
+    retired: Vec<ElasticOutcome<R, S>>,
+    reshard_log: Vec<ReshardEvent>,
+    started: Instant,
+}
+
+impl<R, S, P, H> MeshPipeline<R, S, P, H>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    /// Deploys `shards` chains (a non-zero power of two) of `width` nodes
+    /// each.  `mode` must be a routing the predicate supports — use
+    /// [`RouteMode::for_predicate`] unless a test wants to force the
+    /// fragment-replicate fallback onto an equi-join.
+    pub fn new(
+        shards: usize,
+        width: usize,
+        factory: NodeFactory<R, S>,
+        predicate: P,
+        policy: H,
+        mode: RouteMode,
+        options: PipelineOptions,
+    ) -> Self {
+        assert!(
+            mode == RouteMode::FragmentReplicate || predicate.supports_index(),
+            "co-partitioning requires a predicate with both equi-key extractors"
+        );
+        let router = ShardRouter::new(predicate.clone(), mode, shards);
+        let chains = (0..shards)
+            .map(|_| {
+                ElasticPipeline::new(
+                    width,
+                    factory.clone(),
+                    predicate.clone(),
+                    policy.clone(),
+                    options.clone(),
+                )
+            })
+            .collect();
+        MeshPipeline {
+            router,
+            chains,
+            factory,
+            predicate,
+            policy,
+            options,
+            retired: Vec::new(),
+            reshard_log: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Current shard count.
+    pub fn shards(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// The reshard log so far.
+    pub fn reshard_log(&self) -> &[ReshardEvent] {
+        &self.reshard_log
+    }
+
+    /// Real-time pacing before injecting an event scheduled at `at`; a
+    /// plain wait (the mesh driver has no flush-slicing or controller).
+    fn pace(&self, at: Timestamp) {
+        let target = self
+            .options
+            .stream_to_wall(at.saturating_since(Timestamp::ZERO));
+        if target.is_zero() {
+            return;
+        }
+        let deadline = self.started + target;
+        let now = Instant::now();
+        if now < deadline {
+            thread::sleep(deadline - now);
+        }
+    }
+
+    /// One shard split: every chain doubles into itself plus a same-width
+    /// child.  Returns the tuples moved across shard boundaries.
+    fn split_once(&mut self) -> usize {
+        let n = self.chains.len();
+        for chain in &mut self.chains {
+            chain.fence_for_reshard();
+        }
+        self.router.split();
+        let mut moved = 0;
+        for p in 0..n {
+            let width = self.chains[p].nodes();
+            // The child starts at the SAME width as its parent: node `k`'s
+            // moving rows re-enter at position `k`, preserving positional
+            // invariants; the per-chain rebalance below levels both chains
+            // afterwards.
+            let mut child = ElasticPipeline::new(
+                width,
+                self.factory.clone(),
+                self.predicate.clone(),
+                self.policy.clone(),
+                self.options.clone(),
+            );
+            let segments = self.chains[p].export_all_segments();
+            for (k, segment) in segments.into_iter().enumerate() {
+                let (keep, moving) = self.router.split_segment(p, segment);
+                moved += moving.len();
+                self.chains[p].install_segment(k, keep);
+                child.install_segment(k, moving);
+            }
+            self.chains[p].rebalance_fenced();
+            child.rebalance_fenced();
+            // Shard ids: child of parent `p` is `p + n` — pushing parents'
+            // children in order lands each at exactly that index.
+            self.chains.push(child);
+        }
+        moved
+    }
+
+    /// One shard merge: each child chain folds back into its parent.
+    /// Returns the tuples moved across shard boundaries.
+    fn merge_once(&mut self) -> usize {
+        let n = self.chains.len() / 2;
+        // Equalize widths first (scale_to fences internally): the child's
+        // node `k` must land on an existing parent node `k`.
+        for p in 0..n {
+            let width = self.chains[p].nodes();
+            self.chains[n + p].scale_to(width);
+        }
+        for chain in &mut self.chains {
+            chain.fence_for_reshard();
+        }
+        self.router.merge();
+        let mut moved = 0;
+        let children = self.chains.split_off(n);
+        for (p, mut child) in children.into_iter().enumerate() {
+            let segments = child.export_all_segments();
+            for (k, segment) in segments.into_iter().enumerate() {
+                // Under fragment-replicate the child's S rows are broadcast
+                // copies of the parent's own — the router drops them here
+                // (installing them would double the S window and duplicate
+                // results).
+                let segment = self.router.merge_segment(segment);
+                moved += segment.len();
+                self.chains[p].install_segment(k, segment);
+            }
+            self.chains[p].rebalance_fenced();
+            self.retired.push(child.finish());
+        }
+        moved
+    }
+
+    /// Reshapes the mesh to `target_shards` shards of `width` nodes each,
+    /// by repeated splits or merges plus per-chain resizes.
+    fn reshape(&mut self, target_shards: usize, width: usize, at_event: usize) {
+        assert!(
+            target_shards.is_power_of_two(),
+            "shard count must be a power of two, got {target_shards}"
+        );
+        let from = self.chains.len();
+        let mut moved = 0;
+        while self.chains.len() < target_shards {
+            moved += self.split_once();
+        }
+        while self.chains.len() > target_shards {
+            moved += self.merge_once();
+        }
+        let mut width_changed = false;
+        for chain in &mut self.chains {
+            if chain.nodes() != width {
+                chain.scale_to(width);
+                width_changed = true;
+            }
+        }
+        if from != target_shards || width_changed {
+            self.reshard_log.push(ReshardEvent {
+                after_events: at_event,
+                from_shards: from,
+                to_shards: target_shards,
+                width,
+                moved_tuples: moved,
+            });
+        }
+    }
+
+    /// Replays a driver schedule through the mesh, firing the plan's
+    /// reshapings at their event indexes.  Call once; then
+    /// [`MeshPipeline::finish`].
+    pub fn run_schedule(&mut self, schedule: &DriverSchedule<R, S>, plan: &MeshPlan) {
+        let mut steps = plan.steps.iter().peekable();
+        for (idx, event) in schedule.events().iter().enumerate() {
+            while let Some(step) = steps.next_if(|s| s.after_events <= idx) {
+                self.reshape(step.shards, step.width, idx);
+            }
+            self.pace(event.at);
+            let route = self.router.route(&event.event);
+            for shard in route.targets(self.chains.len()) {
+                self.chains[shard].inject_routed(event);
+            }
+        }
+        // Trailing steps (at or past the schedule end) still run, exactly
+        // like a chain-level ScalePlan's.
+        let trailing: Vec<_> = steps.copied().collect();
+        for step in trailing {
+            self.reshape(step.shards, step.width, schedule.events().len());
+        }
+    }
+
+    /// Drains every chain and returns the merged outcome.
+    pub fn finish(mut self) -> MeshOutcome<R, S> {
+        let mut outcomes = std::mem::take(&mut self.retired);
+        let mut widths = Vec::with_capacity(self.chains.len());
+        for chain in self.chains.drain(..) {
+            widths.push(chain.nodes());
+            outcomes.push(chain.finish());
+        }
+        let shards = widths.len();
+        let mut results = Vec::new();
+        let mut streams = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            results.extend(outcome.results);
+            streams.push(outcome.output);
+        }
+        MeshOutcome {
+            results,
+            output: merge_punctuated_streams(streams),
+            reshard_log: self.reshard_log,
+            shards,
+            widths,
+        }
+    }
+}
+
+/// Replays `schedule` through a mesh of `shards` chains of `width` nodes,
+/// reshaping at the plan's event indexes, and returns the merged outcome.
+/// The convenience wrapper the conformance suite and `bench_shard` use.
+#[allow(clippy::too_many_arguments)]
+pub fn run_mesh_pipeline<R, S, P, H>(
+    shards: usize,
+    width: usize,
+    factory: NodeFactory<R, S>,
+    predicate: P,
+    policy: H,
+    mode: RouteMode,
+    schedule: &DriverSchedule<R, S>,
+    plan: &MeshPlan,
+    options: &PipelineOptions,
+) -> MeshOutcome<R, S>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    let mut mesh = MeshPipeline::new(
+        shards,
+        width,
+        factory,
+        predicate,
+        policy,
+        mode,
+        options.clone(),
+    );
+    mesh.run_schedule(schedule, plan);
+    mesh.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elastic::{llhj_factory, llhj_indexed_factory};
+    use crate::options::Pacing;
+    use llhj_baselines::run_kang;
+    use llhj_core::homing::RoundRobin;
+    use llhj_core::predicate::{EquiPredicate, FnPredicate};
+    use llhj_core::punctuation::verify_punctuated_stream;
+    use llhj_core::time::TimeDelta;
+    use llhj_core::window::WindowSpec;
+
+    type KeyFn = fn(&u32) -> u64;
+
+    fn equi() -> EquiPredicate<KeyFn, KeyFn> {
+        fn key(v: &u32) -> u64 {
+            *v as u64
+        }
+        EquiPredicate::new(key as fn(&u32) -> u64, key as fn(&u32) -> u64)
+    }
+
+    fn band() -> FnPredicate<fn(&u32, &u32) -> bool> {
+        fn near(r: &u32, s: &u32) -> bool {
+            r.abs_diff(*s) <= 1
+        }
+        FnPredicate(near as fn(&u32, &u32) -> bool)
+    }
+
+    fn schedule(tuples: u64, window_ms: u64) -> DriverSchedule<u32, u32> {
+        let r: Vec<_> = (0..tuples)
+            .map(|i| (Timestamp::from_millis(i), (i % 13) as u32))
+            .collect();
+        let s: Vec<_> = (0..tuples)
+            .map(|i| (Timestamp::from_millis(i), (i % 17) as u32))
+            .collect();
+        DriverSchedule::build(
+            r,
+            s,
+            WindowSpec::Time(TimeDelta::from_millis(window_ms)),
+            WindowSpec::Time(TimeDelta::from_millis(window_ms)),
+        )
+    }
+
+    fn opts() -> PipelineOptions {
+        // Real-time pacing, like every conformance test in the repo:
+        // unpaced replays let expiry messages overtake tuples that are
+        // still travelling (see [`Pacing::Unpaced`]), so exact window
+        // semantics require the paced driver.
+        PipelineOptions {
+            batch_size: 4,
+            punctuate: true,
+            pacing: Pacing::RealTime { speedup: 1.0 },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn co_partitioned_mesh_matches_the_oracle() {
+        let sched = schedule(300, 150);
+        let oracle = run_kang(equi(), &sched);
+        let outcome = run_mesh_pipeline(
+            2,
+            2,
+            llhj_indexed_factory(equi()),
+            equi(),
+            RoundRobin,
+            RouteMode::CoPartition,
+            &sched,
+            &MeshPlan::none(),
+            &opts(),
+        );
+        assert_eq!(outcome.result_keys(), oracle.result_keys());
+        assert_eq!(outcome.shards, 2);
+        verify_punctuated_stream(&outcome.output, |t| t.result.ts())
+            .expect("merged stream must stay valid");
+    }
+
+    #[test]
+    fn fragment_replicate_mesh_matches_the_oracle_without_duplicates() {
+        let sched = schedule(300, 150);
+        let oracle = run_kang(band(), &sched);
+        let outcome = run_mesh_pipeline(
+            4,
+            2,
+            llhj_factory(band()),
+            band(),
+            RoundRobin,
+            RouteMode::FragmentReplicate,
+            &sched,
+            &MeshPlan::none(),
+            &opts(),
+        );
+        assert_eq!(outcome.result_keys(), oracle.result_keys());
+    }
+
+    #[test]
+    fn mid_run_split_and_merge_preserve_the_result_set() {
+        let sched = schedule(400, 150);
+        let oracle = run_kang(equi(), &sched);
+        let events = sched.events().len();
+        let plan = MeshPlan::from_steps(&[(events / 3, 4, 2), (2 * events / 3, 2, 2)]);
+        let outcome = run_mesh_pipeline(
+            2,
+            2,
+            llhj_indexed_factory(equi()),
+            equi(),
+            RoundRobin,
+            RouteMode::CoPartition,
+            &sched,
+            &plan,
+            &opts(),
+        );
+        assert_eq!(outcome.result_keys(), oracle.result_keys());
+        assert_eq!(outcome.shards, 2);
+        assert_eq!(outcome.reshard_log.len(), 2);
+        assert!(
+            outcome.reshard_log[0].moved_tuples > 0,
+            "a loaded split must move window state into the child shards"
+        );
+    }
+}

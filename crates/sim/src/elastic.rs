@@ -38,7 +38,7 @@ use llhj_core::metrics::{
 use llhj_core::node::PipelineNode;
 use llhj_core::predicate::JoinPredicate;
 use llhj_core::punctuation::{HighWaterMarks, OutputItem, Punctuation};
-use llhj_core::rebalance::{shed_ranges, RedistributionPlan};
+use llhj_core::rebalance::{shed_ranges, MigrationConstraint, RedistributionPlan};
 use llhj_core::result::TimedResult;
 use llhj_core::stats::{LatencySeries, LatencySummary};
 use llhj_core::time::{TimeDelta, Timestamp};
@@ -150,27 +150,30 @@ impl<R, S> Ord for HeapEntry<R, S> {
     }
 }
 
-struct ElasticSim<R, S> {
-    config: SimConfig,
-    width: usize,
-    nodes: Vec<Box<dyn PipelineNode<R, S>>>,
+/// One simulated elastic chain.  Crate-visible so the shard-mesh mirror
+/// ([`crate::mesh`]) can drive a fleet of these through the same fenced
+/// split/merge protocol the threaded mesh uses.
+pub(crate) struct ElasticSim<R, S> {
+    pub(crate) config: SimConfig,
+    pub(crate) width: usize,
+    pub(crate) nodes: Vec<Box<dyn PipelineNode<R, S>>>,
     heap: BinaryHeap<HeapEntry<R, S>>,
     event_seq: u64,
-    busy_until: Vec<SimNanos>,
-    busy_ns: Vec<SimNanos>,
+    pub(crate) busy_until: Vec<SimNanos>,
+    pub(crate) busy_ns: Vec<SimNanos>,
     hwm: Arc<HighWaterMarks>,
-    results: Vec<TimedResult<R, S>>,
+    pub(crate) results: Vec<TimedResult<R, S>>,
     pending: Vec<TimedResult<R, S>>,
-    output: Vec<OutputItem<TimedResult<R, S>>>,
+    pub(crate) output: Vec<OutputItem<TimedResult<R, S>>>,
     latency: LatencySummary,
     series: LatencySeries,
     punctuation_count: u64,
     next_collect_ns: SimNanos,
     collect_interval_ns: SimNanos,
-    last_injection_ns: SimNanos,
-    makespan_ns: SimNanos,
-    frames_delivered: u64,
-    messages_delivered: u64,
+    pub(crate) last_injection_ns: SimNanos,
+    pub(crate) makespan_ns: SimNanos,
+    pub(crate) frames_delivered: u64,
+    pub(crate) messages_delivered: u64,
     resize_log: Vec<SimResizeEvent>,
 }
 
@@ -179,7 +182,40 @@ where
     R: Clone + Send,
     S: Clone + Send,
 {
-    fn push_frame(&mut self, at: SimNanos, node: usize, frame: MessageBatch<R, S>) {
+    /// A fresh chain of `width` nodes built by `factory`, with nothing in
+    /// flight; the driver (single-chain or mesh) owns injection.
+    pub(crate) fn new(
+        config: &SimConfig,
+        width: usize,
+        factory: &dyn Fn(usize, usize) -> Box<dyn PipelineNode<R, S>>,
+    ) -> Self {
+        let collect_interval_ns = (config.collect_interval.as_micros().max(1)) * 1_000;
+        ElasticSim {
+            width,
+            nodes: (0..width).map(|k| factory(k, width)).collect(),
+            heap: BinaryHeap::new(),
+            event_seq: 0,
+            busy_until: vec![0; width],
+            busy_ns: vec![0; width],
+            hwm: HighWaterMarks::new(),
+            results: Vec::new(),
+            pending: Vec::new(),
+            output: Vec::new(),
+            latency: LatencySummary::new(),
+            series: LatencySeries::new(config.latency_bucket),
+            punctuation_count: 0,
+            collect_interval_ns,
+            next_collect_ns: collect_interval_ns,
+            last_injection_ns: 0,
+            makespan_ns: 0,
+            frames_delivered: 0,
+            messages_delivered: 0,
+            resize_log: Vec::new(),
+            config: config.clone(),
+        }
+    }
+
+    pub(crate) fn push_frame(&mut self, at: SimNanos, node: usize, frame: MessageBatch<R, S>) {
         self.heap.push(HeapEntry {
             at,
             seq: self.event_seq,
@@ -195,7 +231,7 @@ where
     /// the results (and therefore the latency signal) that exist at a
     /// sample boundary; it pops every frame *scheduled* at or before the
     /// boundary, exactly once, in deterministic heap order.
-    fn drain(&mut self, until: Option<SimNanos>) {
+    pub(crate) fn drain(&mut self, until: Option<SimNanos>) {
         let hop = self.config.cost.hop_ns();
         let mut out: NodeOutput<R, S, llhj_core::result::ResultTuple<R, S>> = NodeOutput::new();
         while let Some(entry) = {
@@ -294,7 +330,7 @@ where
         }
     }
 
-    fn collect(&mut self) {
+    pub(crate) fn collect(&mut self) {
         let safe = self.hwm.safe_punctuation();
         for timed in self.pending.drain(..) {
             self.output.push(OutputItem::Result(timed));
@@ -330,7 +366,7 @@ where
 
     /// Runs the fenced reconfiguration to `target` nodes, charging the
     /// handoff the same way the runtime's protocol serialises it.
-    fn resize(
+    pub(crate) fn resize(
         &mut self,
         target: usize,
         factory: &dyn Fn(usize, usize) -> Box<dyn PipelineNode<R, S>>,
@@ -390,7 +426,27 @@ where
             }
             self.nodes.truncate(target);
         } else {
-            for k in current..target {
+            // Mirror of the runtime's both-end grow: stream-monotone node
+            // types (HSJ) put the ceiling half of the extension at the
+            // left end so leftward-only S state can reach fresh nodes;
+            // free node types grow at the right end only.  `busy_until` /
+            // `busy_ns` are positional, so left insertions splice in
+            // zeroed slots at the front (per-position busy attribution is
+            // approximate across a both-end grow, totals stay exact).
+            let delta = target - current;
+            let left_delta = if self.nodes[0].migration_constraint() == MigrationConstraint::free()
+            {
+                0
+            } else {
+                delta.div_ceil(2)
+            };
+            for k in 0..left_delta {
+                self.nodes.insert(k, factory(k, target));
+                self.busy_until.insert(k, fence_end);
+                self.busy_ns.insert(k, 0);
+            }
+            for i in 0..(delta - left_delta) {
+                let k = left_delta + current + i;
                 self.nodes.push(factory(k, target));
                 if self.busy_until.len() <= k {
                     self.busy_until.push(fence_end);
@@ -415,41 +471,7 @@ where
         // one-transfer-at-a-time control plane.
         let mut rebalanced = 0usize;
         if self.config.rebalance_on_resize && target > 1 {
-            let census: Vec<(usize, usize)> =
-                self.nodes.iter().map(|n| n.window_census()).collect();
-            let plan = RedistributionPlan::balanced(&census, self.nodes[0].migration_constraint());
-            for transfer in plan.transfers() {
-                let direction = transfer.direction();
-                let (range_r, range_s) = shed_ranges(
-                    self.nodes[transfer.from].window_census(),
-                    transfer.r,
-                    transfer.s,
-                    direction,
-                );
-                let segment = self.nodes[transfer.from]
-                    .export_segment_range(range_r, range_s)
-                    .expect("elastic simulation requires migration-capable nodes");
-                let tuples = segment.len();
-                out.clear();
-                self.nodes[transfer.to]
-                    .import_segment(segment, direction.opposite(), &mut out)
-                    .expect("elastic simulation requires migration-capable nodes");
-                let service = self.config.cost.frame_service_ns(
-                    tuples as u64,
-                    out.comparisons,
-                    out.results.len() as u64,
-                    false,
-                );
-                fence_end += hop + service;
-                self.busy_ns[transfer.to] += service;
-                self.frames_delivered += 1;
-                self.messages_delivered += tuples as u64;
-                self.record_migration_results(&mut out, fence_end);
-                let ack = self.config.cost.frame_service_ns(1, 0, 0, false);
-                fence_end += hop + ack;
-                self.busy_ns[transfer.from] += ack;
-                rebalanced += tuples;
-            }
+            rebalanced = self.rebalance_fenced(&mut fence_end);
         }
         let residence_after: Vec<(usize, usize)> =
             self.nodes.iter().map(|n| n.window_census()).collect();
@@ -467,6 +489,56 @@ where
             residence_after,
             fence_ns: fence_end - fence_start,
         });
+    }
+
+    /// The chain-wide balanced redistribution, on an already-drained
+    /// chain: the same census → [`RedistributionPlan`] → hop-charged
+    /// segment/ack pass a resize ends with, callable on its own — the
+    /// mesh runs it after a shard split or merge moved state across
+    /// chains.  Advances `fence_end` by the charged virtual time and
+    /// returns the window-tuple hops performed.
+    pub(crate) fn rebalance_fenced(&mut self, fence_end: &mut SimNanos) -> usize {
+        if self.width <= 1 {
+            return 0;
+        }
+        let hop = self.config.cost.hop_ns();
+        let mut out: NodeOutput<R, S, llhj_core::result::ResultTuple<R, S>> = NodeOutput::new();
+        let mut rebalanced = 0usize;
+        let census: Vec<(usize, usize)> = self.nodes.iter().map(|n| n.window_census()).collect();
+        let plan = RedistributionPlan::balanced(&census, self.nodes[0].migration_constraint());
+        for transfer in plan.transfers() {
+            let direction = transfer.direction();
+            let (range_r, range_s) = shed_ranges(
+                self.nodes[transfer.from].window_census(),
+                transfer.r,
+                transfer.s,
+                direction,
+            );
+            let segment = self.nodes[transfer.from]
+                .export_segment_range(range_r, range_s)
+                .expect("elastic simulation requires migration-capable nodes");
+            let tuples = segment.len();
+            out.clear();
+            self.nodes[transfer.to]
+                .import_segment(segment, direction.opposite(), &mut out)
+                .expect("elastic simulation requires migration-capable nodes");
+            let service = self.config.cost.frame_service_ns(
+                tuples as u64,
+                out.comparisons,
+                out.results.len() as u64,
+                false,
+            );
+            *fence_end += hop + service;
+            self.busy_ns[transfer.to] += service;
+            self.frames_delivered += 1;
+            self.messages_delivered += tuples as u64;
+            self.record_migration_results(&mut out, *fence_end);
+            let ack = self.config.cost.frame_service_ns(1, 0, 0, false);
+            *fence_end += hop + ack;
+            self.busy_ns[transfer.from] += ack;
+            rebalanced += tuples;
+        }
+        rebalanced
     }
 }
 /// How resizes are decided during an elastic replay.
@@ -493,6 +565,43 @@ enum Steering<'a> {
     },
 }
 
+/// Builds the configured algorithm's node constructor — shared by the
+/// single-chain elastic driver and the shard-mesh mirror so every chain
+/// in a run is built identically.
+pub(crate) fn node_factory<R, S, P>(
+    config: &SimConfig,
+    predicate: P,
+) -> impl Fn(usize, usize) -> Box<dyn PipelineNode<R, S>>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+{
+    let config = config.clone();
+    move |k: usize, n: usize| -> Box<dyn PipelineNode<R, S>> {
+        match config.algorithm {
+            Algorithm::Llhj => {
+                Box::new(llhj_core::node_llhj::LlhjNode::new(k, n, predicate.clone()))
+            }
+            Algorithm::LlhjIndexed => Box::new(llhj_core::node_llhj::LlhjNode::with_index(
+                k,
+                n,
+                predicate.clone(),
+            )),
+            // Elastic since the capacity renegotiation refactor: the
+            // flow policy renegotiates on renumbering and migrated
+            // segments install with matching (stream-monotone
+            // redistribution).
+            Algorithm::Hsj => Box::new(llhj_core::node_hsj::HsjNode::new(
+                k,
+                n,
+                config.hsj_flow(),
+                predicate.clone(),
+            )),
+        }
+    }
+}
+
 /// The single elastic driver loop: batches and injects the schedule,
 /// letting `steering` fence-and-resize the chain between events.  Both
 /// public entry points wrap it.
@@ -512,57 +621,10 @@ where
     assert!(config.nodes > 0, "pipeline needs at least one node");
     assert!(config.batch_size > 0, "batch size must be positive");
 
-    let factory = {
-        let config = config.clone();
-        let predicate = predicate.clone();
-        move |k: usize, n: usize| -> Box<dyn PipelineNode<R, S>> {
-            match config.algorithm {
-                Algorithm::Llhj => {
-                    Box::new(llhj_core::node_llhj::LlhjNode::new(k, n, predicate.clone()))
-                }
-                Algorithm::LlhjIndexed => Box::new(llhj_core::node_llhj::LlhjNode::with_index(
-                    k,
-                    n,
-                    predicate.clone(),
-                )),
-                // Elastic since the capacity renegotiation refactor: the
-                // flow policy renegotiates on renumbering and migrated
-                // segments install with matching (stream-monotone
-                // redistribution).
-                Algorithm::Hsj => Box::new(llhj_core::node_hsj::HsjNode::new(
-                    k,
-                    n,
-                    config.hsj_flow(),
-                    predicate.clone(),
-                )),
-            }
-        }
-    };
+    let factory = node_factory(config, predicate.clone());
 
     let width = config.nodes;
-    let mut sim = ElasticSim {
-        width,
-        nodes: (0..width).map(|k| factory(k, width)).collect(),
-        heap: BinaryHeap::new(),
-        event_seq: 0,
-        busy_until: vec![0; width],
-        busy_ns: vec![0; width],
-        hwm: HighWaterMarks::new(),
-        results: Vec::new(),
-        pending: Vec::new(),
-        output: Vec::new(),
-        latency: LatencySummary::new(),
-        series: LatencySeries::new(config.latency_bucket),
-        punctuation_count: 0,
-        collect_interval_ns: (config.collect_interval.as_micros().max(1)) * 1_000,
-        next_collect_ns: (config.collect_interval.as_micros().max(1)) * 1_000,
-        last_injection_ns: 0,
-        makespan_ns: 0,
-        frames_delivered: 0,
-        messages_delivered: 0,
-        resize_log: Vec::new(),
-        config: config.clone(),
-    };
+    let mut sim = ElasticSim::new(config, width, &factory);
 
     let mut injector = Injector::new(predicate.clone(), policy.clone(), width);
     let mut left_buf: Vec<LeftToRight<R>> = Vec::new();

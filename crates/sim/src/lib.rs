@@ -24,6 +24,7 @@ pub mod config;
 pub mod cost;
 pub mod elastic;
 pub mod engine;
+pub mod mesh;
 pub mod model;
 pub mod report;
 pub mod throughput;
@@ -34,6 +35,7 @@ pub use elastic::{
     run_autoscaled_simulation, run_elastic_simulation, ElasticSimReport, SimResizeEvent,
 };
 pub use engine::run_simulation;
+pub use mesh::{max_sustainable_mesh_rate, run_mesh_simulation, MeshSimReport, SimReshardEvent};
 pub use model::AnalyticModel;
 pub use report::SimReport;
 pub use throughput::{max_sustainable_rate, ThroughputResult, ThroughputSearch};

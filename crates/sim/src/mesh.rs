@@ -1,0 +1,677 @@
+//! Discrete-event simulation of the key-partitioned shard mesh.
+//!
+//! Mirrors the threaded mesh (`llhj-runtime::mesh`) in virtual time: one
+//! [`ShardRouter`] fans a driver schedule over `N` independent
+//! [`ElasticSim`] chains, each chain keeps its own punctuated output, and
+//! the per-shard streams merge through the same
+//! [`merge_punctuated_streams`] frontier algorithm the runtime uses.  A
+//! shard split or merge reuses the chain protocol end to end — fence
+//! (complete heap drain), per-node `export` → hash-partition → silent
+//! install at the *same* pipeline position, then the ordinary balanced
+//! redistribution per chain — with every moved segment charged one frame
+//! reception plus per-tuple message cost and a hop, and one ack frame
+//! back, exactly like the chain-internal handoff.
+//!
+//! Because every shard's virtual clock starts at the same zero and the
+//! router is deterministic, the mesh simulation is reproducible, which is
+//! what the cross-substrate conformance sweep builds on: the same
+//! schedule, plan and predicate must produce byte-identical result sets
+//! here, in the threaded mesh, and in the single-chain Kang oracle.
+
+use crate::config::SimConfig;
+use crate::cost::SimNanos;
+use crate::elastic::{node_factory, ElasticSim};
+use crate::throughput::{ThroughputResult, ThroughputSearch};
+use llhj_core::driver::{DriverSchedule, Injector, StreamEvent};
+use llhj_core::homing::HomePolicy;
+use llhj_core::message::{LeftToRight, MessageBatch, RightToLeft};
+use llhj_core::predicate::JoinPredicate;
+use llhj_core::punctuation::OutputItem;
+use llhj_core::result::TimedResult;
+use llhj_core::shard::{merge_punctuated_streams, MeshPlan, RouteMode, ShardRouter};
+use llhj_core::time::Timestamp;
+use llhj_core::tuple::SeqNo;
+
+fn ts_to_ns(ts: Timestamp) -> SimNanos {
+    ts.as_micros().saturating_mul(1_000)
+}
+
+/// One completed mesh reshaping in the simulation's log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReshardEvent {
+    /// Schedule events consumed when the reshaping fired.
+    pub after_events: usize,
+    /// Virtual time at which the fence completed the drain.
+    pub at_ns: SimNanos,
+    /// Shard count before.
+    pub from_shards: usize,
+    /// Shard count after.
+    pub to_shards: usize,
+    /// Per-shard chain width after the reshaping.
+    pub width: usize,
+    /// Window tuples that crossed a shard boundary.
+    pub moved_tuples: usize,
+    /// Virtual duration of the reshaping (segment transfers plus the
+    /// per-chain redistributions).
+    pub fence_ns: SimNanos,
+}
+
+/// Everything measured during one mesh simulation.
+#[derive(Debug)]
+pub struct MeshSimReport<R, S> {
+    /// All results from every shard (shards concatenated; use
+    /// [`MeshSimReport::result_keys`] for oracle comparison).
+    pub results: Vec<TimedResult<R, S>>,
+    /// The merged punctuated output stream (empty unless `punctuate`).
+    pub output: Vec<OutputItem<TimedResult<R, S>>>,
+    /// Every reshaping, in order.
+    pub reshard_log: Vec<SimReshardEvent>,
+    /// Final shard count.
+    pub shards: usize,
+    /// Final per-shard chain widths.
+    pub widths: Vec<usize>,
+    /// Per-shard, per-node busy virtual time of the *final* shards
+    /// (chains retired by a merge fold their results in, but their busy
+    /// accounting retires with them).
+    pub busy_ns: Vec<Vec<SimNanos>>,
+    /// Virtual time of the last driver injection, over all shards.
+    pub last_injection_ns: SimNanos,
+    /// Virtual time at which the last shard finished processing — the
+    /// mesh makespan is the *max* over shards, not the sum: shards run
+    /// concurrently.
+    pub makespan_ns: SimNanos,
+}
+
+impl<R, S> MeshSimReport<R, S> {
+    /// Sorted `(r_seq, s_seq)` result keys, for oracle comparison.
+    pub fn result_keys(&self) -> Vec<(SeqNo, SeqNo)> {
+        let mut keys: Vec<_> = self.results.iter().map(|t| t.result.key()).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Largest per-node utilization across every shard: busy virtual time
+    /// over the span input was offered.
+    pub fn max_utilization(&self) -> f64 {
+        if self.last_injection_ns == 0 {
+            return 0.0;
+        }
+        self.busy_ns
+            .iter()
+            .flatten()
+            .map(|&b| b as f64 / self.last_injection_ns as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// True if every node of every shard kept its utilization at or below
+    /// `threshold` — the mesh sustainability criterion.
+    pub fn is_sustainable(&self, threshold: f64) -> bool {
+        self.max_utilization() <= threshold
+    }
+}
+
+struct MeshSim<R, S, P, H>
+where
+    P: JoinPredicate<R, S>,
+{
+    config: SimConfig,
+    router: ShardRouter<R, S, P>,
+    sims: Vec<ElasticSim<R, S>>,
+    injectors: Vec<Injector<R, S, P, H>>,
+    left_bufs: Vec<Vec<LeftToRight<R>>>,
+    right_bufs: Vec<Vec<RightToLeft<S>>>,
+    left_arrivals: Vec<usize>,
+    right_arrivals: Vec<usize>,
+    predicate: P,
+    policy: H,
+    retired_results: Vec<TimedResult<R, S>>,
+    retired_outputs: Vec<Vec<OutputItem<TimedResult<R, S>>>>,
+    reshard_log: Vec<SimReshardEvent>,
+    last_at: Timestamp,
+}
+
+impl<R, S, P, H> MeshSim<R, S, P, H>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    fn flush_left(&mut self, shard: usize, at_ns: SimNanos) {
+        if !self.left_bufs[shard].is_empty() {
+            let frame = MessageBatch::Left(std::mem::take(&mut self.left_bufs[shard]));
+            self.sims[shard].push_frame(at_ns, 0, frame);
+        }
+        self.left_arrivals[shard] = 0;
+        self.sims[shard].last_injection_ns = self.sims[shard].last_injection_ns.max(at_ns);
+    }
+
+    fn flush_right(&mut self, shard: usize, at_ns: SimNanos) {
+        if !self.right_bufs[shard].is_empty() {
+            let rightmost = self.sims[shard].width - 1;
+            let frame = MessageBatch::Right(std::mem::take(&mut self.right_bufs[shard]));
+            self.sims[shard].push_frame(at_ns, rightmost, frame);
+        }
+        self.right_arrivals[shard] = 0;
+        self.sims[shard].last_injection_ns = self.sims[shard].last_injection_ns.max(at_ns);
+    }
+
+    /// Flushes every shard's entry buffers (their homes were assigned
+    /// under the current widths) and drains every heap to quiescence.
+    /// Returns the global fence start: the latest shard makespan.
+    fn fence_all(&mut self) -> SimNanos {
+        let at_ns = ts_to_ns(self.last_at);
+        for shard in 0..self.sims.len() {
+            self.flush_left(shard, at_ns);
+            self.flush_right(shard, at_ns);
+            self.sims[shard].drain(None);
+        }
+        self.sims.iter().map(|s| s.makespan_ns).max().unwrap_or(0)
+    }
+
+    /// Charges one cross-shard segment transfer to the receiving chain's
+    /// node `k`: a hop plus frame reception with per-tuple message cost,
+    /// and an ack frame back — the same serialisation as a chain-internal
+    /// handoff hop.
+    fn charge_transfer(
+        sim: &mut ElasticSim<R, S>,
+        k: usize,
+        tuples: usize,
+        fence_end: &mut SimNanos,
+    ) {
+        let hop = sim.config.cost.hop_ns();
+        let service = sim.config.cost.frame_service_ns(tuples as u64, 0, 0, false);
+        let ack = sim.config.cost.frame_service_ns(1, 0, 0, false);
+        *fence_end += hop + service + hop + ack;
+        sim.busy_ns[k] += service;
+        sim.frames_delivered += 1;
+        sim.messages_delivered += tuples as u64;
+    }
+
+    /// One shard split: every chain doubles into itself plus a same-width
+    /// child.  The child of parent `p` lands at index `n + p`, matching
+    /// [`llhj_core::shard::ShardMap::child_of`].  Node `k`'s moving rows
+    /// re-enter at position `k` of the child (silent install — positional
+    /// invariants carry over; matching would duplicate results on a later
+    /// fragment-replicate merge), then both chains rebalance.
+    fn split_once(&mut self, fence_end: &mut SimNanos) -> usize {
+        let n = self.sims.len();
+        self.router.split();
+        let factory = node_factory(&self.config, self.predicate.clone());
+        let mut moved = 0;
+        for p in 0..n {
+            let width = self.sims[p].width;
+            let mut child = ElasticSim::new(&self.config, width, &factory);
+            for k in 0..width {
+                let segment = self.sims[p].nodes[k]
+                    .export_segment()
+                    .expect("mesh simulation requires migration-capable nodes");
+                let (keep, moving) = self.router.split_segment(p, segment);
+                moved += moving.len();
+                Self::charge_transfer(&mut self.sims[p], k, keep.len(), fence_end);
+                self.sims[p].nodes[k]
+                    .install_segment_silent(keep)
+                    .expect("mesh simulation requires migration-capable nodes");
+                Self::charge_transfer(&mut child, k, moving.len(), fence_end);
+                child.nodes[k]
+                    .install_segment_silent(moving)
+                    .expect("mesh simulation requires migration-capable nodes");
+            }
+            self.sims[p].rebalance_fenced(fence_end);
+            child.rebalance_fenced(fence_end);
+            self.sims.push(child);
+        }
+        moved
+    }
+
+    /// One shard merge: each child chain folds back into its parent at
+    /// equal width, node `k` into node `k`, then the parent rebalances.
+    /// The child's results and punctuated output are retained for the
+    /// final stream merge.
+    fn merge_once(&mut self, fence_end: &mut SimNanos) -> usize {
+        let n = self.sims.len() / 2;
+        let factory = node_factory(&self.config, self.predicate.clone());
+        // Equalize widths first: the child's node `k` must land on an
+        // existing parent node `k`.
+        for p in 0..n {
+            let width = self.sims[p].width;
+            if self.sims[n + p].width != width {
+                self.sims[n + p].resize(width, &factory);
+            }
+        }
+        self.router.merge();
+        let mut moved = 0;
+        let children: Vec<ElasticSim<R, S>> = self.sims.split_off(n);
+        for (p, mut child) in children.into_iter().enumerate() {
+            for k in 0..child.width {
+                let segment = child.nodes[k]
+                    .export_segment()
+                    .expect("mesh simulation requires migration-capable nodes");
+                // Fragment-replicate child S rows are broadcast copies of
+                // the parent's own; the router drops them here.
+                let segment = self.router.merge_segment(segment);
+                moved += segment.len();
+                Self::charge_transfer(&mut self.sims[p], k, segment.len(), fence_end);
+                self.sims[p].nodes[k]
+                    .install_segment_silent(segment)
+                    .expect("mesh simulation requires migration-capable nodes");
+            }
+            self.sims[p].rebalance_fenced(fence_end);
+            if self.config.punctuate {
+                child.collect();
+            }
+            self.retired_results.append(&mut child.results);
+            self.retired_outputs.push(std::mem::take(&mut child.output));
+        }
+        moved
+    }
+
+    /// Reshapes to `target_shards` shards of `width` nodes each.
+    fn reshape(&mut self, target_shards: usize, width: usize, at_event: usize) {
+        assert!(
+            target_shards.is_power_of_two(),
+            "shard count must be a power of two, got {target_shards}"
+        );
+        let from = self.sims.len();
+        let fence_start = self.fence_all();
+        let mut fence_end = fence_start;
+        let mut moved = 0;
+        while self.sims.len() < target_shards {
+            moved += self.split_once(&mut fence_end);
+        }
+        while self.sims.len() > target_shards {
+            moved += self.merge_once(&mut fence_end);
+        }
+        let factory = node_factory(&self.config, self.predicate.clone());
+        let mut width_changed = false;
+        for sim in &mut self.sims {
+            if sim.width != width {
+                sim.resize(width, &factory);
+                width_changed = true;
+            }
+        }
+        // Every surviving shard resumes at the instant the mesh-wide
+        // reconfiguration ends: the fence is global.
+        for sim in &mut self.sims {
+            for slot in &mut sim.busy_until {
+                *slot = (*slot).max(fence_end);
+            }
+            sim.makespan_ns = sim.makespan_ns.max(fence_end);
+        }
+        self.injectors = self
+            .sims
+            .iter()
+            .map(|s| Injector::new(self.predicate.clone(), self.policy.clone(), s.width))
+            .collect();
+        // The fence flushed every entry buffer, so the per-shard batching
+        // state just resizes to the new shard count.
+        self.left_bufs = vec![Vec::new(); self.sims.len()];
+        self.right_bufs = vec![Vec::new(); self.sims.len()];
+        self.left_arrivals = vec![0; self.sims.len()];
+        self.right_arrivals = vec![0; self.sims.len()];
+        if from != target_shards || width_changed {
+            self.reshard_log.push(SimReshardEvent {
+                after_events: at_event,
+                at_ns: fence_start,
+                from_shards: from,
+                to_shards: target_shards,
+                width,
+                moved_tuples: moved,
+                fence_ns: fence_end - fence_start,
+            });
+        }
+    }
+}
+
+/// Runs a mesh simulation: replays `schedule` through `shards` chains of
+/// `config.nodes` nodes each, routing by `mode` and reshaping at the
+/// plan's event indexes — the virtual-time mirror of
+/// `llhj-runtime`'s `run_mesh_pipeline`.
+pub fn run_mesh_simulation<R, S, P, H>(
+    config: &SimConfig,
+    predicate: P,
+    policy: H,
+    mode: RouteMode,
+    shards: usize,
+    schedule: &DriverSchedule<R, S>,
+    plan: &MeshPlan,
+) -> MeshSimReport<R, S>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    assert!(config.nodes > 0, "pipeline needs at least one node");
+    assert!(config.batch_size > 0, "batch size must be positive");
+    assert!(
+        mode == RouteMode::FragmentReplicate || predicate.supports_index(),
+        "co-partitioning requires a predicate with both equi-key extractors"
+    );
+    let factory = node_factory(config, predicate.clone());
+    let width = config.nodes;
+    let mut mesh = MeshSim {
+        config: config.clone(),
+        router: ShardRouter::new(predicate.clone(), mode, shards),
+        sims: (0..shards)
+            .map(|_| ElasticSim::new(config, width, &factory))
+            .collect(),
+        injectors: (0..shards)
+            .map(|_| Injector::new(predicate.clone(), policy.clone(), width))
+            .collect(),
+        left_bufs: vec![Vec::new(); shards],
+        right_bufs: vec![Vec::new(); shards],
+        left_arrivals: vec![0; shards],
+        right_arrivals: vec![0; shards],
+        predicate,
+        policy,
+        retired_results: Vec::new(),
+        retired_outputs: Vec::new(),
+        reshard_log: Vec::new(),
+        last_at: Timestamp::ZERO,
+    };
+
+    let mut steps = plan.steps.iter().peekable();
+    for (idx, event) in schedule.events().iter().enumerate() {
+        while let Some(step) = steps.next_if(|s| s.after_events <= idx) {
+            mesh.reshape(step.shards, step.width, idx);
+        }
+        mesh.last_at = event.at;
+        let at_ns = ts_to_ns(event.at);
+        let route = mesh.router.route(&event.event);
+        for shard in route.targets(mesh.sims.len()) {
+            match &event.event {
+                StreamEvent::ArrivalR(r) => {
+                    let msg = mesh.injectors[shard].inject_r(r.clone());
+                    mesh.left_bufs[shard].push(msg);
+                    mesh.left_arrivals[shard] += 1;
+                    if mesh.left_arrivals[shard] >= config.batch_size {
+                        mesh.flush_left(shard, at_ns);
+                    }
+                }
+                StreamEvent::ExpireS(seq) => {
+                    mesh.left_bufs[shard].push(LeftToRight::ExpiryS(*seq));
+                }
+                StreamEvent::ArrivalS(s) => {
+                    let msg = mesh.injectors[shard].inject_s(s.clone());
+                    mesh.right_bufs[shard].push(msg);
+                    mesh.right_arrivals[shard] += 1;
+                    if mesh.right_arrivals[shard] >= config.batch_size {
+                        mesh.flush_right(shard, at_ns);
+                    }
+                }
+                StreamEvent::ExpireR(seq) => {
+                    mesh.right_bufs[shard].push(RightToLeft::ExpiryR(*seq));
+                }
+            }
+        }
+    }
+    mesh.fence_all();
+    let trailing: Vec<_> = steps.cloned().collect();
+    for step in trailing {
+        mesh.reshape(step.shards, step.width, schedule.events().len());
+    }
+    if config.punctuate {
+        for sim in &mut mesh.sims {
+            sim.collect();
+        }
+    }
+
+    let mut results = mesh.retired_results;
+    let mut streams = mesh.retired_outputs;
+    let mut widths = Vec::with_capacity(mesh.sims.len());
+    let mut busy = Vec::with_capacity(mesh.sims.len());
+    let mut last_injection_ns = 0;
+    let mut makespan_ns = 0;
+    for mut sim in mesh.sims {
+        widths.push(sim.width);
+        busy.push(std::mem::take(&mut sim.busy_ns));
+        last_injection_ns = last_injection_ns.max(sim.last_injection_ns);
+        makespan_ns = makespan_ns.max(sim.makespan_ns);
+        results.append(&mut sim.results);
+        streams.push(std::mem::take(&mut sim.output));
+    }
+    MeshSimReport {
+        results,
+        output: merge_punctuated_streams(streams),
+        reshard_log: mesh.reshard_log,
+        shards: widths.len(),
+        widths,
+        busy_ns: busy,
+        last_injection_ns,
+        makespan_ns,
+    }
+}
+
+/// Binary-searches the maximum per-stream rate a mesh of `shards` shards
+/// sustains (no node of any shard above the utilization threshold) — the
+/// Figure 17 methodology applied to the second scaling axis.  This is
+/// what `bench_shard` plots: aggregate capacity versus shard count at a
+/// fixed per-shard width.
+pub fn max_sustainable_mesh_rate<R, S, P, H, F>(
+    base_config: &SimConfig,
+    predicate: P,
+    policy: H,
+    mode: RouteMode,
+    shards: usize,
+    mut make_schedule: F,
+    search: &ThroughputSearch,
+) -> ThroughputResult
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+    F: FnMut(f64) -> DriverSchedule<R, S>,
+{
+    assert!(search.min_rate > 0.0 && search.max_rate > search.min_rate);
+    let mut lo = search.min_rate;
+    let mut hi = search.max_rate;
+    let mut best = (search.min_rate, 0.0f64);
+    for _ in 0..search.steps {
+        let mid = (lo + hi) / 2.0;
+        let mut config = base_config.clone();
+        config.expected_rate_per_sec = mid;
+        let schedule = make_schedule(mid);
+        let report = run_mesh_simulation(
+            &config,
+            predicate.clone(),
+            policy.clone(),
+            mode,
+            shards,
+            &schedule,
+            &MeshPlan::none(),
+        );
+        if report.is_sustainable(search.utilization_threshold) {
+            best = (mid, report.max_utilization());
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    ThroughputResult {
+        rate_per_stream: best.0,
+        utilization: best.1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+    use llhj_baselines::run_kang;
+    use llhj_core::homing::RoundRobin;
+    use llhj_core::predicate::{EquiPredicate, FnPredicate};
+    use llhj_core::punctuation::verify_punctuated_stream;
+    use llhj_core::time::TimeDelta;
+    use llhj_core::window::WindowSpec;
+
+    type KeyFn = fn(&u32) -> u64;
+
+    fn equi() -> EquiPredicate<KeyFn, KeyFn> {
+        fn key(v: &u32) -> u64 {
+            *v as u64
+        }
+        EquiPredicate::new(key as fn(&u32) -> u64, key as fn(&u32) -> u64)
+    }
+
+    fn band() -> FnPredicate<fn(&u32, &u32) -> bool> {
+        fn near(r: &u32, s: &u32) -> bool {
+            r.abs_diff(*s) <= 1
+        }
+        FnPredicate(near as fn(&u32, &u32) -> bool)
+    }
+
+    fn schedule(tuples: u64, window_ms: u64) -> DriverSchedule<u32, u32> {
+        let r: Vec<_> = (0..tuples)
+            .map(|i| (Timestamp::from_millis(i), (i % 13) as u32))
+            .collect();
+        let s: Vec<_> = (0..tuples)
+            .map(|i| (Timestamp::from_millis(i), (i % 17) as u32))
+            .collect();
+        DriverSchedule::build(
+            r,
+            s,
+            WindowSpec::Time(TimeDelta::from_millis(window_ms)),
+            WindowSpec::Time(TimeDelta::from_millis(window_ms)),
+        )
+    }
+
+    fn config(width: usize, algorithm: Algorithm) -> SimConfig {
+        let mut cfg = SimConfig::new(width, algorithm);
+        cfg.batch_size = 4;
+        cfg.punctuate = true;
+        cfg.window_r = WindowSpec::Time(TimeDelta::from_millis(150));
+        cfg.window_s = cfg.window_r;
+        cfg.latency_bucket = 1_000_000;
+        cfg
+    }
+
+    #[test]
+    fn mesh_sim_matches_the_oracle_across_shard_counts() {
+        let sched = schedule(300, 150);
+        let oracle = run_kang(equi(), &sched);
+        for shards in [1usize, 2, 4] {
+            let report = run_mesh_simulation(
+                &config(2, Algorithm::LlhjIndexed),
+                equi(),
+                RoundRobin,
+                RouteMode::CoPartition,
+                shards,
+                &sched,
+                &MeshPlan::none(),
+            );
+            assert_eq!(
+                report.result_keys(),
+                oracle.result_keys(),
+                "{shards}-shard mesh sim must be byte-identical to the oracle"
+            );
+            assert_eq!(report.shards, shards);
+            verify_punctuated_stream(&report.output, |t| t.result.ts())
+                .unwrap_or_else(|i| panic!("invalid merged stream at item {i}"));
+        }
+    }
+
+    #[test]
+    fn fragment_replicate_mesh_sim_matches_the_oracle() {
+        let sched = schedule(300, 150);
+        let oracle = run_kang(band(), &sched);
+        let report = run_mesh_simulation(
+            &config(2, Algorithm::Llhj),
+            band(),
+            RoundRobin,
+            RouteMode::FragmentReplicate,
+            4,
+            &sched,
+            &MeshPlan::none(),
+        );
+        assert_eq!(report.result_keys(), oracle.result_keys());
+        // No duplicates: every (r, s) pair is examined only in the shard
+        // that owns r.
+        let keys = report.result_keys();
+        let mut deduped = keys.clone();
+        deduped.dedup();
+        assert_eq!(keys, deduped);
+    }
+
+    #[test]
+    fn mid_run_split_and_merge_preserve_the_result_set() {
+        let sched = schedule(300, 150);
+        let oracle = run_kang(equi(), &sched);
+        let events = sched.events().len();
+        let plan = MeshPlan::from_steps(&[(events / 3, 4, 2), (2 * events / 3, 2, 2)]);
+        let report = run_mesh_simulation(
+            &config(2, Algorithm::LlhjIndexed),
+            equi(),
+            RoundRobin,
+            RouteMode::CoPartition,
+            2,
+            &sched,
+            &plan,
+        );
+        assert_eq!(report.result_keys(), oracle.result_keys());
+        assert_eq!(report.reshard_log.len(), 2);
+        assert_eq!(report.reshard_log[0].to_shards, 4);
+        assert_eq!(report.reshard_log[1].to_shards, 2);
+        assert!(
+            report.reshard_log[1].moved_tuples > 0,
+            "folding four live shards into two must move window state"
+        );
+        verify_punctuated_stream(&report.output, |t| t.result.ts())
+            .unwrap_or_else(|i| panic!("invalid merged stream at item {i}"));
+    }
+
+    /// The tentpole's scaling claim on the simulator: at a fixed per-shard
+    /// width, four shards sustain at least twice the per-stream rate of
+    /// one shard (the regime where scan cost dominates per-message
+    /// overhead, as in the chain-scaling throughput test).
+    #[test]
+    fn four_shards_sustain_at_least_twice_one_shard() {
+        let window = WindowSpec::Count(200);
+        let search = ThroughputSearch {
+            utilization_threshold: 0.9,
+            min_rate: 100.0,
+            max_rate: 150_000.0,
+            steps: 10,
+        };
+        let mk = move |rate: f64| {
+            let n = (rate * 0.25) as u64;
+            let gap = (1e6 / rate) as u64;
+            let r: Vec<_> = (0..n)
+                .map(|i| (Timestamp::from_micros(i * gap), (i % 97) as u32))
+                .collect();
+            let s: Vec<_> = (0..n)
+                .map(|i| (Timestamp::from_micros(i * gap), (i % 89) as u32))
+                .collect();
+            DriverSchedule::build(r, s, window, window)
+        };
+        // The scan-dominated regime (no index: every probe scans the
+        // local R window at 400 ns per comparison) — the regime where
+        // partitioning the key space pays, as in the chain-scaling test.
+        let mut cfg = SimConfig::new(2, Algorithm::Llhj);
+        cfg.batch_size = 16;
+        cfg.cost.per_comparison_ns = 400.0;
+        cfg.window_r = window;
+        cfg.window_s = window;
+        cfg.latency_bucket = 1_000_000;
+        cfg.collect_interval = TimeDelta::from_millis(10);
+        let rate_of = |shards: usize| {
+            max_sustainable_mesh_rate(
+                &cfg,
+                equi(),
+                RoundRobin,
+                RouteMode::CoPartition,
+                shards,
+                mk,
+                &search,
+            )
+            .rate_per_stream
+        };
+        let one = rate_of(1);
+        let four = rate_of(4);
+        assert!(
+            four >= one * 2.0,
+            "4 shards must sustain at least twice 1 shard: {one} vs {four}"
+        );
+    }
+}

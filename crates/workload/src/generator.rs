@@ -273,6 +273,83 @@ impl EquiJoinWorkload {
     }
 }
 
+/// Configuration of the Zipf-skewed equi-join workload the shard-mesh
+/// conformance sweep replays: join keys are drawn from a Zipf(`theta`)
+/// distribution over `domain` keys, so a few hot keys dominate — the
+/// adversarial case for a key-partitioned mesh, where hash-routing must
+/// stay exact even though the shards' loads are wildly uneven.
+#[derive(Debug, Clone)]
+pub struct ZipfEquiJoinWorkload {
+    /// Tuples per second, per stream.
+    pub rate_per_sec: f64,
+    /// Length of the generated streams.
+    pub duration: TimeDelta,
+    /// Size of the key domain.
+    pub domain: u32,
+    /// Skew exponent: `0.0` is uniform, `1.0` is classic Zipf, larger is
+    /// more skewed.
+    pub theta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ZipfEquiJoinWorkload {
+    fn default() -> Self {
+        ZipfEquiJoinWorkload {
+            rate_per_sec: 1000.0,
+            duration: TimeDelta::from_secs(10),
+            domain: 1_000,
+            theta: 1.0,
+            seed: 0x21_BF,
+        }
+    }
+}
+
+impl ZipfEquiJoinWorkload {
+    /// Precomputes the normalised cumulative weights `P(key <= k)` with
+    /// `w_k = 1 / (k + 1)^theta`; sampling inverts this CDF.
+    fn cumulative(&self) -> Vec<f64> {
+        assert!(self.domain > 0, "key domain must be non-empty");
+        assert!(self.theta >= 0.0, "theta must be non-negative");
+        let mut cum = Vec::with_capacity(self.domain as usize);
+        let mut total = 0.0f64;
+        for k in 0..self.domain {
+            total += 1.0 / f64::from(k + 1).powf(self.theta);
+            cum.push(total);
+        }
+        for c in &mut cum {
+            *c /= total;
+        }
+        cum
+    }
+
+    fn sample(cum: &[f64], rng: &mut WorkloadRng) -> u32 {
+        let u = rng.gen_unit_f64();
+        // First key whose cumulative weight reaches `u` (binary search on
+        // the monotone CDF).
+        cum.partition_point(|&c| c < u) as u32
+    }
+
+    fn generate<T>(&self, seed: u64, make: impl Fn(i32) -> T) -> Vec<(Timestamp, T)> {
+        let cum = self.cumulative();
+        let mut rng = WorkloadRng::seed_from_u64(seed);
+        steady(self.rate_per_sec, self.duration)
+            .into_iter()
+            .map(|ts| (ts, make(Self::sample(&cum, &mut rng) as i32)))
+            .collect()
+    }
+
+    /// Generates the R stream arrivals.
+    pub fn generate_r(&self) -> Vec<(Timestamp, RTuple)> {
+        self.generate(self.seed, |key| RTuple::new(key, 0.0))
+    }
+
+    /// Generates the S stream arrivals.
+    pub fn generate_s(&self) -> Vec<(Timestamp, STuple)> {
+        self.generate(self.seed.wrapping_add(1), |key| STuple::new(key, 0.0))
+    }
+}
+
 fn steady(rate_per_sec: f64, duration: TimeDelta) -> Vec<Timestamp> {
     let n = (rate_per_sec * duration.as_secs_f64()).round() as usize;
     let gap = 1.0 / rate_per_sec;
@@ -467,5 +544,34 @@ mod tests {
         assert_eq!(w.generate_r().len(), 300);
         assert_eq!(w.generate_s().len(), 300);
         assert!(w.generate_r().iter().all(|(_, r)| r.x >= 1 && r.x <= 10));
+    }
+
+    #[test]
+    fn zipf_keys_are_deterministic_skewed_and_in_domain() {
+        let w = ZipfEquiJoinWorkload {
+            rate_per_sec: 1000.0,
+            duration: TimeDelta::from_secs(1),
+            domain: 100,
+            theta: 1.0,
+            seed: 7,
+        };
+        let r = w.generate_r();
+        assert_eq!(r.len(), 1000);
+        assert!(r.iter().all(|(_, t)| (0..100).contains(&t.x)));
+        assert_eq!(r, w.generate_r(), "same seed must reproduce the stream");
+        // Zipf(1.0) puts far more mass on key 0 than the uniform 1%.
+        let hot = r.iter().filter(|(_, t)| t.x == 0).count();
+        assert!(
+            hot > 100,
+            "key 0 should dominate a Zipf(1.0) draw, got {hot}/1000"
+        );
+        // The R and S draws are decorrelated.
+        let s = w.generate_s();
+        let same = r
+            .iter()
+            .zip(&s)
+            .filter(|((_, rt), (_, st))| rt.x == st.a)
+            .count();
+        assert!(same < r.len() / 2);
     }
 }

@@ -13,7 +13,7 @@ pub mod generator;
 pub mod rng;
 pub mod schema;
 
-pub use generator::{ArrivalPattern, BandJoinWorkload, EquiJoinWorkload};
+pub use generator::{ArrivalPattern, BandJoinWorkload, EquiJoinWorkload, ZipfEquiJoinWorkload};
 pub use rng::WorkloadRng;
 pub use schema::{BandPredicate, EquiXaPredicate, RTuple, STuple};
 
@@ -38,6 +38,20 @@ pub fn band_join_schedule(
 /// Builds the full driver schedule for an equi-join workload.
 pub fn equi_join_schedule(
     workload: &EquiJoinWorkload,
+    window_r: WindowSpec,
+    window_s: WindowSpec,
+) -> DriverSchedule<RTuple, STuple> {
+    DriverSchedule::build(
+        workload.generate_r(),
+        workload.generate_s(),
+        window_r,
+        window_s,
+    )
+}
+
+/// Builds the full driver schedule for a Zipf-skewed equi-join workload.
+pub fn zipf_equi_join_schedule(
+    workload: &ZipfEquiJoinWorkload,
     window_r: WindowSpec,
     window_s: WindowSpec,
 ) -> DriverSchedule<RTuple, STuple> {

@@ -67,16 +67,19 @@ pub mod prelude {
     pub use llhj_core::prelude::*;
     pub use llhj_runtime::{
         hsj_age_factory, hsj_nodes, llhj_factory, llhj_indexed_factory, llhj_indexed_nodes,
-        llhj_nodes, run_autoscaled_pipeline, run_elastic_pipeline, run_pipeline, AutoscaleOptions,
-        CancelToken, ElasticOutcome, ElasticPipeline, MetricsBus, NodeFactory, Pacing,
-        PipelineOptions, ResizeEvent, RunOutcome, ScalePipeline, ScalePlan, ScaleStep,
+        llhj_nodes, run_autoscaled_pipeline, run_elastic_pipeline, run_mesh_pipeline, run_pipeline,
+        AutoscaleOptions, CancelToken, ElasticOutcome, ElasticPipeline, MeshOutcome, MeshPipeline,
+        MetricsBus, NodeFactory, Pacing, PipelineOptions, ReshardEvent, ResizeEvent, RunOutcome,
+        ScalePipeline, ScalePlan, ScaleStep,
     };
     pub use llhj_sim::{
-        run_autoscaled_simulation, run_elastic_simulation, run_simulation, Algorithm,
-        AnalyticModel, CostModel, ElasticSimReport, SimConfig, SimReport,
+        max_sustainable_mesh_rate, run_autoscaled_simulation, run_elastic_simulation,
+        run_mesh_simulation, run_simulation, Algorithm, AnalyticModel, CostModel, ElasticSimReport,
+        MeshSimReport, SimConfig, SimReport,
     };
     pub use llhj_workload::{
-        band_join_schedule, equi_join_schedule, ArrivalPattern, BandJoinWorkload, BandPredicate,
-        EquiJoinWorkload, EquiXaPredicate, RTuple, STuple,
+        band_join_schedule, equi_join_schedule, zipf_equi_join_schedule, ArrivalPattern,
+        BandJoinWorkload, BandPredicate, EquiJoinWorkload, EquiXaPredicate, RTuple, STuple,
+        ZipfEquiJoinWorkload,
     };
 }

@@ -17,9 +17,9 @@
 //! * **immediate balance**: every resize ends with the chain-wide
 //!   redistribution, so the per-node residence recorded right after a
 //!   reconfiguration sits within 10% of the balanced share (LLHJ: both
-//!   stream sides; HSJ: the R side — its S side may only migrate
-//!   leftward under the stream-monotone constraint, so a right-end grow
-//!   leaves S to the flow policy).
+//!   stream sides across the whole chain; HSJ: both stream sides, each
+//!   over its reachable subset — the stream-monotone chain grows at both
+//!   ends and water-fills R rightward and S leftward).
 //!
 //! Since the capacity renegotiation refactor the sweeps cover **both**
 //! node types: the original handshake join runs at `batch_size = 1` with
@@ -99,10 +99,13 @@ enum BalanceCheck {
     /// LLHJ: placement is free, every resize lands on the balanced
     /// targets for both stream sides.
     TotalEveryResize,
-    /// HSJ: R may only migrate rightward, so only a grow out of a
-    /// balanced chain (the first resize of a grow-first plan) promises a
-    /// balanced R side.
-    RSideFirstGrow,
+    /// HSJ: the stream-monotone constraint grows the chain at both ends
+    /// (the left end gets the ceiling half), so after the first grow of a
+    /// grow-first plan *each* side must be balanced over its reachable
+    /// subset — R over everything right of the new left nodes, S over
+    /// everything left of the new right nodes — and hold nothing outside
+    /// it.
+    BothSidesFirstGrow,
 }
 
 /// Asserts one resize's recorded post-redistribution residence is within
@@ -133,11 +136,33 @@ fn check_balance(label: &str, check: BalanceCheck, log: &[ResizeResidence]) {
                 assert_balanced(&format!("{label} resize {i} (total)"), &totals);
             }
         }
-        BalanceCheck::RSideFirstGrow => {
+        BalanceCheck::BothSidesFirstGrow => {
             let (from, to, residence) = &log[0];
             assert!(to > from, "the HSJ sweeps grow first");
+            let delta = to - from;
+            let left_delta = delta.div_ceil(2);
+            let right_delta = delta - left_delta;
             let wr: Vec<usize> = residence.iter().map(|&(wr, _)| wr).collect();
-            assert_balanced(&format!("{label} first grow (R side)"), &wr);
+            let ws: Vec<usize> = residence.iter().map(|&(_, ws)| ws).collect();
+            for (node, &r) in wr.iter().enumerate().take(left_delta) {
+                assert_eq!(
+                    r, 0,
+                    "{label}: node {node} sits left of the R-reachable subset \
+                     yet holds {r} R tuples"
+                );
+            }
+            for (node, &s) in ws.iter().enumerate().skip(to - right_delta) {
+                assert_eq!(
+                    s, 0,
+                    "{label}: node {node} sits right of the S-reachable subset \
+                     yet holds {s} S tuples"
+                );
+            }
+            assert_balanced(&format!("{label} first grow (R side)"), &wr[left_delta..]);
+            assert_balanced(
+                &format!("{label} first grow (S side)"),
+                &ws[..to - right_delta],
+            );
         }
     }
 }
@@ -293,9 +318,10 @@ fn band_join_grow_and_shrink_sweep_matches_the_oracle_exactly() {
 /// The original handshake join sweeps, elastic since the capacity
 /// renegotiation refactor: seeded grow-then-shrink at `batch_size = 1`
 /// with age-based flow — byte-identical to the oracle, no duplicates,
-/// punctuation monotone, and the R side balanced within 10% immediately
-/// after the grow (S may only migrate leftward under the stream-monotone
-/// constraint, so a right-end grow leaves it to the flow policy).
+/// punctuation monotone, and — since the both-end grow plus water-filled
+/// redistribution — *both* stream sides balanced within 10% immediately
+/// after the grow, each over the subset of nodes its migration
+/// constraint can reach.
 #[test]
 fn hsj_grow_and_shrink_sweep_matches_the_oracle_exactly() {
     let window = TimeDelta::from_millis(150);
@@ -315,7 +341,7 @@ fn hsj_grow_and_shrink_sweep_matches_the_oracle_exactly() {
             1,
             2,
             &[(grow_at, 4), (shrink_at, 2)],
-            Some(BalanceCheck::RSideFirstGrow),
+            Some(BalanceCheck::BothSidesFirstGrow),
         );
     }
 }
