@@ -1,0 +1,142 @@
+//! Crash-recovery cost measurement, snapshotted to `BENCH_recovery.json`.
+//!
+//! The discrete-event mesh simulator crashes a checkpointed run at 90% of
+//! a Zipf-skewed equi-join trace and rebuilds it two ways:
+//!
+//! * **cold** — no checkpoint: the whole replay log runs again from event
+//!   zero (`recover_mesh_simulation(.., None)`);
+//! * **warm** — from the latest coordinated checkpoint: pay the blob
+//!   install cost, then replay only the suffix past the checkpoint's
+//!   consumed-event cut.
+//!
+//! Both paths produce byte-identical result sets (the crash-recovery
+//! conformance suite proves that on the threaded runtime too); what this
+//! snapshot records is the *time-to-recover* gap between them, per shard
+//! count.  The CI smoke run executes this binary and the final assertion
+//! guards the claim the durability layer exists for: recovering from a
+//! checkpoint must beat cold replay by at least 2x.
+
+use llhj_core::driver::DriverSchedule;
+use llhj_core::homing::RoundRobin;
+use llhj_core::shard::{MeshPlan, RouteMode};
+use llhj_core::time::TimeDelta;
+use llhj_core::window::WindowSpec;
+use llhj_sim::{recover_mesh_simulation, run_checkpointed_mesh_simulation, Algorithm, SimConfig};
+use llhj_workload::{
+    zipf_equi_join_schedule, EquiXaPredicate, RTuple, STuple, ZipfEquiJoinWorkload,
+};
+
+/// Zipf-skewed equi trace (theta 1.0 over 60 keys): the same workload
+/// family the crash-recovery conformance suite kills mid-migration.
+fn make_schedule(rate: f64, duration_ms: u64) -> DriverSchedule<RTuple, STuple> {
+    let workload = ZipfEquiJoinWorkload {
+        rate_per_sec: rate,
+        duration: TimeDelta::from_millis(duration_ms),
+        domain: 60,
+        theta: 1.0,
+        seed: 0x5A4D_4301,
+    };
+    zipf_equi_join_schedule(
+        &workload,
+        WindowSpec::Time(TimeDelta::from_millis(150)),
+        WindowSpec::Time(TimeDelta::from_millis(150)),
+    )
+}
+
+fn main() {
+    let mut cfg = SimConfig::new(2, Algorithm::LlhjIndexed);
+    cfg.batch_size = 4;
+    cfg.punctuate = true;
+    cfg.window_r = WindowSpec::Time(TimeDelta::from_millis(150));
+    cfg.window_s = cfg.window_r;
+    cfg.latency_bucket = 1_000_000;
+
+    let schedule = make_schedule(2_000.0, 3_000);
+    let events = schedule.events().len();
+    let every_events = 500;
+    let crash_at = events * 9 / 10;
+
+    println!("{{");
+    println!("  \"experiment\": \"crash_recovery\",");
+    println!("  \"host\": {},", llhj_bench::host_meta_json());
+    println!(
+        "  \"setup\": \"indexed LLHJ mesh, zipf(60, 1.0) equi keys at 2000/s for 3 \
+         virtual seconds ({events} events), 150ms windows, width 2 per shard, \
+         co-partitioned; checkpoint every {every_events} events, crash at 90%, \
+         virtual-time makespans\","
+    );
+
+    let shard_counts = [1usize, 2, 4];
+    let mut speedups = Vec::new();
+    println!("  \"shards\": [");
+    for (i, &shards) in shard_counts.iter().enumerate() {
+        let (_, ckpt_log, latest) = run_checkpointed_mesh_simulation(
+            &cfg,
+            EquiXaPredicate,
+            RoundRobin,
+            RouteMode::CoPartition,
+            shards,
+            &schedule,
+            &MeshPlan::none(),
+            every_events,
+            Some(crash_at),
+        );
+        let latest = latest.expect("crash at 90% lands long after the first checkpoint");
+        let checkpoint_cost_ns: u64 = ckpt_log.iter().map(|e| e.cost_ns).sum();
+        let warm = recover_mesh_simulation(
+            &cfg,
+            EquiXaPredicate,
+            RoundRobin,
+            RouteMode::CoPartition,
+            shards,
+            &schedule,
+            Some(&latest),
+        );
+        let cold = recover_mesh_simulation(
+            &cfg,
+            EquiXaPredicate,
+            RoundRobin,
+            RouteMode::CoPartition,
+            shards,
+            &schedule,
+            None,
+        );
+        // Warm recovery rebuilds only the post-checkpoint suffix (the
+        // crashed run already emitted the prefix); every result it
+        // produces must appear in the cold full replay.  The conformance
+        // suite proves the stronger splice-exactness claim.
+        let cold_keys = cold.result_keys();
+        for key in warm.result_keys() {
+            assert!(
+                cold_keys.binary_search(&key).is_ok(),
+                "warm recovery produced {key:?}, absent from the cold replay"
+            );
+        }
+        let speedup = cold.makespan_ns as f64 / warm.makespan_ns.max(1) as f64;
+        println!(
+            "    {{\"shards\": {}, \"checkpoint_cut\": {}, \
+             \"checkpoint_overhead_ns\": {}, \"cold_replay_ns\": {}, \
+             \"warm_recovery_ns\": {}, \"speedup\": {:.2}}}{}",
+            shards,
+            latest.after_events,
+            checkpoint_cost_ns,
+            cold.makespan_ns,
+            warm.makespan_ns,
+            speedup,
+            if i + 1 < shard_counts.len() { "," } else { "" },
+        );
+        speedups.push(speedup);
+    }
+    println!("  ],");
+
+    // The claim this snapshot exists for, asserted so the CI smoke run
+    // guards it.
+    let min_speedup = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        min_speedup >= 2.0,
+        "recovery from a checkpoint must beat cold replay by at least 2x \
+         at every shard count (worst {min_speedup:.2}x)"
+    );
+    println!("  \"min_speedup\": {min_speedup:.2}");
+    println!("}}");
+}

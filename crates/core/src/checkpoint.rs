@@ -1,0 +1,1486 @@
+//! Durability: chain checkpoints, pluggable stores and crash recovery.
+//!
+//! `export_segment` already produces a complete, self-contained snapshot
+//! of one node's settled window state — this module is the layer that
+//! *persists* it.  A checkpoint of a chain is taken inside the existing
+//! fence (no frame in flight anywhere, every `IWS` empty, no expedition
+//! open), at which point the chain's entire run state is exactly:
+//!
+//! * the per-node [`WindowSegment`]s (position `k`'s segment is node
+//!   `k`'s window),
+//! * the punctuation high-water marks of both streams,
+//! * the shard-map epoch and shard count (for mesh deployments), and
+//! * the index of the next unconsumed driver event.
+//!
+//! Everything else — hash indexes, columnar attribute vectors, validity
+//! bitsets — is derived and rebuilt on install, exactly as in an elastic
+//! resize.
+//!
+//! ## Log/snapshot split
+//!
+//! A checkpoint alone cannot restore a run: the driver events *after* the
+//! checkpoint are not in any window yet.  Durability therefore splits in
+//! two, the classic snapshot + log design:
+//!
+//! * the **snapshot** (this module's blobs) captures all state *up to*
+//!   event `e`;
+//! * a bounded driver-side [`ReplayLog`] retains the schedule suffix from
+//!   the last durable checkpoint, and is trimmed every time a checkpoint
+//!   commits.
+//!
+//! Recovery = latest decodable snapshot + deterministic replay of the
+//! logged suffix.  Determinism holds because a [`crate::DriverSchedule`]
+//! already totally orders arrivals *and* expiries: replaying the same
+//! events through a freshly installed chain regenerates exactly the
+//! results that involve at least one suffix event, and every result
+//! involving only pre-checkpoint events was already emitted before the
+//! fence that took the snapshot.  [`splice_recovered_stream`] glues the
+//! crashed run's output prefix to the recovered stream, dropping the
+//! regenerated duplicates and keeping punctuation monotone.
+//!
+//! ## Blob format
+//!
+//! Blobs are self-describing and *checksummed*: magic, version, kind
+//! (full or delta), header, body, then an FNV-1a-64 checksum over every
+//! preceding byte.  A truncated, bit-flipped or foreign blob fails with a
+//! typed [`CheckpointError`] instead of deserialising garbage, and the
+//! loaders fall back to the previous checkpoint sequence.  Incremental
+//! (delta) blobs encode per-node window changes against the previous
+//! checkpoint; every `full_interval`-th blob (see [`ChainCheckpointer`]) is a
+//! self-contained full snapshot so a corrupt delta never strands more
+//! than one interval of history.
+//!
+//! Stores are pluggable through [`CheckpointStore`]; the crate ships an
+//! in-memory store for tests and simulation and a directory-backed store
+//! whose blobs are written to a temporary file and atomically renamed
+//! into place, so a crash mid-write never leaves a half-visible
+//! checkpoint.
+
+use crate::driver::DriverEvent;
+use crate::message::WindowSegment;
+use crate::punctuation::{OutputItem, Punctuation};
+use crate::time::Timestamp;
+use crate::tuple::{SeqNo, StreamTuple};
+use llhj_sync::sync::Mutex;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of every checkpoint blob.
+const MAGIC: [u8; 8] = *b"LLHJCKPT";
+/// Current blob format version.
+const VERSION: u16 = 1;
+/// Blob kind tag: self-contained snapshot.
+const KIND_FULL: u8 = 0;
+/// Blob kind tag: delta against the previous checkpoint sequence.
+const KIND_DELTA: u8 = 1;
+/// Bytes before the kind-specific body: magic + version + kind + header.
+const HEADER_LEN: usize = 8 + 2 + 1 + 8 + 8 + 4 + 4 + 8 + 8;
+
+/// Why a checkpoint could not be written, read or decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The blob ends before the decoder expected it to (cut-short write
+    /// or truncated file).
+    Truncated,
+    /// The trailing FNV-1a-64 checksum does not match the blob contents:
+    /// the blob was corrupted at rest (bit flip, partial overwrite).
+    ChecksumMismatch {
+        /// Checksum recomputed over the blob body.
+        computed: u64,
+        /// Checksum stored in the blob's trailer.
+        stored: u64,
+    },
+    /// The blob does not start with the checkpoint magic — not a
+    /// checkpoint at all.
+    BadMagic,
+    /// The blob's format version is newer than this decoder.
+    UnsupportedVersion(u16),
+    /// The blob decodes but violates a structural invariant (e.g. a delta
+    /// whose base does not precede it).
+    Malformed(&'static str),
+    /// The blob belongs to a different shard-map epoch than the one being
+    /// recovered — it predates a reshard and its shard assignment is no
+    /// longer meaningful.
+    StaleEpoch {
+        /// Epoch recorded in the blob.
+        found: u64,
+        /// Epoch the recovery expected.
+        expected: u64,
+    },
+    /// No checkpoint exists for the requested shard/sequence.
+    NotFound,
+    /// The underlying store failed (I/O error text).
+    Io(String),
+    /// The replay log no longer retains the events the checkpoint needs:
+    /// the bounded log wrapped past the recovery point.
+    LogTruncated {
+        /// First event index the recovery needs.
+        needed: usize,
+        /// Oldest event index the log still holds.
+        oldest: usize,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "checkpoint blob is truncated"),
+            CheckpointError::ChecksumMismatch { computed, stored } => write!(
+                f,
+                "checkpoint checksum mismatch: computed {computed:#x}, stored {stored:#x}"
+            ),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint blob (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint format version {v}")
+            }
+            CheckpointError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
+            CheckpointError::StaleEpoch { found, expected } => write!(
+                f,
+                "stale checkpoint epoch {found} (recovery expected epoch {expected})"
+            ),
+            CheckpointError::NotFound => write!(f, "checkpoint not found"),
+            CheckpointError::Io(e) => write!(f, "checkpoint store I/O error: {e}"),
+            CheckpointError::LogTruncated { needed, oldest } => write!(
+                f,
+                "replay log truncated: recovery needs event {needed}, oldest retained is {oldest}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// FNV-1a 64-bit hash — the blob checksum.  Not cryptographic; it detects
+/// the accidental corruption classes recovery must survive (truncation,
+/// bit flips, interleaved writes), which is all a checkpoint trailer is
+/// for.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------------
+
+/// Cursor over a blob's bytes; every read is bounds-checked and a short
+/// read surfaces as [`CheckpointError::Truncated`].
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(CheckpointError::Truncated)?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, CheckpointError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i32`.
+    pub fn i32(&mut self) -> Result<i32, CheckpointError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, CheckpointError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `f32`.
+    pub fn f32(&mut self) -> Result<f32, CheckpointError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a fixed-size byte array.
+    pub fn bytes<const N: usize>(&mut self) -> Result<[u8; N], CheckpointError> {
+        Ok(self.take(N)?.try_into().unwrap())
+    }
+
+    /// True once every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// A payload type that can ride in a checkpoint blob.
+///
+/// The workspace deliberately carries no serialisation dependency, so
+/// checkpointable payloads encode themselves with this small
+/// little-endian, length-implicit codec.  Implementations must round-trip
+/// exactly: `decode(encode(x)) == x`.  The crate provides the scalar
+/// building blocks (integers, floats, `bool`, fixed byte arrays); stream
+/// schemas compose them field by field (see `llhj-workload`).
+pub trait CheckpointPayload: Sized {
+    /// Appends this value's encoding to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+    /// Decodes one value from the reader.
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CheckpointError>;
+}
+
+macro_rules! scalar_payload {
+    ($ty:ty, $read:ident) => {
+        impl CheckpointPayload for $ty {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(r: &mut ByteReader<'_>) -> Result<Self, CheckpointError> {
+                r.$read()
+            }
+        }
+    };
+}
+
+scalar_payload!(u16, u16);
+scalar_payload!(u32, u32);
+scalar_payload!(u64, u64);
+scalar_payload!(i32, i32);
+scalar_payload!(i64, i64);
+scalar_payload!(f32, f32);
+scalar_payload!(f64, f64);
+
+impl CheckpointPayload for u8 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CheckpointError> {
+        r.u8()
+    }
+}
+
+impl CheckpointPayload for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CheckpointError> {
+        Ok(r.u8()? != 0)
+    }
+}
+
+impl<const N: usize> CheckpointPayload for [u8; N] {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CheckpointError> {
+        r.bytes::<N>()
+    }
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_tuple<T: CheckpointPayload>(t: &StreamTuple<T>, buf: &mut Vec<u8>) {
+    put_u64(buf, t.seq.0);
+    put_u64(buf, t.ts.as_micros());
+    t.payload.encode(buf);
+}
+
+fn decode_tuple<T: CheckpointPayload>(
+    r: &mut ByteReader<'_>,
+) -> Result<StreamTuple<T>, CheckpointError> {
+    let seq = SeqNo(r.u64()?);
+    let ts = Timestamp::from_micros(r.u64()?);
+    let payload = T::decode(r)?;
+    Ok(StreamTuple::new(seq, ts, payload))
+}
+
+fn encode_rows<T: CheckpointPayload>(rows: &[StreamTuple<T>], buf: &mut Vec<u8>) {
+    put_u64(buf, rows.len() as u64);
+    for row in rows {
+        encode_tuple(row, buf);
+    }
+}
+
+fn decode_rows<T: CheckpointPayload>(
+    r: &mut ByteReader<'_>,
+) -> Result<Vec<StreamTuple<T>>, CheckpointError> {
+    let n = r.u64()? as usize;
+    // Cap the pre-allocation: a corrupt length must not OOM the decoder
+    // before the (impossible-to-satisfy) reads detect the truncation.
+    let mut rows = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        rows.push(decode_tuple(r)?);
+    }
+    Ok(rows)
+}
+
+fn encode_seqs(seqs: &[SeqNo], buf: &mut Vec<u8>) {
+    put_u64(buf, seqs.len() as u64);
+    for s in seqs {
+        put_u64(buf, s.0);
+    }
+}
+
+fn decode_seqs(r: &mut ByteReader<'_>) -> Result<Vec<SeqNo>, CheckpointError> {
+    let n = r.u64()? as usize;
+    let mut seqs = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        seqs.push(SeqNo(r.u64()?));
+    }
+    Ok(seqs)
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------------
+
+/// Everything a fenced chain must persist to be rebuilt exactly.
+///
+/// Captured inside a fence: segment `k` is node `k`'s settled window
+/// state, and installing each segment back at position `k` of a fresh
+/// chain (the silent positional install of the mesh-split protocol)
+/// reproduces the chain byte-for-byte.  `events_consumed` is the index of
+/// the first driver event *not* reflected in the segments — the replay
+/// point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainCheckpoint<R, S> {
+    /// Shard-map epoch: the number of mesh reshapes that preceded this
+    /// checkpoint (0 for a standalone chain).  A recovery must only
+    /// combine per-shard blobs of one epoch.
+    pub epoch: u64,
+    /// Index of the first driver event not yet consumed when the fence
+    /// closed — replay starts here.
+    pub events_consumed: u64,
+    /// Total shard count of the mesh this chain belonged to (1 for a
+    /// standalone chain); lets a mesh recovery learn the topology from
+    /// any single shard's blob.
+    pub shards: u32,
+    /// Punctuation high-water mark of stream R at the fence.
+    pub hwm_r: Timestamp,
+    /// Punctuation high-water mark of stream S at the fence.
+    pub hwm_s: Timestamp,
+    /// Per-node settled window state; `segments[k]` belongs at pipeline
+    /// position `k`.
+    pub segments: Vec<WindowSegment<R, S>>,
+}
+
+impl<R, S> ChainCheckpoint<R, S> {
+    /// Chain width at the checkpoint.
+    pub fn width(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total window tuples captured (the serialise/write cost driver).
+    pub fn total_tuples(&self) -> usize {
+        self.segments.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// Per-node incremental change between two consecutive checkpoints.
+#[derive(Debug)]
+struct NodeDelta<R, S> {
+    removed_r: Vec<SeqNo>,
+    removed_s: Vec<SeqNo>,
+    added: WindowSegment<R, S>,
+}
+
+fn encode_header<R, S>(ckpt: &ChainCheckpoint<R, S>, kind: u8, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.push(kind);
+    put_u64(buf, ckpt.epoch);
+    put_u64(buf, ckpt.events_consumed);
+    buf.extend_from_slice(&(ckpt.segments.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&ckpt.shards.to_le_bytes());
+    put_u64(buf, ckpt.hwm_r.as_micros());
+    put_u64(buf, ckpt.hwm_s.as_micros());
+}
+
+fn seal(mut buf: Vec<u8>) -> Vec<u8> {
+    let checksum = fnv1a(&buf);
+    put_u64(&mut buf, checksum);
+    buf
+}
+
+/// Encodes a self-contained (full) checkpoint blob.
+pub fn encode_full<R, S>(ckpt: &ChainCheckpoint<R, S>) -> Vec<u8>
+where
+    R: CheckpointPayload,
+    S: CheckpointPayload,
+{
+    let mut buf = Vec::new();
+    encode_header(ckpt, KIND_FULL, &mut buf);
+    for segment in &ckpt.segments {
+        encode_rows(&segment.wr, &mut buf);
+        encode_rows(&segment.ws, &mut buf);
+    }
+    seal(buf)
+}
+
+/// Encodes an incremental checkpoint blob: per-node removed sequence
+/// numbers plus added rows against `prev`.  Both checkpoints must have
+/// the same width (a resize between checkpoints forces a full blob —
+/// positional deltas across a width change are meaningless).
+pub fn encode_delta<R, S>(
+    prev: &ChainCheckpoint<R, S>,
+    next: &ChainCheckpoint<R, S>,
+    base_seq: u64,
+) -> Vec<u8>
+where
+    R: CheckpointPayload + Clone,
+    S: CheckpointPayload + Clone,
+{
+    assert_eq!(
+        prev.width(),
+        next.width(),
+        "delta checkpoints require an unchanged chain width"
+    );
+    let mut buf = Vec::new();
+    encode_header(next, KIND_DELTA, &mut buf);
+    put_u64(&mut buf, base_seq);
+    for (old, new) in prev.segments.iter().zip(&next.segments) {
+        let (removed_r, added_r) = diff_rows(&old.wr, &new.wr);
+        let (removed_s, added_s) = diff_rows(&old.ws, &new.ws);
+        encode_seqs(&removed_r, &mut buf);
+        encode_rows(&added_r, &mut buf);
+        encode_seqs(&removed_s, &mut buf);
+        encode_rows(&added_s, &mut buf);
+    }
+    seal(buf)
+}
+
+/// Two-pointer diff of seq-sorted rows: sequences only in `old` were
+/// evicted, rows only in `new` arrived (or migrated in) since.
+fn diff_rows<T: Clone>(
+    old: &[StreamTuple<T>],
+    new: &[StreamTuple<T>],
+) -> (Vec<SeqNo>, Vec<StreamTuple<T>>) {
+    let mut removed = Vec::new();
+    let mut added = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() && j < new.len() {
+        match old[i].seq.cmp(&new[j].seq) {
+            std::cmp::Ordering::Less => {
+                removed.push(old[i].seq);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                added.push(new[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    removed.extend(old[i..].iter().map(|t| t.seq));
+    added.extend(new[j..].iter().cloned());
+    (removed, added)
+}
+
+#[derive(Debug)]
+enum Blob<R, S> {
+    Full(ChainCheckpoint<R, S>),
+    Delta {
+        base_seq: u64,
+        header: ChainCheckpoint<R, S>,
+        nodes: Vec<NodeDelta<R, S>>,
+    },
+}
+
+fn decode_blob<R, S>(bytes: &[u8]) -> Result<Blob<R, S>, CheckpointError>
+where
+    R: CheckpointPayload,
+    S: CheckpointPayload,
+{
+    if bytes.len() < HEADER_LEN + 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+    let computed = fnv1a(body);
+    if computed != stored {
+        return Err(CheckpointError::ChecksumMismatch { computed, stored });
+    }
+    let mut r = ByteReader::new(body);
+    if r.bytes::<8>()? != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let kind = r.u8()?;
+    let epoch = r.u64()?;
+    let events_consumed = r.u64()?;
+    let width = r.u32()? as usize;
+    let shards = r.u32()?;
+    let hwm_r = Timestamp::from_micros(r.u64()?);
+    let hwm_s = Timestamp::from_micros(r.u64()?);
+    let header = ChainCheckpoint {
+        epoch,
+        events_consumed,
+        shards,
+        hwm_r,
+        hwm_s,
+        segments: Vec::new(),
+    };
+    match kind {
+        KIND_FULL => {
+            let mut segments = Vec::with_capacity(width.min(1 << 10));
+            for _ in 0..width {
+                let wr = decode_rows(&mut r)?;
+                let ws = decode_rows(&mut r)?;
+                segments.push(WindowSegment { wr, ws });
+            }
+            if !r.is_empty() {
+                return Err(CheckpointError::Malformed("trailing bytes after full body"));
+            }
+            Ok(Blob::Full(ChainCheckpoint { segments, ..header }))
+        }
+        KIND_DELTA => {
+            let base_seq = r.u64()?;
+            let mut nodes = Vec::with_capacity(width.min(1 << 10));
+            for _ in 0..width {
+                let removed_r = decode_seqs(&mut r)?;
+                let added_r = decode_rows(&mut r)?;
+                let removed_s = decode_seqs(&mut r)?;
+                let added_s = decode_rows(&mut r)?;
+                nodes.push(NodeDelta {
+                    removed_r,
+                    removed_s,
+                    added: WindowSegment {
+                        wr: added_r,
+                        ws: added_s,
+                    },
+                });
+            }
+            if !r.is_empty() {
+                return Err(CheckpointError::Malformed(
+                    "trailing bytes after delta body",
+                ));
+            }
+            Ok(Blob::Delta {
+                base_seq,
+                header,
+                nodes,
+            })
+        }
+        _ => Err(CheckpointError::Malformed("unknown blob kind")),
+    }
+}
+
+fn apply_removals<T>(rows: &mut Vec<StreamTuple<T>>, removed: &[SeqNo]) {
+    if removed.is_empty() {
+        return;
+    }
+    let gone: HashSet<SeqNo> = removed.iter().copied().collect();
+    rows.retain(|t| !gone.contains(&t.seq));
+}
+
+fn apply_delta<R, S>(
+    base: &mut ChainCheckpoint<R, S>,
+    header: ChainCheckpoint<R, S>,
+    nodes: Vec<NodeDelta<R, S>>,
+) -> Result<(), CheckpointError> {
+    if nodes.len() != base.segments.len() {
+        return Err(CheckpointError::Malformed(
+            "delta width differs from its base checkpoint",
+        ));
+    }
+    for (segment, delta) in base.segments.iter_mut().zip(nodes) {
+        apply_removals(&mut segment.wr, &delta.removed_r);
+        apply_removals(&mut segment.ws, &delta.removed_s);
+        segment.wr.extend(delta.added.wr);
+        segment.ws.extend(delta.added.ws);
+        segment.wr.sort_by_key(|t| t.seq);
+        segment.ws.sort_by_key(|t| t.seq);
+    }
+    base.epoch = header.epoch;
+    base.events_consumed = header.events_consumed;
+    base.shards = header.shards;
+    base.hwm_r = header.hwm_r;
+    base.hwm_s = header.hwm_s;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Stores
+// ---------------------------------------------------------------------------
+
+/// Where checkpoint blobs live.
+///
+/// Blobs are addressed `(shard, seq)`: `shard` namespaces the chains of a
+/// mesh (a standalone chain uses shard 0) and `seq` is the monotonically
+/// increasing checkpoint sequence within a shard.  A store only moves
+/// bytes — blob integrity is the codec's job (the checksum travels inside
+/// the blob), which is what makes stores trivially pluggable.
+pub trait CheckpointStore: Send + Sync {
+    /// Durably stores `blob` under `(shard, seq)`.  Must be atomic: after
+    /// a crash the blob is either fully present or absent, never partial.
+    fn put(&self, shard: usize, seq: u64, blob: &[u8]) -> Result<(), CheckpointError>;
+
+    /// Retrieves the blob at `(shard, seq)`.
+    fn get(&self, shard: usize, seq: u64) -> Result<Vec<u8>, CheckpointError>;
+
+    /// The checkpoint sequences present for `shard`, ascending.
+    fn seqs(&self, shard: usize) -> Result<Vec<u64>, CheckpointError>;
+
+    /// The newest checkpoint sequence for `shard`, if any.
+    fn latest_seq(&self, shard: usize) -> Result<Option<u64>, CheckpointError> {
+        Ok(self.seqs(shard)?.last().copied())
+    }
+}
+
+/// Heap-backed store for tests and the simulator.
+#[derive(Default)]
+pub struct MemoryStore {
+    blobs: Mutex<BTreeMap<(usize, u64), Vec<u8>>>,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemoryStore::default()
+    }
+
+    /// Overwrites the raw bytes at `(shard, seq)` — fault-injection hook
+    /// for corruption tests.
+    pub fn corrupt(&self, shard: usize, seq: u64, f: impl FnOnce(&mut Vec<u8>)) {
+        let mut blobs = self.blobs.lock().unwrap();
+        if let Some(blob) = blobs.get_mut(&(shard, seq)) {
+            f(blob);
+        }
+    }
+}
+
+impl CheckpointStore for MemoryStore {
+    fn put(&self, shard: usize, seq: u64, blob: &[u8]) -> Result<(), CheckpointError> {
+        self.blobs
+            .lock()
+            .unwrap()
+            .insert((shard, seq), blob.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, shard: usize, seq: u64) -> Result<Vec<u8>, CheckpointError> {
+        self.blobs
+            .lock()
+            .unwrap()
+            .get(&(shard, seq))
+            .cloned()
+            .ok_or(CheckpointError::NotFound)
+    }
+
+    fn seqs(&self, shard: usize) -> Result<Vec<u64>, CheckpointError> {
+        Ok(self
+            .blobs
+            .lock()
+            .unwrap()
+            .range((shard, 0)..=(shard, u64::MAX))
+            .map(|((_, seq), _)| *seq)
+            .collect())
+    }
+}
+
+/// Directory-backed store: one file per blob, written to a temporary name
+/// and atomically renamed into place so a crash mid-write never leaves a
+/// half-visible checkpoint (the rename either happened or it did not).
+pub struct DirStore {
+    root: PathBuf,
+}
+
+impl DirStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        Ok(DirStore { root })
+    }
+
+    fn file_name(shard: usize, seq: u64) -> String {
+        format!("shard{shard:04}-seq{seq:012}.ckpt")
+    }
+
+    fn path(&self, shard: usize, seq: u64) -> PathBuf {
+        self.root.join(Self::file_name(shard, seq))
+    }
+}
+
+impl CheckpointStore for DirStore {
+    fn put(&self, shard: usize, seq: u64, blob: &[u8]) -> Result<(), CheckpointError> {
+        let tmp = self
+            .root
+            .join(format!(".{}.tmp", Self::file_name(shard, seq)));
+        std::fs::write(&tmp, blob).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, self.path(shard, seq)).map_err(|e| CheckpointError::Io(e.to_string()))
+    }
+
+    fn get(&self, shard: usize, seq: u64) -> Result<Vec<u8>, CheckpointError> {
+        match std::fs::read(self.path(shard, seq)) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(CheckpointError::NotFound),
+            Err(e) => Err(CheckpointError::Io(e.to_string())),
+        }
+    }
+
+    fn seqs(&self, shard: usize) -> Result<Vec<u64>, CheckpointError> {
+        let prefix = format!("shard{shard:04}-seq");
+        let mut seqs = Vec::new();
+        let entries =
+            std::fs::read_dir(&self.root).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| CheckpointError::Io(e.to_string()))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(rest) = name.strip_prefix(&prefix) {
+                if let Some(digits) = rest.strip_suffix(".ckpt") {
+                    if let Ok(seq) = digits.parse::<u64>() {
+                        seqs.push(seq);
+                    }
+                }
+            }
+        }
+        seqs.sort_unstable();
+        Ok(seqs)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointer and loaders
+// ---------------------------------------------------------------------------
+
+/// Emits a shard's checkpoint stream: deltas against the previous
+/// checkpoint, with a self-contained full blob every `full_interval`-th
+/// sequence (and whenever the chain width changed, since positional
+/// deltas across a resize are meaningless).
+pub struct ChainCheckpointer<R, S> {
+    shard: usize,
+    full_interval: u64,
+    next_seq: u64,
+    prev: Option<ChainCheckpoint<R, S>>,
+}
+
+impl<R, S> ChainCheckpointer<R, S>
+where
+    R: CheckpointPayload + Clone,
+    S: CheckpointPayload + Clone,
+{
+    /// A checkpointer for `shard` writing a full blob every
+    /// `full_interval` checkpoints (1 = always full).
+    pub fn new(shard: usize, full_interval: u64) -> Self {
+        ChainCheckpointer {
+            shard,
+            full_interval: full_interval.max(1),
+            next_seq: 0,
+            prev: None,
+        }
+    }
+
+    /// A checkpointer joining an already-running checkpoint sequence at
+    /// `next_seq` — what a shard created by a mid-run mesh split uses so
+    /// the whole mesh keeps one coordinated sequence.  Its first blob is
+    /// necessarily full (it has no previous checkpoint to delta against).
+    pub fn starting_at(shard: usize, full_interval: u64, next_seq: u64) -> Self {
+        ChainCheckpointer {
+            next_seq,
+            ..ChainCheckpointer::new(shard, full_interval)
+        }
+    }
+
+    /// The sequence number the next checkpoint will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Encodes and stores `ckpt`, returning its sequence number.
+    pub fn append(
+        &mut self,
+        store: &dyn CheckpointStore,
+        ckpt: ChainCheckpoint<R, S>,
+    ) -> Result<u64, CheckpointError> {
+        let seq = self.next_seq;
+        let full = seq.is_multiple_of(self.full_interval)
+            || self
+                .prev
+                .as_ref()
+                .map(|p| p.width() != ckpt.width())
+                .unwrap_or(true);
+        let blob = if full {
+            encode_full(&ckpt)
+        } else {
+            encode_delta(self.prev.as_ref().unwrap(), &ckpt, seq - 1)
+        };
+        store.put(self.shard, seq, &blob)?;
+        self.prev = Some(ckpt);
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+}
+
+/// Loads and materialises the checkpoint at `(shard, seq)`, resolving
+/// delta chains back to their full base.
+pub fn load_checkpoint<R, S>(
+    store: &dyn CheckpointStore,
+    shard: usize,
+    seq: u64,
+) -> Result<ChainCheckpoint<R, S>, CheckpointError>
+where
+    R: CheckpointPayload,
+    S: CheckpointPayload,
+{
+    let mut pending = Vec::new();
+    let mut cursor = seq;
+    let mut base = loop {
+        match decode_blob::<R, S>(&store.get(shard, cursor)?)? {
+            Blob::Full(ckpt) => break ckpt,
+            Blob::Delta {
+                base_seq,
+                header,
+                nodes,
+            } => {
+                if base_seq >= cursor {
+                    return Err(CheckpointError::Malformed(
+                        "delta base does not precede the delta",
+                    ));
+                }
+                pending.push((header, nodes));
+                cursor = base_seq;
+            }
+        }
+    };
+    for (header, nodes) in pending.into_iter().rev() {
+        apply_delta(&mut base, header, nodes)?;
+    }
+    Ok(base)
+}
+
+/// Loads the newest *decodable* checkpoint of `shard`.
+///
+/// Corruption tolerance lives here: a truncated, bit-flipped or otherwise
+/// undecodable blob (including a delta stranded by a corrupt base) is
+/// skipped and the loader falls back to the previous sequence, so one bad
+/// write costs one checkpoint interval of replay, not the run.  Returns
+/// the surviving sequence number alongside the checkpoint; fails with the
+/// newest error only when no sequence decodes at all.
+pub fn load_latest_checkpoint<R, S>(
+    store: &dyn CheckpointStore,
+    shard: usize,
+) -> Result<(u64, ChainCheckpoint<R, S>), CheckpointError>
+where
+    R: CheckpointPayload,
+    S: CheckpointPayload,
+{
+    let mut first_error = None;
+    for seq in store.seqs(shard)?.into_iter().rev() {
+        match load_checkpoint(store, shard, seq) {
+            Ok(ckpt) => return Ok((seq, ckpt)),
+            Err(e) => first_error.get_or_insert(e),
+        };
+    }
+    Err(first_error.unwrap_or(CheckpointError::NotFound))
+}
+
+/// Loads a *coordinated* mesh checkpoint: one checkpoint per shard, all
+/// taken at the same sequence inside the same global fence.
+///
+/// Shard 0's newest decodable blob nominates the sequence and the epoch;
+/// every other shard must hold a blob at that sequence with the same
+/// epoch and replay point — a shard whose blob is missing, corrupt or
+/// from another epoch ([`CheckpointError::StaleEpoch`]) invalidates the
+/// whole sequence and the loader falls back to the previous one, keeping
+/// the mesh snapshot consistent as a unit.
+pub fn load_latest_mesh<R, S>(
+    store: &dyn CheckpointStore,
+) -> Result<(u64, Vec<ChainCheckpoint<R, S>>), CheckpointError>
+where
+    R: CheckpointPayload,
+    S: CheckpointPayload,
+{
+    let mut first_error = None;
+    'seqs: for seq in store.seqs(0)?.into_iter().rev() {
+        let anchor: ChainCheckpoint<R, S> = match load_checkpoint(store, 0, seq) {
+            Ok(c) => c,
+            Err(e) => {
+                first_error.get_or_insert(e);
+                continue;
+            }
+        };
+        let shards = anchor.shards.max(1) as usize;
+        let mut chains = Vec::with_capacity(shards);
+        let epoch = anchor.epoch;
+        let events = anchor.events_consumed;
+        chains.push(anchor);
+        for shard in 1..shards {
+            match load_checkpoint::<R, S>(store, shard, seq) {
+                Ok(c) if c.epoch != epoch => {
+                    first_error.get_or_insert(CheckpointError::StaleEpoch {
+                        found: c.epoch,
+                        expected: epoch,
+                    });
+                    continue 'seqs;
+                }
+                Ok(c) if c.events_consumed != events => {
+                    first_error.get_or_insert(CheckpointError::Malformed(
+                        "mesh checkpoint sequence is not coordinated",
+                    ));
+                    continue 'seqs;
+                }
+                Ok(c) => chains.push(c),
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                    continue 'seqs;
+                }
+            }
+        }
+        return Ok((seq, chains));
+    }
+    Err(first_error.unwrap_or(CheckpointError::NotFound))
+}
+
+// ---------------------------------------------------------------------------
+// Replay log
+// ---------------------------------------------------------------------------
+
+/// Bounded driver-side event log: the "log" half of the snapshot + log
+/// split.
+///
+/// The driver records every schedule event before injecting it and trims
+/// the log each time a checkpoint commits, so the log holds exactly the
+/// in-flight suffix a recovery must replay.  The bound caps memory for
+/// runs whose checkpoint cadence stalls; overrunning it is detected at
+/// recovery time as [`CheckpointError::LogTruncated`] rather than
+/// silently replaying from the wrong point.
+#[derive(Debug, Clone)]
+pub struct ReplayLog<R, S> {
+    events: VecDeque<DriverEvent<R, S>>,
+    base: usize,
+    capacity: usize,
+}
+
+impl<R, S> ReplayLog<R, S>
+where
+    R: Clone,
+    S: Clone,
+{
+    /// A log retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        ReplayLog {
+            events: VecDeque::new(),
+            base: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records the next schedule event (index `base + len`).
+    pub fn record(&mut self, event: DriverEvent<R, S>) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.base += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Drops every event before schedule index `index` (a checkpoint at
+    /// `events_consumed = index` makes them unnecessary).
+    pub fn trim_to(&mut self, index: usize) {
+        while self.base < index {
+            if self.events.pop_front().is_none() {
+                self.base = index;
+                return;
+            }
+            self.base += 1;
+        }
+    }
+
+    /// Schedule index of the oldest retained event.
+    pub fn oldest(&self) -> usize {
+        self.base
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events from schedule index `from` to the end of the log — the
+    /// recovery suffix.  Fails if the bounded log already dropped any of
+    /// them.
+    pub fn suffix(&self, from: usize) -> Result<Vec<DriverEvent<R, S>>, CheckpointError> {
+        if from < self.base {
+            return Err(CheckpointError::LogTruncated {
+                needed: from,
+                oldest: self.base,
+            });
+        }
+        Ok(self.events.iter().skip(from - self.base).cloned().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Output splicing
+// ---------------------------------------------------------------------------
+
+/// Splices a crashed run's output prefix with the recovered run's stream
+/// into one valid punctuated stream with exactly-once results.
+///
+/// The recovered run replays from the last checkpoint, so it regenerates
+/// every result the crashed run already emitted after that checkpoint —
+/// those duplicates are dropped by `(r_seq, s_seq)` key.  Punctuations
+/// from the recovered stream below the crashed stream's final punctuation
+/// are dropped rather than reordered: every *genuinely new* result
+/// involves a tuple the crashed run never finished processing, whose
+/// timestamp is at least the restored high-water marks, so the surviving
+/// punctuations keep their guarantee over the whole spliced stream.
+pub fn splice_recovered_stream<T>(
+    crashed: Vec<OutputItem<T>>,
+    recovered: Vec<OutputItem<T>>,
+    key: impl Fn(&T) -> (SeqNo, SeqNo),
+) -> Vec<OutputItem<T>> {
+    let mut seen: HashSet<(SeqNo, SeqNo)> = HashSet::new();
+    let mut floor = Timestamp::ZERO;
+    for item in &crashed {
+        match item {
+            OutputItem::Result(t) => {
+                seen.insert(key(t));
+            }
+            OutputItem::Punctuation(p) => floor = floor.max(p.ts),
+        }
+    }
+    let mut out = crashed;
+    for item in recovered {
+        match item {
+            OutputItem::Result(t) => {
+                if seen.insert(key(&t)) {
+                    out.push(OutputItem::Result(t));
+                }
+            }
+            OutputItem::Punctuation(p) => {
+                if p.ts >= floor {
+                    out.push(OutputItem::Punctuation(Punctuation { ts: p.ts }));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::punctuation::verify_punctuated_stream;
+
+    fn tup(seq: u64, ts: u64, v: u32) -> StreamTuple<u32> {
+        StreamTuple::new(SeqNo(seq), Timestamp::from_micros(ts), v)
+    }
+
+    fn sample_checkpoint(epoch: u64, events: u64) -> ChainCheckpoint<u32, u32> {
+        ChainCheckpoint {
+            epoch,
+            events_consumed: events,
+            shards: 1,
+            hwm_r: Timestamp::from_micros(500),
+            hwm_s: Timestamp::from_micros(480),
+            segments: vec![
+                WindowSegment {
+                    wr: vec![tup(0, 10, 7), tup(2, 30, 9)],
+                    ws: vec![tup(1, 20, 7)],
+                },
+                WindowSegment {
+                    wr: vec![tup(1, 20, 4)],
+                    ws: vec![tup(0, 10, 4), tup(2, 30, 5)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn full_blob_round_trips() {
+        let ckpt = sample_checkpoint(3, 42);
+        let blob = encode_full(&ckpt);
+        let store = MemoryStore::new();
+        store.put(0, 0, &blob).unwrap();
+        let loaded: ChainCheckpoint<u32, u32> = load_checkpoint(&store, 0, 0).unwrap();
+        assert_eq!(loaded, ckpt);
+        assert_eq!(loaded.width(), 2);
+        assert_eq!(loaded.total_tuples(), 6);
+    }
+
+    #[test]
+    fn delta_chain_resolves_through_its_base() {
+        let store = MemoryStore::new();
+        let mut writer: ChainCheckpointer<u32, u32> = ChainCheckpointer::new(0, 10);
+        let first = sample_checkpoint(0, 10);
+        writer.append(&store, first.clone()).unwrap();
+
+        // Second checkpoint: node 0 lost R#0, gained R#5; node 1 gained S#7.
+        let mut second = first.clone();
+        second.events_consumed = 20;
+        second.hwm_r = Timestamp::from_micros(900);
+        second.segments[0].wr = vec![tup(2, 30, 9), tup(5, 90, 1)];
+        second.segments[1].ws.push(tup(7, 120, 8));
+        writer.append(&store, second.clone()).unwrap();
+
+        // Third: node 1 empties entirely.
+        let mut third = second.clone();
+        third.events_consumed = 30;
+        third.segments[1] = WindowSegment::empty();
+        writer.append(&store, third.clone()).unwrap();
+
+        // Blobs 1 and 2 really are deltas (much smaller than the full).
+        assert!(store.get(0, 1).unwrap().len() < store.get(0, 0).unwrap().len() + 64);
+        for (seq, expect) in [(0, &first), (1, &second), (2, &third)] {
+            let loaded: ChainCheckpoint<u32, u32> = load_checkpoint(&store, 0, seq).unwrap();
+            assert_eq!(&loaded, expect, "checkpoint {seq} must resolve exactly");
+        }
+        let (seq, latest) = load_latest_checkpoint::<u32, u32>(&store, 0).unwrap();
+        assert_eq!(seq, 2);
+        assert_eq!(latest, third);
+    }
+
+    #[test]
+    fn width_change_forces_a_full_blob() {
+        let store = MemoryStore::new();
+        let mut writer: ChainCheckpointer<u32, u32> = ChainCheckpointer::new(0, 100);
+        writer.append(&store, sample_checkpoint(0, 10)).unwrap();
+        let mut wider = sample_checkpoint(0, 20);
+        wider.segments.push(WindowSegment::empty());
+        writer.append(&store, wider.clone()).unwrap();
+        // If seq 1 were a delta its base resolution would fail on width;
+        // it must load standalone even with seq 0 gone.
+        let fresh = MemoryStore::new();
+        fresh.put(0, 1, &store.get(0, 1).unwrap()).unwrap();
+        let loaded: ChainCheckpoint<u32, u32> = load_checkpoint(&fresh, 0, 1).unwrap();
+        assert_eq!(loaded, wider);
+    }
+
+    /// Satellite: a truncated blob is rejected with a typed error, never
+    /// deserialised into garbage.
+    #[test]
+    fn truncated_blob_is_detected() {
+        let blob = encode_full(&sample_checkpoint(0, 5));
+        for cut in [0, 7, HEADER_LEN, blob.len() - 9, blob.len() - 1] {
+            let err = decode_blob::<u32, u32>(&blob[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated | CheckpointError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    /// Satellite: every single-bit flip anywhere in the blob trips the
+    /// checksum (or the magic check, for flips inside the magic bytes).
+    #[test]
+    fn bit_flips_are_detected() {
+        let blob = encode_full(&sample_checkpoint(0, 5));
+        for pos in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[pos] ^= 0x10;
+            let err = decode_blob::<u32, u32>(&bad).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::ChecksumMismatch { .. }),
+                "flip at byte {pos} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_and_future_blobs_are_rejected() {
+        let mut alien = b"NOTACKPT definitely not a checkpoint".to_vec();
+        // Give it a valid trailer so the typed error is specific.
+        let checksum = fnv1a(&alien);
+        alien.extend_from_slice(&checksum.to_le_bytes());
+        // Too-short blobs report truncation before anything else.
+        assert_eq!(
+            decode_blob::<u32, u32>(&alien[..10]).unwrap_err(),
+            CheckpointError::Truncated
+        );
+        // Pad to a plausible length: bad magic is the verdict.
+        let mut padded = b"NOTACKPT".to_vec();
+        padded.extend_from_slice(&[0u8; HEADER_LEN]);
+        let checksum = fnv1a(&padded);
+        padded.extend_from_slice(&checksum.to_le_bytes());
+        assert_eq!(
+            decode_blob::<u32, u32>(&padded).unwrap_err(),
+            CheckpointError::BadMagic
+        );
+        // A future format version is refused, not guessed at.
+        let mut future = encode_full(&sample_checkpoint(0, 5));
+        future.truncate(future.len() - 8);
+        future[8] = 99; // version low byte
+        let future = seal(future);
+        assert_eq!(
+            decode_blob::<u32, u32>(&future).unwrap_err(),
+            CheckpointError::UnsupportedVersion(99)
+        );
+    }
+
+    /// Satellite: recovery survives a corrupted newest checkpoint by
+    /// falling back to the previous one.
+    #[test]
+    fn corrupt_latest_falls_back_to_the_previous_checkpoint() {
+        let store = MemoryStore::new();
+        let mut writer: ChainCheckpointer<u32, u32> = ChainCheckpointer::new(0, 1);
+        let good = sample_checkpoint(0, 10);
+        writer.append(&store, good.clone()).unwrap();
+        let newer = sample_checkpoint(0, 20);
+        writer.append(&store, newer).unwrap();
+        // Bit-flip the newest blob.
+        store.corrupt(0, 1, |blob| blob[HEADER_LEN + 3] ^= 0xFF);
+        let (seq, loaded) = load_latest_checkpoint::<u32, u32>(&store, 0).unwrap();
+        assert_eq!(seq, 0, "recovery must fall back past the corrupt blob");
+        assert_eq!(loaded, good);
+        // With every blob corrupted the typed error surfaces.
+        store.corrupt(0, 0, |blob| blob.truncate(5));
+        let err = load_latest_checkpoint::<u32, u32>(&store, 0).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckpointError::ChecksumMismatch { .. } | CheckpointError::Truncated
+        ));
+    }
+
+    /// A corrupt *delta* strands nothing: the loader falls back to the
+    /// sequence before it, and a corrupt *base* invalidates its dependent
+    /// deltas too.
+    #[test]
+    fn corrupt_delta_and_corrupt_base_both_fall_back() {
+        let store = MemoryStore::new();
+        let mut writer: ChainCheckpointer<u32, u32> = ChainCheckpointer::new(0, 10);
+        let c0 = sample_checkpoint(0, 10);
+        let mut c1 = c0.clone();
+        c1.events_consumed = 20;
+        c1.segments[0].wr.push(tup(9, 200, 3));
+        let mut c2 = c1.clone();
+        c2.events_consumed = 30;
+        c2.segments[1].wr.push(tup(11, 230, 6));
+        writer.append(&store, c0.clone()).unwrap();
+        writer.append(&store, c1.clone()).unwrap();
+        writer.append(&store, c2.clone()).unwrap();
+
+        // Corrupting the delta at seq 2 falls back to seq 1.
+        store.corrupt(0, 2, |blob| blob[HEADER_LEN + 1] ^= 0x01);
+        let (seq, loaded) = load_latest_checkpoint::<u32, u32>(&store, 0).unwrap();
+        assert_eq!((seq, loaded), (1, c1));
+
+        // Corrupting the full base at seq 0 strands the delta at seq 1
+        // as well: nothing decodes.
+        store.corrupt(0, 0, |blob| blob[HEADER_LEN + 1] ^= 0x01);
+        assert!(load_latest_checkpoint::<u32, u32>(&store, 0).is_err());
+    }
+
+    /// Satellite: a stale-epoch shard blob invalidates the coordinated
+    /// mesh sequence and recovery falls back to the previous one.
+    #[test]
+    fn stale_epoch_mesh_blob_falls_back_to_the_previous_sequence() {
+        let store = MemoryStore::new();
+        let mut shard0: ChainCheckpointer<u32, u32> = ChainCheckpointer::new(0, 1);
+        let mut shard1: ChainCheckpointer<u32, u32> = ChainCheckpointer::new(1, 1);
+        let mesh_ckpt = |epoch: u64, events: u64| {
+            let mut c = sample_checkpoint(epoch, events);
+            c.shards = 2;
+            c
+        };
+        // Sequence 0: both shards at epoch 0.
+        shard0.append(&store, mesh_ckpt(0, 10)).unwrap();
+        shard1.append(&store, mesh_ckpt(0, 10)).unwrap();
+        // Sequence 1: shard 0 moved to epoch 1 (post-reshard) but shard 1's
+        // blob is from the old epoch — a torn coordinated checkpoint.
+        shard0.append(&store, mesh_ckpt(1, 20)).unwrap();
+        shard1.append(&store, mesh_ckpt(0, 20)).unwrap();
+
+        let (seq, chains) = load_latest_mesh::<u32, u32>(&store).unwrap();
+        assert_eq!(seq, 0, "the torn sequence must be rejected as a unit");
+        assert_eq!(chains.len(), 2);
+        assert!(chains.iter().all(|c| c.epoch == 0));
+
+        // With sequence 0's shard 1 blob gone too, the typed stale-epoch
+        // error is what surfaces (it was the first failure encountered).
+        let fresh = MemoryStore::new();
+        fresh.put(0, 0, &store.get(0, 0).unwrap()).unwrap();
+        fresh.put(0, 1, &store.get(0, 1).unwrap()).unwrap();
+        fresh.put(1, 1, &store.get(1, 1).unwrap()).unwrap();
+        assert_eq!(
+            load_latest_mesh::<u32, u32>(&fresh).unwrap_err(),
+            CheckpointError::StaleEpoch {
+                found: 0,
+                expected: 1
+            }
+        );
+    }
+
+    #[test]
+    fn dir_store_round_trips_and_lists_per_shard() {
+        let dir =
+            std::env::temp_dir().join(format!("llhj-ckpt-test-dir-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DirStore::open(&dir).unwrap();
+        let ckpt = sample_checkpoint(0, 7);
+        store.put(0, 0, &encode_full(&ckpt)).unwrap();
+        store.put(0, 1, &encode_full(&ckpt)).unwrap();
+        store.put(3, 0, &encode_full(&ckpt)).unwrap();
+        assert_eq!(store.seqs(0).unwrap(), vec![0, 1]);
+        assert_eq!(store.seqs(3).unwrap(), vec![0]);
+        assert_eq!(store.latest_seq(1).unwrap(), None);
+        assert_eq!(store.get(0, 2).unwrap_err(), CheckpointError::NotFound);
+        let loaded: ChainCheckpoint<u32, u32> = load_checkpoint(&store, 0, 1).unwrap();
+        assert_eq!(loaded, ckpt);
+        // No temporary files linger after the atomic renames.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not survive a put");
+        // Truncate a file on disk: typed error, and fallback still works.
+        let bytes = store.get(0, 1).unwrap();
+        std::fs::write(dir.join("shard0000-seq000000000001.ckpt"), &bytes[..9]).unwrap();
+        let (seq, _) = load_latest_checkpoint::<u32, u32>(&store, 0).unwrap();
+        assert_eq!(seq, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_log_trims_and_detects_overrun() {
+        use crate::driver::StreamEvent;
+        let mut log: ReplayLog<u32, u32> = ReplayLog::new(4);
+        for i in 0..3u64 {
+            log.record(DriverEvent {
+                at: Timestamp::from_micros(i),
+                event: StreamEvent::ExpireR(SeqNo(i)),
+            });
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.suffix(1).unwrap().len(), 2);
+        assert_eq!(log.suffix(3).unwrap().len(), 0);
+        log.trim_to(2);
+        assert_eq!(log.oldest(), 2);
+        assert_eq!(
+            log.suffix(1).unwrap_err(),
+            CheckpointError::LogTruncated {
+                needed: 1,
+                oldest: 2
+            }
+        );
+        // The capacity bound evicts the oldest events.
+        for i in 3..10u64 {
+            log.record(DriverEvent {
+                at: Timestamp::from_micros(i),
+                event: StreamEvent::ExpireR(SeqNo(i)),
+            });
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.oldest(), 6);
+        assert!(!log.is_empty());
+        assert!(matches!(
+            log.suffix(4).unwrap_err(),
+            CheckpointError::LogTruncated { .. }
+        ));
+    }
+
+    #[test]
+    fn splice_drops_duplicates_and_keeps_punctuation_monotone() {
+        let result = |r: u64, s: u64, ts: u64| OutputItem::Result((SeqNo(r), SeqNo(s), ts));
+        let punct = |ts: u64| {
+            OutputItem::Punctuation(Punctuation {
+                ts: Timestamp::from_micros(ts),
+            })
+        };
+        let crashed = vec![result(0, 0, 10), punct(10), result(1, 0, 20), punct(20)];
+        // The recovered stream regenerates (1, 0) and starts with an older
+        // punctuation — both must be suppressed.
+        let recovered = vec![
+            punct(5),
+            result(1, 0, 20),
+            result(2, 1, 30),
+            punct(30),
+            result(3, 1, 40),
+        ];
+        let spliced = splice_recovered_stream(crashed, recovered, |&(r, s, _)| (r, s));
+        let keys: Vec<_> = spliced
+            .iter()
+            .filter_map(|i| i.as_result())
+            .map(|&(r, s, _)| (r, s))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                (SeqNo(0), SeqNo(0)),
+                (SeqNo(1), SeqNo(0)),
+                (SeqNo(2), SeqNo(1)),
+                (SeqNo(3), SeqNo(1)),
+            ]
+        );
+        assert_eq!(
+            verify_punctuated_stream(&spliced, |&(_, _, ts)| Timestamp::from_micros(ts)),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn payload_scalars_round_trip() {
+        let mut buf = Vec::new();
+        7u8.encode(&mut buf);
+        true.encode(&mut buf);
+        0xDEADu16.encode(&mut buf);
+        (-5i32).encode(&mut buf);
+        42u32.encode(&mut buf);
+        (-9i64).encode(&mut buf);
+        99u64.encode(&mut buf);
+        1.5f32.encode(&mut buf);
+        2.25f64.encode(&mut buf);
+        [1u8, 2, 3].encode(&mut buf);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(u8::decode(&mut r).unwrap(), 7);
+        assert!(bool::decode(&mut r).unwrap());
+        assert_eq!(u16::decode(&mut r).unwrap(), 0xDEAD);
+        assert_eq!(i32::decode(&mut r).unwrap(), -5);
+        assert_eq!(u32::decode(&mut r).unwrap(), 42);
+        assert_eq!(i64::decode(&mut r).unwrap(), -9);
+        assert_eq!(u64::decode(&mut r).unwrap(), 99);
+        assert_eq!(f32::decode(&mut r).unwrap(), 1.5);
+        assert_eq!(f64::decode(&mut r).unwrap(), 2.25);
+        assert_eq!(<[u8; 3]>::decode(&mut r).unwrap(), [1, 2, 3]);
+        assert!(r.is_empty());
+        assert_eq!(u8::decode(&mut r).unwrap_err(), CheckpointError::Truncated);
+    }
+}

@@ -145,6 +145,31 @@ impl<R, S> DriverSchedule<R, S> {
         self.s_count
     }
 
+    /// A schedule holding only the first `events` events — the crash
+    /// recovery suite replays such a prefix to model a driver that died
+    /// mid-run with a clean injected prefix.  Arrival counts are recounted
+    /// over the kept events.
+    pub fn truncated(&self, events: usize) -> Self
+    where
+        R: Clone,
+        S: Clone,
+    {
+        let kept = self.events[..events.min(self.events.len())].to_vec();
+        let r_count = kept
+            .iter()
+            .filter(|e| matches!(e.event, StreamEvent::ArrivalR(_)))
+            .count();
+        let s_count = kept
+            .iter()
+            .filter(|e| matches!(e.event, StreamEvent::ArrivalS(_)))
+            .count();
+        DriverSchedule {
+            events: kept,
+            r_count,
+            s_count,
+        }
+    }
+
     /// Timestamp of the last arrival (useful to stop replay once all input
     /// has been consumed).
     pub fn last_arrival_ts(&self) -> Option<Timestamp> {

@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod driver;
 pub mod homing;
 pub mod latency_model;
@@ -79,6 +80,11 @@ pub mod time;
 pub mod tuple;
 pub mod window;
 
+pub use checkpoint::{
+    encode_delta, encode_full, load_checkpoint, load_latest_checkpoint, load_latest_mesh,
+    splice_recovered_stream, ByteReader, ChainCheckpoint, ChainCheckpointer, CheckpointError,
+    CheckpointPayload, CheckpointStore, DirStore, MemoryStore, ReplayLog,
+};
 pub use driver::{DriverEvent, DriverSchedule, Injector, StreamEvent};
 pub use homing::{HashKey, HomePolicy, Pinned, RoundRobin};
 pub use latency_model::{
@@ -113,6 +119,11 @@ pub use window::{Expiry, WindowSpec, WindowTracker};
 
 /// Convenience prelude re-exporting the types needed by typical users.
 pub mod prelude {
+    pub use crate::checkpoint::{
+        load_latest_checkpoint, load_latest_mesh, splice_recovered_stream, ChainCheckpoint,
+        ChainCheckpointer, CheckpointError, CheckpointPayload, CheckpointStore, DirStore,
+        MemoryStore, ReplayLog,
+    };
     pub use crate::driver::{DriverEvent, DriverSchedule, Injector, StreamEvent};
     pub use crate::homing::{HashKey, HomePolicy, Pinned, RoundRobin};
     pub use crate::message::{

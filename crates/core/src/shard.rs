@@ -247,6 +247,41 @@ impl<R, S, P: JoinPredicate<R, S>> ShardRouter<R, S, P> {
         self.map.shard_of(self.s_hash[seq.0 as usize])
     }
 
+    /// Re-records the placement hash of a recovered R tuple.
+    ///
+    /// A crashed router's hash tables die with it, but they are fully
+    /// reconstructible: every resident tuple survives in some shard's
+    /// checkpointed [`WindowSegment`], and the hash is a pure function of
+    /// the routing mode (join key under co-partitioning, sequence number
+    /// under fragment-replicate).  Recovery walks the checkpointed rows
+    /// through this method so post-recovery expiries and reshardings find
+    /// their owners exactly as before the crash.
+    pub fn reseed_r(&mut self, seq: SeqNo, payload: &R) {
+        let hash = match self.mode {
+            RouteMode::CoPartition => mix64(
+                self.predicate
+                    .r_key(payload)
+                    .expect("co-partitioned mesh requires r_key"),
+            ),
+            RouteMode::FragmentReplicate => mix64(seq.0),
+        };
+        record(&mut self.r_hash, seq, hash);
+    }
+
+    /// Re-records the placement hash of a recovered S tuple; see
+    /// [`ShardRouter::reseed_r`].  A no-op under fragment-replicate, where
+    /// S is broadcast and no table is kept.
+    pub fn reseed_s(&mut self, seq: SeqNo, payload: &S) {
+        if self.mode == RouteMode::CoPartition {
+            let hash = mix64(
+                self.predicate
+                    .s_key(payload)
+                    .expect("co-partitioned mesh requires s_key"),
+            );
+            record(&mut self.s_hash, seq, hash);
+        }
+    }
+
     /// Doubles the shard count.  Call *before* partitioning the parents'
     /// exported state with [`ShardRouter::split_segment`].
     pub fn split(&mut self) {
@@ -623,6 +658,49 @@ mod tests {
             !moved_keys.is_empty(),
             "a 2-way split should move something"
         );
+    }
+
+    #[test]
+    fn reseeded_router_recovers_the_routes_of_a_crashed_one() {
+        let pred = EquiPredicate::new(|r: &u64| *r, |s: &u64| *s);
+        let mut original = ShardRouter::new(pred.clone(), RouteMode::CoPartition, 4);
+        let mut fr_original = ShardRouter::new(
+            FnPredicate(|r: &u64, s: &u64| r == s),
+            RouteMode::FragmentReplicate,
+            4,
+        );
+        for key in 0..64u64 {
+            original.route(&StreamEvent::ArrivalR(r_tuple(key, key * 7)));
+            original.route(&StreamEvent::<u64, u64>::ArrivalS(r_tuple(key, key * 3)));
+            fr_original.route(&StreamEvent::ArrivalR(r_tuple(key, key)));
+        }
+        // A recovered router sees only the checkpointed rows, not the
+        // original arrival events.
+        let mut recovered = ShardRouter::new(pred, RouteMode::CoPartition, 4);
+        let mut fr_recovered = ShardRouter::new(
+            FnPredicate(|r: &u64, s: &u64| r == s),
+            RouteMode::FragmentReplicate,
+            4,
+        );
+        for key in 0..64u64 {
+            recovered.reseed_r(SeqNo(key), &(key * 7));
+            recovered.reseed_s(SeqNo(key), &(key * 3));
+            fr_recovered.reseed_r(SeqNo(key), &key);
+        }
+        for key in 0..64u64 {
+            assert_eq!(
+                recovered.shard_of_r(SeqNo(key)),
+                original.shard_of_r(SeqNo(key))
+            );
+            assert_eq!(
+                recovered.shard_of_s(SeqNo(key)),
+                original.shard_of_s(SeqNo(key))
+            );
+            assert_eq!(
+                fr_recovered.shard_of_r(SeqNo(key)),
+                fr_original.shard_of_r(SeqNo(key))
+            );
+        }
     }
 
     fn result(ts: u64) -> OutputItem<u64> {

@@ -70,6 +70,10 @@ use crate::exec::{
 };
 use crate::metrics::MetricsBus;
 use crate::options::{Pacing, PipelineOptions};
+use llhj_core::checkpoint::{
+    load_latest_checkpoint, ChainCheckpoint, ChainCheckpointer, CheckpointError, CheckpointPayload,
+    CheckpointStore, ReplayLog,
+};
 use llhj_core::driver::{DriverSchedule, Injector, StreamEvent};
 use llhj_core::homing::HomePolicy;
 use llhj_core::message::{LeftToRight, MessageBatch, RightToLeft};
@@ -552,6 +556,23 @@ where
                 }
             }
             StreamEvent::ExpireS(seq) => {
+                // An expiry must never overtake its own arrival: if the
+                // arrival is still parked in the opposite entry buffer
+                // (possible on a sparse mesh shard whose partial frames
+                // outwait the window), flush it ahead of the expiry and
+                // let it settle at its home node before the expiry even
+                // enters — the two travel in opposite directions on
+                // different channels, so only this driver-side barrier
+                // orders them.
+                if entry
+                    .right
+                    .holds_pending(|m| matches!(m, RightToLeft::ArrivalS(t) if t.tuple.seq == *seq))
+                {
+                    entry
+                        .right
+                        .flush(&self.in_flight, &mut entry.frames_injected);
+                    self.in_flight.wait_for_quiescence();
+                }
                 entry.left.push(LeftToRight::ExpiryS(*seq), event.at);
             }
             StreamEvent::ArrivalS(s) => {
@@ -567,6 +588,15 @@ where
                 }
             }
             StreamEvent::ExpireR(seq) => {
+                if entry
+                    .left
+                    .holds_pending(|m| matches!(m, LeftToRight::ArrivalR(t) if t.tuple.seq == *seq))
+                {
+                    entry
+                        .left
+                        .flush(&self.in_flight, &mut entry.frames_injected);
+                    self.in_flight.wait_for_quiescence();
+                }
                 entry.right.push(RightToLeft::ExpiryR(*seq), event.at);
             }
         }
@@ -1074,6 +1104,213 @@ where
     }
 }
 
+/// Driver-side checkpoint cadence for
+/// [`ElasticPipeline::run_schedule_checkpointed`].
+#[derive(Clone)]
+pub struct CheckpointConfig {
+    /// Where checkpoint blobs are persisted.
+    pub store: Arc<dyn CheckpointStore>,
+    /// Take a checkpoint after every this many consumed schedule events.
+    pub every_events: usize,
+    /// Every `full_interval`-th checkpoint is a self-contained full blob;
+    /// the ones between are deltas (see
+    /// [`llhj_core::checkpoint::ChainCheckpointer`]).
+    pub full_interval: u64,
+    /// The store slot this chain checkpoints into (shard index of a mesh
+    /// deployment; 0 for a standalone chain).
+    pub shard: usize,
+    /// Bound of the driver-side replay log.  Must comfortably exceed
+    /// `every_events`, or a recovery can find its suffix already evicted
+    /// ([`CheckpointError::LogTruncated`]).
+    pub replay_capacity: usize,
+}
+
+impl CheckpointConfig {
+    /// A standalone-chain config checkpointing every `every_events` events
+    /// into `store`, with a full blob every 4th checkpoint and a generous
+    /// replay-log bound.
+    pub fn new(store: Arc<dyn CheckpointStore>, every_events: usize) -> Self {
+        CheckpointConfig {
+            store,
+            every_events: every_events.max(1),
+            full_interval: 4,
+            shard: 0,
+            replay_capacity: 1 << 16,
+        }
+    }
+}
+
+impl<R, S, P, H> ElasticPipeline<R, S, P, H>
+where
+    R: Clone + Send + Sync + CheckpointPayload + 'static,
+    S: Clone + Send + Sync + CheckpointPayload + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    /// Captures the chain's durable state inside a fence.
+    ///
+    /// The fence drains every in-flight frame, so the chain is quiescent
+    /// with *settled* state (no open expedition, every `IWS` empty) —
+    /// exactly the precondition of `export_all_segments`.  The export
+    /// empties the chain; silently reinstalling each segment at the same
+    /// position restores it byte-for-byte (the cross-shard install path of
+    /// the mesh protocol), so a checkpoint is observationally a fence.
+    /// The punctuation high-water marks are read inside the same fence —
+    /// with no frame in flight they are exact, not racing advances.
+    pub(crate) fn capture_checkpoint(
+        &mut self,
+        epoch: u64,
+        shards: u32,
+        events_consumed: u64,
+    ) -> ChainCheckpoint<R, S> {
+        self.fence();
+        let segments = self.export_all_segments();
+        for (k, segment) in segments.iter().enumerate() {
+            self.install_segment(k, segment.clone());
+        }
+        ChainCheckpoint {
+            epoch,
+            events_consumed,
+            shards,
+            hwm_r: self.hwm.r(),
+            hwm_s: self.hwm.s(),
+            segments,
+        }
+    }
+
+    /// Restores a checkpoint into the (idle, freshly built) chain: installs
+    /// segment `k` into node `k` and re-advances the high-water marks.
+    pub(crate) fn restore_checkpoint(&mut self, ckpt: ChainCheckpoint<R, S>) {
+        assert_eq!(
+            ckpt.width(),
+            self.nodes(),
+            "a checkpoint restores only into a chain of its own width"
+        );
+        self.fence();
+        for (k, segment) in ckpt.segments.into_iter().enumerate() {
+            self.install_segment(k, segment);
+        }
+        self.hwm.observe_r(ckpt.hwm_r);
+        self.hwm.observe_s(ckpt.hwm_s);
+    }
+
+    /// Replays recovered driver events (paced exactly like a schedule
+    /// replay) until exhausted or cancelled.
+    pub(crate) fn replay_events(&mut self, events: &[llhj_core::driver::DriverEvent<R, S>]) {
+        let cancel = self.options.cancel.clone().unwrap_or_default();
+        for event in events {
+            if cancel.is_cancelled() || self.pace_until(event.at, &cancel, None) {
+                self.cancelled = true;
+                break;
+            }
+            self.inject_routed(event);
+        }
+        self.flush_both();
+    }
+
+    /// [`ElasticPipeline::run_schedule`] with durability: every consumed
+    /// event is recorded into a bounded [`ReplayLog`] before injection,
+    /// and every `every_events` events the driver takes a fenced
+    /// checkpoint, persists it and trims the log.  Returns the cancel flag
+    /// plus the replay log — together with the store, everything a
+    /// [`recover_elastic_pipeline`] call needs after a crash.
+    pub fn run_schedule_checkpointed(
+        &mut self,
+        schedule: &DriverSchedule<R, S>,
+        plan: &ScalePlan,
+        cfg: &CheckpointConfig,
+    ) -> (bool, ReplayLog<R, S>) {
+        let mut checkpointer: ChainCheckpointer<R, S> =
+            ChainCheckpointer::new(cfg.shard, cfg.full_interval);
+        let mut log: ReplayLog<R, S> = ReplayLog::new(cfg.replay_capacity);
+        let cancel = self.options.cancel.clone().unwrap_or_default();
+        let mut steps = plan.steps().iter().peekable();
+        for (idx, event) in schedule.events().iter().enumerate() {
+            while let Some(step) = steps.next_if(|s| s.after_events <= idx) {
+                self.scale_to(step.target_nodes);
+            }
+            if cancel.is_cancelled() || self.pace_until(event.at, &cancel, None) {
+                self.cancelled = true;
+                break;
+            }
+            log.record(event.clone());
+            self.inject(event, schedule.r_count(), schedule.s_count());
+            let consumed = idx + 1;
+            if consumed.is_multiple_of(cfg.every_events) {
+                let ckpt = self.capture_checkpoint(0, 1, consumed as u64);
+                // A failed store write is not fatal to the run — the log
+                // simply is not trimmed, so recoverability degrades to the
+                // previous durable checkpoint instead of silently lying.
+                if checkpointer.append(cfg.store.as_ref(), ckpt).is_ok() {
+                    log.trim_to(consumed);
+                }
+            }
+        }
+        if !self.cancelled {
+            let remaining: Vec<ScaleStep> = steps.copied().collect();
+            for step in remaining {
+                self.scale_to(step.target_nodes);
+            }
+        }
+        self.flush_both();
+        (self.cancelled, log)
+    }
+}
+
+/// Rebuilds a crashed chain from its newest decodable checkpoint plus the
+/// replay log's suffix, and runs it to completion.
+///
+/// The recovery invariants, in order:
+///
+/// 1. the checkpoint was taken inside a fence, so every result involving
+///    only pre-checkpoint events was already emitted by the crashed run;
+/// 2. replaying the logged suffix through an exactly restored chain
+///    regenerates precisely the results that involve at least one suffix
+///    event (replay is deterministic: the schedule totally orders
+///    arrivals and expiries);
+/// 3. therefore `crashed ∪ recovered`, deduplicated by `(r_seq, s_seq)`,
+///    equals the oracle result set — which is what
+///    [`llhj_core::checkpoint::splice_recovered_stream`] assembles and the
+///    crash-recovery conformance suite asserts byte-for-byte.
+///
+/// If the store holds no checkpoint at all (the crash predates the first
+/// cadence point), recovery degrades to a cold replay of the full log at
+/// `cold_start_nodes` — correct as long as the bounded log has not
+/// evicted anything, which [`CheckpointError::LogTruncated`] reports
+/// otherwise.
+#[allow(clippy::too_many_arguments)]
+pub fn recover_elastic_pipeline<R, S, P, H>(
+    store: &dyn CheckpointStore,
+    shard: usize,
+    cold_start_nodes: usize,
+    factory: NodeFactory<R, S>,
+    predicate: P,
+    policy: H,
+    options: &PipelineOptions,
+    log: &ReplayLog<R, S>,
+) -> Result<ElasticOutcome<R, S>, CheckpointError>
+where
+    R: Clone + Send + Sync + CheckpointPayload + 'static,
+    S: Clone + Send + Sync + CheckpointPayload + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    let restored = match load_latest_checkpoint::<R, S>(store, shard) {
+        Ok((_seq, ckpt)) => Some(ckpt),
+        Err(CheckpointError::NotFound) => None,
+        Err(e) => return Err(e),
+    };
+    let width = restored.as_ref().map_or(cold_start_nodes, |c| c.width());
+    let replay_from = restored.as_ref().map_or(0, |c| c.events_consumed as usize);
+    let suffix = log.suffix(replay_from)?;
+    let mut pipeline = ElasticPipeline::new(width, factory, predicate, policy, options.clone());
+    if let Some(ckpt) = restored {
+        pipeline.restore_checkpoint(ckpt);
+    }
+    pipeline.replay_events(&suffix);
+    Ok(pipeline.finish())
+}
+
 impl<R, S, P, H> ScalePipeline for ElasticPipeline<R, S, P, H>
 where
     R: Clone + Send + Sync + 'static,
@@ -1502,6 +1739,46 @@ mod tests {
             "post-grow residence must be balanced to the rounding unit, got {totals:?}"
         );
         assert!(min > 0, "every node holds state right after the rebalance");
+    }
+
+    /// Checkpointing is observationally transparent: a checkpointed run
+    /// (fences, exports, reinstalls, store writes every N events) produces
+    /// exactly the oracle result set, persists decodable blobs, and trims
+    /// the replay log up to the last durable checkpoint.
+    #[test]
+    fn checkpointed_run_is_transparent_and_persists_blobs() {
+        use llhj_core::checkpoint::{load_latest_checkpoint, MemoryStore};
+        let sched = schedule(300, 150);
+        let oracle = run_kang(eq_pred(), &sched);
+        let store = Arc::new(MemoryStore::new());
+        let mut pipeline = ElasticPipeline::new(
+            2,
+            llhj_factory(eq_pred()),
+            eq_pred(),
+            RoundRobin,
+            paced_opts(8),
+        );
+        let cfg = CheckpointConfig::new(Arc::clone(&store) as _, 100);
+        let plan = ScalePlan::new(vec![ScaleStep {
+            after_events: sched.events().len() / 2,
+            target_nodes: 3,
+        }]);
+        let (cancelled, log) = pipeline.run_schedule_checkpointed(&sched, &plan, &cfg);
+        assert!(!cancelled);
+        let outcome = pipeline.finish();
+        assert_eq!(outcome.result_keys(), oracle.result_keys());
+        assert_eq!(outcome.resize_log.len(), 1);
+        let events = sched.events().len();
+        let checkpoints = store.seqs(0).unwrap();
+        assert_eq!(checkpoints.len(), events / 100);
+        assert_eq!(
+            log.oldest(),
+            (events / 100) * 100,
+            "log trimmed to the last checkpoint"
+        );
+        let (_seq, latest) = load_latest_checkpoint::<u32, u32>(store.as_ref(), 0).unwrap();
+        assert_eq!(latest.width(), 3, "the post-resize width is captured");
+        assert!(latest.hwm_r > Timestamp::ZERO && latest.hwm_s > Timestamp::ZERO);
     }
 
     /// The original handshake join deploys on the elastic pipeline since

@@ -216,6 +216,16 @@ impl<M, R, S> EntryBatcher<M, R, S> {
         self.started_at = None;
     }
 
+    /// True if any pending message satisfies `pred`.  The drivers use
+    /// this to detect an expiry about to overtake its own still-buffered
+    /// arrival: the two travel in opposite directions on different entry
+    /// channels, so FIFO order cannot save them — only stream-time
+    /// separation can, and a partial frame parked past the window length
+    /// destroys that separation.
+    pub(crate) fn holds_pending(&self, pred: impl Fn(&M) -> bool) -> bool {
+        self.pending.iter().any(pred)
+    }
+
     /// True if the frame has been filling for at least `interval` of
     /// stream time.
     pub(crate) fn is_older_than(

@@ -62,10 +62,11 @@ pub mod pipeline;
 pub use autoscale::{run_autoscaled_pipeline, AutoscaleOptions};
 pub use channel::CancelToken;
 pub use elastic::{
-    hsj_age_factory, llhj_factory, llhj_indexed_factory, run_elastic_pipeline, ElasticOutcome,
-    ElasticPipeline, NodeFactory, ResizeEvent, ScalePipeline, ScalePlan, ScaleStep,
+    hsj_age_factory, llhj_factory, llhj_indexed_factory, recover_elastic_pipeline,
+    run_elastic_pipeline, CheckpointConfig, ElasticOutcome, ElasticPipeline, NodeFactory,
+    ResizeEvent, ScalePipeline, ScalePlan, ScaleStep,
 };
-pub use mesh::{run_mesh_pipeline, MeshOutcome, MeshPipeline, ReshardEvent};
+pub use mesh::{recover_mesh_pipeline, run_mesh_pipeline, MeshOutcome, MeshPipeline, ReshardEvent};
 pub use metrics::MetricsBus;
 pub use options::{Pacing, PipelineOptions};
 pub use pipeline::{run_pipeline, RunOutcome};

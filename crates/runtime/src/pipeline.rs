@@ -326,9 +326,23 @@ where
                     state.left.flush(&in_flight, &mut state.frames_injected);
                 }
             }
-            StreamEvent::ExpireS(seq) => state
-                .left
-                .push(llhj_core::message::LeftToRight::ExpiryS(*seq), event.at),
+            StreamEvent::ExpireS(seq) => {
+                // An expiry must never overtake its own arrival still
+                // parked in the opposite entry buffer (see the elastic
+                // driver's `inject` for the full argument).
+                if state.right.holds_pending(
+                    |m| matches!(m, llhj_core::message::RightToLeft::ArrivalS(t) if t.tuple.seq == *seq),
+                ) {
+                    state.right.flush(&in_flight, &mut state.frames_injected);
+                    // Workers never take the entry lock, so waiting here
+                    // (with it held) cannot deadlock; the timer thread
+                    // simply blocks on the lock until the wait returns.
+                    in_flight.wait_for_quiescence();
+                }
+                state
+                    .left
+                    .push(llhj_core::message::LeftToRight::ExpiryS(*seq), event.at)
+            }
             StreamEvent::ArrivalS(s) => {
                 state
                     .right
@@ -338,9 +352,17 @@ where
                     state.right.flush(&in_flight, &mut state.frames_injected);
                 }
             }
-            StreamEvent::ExpireR(seq) => state
-                .right
-                .push(llhj_core::message::RightToLeft::ExpiryR(*seq), event.at),
+            StreamEvent::ExpireR(seq) => {
+                if state.left.holds_pending(
+                    |m| matches!(m, llhj_core::message::LeftToRight::ArrivalR(t) if t.tuple.seq == *seq),
+                ) {
+                    state.left.flush(&in_flight, &mut state.frames_injected);
+                    in_flight.wait_for_quiescence();
+                }
+                state
+                    .right
+                    .push(llhj_core::message::RightToLeft::ExpiryR(*seq), event.at)
+            }
         }
     }
     // Tail flush: whatever is still pending (trailing expiries).

@@ -16,8 +16,8 @@
 //! Every loop parks on a `WaitSet` exactly like the real workers do;
 //! busy-waiting would (correctly) be reported as a livelock.
 //!
-//! Four invariant families, per the concurrency chapter in
-//! ARCHITECTURE.md:
+//! Five invariant families, per the concurrency and durability chapters
+//! in ARCHITECTURE.md:
 //!
 //! 1. no lost wakeups in the epoch-snapshot `WaitSet` protocol;
 //! 2. punctuation high-water marks never pass enqueued results — with
@@ -26,7 +26,9 @@
 //!    encoded buggy-side, so the checker provably catches both;
 //! 3. exactly-once tuple residence across a fence+handoff retire with a
 //!    concurrent cancel;
-//! 4. torn-read/lost-update freedom on the `MetricsBus` atomics.
+//! 4. torn-read/lost-update freedom on the `MetricsBus` atomics;
+//! 5. the checkpoint capture fence: a blob taken after quiescence covers
+//!    every consumed frame, and skipping the fence provably loses one.
 #![cfg(llhj_model)]
 
 use llhj_core::punctuation::{verify_punctuated_stream, HighWaterMarks, OutputItem, Punctuation};
@@ -445,6 +447,139 @@ fn metrics_latency_cas_loses_no_update() {
         );
     });
     assert_exhaustive(&report);
+}
+
+// ---------------------------------------------------------------------------
+// 5. Checkpoint capture fence: the blob covers every consumed frame
+// ---------------------------------------------------------------------------
+
+/// Model-scale replica of `capture_checkpoint`'s fence leg.  The driver
+/// has already *consumed* a frame (handed it to the worker's entry
+/// channel and counted it in `events_consumed`); the checkpoint it then
+/// takes must include that frame's tuples, because recovery replays only
+/// the events *after* the recorded consumed count — a blob missing a
+/// consumed frame loses its tuples forever.
+///
+/// The protocol under test: quiesce (parked wait until the in-flight
+/// count drops to zero) → export (the worker sheds its whole window) →
+/// clone the blob → silent reinstall.  Checked under every schedule:
+///
+/// * the blob holds the pre-frame rows *and* the consumed frame;
+/// * the reinstall is transparent — the worker's post-checkpoint window
+///   equals the blob exactly (recovery sees the same state a live run
+///   kept);
+/// * nobody needs the safety-net timeout.
+///
+/// `fence_before_export = false` re-breaks it: the export command and
+/// the frame travel on different channels, so some schedule captures
+/// the window before the frame lands — exactly the torn cut the fence
+/// exists to rule out.
+fn checkpoint_fence_scenario(fence_before_export: bool) {
+    use llhj_sync::sync::atomic::{AtomicUsize, Ordering};
+
+    let store = Arc::new(Mutex::new(vec![10u64, 20]));
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let quiesce_ws = WaitSet::new();
+
+    let worker_ws = WaitSet::new();
+    let (frame_tx, frame_rx) = unbounded::<Vec<u64>>();
+    let (export_tx, export_rx) = unbounded::<()>();
+    let (seg_tx, seg_rx) = unbounded::<Vec<u64>>();
+    let (install_tx, install_rx) = unbounded::<Vec<u64>>();
+    frame_rx.set_waiter(&worker_ws);
+    export_rx.set_waiter(&worker_ws);
+    install_rx.set_waiter(&worker_ws);
+    let driver_ws = WaitSet::new();
+    seg_rx.set_waiter(&driver_ws);
+
+    // Worker: applies entry frames; on Export it sheds its whole window
+    // and silently reinstalls whatever comes back (the real worker's
+    // `ExportAll` + `Install` command pair).
+    let worker = {
+        let store = Arc::clone(&store);
+        let in_flight = Arc::clone(&in_flight);
+        let quiesce_ws = quiesce_ws.clone();
+        let worker_ws = worker_ws.clone();
+        thread::spawn(move || loop {
+            let seen = worker_ws.epoch();
+            if let Ok(frame) = frame_rx.try_recv() {
+                store.lock().unwrap().extend(frame);
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                quiesce_ws.notify();
+                continue;
+            }
+            match export_rx.try_recv() {
+                Ok(()) => {
+                    let segment = std::mem::take(&mut *store.lock().unwrap());
+                    seg_tx.send(segment).unwrap();
+                    let back =
+                        recv_parked(&install_rx, &worker_ws).expect("reinstall lost after export");
+                    *store.lock().unwrap() = back;
+                    return;
+                }
+                Err(TryRecvError::Empty) => {
+                    worker_ws.wait(seen, Duration::from_millis(10));
+                }
+                Err(TryRecvError::Disconnected) => return,
+            }
+        })
+    };
+
+    // Driver (this task): consume one frame, then checkpoint.
+    in_flight.fetch_add(1, Ordering::SeqCst);
+    frame_tx.send(vec![30u64]).unwrap();
+
+    if fence_before_export {
+        // The fence: park until the consumed frame has been applied.
+        loop {
+            let seen = quiesce_ws.epoch();
+            if in_flight.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            quiesce_ws.wait(seen, Duration::from_millis(10));
+        }
+    }
+    export_tx.send(()).unwrap();
+    let blob = recv_parked(&seg_rx, &driver_ws).expect("export lost");
+    install_tx.send(blob.clone()).unwrap();
+    worker.join().unwrap();
+
+    let mut captured = blob.clone();
+    captured.sort_unstable();
+    assert_eq!(
+        captured,
+        vec![10, 20, 30],
+        "checkpoint missed a consumed frame: torn cut"
+    );
+    let mut resident = store.lock().unwrap().clone();
+    resident.sort_unstable();
+    assert_eq!(
+        resident, captured,
+        "silent reinstall diverged from the captured blob"
+    );
+    assert_eq!(
+        llhj_sync::model::forced_timeouts(),
+        0,
+        "the fence needed the safety-net timeout"
+    );
+}
+
+/// Current code: fence before export — every schedule captures a
+/// consistent cut and reinstalls it transparently.
+#[test]
+fn checkpoint_fence_captures_a_consistent_cut() {
+    let report = explore(opts(), || checkpoint_fence_scenario(true));
+    assert_exhaustive(&report);
+}
+
+/// Dropping the fence (export racing the consumed frame) must fail the
+/// checker deterministically: some schedule exports before the frame
+/// lands and the blob misses its tuples.
+#[test]
+fn checkpoint_without_the_fence_tears_the_cut() {
+    let report = explore_expect_violation(opts(), || checkpoint_fence_scenario(false));
+    let message = &report.violation.as_ref().unwrap().message;
+    assert!(message.contains("torn cut"), "wrong violation: {message}");
 }
 
 /// The published chain width: a sampler racing the control plane's

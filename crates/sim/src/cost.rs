@@ -36,6 +36,11 @@ pub struct CostModel {
     /// Extra cost per handled message when punctuation generation is on
     /// (high-water-mark maintenance at the pipeline ends).
     pub punctuation_overhead_ns: f64,
+    /// Cost of serialising and writing one window tuple into a checkpoint
+    /// blob (and of decoding it back on recovery).  Only the durability
+    /// paths charge this, so the default calibration of the plain replay
+    /// experiments is unaffected.
+    pub checkpoint_per_tuple_ns: f64,
 }
 
 impl Default for CostModel {
@@ -47,6 +52,7 @@ impl Default for CostModel {
             per_result_ns: 60.0,
             hop_latency_ns: 1_000.0,
             punctuation_overhead_ns: 40.0,
+            checkpoint_per_tuple_ns: 25.0,
         }
     }
 }
@@ -89,6 +95,16 @@ impl CostModel {
     /// Hop latency as integer nanoseconds.
     pub fn hop_ns(&self) -> SimNanos {
         self.hop_latency_ns.max(0.0).round() as SimNanos
+    }
+
+    /// Cost of writing (or reading back) one checkpoint blob of `tuples`
+    /// window tuples: one fixed frame-sized cost for the blob itself plus
+    /// the per-tuple serialisation cost — the mirror of the runtime's
+    /// encode-and-rename store write.
+    pub fn checkpoint_ns(&self, tuples: u64) -> SimNanos {
+        (self.per_frame_ns + tuples as f64 * self.checkpoint_per_tuple_ns)
+            .max(0.0)
+            .round() as SimNanos
     }
 }
 
@@ -142,9 +158,22 @@ mod tests {
             per_result_ns: 0.0,
             hop_latency_ns: -1.0,
             punctuation_overhead_ns: 0.0,
+            checkpoint_per_tuple_ns: -2.0,
         };
         assert_eq!(c.service_ns(100, 100, true), 0);
         assert_eq!(c.hop_ns(), 0);
+        assert_eq!(c.checkpoint_ns(50), 0);
+    }
+
+    #[test]
+    fn checkpoint_cost_scales_with_the_window() {
+        let c = CostModel::default();
+        assert_eq!(c.checkpoint_ns(0), c.per_frame_ns as u64);
+        assert!(c.checkpoint_ns(1_000) > c.checkpoint_ns(10));
+        assert_eq!(
+            c.checkpoint_ns(100) - c.checkpoint_ns(0),
+            100 * c.checkpoint_per_tuple_ns as u64
+        );
     }
 
     #[test]

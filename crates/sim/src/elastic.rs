@@ -123,6 +123,46 @@ impl<R, S> ElasticSimReport<R, S> {
     }
 }
 
+/// One checkpoint in a simulated durable run's log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimCheckpointEvent {
+    /// Schedule events consumed when the checkpoint was taken.
+    pub after_events: usize,
+    /// Virtual time at which the fence completed the drain.
+    pub at_ns: SimNanos,
+    /// Window tuples serialised into the blob(s).
+    pub tuples: usize,
+    /// Virtual time charged for serialising and writing them.
+    pub cost_ns: SimNanos,
+}
+
+/// The simulator's in-memory stand-in for a persisted chain checkpoint:
+/// the per-node window segments, the punctuation high-water marks and the
+/// consumed-event cut, captured inside a fence — the same payload the
+/// runtime's `ChainCheckpoint` carries, minus the byte encoding (the
+/// codec is exercised by `llhj-core`; the simulator mirrors the *cost*
+/// and the recovery semantics).
+#[derive(Debug, Clone)]
+pub struct SimCheckpoint<R, S> {
+    /// Schedule events consumed at the capture cut.
+    pub after_events: usize,
+    /// Chain width at the capture cut.
+    pub width: usize,
+    /// Per-node window segments, indexed by node position.
+    pub segments: Vec<WindowSegment<R, S>>,
+    /// R-side punctuation high-water mark at the cut.
+    pub hwm_r: Timestamp,
+    /// S-side punctuation high-water mark at the cut.
+    pub hwm_s: Timestamp,
+}
+
+impl<R, S> SimCheckpoint<R, S> {
+    /// Total window tuples the checkpoint carries.
+    pub fn total_tuples(&self) -> usize {
+        self.segments.iter().map(|s| s.len()).sum()
+    }
+}
+
 struct HeapEntry<R, S> {
     at: SimNanos,
     seq: u64,
@@ -540,6 +580,104 @@ where
         }
         rebalanced
     }
+
+    /// Captures a checkpoint of an already-drained chain: each node's
+    /// window segment is exported, cloned into the checkpoint and silently
+    /// reinstalled, and the serialise-and-write cost
+    /// ([`crate::cost::CostModel::checkpoint_ns`]) is charged to the node,
+    /// serially extending the fence exactly like a migration pass — the
+    /// virtual-time mirror of the runtime's fenced `capture_checkpoint` +
+    /// store write.
+    pub(crate) fn capture_checkpoint(
+        &mut self,
+        after_events: usize,
+    ) -> (SimCheckpoint<R, S>, SimCheckpointEvent) {
+        let fence_start = self.makespan_ns;
+        let mut fence_end = fence_start;
+        let mut segments = Vec::with_capacity(self.width);
+        let mut tuples = 0usize;
+        for k in 0..self.width {
+            let segment = self.nodes[k]
+                .export_segment()
+                .expect("checkpointing requires migration-capable nodes");
+            fence_end += self.config.cost.checkpoint_ns(segment.len() as u64);
+            self.busy_ns[k] += self.config.cost.checkpoint_ns(segment.len() as u64);
+            tuples += segment.len();
+            self.nodes[k]
+                .install_segment_silent(segment.clone())
+                .expect("checkpointing requires migration-capable nodes");
+            segments.push(segment);
+        }
+        for k in 0..self.width {
+            self.busy_until[k] = self.busy_until[k].max(fence_end);
+        }
+        self.makespan_ns = fence_end;
+        (
+            SimCheckpoint {
+                after_events,
+                width: self.width,
+                segments,
+                hwm_r: self.hwm.r(),
+                hwm_s: self.hwm.s(),
+            },
+            SimCheckpointEvent {
+                after_events,
+                at_ns: fence_start,
+                tuples,
+                cost_ns: fence_end - fence_start,
+            },
+        )
+    }
+
+    /// Installs a checkpoint into a fresh chain (of the checkpoint's
+    /// width), charging the read-and-install cost per node plus one hop —
+    /// recovery as fence + install.
+    pub(crate) fn restore_checkpoint(&mut self, ckpt: &SimCheckpoint<R, S>) {
+        assert_eq!(
+            ckpt.width, self.width,
+            "a checkpoint restores only into a chain of its own width"
+        );
+        let hop = self.config.cost.hop_ns();
+        let mut fence_end = self.makespan_ns;
+        for (k, segment) in ckpt.segments.iter().enumerate() {
+            let cost = self.config.cost.checkpoint_ns(segment.len() as u64);
+            fence_end += hop + cost;
+            self.busy_ns[k] += cost;
+            self.nodes[k]
+                .install_segment_silent(segment.clone())
+                .expect("recovery requires migration-capable nodes");
+        }
+        self.hwm.observe_r(ckpt.hwm_r);
+        self.hwm.observe_s(ckpt.hwm_s);
+        for k in 0..self.width {
+            self.busy_until[k] = self.busy_until[k].max(fence_end);
+        }
+        self.makespan_ns = fence_end;
+    }
+
+    /// Finalizes the chain into the standard elastic report.
+    pub(crate) fn into_report(self, schedule: &DriverSchedule<R, S>) -> ElasticSimReport<R, S> {
+        let nodes_final = self.width;
+        ElasticSimReport {
+            report: SimReport {
+                algorithm: self.config.algorithm,
+                nodes: nodes_final,
+                results: self.results,
+                output: self.output,
+                latency: self.latency,
+                latency_series: self.series.finish(),
+                counters: self.nodes.iter().map(|n| n.node_counters()).collect(),
+                busy_ns: self.busy_ns,
+                last_injection_ns: self.last_injection_ns,
+                makespan_ns: self.makespan_ns,
+                punctuation_count: self.punctuation_count,
+                arrivals_per_stream: (schedule.r_count(), schedule.s_count()),
+                frames_delivered: self.frames_delivered,
+                messages_delivered: self.messages_delivered,
+            },
+            resize_log: self.resize_log,
+        }
+    }
 }
 /// How resizes are decided during an elastic replay.
 ///
@@ -780,26 +918,7 @@ where
         sim.collect();
     }
 
-    let nodes_final = sim.width;
-    ElasticSimReport {
-        report: SimReport {
-            algorithm: config.algorithm,
-            nodes: nodes_final,
-            results: sim.results,
-            output: sim.output,
-            latency: sim.latency,
-            latency_series: sim.series.finish(),
-            counters: sim.nodes.iter().map(|n| n.node_counters()).collect(),
-            busy_ns: sim.busy_ns,
-            last_injection_ns: sim.last_injection_ns,
-            makespan_ns: sim.makespan_ns,
-            punctuation_count: sim.punctuation_count,
-            arrivals_per_stream: (schedule.r_count(), schedule.s_count()),
-            frames_delivered: sim.frames_delivered,
-            messages_delivered: sim.messages_delivered,
-        },
-        resize_log: sim.resize_log,
-    }
+    sim.into_report(schedule)
 }
 
 /// Runs an elastic simulation: replays `schedule` through a pipeline that
@@ -885,6 +1004,237 @@ where
         unreachable!("steering mode is fixed at construction")
     };
     (sim_report, report)
+}
+
+/// Runs an elastic simulation with durability engaged: every consumed
+/// `every_events`-th schedule event the chain fences (complete heap
+/// drain) and captures a checkpoint, charging the serialise-and-write
+/// cost in virtual time — the mirror of the runtime's
+/// `run_schedule_checkpointed`.  `crash_after_events` simulates the
+/// driver dying right before injecting that event index: the loop stops
+/// there with a clean injected prefix (everything injected is processed,
+/// nothing else enters), which is exactly the prefix property the
+/// runtime's cancel-during-run crash model guarantees.
+///
+/// Returns the (possibly crashed) report, the checkpoint log, and the
+/// latest captured checkpoint for [`recover_simulation`].
+#[allow(clippy::type_complexity)]
+pub fn run_checkpointed_simulation<R, S, P, H>(
+    config: &SimConfig,
+    predicate: P,
+    policy: H,
+    schedule: &DriverSchedule<R, S>,
+    plan: &[(usize, usize)],
+    every_events: usize,
+    crash_after_events: Option<usize>,
+) -> (
+    ElasticSimReport<R, S>,
+    Vec<SimCheckpointEvent>,
+    Option<SimCheckpoint<R, S>>,
+)
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    assert!(config.nodes > 0, "pipeline needs at least one node");
+    assert!(config.batch_size > 0, "batch size must be positive");
+    let every = every_events.max(1);
+    let factory = node_factory(config, predicate.clone());
+    let mut sim = ElasticSim::new(config, config.nodes, &factory);
+    let mut injector = Injector::new(predicate.clone(), policy.clone(), config.nodes);
+    let mut plan: Vec<(usize, usize)> = plan.to_vec();
+    plan.sort_by_key(|(after, _)| *after);
+    let mut steps = plan.into_iter().peekable();
+
+    let mut left_buf: Vec<LeftToRight<R>> = Vec::new();
+    let mut right_buf: Vec<RightToLeft<S>> = Vec::new();
+    let mut left_arrivals = 0usize;
+    let mut right_arrivals = 0usize;
+    let mut seen_r = 0usize;
+    let mut seen_s = 0usize;
+    let mut last_at = Timestamp::ZERO;
+    let mut checkpoint_log = Vec::new();
+    let mut latest: Option<SimCheckpoint<R, S>> = None;
+    let mut crashed = false;
+
+    macro_rules! flush_both {
+        ($at_ns:expr) => {
+            if !left_buf.is_empty() {
+                let frame = MessageBatch::Left(std::mem::take(&mut left_buf));
+                sim.push_frame($at_ns, 0, frame);
+            }
+            if !right_buf.is_empty() {
+                let rightmost = sim.width - 1;
+                let frame = MessageBatch::Right(std::mem::take(&mut right_buf));
+                sim.push_frame($at_ns, rightmost, frame);
+            }
+            sim.last_injection_ns = sim.last_injection_ns.max($at_ns);
+        };
+    }
+
+    for (idx, event) in schedule.events().iter().enumerate() {
+        while let Some(&(after, target)) = steps.peek() {
+            if after > idx {
+                break;
+            }
+            steps.next();
+            flush_both!(ts_to_ns(last_at));
+            left_arrivals = 0;
+            right_arrivals = 0;
+            sim.resize(target, &factory);
+            injector = Injector::new(predicate.clone(), policy.clone(), target);
+        }
+        if crash_after_events == Some(idx) {
+            crashed = true;
+            break;
+        }
+        last_at = event.at;
+        match &event.event {
+            StreamEvent::ArrivalR(r) => {
+                left_buf.push(injector.inject_r(r.clone()));
+                left_arrivals += 1;
+                seen_r += 1;
+                if left_arrivals >= config.batch_size || seen_r == schedule.r_count() {
+                    let at_ns = ts_to_ns(event.at);
+                    if !left_buf.is_empty() {
+                        let frame = MessageBatch::Left(std::mem::take(&mut left_buf));
+                        sim.push_frame(at_ns, 0, frame);
+                    }
+                    sim.last_injection_ns = sim.last_injection_ns.max(at_ns);
+                    left_arrivals = 0;
+                }
+            }
+            StreamEvent::ExpireS(seq) => left_buf.push(LeftToRight::ExpiryS(*seq)),
+            StreamEvent::ArrivalS(s) => {
+                right_buf.push(injector.inject_s(s.clone()));
+                right_arrivals += 1;
+                seen_s += 1;
+                if right_arrivals >= config.batch_size || seen_s == schedule.s_count() {
+                    let at_ns = ts_to_ns(event.at);
+                    if !right_buf.is_empty() {
+                        let rightmost = sim.width - 1;
+                        let frame = MessageBatch::Right(std::mem::take(&mut right_buf));
+                        sim.push_frame(at_ns, rightmost, frame);
+                    }
+                    sim.last_injection_ns = sim.last_injection_ns.max(at_ns);
+                    right_arrivals = 0;
+                }
+            }
+            StreamEvent::ExpireR(seq) => right_buf.push(RightToLeft::ExpiryR(*seq)),
+        }
+        let consumed = idx + 1;
+        if consumed.is_multiple_of(every) {
+            // Entry frames must enter before the fence: their homes were
+            // assigned under the current width.
+            flush_both!(ts_to_ns(last_at));
+            left_arrivals = 0;
+            right_arrivals = 0;
+            sim.drain(None);
+            let (ckpt, evt) = sim.capture_checkpoint(consumed);
+            checkpoint_log.push(evt);
+            latest = Some(ckpt);
+        }
+    }
+    flush_both!(ts_to_ns(last_at));
+    sim.drain(None);
+    if !crashed {
+        for (_, target) in steps.by_ref() {
+            sim.resize(target, &factory);
+        }
+    }
+    if config.punctuate {
+        sim.collect();
+    }
+    (sim.into_report(schedule), checkpoint_log, latest)
+}
+
+/// Rebuilds a chain from `ckpt` (or cold, from nothing) and replays the
+/// schedule suffix past the checkpoint cut — the virtual-time mirror of
+/// the runtime's `recover_elastic_pipeline`.
+///
+/// Recovery is *rebased*: replayed frames keep their relative stream
+/// spacing but start at virtual zero, so the report's `makespan_ns` is
+/// the recovery time itself — install cost plus the suffix replay — which
+/// is what `bench_recovery` compares against a cold replay of the whole
+/// schedule (`ckpt = None`).  Result and punctuation values carry
+/// original stream timestamps throughout, so the recovered output splices
+/// against a crashed prefix with `llhj_core::checkpoint::splice_recovered_stream`
+/// exactly like the runtime's.
+pub fn recover_simulation<R, S, P, H>(
+    config: &SimConfig,
+    predicate: P,
+    policy: H,
+    schedule: &DriverSchedule<R, S>,
+    ckpt: Option<&SimCheckpoint<R, S>>,
+) -> ElasticSimReport<R, S>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    let factory = node_factory(config, predicate.clone());
+    let (start_idx, width) = match ckpt {
+        Some(c) => (c.after_events, c.width),
+        None => (0, config.nodes),
+    };
+    let mut sim = ElasticSim::new(config, width, &factory);
+    if let Some(c) = ckpt {
+        sim.restore_checkpoint(c);
+    }
+    let events = &schedule.events()[start_idx.min(schedule.events().len())..];
+    let rebase = events.first().map_or(0, |e| ts_to_ns(e.at));
+    let injector = Injector::new(predicate.clone(), policy.clone(), width);
+    let mut left_buf: Vec<LeftToRight<R>> = Vec::new();
+    let mut right_buf: Vec<RightToLeft<S>> = Vec::new();
+    let mut left_arrivals = 0usize;
+    let mut right_arrivals = 0usize;
+    let mut last_ns: SimNanos = 0;
+    for event in events {
+        last_ns = ts_to_ns(event.at).saturating_sub(rebase);
+        match &event.event {
+            StreamEvent::ArrivalR(r) => {
+                left_buf.push(injector.inject_r(r.clone()));
+                left_arrivals += 1;
+                if left_arrivals >= config.batch_size {
+                    let frame = MessageBatch::Left(std::mem::take(&mut left_buf));
+                    sim.push_frame(last_ns, 0, frame);
+                    sim.last_injection_ns = sim.last_injection_ns.max(last_ns);
+                    left_arrivals = 0;
+                }
+            }
+            StreamEvent::ExpireS(seq) => left_buf.push(LeftToRight::ExpiryS(*seq)),
+            StreamEvent::ArrivalS(s) => {
+                right_buf.push(injector.inject_s(s.clone()));
+                right_arrivals += 1;
+                if right_arrivals >= config.batch_size {
+                    let rightmost = sim.width - 1;
+                    let frame = MessageBatch::Right(std::mem::take(&mut right_buf));
+                    sim.push_frame(last_ns, rightmost, frame);
+                    sim.last_injection_ns = sim.last_injection_ns.max(last_ns);
+                    right_arrivals = 0;
+                }
+            }
+            StreamEvent::ExpireR(seq) => right_buf.push(RightToLeft::ExpiryR(*seq)),
+        }
+    }
+    if !left_buf.is_empty() {
+        let frame = MessageBatch::Left(std::mem::take(&mut left_buf));
+        sim.push_frame(last_ns, 0, frame);
+    }
+    if !right_buf.is_empty() {
+        let rightmost = sim.width - 1;
+        let frame = MessageBatch::Right(std::mem::take(&mut right_buf));
+        sim.push_frame(last_ns, rightmost, frame);
+    }
+    sim.last_injection_ns = sim.last_injection_ns.max(last_ns);
+    sim.drain(None);
+    if config.punctuate {
+        sim.collect();
+    }
+    sim.into_report(schedule)
 }
 #[cfg(test)]
 mod tests {
@@ -1174,6 +1524,76 @@ mod tests {
         let (_, again) = run();
         assert_eq!(again.decision_sequence(), autoscale.decision_sequence());
         assert_eq!(again.samples.len(), autoscale.samples.len());
+    }
+
+    /// The durability mirror end to end: checkpointing is transparent to
+    /// the result set, a crashed prefix plus a recovery from the latest
+    /// checkpoint reunites to exactly the oracle set, and recovery's
+    /// rebased makespan beats a cold replay of the whole schedule.
+    #[test]
+    fn checkpointed_sim_is_transparent_and_recovery_beats_cold_replay() {
+        let schedule = small_schedule();
+        let oracle = run_kang(eq_pred(), &schedule);
+        let events = schedule.events().len();
+        let (full, ckpt_log, latest) = run_checkpointed_simulation(
+            &config(3),
+            eq_pred(),
+            RoundRobin,
+            &schedule,
+            &[(events / 2, 4)],
+            100,
+            None,
+        );
+        assert_eq!(full.result_keys(), oracle.result_keys());
+        assert_eq!(ckpt_log.len(), events / 100);
+        assert!(
+            ckpt_log.iter().any(|c| c.cost_ns > 0 && c.tuples > 0),
+            "loaded windows must charge checkpoint time: {ckpt_log:?}"
+        );
+        let latest = latest.expect("a full run leaves a checkpoint behind");
+        assert_eq!(latest.width, 4, "captured after the mid-run grow");
+        assert!(latest.hwm_r > Timestamp::ZERO);
+
+        // Crash two thirds in; the latest checkpoint lands at the last
+        // multiple of 100 before the crash.
+        let crash_at = 2 * events / 3;
+        let (crashed, _, ckpt) = run_checkpointed_simulation(
+            &config(3),
+            eq_pred(),
+            RoundRobin,
+            &schedule,
+            &[],
+            100,
+            Some(crash_at),
+        );
+        let ckpt = ckpt.expect("crash past the first checkpoint boundary");
+        assert_eq!(ckpt.after_events, (crash_at / 100) * 100);
+        let recovered =
+            recover_simulation(&config(3), eq_pred(), RoundRobin, &schedule, Some(&ckpt));
+        let cold = recover_simulation(&config(3), eq_pred(), RoundRobin, &schedule, None);
+        assert_eq!(
+            cold.result_keys(),
+            oracle.result_keys(),
+            "a cold replay of the whole schedule is just the plain run"
+        );
+        // Crashed prefix ∪ recovered suffix = oracle, duplicates only in
+        // the replayed (checkpoint → crash) overlap.
+        let mut keys: Vec<_> = crashed
+            .report
+            .results
+            .iter()
+            .chain(recovered.report.results.iter())
+            .map(|t| t.result.key())
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys, oracle.result_keys());
+        assert!(
+            recovered.report.makespan_ns < cold.report.makespan_ns,
+            "recovery ({} ns) must beat cold replay ({} ns)",
+            recovered.report.makespan_ns,
+            cold.report.makespan_ns
+        );
     }
 
     #[test]

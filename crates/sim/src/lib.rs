@@ -32,10 +32,14 @@ pub mod throughput;
 pub use config::{Algorithm, SimConfig};
 pub use cost::{CostModel, SimNanos};
 pub use elastic::{
-    run_autoscaled_simulation, run_elastic_simulation, ElasticSimReport, SimResizeEvent,
+    recover_simulation, run_autoscaled_simulation, run_checkpointed_simulation,
+    run_elastic_simulation, ElasticSimReport, SimCheckpoint, SimCheckpointEvent, SimResizeEvent,
 };
 pub use engine::run_simulation;
-pub use mesh::{max_sustainable_mesh_rate, run_mesh_simulation, MeshSimReport, SimReshardEvent};
+pub use mesh::{
+    max_sustainable_mesh_rate, recover_mesh_simulation, run_checkpointed_mesh_simulation,
+    run_mesh_simulation, MeshSimReport, SimMeshCheckpoint, SimReshardEvent,
+};
 pub use model::AnalyticModel;
 pub use report::SimReport;
 pub use throughput::{max_sustainable_rate, ThroughputResult, ThroughputSearch};

@@ -2,7 +2,7 @@
 //!
 //! Mirrors the threaded mesh (`llhj-runtime::mesh`) in virtual time: one
 //! [`ShardRouter`] fans a driver schedule over `N` independent
-//! [`ElasticSim`] chains, each chain keeps its own punctuated output, and
+//! `ElasticSim` chains, each chain keeps its own punctuated output, and
 //! the per-shard streams merge through the same
 //! [`merge_punctuated_streams`] frontier algorithm the runtime uses.  A
 //! shard split or merge reuses the chain protocol end to end — fence
@@ -20,7 +20,7 @@
 
 use crate::config::SimConfig;
 use crate::cost::SimNanos;
-use crate::elastic::{node_factory, ElasticSim};
+use crate::elastic::{node_factory, ElasticSim, SimCheckpoint, SimCheckpointEvent};
 use crate::throughput::{ThroughputResult, ThroughputSearch};
 use llhj_core::driver::{DriverSchedule, Injector, StreamEvent};
 use llhj_core::homing::HomePolicy;
@@ -108,6 +108,18 @@ impl<R, S> MeshSimReport<R, S> {
     pub fn is_sustainable(&self, threshold: f64) -> bool {
         self.max_utilization() <= threshold
     }
+}
+
+/// A coordinated mesh checkpoint: one per-shard [`SimCheckpoint`] for
+/// every live shard, all captured at the same consumed-event cut inside a
+/// global fence — the simulator's stand-in for the runtime's coordinated
+/// per-shard blob sequence.
+#[derive(Debug, Clone)]
+pub struct SimMeshCheckpoint<R, S> {
+    /// Schedule events consumed at the capture cut.
+    pub after_events: usize,
+    /// One checkpoint per shard, indexed by shard id.
+    pub shards: Vec<SimCheckpoint<R, S>>,
 }
 
 struct MeshSim<R, S, P, H>
@@ -321,6 +333,115 @@ where
             });
         }
     }
+
+    /// One coordinated checkpoint: global fence, then every shard captures
+    /// at the same consumed-event cut.  Shards serialise their blobs
+    /// concurrently, so the mesh pays the *max* per-shard capture cost —
+    /// the whole mesh resumes at that instant.
+    fn checkpoint_all(&mut self, consumed: usize) -> (SimMeshCheckpoint<R, S>, SimCheckpointEvent) {
+        let fence_start = self.fence_all();
+        for sim in &mut self.sims {
+            sim.makespan_ns = sim.makespan_ns.max(fence_start);
+        }
+        let mut shards = Vec::with_capacity(self.sims.len());
+        let mut tuples = 0usize;
+        for sim in &mut self.sims {
+            let (ckpt, evt) = sim.capture_checkpoint(consumed);
+            tuples += evt.tuples;
+            shards.push(ckpt);
+        }
+        let fence_end = self
+            .sims
+            .iter()
+            .map(|s| s.makespan_ns)
+            .max()
+            .unwrap_or(fence_start);
+        for sim in &mut self.sims {
+            for slot in &mut sim.busy_until {
+                *slot = (*slot).max(fence_end);
+            }
+            sim.makespan_ns = fence_end;
+        }
+        (
+            SimMeshCheckpoint {
+                after_events: consumed,
+                shards,
+            },
+            SimCheckpointEvent {
+                after_events: consumed,
+                at_ns: fence_start,
+                tuples,
+                cost_ns: fence_end - fence_start,
+            },
+        )
+    }
+
+    /// Finalizes the mesh into the standard report.
+    fn into_report(mut self) -> MeshSimReport<R, S> {
+        if self.config.punctuate {
+            for sim in &mut self.sims {
+                sim.collect();
+            }
+        }
+        let mut results = self.retired_results;
+        let mut streams = self.retired_outputs;
+        let mut widths = Vec::with_capacity(self.sims.len());
+        let mut busy = Vec::with_capacity(self.sims.len());
+        let mut last_injection_ns = 0;
+        let mut makespan_ns = 0;
+        for mut sim in self.sims {
+            widths.push(sim.width);
+            busy.push(std::mem::take(&mut sim.busy_ns));
+            last_injection_ns = last_injection_ns.max(sim.last_injection_ns);
+            makespan_ns = makespan_ns.max(sim.makespan_ns);
+            results.append(&mut sim.results);
+            streams.push(std::mem::take(&mut sim.output));
+        }
+        MeshSimReport {
+            results,
+            output: merge_punctuated_streams(streams),
+            reshard_log: self.reshard_log,
+            shards: widths.len(),
+            widths,
+            busy_ns: busy,
+            last_injection_ns,
+            makespan_ns,
+        }
+    }
+
+    /// Routes one driver event to its target shards, batching entry
+    /// frames per shard; frames flush at `at_ns` (already rebased by the
+    /// caller when recovering).
+    fn inject(&mut self, event: &llhj_core::driver::DriverEvent<R, S>, at_ns: SimNanos) {
+        let batch = self.config.batch_size;
+        let route = self.router.route(&event.event);
+        for shard in route.targets(self.sims.len()) {
+            match &event.event {
+                StreamEvent::ArrivalR(r) => {
+                    let msg = self.injectors[shard].inject_r(r.clone());
+                    self.left_bufs[shard].push(msg);
+                    self.left_arrivals[shard] += 1;
+                    if self.left_arrivals[shard] >= batch {
+                        self.flush_left(shard, at_ns);
+                    }
+                }
+                StreamEvent::ExpireS(seq) => {
+                    self.left_bufs[shard].push(LeftToRight::ExpiryS(*seq));
+                }
+                StreamEvent::ArrivalS(s) => {
+                    let msg = self.injectors[shard].inject_s(s.clone());
+                    self.right_bufs[shard].push(msg);
+                    self.right_arrivals[shard] += 1;
+                    if self.right_arrivals[shard] >= batch {
+                        self.flush_right(shard, at_ns);
+                    }
+                }
+                StreamEvent::ExpireR(seq) => {
+                    self.right_bufs[shard].push(RightToLeft::ExpiryR(*seq));
+                }
+            }
+        }
+    }
 }
 
 /// Runs a mesh simulation: replays `schedule` through `shards` chains of
@@ -378,69 +499,196 @@ where
         }
         mesh.last_at = event.at;
         let at_ns = ts_to_ns(event.at);
-        let route = mesh.router.route(&event.event);
-        for shard in route.targets(mesh.sims.len()) {
-            match &event.event {
-                StreamEvent::ArrivalR(r) => {
-                    let msg = mesh.injectors[shard].inject_r(r.clone());
-                    mesh.left_bufs[shard].push(msg);
-                    mesh.left_arrivals[shard] += 1;
-                    if mesh.left_arrivals[shard] >= config.batch_size {
-                        mesh.flush_left(shard, at_ns);
-                    }
-                }
-                StreamEvent::ExpireS(seq) => {
-                    mesh.left_bufs[shard].push(LeftToRight::ExpiryS(*seq));
-                }
-                StreamEvent::ArrivalS(s) => {
-                    let msg = mesh.injectors[shard].inject_s(s.clone());
-                    mesh.right_bufs[shard].push(msg);
-                    mesh.right_arrivals[shard] += 1;
-                    if mesh.right_arrivals[shard] >= config.batch_size {
-                        mesh.flush_right(shard, at_ns);
-                    }
-                }
-                StreamEvent::ExpireR(seq) => {
-                    mesh.right_bufs[shard].push(RightToLeft::ExpiryR(*seq));
-                }
-            }
-        }
+        mesh.inject(event, at_ns);
     }
     mesh.fence_all();
     let trailing: Vec<_> = steps.cloned().collect();
     for step in trailing {
         mesh.reshape(step.shards, step.width, schedule.events().len());
     }
-    if config.punctuate {
-        for sim in &mut mesh.sims {
-            sim.collect();
+    mesh.into_report()
+}
+
+/// Runs a mesh simulation that takes a coordinated checkpoint of every
+/// shard each `every_events` consumed events, mirroring the runtime's
+/// `run_schedule_checkpointed` on the mesh: a global fence, then one
+/// per-shard state capture at the same consumed-event cut, each charged
+/// the serialisation cost of its window.  If `crash_after_events` is
+/// `Some(n)`, the run stops *before* injecting event `n` — the simulated
+/// crash — and returns the cleanly processed prefix plus the last
+/// coordinated checkpoint, which [`recover_mesh_simulation`] resumes
+/// from.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub fn run_checkpointed_mesh_simulation<R, S, P, H>(
+    config: &SimConfig,
+    predicate: P,
+    policy: H,
+    mode: RouteMode,
+    shards: usize,
+    schedule: &DriverSchedule<R, S>,
+    plan: &MeshPlan,
+    every_events: usize,
+    crash_after_events: Option<usize>,
+) -> (
+    MeshSimReport<R, S>,
+    Vec<SimCheckpointEvent>,
+    Option<SimMeshCheckpoint<R, S>>,
+)
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    assert!(config.nodes > 0, "pipeline needs at least one node");
+    assert!(config.batch_size > 0, "batch size must be positive");
+    assert!(every_events > 0, "checkpoint interval must be positive");
+    assert!(
+        mode == RouteMode::FragmentReplicate || predicate.supports_index(),
+        "co-partitioning requires a predicate with both equi-key extractors"
+    );
+    let factory = node_factory(config, predicate.clone());
+    let width = config.nodes;
+    let mut mesh = MeshSim {
+        config: config.clone(),
+        router: ShardRouter::new(predicate.clone(), mode, shards),
+        sims: (0..shards)
+            .map(|_| ElasticSim::new(config, width, &factory))
+            .collect(),
+        injectors: (0..shards)
+            .map(|_| Injector::new(predicate.clone(), policy.clone(), width))
+            .collect(),
+        left_bufs: vec![Vec::new(); shards],
+        right_bufs: vec![Vec::new(); shards],
+        left_arrivals: vec![0; shards],
+        right_arrivals: vec![0; shards],
+        predicate,
+        policy,
+        retired_results: Vec::new(),
+        retired_outputs: Vec::new(),
+        reshard_log: Vec::new(),
+        last_at: Timestamp::ZERO,
+    };
+
+    let mut ckpt_log = Vec::new();
+    let mut latest = None;
+    let mut crashed = false;
+    let mut steps = plan.steps.iter().peekable();
+    for (idx, event) in schedule.events().iter().enumerate() {
+        while let Some(step) = steps.next_if(|s| s.after_events <= idx) {
+            mesh.reshape(step.shards, step.width, idx);
+        }
+        if crash_after_events == Some(idx) {
+            crashed = true;
+            break;
+        }
+        mesh.last_at = event.at;
+        let at_ns = ts_to_ns(event.at);
+        mesh.inject(event, at_ns);
+        let consumed = idx + 1;
+        if consumed.is_multiple_of(every_events) {
+            let (ckpt, evt) = mesh.checkpoint_all(consumed);
+            ckpt_log.push(evt);
+            latest = Some(ckpt);
         }
     }
+    mesh.fence_all();
+    if !crashed {
+        let trailing: Vec<_> = steps.cloned().collect();
+        for step in trailing {
+            mesh.reshape(step.shards, step.width, schedule.events().len());
+        }
+    }
+    (mesh.into_report(), ckpt_log, latest)
+}
 
-    let mut results = mesh.retired_results;
-    let mut streams = mesh.retired_outputs;
-    let mut widths = Vec::with_capacity(mesh.sims.len());
-    let mut busy = Vec::with_capacity(mesh.sims.len());
-    let mut last_injection_ns = 0;
-    let mut makespan_ns = 0;
-    for mut sim in mesh.sims {
-        widths.push(sim.width);
-        busy.push(std::mem::take(&mut sim.busy_ns));
-        last_injection_ns = last_injection_ns.max(sim.last_injection_ns);
-        makespan_ns = makespan_ns.max(sim.makespan_ns);
-        results.append(&mut sim.results);
-        streams.push(std::mem::take(&mut sim.output));
+/// Resumes a mesh simulation from a coordinated checkpoint (or replays
+/// the whole schedule cold over `cold_shards` shards when `ckpt` is
+/// `None`).  The mesh is rebuilt at the checkpoint's topology, every
+/// shard pays the per-tuple decode cost while its window reinstalls, the
+/// router reseeds its ownership tables from the checkpointed rows, and
+/// the schedule suffix replays *rebased* to virtual zero — relative
+/// stream spacing is preserved (exactness needs arrival/expiry order)
+/// but the makespan measures install-plus-suffix, which is what the
+/// recovery benchmark compares against a cold replay.
+pub fn recover_mesh_simulation<R, S, P, H>(
+    config: &SimConfig,
+    predicate: P,
+    policy: H,
+    mode: RouteMode,
+    cold_shards: usize,
+    schedule: &DriverSchedule<R, S>,
+    ckpt: Option<&SimMeshCheckpoint<R, S>>,
+) -> MeshSimReport<R, S>
+where
+    R: Clone + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+    P: JoinPredicate<R, S> + Clone + Send + Sync + 'static,
+    H: HomePolicy + Clone,
+{
+    assert!(config.nodes > 0, "pipeline needs at least one node");
+    assert!(config.batch_size > 0, "batch size must be positive");
+    assert!(
+        mode == RouteMode::FragmentReplicate || predicate.supports_index(),
+        "co-partitioning requires a predicate with both equi-key extractors"
+    );
+    let factory = node_factory(config, predicate.clone());
+    let (start_idx, widths): (usize, Vec<usize>) = match ckpt {
+        Some(c) => (c.after_events, c.shards.iter().map(|s| s.width).collect()),
+        None => (0, vec![config.nodes; cold_shards.max(1)]),
+    };
+    let shard_count = widths.len();
+    let mut mesh = MeshSim {
+        config: config.clone(),
+        router: ShardRouter::new(predicate.clone(), mode, shard_count),
+        sims: widths
+            .iter()
+            .map(|&w| ElasticSim::new(config, w, &factory))
+            .collect(),
+        injectors: widths
+            .iter()
+            .map(|&w| Injector::new(predicate.clone(), policy.clone(), w))
+            .collect(),
+        left_bufs: vec![Vec::new(); shard_count],
+        right_bufs: vec![Vec::new(); shard_count],
+        left_arrivals: vec![0; shard_count],
+        right_arrivals: vec![0; shard_count],
+        predicate,
+        policy,
+        retired_results: Vec::new(),
+        retired_outputs: Vec::new(),
+        reshard_log: Vec::new(),
+        last_at: Timestamp::ZERO,
+    };
+    if let Some(c) = ckpt {
+        for (shard, sc) in c.shards.iter().enumerate() {
+            for seg in &sc.segments {
+                for t in &seg.wr {
+                    mesh.router.reseed_r(t.seq, &t.payload);
+                }
+                for t in &seg.ws {
+                    mesh.router.reseed_s(t.seq, &t.payload);
+                }
+            }
+            mesh.sims[shard].restore_checkpoint(sc);
+        }
     }
-    MeshSimReport {
-        results,
-        output: merge_punctuated_streams(streams),
-        reshard_log: mesh.reshard_log,
-        shards: widths.len(),
-        widths,
-        busy_ns: busy,
-        last_injection_ns,
-        makespan_ns,
+    let len = schedule.events().len();
+    let events = &schedule.events()[start_idx.min(len)..];
+    let rebase = events.first().map_or(0, |e| ts_to_ns(e.at));
+    let mut final_ns = mesh.sims.iter().map(|s| s.makespan_ns).max().unwrap_or(0);
+    for event in events {
+        mesh.last_at = event.at;
+        let at_ns = ts_to_ns(event.at).saturating_sub(rebase);
+        final_ns = final_ns.max(at_ns);
+        mesh.inject(event, at_ns);
     }
+    for shard in 0..mesh.sims.len() {
+        mesh.flush_left(shard, final_ns);
+        mesh.flush_right(shard, final_ns);
+        mesh.sims[shard].drain(None);
+    }
+    mesh.into_report()
 }
 
 /// Binary-searches the maximum per-stream rate a mesh of `shards` shards
@@ -619,6 +867,93 @@ mod tests {
         );
         verify_punctuated_stream(&report.output, |t| t.result.ts())
             .unwrap_or_else(|i| panic!("invalid merged stream at item {i}"));
+    }
+
+    /// The durability mirror on the mesh: a checkpointed run is
+    /// byte-identical to the plain one (transparency), a crashed run plus
+    /// the recovery from its last coordinated checkpoint reproduces the
+    /// oracle set exactly, and recovering from the checkpoint is cheaper
+    /// in virtual time than replaying the whole schedule cold.
+    #[test]
+    fn checkpointed_mesh_sim_recovers_from_a_crash() {
+        let sched = schedule(300, 150);
+        let oracle = run_kang(equi(), &sched);
+        let events = sched.events().len();
+        let plan = MeshPlan::from_steps(&[(events / 3, 4, 2)]);
+        let cfg = config(2, Algorithm::LlhjIndexed);
+        let (full, ckpt_log, latest) = run_checkpointed_mesh_simulation(
+            &cfg,
+            equi(),
+            RoundRobin,
+            RouteMode::CoPartition,
+            2,
+            &sched,
+            &plan,
+            100,
+            None,
+        );
+        assert_eq!(
+            full.result_keys(),
+            oracle.result_keys(),
+            "checkpointing must be transparent to the result set"
+        );
+        assert_eq!(ckpt_log.len(), events / 100);
+        assert!(ckpt_log.iter().all(|e| e.cost_ns > 0));
+        let latest = latest.expect("run long enough to checkpoint");
+        assert_eq!(
+            latest.shards.len(),
+            4,
+            "the last coordinated capture sees the post-split topology"
+        );
+
+        let crash_at = 2 * events / 3;
+        let (crashed, _, latest) = run_checkpointed_mesh_simulation(
+            &cfg,
+            equi(),
+            RoundRobin,
+            RouteMode::CoPartition,
+            2,
+            &sched,
+            &plan,
+            100,
+            Some(crash_at),
+        );
+        let latest = latest.expect("crash landed after the first checkpoint");
+        assert_eq!(latest.after_events, (crash_at / 100) * 100);
+        let recovered = recover_mesh_simulation(
+            &cfg,
+            equi(),
+            RoundRobin,
+            RouteMode::CoPartition,
+            2,
+            &sched,
+            Some(&latest),
+        );
+        let cold = recover_mesh_simulation(
+            &cfg,
+            equi(),
+            RoundRobin,
+            RouteMode::CoPartition,
+            2,
+            &sched,
+            None,
+        );
+        assert_eq!(cold.result_keys(), oracle.result_keys());
+        let mut keys = crashed.result_keys();
+        keys.extend(recovered.result_keys());
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(
+            keys,
+            oracle.result_keys(),
+            "crashed prefix plus recovered suffix must cover the oracle set exactly"
+        );
+        assert!(
+            recovered.makespan_ns < cold.makespan_ns,
+            "recovery from a checkpoint must beat a cold replay: {} vs {}",
+            recovered.makespan_ns,
+            cold.makespan_ns
+        );
     }
 
     /// The tentpole's scaling claim on the simulator: at a fixed per-shard

@@ -19,6 +19,7 @@
 //! experiment (Table 2) the predicate is changed to an equi-join on
 //! `r.x = s.a` so that hash indexes apply.
 
+use llhj_core::checkpoint::{ByteReader, CheckpointError, CheckpointPayload};
 use llhj_core::predicate::{BandSpec, JoinPredicate};
 use llhj_core::store::ColumnarPayload;
 
@@ -79,6 +80,42 @@ impl ColumnarPayload for STuple {
     #[inline]
     fn join_attr(&self) -> i64 {
         self.a as i64
+    }
+}
+
+/// Field-by-field little-endian encoding (`x`, `y`, `z`) so R windows can
+/// ride in checkpoint blobs.
+impl CheckpointPayload for RTuple {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.x.encode(buf);
+        self.y.encode(buf);
+        self.z.encode(buf);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CheckpointError> {
+        Ok(RTuple {
+            x: i32::decode(r)?,
+            y: f32::decode(r)?,
+            z: <[u8; 20]>::decode(r)?,
+        })
+    }
+}
+
+/// Field-by-field little-endian encoding (`a`, `b`, `c`, `d`); see the
+/// [`RTuple`] impl.
+impl CheckpointPayload for STuple {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.a.encode(buf);
+        self.b.encode(buf);
+        self.c.encode(buf);
+        self.d.encode(buf);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CheckpointError> {
+        Ok(STuple {
+            a: i32::decode(r)?,
+            b: f32::decode(r)?,
+            c: f64::decode(r)?,
+            d: bool::decode(r)?,
+        })
     }
 }
 
@@ -247,6 +284,31 @@ mod tests {
         assert_eq!(p.r_key(&RTuple::new(7, 1.0)), Some(7));
         assert_eq!(p.s_key(&STuple::new(9, 1.0)), Some(9));
         assert!(JoinPredicate::<RTuple, STuple>::supports_index(&p));
+    }
+
+    #[test]
+    fn checkpoint_payloads_round_trip() {
+        let mut r = RTuple::new(-42, 3.25);
+        r.z = *b"twenty bytes of pay!";
+        let s = STuple {
+            a: 7,
+            b: -1.5,
+            c: 2.75,
+            d: true,
+        };
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        s.encode(&mut buf);
+        let mut reader = ByteReader::new(&buf);
+        assert_eq!(RTuple::decode(&mut reader).unwrap(), r);
+        assert_eq!(STuple::decode(&mut reader).unwrap(), s);
+        assert!(reader.is_empty());
+        // A short buffer surfaces the typed truncation error.
+        let mut short = ByteReader::new(&buf[..3]);
+        assert_eq!(
+            RTuple::decode(&mut short).unwrap_err(),
+            CheckpointError::Truncated
+        );
     }
 
     #[test]

@@ -130,16 +130,25 @@ fn flush_interval_bounds_the_batching_delay() {
     );
     let flowed = run_pipeline(llhj_nodes(2, pred), pred, RoundRobin, &schedule, &capped);
 
-    // Without the timer the whole stream fits in one frame per direction
-    // (plus the tail flush).  Such a frame reorders expiries across
-    // directions — S expiries reach the left end before the S tuples have
-    // crossed the pipeline — so its result set is NOT held to the oracle:
-    // the degenerate configuration exists to show what the timer prevents.
+    // Without the timer the driver batches almost the whole stream into a
+    // handful of giant frames — the only extra flushes are the expiry
+    // barrier's (an expiry whose own arrival is still parked in the
+    // opposite buffer flushes it first, roughly once per window length),
+    // which keeps even this degenerate configuration *sound*: arrivals
+    // delayed past other tuples' expiries can still lose matches, but no
+    // tuple outlives its own expiry, so nothing spurious appears.
     assert!(
-        waited.frames_injected <= 4,
-        "expected the whole stream in <= 4 frames, got {}",
+        waited.frames_injected <= 12,
+        "expected the stream in a handful of giant frames, got {}",
         waited.frames_injected
     );
+    let waited_keys = waited.result_keys();
+    for key in &waited_keys {
+        assert!(
+            oracle_keys.contains(key),
+            "giant frames produced a spurious result {key:?}"
+        );
+    }
 
     // With the timer the driver emits a frame at least every 100 ms of
     // stream time, and windowing stays exact.

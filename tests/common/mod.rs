@@ -1,0 +1,58 @@
+//! Shared helpers for the integration suites that exercise shutdown and
+//! crash paths: a deadline guard so a wedged fence protocol fails the
+//! test instead of hanging the suite, and a soundness check for partial
+//! result sets.
+
+#![allow(dead_code)]
+
+use llhj_core::tuple::SeqNo;
+use llhj_sync::sync::mpsc;
+use llhj_sync::time::Duration;
+
+/// Runs `f` on a helper thread, panicking if it does not finish within
+/// `timeout` — a deadlocked fence protocol fails the test instead of
+/// hanging the whole suite.
+pub fn with_deadline<T: Send + 'static>(
+    timeout: Duration,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (done_tx, done_rx) = mpsc::channel();
+    let handle = llhj_sync::thread::spawn(move || {
+        let value = f();
+        let _ = done_tx.send(());
+        value
+    });
+    done_rx.recv_timeout(timeout).unwrap_or_else(|_| {
+        panic!("guarded section did not complete within {timeout:?} — deadlock?")
+    });
+    handle.join().expect("guarded thread panicked")
+}
+
+/// Asserts soundness of a (possibly partial) result set: no duplicates,
+/// nothing outside the oracle.
+pub fn assert_sound(keys: &[(SeqNo, SeqNo)], oracle_keys: &[(SeqNo, SeqNo)], label: &str) {
+    let mut deduped = keys.to_vec();
+    deduped.dedup();
+    assert_eq!(deduped.len(), keys.len(), "{label}: duplicated result");
+    for key in keys {
+        assert!(
+            oracle_keys.contains(key),
+            "{label}: spurious result {key:?} not in the oracle"
+        );
+    }
+}
+
+/// Arms a background thread that fires `cancel` after `delay` — the
+/// standard way the crash and teardown suites land a kill inside a
+/// stalled migration window.  Join the returned handle after the guarded
+/// run completes.
+pub fn cancel_after(
+    cancel: &llhj_runtime::CancelToken,
+    delay: Duration,
+) -> llhj_sync::thread::JoinHandle<()> {
+    let cancel = cancel.clone();
+    llhj_sync::thread::spawn(move || {
+        llhj_sync::thread::sleep(delay);
+        cancel.cancel();
+    })
+}

@@ -9,8 +9,10 @@
 //! inside it; every test is timeout-guarded so a deadlock fails fast
 //! instead of hanging the suite.
 
+mod common;
+
+use common::{assert_sound, cancel_after, with_deadline};
 use handshake_join::prelude::*;
-use llhj_sync::sync::mpsc;
 use llhj_sync::time::{Duration, Instant};
 
 fn band_schedule(
@@ -26,39 +28,6 @@ fn band_schedule(
     )
 }
 
-/// Runs `f` on a helper thread, panicking if it does not finish within
-/// `timeout` — a deadlocked fence protocol fails the test instead of
-/// hanging the whole suite.
-fn with_deadline<T: Send + 'static>(
-    timeout: Duration,
-    f: impl FnOnce() -> T + Send + 'static,
-) -> T {
-    let (done_tx, done_rx) = mpsc::channel();
-    let handle = llhj_sync::thread::spawn(move || {
-        let value = f();
-        let _ = done_tx.send(());
-        value
-    });
-    done_rx
-        .recv_timeout(timeout)
-        .unwrap_or_else(|_| panic!("teardown did not complete within {timeout:?} — deadlock?"));
-    handle.join().expect("guarded thread panicked")
-}
-
-/// Asserts soundness of a (possibly partial) result set: no duplicates,
-/// nothing outside the oracle.
-fn assert_sound(keys: &[(SeqNo, SeqNo)], oracle_keys: &[(SeqNo, SeqNo)], label: &str) {
-    let mut deduped = keys.to_vec();
-    deduped.dedup();
-    assert_eq!(deduped.len(), keys.len(), "{label}: duplicated result");
-    for key in keys {
-        assert!(
-            oracle_keys.contains(key),
-            "{label}: spurious result {key:?} not in the oracle"
-        );
-    }
-}
-
 /// A shutdown issued *while a migration is in flight* (the absorb side is
 /// stalled for a full second) must wait for the handoff to complete, drain
 /// the chain and return — without deadlock and without losing the migrated
@@ -71,17 +40,10 @@ fn cancel_during_an_in_flight_migration_drains_without_losing_frames() {
     let events = schedule.events().len();
 
     let cancel = CancelToken::new();
-    let canceller = {
-        let cancel = cancel.clone();
-        llhj_sync::thread::spawn(move || {
-            // The shrink fires at ~25% of the 2 s schedule (~0.5 s of wall
-            // time) and its absorb stalls for 1 s, so a cancel at 0.7 s
-            // lands inside the migration window with ±0.2 s of slack on
-            // both sides.
-            llhj_sync::thread::sleep(Duration::from_millis(700));
-            cancel.cancel();
-        })
-    };
+    // The shrink fires at ~25% of the 2 s schedule (~0.5 s of wall time)
+    // and its absorb stalls for 1 s, so a cancel at 0.7 s lands inside
+    // the migration window with ±0.2 s of slack on both sides.
+    let canceller = cancel_after(&cancel, Duration::from_millis(700));
 
     let outcome = with_deadline(Duration::from_secs(30), move || {
         let mut pipeline = ElasticPipeline::new(
@@ -174,13 +136,7 @@ fn cancel_before_the_planned_resize_skips_it_and_drains() {
     let events = schedule.events().len();
 
     let cancel = CancelToken::new();
-    let canceller = {
-        let cancel = cancel.clone();
-        llhj_sync::thread::spawn(move || {
-            llhj_sync::thread::sleep(Duration::from_millis(300));
-            cancel.cancel();
-        })
-    };
+    let canceller = cancel_after(&cancel, Duration::from_millis(300));
     let started = Instant::now();
     let outcome = with_deadline(Duration::from_secs(30), move || {
         run_elastic_pipeline(
