@@ -1,0 +1,87 @@
+//! Criterion benchmark for the frame transport itself: one
+//! producer/consumer hop moving a fixed number of frames over either the
+//! mutex/condvar channel or the lock-free SPSC ring, at batch 1/16/64,
+//! pinned to distinct cores and not.  The companion binary
+//! `bench_channel` records the same sweep (plus the asserted ring >=
+//! 1.5x mutex floor) as `BENCH_channel.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llhj_runtime::channel::{self, Receiver, Sender, TryRecvError};
+use llhj_runtime::{pin_thread, pinning_available, unpin_thread};
+use llhj_sync::thread;
+use llhj_sync::time::Duration;
+use std::hint::black_box;
+
+/// Frames per iteration: enough to amortise the thread spawn, small
+/// enough that criterion gets real sample counts.
+const FRAMES: u64 = 20_000;
+
+fn make_channel(ring: bool) -> (Sender<Vec<u64>>, Receiver<Vec<u64>>) {
+    if ring {
+        channel::spsc_unbounded(256, None)
+    } else {
+        channel::unbounded()
+    }
+}
+
+fn hop(ring: bool, batch: usize, pin: bool) -> u64 {
+    let (tx, rx) = make_channel(ring);
+    let producer = thread::spawn(move || {
+        if pin {
+            pin_thread(0);
+        }
+        for seq in 0..FRAMES {
+            let frame: Vec<u64> = (0..batch as u64).map(|i| seq * batch as u64 + i).collect();
+            tx.send(frame).expect("consumer outlives the producer");
+        }
+        if pin {
+            unpin_thread();
+        }
+    });
+    let mut tuples = 0u64;
+    loop {
+        match rx.recv_timeout(Duration::from_millis(5)) {
+            Ok(frame) => tuples += frame.len() as u64,
+            Err(TryRecvError::Empty) => {}
+            Err(TryRecvError::Disconnected) => break,
+        }
+    }
+    producer.join().expect("producer thread panicked");
+    tuples
+}
+
+fn single_hop_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_single_hop");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let pin_variants: &[bool] = if pinning_available(2) {
+        &[false, true]
+    } else {
+        &[false]
+    };
+    for &ring in &[false, true] {
+        for &batch in &[1usize, 16, 64] {
+            for &pin in pin_variants {
+                let name = format!(
+                    "{}_batch_{batch}{}",
+                    if ring { "ring" } else { "mutex" },
+                    if pin { "_pinned" } else { "" },
+                );
+                group.bench_function(name, |b| {
+                    if pin {
+                        pin_thread(1);
+                    }
+                    b.iter(|| black_box(hop(ring, batch, pin)));
+                    if pin {
+                        unpin_thread();
+                    }
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(bench_channel, single_hop_sweep);
+criterion_main!(bench_channel);

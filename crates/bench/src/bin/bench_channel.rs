@@ -1,0 +1,128 @@
+//! Single-hop transport micro-benchmark: the lock-free SPSC ring vs the
+//! mutex/condvar channel, across frame granularities, pinned and not.
+//! One producer thread pushes `FRAMES` frames of `batch` tuples each over
+//! one channel; the consumer drains until disconnect.  That is exactly
+//! one chain edge's workload, with the join work stripped away, so the
+//! ratio between the two transports is the upper bound on what the ring
+//! can buy a transport-dominated pipeline.  `BENCH_channel.json` at the
+//! repo root snapshots the sweep; the CI smoke enforces the ring >= 1.5x
+//! mutex floor at batch 1 on multi-core hosts and annotates (never
+//! asserts) it on a 1-core container, where "concurrency" is
+//! time-slicing.
+
+use llhj_runtime::channel::{self, Receiver, Sender, TryRecvError};
+use llhj_runtime::{pin_thread, pinning_available, unpin_thread};
+use llhj_sync::thread;
+use llhj_sync::time::{Duration, Instant};
+
+/// Frames moved per measurement (one channel op each way per frame).
+const FRAMES: u64 = 200_000;
+
+fn make_channel(ring: bool) -> (Sender<Vec<u64>>, Receiver<Vec<u64>>) {
+    if ring {
+        // The inner-chain flavour: lock-free ring with a spillway, the
+        // consumer's wait set bound at construction (None = private).
+        channel::spsc_unbounded(256, None)
+    } else {
+        channel::unbounded()
+    }
+}
+
+/// Runs one producer/consumer hop and returns frames per second.
+fn run_hop(ring: bool, batch: usize, pin: bool) -> f64 {
+    let (tx, rx) = make_channel(ring);
+    let start = Instant::now();
+    let producer = thread::spawn(move || {
+        if pin {
+            pin_thread(0);
+        }
+        for seq in 0..FRAMES {
+            let frame: Vec<u64> = (0..batch as u64).map(|i| seq * batch as u64 + i).collect();
+            tx.send(frame).expect("consumer outlives the producer");
+        }
+        if pin {
+            unpin_thread();
+        }
+    });
+    if pin {
+        pin_thread(1);
+    }
+    let mut frames = 0u64;
+    let mut tuples = 0u64;
+    loop {
+        match rx.recv_timeout(Duration::from_millis(5)) {
+            Ok(frame) => {
+                frames += 1;
+                tuples += frame.len() as u64;
+            }
+            Err(TryRecvError::Empty) => {}
+            Err(TryRecvError::Disconnected) => break,
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    producer.join().expect("producer thread panicked");
+    if pin {
+        unpin_thread();
+    }
+    assert_eq!(frames, FRAMES, "every frame must arrive exactly once");
+    assert_eq!(
+        tuples,
+        FRAMES * batch as u64,
+        "every tuple must arrive exactly once"
+    );
+    frames as f64 / elapsed
+}
+
+fn main() {
+    let pinning = pinning_available(2);
+    println!("{{\n  \"experiment\": \"channel_single_hop\",");
+    println!(
+        "  \"host\": {},",
+        llhj_bench::host_meta_json_pinned(pinning)
+    );
+    println!("  \"frames\": {FRAMES},");
+    println!("  \"rows\": [");
+
+    let mut baseline_batch1 = [0.0f64; 2]; // [mutex, ring], unpinned
+    let configs: Vec<(bool, usize, bool)> = [false, true]
+        .iter()
+        .flat_map(|&ring| {
+            [1usize, 16, 64]
+                .iter()
+                .flat_map(move |&batch| [(ring, batch, false), (ring, batch, true)])
+        })
+        .collect();
+    for (i, &(ring, batch, pin)) in configs.iter().enumerate() {
+        // Warm-up run (untimed) then the measured run.
+        run_hop(ring, batch, pin);
+        let fps = run_hop(ring, batch, pin);
+        if batch == 1 && !pin {
+            baseline_batch1[usize::from(ring)] = fps;
+        }
+        println!(
+            "    {{\"transport\": \"{}\", \"batch_size\": {batch}, \
+             \"pinned_requested\": {pin}, \"pinned_active\": {}, \
+             \"frames_per_sec\": {fps:.0}, \"tuples_per_sec\": {:.0}}}{}",
+            if ring { "ring" } else { "mutex" },
+            pin && pinning,
+            fps * batch as f64,
+            if i + 1 < configs.len() { "," } else { "" },
+        );
+    }
+    println!("  ],");
+
+    // The tentpole's floor: the lock-free ring must beat the locked
+    // channel by 1.5x on a single hop at batch 1 (the granularity where
+    // per-frame transport cost is most exposed).  Enforced only where the
+    // producer and consumer actually run concurrently.
+    let speedup = baseline_batch1[1] / baseline_batch1[0];
+    let (floor, enforce) = llhj_bench::parallel_floor_json("ring_vs_mutex_speedup", speedup, 1.5);
+    println!("  \"floor\": {floor}\n}}");
+    if enforce {
+        assert!(
+            speedup >= 1.5,
+            "ring transport must be >= 1.5x the mutex channel on a single \
+             hop at batch 1; measured {speedup:.2}x"
+        );
+    }
+}

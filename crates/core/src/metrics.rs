@@ -180,6 +180,21 @@ pub struct AutoscalePolicy {
     /// arrival rate it also catches *skew* — one saturated node in an
     /// otherwise idle chain.
     pub busy_high: f64,
+    /// Entry-backlog *growth* (frames gained per sample, EWMA-smoothed)
+    /// at or above which a sample counts as overload and vetoes a
+    /// shrink.  This is the predictive congestion signal: the backlog
+    /// *level* only crosses [`entry_backlog_high`](Self::entry_backlog_high)
+    /// once the queues have already filled, while its derivative turns
+    /// positive the instant arrivals outrun service — typically one full
+    /// sample earlier on a ramp.  `f64::INFINITY` (the default) disables
+    /// the signal; the derivative state still updates every sample so
+    /// enabling it mid-run needs no warm-up beyond one sample.
+    pub backlog_growth_high: f64,
+    /// Smoothing factor of the backlog-derivative EWMA, in `(0, 1]`.
+    /// `1.0` is the raw per-sample delta (fastest, noisiest); smaller
+    /// values trade a fraction of the one-sample lead for immunity to a
+    /// single bursty sample.
+    pub backlog_growth_alpha: f64,
 }
 
 /// Conservative defaults: rate watermarks for a small chain, the
@@ -197,6 +212,8 @@ impl Default for AutoscalePolicy {
             step: 1,
             entry_backlog_high: usize::MAX,
             busy_high: f64::INFINITY,
+            backlog_growth_high: f64::INFINITY,
+            backlog_growth_alpha: 0.5,
         }
     }
 }
@@ -226,6 +243,14 @@ impl AutoscalePolicy {
         if self.busy_high <= 0.0 || self.busy_high.is_nan() {
             return Err("busy_high must be positive".into());
         }
+        if self.backlog_growth_high <= 0.0 || self.backlog_growth_high.is_nan() {
+            return Err(
+                "backlog_growth_high must be positive (zero growth is steady state)".into(),
+            );
+        }
+        if !(self.backlog_growth_alpha > 0.0 && self.backlog_growth_alpha <= 1.0) {
+            return Err("backlog_growth_alpha must be in (0, 1]".into());
+        }
         Ok(())
     }
 
@@ -245,8 +270,21 @@ impl AutoscalePolicy {
         // watermark is treated as overload — and vetoes a shrink — even
         // while rate and latency still read in-band.
         let backlog = sample.entry_occupancy.0 + sample.entry_occupancy.1;
+        // Predictive signal: the EWMA-smoothed backlog *derivative*.  The
+        // state updates unconditionally (it is pure controller memory, so
+        // determinism across substrates is untouched); only the comparison
+        // against the watermark is gated by the policy.  The first sample
+        // has no predecessor and contributes a delta of zero.
+        let delta = match state.prev_backlog {
+            Some(prev) => backlog as f64 - prev as f64,
+            None => 0.0,
+        };
+        state.prev_backlog = Some(backlog);
+        state.growth_ewma = self.backlog_growth_alpha * delta
+            + (1.0 - self.backlog_growth_alpha) * state.growth_ewma;
         let congested = backlog >= self.entry_backlog_high
-            || sample.busy_fraction.iter().fold(0.0_f64, |a, &b| a.max(b)) > self.busy_high;
+            || sample.busy_fraction.iter().fold(0.0_f64, |a, &b| a.max(b)) > self.busy_high
+            || state.growth_ewma >= self.backlog_growth_high;
         let overloaded = per_node_rate > self.high_watermark || latency_high || congested;
         let underloaded = per_node_rate < self.low_watermark && !latency_high && !congested;
 
@@ -291,6 +329,11 @@ impl AutoscalePolicy {
 pub struct PolicyState {
     /// Stream time of the most recent resize decision (for the cooldown).
     pub last_resize_at: Option<Timestamp>,
+    /// Total entry backlog of the previous sample (derivative input).
+    pub prev_backlog: Option<usize>,
+    /// EWMA of the per-sample backlog delta (frames per sample; may be
+    /// negative while the queues drain).
+    pub growth_ewma: f64,
 }
 
 /// One resize the controller decided, for the decision log.
@@ -504,6 +547,93 @@ mod tests {
         assert_eq!(fire_at(&rate_only), 200);
     }
 
+    /// The predictive satellite property: on a steady ramp the backlog
+    /// *derivative* crosses its watermark one full sample before the
+    /// backlog *level* does — the derivative is large the moment arrivals
+    /// outrun service, while the level still needs another sample's worth
+    /// of queueing to reach its own watermark.
+    #[test]
+    fn backlog_growth_fires_one_sample_earlier_than_the_occupancy_watermark() {
+        let level_aware = AutoscalePolicy {
+            entry_backlog_high: 30,
+            ..policy()
+        };
+        let growth_aware = AutoscalePolicy {
+            backlog_growth_high: 5.0,
+            backlog_growth_alpha: 1.0,
+            ..policy()
+        };
+        // A ramp: rate stays mid-band throughout (300/s over 2 nodes =
+        // 150/node), latency stays low — only the queues tell the story.
+        // Backlogs 2 → 4 → 12 → 40; deltas 0, 2, 8, 28.
+        let trace = [
+            (100u64, (1, 1)),   // backlog 2
+            (200u64, (2, 2)),   // backlog 4,  delta 2
+            (300u64, (7, 5)),   // backlog 12, delta 8  — derivative fires
+            (400u64, (22, 18)), // backlog 40, delta 28 — level fires
+        ];
+        let fire_at = |policy: &AutoscalePolicy| -> u64 {
+            let mut state = PolicyState::default();
+            for &(at, occ) in &trace {
+                let mut s = sample(at, 2, 300.0, 1);
+                s.entry_occupancy = occ;
+                if policy.decide(&mut state, &s).target().is_some() {
+                    return at;
+                }
+            }
+            panic!("the ramp must eventually trigger a grow");
+        };
+        assert_eq!(fire_at(&growth_aware), 300);
+        assert_eq!(fire_at(&level_aware), 400);
+        // Disabled by default: the same ramp never fires under Default
+        // thresholds (rate and latency are in-band the whole way).
+        let default_thresholds = AutoscalePolicy {
+            high_watermark: policy().high_watermark,
+            low_watermark: policy().low_watermark,
+            min_nodes: 2,
+            ..AutoscalePolicy::default()
+        };
+        let mut state = PolicyState::default();
+        for &(at, occ) in &trace {
+            let mut s = sample(at, 2, 300.0, 1);
+            s.entry_occupancy = occ;
+            assert_eq!(
+                default_thresholds.decide(&mut state, &s),
+                AutoscaleDecision::Hold
+            );
+        }
+    }
+
+    /// A positive derivative also vetoes a shrink: queues that are
+    /// *growing* mean the chain is already too narrow, however idle the
+    /// rate signal still looks.
+    #[test]
+    fn backlog_growth_vetoes_shrink() {
+        let growth_aware = AutoscalePolicy {
+            backlog_growth_high: 5.0,
+            backlog_growth_alpha: 1.0,
+            ..policy()
+        };
+        let mut state = PolicyState::default();
+        // Warm-up sample in the hysteresis band (150/node) seeds the
+        // derivative state without deciding anything.
+        let mut s = sample(100, 4, 600.0, 0);
+        s.entry_occupancy = (0, 0);
+        assert_eq!(growth_aware.decide(&mut state, &s), AutoscaleDecision::Hold);
+        let mut s = sample(200, 4, 100.0, 0); // 25/node: shrink territory
+        s.entry_occupancy = (6, 6); // delta 12 ≥ 5: growing
+        assert_eq!(
+            growth_aware.decide(&mut state, &s),
+            AutoscaleDecision::Grow(6)
+        );
+        // The rate-only policy shrinks on the identical trace.
+        let mut state = PolicyState::default();
+        assert_eq!(
+            policy().decide(&mut state, &s),
+            AutoscaleDecision::Shrink(2)
+        );
+    }
+
     #[test]
     fn busy_fraction_skew_grows_and_vetoes_shrink() {
         let busy_aware = AutoscalePolicy {
@@ -555,6 +685,18 @@ mod tests {
         assert!(p.validate().is_err());
         let mut p = policy();
         p.busy_high = -1.0;
+        assert!(p.validate().is_err());
+        let mut p = policy();
+        p.backlog_growth_high = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = policy();
+        p.backlog_growth_high = f64::NAN;
+        assert!(p.validate().is_err());
+        let mut p = policy();
+        p.backlog_growth_alpha = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = policy();
+        p.backlog_growth_alpha = 1.5;
         assert!(p.validate().is_err());
         assert!(AutoscalePolicy::default().validate().is_ok());
     }

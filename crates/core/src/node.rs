@@ -60,7 +60,10 @@ pub trait PipelineNode<R, S>: Send {
     fn handle_right(&mut self, msg: RightToLeft<S>, out: &mut NodeOutput<R, S, ResultTuple<R, S>>);
 
     /// Handles a whole frame of left-to-right messages, appending every
-    /// emitted message and result to the same `out` buffer.
+    /// emitted message and result to the same `out` buffer.  The input is
+    /// **drained**, not consumed: the caller keeps the emptied `Vec` and
+    /// recycles its capacity (the runtime's per-worker frame arenas), so
+    /// implementations must leave `msgs` empty.
     ///
     /// The default implementation loops over [`PipelineNode::handle_left`],
     /// so existing node implementations keep working unchanged; node types
@@ -70,22 +73,22 @@ pub trait PipelineNode<R, S>: Send {
     /// per-tuple message sequence.
     fn handle_left_batch(
         &mut self,
-        msgs: Vec<LeftToRight<R>>,
+        msgs: &mut Vec<LeftToRight<R>>,
         out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
     ) {
-        for msg in msgs {
+        for msg in msgs.drain(..) {
             self.handle_left(msg, out);
         }
     }
 
     /// Handles a whole frame of right-to-left messages; see
-    /// [`PipelineNode::handle_left_batch`].
+    /// [`PipelineNode::handle_left_batch`] (same drain contract).
     fn handle_right_batch(
         &mut self,
-        msgs: Vec<RightToLeft<S>>,
+        msgs: &mut Vec<RightToLeft<S>>,
         out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
     ) {
-        for msg in msgs {
+        for msg in msgs.drain(..) {
             self.handle_right(msg, out);
         }
     }
@@ -238,7 +241,7 @@ where
 
     fn handle_left_batch(
         &mut self,
-        msgs: Vec<LeftToRight<R>>,
+        msgs: &mut Vec<LeftToRight<R>>,
         out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
     ) {
         crate::node_llhj::LlhjNode::handle_left_batch(self, msgs, out);
@@ -246,7 +249,7 @@ where
 
     fn handle_right_batch(
         &mut self,
-        msgs: Vec<RightToLeft<S>>,
+        msgs: &mut Vec<RightToLeft<S>>,
         out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
     ) {
         crate::node_llhj::LlhjNode::handle_right_batch(self, msgs, out);
@@ -323,7 +326,7 @@ where
 
     fn handle_left_batch(
         &mut self,
-        msgs: Vec<LeftToRight<R>>,
+        msgs: &mut Vec<LeftToRight<R>>,
         out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
     ) {
         crate::node_hsj::HsjNode::handle_left_batch(self, msgs, out);
@@ -331,7 +334,7 @@ where
 
     fn handle_right_batch(
         &mut self,
-        msgs: Vec<RightToLeft<S>>,
+        msgs: &mut Vec<RightToLeft<S>>,
         out: &mut NodeOutput<R, S, ResultTuple<R, S>>,
     ) {
         crate::node_hsj::HsjNode::handle_right_batch(self, msgs, out);
@@ -549,8 +552,11 @@ mod tests {
                 Box::new(LlhjNode::new(1, 3, pred.clone()));
             let mut out = NodeOutput::new();
             if batched {
-                node.handle_left_batch(r_msgs.clone(), &mut out);
-                node.handle_right_batch(s_msgs.clone(), &mut out);
+                let mut r = r_msgs.clone();
+                let mut s = s_msgs.clone();
+                node.handle_left_batch(&mut r, &mut out);
+                node.handle_right_batch(&mut s, &mut out);
+                assert!(r.is_empty() && s.is_empty(), "batch handlers must drain");
             } else {
                 for m in r_msgs.clone() {
                     node.handle_left(m, &mut out);

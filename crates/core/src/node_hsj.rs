@@ -277,22 +277,26 @@ where
     /// [`Self::handle_left`]; the original handshake join forwards tuples
     /// via its flow policy rather than per arrival, so the only per-frame
     /// saving is growing the forwarding buffer once.
-    pub fn handle_left_batch(&mut self, msgs: Vec<LeftToRight<R>>, out: &mut HsjOutput<R, S>) {
+    pub fn handle_left_batch(&mut self, msgs: &mut Vec<LeftToRight<R>>, out: &mut HsjOutput<R, S>) {
         if !self.is_rightmost() {
             out.to_right.reserve(msgs.len());
         }
-        for msg in msgs {
+        for msg in msgs.drain(..) {
             self.handle_left(msg, out);
         }
     }
 
     /// Batch fast path for right-to-left frames; see
     /// [`Self::handle_left_batch`].
-    pub fn handle_right_batch(&mut self, msgs: Vec<RightToLeft<S>>, out: &mut HsjOutput<R, S>) {
+    pub fn handle_right_batch(
+        &mut self,
+        msgs: &mut Vec<RightToLeft<S>>,
+        out: &mut HsjOutput<R, S>,
+    ) {
         if !self.is_leftmost() {
             out.to_left.reserve(msgs.len());
         }
-        for msg in msgs {
+        for msg in msgs.drain(..) {
             self.handle_right(msg, out);
         }
     }

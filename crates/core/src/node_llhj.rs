@@ -194,11 +194,15 @@ where
     /// front, so the forwarding buffer is grown once per frame instead of
     /// amortised-per-push: in the common case every arrival in the frame is
     /// expedited onward, i.e. one output slot per input message.
-    pub fn handle_left_batch(&mut self, msgs: Vec<LeftToRight<R>>, out: &mut LlhjOutput<R, S>) {
+    pub fn handle_left_batch(
+        &mut self,
+        msgs: &mut Vec<LeftToRight<R>>,
+        out: &mut LlhjOutput<R, S>,
+    ) {
         if !self.is_rightmost() {
             out.to_right.reserve(msgs.len());
         }
-        for msg in msgs {
+        for msg in msgs.drain(..) {
             self.handle_left(msg, out);
         }
     }
@@ -207,14 +211,18 @@ where
     /// [`Self::handle_left_batch`].  Reserves both output directions: each
     /// S arrival forwards one copy to the left *and* acknowledges to the
     /// right.
-    pub fn handle_right_batch(&mut self, msgs: Vec<RightToLeft<S>>, out: &mut LlhjOutput<R, S>) {
+    pub fn handle_right_batch(
+        &mut self,
+        msgs: &mut Vec<RightToLeft<S>>,
+        out: &mut LlhjOutput<R, S>,
+    ) {
         if !self.is_leftmost() {
             out.to_left.reserve(msgs.len());
         }
         if !self.is_rightmost() {
             out.to_right.reserve(msgs.len());
         }
-        for msg in msgs {
+        for msg in msgs.drain(..) {
             self.handle_right(msg, out);
         }
     }

@@ -14,6 +14,13 @@
 //!    whitelisted files whose orderings have been audited and documented
 //!    (`runtime/src/metrics.rs`, `runtime/src/exec.rs`, and the facade
 //!    itself).
+//! 4. **`ordering-audit`** — in the lock-free transport
+//!    (`runtime/src/ring.rs`), every atomic access that names a memory
+//!    `Ordering` must carry an `// ordering:` audit comment on the same
+//!    line or within the eight lines above, pairing the access with its
+//!    counterpart.  The model checker explores interleavings but ignores
+//!    ordering arguments (§9 of ARCHITECTURE.md); the written audit is
+//!    the weak-memory half of the argument.
 //!
 //! A line may waive a rule with a trailing `// lint:allow(<rule>)`
 //! comment; waivers are reported in the summary so they stay visible.
@@ -32,6 +39,10 @@ const RELAXED_WHITELIST: &[&str] = &[
     "crates/runtime/src/metrics.rs",
     "crates/runtime/src/exec.rs",
 ];
+
+/// Files whose every `Ordering`-bearing atomic access must carry an
+/// `// ordering:` audit comment (the lock-free hot paths).
+const ORDERING_AUDIT_FILES: &[&str] = &["crates/runtime/src/ring.rs"];
 
 /// Path prefixes exempt from the facade rule: the facade itself (it
 /// wraps std) and the lint (no concurrency).
@@ -203,6 +214,7 @@ fn lint_file(rel: &str, text: &str, violations: &mut Vec<Violation>, waivers: &m
     let lines: Vec<&str> = text.lines().collect();
     let facade_exempt = FACADE_EXEMPT_PREFIXES.iter().any(|p| rel.starts_with(p));
     let relaxed_ok = facade_exempt || RELAXED_WHITELIST.contains(&rel);
+    let ordering_audited = ORDERING_AUDIT_FILES.contains(&rel);
 
     for (idx, raw) in lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -248,6 +260,27 @@ fn lint_file(rel: &str, text: &str, violations: &mut Vec<Violation>, waivers: &m
                               (see crates/lint/src/main.rs RELAXED_WHITELIST)"
                         .to_string(),
                 });
+            }
+        }
+
+        if ordering_audited && code.contains("Ordering::") {
+            let documented = raw.contains("ordering:")
+                || lines[idx.saturating_sub(8)..idx]
+                    .iter()
+                    .any(|l| l.contains("ordering:"));
+            if !documented {
+                if has_waiver(raw, "ordering-audit") {
+                    *waivers += 1;
+                } else {
+                    violations.push(Violation {
+                        file: rel.to_string(),
+                        line: lineno,
+                        rule: "ordering-audit",
+                        message: "atomic access without an `// ordering:` audit comment on \
+                                  the same line or within the eight lines above"
+                            .to_string(),
+                    });
+                }
             }
         }
 
@@ -354,6 +387,25 @@ mod tests {
         lint_file("crates/core/src/x.rs", bad, &mut v, &mut w);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "safety-comment");
+    }
+
+    #[test]
+    fn ordering_audit_requires_the_comment_in_ring() {
+        let mut v = Vec::new();
+        let mut w = 0;
+        let ok = "// ordering: Acquire pairs with the producer's Release.\n\
+                  let seq = slot.seq.load(Ordering::Acquire);\n";
+        lint_file("crates/runtime/src/ring.rs", ok, &mut v, &mut w);
+        assert!(v.is_empty());
+        let bad = "let seq = slot.seq.load(Ordering::Acquire);\n";
+        lint_file("crates/runtime/src/ring.rs", bad, &mut v, &mut w);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "ordering-audit");
+        // Other files are not held to the rule (the relaxed whitelist
+        // still governs them).
+        v.clear();
+        lint_file("crates/runtime/src/channel.rs", bad, &mut v, &mut w);
+        assert!(v.is_empty());
     }
 
     #[test]

@@ -9,9 +9,21 @@
 //! amortised over the whole run of messages, which is exactly the
 //! granularity trade-off the paper's Section 2 analyses.
 //!
-//! The implementation is a `Mutex<VecDeque>` plus two condition variables
-//! (consumer wake-up and, for bounded channels, producer backpressure).
-//! Senders are cloneable (multiple producers), receivers are unique.
+//! Two transports live behind the one `Sender`/`Receiver` API:
+//!
+//! * **Mutex** ([`bounded`] / [`unbounded`]): a `Mutex<VecDeque>` plus two
+//!   condition variables (consumer wake-up and, for bounded channels,
+//!   producer backpressure).  Senders are cloneable (multiple producers),
+//!   receivers are unique.  This remains the transport for the genuinely
+//!   multi-producer edges — the elastic result channel and the command
+//!   mailboxes — and the reference implementation the ring is tested
+//!   against.
+//! * **Ring** ([`spsc_bounded`] / [`spsc_unbounded`]): the lock-free ring
+//!   buffer in [`crate::ring`], used for the chain's data edges, which
+//!   are single-producer/single-consumer by construction.  The consumer's
+//!   [`WaitSet`] is bound at construction (the ring's notify path must
+//!   not take a lock to look the waiter up), so `set_waiter` on a ring
+//!   receiver only *re-asserts* the binding.
 //!
 //! A worker consumes *two* channels (its left and right input), so blocking
 //! on a single channel's condition variable is not enough: a frame on the
@@ -113,6 +125,12 @@ impl WaitSet {
         };
         self.inner.waiters.fetch_sub(1, SeqCst);
         moved
+    }
+
+    /// True if `other` is a handle to this same wait set (ring receivers
+    /// use it to re-assert their construction-time waiter binding).
+    pub fn same_as(&self, other: &WaitSet) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 }
 
@@ -216,14 +234,30 @@ struct Shared<T> {
     not_full: Condvar,
 }
 
+/// The transport behind a channel endpoint: the generic mutex queue or
+/// the lock-free SPSC ring.
+enum Flavor<T> {
+    Mutex(Arc<Shared<T>>),
+    Ring(Arc<crate::ring::Ring<T>>),
+}
+
+impl<T> Clone for Flavor<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Flavor::Mutex(shared) => Flavor::Mutex(Arc::clone(shared)),
+            Flavor::Ring(ring) => Flavor::Ring(Arc::clone(ring)),
+        }
+    }
+}
+
 /// The producing half of a frame channel.
 pub struct Sender<T> {
-    shared: Arc<Shared<T>>,
+    flavor: Flavor<T>,
 }
 
 /// The consuming half of a frame channel.
 pub struct Receiver<T> {
-    shared: Arc<Shared<T>>,
+    flavor: Flavor<T>,
 }
 
 /// Creates a bounded channel: `send` blocks while `capacity` frames are
@@ -240,6 +274,42 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     channel(None)
 }
 
+/// Creates a bounded lock-free SPSC ring channel (`capacity` rounded up
+/// to a power of two): the transport for the chain's *entry* edges, where
+/// a full ring must block the driver (backpressure).  `waiter` is the
+/// consumer's wait set, bound for the channel's lifetime.
+pub fn spsc_bounded<T>(capacity: usize, waiter: Option<&WaitSet>) -> (Sender<T>, Receiver<T>) {
+    ring_channel(capacity, true, waiter)
+}
+
+/// Creates an unbounded ring channel: a lock-free ring of `ring_capacity`
+/// slots backed by a mutex spillway that absorbs bursts, so `send` never
+/// blocks.  The transport for the links *between* workers (where mutual
+/// blocking of two neighbours could deadlock) and for the flow-back
+/// recycling edges.
+pub fn spsc_unbounded<T>(
+    ring_capacity: usize,
+    waiter: Option<&WaitSet>,
+) -> (Sender<T>, Receiver<T>) {
+    ring_channel(ring_capacity, false, waiter)
+}
+
+fn ring_channel<T>(
+    capacity: usize,
+    bounded: bool,
+    waiter: Option<&WaitSet>,
+) -> (Sender<T>, Receiver<T>) {
+    let ring = Arc::new(crate::ring::Ring::new(capacity, bounded, waiter));
+    (
+        Sender {
+            flavor: Flavor::Ring(Arc::clone(&ring)),
+        },
+        Receiver {
+            flavor: Flavor::Ring(ring),
+        },
+    )
+}
+
 fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
         state: Mutex::new(State {
@@ -254,9 +324,11 @@ fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
     });
     (
         Sender {
-            shared: Arc::clone(&shared),
+            flavor: Flavor::Mutex(Arc::clone(&shared)),
         },
-        Receiver { shared },
+        Receiver {
+            flavor: Flavor::Mutex(shared),
+        },
     )
 }
 
@@ -264,14 +336,18 @@ impl<T> Sender<T> {
     /// Enqueues one frame, blocking while a bounded channel is full.
     /// Returns the frame if the receiver has been dropped.
     pub fn send(&self, frame: T) -> Result<(), SendError<T>> {
-        let mut state = self.shared.state.lock().expect("channel poisoned");
+        let shared = match &self.flavor {
+            Flavor::Ring(ring) => return ring.send(frame),
+            Flavor::Mutex(shared) => shared,
+        };
+        let mut state = shared.state.lock().expect("channel poisoned");
         loop {
             if !state.receiver_alive {
                 return Err(SendError(frame));
             }
             match state.capacity {
                 Some(cap) if state.queue.len() >= cap => {
-                    state = self.shared.not_full.wait(state).expect("channel poisoned");
+                    state = shared.not_full.wait(state).expect("channel poisoned");
                 }
                 _ => break,
             }
@@ -285,8 +361,36 @@ impl<T> Sender<T> {
             waiter.notify();
         }
         drop(state);
-        self.shared.not_empty.notify_one();
+        shared.not_empty.notify_one();
         Ok(())
+    }
+
+    /// Best-effort non-blocking send: enqueues only if it can do so
+    /// without blocking or spilling, returning the frame otherwise.  The
+    /// arena flow-back edges use it — dropping a recycled buffer beats
+    /// waiting for room to return it.
+    pub fn try_send(&self, frame: T) -> Result<(), T> {
+        match &self.flavor {
+            Flavor::Ring(ring) => ring.try_send(frame),
+            Flavor::Mutex(shared) => {
+                let mut state = shared.state.lock().expect("channel poisoned");
+                if !state.receiver_alive {
+                    return Err(frame);
+                }
+                if let Some(cap) = state.capacity {
+                    if state.queue.len() >= cap {
+                        return Err(frame);
+                    }
+                }
+                state.queue.push_back(frame);
+                if let Some(waiter) = &state.waiter {
+                    waiter.notify();
+                }
+                drop(state);
+                shared.not_empty.notify_one();
+                Ok(())
+            }
+        }
     }
 }
 
@@ -297,12 +401,10 @@ impl<T> Sender<T> {
     /// keeps: the metrics sampler probes the driver-side entry channels
     /// for occupancy without disturbing the consuming worker.
     pub fn len(&self) -> usize {
-        self.shared
-            .state
-            .lock()
-            .expect("channel poisoned")
-            .queue
-            .len()
+        match &self.flavor {
+            Flavor::Ring(ring) => ring.len(),
+            Flavor::Mutex(shared) => shared.state.lock().expect("channel poisoned").queue.len(),
+        }
     }
 
     /// True if no frame is currently queued.
@@ -313,16 +415,25 @@ impl<T> Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.shared.state.lock().expect("channel poisoned").senders += 1;
+        match &self.flavor {
+            Flavor::Ring(ring) => ring.add_sender(),
+            Flavor::Mutex(shared) => {
+                shared.state.lock().expect("channel poisoned").senders += 1;
+            }
+        }
         Sender {
-            shared: Arc::clone(&self.shared),
+            flavor: self.flavor.clone(),
         }
     }
 }
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut state = self.shared.state.lock().expect("channel poisoned");
+        let shared = match &self.flavor {
+            Flavor::Ring(ring) => return ring.drop_sender(),
+            Flavor::Mutex(shared) => shared,
+        };
+        let mut state = shared.state.lock().expect("channel poisoned");
         state.senders -= 1;
         let last = state.senders == 0;
         if last {
@@ -332,7 +443,7 @@ impl<T> Drop for Sender<T> {
                 waiter.notify();
             }
             drop(state);
-            self.shared.not_empty.notify_all();
+            shared.not_empty.notify_all();
         }
     }
 }
@@ -342,17 +453,37 @@ impl<T> Receiver<T> {
     /// (and the final sender's disconnect) notifies it.  A consumer that
     /// reads several channels registers the same wait set with each, then
     /// blocks on the set instead of on any single channel.
+    ///
+    /// Ring channels bind their waiter at construction (the lock-free
+    /// notify path cannot look a late-bound waiter up); calling this on
+    /// one asserts the argument *is* that bound wait set, catching a
+    /// miswired topology at the registration site instead of as a hang.
     pub fn set_waiter(&self, waiter: &WaitSet) {
-        self.shared.state.lock().expect("channel poisoned").waiter = Some(waiter.clone());
+        match &self.flavor {
+            Flavor::Ring(ring) => {
+                assert!(
+                    ring.wake().same_as(waiter),
+                    "ring channels bind their WaitSet at construction; \
+                     pass the consumer's wait set to spsc_bounded/spsc_unbounded"
+                );
+            }
+            Flavor::Mutex(shared) => {
+                shared.state.lock().expect("channel poisoned").waiter = Some(waiter.clone());
+            }
+        }
     }
 
     /// Dequeues the next frame without blocking.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        let mut state = self.shared.state.lock().expect("channel poisoned");
+        let shared = match &self.flavor {
+            Flavor::Ring(ring) => return ring.try_recv(),
+            Flavor::Mutex(shared) => shared,
+        };
+        let mut state = shared.state.lock().expect("channel poisoned");
         match state.queue.pop_front() {
             Some(frame) => {
                 drop(state);
-                self.shared.not_full.notify_one();
+                shared.not_full.notify_one();
                 Ok(frame)
             }
             None if state.senders == 0 => Err(TryRecvError::Disconnected),
@@ -362,12 +493,16 @@ impl<T> Receiver<T> {
 
     /// Dequeues the next frame, waiting up to `timeout` for one to arrive.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, TryRecvError> {
+        let shared = match &self.flavor {
+            Flavor::Ring(ring) => return ring.recv_timeout(timeout),
+            Flavor::Mutex(shared) => shared,
+        };
         let deadline = Instant::now() + timeout;
-        let mut state = self.shared.state.lock().expect("channel poisoned");
+        let mut state = shared.state.lock().expect("channel poisoned");
         loop {
             if let Some(frame) = state.queue.pop_front() {
                 drop(state);
-                self.shared.not_full.notify_one();
+                shared.not_full.notify_one();
                 return Ok(frame);
             }
             if state.senders == 0 {
@@ -377,8 +512,7 @@ impl<T> Receiver<T> {
             if now >= deadline {
                 return Err(TryRecvError::Empty);
             }
-            let (guard, _timeout_result) = self
-                .shared
+            let (guard, _timeout_result) = shared
                 .not_empty
                 .wait_timeout(state, deadline - now)
                 .expect("channel poisoned");
@@ -388,33 +522,30 @@ impl<T> Receiver<T> {
 
     /// True if no frame is currently queued.
     pub fn is_empty(&self) -> bool {
-        self.shared
-            .state
-            .lock()
-            .expect("channel poisoned")
-            .queue
-            .is_empty()
+        self.len() == 0
     }
 
     /// Number of queued frames.
     pub fn len(&self) -> usize {
-        self.shared
-            .state
-            .lock()
-            .expect("channel poisoned")
-            .queue
-            .len()
+        match &self.flavor {
+            Flavor::Ring(ring) => ring.len(),
+            Flavor::Mutex(shared) => shared.state.lock().expect("channel poisoned").queue.len(),
+        }
     }
 }
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut state = self.shared.state.lock().expect("channel poisoned");
+        let shared = match &self.flavor {
+            Flavor::Ring(ring) => return ring.drop_receiver(),
+            Flavor::Mutex(shared) => shared,
+        };
+        let mut state = shared.state.lock().expect("channel poisoned");
         state.receiver_alive = false;
         state.queue.clear();
         drop(state);
         // Unblock producers stuck on a full bounded channel.
-        self.shared.not_full.notify_all();
+        shared.not_full.notify_all();
     }
 }
 

@@ -63,13 +63,13 @@
 //! [`crate::autoscale`] controller automates the chain-length half.
 
 use crate::autoscale::{AutoscaleOptions, Controller};
-use crate::channel::{bounded, unbounded, Receiver, Sender, WaitSet};
+use crate::channel::{bounded, spsc_bounded, spsc_unbounded, unbounded, Receiver, Sender, WaitSet};
 use crate::exec::{
-    spawn_collector, CensusReport, CollectorConfig, EntryState, InFlight, ScaleConfirm,
-    StreamClock, Worker, WorkerCommand, WorkerHandle, WorkerShared,
+    spawn_collector, CensusReport, CollectorConfig, CoreMap, EntryState, InFlight, ScaleConfirm,
+    StreamClock, Worker, WorkerCommand, WorkerHandle, WorkerShared, WorkerWiring,
 };
 use crate::metrics::MetricsBus;
-use crate::options::{Pacing, PipelineOptions};
+use crate::options::{Pacing, PipelineOptions, Transport};
 use llhj_core::checkpoint::{
     load_latest_checkpoint, ChainCheckpoint, ChainCheckpointer, CheckpointError, CheckpointPayload,
     CheckpointStore, ReplayLog,
@@ -101,6 +101,28 @@ type Frame<R, S> = MessageBatch<R, S>;
 /// A freshly created link: the sender half plus the (not yet handed out)
 /// receiver half.
 type NewLink<R, S> = (Sender<Frame<R, S>>, Option<Receiver<Frame<R, S>>>);
+
+/// Both halves of a frame link, as returned by the channel constructors.
+type Link<R, S> = (Sender<Frame<R, S>>, Receiver<Frame<R, S>>);
+
+/// A bounded driver entry link for the consumer parking on `waiter`,
+/// honouring the configured transport.  Ring channels bind the wait set at
+/// construction, which is why every call site threads the *consuming*
+/// worker's wait set through here.
+fn entry_link<R, S>(options: &PipelineOptions, waiter: &WaitSet) -> Link<R, S> {
+    match options.transport {
+        Transport::Ring => spsc_bounded(options.channel_capacity, Some(waiter)),
+        Transport::Mutex => bounded(options.channel_capacity),
+    }
+}
+
+/// An unbounded inner link (worker → worker), same waiter contract.
+fn inner_link<R, S>(options: &PipelineOptions, waiter: &WaitSet) -> Link<R, S> {
+    match options.transport {
+        Transport::Ring => spsc_unbounded(options.ring_capacity, Some(waiter)),
+        Transport::Mutex => unbounded(),
+    }
+}
 
 /// Builds one pipeline node for position `id` of `nodes`.  The elastic
 /// pipeline re-invokes the factory whenever growth adds nodes.
@@ -336,6 +358,13 @@ where
     seen_r: usize,
     seen_s: usize,
     cancelled: bool,
+    /// Core placement for worker/collector threads; `None` when pinning is
+    /// off or unavailable.  The elastic driver itself stays unpinned: it
+    /// is the caller's thread, and resizes change its working set anyway.
+    core_map: Option<CoreMap>,
+    /// Next pin slot to hand a newly spawned worker (grown workers keep
+    /// taking fresh slots; the map wraps modulo the core count).
+    next_pin_slot: usize,
 }
 
 impl<R, S, P, H> ElasticPipeline<R, S, P, H>
@@ -370,30 +399,37 @@ where
 
         // Channel chain, exactly as in the fixed runtime: bounded entry
         // channels (driver backpressure), unbounded inner links (two
-        // neighbours may send to each other simultaneously).
+        // neighbours may send to each other simultaneously).  The wait
+        // sets are created first — ring channels bind their consumer's
+        // wait set at construction.
         let n = initial_nodes;
+        let waitsets: Vec<WaitSet> = (0..n).map(|_| WaitSet::new()).collect();
         let mut ltr_tx: Vec<Option<Sender<Frame<R, S>>>> = Vec::with_capacity(n);
         let mut ltr_rx: Vec<Option<Receiver<Frame<R, S>>>> = Vec::with_capacity(n);
         let mut rtl_tx: Vec<Option<Sender<Frame<R, S>>>> = Vec::with_capacity(n);
         let mut rtl_rx: Vec<Option<Receiver<Frame<R, S>>>> = Vec::with_capacity(n);
-        for k in 0..n {
+        for (k, waitset) in waitsets.iter().enumerate() {
             let (tx, rx) = if k == 0 {
-                bounded(options.channel_capacity)
+                entry_link(&options, waitset)
             } else {
-                unbounded()
+                inner_link(&options, waitset)
             };
             ltr_tx.push(Some(tx));
             ltr_rx.push(Some(rx));
             let (tx, rx) = if k == n - 1 {
-                bounded(options.channel_capacity)
+                entry_link(&options, waitset)
             } else {
-                unbounded()
+                inner_link(&options, waitset)
             };
             rtl_tx.push(Some(tx));
             rtl_rx.push(Some(rx));
         }
         let left_tx = ltr_tx[0].take().expect("entry channel");
         let right_tx = rtl_tx[n - 1].take().expect("entry channel");
+
+        // Workers plus collector; the driver (caller's thread) stays
+        // unpinned on the elastic path.
+        let core_map = CoreMap::new(options.pin_cores, n + 1, options.pin_core_offset);
 
         let constraint = factory(0, 1).migration_constraint();
         let mut pipeline = ElasticPipeline {
@@ -420,9 +456,12 @@ where
             seen_r: 0,
             seen_s: 0,
             cancelled: false,
+            core_map,
+            next_pin_slot: 0,
             options,
         };
 
+        let mut waitsets_iter = waitsets.into_iter();
         for k in 0..n {
             let left_rx = ltr_rx[k].take().expect("left input");
             let right_rx = rtl_rx[k].take().expect("right input");
@@ -432,7 +471,8 @@ where
                 None
             };
             let to_left = if k > 0 { rtl_tx[k - 1].take() } else { None };
-            let handle = pipeline.spawn_worker(k, n, left_rx, right_rx, to_left, to_right);
+            let waitset = waitsets_iter.next().expect("one wait set per worker");
+            let handle = pipeline.spawn_worker(k, n, left_rx, right_rx, to_left, to_right, waitset);
             pipeline.workers.push(handle);
         }
         let collector = spawn_collector(
@@ -445,6 +485,7 @@ where
                 punctuate: pipeline.options.punctuate,
                 interval: pipeline.options.collect_interval,
                 latency_bucket: pipeline.options.latency_bucket,
+                pin_core: pipeline.take_pin_slot(),
             },
         );
         pipeline.collector = Some(collector);
@@ -490,14 +531,31 @@ where
             .set_occupancy_probe(move || (left.len(), right.len()));
     }
 
+    /// The next core slot for a newly spawned thread, `None` when pinning
+    /// is off.  Slots are never reused (a retired worker's core simply
+    /// goes idle); the map wraps modulo the core count, so a long
+    /// grow/shrink history degrades to core sharing, not failure.
+    fn take_pin_slot(&mut self) -> Option<usize> {
+        let map = self.core_map.as_ref()?;
+        let core = map.core(self.next_pin_slot);
+        self.next_pin_slot += 1;
+        Some(core)
+    }
+
+    /// Spawns one worker on `waitset`.  The wait set must be the one every
+    /// ring channel handed to this worker was constructed with — the
+    /// channels bind it at construction, and `Worker::spawn`'s
+    /// `set_waiter` calls assert the binding.
+    #[allow(clippy::too_many_arguments)]
     fn spawn_worker(
-        &self,
+        &mut self,
         id: usize,
         nodes: usize,
         left_rx: Receiver<Frame<R, S>>,
         right_rx: Receiver<Frame<R, S>>,
         to_left: Option<Sender<Frame<R, S>>>,
         to_right: Option<Sender<Frame<R, S>>>,
+        waitset: WaitSet,
     ) -> WorkerHandle<R, S> {
         let node = (self.factory)(id, nodes);
         assert!(
@@ -517,8 +575,13 @@ where
                 .clone(),
             busy_ns: Some(self.metrics.register_node(id)),
         };
+        // Elastic workers recycle frame buffers through their local pools
+        // only: the chain ends move on every resize, so a driver flow-back
+        // edge would need re-wiring inside the fence for no measured gain.
+        let mut wiring = WorkerWiring::new(waitset);
+        wiring.pin_core = self.take_pin_slot();
         Worker::spawn(
-            id, nodes, node, left_rx, right_rx, to_left, to_right, shared, true,
+            id, nodes, node, left_rx, right_rx, to_left, to_right, shared, true, wiring,
         )
     }
 
@@ -778,7 +841,7 @@ where
         // becomes the new rightmost: its right input switches to a fresh
         // driver entry channel and its right output disappears.
         let boundary = &self.workers[target - 1];
-        let (new_right_tx, new_right_rx) = bounded(self.options.channel_capacity);
+        let (new_right_tx, new_right_rx) = entry_link(&self.options, &boundary.waitset);
         new_right_rx.set_waiter(&boundary.waitset);
         let _ = boundary.commands().send(WorkerCommand::Absorb {
             from: llhj_core::message::Direction::Right,
@@ -838,13 +901,23 @@ where
 
         // Fresh links for the right extension: link i connects new node
         // `left_delta + current + i` to its left neighbour; the new
-        // rightmost gets a fresh bounded entry channel.
+        // rightmost gets a fresh bounded entry channel.  Each new worker's
+        // wait set exists before its channels (ring binding).
+        let right_ws: Vec<WaitSet> = (0..right_delta).map(|_| WaitSet::new()).collect();
         let mut ltr: Vec<NewLink<R, S>> = Vec::new();
         let mut rtl: Vec<NewLink<R, S>> = Vec::new();
-        for _ in 0..right_delta {
-            let (tx, rx) = unbounded();
+        for i in 0..right_delta {
+            // ltr[i] feeds new worker i's left input.
+            let (tx, rx) = inner_link(&self.options, &right_ws[i]);
             ltr.push((tx, Some(rx)));
-            let (tx, rx) = unbounded();
+            // rtl[i] flows leftward: rtl[0] into the old rightmost, rtl[i]
+            // into new worker i − 1.
+            let waiter = if i == 0 {
+                &self.workers[current - 1].waitset
+            } else {
+                &right_ws[i - 1]
+            };
+            let (tx, rx) = inner_link(&self.options, waiter);
             rtl.push((tx, Some(rx)));
         }
         // Spawn the new workers first so the extension is ready before any
@@ -854,7 +927,7 @@ where
         // approximate across a both-end grow while the totals stay exact.)
         let mut new_right_entry = None;
         if right_delta > 0 {
-            let (tx, rx) = bounded(self.options.channel_capacity);
+            let (tx, rx) = entry_link(&self.options, &right_ws[right_delta - 1]);
             new_right_entry = Some(tx);
             let mut new_right_rx = Some(rx);
             for i in 0..right_delta {
@@ -869,7 +942,15 @@ where
                 } else {
                     (new_right_rx.take().expect("new entry"), None)
                 };
-                let handle = self.spawn_worker(id, target, left_rx, right_rx, to_left, to_right);
+                let handle = self.spawn_worker(
+                    id,
+                    target,
+                    left_rx,
+                    right_rx,
+                    to_left,
+                    to_right,
+                    right_ws[i].clone(),
+                );
                 self.workers.push(handle);
             }
         }
@@ -877,18 +958,27 @@ where
         // Fresh links for the left extension, the mirror image: `lltr[i]`
         // carries frames from new node i to node i + 1, `lrtl[i]` the
         // reverse; the new leftmost gets a fresh bounded left entry.
+        let left_ws: Vec<WaitSet> = (0..left_delta).map(|_| WaitSet::new()).collect();
         let mut lltr: Vec<NewLink<R, S>> = Vec::new();
         let mut lrtl: Vec<NewLink<R, S>> = Vec::new();
-        for _ in 0..left_delta {
-            let (tx, rx) = unbounded();
+        for i in 0..left_delta {
+            // lltr[i] flows rightward out of new worker i: into new worker
+            // i + 1, or into the old leftmost for the last link.
+            let waiter = if i + 1 < left_delta {
+                &left_ws[i + 1]
+            } else {
+                &self.workers[0].waitset
+            };
+            let (tx, rx) = inner_link(&self.options, waiter);
             lltr.push((tx, Some(rx)));
-            let (tx, rx) = unbounded();
+            // lrtl[i] feeds new worker i's right input.
+            let (tx, rx) = inner_link(&self.options, &left_ws[i]);
             lrtl.push((tx, Some(rx)));
         }
         let mut new_left_entry = None;
         let mut left_workers: Vec<WorkerHandle<R, S>> = Vec::new();
         if left_delta > 0 {
-            let (tx, rx) = bounded(self.options.channel_capacity);
+            let (tx, rx) = entry_link(&self.options, &left_ws[0]);
             new_left_entry = Some(tx);
             let mut new_left_rx = Some(rx);
             for i in 0..left_delta {
@@ -904,7 +994,15 @@ where
                     Some(lrtl[i - 1].0.clone())
                 };
                 let to_right = Some(lltr[i].0.clone());
-                let handle = self.spawn_worker(i, target, left_rx, right_rx, to_left, to_right);
+                let handle = self.spawn_worker(
+                    i,
+                    target,
+                    left_rx,
+                    right_rx,
+                    to_left,
+                    to_right,
+                    left_ws[i].clone(),
+                );
                 left_workers.push(handle);
             }
         }

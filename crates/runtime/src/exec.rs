@@ -50,6 +50,123 @@ use llhj_sync::time::{Duration, Instant};
 /// missed notification; it is not a polling interval.
 pub(crate) const WORKER_PARK: Duration = Duration::from_millis(10);
 
+/// How many drained frame buffers a worker keeps per direction for reuse.
+/// Small on purpose: each direction circulates one buffer per in-flight
+/// frame, so a handful covers the steady state and a burst just allocates.
+const ARENA_POOL: usize = 4;
+
+// ---------------------------------------------------------------------------
+// Core pinning
+// ---------------------------------------------------------------------------
+
+#[cfg(all(target_os = "linux", not(llhj_model)))]
+mod affinity {
+    // `sched_setaffinity` declared directly — std already links libc, and
+    // this build environment cannot fetch the `libc` crate.
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+
+    /// `cpu_set_t` is 1024 bits (128 bytes) on glibc; a `[u64; 16]` has
+    /// the same size and layout for the mask-passing purpose here.
+    const CPU_SET_WORDS: usize = 16;
+
+    pub(super) fn pin_current_thread(core: usize) -> bool {
+        if core >= CPU_SET_WORDS * 64 {
+            return false;
+        }
+        let mut set = [0u64; CPU_SET_WORDS];
+        set[core / 64] |= 1 << (core % 64);
+        // SAFETY: `set` is a valid, initialised 128-byte CPU mask living
+        // for the duration of the call, and pid 0 means the calling
+        // thread; the syscall reads the mask and has no other memory
+        // effects.
+        unsafe { sched_setaffinity(0, std::mem::size_of_val(&set), set.as_ptr()) == 0 }
+    }
+
+    pub(super) fn unpin_current_thread() {
+        let set = [u64::MAX; CPU_SET_WORDS];
+        // SAFETY: as in `pin_current_thread`; an all-ones mask restores
+        // the thread's eligibility for every online core.
+        unsafe {
+            sched_setaffinity(0, std::mem::size_of_val(&set), set.as_ptr());
+        }
+    }
+
+    pub(super) const SUPPORTED: bool = true;
+}
+
+#[cfg(not(all(target_os = "linux", not(llhj_model))))]
+mod affinity {
+    pub(super) fn pin_current_thread(_core: usize) -> bool {
+        false
+    }
+
+    pub(super) fn unpin_current_thread() {}
+
+    pub(super) const SUPPORTED: bool = false;
+}
+
+/// True when [`CoreMap`] pinning would actually take effect for a
+/// pipeline needing `threads` threads: a Linux host (non-model build)
+/// with at least that many cores.  Bench binaries record this next to
+/// their numbers so a snapshot states whether placement was controlled.
+pub(crate) fn pinning_available(threads: usize) -> bool {
+    affinity::SUPPORTED
+        && llhj_sync::thread::available_parallelism()
+            .map(|n| n.get() >= threads)
+            .unwrap_or(false)
+}
+
+/// Assigns the pipeline's threads (workers, collector, driver) to cores.
+///
+/// Built only when `pin_cores` is requested *and*
+/// [`pinning_available`] holds — otherwise every caller sees `None` and
+/// the run proceeds exactly as before (the documented cores < threads
+/// no-op).  Slots wrap modulo the core count so an elastic pipeline that
+/// grows beyond the planned width degrades to sharing cores instead of
+/// failing.
+pub(crate) struct CoreMap {
+    cores: usize,
+    offset: usize,
+}
+
+impl CoreMap {
+    pub(crate) fn new(enabled: bool, threads: usize, offset: usize) -> Option<CoreMap> {
+        if !enabled || !pinning_available(threads) {
+            return None;
+        }
+        let cores = llhj_sync::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Some(CoreMap { cores, offset })
+    }
+
+    /// The core backing pin slot `slot`.
+    pub(crate) fn core(&self, slot: usize) -> usize {
+        (self.offset + slot) % self.cores
+    }
+
+    /// Pins the calling thread to slot `slot`'s core (the driver pins
+    /// itself; workers and the collector are handed their core through
+    /// their spawn arguments).
+    pub(crate) fn pin_current(&self, slot: usize) {
+        affinity::pin_current_thread(self.core(slot));
+    }
+}
+
+/// Pins the calling thread to `core`; worker/collector threads call this
+/// first thing on their own stack.
+pub(crate) fn pin_thread(core: usize) {
+    affinity::pin_current_thread(core);
+}
+
+/// Restores the calling thread's affinity to all cores (the driver runs
+/// on the caller's thread, which must not stay pinned after the run).
+pub(crate) fn unpin_thread() {
+    affinity::unpin_current_thread();
+}
+
 /// The shared stream clock: maps wall-clock time to stream time.
 pub(crate) struct StreamClock {
     pacing: Pacing,
@@ -171,6 +288,14 @@ pub(crate) struct EntryBatcher<M, R, S> {
     started_at: Option<Timestamp>,
     tx: Sender<MessageBatch<R, S>>,
     wrap: fn(Vec<M>) -> MessageBatch<R, S>,
+    /// Drained frame buffers flowing back from the direction's sink node
+    /// (rightmost for left-to-right frames, node 0 for the other way).
+    /// When wired, flushed frames are assembled in recycled buffers and
+    /// steady-state injection allocates no fresh `Vec`s.
+    recycle: Option<Receiver<Vec<M>>>,
+    /// Buffers this batcher had to allocate because the recycle ring was
+    /// empty (or absent).  The honesty counter behind the arena tests.
+    pub(crate) fresh_allocs: u64,
 }
 
 impl<M, R, S> EntryBatcher<M, R, S> {
@@ -184,7 +309,27 @@ impl<M, R, S> EntryBatcher<M, R, S> {
             started_at: None,
             tx,
             wrap,
+            recycle: None,
+            fresh_allocs: 0,
         }
+    }
+
+    /// Wires the buffer flow-back ring from this direction's sink worker.
+    pub(crate) fn set_recycle(&mut self, rx: Receiver<Vec<M>>) {
+        self.recycle = Some(rx);
+    }
+
+    /// The buffer the next frame is assembled in: recycled when the sink
+    /// has flowed one back, freshly allocated (and counted) otherwise.
+    fn next_buffer(&mut self) -> Vec<M> {
+        if let Some(rx) = &self.recycle {
+            if let Ok(mut buf) = rx.try_recv() {
+                buf.clear();
+                return buf;
+            }
+        }
+        self.fresh_allocs += 1;
+        Vec::new()
     }
 
     /// Queues a control message; it rides the next flush.
@@ -206,9 +351,10 @@ impl<M, R, S> EntryBatcher<M, R, S> {
         if self.pending.is_empty() {
             return;
         }
+        let replacement = self.next_buffer();
         send_frame(
             &self.tx,
-            (self.wrap)(std::mem::take(&mut self.pending)),
+            (self.wrap)(std::mem::replace(&mut self.pending, replacement)),
             in_flight,
         );
         *frames_injected += 1;
@@ -401,6 +547,56 @@ pub(crate) struct WorkerShared<R, S> {
 pub(crate) struct WorkerExit {
     pub(crate) counters: NodeCounters,
     pub(crate) idle_wakeups: u64,
+    /// Frame buffers this worker allocated because its arena pool was
+    /// empty.  Zero bar warm-up when the arena circulation is working.
+    pub(crate) batch_allocs: u64,
+}
+
+/// Per-worker placement and arena wiring, decided by the pipeline that
+/// spawns the worker.  Bundled so [`Worker::spawn`] keeps a readable
+/// signature as transports grow knobs.
+pub(crate) struct WorkerWiring<R, S> {
+    /// The wait set the worker parks on.  Created by the *caller* so ring
+    /// channels feeding this worker can bind it at construction (the
+    /// lock-free notify path cannot look a waiter up later).
+    pub(crate) waitset: WaitSet,
+    /// Core to pin the worker thread to, when a [`CoreMap`] is active.
+    pub(crate) pin_core: Option<usize>,
+    /// Where the worker flows drained left-to-right frame buffers once it
+    /// is the rightmost node (that direction's sink).  `None` keeps them
+    /// in the local pool.
+    pub(crate) recycle_ltr: Option<Sender<Vec<LeftToRight<R>>>>,
+    /// Same for right-to-left buffers once the worker is node 0.
+    pub(crate) recycle_rtl: Option<Sender<Vec<RightToLeft<S>>>>,
+    /// Surplus LTR buffers the rightmost node returns to node 0 once the
+    /// driver's flow-back ring is full.  Node 0 *originates* LTR frames
+    /// (an acknowledgement frame per right-to-left frame it handles)
+    /// without receiving a matching LTR buffer, so without this leg it
+    /// allocates once per handled frame while the driver's ring overflows
+    /// with the very buffers it needs.
+    pub(crate) xfer_ltr: Option<Sender<Vec<LeftToRight<R>>>>,
+    /// The receiving half at node 0: refills `take_ltr` after the pool.
+    pub(crate) refill_ltr: Option<Receiver<Vec<LeftToRight<R>>>>,
+    /// Mirror legs for RTL buffers: node 0 (the RTL sink) returns surplus
+    /// to the rightmost node, the RTL originator.
+    pub(crate) xfer_rtl: Option<Sender<Vec<RightToLeft<S>>>>,
+    /// The receiving half at the rightmost node.
+    pub(crate) refill_rtl: Option<Receiver<Vec<RightToLeft<S>>>>,
+}
+
+impl<R, S> WorkerWiring<R, S> {
+    pub(crate) fn new(waitset: WaitSet) -> Self {
+        WorkerWiring {
+            waitset,
+            pin_core: None,
+            recycle_ltr: None,
+            recycle_rtl: None,
+            xfer_ltr: None,
+            refill_ltr: None,
+            xfer_rtl: None,
+            refill_rtl: None,
+        }
+    }
 }
 
 /// The control plane's handle on one spawned worker.  `cmd_tx` is `None`
@@ -440,6 +636,24 @@ pub(crate) struct Worker<R, S> {
     /// command when it executes.
     pending_segment: Option<Handoff<R, S>>,
     idle_wakeups: u64,
+    /// Core to pin to on the worker's own stack, first thing in `run`.
+    pin_core: Option<usize>,
+    /// Arena pools of drained frame buffers, one per direction.  An inner
+    /// node is buffer-balanced (each incoming frame is replaced by at most
+    /// one outgoing frame the same direction), so a handful of buffers
+    /// circulates indefinitely.
+    pool_ltr: Vec<Vec<LeftToRight<R>>>,
+    pool_rtl: Vec<Vec<RightToLeft<S>>>,
+    /// Flow-back rings towards the driver's entry batchers (see
+    /// [`WorkerWiring`]).
+    recycle_ltr: Option<Sender<Vec<LeftToRight<R>>>>,
+    recycle_rtl: Option<Sender<Vec<RightToLeft<S>>>>,
+    /// Surplus legs between the two chain ends (see [`WorkerWiring`]).
+    xfer_ltr: Option<Sender<Vec<LeftToRight<R>>>>,
+    refill_ltr: Option<Receiver<Vec<LeftToRight<R>>>>,
+    xfer_rtl: Option<Sender<Vec<RightToLeft<S>>>>,
+    refill_rtl: Option<Receiver<Vec<RightToLeft<S>>>>,
+    batch_allocs: u64,
 }
 
 impl<R, S> Worker<R, S>
@@ -448,9 +662,12 @@ where
     S: Clone + Send + 'static,
 {
     /// Spawns a worker thread for position `id` of `nodes`, registering
-    /// its wait set with both inputs — and, when `with_mailbox` is set
-    /// (elastic pipelines), with a command mailbox.  A mailbox-less
-    /// worker never pays the per-iteration command poll.
+    /// the wiring's wait set with both inputs — and, when `with_mailbox`
+    /// is set (elastic pipelines), with a command mailbox.  A mailbox-less
+    /// worker never pays the per-iteration command poll.  The wait set
+    /// arrives pre-made inside `wiring` because ring inputs already bound
+    /// it at channel construction (`set_waiter` then only asserts the
+    /// binding matches).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn spawn(
         id: usize,
@@ -462,11 +679,14 @@ where
         to_right: Option<Sender<Frame<R, S>>>,
         shared: WorkerShared<R, S>,
         with_mailbox: bool,
+        wiring: WorkerWiring<R, S>,
     ) -> WorkerHandle<R, S> {
-        let waitset = WaitSet::new();
+        let waitset = wiring.waitset;
         left_rx.set_waiter(&waitset);
         right_rx.set_waiter(&waitset);
         let (cmd_tx, cmd_rx) = if with_mailbox {
+            // Command mailboxes are MPSC (control plane + neighbours) and
+            // stay on the mutex transport, which binds waiters late.
             let (tx, rx) = unbounded();
             rx.set_waiter(&waitset);
             (Some(tx), Some(rx))
@@ -486,6 +706,16 @@ where
             shared,
             pending_segment: None,
             idle_wakeups: 0,
+            pin_core: wiring.pin_core,
+            pool_ltr: Vec::new(),
+            pool_rtl: Vec::new(),
+            recycle_ltr: wiring.recycle_ltr,
+            recycle_rtl: wiring.recycle_rtl,
+            xfer_ltr: wiring.xfer_ltr,
+            refill_ltr: wiring.refill_ltr,
+            xfer_rtl: wiring.xfer_rtl,
+            refill_rtl: wiring.refill_rtl,
+            batch_allocs: 0,
         };
         WorkerHandle {
             handle: thread::spawn(move || worker.run()),
@@ -495,6 +725,9 @@ where
     }
 
     fn run(mut self) -> WorkerExit {
+        if let Some(core) = self.pin_core {
+            pin_thread(core);
+        }
         let mut out: NodeOutput<R, S, ResultTuple<R, S>> = NodeOutput::new();
         // Alternate which input is polled first so neither direction can
         // starve the other under sustained load.
@@ -545,7 +778,115 @@ where
         WorkerExit {
             counters: self.node.node_counters(),
             idle_wakeups: self.idle_wakeups,
+            batch_allocs: self.batch_allocs,
         }
+    }
+
+    /// Returns a drained left-to-right frame buffer to circulation: flowed
+    /// back to the driver when this worker is that direction's sink (the
+    /// rightmost node), pooled locally otherwise.  The flow-back ring is
+    /// best-effort (`try_send`): a full ring just drops the buffer.
+    fn stash_ltr(&mut self, buf: Vec<LeftToRight<R>>) {
+        let mut buf = buf;
+        // Sink priority: the driver's flow-back ring drains exactly one
+        // buffer per entry flush; everything beyond that is surplus.
+        if self.id + 1 == self.nodes {
+            if let Some(tx) = &self.recycle_ltr {
+                match tx.try_send(buf) {
+                    Ok(()) => return,
+                    Err(back) => buf = back,
+                }
+            }
+        }
+        if self.pool_ltr.len() < ARENA_POOL {
+            self.pool_ltr.push(buf);
+            return;
+        }
+        // Pool full: this node holds more LTR buffers than it will ever
+        // spend — pass the surplus one hop towards node 0, the direction's
+        // originator (acknowledgement frames start there without a
+        // matching incoming buffer).  Best-effort: a full leg just costs
+        // the originator one allocation.
+        if let Some(tx) = &self.xfer_ltr {
+            let _ = tx.try_send(buf);
+        }
+    }
+
+    /// Same for right-to-left buffers; node 0 is that direction's sink,
+    /// the rightmost node its originator (expedition-end markers), and
+    /// surplus flows rightward hop by hop.
+    fn stash_rtl(&mut self, buf: Vec<RightToLeft<S>>) {
+        let mut buf = buf;
+        if self.id == 0 {
+            if let Some(tx) = &self.recycle_rtl {
+                match tx.try_send(buf) {
+                    Ok(()) => return,
+                    Err(back) => buf = back,
+                }
+            }
+        }
+        if self.pool_rtl.len() < ARENA_POOL {
+            self.pool_rtl.push(buf);
+            return;
+        }
+        if let Some(tx) = &self.xfer_rtl {
+            let _ = tx.try_send(buf);
+        }
+    }
+
+    /// Opportunistic surplus relay, once per handled frame: moves at most
+    /// one buffer per direction from the incoming surplus leg into the
+    /// local pool, or — pool full — onward to the next hop.  Without this
+    /// pump a middle node (whose own pool stays full because its flow is
+    /// balanced) would stall the daisy chain: buffers terminating at a
+    /// middle home would never reach the end node that keeps allocating.
+    fn relay_surplus(&mut self) {
+        if let Some(rx) = &self.refill_ltr {
+            if let Ok(buf) = rx.try_recv() {
+                if self.pool_ltr.len() < ARENA_POOL {
+                    self.pool_ltr.push(buf);
+                } else if let Some(tx) = &self.xfer_ltr {
+                    let _ = tx.try_send(buf);
+                }
+            }
+        }
+        if let Some(rx) = &self.refill_rtl {
+            if let Ok(buf) = rx.try_recv() {
+                if self.pool_rtl.len() < ARENA_POOL {
+                    self.pool_rtl.push(buf);
+                } else if let Some(tx) = &self.xfer_rtl {
+                    let _ = tx.try_send(buf);
+                }
+            }
+        }
+    }
+
+    fn take_ltr(&mut self) -> Vec<LeftToRight<R>> {
+        if let Some(buf) = self.pool_ltr.pop() {
+            return buf;
+        }
+        if let Some(rx) = &self.refill_ltr {
+            if let Ok(mut buf) = rx.try_recv() {
+                buf.clear();
+                return buf;
+            }
+        }
+        self.batch_allocs += 1;
+        Vec::new()
+    }
+
+    fn take_rtl(&mut self) -> Vec<RightToLeft<S>> {
+        if let Some(buf) = self.pool_rtl.pop() {
+            return buf;
+        }
+        if let Some(rx) = &self.refill_rtl {
+            if let Ok(mut buf) = rx.try_recv() {
+                buf.clear();
+                return buf;
+            }
+        }
+        self.batch_allocs += 1;
+        Vec::new()
     }
 
     /// Processes one data frame: batch dispatch into the node, high-water
@@ -583,7 +924,7 @@ where
         // traversal-end timestamp until the results are safely enqueued.
         let mut observed: Option<(bool, Timestamp)> = None;
         match frame {
-            MessageBatch::Left(msgs) => {
+            MessageBatch::Left(mut msgs) => {
                 // The rightmost node is where R arrivals complete their
                 // pipeline traversal; the last arrival of the frame
                 // carries the largest timestamp (FIFO order).
@@ -597,9 +938,13 @@ where
                         })
                         .map(|ts| (true, ts));
                 }
-                self.node.handle_left_batch(msgs, out);
+                self.node.handle_left_batch(&mut msgs, out);
+                // The batch contract is to drain; recycle the buffer.
+                debug_assert!(msgs.is_empty(), "handle_left_batch must drain its input");
+                msgs.clear();
+                self.stash_ltr(msgs);
             }
-            MessageBatch::Right(msgs) => {
+            MessageBatch::Right(mut msgs) => {
                 if is_leftmost {
                     observed = msgs
                         .iter()
@@ -610,7 +955,10 @@ where
                         })
                         .map(|ts| (false, ts));
                 }
-                self.node.handle_right_batch(msgs, out);
+                self.node.handle_right_batch(&mut msgs, out);
+                debug_assert!(msgs.is_empty(), "handle_right_batch must drain its input");
+                msgs.clear();
+                self.stash_rtl(msgs);
             }
             MessageBatch::Handoff(_) => unreachable!("stashed above"),
         }
@@ -633,16 +981,20 @@ where
         // per direction: this is where per-message channel cost collapses
         // to per-frame cost.
         if !out.to_right.is_empty() {
-            if let Some(tx) = &self.to_right {
-                let msgs = std::mem::take(&mut out.to_right);
+            if self.to_right.is_some() {
+                let replacement = self.take_ltr();
+                let msgs = std::mem::replace(&mut out.to_right, replacement);
+                let tx = self.to_right.as_ref().expect("checked above");
                 send_frame(tx, MessageBatch::Left(msgs), &self.shared.in_flight);
             } else {
                 out.to_right.clear();
             }
         }
         if !out.to_left.is_empty() {
-            if let Some(tx) = &self.to_left {
-                let msgs = std::mem::take(&mut out.to_left);
+            if self.to_left.is_some() {
+                let replacement = self.take_rtl();
+                let msgs = std::mem::replace(&mut out.to_left, replacement);
+                let tx = self.to_left.as_ref().expect("checked above");
                 send_frame(tx, MessageBatch::Right(msgs), &self.shared.in_flight);
             } else {
                 out.to_left.clear();
@@ -662,6 +1014,7 @@ where
         if let (Some(slot), Some(started)) = (&self.shared.busy_ns, busy_start) {
             slot.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
+        self.relay_surplus();
         self.shared.in_flight.finish();
     }
 
@@ -907,6 +1260,8 @@ pub(crate) struct CollectorConfig {
     pub(crate) punctuate: bool,
     pub(crate) interval: Duration,
     pub(crate) latency_bucket: u64,
+    /// Core to pin the collector thread to, when a [`CoreMap`] is active.
+    pub(crate) pin_core: Option<usize>,
 }
 
 /// Spawns the collector thread over the given per-worker result queues.
@@ -930,6 +1285,9 @@ where
     S: Clone + Send + 'static,
 {
     thread::spawn(move || {
+        if let Some(core) = config.pin_core {
+            pin_thread(core);
+        }
         let mut outcome = CollectorOutcome {
             results: Vec::new(),
             output: Vec::new(),

@@ -149,13 +149,17 @@ where
         );
         let router = ShardRouter::new(predicate.clone(), mode, shards);
         let chains = (0..shards)
-            .map(|_| {
+            .map(|p| {
+                // Stagger each chain's core slots so two shards' workers do
+                // not stack on the same cores (a no-op unless `pin_cores`).
+                let mut chain_options = options.clone();
+                chain_options.pin_core_offset = options.pin_core_offset + p * (width + 1);
                 ElasticPipeline::new(
                     width,
                     factory.clone(),
                     predicate.clone(),
                     policy.clone(),
-                    options.clone(),
+                    chain_options,
                 )
             })
             .collect();
@@ -232,7 +236,13 @@ where
                 self.factory.clone(),
                 self.predicate.clone(),
                 self.policy.clone(),
-                self.options.clone(),
+                {
+                    // New shards keep staggering past the existing chains.
+                    let mut child_options = self.options.clone();
+                    child_options.pin_core_offset =
+                        self.options.pin_core_offset + self.chains.len() * (width + 1);
+                    child_options
+                },
             );
             if let Some(stall) = self.migration_stall {
                 child.set_migration_stall(stall);

@@ -22,6 +22,24 @@ pub enum Pacing {
     },
 }
 
+/// Which transport carries frames over the chain's SPSC data edges
+/// (driver→node₀, nodeᵢ→nodeᵢ₊₁, node→collector).
+///
+/// The genuinely multi-producer edges — the elastic result channel and
+/// the worker command mailboxes — always use the mutex transport
+/// regardless of this setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Lock-free SPSC ring buffers ([`crate::ring`]): the default, and
+    /// the fast path on real multicore.
+    #[default]
+    Ring,
+    /// The `Mutex<VecDeque>` + condvar channel: the reference transport,
+    /// kept selectable so conformance tests can assert the two produce
+    /// byte-identical streams.
+    Mutex,
+}
+
 /// Options for running a threaded pipeline.
 ///
 /// ## Batching knobs
@@ -67,6 +85,25 @@ pub struct PipelineOptions {
     /// injecting, drains the pipeline and returns the partial outcome with
     /// [`RunOutcome::cancelled`](crate::RunOutcome) set.
     pub cancel: Option<crate::channel::CancelToken>,
+    /// Which transport carries the chain's SPSC data edges.
+    pub transport: Transport,
+    /// Lock-free fast-path depth (in frames, rounded up to a power of
+    /// two) of the *unbounded* ring links between workers; bursts beyond
+    /// it spill into the ring's mutex spillway.  Entry rings use
+    /// [`channel_capacity`](Self::channel_capacity) instead, preserving
+    /// the driver's backpressure point.  Irrelevant under
+    /// [`Transport::Mutex`].
+    pub ring_capacity: usize,
+    /// Pin worker, driver and collector threads to distinct cores
+    /// (`sched_setaffinity`).  Off by default; silently a no-op when the
+    /// host has fewer cores than the pipeline has threads, on non-Linux
+    /// targets, and under the model-checker backend.
+    pub pin_cores: bool,
+    /// First core slot the pipeline's threads are assigned from (the
+    /// shard mesh staggers its chains with this so two shards' workers do
+    /// not stack on the same cores).  Ignored unless
+    /// [`pin_cores`](Self::pin_cores) is set.
+    pub pin_core_offset: usize,
 }
 
 impl Default for PipelineOptions {
@@ -80,6 +117,10 @@ impl Default for PipelineOptions {
             collect_interval: Duration::from_millis(1),
             latency_bucket: 10_000,
             cancel: None,
+            transport: Transport::Ring,
+            ring_capacity: 256,
+            pin_cores: false,
+            pin_core_offset: 0,
         }
     }
 }
@@ -101,6 +142,9 @@ impl PipelineOptions {
         }
         if self.channel_capacity == 0 {
             return Err("channel_capacity must be positive".into());
+        }
+        if self.ring_capacity == 0 {
+            return Err("ring_capacity must be positive".into());
         }
         if let Pacing::RealTime { speedup } = self.pacing {
             if !speedup.is_finite() {
@@ -188,6 +232,11 @@ mod tests {
         assert!(opts.validate().is_err());
         let opts = PipelineOptions {
             channel_capacity: 0,
+            ..Default::default()
+        };
+        assert!(opts.validate().is_err());
+        let opts = PipelineOptions {
+            ring_capacity: 0,
             ..Default::default()
         };
         assert!(opts.validate().is_err());

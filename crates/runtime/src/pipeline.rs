@@ -32,11 +32,12 @@
 //! is what the evaluation harness uses to sweep core counts beyond the host
 //! machine.
 
-use crate::channel::{bounded, unbounded, Receiver, Sender, WaitSet};
+use crate::channel::{bounded, spsc_bounded, spsc_unbounded, unbounded, Receiver, Sender, WaitSet};
 use crate::exec::{
-    spawn_collector, CollectorConfig, EntryState, InFlight, StreamClock, Worker, WorkerShared,
+    spawn_collector, CollectorConfig, CoreMap, EntryState, InFlight, StreamClock, Worker,
+    WorkerShared, WorkerWiring,
 };
-use crate::options::{Pacing, PipelineOptions};
+use crate::options::{Pacing, PipelineOptions, Transport};
 use llhj_core::driver::{DriverSchedule, Injector, StreamEvent};
 use llhj_core::homing::HomePolicy;
 use llhj_core::message::MessageBatch;
@@ -74,6 +75,11 @@ pub struct RunOutcome<R, S> {
     pub arrivals_per_stream: (usize, usize),
     /// Number of frames the driver injected into the pipeline ends.
     pub frames_injected: u64,
+    /// Number of frame buffers allocated after start-up — by workers whose
+    /// arena pool ran dry and by the driver's entry batchers when the
+    /// flow-back rings had nothing to recycle.  Bounded (instead of
+    /// growing with the frame count) when the arena circulation works.
+    pub batch_allocs: u64,
     /// Number of times a worker woke up (or polled) and found neither of
     /// its inputs ready.  Under event-driven scheduling this stays near
     /// zero; a busy-polling loop accumulates one per idle poll interval.
@@ -142,6 +148,11 @@ where
     let in_flight = Arc::new(InFlight::new());
     let clock = Arc::new(StreamClock::new(options.pacing));
 
+    // Core placement: workers take slots 0..n-1, the collector slot n,
+    // the driver slot n+1.  `None` (pinning off, too few cores, non-Linux,
+    // model build) leaves every thread on the scheduler's default policy.
+    let core_map = CoreMap::new(options.pin_cores, n + 2, options.pin_core_offset);
+
     // Channel wiring: ltr[k] is node k's left input, rtl[k] its right
     // input; every link carries MessageBatch frames.
     //
@@ -153,24 +164,46 @@ where
     // traffic going right, acknowledgements and S traffic going left) and
     // deadlock; admission control at the driver keeps the actual occupancy
     // of the inner links small.
+    //
+    // Every data edge here is SPSC by construction, so under
+    // `Transport::Ring` (the default) the links are lock-free ring
+    // channels.  Ring consumers bind their wait set at construction (the
+    // lock-free notify path cannot look one up later), which is why the
+    // per-worker wait sets are created before any channel.
     type FrameTx<R, S> = Sender<MessageBatch<R, S>>;
     type FrameRx<R, S> = Receiver<MessageBatch<R, S>>;
+    let waitsets: Vec<WaitSet> = (0..n).map(|_| WaitSet::new()).collect();
+    let ring = options.transport == Transport::Ring;
+    let entry_link = |waiter: &WaitSet| -> (FrameTx<R, S>, FrameRx<R, S>) {
+        if ring {
+            spsc_bounded(options.channel_capacity, Some(waiter))
+        } else {
+            bounded(options.channel_capacity)
+        }
+    };
+    let inner_link = |waiter: &WaitSet| -> (FrameTx<R, S>, FrameRx<R, S>) {
+        if ring {
+            spsc_unbounded(options.ring_capacity, Some(waiter))
+        } else {
+            unbounded()
+        }
+    };
     let mut ltr_tx: Vec<Option<FrameTx<R, S>>> = Vec::with_capacity(n);
     let mut ltr_rx: Vec<Option<FrameRx<R, S>>> = Vec::with_capacity(n);
     let mut rtl_tx: Vec<Option<FrameTx<R, S>>> = Vec::with_capacity(n);
     let mut rtl_rx: Vec<Option<FrameRx<R, S>>> = Vec::with_capacity(n);
-    for k in 0..n {
+    for (k, waitset) in waitsets.iter().enumerate() {
         let (tx, rx) = if k == 0 {
-            bounded(options.channel_capacity)
+            entry_link(waitset)
         } else {
-            unbounded()
+            inner_link(waitset)
         };
         ltr_tx.push(Some(tx));
         ltr_rx.push(Some(rx));
         let (tx, rx) = if k == n - 1 {
-            bounded(options.channel_capacity)
+            entry_link(waitset)
         } else {
-            unbounded()
+            inner_link(waitset)
         };
         rtl_tx.push(Some(tx));
         rtl_rx.push(Some(rx));
@@ -178,17 +211,54 @@ where
     let driver_left_tx = ltr_tx[0].take().expect("entry channel");
     let driver_right_tx = rtl_tx[n - 1].take().expect("entry channel");
 
-    // Per-worker result queues (Figure 15).
+    // Per-worker result queues (Figure 15).  SPSC (one worker, the
+    // collector), so the ring transport covers them too; the collector
+    // polls on its vacuum interval rather than parking per result, so no
+    // wait set is bound (ring notifies then hit a set nobody waits on —
+    // a cheap no-op).
     let mut result_tx: Vec<Sender<TimedResult<R, S>>> = Vec::with_capacity(n);
     let mut result_rx: Vec<Receiver<TimedResult<R, S>>> = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = if ring {
+            spsc_unbounded(options.ring_capacity, None)
+        } else {
+            unbounded()
+        };
         result_tx.push(tx);
         result_rx.push(rx);
     }
 
+    // Frame-buffer flow-back (the per-worker arena's driver leg): each
+    // direction's sink node returns drained entry buffers to the driver's
+    // batcher over a small best-effort ring.  Pure capacity recycling —
+    // a dropped or missing buffer only costs an allocation.
+    const RECYCLE_DEPTH: usize = 8;
+    let (recycle_ltr_tx, recycle_ltr_rx) = spsc_bounded(RECYCLE_DEPTH, None);
+    let (recycle_rtl_tx, recycle_rtl_rx) = spsc_bounded(RECYCLE_DEPTH, None);
+    // Surplus daisy chains between neighbours: buffers end their life at
+    // whatever node their last message terminates on (acknowledgement
+    // frames at the rightmost node, expedition-end markers at the home
+    // node), while new frames originate at the opposite end — so surplus
+    // LTR buffers must migrate leftward to node 0 and surplus RTL buffers
+    // rightward to node n−1, hop by hop (each hop is SPSC by
+    // construction; a single ring would be MPSC).  Middle nodes relay
+    // opportunistically, one buffer per handled frame.
+    let mut xfer_ltr_tx: Vec<Option<_>> = Vec::new(); // node k+1 -> node k
+    let mut xfer_ltr_rx: Vec<Option<_>> = Vec::new();
+    let mut xfer_rtl_tx: Vec<Option<_>> = Vec::new(); // node k -> node k+1
+    let mut xfer_rtl_rx: Vec<Option<_>> = Vec::new();
+    for _ in 0..n.saturating_sub(1) {
+        let (lt, lr) = spsc_bounded(RECYCLE_DEPTH, None);
+        let (rt, rr) = spsc_bounded(RECYCLE_DEPTH, None);
+        xfer_ltr_tx.push(Some(lt));
+        xfer_ltr_rx.push(Some(lr));
+        xfer_rtl_tx.push(Some(rt));
+        xfer_rtl_rx.push(Some(rr));
+    }
+
     // ---------------- workers (shared exec machinery) ----------------
     let mut worker_handles = Vec::with_capacity(n);
+    let mut waitsets_iter = waitsets.into_iter();
     for (k, node) in nodes.into_iter().enumerate() {
         let left_rx = ltr_rx[k].take().expect("left input");
         let right_rx = rtl_rx[k].take().expect("right input");
@@ -208,11 +278,32 @@ where
             // the instrumentation would tax every frame for nothing.
             busy_ns: None,
         };
+        let mut wiring = WorkerWiring::new(waitsets_iter.next().expect("one wait set per worker"));
+        wiring.pin_core = core_map.as_ref().map(|m| m.core(k));
+        if k + 1 == n {
+            wiring.recycle_ltr = Some(recycle_ltr_tx.clone());
+        }
+        if k == 0 {
+            wiring.recycle_rtl = Some(recycle_rtl_tx.clone());
+        }
+        // Daisy-chain legs: LTR surplus flows leftward (node k sends on
+        // edge k−1, receives on edge k), RTL surplus rightward (sends on
+        // edge k, receives on edge k−1).
+        if k > 0 {
+            wiring.xfer_ltr = xfer_ltr_tx[k - 1].take();
+            wiring.refill_rtl = xfer_rtl_rx[k - 1].take();
+        }
+        if k + 1 < n {
+            wiring.refill_ltr = xfer_ltr_rx[k].take();
+            wiring.xfer_rtl = xfer_rtl_tx[k].take();
+        }
         worker_handles.push(Worker::spawn(
-            k, n, node, left_rx, right_rx, to_left, to_right, shared, false,
+            k, n, node, left_rx, right_rx, to_left, to_right, shared, false, wiring,
         ));
     }
     drop(result_tx);
+    drop(recycle_ltr_tx);
+    drop(recycle_rtl_tx);
 
     // ---------------- collector (shared exec machinery) ----------------
     let collector_handle = spawn_collector(
@@ -225,12 +316,24 @@ where
             punctuate: options.punctuate,
             interval: options.collect_interval,
             latency_bucket: options.latency_bucket,
+            pin_core: core_map.as_ref().map(|m| m.core(n)),
         },
     );
 
+    // The driver (this thread) takes the last pin slot; its affinity is
+    // restored before returning.
+    if let Some(map) = &core_map {
+        map.pin_current(n + 1);
+    }
+
     // Entry-frame assembly state, shared between the driver and the flush
     // timer thread.
-    let entry = Arc::new(Mutex::new(EntryState::new(driver_left_tx, driver_right_tx)));
+    let entry = {
+        let mut state = EntryState::new(driver_left_tx, driver_right_tx);
+        state.left.set_recycle(recycle_ltr_rx);
+        state.right.set_recycle(recycle_rtl_rx);
+        Arc::new(Mutex::new(state))
+    };
     let timer_stop = WaitSet::new();
 
     // ---------------- flush timer ----------------
@@ -366,10 +469,12 @@ where
         }
     }
     // Tail flush: whatever is still pending (trailing expiries).
+    let mut batch_allocs;
     {
         let mut state = entry.lock().expect("entry state poisoned");
         state.flush_both(&in_flight);
         frames_injected = state.frames_injected;
+        batch_allocs = state.left.fresh_allocs + state.right.fresh_allocs;
     }
     timer_stop.notify();
     if let Some(handle) = timer_handle {
@@ -391,8 +496,12 @@ where
         let exit = handle.handle.join().expect("worker thread panicked");
         counters[k] = exit.counters;
         idle_wakeups += exit.idle_wakeups;
+        batch_allocs += exit.batch_allocs;
     }
     let collected = collector_handle.join().expect("collector thread panicked");
+    if core_map.is_some() {
+        crate::exec::unpin_thread();
+    }
 
     RunOutcome {
         results: collected.results,
@@ -404,6 +513,7 @@ where
         punctuation_count: collected.punctuation_count,
         arrivals_per_stream: (seen_r, seen_s),
         frames_injected,
+        batch_allocs,
         idle_wakeups,
         cancelled,
     }

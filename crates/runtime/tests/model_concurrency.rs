@@ -16,7 +16,7 @@
 //! Every loop parks on a `WaitSet` exactly like the real workers do;
 //! busy-waiting would (correctly) be reported as a livelock.
 //!
-//! Five invariant families, per the concurrency and durability chapters
+//! Six invariant families, per the concurrency and durability chapters
 //! in ARCHITECTURE.md:
 //!
 //! 1. no lost wakeups in the epoch-snapshot `WaitSet` protocol;
@@ -28,7 +28,11 @@
 //!    concurrent cancel;
 //! 4. torn-read/lost-update freedom on the `MetricsBus` atomics;
 //! 5. the checkpoint capture fence: a blob taken after quiescence covers
-//!    every consumed frame, and skipping the fence provably loses one.
+//!    every consumed frame, and skipping the fence provably loses one;
+//! 6. the lock-free SPSC ring transport: in-order, loss-free delivery
+//!    with no lost wakeups across the empty-park and full-park legs —
+//!    with a re-broken twin (sequence word published before the payload)
+//!    that the checker provably catches.
 #![cfg(llhj_model)]
 
 use llhj_core::punctuation::{verify_punctuated_stream, HighWaterMarks, OutputItem, Punctuation};
@@ -580,6 +584,110 @@ fn checkpoint_without_the_fence_tears_the_cut() {
     let report = explore_expect_violation(opts(), || checkpoint_fence_scenario(false));
     let message = &report.violation.as_ref().unwrap().message;
     assert!(message.contains("torn cut"), "wrong violation: {message}");
+}
+
+// ---------------------------------------------------------------------------
+// 6. Ring transport: in-order delivery, park handoff, re-broken twin
+// ---------------------------------------------------------------------------
+
+/// The unbounded ring flavour at spillway-forcing capacity: a ring of 2
+/// slots carrying 4 frames must overflow into the spillway, and the
+/// consumer must still see strict FIFO order across the ring/spillway
+/// boundary, under every schedule, with no lost wakeups.  This is the
+/// inner-chain-edge configuration (`Transport::Ring` between workers).
+#[test]
+fn ring_spsc_delivers_in_order_without_lost_wakeups() {
+    let report = explore(opts(), || {
+        let ws = WaitSet::new();
+        let (tx, rx) = llhj_runtime::channel::spsc_unbounded::<u32>(2, Some(&ws));
+        let producer = thread::spawn(move || {
+            for i in 0..4u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        for expect in 0..4u32 {
+            let got = recv_parked(&rx, &ws).expect("frame lost in the ring");
+            assert_eq!(got, expect, "ring reordered frames");
+        }
+        producer.join().unwrap();
+        assert_eq!(
+            llhj_sync::model::forced_timeouts(),
+            0,
+            "a parked task needed the safety-net timeout: lost wakeup"
+        );
+    });
+    assert_exhaustive(&report);
+}
+
+/// The bounded ring flavour (the driver entry edges): a producer filling
+/// a 2-slot ring with 3 frames must park on the ring's `space` event-
+/// count and be woken by the consumer's pop — under every schedule the
+/// handoff completes without the safety-net timeout, i.e. the
+/// snapshot-before-repoll discipline of the full-park leg loses no
+/// wakeups either.
+#[test]
+fn ring_bounded_full_park_handoff_never_strands_the_producer() {
+    let report = explore(opts(), || {
+        let ws = WaitSet::new();
+        let (tx, rx) = llhj_runtime::channel::spsc_bounded::<u32>(2, Some(&ws));
+        let producer = thread::spawn(move || {
+            for i in 0..3u32 {
+                // The third send finds the ring full and parks until the
+                // consumer's pop bumps the space eventcount.
+                tx.send(i).unwrap();
+            }
+        });
+        for expect in 0..3u32 {
+            let got = recv_parked(&rx, &ws).expect("frame lost in the ring");
+            assert_eq!(got, expect, "bounded ring reordered frames");
+        }
+        producer.join().unwrap();
+        assert_eq!(
+            llhj_sync::model::forced_timeouts(),
+            0,
+            "the full-park handoff needed the safety-net timeout: lost wakeup"
+        );
+    });
+    assert_exhaustive(&report);
+}
+
+/// The re-broken twin: a ring whose producer publishes the slot's
+/// sequence word *before* writing the payload.  The checker must find
+/// the schedule where the consumer runs between those two steps and
+/// observes a published-but-empty slot — the torn publication the real
+/// ring's Release-store-after-write discipline rules out.
+#[test]
+fn broken_ring_torn_publication_is_caught() {
+    use llhj_runtime::ring::broken::BrokenRing;
+    let report = explore_expect_violation(opts(), || {
+        let ws = WaitSet::new();
+        let ring = BrokenRing::<u32>::new(2, &ws);
+        let producer = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                ring.push(7).expect("ring full in a 1-frame scenario");
+            })
+        };
+        loop {
+            let seen = ws.epoch();
+            match ring.pop() {
+                Ok(Some(v)) => {
+                    assert_eq!(v, 7);
+                    break;
+                }
+                Ok(None) => {
+                    ws.wait(seen, Duration::from_millis(10));
+                }
+                Err(()) => panic!("torn publication: slot published before its payload"),
+            }
+        }
+        producer.join().unwrap();
+    });
+    let message = &report.violation.as_ref().unwrap().message;
+    assert!(
+        message.contains("torn publication"),
+        "wrong violation: {message}"
+    );
 }
 
 /// The published chain width: a sampler racing the control plane's

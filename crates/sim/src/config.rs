@@ -63,6 +63,12 @@ pub struct SimConfig {
     /// the `bench_rebalance` baseline that measures what the
     /// redistribution buys.
     pub rebalance_on_resize: bool,
+    /// Models the runtime's `pin_cores` placement: pinned endpoints skip
+    /// the cost model's contended-hop surcharge
+    /// ([`CostModel::per_hop_contended_ns`]).  Defaults to `false`, which
+    /// with the default surcharge of 0 leaves every historical calibration
+    /// number unchanged.
+    pub pin_cores: bool,
 }
 
 impl SimConfig {
@@ -80,6 +86,7 @@ impl SimConfig {
             expected_rate_per_sec: 1000.0,
             latency_bucket: 10_000,
             rebalance_on_resize: true,
+            pin_cores: false,
         }
     }
 

@@ -33,6 +33,13 @@ pub struct CostModel {
     pub per_result_ns: f64,
     /// Core-to-core messaging latency for one hop.
     pub hop_latency_ns: f64,
+    /// Extra hop latency when the two endpoint threads are *not* pinned to
+    /// their own cores: scheduler migrations keep invalidating the ring's
+    /// cache lines, so an unpinned hop pays `hop_latency_ns +
+    /// per_hop_contended_ns` while a pinned hop pays `hop_latency_ns`
+    /// alone.  Defaults to 0 so the existing calibration (which never
+    /// modelled placement) is bit-for-bit unchanged.
+    pub per_hop_contended_ns: f64,
     /// Extra cost per handled message when punctuation generation is on
     /// (high-water-mark maintenance at the pipeline ends).
     pub punctuation_overhead_ns: f64,
@@ -51,6 +58,7 @@ impl Default for CostModel {
             per_comparison_ns: 2.0,
             per_result_ns: 60.0,
             hop_latency_ns: 1_000.0,
+            per_hop_contended_ns: 0.0,
             punctuation_overhead_ns: 40.0,
             checkpoint_per_tuple_ns: 25.0,
         }
@@ -92,9 +100,25 @@ impl CostModel {
         ns.max(0.0).round() as SimNanos
     }
 
-    /// Hop latency as integer nanoseconds.
+    /// Hop latency of an *unpinned* hop (the default placement): base
+    /// latency plus the contended surcharge.
     pub fn hop_ns(&self) -> SimNanos {
+        (self.hop_latency_ns.max(0.0) + self.per_hop_contended_ns.max(0.0)).round() as SimNanos
+    }
+
+    /// Hop latency when both endpoint threads are pinned to their own
+    /// cores: the base latency alone.
+    pub fn hop_ns_pinned(&self) -> SimNanos {
         self.hop_latency_ns.max(0.0).round() as SimNanos
+    }
+
+    /// The hop latency the data plane charges under the given placement.
+    pub fn hop_ns_for(&self, pinned: bool) -> SimNanos {
+        if pinned {
+            self.hop_ns_pinned()
+        } else {
+            self.hop_ns()
+        }
     }
 
     /// Cost of writing (or reading back) one checkpoint blob of `tuples`
@@ -157,12 +181,31 @@ mod tests {
             per_comparison_ns: 0.0,
             per_result_ns: 0.0,
             hop_latency_ns: -1.0,
+            per_hop_contended_ns: -3.0,
             punctuation_overhead_ns: 0.0,
             checkpoint_per_tuple_ns: -2.0,
         };
         assert_eq!(c.service_ns(100, 100, true), 0);
         assert_eq!(c.hop_ns(), 0);
+        assert_eq!(c.hop_ns_pinned(), 0);
         assert_eq!(c.checkpoint_ns(50), 0);
+    }
+
+    #[test]
+    fn contended_surcharge_applies_only_to_unpinned_hops() {
+        // Defaults: no surcharge, so both placements cost the same and the
+        // historical calibration is untouched.
+        let c = CostModel::default();
+        assert_eq!(c.hop_ns(), c.hop_ns_pinned());
+        // With a surcharge, the unpinned hop is dearer by exactly it.
+        let contended = CostModel {
+            per_hop_contended_ns: 400.0,
+            ..CostModel::default()
+        };
+        assert_eq!(contended.hop_ns_pinned(), c.hop_ns_pinned());
+        assert_eq!(contended.hop_ns(), contended.hop_ns_pinned() + 400);
+        assert_eq!(contended.hop_ns_for(true), contended.hop_ns_pinned());
+        assert_eq!(contended.hop_ns_for(false), contended.hop_ns());
     }
 
     #[test]

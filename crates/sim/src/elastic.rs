@@ -272,7 +272,7 @@ where
     /// sample boundary; it pops every frame *scheduled* at or before the
     /// boundary, exactly once, in deterministic heap order.
     pub(crate) fn drain(&mut self, until: Option<SimNanos>) {
-        let hop = self.config.cost.hop_ns();
+        let hop = self.config.cost.hop_ns_for(self.config.pin_cores);
         let mut out: NodeOutput<R, S, llhj_core::result::ResultTuple<R, S>> = NodeOutput::new();
         while let Some(entry) = {
             match (self.heap.peek(), until) {
@@ -295,7 +295,7 @@ where
 
             out.clear();
             match entry.frame {
-                MessageBatch::Left(msgs) => {
+                MessageBatch::Left(mut msgs) => {
                     let observed = if node_idx == rightmost {
                         msgs.iter().rev().find_map(|m| match m {
                             LeftToRight::ArrivalR(r) => Some(r.ts()),
@@ -304,12 +304,12 @@ where
                     } else {
                         None
                     };
-                    self.nodes[node_idx].handle_left_batch(msgs, &mut out);
+                    self.nodes[node_idx].handle_left_batch(&mut msgs, &mut out);
                     if let Some(ts) = observed {
                         self.hwm.observe_r(ts);
                     }
                 }
-                MessageBatch::Right(msgs) => {
+                MessageBatch::Right(mut msgs) => {
                     let observed = if node_idx == 0 {
                         msgs.iter().rev().find_map(|m| match m {
                             RightToLeft::ArrivalS(s) => Some(s.ts()),
@@ -318,7 +318,7 @@ where
                     } else {
                         None
                     };
-                    self.nodes[node_idx].handle_right_batch(msgs, &mut out);
+                    self.nodes[node_idx].handle_right_batch(&mut msgs, &mut out);
                     if let Some(ts) = observed {
                         self.hwm.observe_s(ts);
                     }
@@ -419,7 +419,7 @@ where
         self.drain(None);
         let fence_start = self.makespan_ns;
         let mut fence_end = fence_start;
-        let hop = self.config.cost.hop_ns();
+        let hop = self.config.cost.hop_ns_for(self.config.pin_cores);
         let mut migrated_total = 0usize;
         let mut out: NodeOutput<R, S, llhj_core::result::ResultTuple<R, S>> = NodeOutput::new();
 
@@ -541,7 +541,7 @@ where
         if self.width <= 1 {
             return 0;
         }
-        let hop = self.config.cost.hop_ns();
+        let hop = self.config.cost.hop_ns_for(self.config.pin_cores);
         let mut out: NodeOutput<R, S, llhj_core::result::ResultTuple<R, S>> = NodeOutput::new();
         let mut rebalanced = 0usize;
         let census: Vec<(usize, usize)> = self.nodes.iter().map(|n| n.window_census()).collect();
@@ -637,7 +637,7 @@ where
             ckpt.width, self.width,
             "a checkpoint restores only into a chain of its own width"
         );
-        let hop = self.config.cost.hop_ns();
+        let hop = self.config.cost.hop_ns_for(self.config.pin_cores);
         let mut fence_end = self.makespan_ns;
         for (k, segment) in ckpt.segments.iter().enumerate() {
             let cost = self.config.cost.checkpoint_ns(segment.len() as u64);

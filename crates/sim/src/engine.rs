@@ -226,7 +226,7 @@ where
 
     let collect_interval_ns = (config.collect_interval.as_micros().max(1)) * 1_000;
     let mut next_collect_ns = collect_interval_ns;
-    let hop = config.cost.hop_ns();
+    let hop = config.cost.hop_ns_for(config.pin_cores);
     let mut makespan_ns = 0u64;
     let mut frames_delivered = 0u64;
     let mut messages_delivered = 0u64;
@@ -248,7 +248,7 @@ where
 
         out.clear();
         match entry.frame {
-            MessageBatch::Left(msgs) => {
+            MessageBatch::Left(mut msgs) => {
                 // The rightmost node is where R arrivals finish their
                 // traversal; the frame's last arrival carries the largest
                 // timestamp (FIFO order), so observing it after the whole
@@ -262,12 +262,12 @@ where
                 } else {
                     None
                 };
-                nodes[node_idx].handle_left_batch(msgs, &mut out);
+                nodes[node_idx].handle_left_batch(&mut msgs, &mut out);
                 if let Some(ts) = observed {
                     hwm.observe_r(ts);
                 }
             }
-            MessageBatch::Right(msgs) => {
+            MessageBatch::Right(mut msgs) => {
                 let observed = if node_idx == 0 {
                     msgs.iter().rev().find_map(|m| match m {
                         RightToLeft::ArrivalS(s) => Some(s.ts()),
@@ -276,7 +276,7 @@ where
                 } else {
                     None
                 };
-                nodes[node_idx].handle_right_batch(msgs, &mut out);
+                nodes[node_idx].handle_right_batch(&mut msgs, &mut out);
                 if let Some(ts) = observed {
                     hwm.observe_s(ts);
                 }

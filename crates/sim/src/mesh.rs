@@ -191,7 +191,7 @@ where
         tuples: usize,
         fence_end: &mut SimNanos,
     ) {
-        let hop = sim.config.cost.hop_ns();
+        let hop = sim.config.cost.hop_ns_for(sim.config.pin_cores);
         let service = sim.config.cost.frame_service_ns(tuples as u64, 0, 0, false);
         let ack = sim.config.cost.frame_service_ns(1, 0, 0, false);
         *fence_end += hop + service + hop + ack;

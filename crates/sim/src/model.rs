@@ -43,6 +43,11 @@ pub struct AnalyticModel {
     /// axis: small batches pay the channel operation almost per message,
     /// large batches amortise it away.
     pub batch_size: u64,
+    /// Mirrors the runtime's `pin_cores` placement: a pinned pipeline pays
+    /// [`CostModel::hop_ns_pinned`] per hop, an unpinned one additionally
+    /// pays [`CostModel::per_hop_contended_ns`].  With the default
+    /// surcharge of 0 this is calibration-neutral either way.
+    pub pin_cores: bool,
 }
 
 impl AnalyticModel {
@@ -59,6 +64,7 @@ impl AnalyticModel {
             utilization_target: 0.95,
             punctuate: false,
             batch_size: 64,
+            pin_cores: false,
         }
     }
 
@@ -190,7 +196,7 @@ impl AnalyticModel {
             batch_size,
             rate_per_sec: rate,
             nodes: self.nodes,
-            hop_latency: TimeDelta::from_micros(self.cost.hop_latency_ns as u64 / 1_000),
+            hop_latency: TimeDelta::from_micros(self.cost.hop_ns_for(self.pin_cores) / 1_000),
             node_scan: TimeDelta::from_micros((scan_ns / 1_000.0) as u64),
         }
         .expected_latency()
@@ -238,6 +244,29 @@ mod tests {
         assert!(
             (0.8..1.25).contains(&ratio),
             "throughputs should be within ~20%: {llhj} vs {hsj}"
+        );
+    }
+
+    #[test]
+    fn contended_hops_raise_latency_and_pinning_restores_it() {
+        let base = AnalyticModel::paper_benchmark(8);
+        let mut contended = AnalyticModel::paper_benchmark(8);
+        contended.cost.per_hop_contended_ns = 5_000.0;
+        let pinned = AnalyticModel {
+            pin_cores: true,
+            ..contended.clone()
+        };
+        let rate = 1_000.0;
+        let l_base = base.llhj_average_latency(rate, 64);
+        let l_contended = contended.llhj_average_latency(rate, 64);
+        let l_pinned = pinned.llhj_average_latency(rate, 64);
+        assert!(
+            l_contended > l_base,
+            "an unpinned pipeline must pay the contended-hop surcharge"
+        );
+        assert_eq!(
+            l_pinned, l_base,
+            "pinning must recover the base hop latency exactly"
         );
     }
 
@@ -354,6 +383,7 @@ mod tests {
                 utilization_target: 0.95,
                 punctuate: false,
                 batch_size: batch,
+                pin_cores: false,
             }
             .max_rate(Algorithm::Llhj);
 
@@ -451,6 +481,7 @@ mod tests {
                     utilization_target: 0.95,
                     punctuate: false,
                     batch_size: batch,
+                    pin_cores: false,
                 }
                 .max_rate(Algorithm::Llhj);
 
